@@ -1,0 +1,116 @@
+// Ablations 4 and 5 (DESIGN.md): baseline-removal method and
+// stimulus-locked filtering.
+//
+// (a) Morphological baseline estimation (Sun 2002) vs cubic-spline knots
+//     (Meyer-Keiser 1977) — Section III-B presents both; compare residual
+//     baseline error and node-side cost.
+// (b) Ensemble averaging vs the adaptive impulse-correlated filter —
+//     Section IV-C notes EA loses beat-to-beat dynamics while AICF tracks
+//     them; quantify the tracking error under amplitude drift.
+#include <cmath>
+#include <cstdio>
+
+#include "dsp/ensemble.hpp"
+#include "dsp/morphology.hpp"
+#include "dsp/spline_baseline.hpp"
+#include "energy/mcu.hpp"
+#include "sig/adc.hpp"
+#include "sig/ecg_synth.hpp"
+
+int main() {
+  using namespace wbsn;
+
+  // --- (a) Baseline removal ---
+  sig::SynthConfig scfg;
+  scfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 60}};
+  scfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+  scfg.noise.baseline_wander_mv = 0.4;
+  sig::Rng rng(9);
+  const auto dirty = synthesize_ecg(scfg, rng);
+  sig::SynthConfig clean_cfg = scfg;
+  clean_cfg.noise.baseline_wander_mv = 0.0;
+  sig::Rng rng2(9);
+  const auto clean = synthesize_ecg(clean_cfg, rng2);
+
+  const sig::AdcConfig adc;
+  const auto counts = sig::quantize(dirty.leads[0], adc);
+
+  // Morphological.
+  const auto morph = dsp::morphological_filter(counts);
+  // Spline (uses annotated R peaks, as the paper's chain would after QRS
+  // detection).
+  const auto r_peaks = dirty.r_peaks();
+  dsp::SplineBaselineConfig sp_cfg;
+  const auto spline = dsp::estimate_spline_baseline(dirty.leads[0], r_peaks, sp_cfg);
+
+  const auto rms_vs_clean = [&](auto&& corrected_at) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    // Score the interior (both methods have edge transients).
+    for (std::size_t i = 500; i + 500 < clean.num_samples(); ++i) {
+      const double e = corrected_at(i) - clean.leads[0][i];
+      acc += e * e;
+      ++n;
+    }
+    return std::sqrt(acc / static_cast<double>(n));
+  };
+  const double lsb = adc.lsb_mv();
+  const double err_morph = rms_vs_clean([&](std::size_t i) {
+    return static_cast<double>(morph.filtered[i]) * lsb;
+  });
+  const double err_spline = rms_vs_clean(
+      [&](std::size_t i) { return dirty.leads[0][i] - spline.baseline[i]; });
+
+  const energy::McuModel mcu;
+  std::printf("== Ablation: baseline-removal method (0.4 mV wander) ==\n");
+  std::printf("%-16s %16s %16s\n", "method", "residual RMS", "kcycles/record");
+  std::printf("%-16s %13.4f mV %16.0f\n", "morphological", err_morph,
+              static_cast<double>(mcu.cycles(morph.ops)) / 1e3);
+  std::printf("%-16s %13.4f mV %16.0f\n", "cubic spline", err_spline,
+              static_cast<double>(mcu.cycles(spline.ops)) / 1e3);
+  std::printf("(morphology needs no beat positions; the spline needs QRS "
+              "detection first)\n\n");
+
+  // --- (b) EA vs AICF under drift ---
+  const dsp::EnsembleWindow window{40, 40};
+  const std::size_t period = 200;
+  const int beats = 200;
+  const double drift = 0.004;
+  std::vector<double> signal(period * (beats + 1), 0.0);
+  std::vector<std::int64_t> triggers;
+  sig::Rng nrng(4);
+  for (int b = 0; b < beats; ++b) {
+    const std::size_t start = period / 2 + static_cast<std::size_t>(b) * period;
+    const double gain = 1.0 + drift * b;
+    for (std::size_t i = 0; i < 60; ++i) {
+      const double z = (static_cast<double>(i) - 30.0) / 8.0;
+      signal[start + i] += gain * std::exp(-0.5 * z * z);
+    }
+    triggers.push_back(static_cast<std::int64_t>(start + 30));
+  }
+  for (auto& v : signal) v += nrng.normal(0.0, 0.05);
+
+  dsp::EnsembleAverager ea(window);
+  dsp::AdaptiveImpulseCorrelatedFilter aicf(window, 0.15);
+  double ea_err = 0.0;
+  double aicf_err = 0.0;
+  int scored = 0;
+  for (int b = 0; b < beats; ++b) {
+    ea.accumulate(signal, triggers[static_cast<std::size_t>(b)]);
+    const auto est = aicf.process_beat(signal, triggers[static_cast<std::size_t>(b)]);
+    if (b < beats / 2) continue;  // Score the second half (converged).
+    const double truth_peak = 1.0 + drift * b;
+    const auto ea_est = ea.average();
+    ea_err += std::abs(ea_est[window.pre] - truth_peak);
+    aicf_err += std::abs(est[window.pre] - truth_peak);
+    ++scored;
+  }
+  ea_err /= scored;
+  aicf_err /= scored;
+  std::printf("== Ablation: EA vs AICF under 0.4 %%/beat amplitude drift ==\n");
+  std::printf("mean |peak error|: EA %.3f vs AICF %.3f (truth gain ends at %.2f)\n",
+              ea_err, aicf_err, 1.0 + drift * (beats - 1));
+  std::printf("AICF tracks the drifting beat; EA reports the historical mean "
+              "(Section IV-C).\n");
+  return aicf_err < ea_err ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Ablation 3 (DESIGN.md): broadcast instruction-fetch merging.
+//
+// Section IV-B credits the interconnect's merging of identical lockstep
+// fetches for the instruction-memory energy reduction of the multi-core
+// platform.  Compare MC power with and without merging (and against SC)
+// across divergence levels.
+#include <cstdio>
+
+#include "mcsim/power.hpp"
+
+int main() {
+  using namespace wbsn::mcsim;
+
+  KernelProfile profile;
+  profile.name = "synthetic";
+  profile.instructions = 300000;
+  profile.load_fraction = 0.25;
+  profile.store_fraction = 0.10;
+  profile.branch_fraction = 0.08;
+
+  PowerConfig pcfg;
+  std::printf("== Ablation: broadcast fetch merging (3-core MC vs SC) ==\n");
+  std::printf("%-12s %18s %18s %16s\n", "divergence", "reduction w/ [%]",
+              "reduction w/o [%]", "imem w/ / w/o");
+  bool broadcast_wins = true;
+  for (double divergence : {0.0, 0.1, 0.3, 0.6}) {
+    profile.divergence_prob = divergence;
+    MachineConfig with;
+    with.broadcast_fetch = true;
+    MachineConfig without;
+    without.broadcast_fetch = false;
+    const auto cmp_with = compare_sc_mc(profile, 3, with, pcfg, 1);
+    const auto cmp_without = compare_sc_mc(profile, 3, without, pcfg, 1);
+    std::printf("%-12.2f %18.1f %18.1f %10.1f %%\n", divergence,
+                cmp_with.reduction_percent(), cmp_without.reduction_percent(),
+                100.0 * cmp_with.mc.imem_w / cmp_without.mc.imem_w);
+    broadcast_wins =
+        broadcast_wins && cmp_with.reduction_percent() > cmp_without.reduction_percent();
+  }
+  std::printf("\nMerging is load-bearing: without it the MC instruction memory\n"
+              "pays one access per core per cycle and most of the advantage over\n"
+              "the single-core system evaporates.  Higher divergence erodes the\n"
+              "benefit (lockstep is broken more often), as Section IV-B implies.\n");
+  return broadcast_wins ? 0 : 1;
+}

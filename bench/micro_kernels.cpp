@@ -1,0 +1,92 @@
+// google-benchmark micro-benchmarks of the node-side kernels: host-side
+// throughput sanity checks (the energy claims use the OpCount model, not
+// host timings, but regressions here catch algorithmic blow-ups).
+#include <benchmark/benchmark.h>
+
+#include "cls/random_projection.hpp"
+#include "cs/sensing_matrix.hpp"
+#include "dsp/morphology.hpp"
+#include "dsp/sliding_minmax.hpp"
+#include "dsp/wavelet.hpp"
+#include "sig/adc.hpp"
+#include "sig/ecg_synth.hpp"
+
+namespace {
+
+using namespace wbsn;
+
+std::vector<std::int32_t> test_signal(std::size_t n) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 1 + static_cast<int>(n / 200)}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kModerate);
+  sig::Rng rng(1);
+  const auto rec = synthesize_ecg(cfg, rng);
+  auto counts = sig::quantize(rec.leads[0], sig::AdcConfig{});
+  counts.resize(n, 0);
+  return counts;
+}
+
+void BM_SlidingMinMax(benchmark::State& state) {
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::sliding_min(x, 51));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlidingMinMax)->Arg(512)->Arg(4096);
+
+void BM_MorphologicalFilter(benchmark::State& state) {
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::morphological_filter(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MorphologicalFilter)->Arg(512)->Arg(4096);
+
+void BM_SwtSpline(benchmark::State& state) {
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::swt_spline(x, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SwtSpline)->Arg(512)->Arg(4096);
+
+void BM_DwtForward(benchmark::State& state) {
+  const auto counts = test_signal(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> x(counts.begin(), counts.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dwt_forward(x, 5));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DwtForward)->Arg(512)->Arg(4096);
+
+void BM_CsEncode(benchmark::State& state) {
+  const auto x = test_signal(512);
+  sig::Rng rng(2);
+  const auto phi = cs::SensingMatrix::make_sparse_binary(
+      static_cast<std::size_t>(state.range(0)), 512, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phi.encode(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_CsEncode)->Arg(128)->Arg(256);
+
+void BM_RandomProjection(benchmark::State& state) {
+  const auto x = test_signal(180);
+  sig::Rng rng(3);
+  const auto m = cls::PackedTernaryMatrix::make_achlioptas(
+      16, 180, static_cast<double>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.project(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 180);
+}
+BENCHMARK(BM_RandomProjection)->Arg(1)->Arg(3)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

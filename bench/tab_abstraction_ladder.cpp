@@ -1,0 +1,100 @@
+// Figure 1 (conceptual) quantified: bandwidth and energy at each on-node
+// abstraction level, plus projected battery life.
+//
+// The paper's Figure 1 claims that raising the abstraction level of the
+// transmitted data (raw -> compressed -> delineated -> classified ->
+// alarms) lowers the bandwidth and therefore the node energy.  This bench
+// walks a 3-lead record through every operating mode of the integrated
+// node and prints bytes-on-air, the energy split and the battery life a
+// 150 mAh cell would deliver.
+#include <cstdio>
+#include <memory>
+
+#include "cls/af_detect.hpp"
+#include "cls/beat_classifier.hpp"
+#include "core/node.hpp"
+#include "sig/adc.hpp"
+#include "sig/dataset.hpp"
+#include "sig/ecg_synth.hpp"
+
+int main() {
+  using namespace wbsn;
+
+  sig::SynthConfig scfg;
+  scfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 240}};  // ~3.5 minutes.
+  scfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kLow);
+  sig::Rng rng(5);
+  const auto rec = synthesize_ecg(scfg, rng);
+
+  // Train the classifier and AF detector the node will host.
+  auto classifier = std::make_shared<cls::BeatClassifier>();
+  {
+    sig::DatasetSpec spec;
+    spec.num_records = 4;
+    spec.beats_per_record = 120;
+    spec.noise = sig::NoiseLevel::kLow;
+    const auto train = sig::make_arrhythmia_dataset(spec);
+    std::vector<std::vector<std::int32_t>> signals;
+    std::vector<cls::BeatClassifier::TrainingRecord> training;
+    for (const auto& r : train) signals.push_back(sig::quantize(r.leads[0], sig::AdcConfig{}));
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      training.push_back({signals[i], train[i].beats});
+    }
+    classifier->train(training);
+  }
+  auto af_detector = std::make_shared<cls::AfDetector>();
+  {
+    sig::DatasetSpec spec;
+    spec.num_records = 4;
+    spec.beats_per_record = 160;
+    const auto train = sig::make_af_dataset(spec);
+    std::vector<std::vector<sig::BeatAnnotation>> training;
+    for (const auto& r : train) training.push_back(r.beats);
+    af_detector->train(training, 250.0);
+  }
+
+  std::printf("== Abstraction ladder: bandwidth and energy per mode ==\n");
+  std::printf("%-16s %12s %12s %14s %12s\n", "Mode", "bytes/s", "uJ/window",
+              "avg power [uW]", "battery [d]");
+
+  const energy::BatteryModel battery;
+  double prev_bytes = 1e18;
+  bool monotone = true;
+  for (core::OperatingMode mode :
+       {core::OperatingMode::kRawStreaming, core::OperatingMode::kCompressedSingle,
+        core::OperatingMode::kCompressedMulti, core::OperatingMode::kDelineation,
+        core::OperatingMode::kClassification, core::OperatingMode::kAfAlarm}) {
+    core::NodeConfig cfg;
+    cfg.mode = mode;
+    cfg.cs_cr_percent = mode == core::OperatingMode::kCompressedMulti ? 66.0 : 57.0;
+    core::WbsnNode node(cfg);
+    node.set_classifier(classifier);
+    node.set_af_detector(af_detector);
+
+    const std::size_t window = cfg.window_samples;
+    const std::size_t count = rec.num_samples() / window;
+    std::uint64_t bytes = 0;
+    double energy_j = 0.0;
+    for (std::size_t w = 0; w < count; ++w) {
+      std::vector<std::vector<double>> leads;
+      for (const auto& lead : rec.leads) {
+        leads.emplace_back(lead.begin() + static_cast<long>(w * window),
+                           lead.begin() + static_cast<long>((w + 1) * window));
+      }
+      const auto out = node.process_window(leads);
+      bytes += out.tx_payload_bytes;
+      energy_j += out.energy.total_j();
+    }
+    const double seconds = static_cast<double>(count * window) / cfg.fs;
+    const double avg_power = energy_j / seconds;
+    std::printf("%-16s %12.1f %12.1f %14.1f %12.1f\n", to_string(mode).c_str(),
+                static_cast<double>(bytes) / seconds,
+                1e6 * energy_j / static_cast<double>(count), 1e6 * avg_power,
+                battery.lifetime_hours(avg_power) / 24.0);
+    monotone = monotone && static_cast<double>(bytes) <= prev_bytes;
+    prev_bytes = static_cast<double>(bytes);
+  }
+  std::printf("\nEach row transmits at a higher abstraction level than the last;\n"
+              "bandwidth and energy fall while battery life grows (Figure 1).\n");
+  return monotone ? 0 : 1;
+}

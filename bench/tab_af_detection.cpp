@@ -1,0 +1,83 @@
+// Section V text reproduction: embedded atrial-fibrillation detection.
+//
+// Paper's result: the low-complexity fuzzy AF detector reaches 96 %
+// sensitivity and 93 % specificity in real time on the node.  This bench
+// trains the detector on one synthetic cohort and evaluates on a held-out
+// one, with realistic (delineator-produced) P-wave detections.
+#include <cstdio>
+
+#include "cls/af_detect.hpp"
+#include "delin/pipeline.hpp"
+#include "energy/mcu.hpp"
+#include "sig/adc.hpp"
+#include "sig/dataset.hpp"
+
+namespace {
+
+std::vector<wbsn::sig::BeatAnnotation> delineate_with_truth(const wbsn::sig::Record& rec) {
+  using namespace wbsn;
+  const auto leads = sig::quantize_leads(rec.leads, sig::AdcConfig{});
+  delin::PipelineConfig cfg;
+  cfg.fs = rec.fs;
+  auto result = delin::run_delineation_pipeline(leads, cfg);
+  for (auto& det : result.beats) {
+    const sig::BeatAnnotation* nearest = nullptr;
+    std::int64_t best = 1 << 30;
+    for (const auto& truth : rec.beats) {
+      const std::int64_t d = std::abs(truth.r_peak - det.r_peak);
+      if (d < best) {
+        best = d;
+        nearest = &truth;
+      }
+    }
+    if (nearest != nullptr && best < static_cast<std::int64_t>(0.15 * rec.fs)) {
+      det.label = nearest->label;
+    }
+  }
+  return result.beats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wbsn;
+
+  // Training cohort.
+  sig::DatasetSpec train_spec;
+  train_spec.num_records = 10;
+  train_spec.beats_per_record = 160;
+  train_spec.noise = sig::NoiseLevel::kLow;
+  train_spec.seed = 11;
+  const auto train_records = sig::make_af_dataset(train_spec);
+  std::vector<std::vector<sig::BeatAnnotation>> training;
+  for (const auto& rec : train_records) training.push_back(delineate_with_truth(rec));
+
+  cls::AfDetector detector;
+  detector.train(training, 250.0);
+
+  // Held-out evaluation cohort.
+  sig::DatasetSpec eval_spec = train_spec;
+  eval_spec.num_records = 14;
+  eval_spec.seed = 22;
+  const auto eval_records = sig::make_af_dataset(eval_spec);
+
+  cls::AfReport report;
+  dsp::OpCount ops;
+  double seconds = 0.0;
+  for (const auto& rec : eval_records) {
+    const auto beats = delineate_with_truth(rec);
+    for (const auto& w : detector.detect(beats, rec.fs, &ops)) report.add(w);
+    seconds += rec.duration_s();
+  }
+
+  std::printf("== AF detection (paper: 96 %% sensitivity, 93 %% specificity) ==\n");
+  std::printf("windows: %d AF / %d non-AF\n", report.tp + report.fn,
+              report.tn + report.fp);
+  std::printf("sensitivity : %.1f %%\n", 100.0 * report.sensitivity());
+  std::printf("specificity : %.1f %%\n", 100.0 * report.specificity());
+
+  const energy::McuModel mcu;
+  std::printf("detector duty cycle at %.0f MHz: %.4f %% (real-time with huge margin)\n",
+              mcu.f_hz / 1e6, 100.0 * mcu.duty_cycle(ops, seconds));
+  return (report.sensitivity() > 0.9 && report.specificity() > 0.9) ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Section V text reproduction: embedded delineation accuracy and cost.
+//
+// Paper's result: "sensitivity and specificity of retrieved fiducial
+// points are above 90 % in all cases ... 7 % of the duty cycle and 7.2 kB
+// of memory".  This bench evaluates both delineators over a dataset of
+// clean and noisy records, then prices the wavelet delineator's measured
+// op counts on the MCU model to report the duty cycle, and tallies its
+// working-set memory.
+#include <cstdio>
+
+#include "delin/eval.hpp"
+#include "delin/pipeline.hpp"
+#include "energy/mcu.hpp"
+#include "sig/adc.hpp"
+#include "sig/dataset.hpp"
+
+int main() {
+  using namespace wbsn;
+
+  sig::DatasetSpec spec;
+  spec.num_records = 10;
+  spec.beats_per_record = 80;
+  spec.noise = sig::NoiseLevel::kLow;
+  // Rate range of the QT-database-style cohorts the original delineators
+  // were scored on; above ~85 bpm the P wave fuses with the preceding T
+  // and every delineator's P accuracy drops.
+  spec.max_hr_bpm = 80.0;
+  const auto records = sig::make_sinus_dataset(spec);
+
+  bool all_above_90 = true;
+  for (auto which : {delin::Delineator::kMorphological, delin::Delineator::kWavelet}) {
+    delin::DelineationScore total;
+    dsp::OpCount total_ops;
+    double total_seconds = 0.0;
+    for (const auto& rec : records) {
+      const auto leads = sig::quantize_leads(rec.leads, sig::AdcConfig{});
+      delin::PipelineConfig cfg;
+      cfg.fs = rec.fs;
+      cfg.delineator = which;
+      const auto result = delin::run_delineation_pipeline(leads, cfg);
+      total += delin::evaluate_delineation(rec.beats, result.beats,
+                                           delin::EvalConfig{.fs = rec.fs});
+      total_ops += result.total_ops();
+      total_seconds += rec.duration_s();
+    }
+
+    std::printf("== Delineator: %s ==\n",
+                which == delin::Delineator::kMorphological ? "morphological (MMD)"
+                                                           : "wavelet (SWT)");
+    std::printf("%-12s %6s %6s %6s %8s %8s %10s\n", "Point", "TP", "FN", "FP", "Se[%]",
+                "P+[%]", "RMS err");
+    for (std::size_t k = 0; k < delin::kNumFiducialKinds; ++k) {
+      const auto kind = static_cast<delin::FiducialKind>(k);
+      const auto& p = total.at(kind);
+      std::printf("%-12s %6d %6d %6d %8.1f %8.1f %7.1f ms\n", to_string(kind).c_str(),
+                  p.tp, p.fn, p.fp, 100.0 * p.sensitivity(),
+                  100.0 * p.positive_predictivity(), p.rms_error_ms());
+      all_above_90 = all_above_90 && p.sensitivity() > 0.9 &&
+                     p.positive_predictivity() > 0.9;
+    }
+
+    // Duty cycle on the MCU model (paper: 7 %).
+    const energy::McuModel mcu;  // 8 MHz nominal.
+    const double duty = mcu.duty_cycle(total_ops, total_seconds);
+    std::printf("worst-case Se %.1f %%, P+ %.1f %% | duty cycle at %.0f MHz: %.1f %%\n\n",
+                100.0 * total.worst_sensitivity(),
+                100.0 * total.worst_positive_predictivity(), mcu.f_hz / 1e6,
+                100.0 * duty);
+  }
+
+  // Working-set memory of the embedded (streaming) wavelet delineator:
+  // 4 detail scales + approximation over a 512-sample window, int16 on the
+  // node, plus detector state (paper: 7.2 kB).
+  const std::size_t window = 512;
+  const std::size_t bytes = (4 + 1) * window * 2 + 512;
+  std::printf("estimated working-set memory (streaming wavelet delineator): %.1f kB "
+              "(paper: 7.2 kB)\n",
+              static_cast<double>(bytes) / 1024.0);
+  return all_above_90 ? 0 : 1;
+}

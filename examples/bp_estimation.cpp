@@ -1,0 +1,76 @@
+// Cuffless blood-pressure trending (Section IV-C): ECG + PPG -> per-beat
+// pulse arrival time -> calibrated MAP estimate, tracking an exercise
+// pressure excursion.
+//
+//   $ ./examples/bp_estimation
+#include <cmath>
+#include <cstdio>
+
+#include "core/pat.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/ppg.hpp"
+
+int main() {
+  using namespace wbsn;
+
+  // Subject: resting at MAP 90 mmHg with a +25 mmHg excursion (e.g. stair
+  // climb) from t = 60 s to t = 120 s.
+  sig::BpTrajectory bp;
+  bp.baseline_mmhg = 90.0;
+  bp.excursion_mmhg = 25.0;
+  bp.excursion_t0_s = 60.0;
+  bp.excursion_len_s = 60.0;
+
+  sig::SynthConfig synth;
+  synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, 220}};
+  synth.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+  sig::Rng rng(3);
+  const auto ecg = synthesize_ecg(synth, rng);
+  sig::PpgConfig ppg_cfg;
+  ppg_cfg.noise_rms = 0.01;
+  const auto ppg = synthesize_ppg(ecg, ppg_cfg, bp, rng);
+
+  // Per-beat pulse arrival times.
+  const auto series = core::compute_pat(ppg.samples, ecg.r_peaks());
+  std::printf("measured PAT on %zu of %zu beats\n", series.pat_s.size(),
+              ecg.beats.size());
+
+  // Calibration: the first 30 beats against "cuff" readings (ground truth).
+  std::vector<double> cal_pat;
+  std::vector<double> cal_map;
+  for (std::size_t k = 0; k < 30 && k < series.pat_s.size(); ++k) {
+    cal_pat.push_back(series.pat_s[k]);
+    cal_map.push_back(ppg.truth.map_mmhg[series.beat_index[k]]);
+  }
+  core::BpEstimator estimator;
+  estimator.calibrate(cal_pat, cal_map);
+  std::printf("calibrated: MAP = %.1f + %.3f / PAT\n", estimator.coeff_a(),
+              estimator.coeff_b());
+
+  // Trend: 10-second bins of estimated vs true MAP.
+  std::printf("\n%-10s %12s %12s %10s\n", "t [s]", "est. MAP", "true MAP", "error");
+  double max_err = 0.0;
+  for (double t0 = 0.0; t0 + 10.0 < ecg.duration_s(); t0 += 20.0) {
+    double est_acc = 0.0;
+    double true_acc = 0.0;
+    int n = 0;
+    for (std::size_t k = 0; k < series.pat_s.size(); ++k) {
+      const double tb =
+          static_cast<double>(ecg.beats[series.beat_index[k]].r_peak) / ecg.fs;
+      if (tb < t0 || tb >= t0 + 10.0) continue;
+      est_acc += estimator.estimate_map(series.pat_s[k]);
+      true_acc += ppg.truth.map_mmhg[series.beat_index[k]];
+      ++n;
+    }
+    if (n == 0) continue;
+    const double est = est_acc / n;
+    const double truth = true_acc / n;
+    max_err = std::max(max_err, std::abs(est - truth));
+    std::printf("%-10.0f %9.1f mmHg %9.1f mmHg %7.1f mmHg\n", t0, est, truth,
+                est - truth);
+  }
+  std::printf("\nworst 10 s-bin error: %.1f mmHg — the excursion is clearly tracked\n"
+              "without any cuff after the initial calibration (Gesche 2012 style).\n",
+              max_err);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Sleep monitoring scenario (Section II: behavioural information from
+// beat-to-beat intervals; the abstract's "sleep state of airline pilots").
+// Simulates a night fragment with changing autonomic state and prints the
+// per-epoch HRV summary and staging.
+//
+//   $ ./examples/sleep_monitoring
+#include <cstdio>
+
+#include "core/apps.hpp"
+#include "sig/ecg_synth.hpp"
+
+int main() {
+  using namespace wbsn;
+
+  // Simulate ~24 minutes: wake -> light -> deep -> light (rate and
+  // autonomic balance change per phase).
+  struct Phase {
+    double hr;
+    double rsa;    // HF (vagal) modulation depth.
+    double mayer;  // LF (sympathetic) modulation depth.
+    int beats;
+  };
+  const Phase phases[] = {
+      {76.0, 0.015, 0.035, 420},  // Wake: fast, LF-dominant.
+      {64.0, 0.030, 0.030, 380},  // Light sleep.
+      {56.0, 0.060, 0.006, 340},  // Deep sleep: slow, HF-dominant.
+      {63.0, 0.030, 0.028, 380},  // Back to light.
+  };
+
+  std::vector<sig::BeatAnnotation> beats;
+  double t = 1.0;
+  sig::Rng rng(11);
+  for (const auto& phase : phases) {
+    sig::SinusRhythmParams p;
+    p.mean_hr_bpm = phase.hr;
+    p.rsa_depth = phase.rsa;
+    p.mayer_depth = phase.mayer;
+    const auto rr = generate_sinus_rr(p, phase.beats, rng);
+    for (double interval : rr) {
+      t += interval;
+      sig::BeatAnnotation b;
+      b.r_peak = static_cast<std::int64_t>(t * sig::kDefaultFs);
+      b.qrs = {b.r_peak - 10, b.r_peak, b.r_peak + 10};
+      beats.push_back(b);
+    }
+  }
+
+  const auto epochs = core::analyze_sleep(beats, sig::kDefaultFs);
+  std::printf("== Sleep monitor: %zu epochs over %.1f minutes ==\n", epochs.size(),
+              t / 60.0);
+  std::printf("%-8s %8s %8s %8s %8s %8s\n", "t [min]", "HR", "SDNN", "RMSSD", "LF/HF",
+              "stage");
+  for (const auto& epoch : epochs) {
+    std::printf("%-8.1f %8.1f %8.1f %8.1f %8.2f %8s\n", epoch.start_s / 60.0,
+                epoch.time_domain.mean_hr_bpm, epoch.time_domain.sdnn_ms,
+                epoch.time_domain.rmssd_ms, epoch.frequency_domain.lf_hf_ratio,
+                to_string(epoch.stage).c_str());
+  }
+  std::printf("\nOnly beat-to-beat intervals leave the node in this mode — a few\n"
+              "bytes per epoch instead of a continuous sample stream (Figure 1).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cls/af_detect.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wbsn::cls {
+
+AfFeatures compute_af_features(std::span<const sig::BeatAnnotation> beats, double fs,
+                               int entropy_bins, dsp::OpCount* ops) {
+  AfFeatures features;
+  if (beats.size() < 3) return features;
+
+  // RR series and successive differences.
+  std::vector<double> rr;
+  rr.reserve(beats.size() - 1);
+  for (std::size_t i = 1; i < beats.size(); ++i) {
+    rr.push_back(static_cast<double>(beats[i].r_peak - beats[i - 1].r_peak) / fs);
+  }
+  double mean_rr = 0.0;
+  for (double v : rr) mean_rr += v;
+  mean_rr /= static_cast<double>(rr.size());
+
+  double sum_sq = 0.0;
+  std::vector<double> rel_diff;
+  rel_diff.reserve(rr.size() - 1);
+  for (std::size_t i = 1; i < rr.size(); ++i) {
+    const double d = rr[i] - rr[i - 1];
+    sum_sq += d * d;
+    rel_diff.push_back(std::abs(d) / mean_rr);
+  }
+  features.normalized_rmssd =
+      std::sqrt(sum_sq / static_cast<double>(rr.size() - 1)) / mean_rr;
+
+  // Shannon entropy of the relative |dRR| histogram over [0, 0.5].
+  std::vector<int> hist(static_cast<std::size_t>(entropy_bins), 0);
+  for (double d : rel_diff) {
+    const auto bin = std::min<std::size_t>(
+        static_cast<std::size_t>(entropy_bins) - 1,
+        static_cast<std::size_t>(d / 0.5 * entropy_bins));
+    ++hist[bin];
+  }
+  double entropy = 0.0;
+  for (int count : hist) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(rel_diff.size());
+    entropy -= p * std::log2(p);
+  }
+  features.rr_entropy = entropy;
+
+  int with_p = 0;
+  for (const auto& beat : beats) with_p += beat.p.valid();
+  features.p_wave_rate = static_cast<double>(with_p) / static_cast<double>(beats.size());
+
+  if (ops != nullptr) {
+    // Node-side arithmetic: the RR statistics are adds/multiplies over the
+    // window; the entropy uses a small log2 lookup table per non-empty bin.
+    const auto n = static_cast<std::uint64_t>(beats.size());
+    ops->add += 6 * n;
+    ops->mul += 2 * n;
+    ops->div += 4;
+    ops->load += 4 * n;
+    ops->store += n / 4 + 4;
+    ops->cmp += n;
+  }
+  return features;
+}
+
+AfDetector::AfDetector(AfDetectorConfig cfg) : cfg_(cfg), fuzzy_(cfg.fuzzy) {}
+
+namespace {
+
+bool majority_af(std::span<const sig::BeatAnnotation> beats) {
+  std::size_t af = 0;
+  for (const auto& b : beats) af += b.label == sig::BeatClass::kAfib;
+  return 2 * af > beats.size();
+}
+
+}  // namespace
+
+void AfDetector::train(std::span<const std::vector<sig::BeatAnnotation>> records,
+                       double fs) {
+  std::vector<Sample> samples;
+  for (const auto& beats : records) {
+    for (std::size_t start = 0;
+         start + static_cast<std::size_t>(cfg_.window_beats) <= beats.size();
+         start += static_cast<std::size_t>(cfg_.window_stride)) {
+      const auto window = std::span<const sig::BeatAnnotation>(
+          beats.data() + start, static_cast<std::size_t>(cfg_.window_beats));
+      const auto features = compute_af_features(window, fs, cfg_.entropy_bins);
+      samples.push_back({features.as_vector(), majority_af(window) ? 1 : 0});
+    }
+  }
+  assert(!samples.empty());
+  fuzzy_.train(samples, 2);
+}
+
+std::vector<AfWindow> AfDetector::detect(std::span<const sig::BeatAnnotation> beats,
+                                         double fs, dsp::OpCount* ops) const {
+  std::vector<AfWindow> windows;
+  for (std::size_t start = 0;
+       start + static_cast<std::size_t>(cfg_.window_beats) <= beats.size();
+       start += static_cast<std::size_t>(cfg_.window_stride)) {
+    AfWindow w;
+    w.first_beat = start;
+    w.last_beat = start + static_cast<std::size_t>(cfg_.window_beats);
+    const auto window = beats.subspan(start, static_cast<std::size_t>(cfg_.window_beats));
+    w.features = compute_af_features(window, fs, cfg_.entropy_bins, ops);
+    const auto vec = w.features.as_vector();
+    w.decided_af = (ops != nullptr ? fuzzy_.classify_linearized(vec, ops)
+                                   : fuzzy_.classify(vec)) == 1;
+    w.truth_af = majority_af(window);
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+}  // namespace wbsn::cls

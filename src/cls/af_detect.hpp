@@ -1,0 +1,94 @@
+// Automated real-time atrial-fibrillation detection (Rincón et al., EMBC
+// 2012 — the application whose 96 % sensitivity / 93 % specificity the
+// paper's Section V reports).
+//
+// AF shows two signatures the node can compute cheaply from delineation
+// output: (1) an "irregularly irregular" ventricular response — high
+// normalized beat-to-beat RR variability with no serial structure — and
+// (2) absent P waves (replaced by fibrillatory activity).  The detector
+// slides a window of beats, derives three features (normalized RMSSD,
+// Shannon entropy of the RR-difference distribution, P-wave presence
+// rate), and fuses them with a small fuzzy inference stage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cls/fuzzy.hpp"
+#include "dsp/opcount.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::cls {
+
+struct AfDetectorConfig {
+  int window_beats = 24;        ///< Beats per decision window.
+  int window_stride = 8;        ///< Beats between successive decisions.
+  int entropy_bins = 8;
+  FuzzyConfig fuzzy{};
+};
+
+/// Window-level features.
+struct AfFeatures {
+  double normalized_rmssd = 0.0;  ///< RMSSD of RR / mean RR.
+  double rr_entropy = 0.0;        ///< Shannon entropy of |dRR| histogram, bits.
+  double p_wave_rate = 0.0;       ///< Fraction of beats with a detected P.
+
+  std::vector<double> as_vector() const {
+    return {normalized_rmssd, rr_entropy, p_wave_rate};
+  }
+};
+
+/// One decision window.
+struct AfWindow {
+  std::size_t first_beat = 0;  ///< Index of the window's first beat.
+  std::size_t last_beat = 0;   ///< One past the window's last beat.
+  AfFeatures features;
+  bool decided_af = false;
+  bool truth_af = false;       ///< Majority truth label (for evaluation).
+};
+
+/// Computes the window features from delineated beats (fs for RR seconds).
+AfFeatures compute_af_features(std::span<const sig::BeatAnnotation> beats, double fs,
+                               int entropy_bins, dsp::OpCount* ops = nullptr);
+
+class AfDetector {
+ public:
+  explicit AfDetector(AfDetectorConfig cfg = {});
+
+  /// Trains the fuzzy fusion stage on annotated records: each record is a
+  /// delineated beat sequence whose truth labels mark AF beats.
+  void train(std::span<const std::vector<sig::BeatAnnotation>> records, double fs);
+
+  /// Runs windowed detection over one delineated record.
+  std::vector<AfWindow> detect(std::span<const sig::BeatAnnotation> beats, double fs,
+                               dsp::OpCount* ops = nullptr) const;
+
+  const FuzzyClassifier& fuzzy() const { return fuzzy_; }
+  const AfDetectorConfig& config() const { return cfg_; }
+
+ private:
+  AfDetectorConfig cfg_;
+  FuzzyClassifier fuzzy_;
+};
+
+/// Sensitivity / specificity over a set of evaluated windows.
+struct AfReport {
+  int tp = 0;
+  int fn = 0;
+  int tn = 0;
+  int fp = 0;
+
+  double sensitivity() const { return tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 1.0; }
+  double specificity() const { return tn + fp > 0 ? static_cast<double>(tn) / (tn + fp) : 1.0; }
+
+  void add(const AfWindow& w) {
+    if (w.truth_af) {
+      w.decided_af ? ++tp : ++fn;
+    } else {
+      w.decided_af ? ++fp : ++tn;
+    }
+  }
+};
+
+}  // namespace wbsn::cls

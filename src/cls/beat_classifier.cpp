@@ -1,0 +1,148 @@
+#include "cls/beat_classifier.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wbsn::cls {
+
+BeatLabel to_beat_label(sig::BeatClass c) {
+  switch (c) {
+    case sig::BeatClass::kPvc: return BeatLabel::kVentricular;
+    case sig::BeatClass::kApc: return BeatLabel::kSupraventricular;
+    case sig::BeatClass::kNormal:
+    case sig::BeatClass::kAfib: break;
+  }
+  return BeatLabel::kNormal;
+}
+
+namespace {
+
+sig::Rng make_projection_rng(std::uint64_t seed) { return sig::Rng(seed); }
+
+}  // namespace
+
+BeatClassifier::BeatClassifier(BeatClassifierConfig cfg)
+    : cfg_(cfg),
+      projection_([&] {
+        sig::Rng rng = make_projection_rng(cfg.projection_seed);
+        return PackedTernaryMatrix::make_achlioptas(cfg.projected_dims, cfg.window_samples(),
+                                                    cfg.achlioptas_s, rng);
+      }()),
+      fuzzy_(cfg.fuzzy) {}
+
+std::vector<double> BeatClassifier::extract_features(std::span<const std::int32_t> x,
+                                                     std::int64_t r_peak, double rr_prev_s,
+                                                     double rr_next_s, double rr_mean_s,
+                                                     dsp::OpCount* ops) const {
+  const auto pre = static_cast<std::int64_t>(cfg_.window_pre_s * cfg_.fs);
+  const auto len = static_cast<std::int64_t>(cfg_.window_samples());
+  const std::int64_t begin = r_peak - pre;
+  if (begin < 0 || begin + len > static_cast<std::int64_t>(x.size())) return {};
+
+  const auto projected = projection_.project(
+      x.subspan(static_cast<std::size_t>(begin), static_cast<std::size_t>(len)), ops);
+
+  std::vector<double> features;
+  features.reserve(projected.size() + 2);
+  for (std::int32_t v : projected) {
+    features.push_back(static_cast<double>(v) * feature_scale_);
+  }
+  // Rhythm features: prematurity and compensation, dimensionless.  On the
+  // node these are Q12 ratios computed with one divide each.
+  const double mean = std::max(rr_mean_s, 0.3);
+  features.push_back(rr_prev_s / mean);
+  features.push_back(rr_next_s / mean);
+  if (ops != nullptr) {
+    ops->div += 2;
+    ops->mul += static_cast<std::uint64_t>(projected.size());
+    ops->store += static_cast<std::uint64_t>(features.size());
+  }
+  return features;
+}
+
+void BeatClassifier::train(std::span<const TrainingRecord> records) {
+  // First pass: scale estimation so projected features land in O(1) range
+  // (keeps the fuzzy sigmas and the Q12 z-values well conditioned).
+  double max_abs = 1.0;
+  feature_scale_ = 1.0;
+  std::vector<Sample> samples;
+  for (const auto& record : records) {
+    const auto rr_of = [&](std::size_t i, std::size_t j) {
+      return static_cast<double>(record.beats[j].r_peak - record.beats[i].r_peak) / cfg_.fs;
+    };
+    double rr_mean = 0.8;
+    for (std::size_t b = 1; b + 1 < record.beats.size(); ++b) {
+      const double rr_prev = rr_of(b - 1, b);
+      const double rr_next = rr_of(b, b + 1);
+      rr_mean += 0.125 * (rr_prev - rr_mean);
+      auto features = extract_features(record.signal, record.beats[b].r_peak, rr_prev,
+                                       rr_next, rr_mean);
+      if (features.empty()) continue;
+      for (std::size_t f = 0; f + 2 < features.size(); ++f) {
+        max_abs = std::max(max_abs, std::abs(features[f]));
+      }
+      samples.push_back(
+          {std::move(features), static_cast<int>(to_beat_label(record.beats[b].label))});
+    }
+  }
+  // Rescale the morphology features in the collected samples.
+  feature_scale_ = 1.0 / max_abs;
+  for (auto& s : samples) {
+    for (std::size_t f = 0; f + 2 < s.features.size(); ++f) s.features[f] *= feature_scale_;
+  }
+  fuzzy_.train(samples, 3);
+}
+
+BeatLabel BeatClassifier::classify(std::span<const std::int32_t> x, std::int64_t r_peak,
+                                   double rr_prev_s, double rr_next_s,
+                                   double rr_mean_s) const {
+  const auto features = extract_features(x, r_peak, rr_prev_s, rr_next_s, rr_mean_s);
+  if (features.empty()) return BeatLabel::kNormal;
+  return static_cast<BeatLabel>(fuzzy_.classify(features));
+}
+
+BeatLabel BeatClassifier::classify_linearized(std::span<const std::int32_t> x,
+                                              std::int64_t r_peak, double rr_prev_s,
+                                              double rr_next_s, double rr_mean_s,
+                                              dsp::OpCount* ops) const {
+  const auto features = extract_features(x, r_peak, rr_prev_s, rr_next_s, rr_mean_s, ops);
+  if (features.empty()) return BeatLabel::kNormal;
+  return static_cast<BeatLabel>(fuzzy_.classify_linearized(features, ops));
+}
+
+double ClassificationReport::accuracy() const {
+  int correct = 0;
+  int total = 0;
+  for (std::size_t t = 0; t < confusion.size(); ++t) {
+    for (std::size_t p = 0; p < confusion[t].size(); ++p) {
+      total += confusion[t][p];
+      if (t == p) correct += confusion[t][p];
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+double ClassificationReport::sensitivity(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  int tp = confusion[c][c];
+  int total = 0;
+  for (int v : confusion[c]) total += v;
+  return total > 0 ? static_cast<double>(tp) / total : 1.0;
+}
+
+double ClassificationReport::specificity(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  int tn = 0;
+  int negatives = 0;
+  for (std::size_t t = 0; t < confusion.size(); ++t) {
+    if (t == c) continue;
+    for (std::size_t p = 0; p < confusion[t].size(); ++p) {
+      negatives += confusion[t][p];
+      if (p != c) tn += confusion[t][p];
+    }
+  }
+  return negatives > 0 ? static_cast<double>(tn) / negatives : 1.0;
+}
+
+}  // namespace wbsn::cls

@@ -1,0 +1,89 @@
+// Embedded heartbeat classification: random projections + fuzzy network
+// (Braojos et al., DATE 2013 — the RP-CLASS kernel of Figure 7).
+//
+// Each detected beat is represented by the random projection of a fixed
+// window around its R peak (morphology) concatenated with two rhythm
+// features (the preceding and following RR intervals, normalized by the
+// running mean RR).  A fuzzy classifier trained per class (normal / PVC /
+// APC) labels the beat.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cls/fuzzy.hpp"
+#include "cls/random_projection.hpp"
+#include "dsp/opcount.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::cls {
+
+struct BeatClassifierConfig {
+  double fs = 250.0;
+  double window_pre_s = 0.25;   ///< Morphology window before R.
+  double window_post_s = 0.45;  ///< ... and after.
+  std::size_t projected_dims = 16;
+  double achlioptas_s = 3.0;    ///< Projection sparsity parameter.
+  std::uint64_t projection_seed = 0xC1A55;
+  FuzzyConfig fuzzy{};
+
+  std::size_t window_samples() const {
+    return static_cast<std::size_t>((window_pre_s + window_post_s) * fs);
+  }
+};
+
+/// The three beat classes the classifier distinguishes, mapping
+/// sig::BeatClass down to AAMI-style N / V / S (AF beats conduct normally,
+/// so they classify as N; AF detection is rhythm-level, not beat-level).
+enum class BeatLabel : int { kNormal = 0, kVentricular = 1, kSupraventricular = 2 };
+
+BeatLabel to_beat_label(sig::BeatClass c);
+
+class BeatClassifier {
+ public:
+  explicit BeatClassifier(BeatClassifierConfig cfg = {});
+
+  /// Extracts the feature vector of the beat at `r_peak` (projection of
+  /// the window plus rhythm features).  Returns empty if the window falls
+  /// off the record edges.
+  std::vector<double> extract_features(std::span<const std::int32_t> x, std::int64_t r_peak,
+                                       double rr_prev_s, double rr_next_s, double rr_mean_s,
+                                       dsp::OpCount* ops = nullptr) const;
+
+  /// Trains on annotated integer records (one signal + truth beats each).
+  struct TrainingRecord {
+    std::span<const std::int32_t> signal;
+    std::span<const sig::BeatAnnotation> beats;
+  };
+  void train(std::span<const TrainingRecord> records);
+
+  /// Classifies one beat (exact evaluator).
+  BeatLabel classify(std::span<const std::int32_t> x, std::int64_t r_peak, double rr_prev_s,
+                     double rr_next_s, double rr_mean_s) const;
+
+  /// Classifies with the node-side linearized evaluator, tallying ops.
+  BeatLabel classify_linearized(std::span<const std::int32_t> x, std::int64_t r_peak,
+                                double rr_prev_s, double rr_next_s, double rr_mean_s,
+                                dsp::OpCount* ops = nullptr) const;
+
+  const FuzzyClassifier& fuzzy() const { return fuzzy_; }
+  const PackedTernaryMatrix& projection() const { return projection_; }
+  const BeatClassifierConfig& config() const { return cfg_; }
+
+ private:
+  BeatClassifierConfig cfg_;
+  PackedTernaryMatrix projection_;
+  FuzzyClassifier fuzzy_;
+  double feature_scale_ = 1.0;  ///< Normalizer for projected features.
+};
+
+/// Per-class and aggregate accuracy of a classifier on labeled beats.
+struct ClassificationReport {
+  std::vector<std::vector<int>> confusion;  ///< [truth][predicted].
+  double accuracy() const;
+  double sensitivity(int cls) const;   ///< Recall of class `cls`.
+  double specificity(int cls) const;   ///< True-negative rate of `cls`.
+};
+
+}  // namespace wbsn::cls

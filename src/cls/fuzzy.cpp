@@ -1,0 +1,104 @@
+#include "cls/fuzzy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wbsn::cls {
+
+FuzzyClassifier::FuzzyClassifier(FuzzyConfig cfg)
+    : cfg_(cfg), approx_(cfg.linear_segments) {}
+
+void FuzzyClassifier::train(std::span<const Sample> samples, int num_classes) {
+  assert(!samples.empty());
+  const auto num_features = samples[0].features.size();
+  mu_.assign(static_cast<std::size_t>(num_classes), std::vector<double>(num_features, 0.0));
+  sigma_.assign(static_cast<std::size_t>(num_classes),
+                std::vector<double>(num_features, cfg_.sigma_floor));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes), 0);
+
+  for (const auto& s : samples) {
+    assert(s.features.size() == num_features);
+    assert(s.label >= 0 && s.label < num_classes);
+    const auto cls = static_cast<std::size_t>(s.label);
+    ++counts[cls];
+    for (std::size_t f = 0; f < num_features; ++f) mu_[cls][f] += s.features[f];
+  }
+  for (std::size_t c = 0; c < mu_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (auto& m : mu_[c]) m /= static_cast<double>(counts[c]);
+  }
+  // Second pass: variances.
+  std::vector<std::vector<double>> var(mu_.size(), std::vector<double>(num_features, 0.0));
+  for (const auto& s : samples) {
+    const auto cls = static_cast<std::size_t>(s.label);
+    for (std::size_t f = 0; f < num_features; ++f) {
+      const double d = s.features[f] - mu_[cls][f];
+      var[cls][f] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < mu_.size(); ++c) {
+    if (counts[c] < 2) continue;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      sigma_[c][f] =
+          std::max(cfg_.sigma_floor, std::sqrt(var[c][f] / static_cast<double>(counts[c] - 1)));
+    }
+  }
+}
+
+double FuzzyClassifier::membership_of(std::span<const double> features, int cls,
+                                      bool linearized, dsp::OpCount* ops) const {
+  const auto& mu = mu_[static_cast<std::size_t>(cls)];
+  const auto& sigma = sigma_[static_cast<std::size_t>(cls)];
+  double acc = cfg_.tnorm == TNorm::kProduct ? 1.0 : 2.0;
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    const double z = (features[f] - mu[f]) / sigma[f];
+    const double g = linearized ? approx_.value(z) : dsp::PiecewiseGauss::exact(z);
+    if (ops != nullptr) {
+      // Node cost per feature: subtract, divide (or reciprocal-multiply),
+      // table lookup with one multiply-add, one compare for the t-norm.
+      ops->add += 2;
+      ops->div += 1;
+      ops->mul += 1;
+      ops->cmp += 1;
+      ops->load += 3;
+    }
+    if (cfg_.tnorm == TNorm::kProduct) {
+      acc *= g;
+    } else {
+      acc = std::min(acc, g);
+    }
+  }
+  return acc;
+}
+
+std::vector<double> FuzzyClassifier::memberships(std::span<const double> features) const {
+  std::vector<double> out(static_cast<std::size_t>(num_classes()), 0.0);
+  for (int c = 0; c < num_classes(); ++c) {
+    out[static_cast<std::size_t>(c)] = membership_of(features, c, false, nullptr);
+  }
+  return out;
+}
+
+int FuzzyClassifier::classify(std::span<const double> features) const {
+  const auto scores = memberships(features);
+  return static_cast<int>(
+      std::distance(scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+int FuzzyClassifier::classify_linearized(std::span<const double> features,
+                                         dsp::OpCount* ops) const {
+  int best = 0;
+  double best_score = -1.0;
+  for (int c = 0; c < num_classes(); ++c) {
+    const double score = membership_of(features, c, true, ops);
+    if (ops != nullptr) ops->cmp += 1;
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace wbsn::cls

@@ -1,0 +1,80 @@
+// Gaussian-membership fuzzy classifier with an MCU-friendly linearized
+// variant.
+//
+// The classification back-end of Sections III-D and IV-A: each class is
+// described by one Gaussian membership function per feature
+// (g(z) = exp(-z^2/2), z = (x - mu)/sigma); a beat's membership in a class
+// combines the per-feature memberships with a t-norm, and the class with
+// the highest membership wins.  Training is simple per-class moment
+// estimation, which is what makes the scheme portable to the node: the
+// model is just a (mu, sigma) table.  The linearized evaluator replaces
+// exp() with the four-segment chord approximation of dsp/gauss_approx.hpp
+// and runs entirely in integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/gauss_approx.hpp"
+#include "dsp/opcount.hpp"
+
+namespace wbsn::cls {
+
+/// Feature-combination rule.
+enum class TNorm {
+  kProduct,  ///< Product of memberships (probabilistic AND).
+  kMinimum,  ///< Minimum membership (Goedel AND; underflow-free).
+};
+
+/// One labeled training/evaluation sample.
+struct Sample {
+  std::vector<double> features;
+  int label = 0;
+};
+
+struct FuzzyConfig {
+  TNorm tnorm = TNorm::kProduct;
+  double sigma_floor = 1e-3;   ///< Lower bound on learned sigmas.
+  int linear_segments = 4;     ///< Segments for the linearized evaluator.
+};
+
+class FuzzyClassifier {
+ public:
+  explicit FuzzyClassifier(FuzzyConfig cfg = {});
+
+  /// Estimates per-class (mu, sigma) tables from labeled samples.
+  void train(std::span<const Sample> samples, int num_classes);
+
+  /// Exact evaluation (double, exp()).
+  int classify(std::span<const double> features) const;
+
+  /// Per-class membership scores, exact.
+  std::vector<double> memberships(std::span<const double> features) const;
+
+  /// Linearized evaluation: Gaussian replaced by the K-segment chord
+  /// (Section IV-A's "close-to-optimal" node implementation).  Reports the
+  /// abstract operation mix when `ops` is given.
+  int classify_linearized(std::span<const double> features,
+                          dsp::OpCount* ops = nullptr) const;
+
+  int num_classes() const { return static_cast<int>(mu_.size()); }
+  int num_features() const {
+    return mu_.empty() ? 0 : static_cast<int>(mu_[0].size());
+  }
+
+  /// Learned model access (for inspection / serialization).
+  double mu(int cls, int feature) const { return mu_[cls][feature]; }
+  double sigma(int cls, int feature) const { return sigma_[cls][feature]; }
+
+ private:
+  double membership_of(std::span<const double> features, int cls, bool linearized,
+                       dsp::OpCount* ops) const;
+
+  FuzzyConfig cfg_;
+  dsp::PiecewiseGauss approx_;
+  std::vector<std::vector<double>> mu_;     ///< [class][feature].
+  std::vector<std::vector<double>> sigma_;  ///< [class][feature].
+};
+
+}  // namespace wbsn::cls

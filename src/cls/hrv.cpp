@@ -1,0 +1,92 @@
+#include "cls/hrv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace wbsn::cls {
+
+HrvTimeDomain compute_time_domain(std::span<const double> rr_s) {
+  HrvTimeDomain out;
+  if (rr_s.size() < 2) return out;
+  double mean = 0.0;
+  for (double v : rr_s) mean += v;
+  mean /= static_cast<double>(rr_s.size());
+  out.mean_rr_s = mean;
+  out.mean_hr_bpm = 60.0 / mean;
+
+  double var = 0.0;
+  for (double v : rr_s) var += (v - mean) * (v - mean);
+  out.sdnn_ms = std::sqrt(var / static_cast<double>(rr_s.size() - 1)) * 1000.0;
+
+  double sum_sq_diff = 0.0;
+  int over50 = 0;
+  for (std::size_t i = 1; i < rr_s.size(); ++i) {
+    const double d = rr_s[i] - rr_s[i - 1];
+    sum_sq_diff += d * d;
+    over50 += std::abs(d) > 0.050;
+  }
+  out.rmssd_ms = std::sqrt(sum_sq_diff / static_cast<double>(rr_s.size() - 1)) * 1000.0;
+  out.pnn50 = static_cast<double>(over50) / static_cast<double>(rr_s.size() - 1);
+  return out;
+}
+
+std::vector<double> resample_tachogram(std::span<const double> rr_s, double out_fs_hz) {
+  std::vector<double> out;
+  if (rr_s.size() < 2) return out;
+  // Beat times: t_i = sum of RR up to i; tachogram value at t_i is rr_i.
+  std::vector<double> t(rr_s.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rr_s.size(); ++i) {
+    acc += rr_s[i];
+    t[i] = acc;
+  }
+  const double dt = 1.0 / out_fs_hz;
+  std::size_t seg = 0;
+  for (double time = t.front(); time <= t.back(); time += dt) {
+    while (seg + 1 < t.size() && t[seg + 1] < time) ++seg;
+    const double t0 = t[seg];
+    const double t1 = t[seg + 1];
+    const double frac = t1 > t0 ? (time - t0) / (t1 - t0) : 0.0;
+    out.push_back(rr_s[seg] + frac * (rr_s[seg + 1] - rr_s[seg]));
+  }
+  return out;
+}
+
+namespace {
+
+/// Goertzel power of `x` at normalized frequency f (Hz) given fs.
+double tone_power(std::span<const double> x, double f_hz, double fs) {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = 2.0 * std::numbers::pi * f_hz * static_cast<double>(i) / fs;
+    re += x[i] * std::cos(w);
+    im += x[i] * std::sin(w);
+  }
+  const auto n = static_cast<double>(x.size());
+  return (re * re + im * im) / (n * n);
+}
+
+}  // namespace
+
+HrvFrequencyDomain compute_frequency_domain(std::span<const double> rr_s) {
+  HrvFrequencyDomain out;
+  constexpr double kFs = 4.0;
+  auto tachogram = resample_tachogram(rr_s, kFs);
+  if (tachogram.size() < 64) return out;
+  // Remove the mean (the DC term would swamp both bands).
+  double mean = 0.0;
+  for (double v : tachogram) mean += v;
+  mean /= static_cast<double>(tachogram.size());
+  for (double& v : tachogram) v -= mean;
+
+  // Integrate band power on a fixed frequency grid.
+  const double df = 0.01;
+  for (double f = 0.04; f < 0.15; f += df) out.lf_power += tone_power(tachogram, f, kFs);
+  for (double f = 0.15; f < 0.40; f += df) out.hf_power += tone_power(tachogram, f, kFs);
+  out.lf_hf_ratio = out.hf_power > 1e-12 ? out.lf_power / out.hf_power : 0.0;
+  return out;
+}
+
+}  // namespace wbsn::cls

@@ -1,0 +1,35 @@
+// Heart-rate-variability metrics for the behavioural / sleep monitoring
+// applications of Section II (beat-to-beat interval processing).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wbsn::cls {
+
+/// Time-domain HRV summary over an RR series (seconds).
+struct HrvTimeDomain {
+  double mean_rr_s = 0.0;
+  double sdnn_ms = 0.0;    ///< Standard deviation of RR.
+  double rmssd_ms = 0.0;   ///< RMS of successive differences.
+  double pnn50 = 0.0;      ///< Fraction of successive diffs > 50 ms.
+  double mean_hr_bpm = 0.0;
+};
+
+HrvTimeDomain compute_time_domain(std::span<const double> rr_s);
+
+/// Frequency-domain summary: band powers of the RR tachogram resampled at
+/// 4 Hz (LF 0.04-0.15 Hz, HF 0.15-0.4 Hz) and their ratio — the autonomic
+/// balance index sleep/stress applications key on.
+struct HrvFrequencyDomain {
+  double lf_power = 0.0;
+  double hf_power = 0.0;
+  double lf_hf_ratio = 0.0;
+};
+
+HrvFrequencyDomain compute_frequency_domain(std::span<const double> rr_s);
+
+/// Resamples an RR series to a uniform tachogram (linear interpolation).
+std::vector<double> resample_tachogram(std::span<const double> rr_s, double out_fs_hz);
+
+}  // namespace wbsn::cls

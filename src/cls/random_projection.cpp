@@ -1,0 +1,94 @@
+#include "cls/random_projection.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace wbsn::cls {
+
+PackedTernaryMatrix::PackedTernaryMatrix(std::size_t k, std::size_t d)
+    : rows_(k), cols_(d), words_per_row_((d + 31) / 32), words_(rows_ * words_per_row_, 0) {}
+
+void PackedTernaryMatrix::set_entry(std::size_t r, std::size_t c, int value) {
+  // Encoding: 00 -> 0, 01 -> +1, 11 -> -1 (bit0 = non-zero, bit1 = sign).
+  const std::size_t word = r * words_per_row_ + c / 32;
+  const unsigned shift = 2 * (c % 32);
+  std::uint64_t bits = 0;
+  if (value > 0) bits = 0b01;
+  if (value < 0) bits = 0b11;
+  words_[word] &= ~(std::uint64_t{0b11} << shift);
+  words_[word] |= bits << shift;
+}
+
+int PackedTernaryMatrix::entry(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  const std::size_t word = r * words_per_row_ + c / 32;
+  const unsigned shift = 2 * (c % 32);
+  const auto bits = (words_[word] >> shift) & 0b11;
+  if (bits == 0b01) return 1;
+  if (bits == 0b11) return -1;
+  return 0;
+}
+
+PackedTernaryMatrix PackedTernaryMatrix::make_achlioptas(std::size_t k, std::size_t d,
+                                                         double s, sig::Rng& rng) {
+  assert(s >= 1.0);
+  PackedTernaryMatrix m(k, d);
+  const double p_nonzero = 1.0 / s;
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      if (!rng.bernoulli(p_nonzero)) continue;
+      m.set_entry(r, c, rng.bernoulli(0.5) ? 1 : -1);
+    }
+  }
+  return m;
+}
+
+PackedTernaryMatrix PackedTernaryMatrix::make_bernoulli(std::size_t k, std::size_t d,
+                                                        sig::Rng& rng) {
+  return make_achlioptas(k, d, 1.0, rng);
+}
+
+std::vector<std::int32_t> PackedTernaryMatrix::project(std::span<const std::int32_t> x,
+                                                       dsp::OpCount* ops) const {
+  assert(x.size() == cols_);
+  dsp::OpCount local;
+  std::vector<std::int32_t> y(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::int64_t acc = 0;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = words_[r * words_per_row_ + w];
+      local.load += 1;
+      if (bits == 0) continue;  // Whole word of zeros skipped (sparsity win).
+      const std::size_t base = w * 32;
+      while (bits != 0) {
+        const auto lane = static_cast<unsigned>(std::countr_zero(bits) / 2);
+        const auto entry_bits = (bits >> (2 * lane)) & 0b11;
+        const std::size_t c = base + lane;
+        if (c < cols_) {
+          if (entry_bits == 0b01) {
+            acc += x[c];
+          } else {
+            acc -= x[c];
+          }
+          local.add += 1;
+          local.load += 1;
+        }
+        bits &= ~(std::uint64_t{0b11} << (2 * lane));
+      }
+    }
+    y[r] = static_cast<std::int32_t>(acc);
+    local.store += 1;
+  }
+  if (ops != nullptr) *ops += local;
+  return y;
+}
+
+double PackedTernaryMatrix::density() const {
+  std::size_t non_zero = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) non_zero += entry(r, c) != 0;
+  }
+  return static_cast<double>(non_zero) / static_cast<double>(rows_ * cols_);
+}
+
+}  // namespace wbsn::cls

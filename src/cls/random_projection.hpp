@@ -1,0 +1,60 @@
+// Database-friendly random projections (Achlioptas, JCSS 2003).
+//
+// The feature-extraction front of the paper's embedded heartbeat classifier
+// (Braojos et al., DATE 2013): a k x d matrix with i.i.d. entries
+// {+1 w.p. 1/2s, 0 w.p. 1-1/s, -1 w.p. 1/2s} preserves pairwise distances
+// (Johnson-Lindenstrauss) while every matrix-vector product needs only
+// additions and subtractions — no multiplier.  Section IV-A's memory
+// optimization is implemented literally: entries are packed two bits each,
+// so a 16x180 matrix occupies 720 bytes of ROM instead of 11.5 kB of
+// doubles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::cls {
+
+/// Ternary matrix with 2-bit packed storage.
+class PackedTernaryMatrix {
+ public:
+  /// Builds a k x d Achlioptas matrix with sparsity parameter `s`
+  /// (expected non-zero fraction = 1/s; s = 3 is the classic choice,
+  /// larger s gives sparser matrices and fewer operations).
+  static PackedTernaryMatrix make_achlioptas(std::size_t k, std::size_t d, double s,
+                                             sig::Rng& rng);
+
+  /// Dense Bernoulli +/-1 matrix (s = 1).
+  static PackedTernaryMatrix make_bernoulli(std::size_t k, std::size_t d, sig::Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Entry in {-1, 0, +1}.
+  int entry(std::size_t r, std::size_t c) const;
+
+  /// y = M x using integer adds/subs only.
+  std::vector<std::int32_t> project(std::span<const std::int32_t> x,
+                                    dsp::OpCount* ops = nullptr) const;
+
+  /// Storage footprint in bytes (the Section IV-A claim: 2 bits/entry).
+  std::size_t storage_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  /// Fraction of non-zero entries.
+  double density() const;
+
+ private:
+  PackedTernaryMatrix(std::size_t k, std::size_t d);
+  void set_entry(std::size_t r, std::size_t c, int value);
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wbsn::cls

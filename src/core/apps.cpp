@@ -1,0 +1,95 @@
+#include "core/apps.hpp"
+
+#include <algorithm>
+
+namespace wbsn::core {
+
+std::string to_string(SleepStage stage) {
+  switch (stage) {
+    case SleepStage::kWake: return "wake";
+    case SleepStage::kLight: return "light";
+    case SleepStage::kDeep: return "deep";
+  }
+  return "?";
+}
+
+std::vector<SleepEpoch> analyze_sleep(std::span<const sig::BeatAnnotation> beats, double fs,
+                                      const SleepMonitorConfig& cfg) {
+  std::vector<SleepEpoch> epochs;
+  if (beats.size() < 4) return epochs;
+
+  std::size_t begin = 0;
+  while (begin < beats.size()) {
+    const double epoch_start_s = static_cast<double>(beats[begin].r_peak) / fs;
+    std::size_t end = begin;
+    while (end < beats.size() &&
+           static_cast<double>(beats[end].r_peak) / fs < epoch_start_s + cfg.epoch_s) {
+      ++end;
+    }
+    if (end - begin >= 16) {
+      SleepEpoch epoch;
+      epoch.start_s = epoch_start_s;
+      std::vector<double> rr;
+      rr.reserve(end - begin - 1);
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        rr.push_back(static_cast<double>(beats[i].r_peak - beats[i - 1].r_peak) / fs);
+      }
+      epoch.time_domain = cls::compute_time_domain(rr);
+      epoch.frequency_domain = cls::compute_frequency_domain(rr);
+      if (epoch.time_domain.mean_hr_bpm >= cfg.wake_hr_bpm) {
+        epoch.stage = SleepStage::kWake;
+      } else if (epoch.frequency_domain.lf_hf_ratio <= cfg.deep_lf_hf_max) {
+        epoch.stage = SleepStage::kDeep;
+      } else {
+        epoch.stage = SleepStage::kLight;
+      }
+      epochs.push_back(std::move(epoch));
+    }
+    begin = end;
+  }
+  return epochs;
+}
+
+std::vector<ArrhythmiaEvent> detect_events(std::span<const sig::BeatAnnotation> beats,
+                                           std::span<const cls::BeatLabel> labels,
+                                           std::span<const cls::AfWindow> af_windows,
+                                           double fs,
+                                           const ArrhythmiaMonitorConfig& cfg) {
+  std::vector<ArrhythmiaEvent> events;
+
+  // PVC runs.
+  int run = 0;
+  for (std::size_t i = 0; i < labels.size() && i < beats.size(); ++i) {
+    if (labels[i] == cls::BeatLabel::kVentricular) {
+      ++run;
+      if (run == cfg.pvc_run_length) {
+        events.push_back({ArrhythmiaEvent::Kind::kPvcRun,
+                          static_cast<double>(beats[i].r_peak) / fs,
+                          "run of " + std::to_string(run) + " PVCs"});
+      }
+    } else {
+      run = 0;
+    }
+  }
+
+  // AF episode boundaries from window decisions.
+  bool in_af = false;
+  for (const auto& w : af_windows) {
+    const double t = w.first_beat < beats.size()
+                         ? static_cast<double>(beats[w.first_beat].r_peak) / fs
+                         : 0.0;
+    if (w.decided_af && !in_af) {
+      events.push_back({ArrhythmiaEvent::Kind::kAfOnset, t, "atrial fibrillation onset"});
+      in_af = true;
+    } else if (!w.decided_af && in_af) {
+      events.push_back({ArrhythmiaEvent::Kind::kAfEnd, t, "atrial fibrillation end"});
+      in_af = false;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.time_s < b.time_s; });
+  return events;
+}
+
+}  // namespace wbsn::core

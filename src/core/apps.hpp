@@ -1,0 +1,64 @@
+// Application presets built on the node (Section II's scenarios).
+//
+// - SleepMonitor: beat-to-beat interval analytics per epoch with a simple
+//   autonomic-balance staging heuristic (the "sleep state of airline
+//   pilots" use case from the abstract).
+// - ArrhythmiaMonitor: beat labels + AF windows turned into alarm events
+//   (the SmartCardia deployment scenario of Section V).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cls/af_detect.hpp"
+#include "cls/beat_classifier.hpp"
+#include "cls/hrv.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::core {
+
+/// Coarse sleep state from autonomic markers.
+enum class SleepStage { kWake, kLight, kDeep };
+
+std::string to_string(SleepStage stage);
+
+struct SleepEpoch {
+  double start_s = 0.0;
+  cls::HrvTimeDomain time_domain;
+  cls::HrvFrequencyDomain frequency_domain;
+  SleepStage stage = SleepStage::kWake;
+};
+
+struct SleepMonitorConfig {
+  double epoch_s = 120.0;
+  // Staging heuristics: deep sleep shows low HR and HF (vagal) dominance.
+  double wake_hr_bpm = 72.0;
+  double deep_lf_hf_max = 1.0;
+};
+
+/// Splits a beat series into epochs and scores each.
+std::vector<SleepEpoch> analyze_sleep(std::span<const sig::BeatAnnotation> beats, double fs,
+                                      const SleepMonitorConfig& cfg = {});
+
+/// Alarm-level output of the arrhythmia monitor.
+struct ArrhythmiaEvent {
+  enum class Kind { kPvcRun, kAfOnset, kAfEnd } kind;
+  double time_s = 0.0;
+  std::string description;
+};
+
+struct ArrhythmiaMonitorConfig {
+  int pvc_run_length = 3;  ///< Consecutive PVCs that raise an alarm.
+  cls::AfDetectorConfig af{};
+};
+
+/// Scans labeled beats plus AF windows for reportable events.
+std::vector<ArrhythmiaEvent> detect_events(std::span<const sig::BeatAnnotation> beats,
+                                           std::span<const cls::BeatLabel> labels,
+                                           std::span<const cls::AfWindow> af_windows,
+                                           double fs,
+                                           const ArrhythmiaMonitorConfig& cfg = {});
+
+}  // namespace wbsn::core

@@ -1,0 +1,156 @@
+#include "core/node.hpp"
+
+#include <cassert>
+
+#include "cs/sensing_matrix.hpp"
+
+namespace wbsn::core {
+
+std::string to_string(OperatingMode mode) {
+  switch (mode) {
+    case OperatingMode::kRawStreaming: return "raw-streaming";
+    case OperatingMode::kCompressedSingle: return "cs-single-lead";
+    case OperatingMode::kCompressedMulti: return "cs-multi-lead";
+    case OperatingMode::kDelineation: return "delineation";
+    case OperatingMode::kClassification: return "classification";
+    case OperatingMode::kAfAlarm: return "af-alarm";
+  }
+  return "?";
+}
+
+std::uint32_t raw_payload_bytes(std::size_t samples, std::size_t leads) {
+  // 12-bit samples packed two-per-three-bytes.
+  const std::size_t total = samples * leads;
+  return static_cast<std::uint32_t>((total * 3 + 1) / 2);
+}
+
+WbsnNode::WbsnNode(NodeConfig cfg) : cfg_(std::move(cfg)) {}
+
+void WbsnNode::set_classifier(std::shared_ptr<const cls::BeatClassifier> clf) {
+  classifier_ = std::move(clf);
+}
+
+void WbsnNode::set_af_detector(std::shared_ptr<const cls::AfDetector> det) {
+  af_detector_ = std::move(det);
+}
+
+WindowOutput WbsnNode::process_window(std::span<const std::vector<double>> leads_mv) {
+  assert(!leads_mv.empty());
+  for (const auto& lead : leads_mv) {
+    assert(lead.size() == cfg_.window_samples);
+    (void)lead;
+  }
+  WindowOutput out;
+  const std::size_t num_leads = leads_mv.size();
+  const double window_s = static_cast<double>(cfg_.window_samples) / cfg_.fs;
+
+  // Acquisition: every mode starts by digitizing all leads.
+  std::vector<std::vector<std::int32_t>> counts;
+  counts.reserve(num_leads);
+  for (const auto& lead : leads_mv) counts.push_back(sig::quantize(lead, cfg_.adc));
+
+  switch (cfg_.mode) {
+    case OperatingMode::kRawStreaming: {
+      out.tx_payload_bytes = raw_payload_bytes(cfg_.window_samples, num_leads);
+      break;
+    }
+    case OperatingMode::kCompressedSingle:
+    case OperatingMode::kCompressedMulti: {
+      // CS encode per lead.  Single- and multi-lead modes differ in the
+      // operating CR (the receiver's joint decoder tolerates a higher one)
+      // and in the per-lead matrices used for the joint mode.
+      const std::size_t m = cs::rows_for_cr(cfg_.cs_cr_percent, cfg_.window_samples);
+      for (std::size_t l = 0; l < num_leads; ++l) {
+        const std::uint64_t seed =
+            cfg_.cs.matrix_seed + (cfg_.mode == OperatingMode::kCompressedMulti ? l : 0);
+        sig::Rng rng(seed);
+        const auto phi = cs::SensingMatrix::make_sparse_binary(m, cfg_.window_samples,
+                                                               cfg_.cs.ones_per_column, rng);
+        phi.encode(counts[l], &out.processing_ops);
+        // Measurements are sums of ones_per_column 12-bit samples: 14 bits
+        // suffice, bit-packed on the wire.
+        out.tx_payload_bytes += static_cast<std::uint32_t>((m * 14 + 7) / 8);
+      }
+      break;
+    }
+    case OperatingMode::kDelineation:
+    case OperatingMode::kClassification:
+    case OperatingMode::kAfAlarm: {
+      delin::PipelineConfig pcfg = cfg_.delineation;
+      pcfg.fs = cfg_.fs;
+      auto delineated = delin::run_delineation_pipeline(counts, pcfg);
+      out.processing_ops += delineated.total_ops();
+
+      if (cfg_.mode == OperatingMode::kDelineation) {
+        out.tx_payload_bytes =
+            static_cast<std::uint32_t>(delineated.beats.size()) * kBytesPerDelineatedBeat;
+        out.beats = std::move(delineated.beats);
+        break;
+      }
+
+      if (cfg_.mode == OperatingMode::kClassification) {
+        assert(classifier_ != nullptr);
+        // Combined signal for the morphology window: use the first lead's
+        // filtered stream (the classifier was trained the same way).
+        double rr_mean = 0.8;
+        for (std::size_t b = 0; b < delineated.beats.size(); ++b) {
+          const auto& beat = delineated.beats[b];
+          const double rr_prev =
+              b > 0 ? static_cast<double>(beat.r_peak - delineated.beats[b - 1].r_peak) /
+                          cfg_.fs
+                    : rr_mean;
+          const double rr_next =
+              b + 1 < delineated.beats.size()
+                  ? static_cast<double>(delineated.beats[b + 1].r_peak - beat.r_peak) /
+                        cfg_.fs
+                  : rr_mean;
+          rr_mean += 0.125 * (rr_prev - rr_mean);
+          out.labels.push_back(classifier_->classify_linearized(
+              counts[0], beat.r_peak, rr_prev, rr_next, rr_mean, &out.processing_ops));
+        }
+        out.tx_payload_bytes =
+            static_cast<std::uint32_t>(out.labels.size()) * kBytesPerClassifiedBeat;
+        out.beats = std::move(delineated.beats);
+        break;
+      }
+
+      // AF alarm: accumulate beats across windows and decide when a full
+      // detector window of history exists.
+      assert(af_detector_ != nullptr);
+      for (auto beat : delineated.beats) {
+        beat.r_peak += window_base_sample_;
+        beat_history_.push_back(beat);
+      }
+      const auto needed = static_cast<std::size_t>(af_detector_->config().window_beats);
+      if (beat_history_.size() >= needed) {
+        const auto tail = std::span<const sig::BeatAnnotation>(beat_history_)
+                              .subspan(beat_history_.size() - needed, needed);
+        const auto features =
+            cls::compute_af_features(tail, cfg_.fs, af_detector_->config().entropy_bins,
+                                     &out.processing_ops);
+        const auto vec = features.as_vector();
+        out.af_flag =
+            af_detector_->fuzzy().classify_linearized(vec, &out.processing_ops) == 1;
+        // Bound the history to what rhythm analysis needs.
+        if (beat_history_.size() > 4 * needed) {
+          beat_history_.erase(beat_history_.begin(),
+                              beat_history_.end() - static_cast<long>(2 * needed));
+        }
+      }
+      out.tx_payload_bytes = kBytesPerAfFlag;
+      if (out.af_flag.value_or(false)) {
+        // An alarm triggers a notification with context (Section V): the
+        // last detector window's beat annotations are attached.
+        out.tx_payload_bytes += static_cast<std::uint32_t>(needed) * kBytesPerClassifiedBeat;
+      }
+      break;
+    }
+  }
+
+  window_base_sample_ += static_cast<std::int64_t>(cfg_.window_samples);
+  out.energy = energy_.window_energy(out.tx_payload_bytes, out.processing_ops,
+                                     cfg_.window_samples * num_leads, window_s);
+  return out;
+}
+
+}  // namespace wbsn::core

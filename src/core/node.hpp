@@ -1,0 +1,101 @@
+// The integrated wireless body sensor node.
+//
+// WbsnNode composes the whole stack the paper describes around Figure 1:
+// acquisition (ADC model) -> optional on-node processing at a configurable
+// abstraction level (raw streaming, compressed sensing, filtering +
+// delineation, beat classification, AF alarms) -> packetization ->
+// radio/energy accounting.  Raising the abstraction level shrinks the
+// bytes on air and shifts energy from the radio into (much cheaper)
+// computation — the core thesis of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cls/af_detect.hpp"
+#include "cls/beat_classifier.hpp"
+#include "cs/pipeline.hpp"
+#include "delin/pipeline.hpp"
+#include "dsp/opcount.hpp"
+#include "energy/node.hpp"
+#include "sig/adc.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::core {
+
+/// Abstraction level of the transmitted data (Figure 1).
+enum class OperatingMode {
+  kRawStreaming,       ///< All samples, 12-bit packed.
+  kCompressedSingle,   ///< Per-lead compressed-sensing measurements.
+  kCompressedMulti,    ///< CS measurements for joint multi-lead decoding.
+  kDelineation,        ///< Per-beat fiducial points.
+  kClassification,     ///< Per-beat labels (plus R positions).
+  kAfAlarm,            ///< Window-level rhythm flags only.
+};
+
+std::string to_string(OperatingMode mode);
+
+struct NodeConfig {
+  double fs = 250.0;
+  std::size_t window_samples = 512;
+  OperatingMode mode = OperatingMode::kRawStreaming;
+  sig::AdcConfig adc{};
+  double cs_cr_percent = 60.0;
+  cs::CsPipelineConfig cs{};
+  delin::PipelineConfig delineation{};
+  cls::AfDetectorConfig af{};
+};
+
+/// What one processed window produced.
+struct WindowOutput {
+  std::uint32_t tx_payload_bytes = 0;
+  dsp::OpCount processing_ops;
+  std::vector<sig::BeatAnnotation> beats;     ///< Delineation modes only.
+  std::vector<cls::BeatLabel> labels;         ///< Classification mode only.
+  std::optional<bool> af_flag;                ///< AF-alarm mode only.
+  energy::EnergyBreakdown energy;
+};
+
+class WbsnNode {
+ public:
+  explicit WbsnNode(NodeConfig cfg);
+
+  /// Installs a trained classifier (required for kClassification).
+  void set_classifier(std::shared_ptr<const cls::BeatClassifier> clf);
+  /// Installs a trained AF detector (required for kAfAlarm).
+  void set_af_detector(std::shared_ptr<const cls::AfDetector> det);
+
+  /// Processes one multi-lead window of physical-unit samples (mV); each
+  /// lead must have exactly cfg.window_samples entries.
+  WindowOutput process_window(std::span<const std::vector<double>> leads_mv);
+
+  const NodeConfig& config() const { return cfg_; }
+  const energy::NodeEnergyModel& energy_model() const { return energy_; }
+  energy::NodeEnergyModel& energy_model() { return energy_; }
+
+ private:
+  NodeConfig cfg_;
+  energy::NodeEnergyModel energy_{};
+  std::shared_ptr<const cls::BeatClassifier> classifier_;
+  std::shared_ptr<const cls::AfDetector> af_detector_;
+  // Beats carried across windows so rhythm analysis has history.
+  std::vector<sig::BeatAnnotation> beat_history_;
+  std::int64_t window_base_sample_ = 0;
+};
+
+/// Serialized sizes of the payload elements (documented wire format).
+inline constexpr std::uint32_t kBytesPerRawSample12bit = 2;  // Packed pairwise: 1.5 rounded.
+inline constexpr double kBitsPerMeasurement = 14.0;  // Sum of 4x 12-bit samples.
+inline constexpr std::uint32_t kBytesPerDelineatedBeat = 20;  // 9 fiducials + label + R.
+inline constexpr std::uint32_t kBytesPerClassifiedBeat = 3;   // R offset + label.
+inline constexpr std::uint32_t kBytesPerAfFlag = 2;
+
+/// Payload size of raw streaming for a window (12-bit samples packed 2
+/// per 3 bytes).
+std::uint32_t raw_payload_bytes(std::size_t samples, std::size_t leads);
+
+}  // namespace wbsn::core

@@ -1,0 +1,76 @@
+#include "core/pat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::core {
+
+std::vector<std::int64_t> detect_pulse_feet(std::span<const double> ppg,
+                                            std::span<const std::int64_t> r_peaks,
+                                            const PatConfig& cfg) {
+  std::vector<std::int64_t> feet;
+  feet.reserve(r_peaks.size());
+  const auto n = static_cast<std::int64_t>(ppg.size());
+  for (std::int64_t r : r_peaks) {
+    const std::int64_t lo = r + static_cast<std::int64_t>(cfg.min_pat_s * cfg.fs);
+    const std::int64_t hi = r + static_cast<std::int64_t>(cfg.max_pat_s * cfg.fs);
+    if (lo < 2 || hi + 2 >= n) {
+      feet.push_back(-1);
+      continue;
+    }
+    // Foot = maximum of the second difference (onset of the upstroke).
+    std::int64_t best = -1;
+    double best_val = 0.0;
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      const double second_diff = ppg[static_cast<std::size_t>(i + 1)] -
+                                 2.0 * ppg[static_cast<std::size_t>(i)] +
+                                 ppg[static_cast<std::size_t>(i - 1)];
+      if (second_diff > best_val) {
+        best_val = second_diff;
+        best = i;
+      }
+    }
+    feet.push_back(best);
+  }
+  return feet;
+}
+
+PatSeries compute_pat(std::span<const double> ppg, std::span<const std::int64_t> r_peaks,
+                      const PatConfig& cfg) {
+  PatSeries series;
+  const auto feet = detect_pulse_feet(ppg, r_peaks, cfg);
+  for (std::size_t i = 0; i < r_peaks.size(); ++i) {
+    if (feet[i] < 0) continue;
+    series.pat_s.push_back(static_cast<double>(feet[i] - r_peaks[i]) / cfg.fs);
+    series.beat_index.push_back(i);
+  }
+  return series;
+}
+
+void BpEstimator::calibrate(std::span<const double> pat_s, std::span<const double> map_mmhg) {
+  // Least squares of map against x = 1/pat.
+  const std::size_t n = std::min(pat_s.size(), map_mmhg.size());
+  if (n < 2) return;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 1.0 / pat_s[i];
+    sx += x;
+    sy += map_mmhg[i];
+    sxx += x * x;
+    sxy += x * map_mmhg[i];
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return;
+  b_ = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  a_ = (sy - b_ * sx) / static_cast<double>(n);
+  calibrated_ = true;
+}
+
+double BpEstimator::estimate_map(double pat_s) const {
+  return a_ + b_ / pat_s;
+}
+
+}  // namespace wbsn::core

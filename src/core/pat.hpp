@@ -1,0 +1,60 @@
+// Pulse-arrival-time measurement and cuffless blood-pressure estimation
+// (Section IV-C of the paper).
+//
+// PAT is the delay between the ECG R peak (electrical systole) and the
+// arrival of the pressure pulse at a peripheral PPG probe.  Subtracting
+// the pre-ejection period leaves the pulse transit time, whose inverse
+// tracks pulse wave velocity and hence arterial pressure (Gesche et al.,
+// 2012 — reference [20]).  The estimator here is the standard two-step:
+// detect per-beat PPG pulse feet, pair them with R peaks, then map
+// PAT -> MAP through a per-subject linear calibration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wbsn::core {
+
+struct PatConfig {
+  double fs = 250.0;
+  double min_pat_s = 0.10;   ///< Physiological search window after R...
+  double max_pat_s = 0.45;   ///< ...for the pulse foot.
+};
+
+/// Detects the pulse foot after each R peak: the point of maximum slope
+/// acceleration (peak of the second difference) on the rising edge.
+/// Returns one foot index per R peak (-1 when no pulse is found).
+std::vector<std::int64_t> detect_pulse_feet(std::span<const double> ppg,
+                                            std::span<const std::int64_t> r_peaks,
+                                            const PatConfig& cfg = {});
+
+/// Per-beat PAT series (seconds); skips beats without a detected foot.
+struct PatSeries {
+  std::vector<double> pat_s;
+  std::vector<std::size_t> beat_index;  ///< Which R peak each PAT belongs to.
+};
+
+PatSeries compute_pat(std::span<const double> ppg, std::span<const std::int64_t> r_peaks,
+                      const PatConfig& cfg = {});
+
+/// Linear PAT -> MAP calibration (least squares on calibration pairs).
+class BpEstimator {
+ public:
+  /// Fits map = a + b / pat (the hyperbolic PTT model linearized in 1/PAT,
+  /// which is proportional to PWV).
+  void calibrate(std::span<const double> pat_s, std::span<const double> map_mmhg);
+
+  double estimate_map(double pat_s) const;
+  bool calibrated() const { return calibrated_; }
+
+  double coeff_a() const { return a_; }
+  double coeff_b() const { return b_; }
+
+ private:
+  double a_ = 0.0;
+  double b_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace wbsn::core

@@ -1,0 +1,345 @@
+#include "cs/fista.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dsp/wavelet.hpp"
+
+namespace wbsn::cs {
+namespace {
+
+double norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+/// Largest singular value squared of Phi via power iteration (the sparsity
+/// basis is orthonormal, so it equals the Lipschitz constant of the
+/// composed operator's gradient).
+double lipschitz_of(const SensingMatrix& phi) {
+  std::vector<double> v(phi.cols(), 1.0);
+  double lambda = 1.0;
+  for (int it = 0; it < 40; ++it) {
+    const auto w = phi.apply_adjoint(phi.apply(v));
+    lambda = norm2(w);
+    if (lambda <= 0.0) return 1.0;
+    v = w;
+    for (double& x : v) x /= lambda;
+  }
+  return std::max(lambda, 1e-9);
+}
+
+void soft_threshold(std::span<double> a, double tau) {
+  for (double& x : a) {
+    if (x > tau) {
+      x -= tau;
+    } else if (x < -tau) {
+      x += tau;
+    } else {
+      x = 0.0;
+    }
+  }
+}
+
+/// Least-squares refit of `a` restricted to its non-zero support:
+/// conjugate gradient on the normal equations of the composed operator
+/// A = Phi Psi' (masked to the support).
+void debias_on_support(const SensingMatrix& phi, int levels, std::span<const double> y,
+                       std::vector<double>& a, int iterations) {
+  const std::size_t n = a.size();
+  std::vector<std::uint8_t> mask(n, 0);
+  std::size_t support = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = a[i] != 0.0;
+    support += mask[i];
+  }
+  if (support == 0 || support > phi.rows()) return;  // Under-determined: skip.
+
+  const auto apply_masked = [&](const std::vector<double>& c) {
+    std::vector<double> full(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask[i]) full[i] = 0.0;
+    }
+    return phi.apply(dsp::dwt_inverse(full, levels));
+  };
+  const auto adjoint_masked = [&](std::span<const double> r) {
+    auto g = dsp::dwt_forward(phi.apply_adjoint(r), levels);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask[i]) g[i] = 0.0;
+    }
+    return g;
+  };
+
+  // CG on A'A c = A'y, warm-started at the FISTA solution.
+  auto residual = apply_masked(a);
+  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] = y[i] - residual[i];
+  auto g = adjoint_masked(residual);  // Gradient residual in coef space.
+  auto direction = g;
+  double g_norm_sq = 0.0;
+  for (double v : g) g_norm_sq += v * v;
+
+  for (int it = 0; it < iterations && g_norm_sq > 1e-18; ++it) {
+    const auto ad = apply_masked(direction);
+    double ad_norm_sq = 0.0;
+    for (double v : ad) ad_norm_sq += v * v;
+    if (ad_norm_sq <= 1e-18) break;
+    const double alpha = g_norm_sq / ad_norm_sq;
+    for (std::size_t i = 0; i < n; ++i) a[i] += alpha * direction[i];
+    for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= alpha * ad[i];
+    const auto g_next = adjoint_masked(residual);
+    double g_next_norm_sq = 0.0;
+    for (double v : g_next) g_next_norm_sq += v * v;
+    const double beta = g_next_norm_sq / g_norm_sq;
+    for (std::size_t i = 0; i < n; ++i) direction[i] = g_next[i] + beta * direction[i];
+    g = g_next;
+    g_norm_sq = g_next_norm_sq;
+  }
+}
+
+}  // namespace
+
+FistaResult fista_reconstruct(const SensingMatrix& phi, std::span<const double> y,
+                              const FistaConfig& cfg) {
+  const std::size_t n = phi.cols();
+  const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
+  FistaResult result;
+
+  const auto forward = [&](std::span<const double> a) {
+    return phi.apply(dsp::dwt_inverse(a, levels));
+  };
+  const auto adjoint = [&](std::span<const double> r) {
+    return dsp::dwt_forward(phi.apply_adjoint(r), levels);
+  };
+
+  const double lip = lipschitz_of(phi);
+  const auto aty = adjoint(y);
+  double max_abs = 0.0;
+  for (double v : aty) max_abs = std::max(max_abs, std::abs(v));
+  const double lambda = cfg.lambda_rel * max_abs;
+
+  std::vector<double> a(n, 0.0);       // Current iterate.
+  std::vector<double> z(n, 0.0);       // Momentum point.
+  std::vector<double> a_prev(n, 0.0);
+  double t = 1.0;
+
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    // Gradient step at z: g = A'(A z - y).
+    auto az = forward(z);
+    for (std::size_t i = 0; i < az.size(); ++i) az[i] -= y[i];
+    const auto grad = adjoint(az);
+    a_prev = a;
+    for (std::size_t i = 0; i < n; ++i) a[i] = z[i] - grad[i] / lip;
+    soft_threshold(a, lambda / lip);
+
+    // Momentum update.
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_next;
+    double delta = 0.0;
+    double scale = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = a[i] - a_prev[i];
+      delta += d * d;
+      scale += a[i] * a[i];
+      z[i] = a[i] + beta * d;
+    }
+    t = t_next;
+    result.iterations_run = it + 1;
+    if (std::sqrt(delta / scale) < cfg.tolerance) break;
+  }
+
+  if (cfg.debias) debias_on_support(phi, levels, y, a, cfg.debias_iterations);
+  result.coefficients = a;
+  result.signal = dsp::dwt_inverse(a, levels);
+  return result;
+}
+
+GroupFistaResult group_fista_reconstruct(const SensingMatrix& phi,
+                                         std::span<const std::vector<double>> ys,
+                                         const FistaConfig& cfg) {
+  std::vector<SensingMatrix> phis(ys.size(), phi);
+  return group_fista_reconstruct_multi(phis, ys, cfg);
+}
+
+GroupFistaResult group_fista_reconstruct_multi(std::span<const SensingMatrix> phis,
+                                               std::span<const std::vector<double>> ys,
+                                               const FistaConfig& cfg) {
+  assert(phis.size() == ys.size());
+  const std::size_t n = phis[0].cols();
+  const std::size_t num_leads = ys.size();
+  const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
+  GroupFistaResult result;
+  assert(num_leads > 0);
+
+  double lip = 1.0;
+  for (const auto& phi : phis) lip = std::max(lip, lipschitz_of(phi));
+
+  // lambda from the worst lead's correlation (keeps all leads active).
+  double max_abs = 0.0;
+  for (std::size_t l = 0; l < num_leads; ++l) {
+    const auto aty = dsp::dwt_forward(phis[l].apply_adjoint(ys[l]), levels);
+    for (double v : aty) max_abs = std::max(max_abs, std::abs(v));
+  }
+  const double lambda = cfg.lambda_rel * max_abs;
+
+  std::vector<std::vector<double>> a(num_leads, std::vector<double>(n, 0.0));
+  auto z = a;
+  auto a_prev = a;
+  double t = 1.0;
+
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    a_prev = a;
+    for (std::size_t l = 0; l < num_leads; ++l) {
+      auto az = phis[l].apply(dsp::dwt_inverse(z[l], levels));
+      for (std::size_t i = 0; i < az.size(); ++i) az[i] -= ys[l][i];
+      const auto grad = dsp::dwt_forward(phis[l].apply_adjoint(az), levels);
+      for (std::size_t i = 0; i < n; ++i) a[l][i] = z[l][i] - grad[i] / lip;
+    }
+    // Group (row-wise) soft threshold: shrink the cross-lead coefficient
+    // vector at each index jointly — coefficients survive only where the
+    // *ensemble* of leads has energy, which is the joint-sparsity prior.
+    const double tau = lambda / lip;
+    for (std::size_t i = 0; i < n; ++i) {
+      double row_norm_sq = 0.0;
+      for (std::size_t l = 0; l < num_leads; ++l) row_norm_sq += a[l][i] * a[l][i];
+      const double row_norm = std::sqrt(row_norm_sq);
+      const double scale = row_norm > tau ? (row_norm - tau) / row_norm : 0.0;
+      for (std::size_t l = 0; l < num_leads; ++l) a[l][i] *= scale;
+    }
+
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_next;
+    double delta = 0.0;
+    double scale_acc = 1e-12;
+    for (std::size_t l = 0; l < num_leads; ++l) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = a[l][i] - a_prev[l][i];
+        delta += d * d;
+        scale_acc += a[l][i] * a[l][i];
+        z[l][i] = a[l][i] + beta * d;
+      }
+    }
+    t = t_next;
+    result.iterations_run = it + 1;
+    if (std::sqrt(delta / scale_acc) < cfg.tolerance) break;
+  }
+
+  result.signals.reserve(num_leads);
+  for (std::size_t l = 0; l < num_leads; ++l) {
+    if (cfg.debias) debias_on_support(phis[l], levels, ys[l], a[l], cfg.debias_iterations);
+    result.signals.push_back(dsp::dwt_inverse(a[l], levels));
+  }
+  return result;
+}
+
+std::vector<double> omp_reconstruct(const SensingMatrix& phi, std::span<const double> y,
+                                    const OmpConfig& cfg) {
+  const std::size_t n = phi.cols();
+  const std::size_t m = phi.rows();
+  const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
+
+  // Column of A = Phi * (inverse DWT of the i-th unit coefficient).
+  const auto column_of = [&](std::size_t i) {
+    std::vector<double> e(n, 0.0);
+    e[i] = 1.0;
+    return phi.apply(dsp::dwt_inverse(e, levels));
+  };
+
+  std::vector<double> residual(y.begin(), y.end());
+  const double y_norm = std::max(norm2(y), 1e-12);
+  std::vector<std::size_t> support;
+  std::vector<std::vector<double>> atoms;  // Selected columns.
+  std::vector<double> coef;
+
+  while (support.size() < cfg.max_atoms && norm2(residual) / y_norm > cfg.residual_tolerance) {
+    // Correlation of the residual with every atom: A' r via the adjoint.
+    const auto corr = dsp::dwt_forward(phi.apply_adjoint(residual), levels);
+    std::size_t best = 0;
+    double best_mag = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mag = std::abs(corr[i]);
+      if (mag > best_mag &&
+          std::find(support.begin(), support.end(), i) == support.end()) {
+        best_mag = mag;
+        best = i;
+      }
+    }
+    support.push_back(best);
+    atoms.push_back(column_of(best));
+
+    // Least squares on the support: solve (G) c = b with G the Gram
+    // matrix of the selected atoms (small and SPD -> plain Cholesky).
+    const std::size_t k = atoms.size();
+    std::vector<double> gram(k * k, 0.0);
+    std::vector<double> b(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < m; ++r) acc += atoms[i][r] * atoms[j][r];
+        gram[i * k + j] = acc;
+        gram[j * k + i] = acc;
+      }
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m; ++r) acc += atoms[i][r] * y[r];
+      b[i] = acc;
+    }
+    // Cholesky G = L L'.
+    std::vector<double> chol(k * k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double acc = gram[i * k + j];
+        for (std::size_t p = 0; p < j; ++p) acc -= chol[i * k + p] * chol[j * k + p];
+        if (i == j) {
+          chol[i * k + i] = std::sqrt(std::max(acc, 1e-12));
+        } else {
+          chol[i * k + j] = acc / chol[j * k + j];
+        }
+      }
+    }
+    coef.assign(k, 0.0);
+    // Forward substitution L w = b, then backward L' c = w.
+    std::vector<double> w(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      double acc = b[i];
+      for (std::size_t p = 0; p < i; ++p) acc -= chol[i * k + p] * w[p];
+      w[i] = acc / chol[i * k + i];
+    }
+    for (std::size_t i = k; i-- > 0;) {
+      double acc = w[i];
+      for (std::size_t p = i + 1; p < k; ++p) acc -= chol[p * k + i] * coef[p];
+      coef[i] = acc / chol[i * k + i];
+    }
+
+    // Residual update.
+    residual.assign(y.begin(), y.end());
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t r = 0; r < m; ++r) residual[r] -= coef[i] * atoms[i][r];
+    }
+  }
+
+  std::vector<double> a(n, 0.0);
+  for (std::size_t i = 0; i < support.size(); ++i) a[support[i]] = coef[i];
+  return dsp::dwt_inverse(a, levels);
+}
+
+double reconstruction_snr_db(std::span<const double> reference,
+                             std::span<const double> reconstructed) {
+  assert(reference.size() == reconstructed.size());
+  double signal = 0.0;
+  double error = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    signal += reference[i] * reference[i];
+    const double e = reference[i] - reconstructed[i];
+    error += e * e;
+  }
+  if (error <= 1e-30) return 150.0;  // Effectively exact.
+  return 10.0 * std::log10(signal / error);
+}
+
+double prd_percent(std::span<const double> reference,
+                   std::span<const double> reconstructed) {
+  return 100.0 * std::pow(10.0, -reconstruction_snr_db(reference, reconstructed) / 20.0);
+}
+
+}  // namespace wbsn::cs

@@ -1,0 +1,139 @@
+#include "cs/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::cs {
+namespace {
+
+/// Splits a lead into full windows of cfg.window_samples.
+std::size_t window_count(std::size_t total, std::size_t window) { return total / window; }
+
+}  // namespace
+
+CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,
+                               const CsPipelineConfig& cfg) {
+  CsRunResult result;
+  result.cr_percent = cr_percent;
+  const std::size_t n = cfg.window_samples;
+  const std::size_t m = rows_for_cr(cr_percent, n);
+  sig::Rng rng(cfg.matrix_seed);
+  const auto phi = SensingMatrix::make_sparse_binary(m, n, cfg.ones_per_column, rng);
+
+  dsp::OpCount encode_ops;
+  double snr_acc = 0.0;
+  const std::size_t windows = window_count(lead.size(), n);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const auto window_mv = lead.subspan(w * n, n);
+    // Node side: quantize and encode in integers.
+    const auto counts = sig::quantize(window_mv, cfg.adc);
+    const auto y_int = phi.encode(counts, &encode_ops);
+    result.measurement_count += y_int.size();
+
+    // Host side: reconstruct from the (dequantized-scale) measurements and
+    // compare against the quantized-then-dequantized reference — the best
+    // any lossless link could deliver.
+    std::vector<double> y(y_int.begin(), y_int.end());
+    const double lsb = cfg.adc.lsb_mv() / cfg.adc.gain;
+    for (double& v : y) v *= lsb;
+    const auto reference = sig::dequantize(counts, cfg.adc);
+    const auto recon = fista_reconstruct(phi, y, cfg.fista);
+    snr_acc += reconstruction_snr_db(reference, recon.signal);
+  }
+  result.windows = windows;
+  result.mean_snr_db = windows > 0 ? snr_acc / static_cast<double>(windows) : 0.0;
+  result.encode_ops = encode_ops.total();
+  return result;
+}
+
+namespace {
+
+CsRunResult run_multi_lead_impl(const sig::Record& record, double cr_percent,
+                                const CsPipelineConfig& cfg, bool joint) {
+  CsRunResult result;
+  result.cr_percent = cr_percent;
+  const std::size_t n = cfg.window_samples;
+  const std::size_t m = rows_for_cr(cr_percent, n);
+  // One independent matrix per lead: free on the node (a per-lead seed),
+  // and it de-correlates the measurement operators, which is what lets
+  // joint decoding pull ahead of lead-by-lead decoding.
+  std::vector<SensingMatrix> phis;
+  for (std::size_t l = 0; l < record.num_leads(); ++l) {
+    sig::Rng rng(cfg.matrix_seed + l);
+    phis.push_back(SensingMatrix::make_sparse_binary(m, n, cfg.ones_per_column, rng));
+  }
+  const double lsb = cfg.adc.lsb_mv() / cfg.adc.gain;
+
+  dsp::OpCount encode_ops;
+  double snr_acc = 0.0;
+  std::size_t scored = 0;
+  const std::size_t windows = window_count(record.num_samples(), n);
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<std::vector<double>> ys;
+    std::vector<std::vector<double>> references;
+    for (std::size_t l = 0; l < record.leads.size(); ++l) {
+      const auto& lead = record.leads[l];
+      const auto window_mv =
+          std::span<const double>(lead).subspan(w * n, n);
+      const auto counts = sig::quantize(window_mv, cfg.adc);
+      const auto y_int = phis[l].encode(counts, &encode_ops);
+      result.measurement_count += y_int.size();
+      std::vector<double> y(y_int.begin(), y_int.end());
+      for (double& v : y) v *= lsb;
+      ys.push_back(std::move(y));
+      references.push_back(sig::dequantize(counts, cfg.adc));
+    }
+
+    if (joint) {
+      const auto recon = group_fista_reconstruct_multi(phis, ys, cfg.fista);
+      for (std::size_t l = 0; l < ys.size(); ++l) {
+        snr_acc += reconstruction_snr_db(references[l], recon.signals[l]);
+        ++scored;
+      }
+    } else {
+      for (std::size_t l = 0; l < ys.size(); ++l) {
+        const auto recon = fista_reconstruct(phis[l], ys[l], cfg.fista);
+        snr_acc += reconstruction_snr_db(references[l], recon.signal);
+        ++scored;
+      }
+    }
+  }
+  result.windows = windows;
+  result.mean_snr_db = scored > 0 ? snr_acc / static_cast<double>(scored) : 0.0;
+  result.encode_ops = encode_ops.total();
+  return result;
+}
+
+}  // namespace
+
+CsRunResult run_multi_lead_cs(const sig::Record& record, double cr_percent,
+                              const CsPipelineConfig& cfg) {
+  return run_multi_lead_impl(record, cr_percent, cfg, /*joint=*/true);
+}
+
+CsRunResult run_independent_leads_cs(const sig::Record& record, double cr_percent,
+                                     const CsPipelineConfig& cfg) {
+  return run_multi_lead_impl(record, cr_percent, cfg, /*joint=*/false);
+}
+
+double cr_at_snr(std::span<const double> crs, std::span<const double> snrs,
+                 double target_snr_db) {
+  // SNR decreases with CR; walk from the highest CR down to find the
+  // crossing and interpolate.
+  double best = 0.0;
+  for (std::size_t i = 0; i + 1 < crs.size(); ++i) {
+    const double snr_a = snrs[i];
+    const double snr_b = snrs[i + 1];
+    if ((snr_a >= target_snr_db && snr_b <= target_snr_db) ||
+        (snr_a <= target_snr_db && snr_b >= target_snr_db)) {
+      const double frac = (target_snr_db - snr_a) / (snr_b - snr_a + 1e-12);
+      best = std::max(best, crs[i] + frac * (crs[i + 1] - crs[i]));
+    } else if (snr_a >= target_snr_db) {
+      best = std::max(best, crs[i]);
+    }
+  }
+  if (!crs.empty() && snrs.back() >= target_snr_db) best = std::max(best, crs.back());
+  return best;
+}
+
+}  // namespace wbsn::cs

@@ -1,0 +1,53 @@
+// Window-level CS compression pipeline and the CR-sweep driver behind
+// Figure 5: quantize -> encode on the "node" -> reconstruct on the "host"
+// -> score SNR against the pre-compression signal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cs/fista.hpp"
+#include "cs/sensing_matrix.hpp"
+#include "sig/adc.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::cs {
+
+struct CsPipelineConfig {
+  std::size_t window_samples = 512;   ///< ~2 s at 250 Hz.
+  std::size_t ones_per_column = 4;    ///< Sparse-binary density (d).
+  std::uint64_t matrix_seed = 0xC0FFEE;
+  FistaConfig fista{};
+  sig::AdcConfig adc{};
+};
+
+/// Result of compressing one record at one compression ratio.
+struct CsRunResult {
+  double cr_percent = 0.0;
+  double mean_snr_db = 0.0;       ///< Averaged over windows (and leads).
+  std::size_t windows = 0;
+  std::uint64_t encode_ops = 0;   ///< Node-side ops for the whole record.
+  std::size_t measurement_count = 0;  ///< Total measurements produced.
+};
+
+/// Single-lead CS over `lead` (mV) at the given CR.
+CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,
+                               const CsPipelineConfig& cfg = {});
+
+/// Joint multi-lead CS over all leads of `record` at the given CR.
+CsRunResult run_multi_lead_cs(const sig::Record& record, double cr_percent,
+                              const CsPipelineConfig& cfg = {});
+
+/// Independent per-lead CS (the non-joint multi-lead baseline: same data,
+/// but each lead reconstructed alone — the ablation for joint recovery).
+CsRunResult run_independent_leads_cs(const sig::Record& record, double cr_percent,
+                                     const CsPipelineConfig& cfg = {});
+
+/// Finds (by linear interpolation over a sweep) the largest CR at which
+/// the mean SNR still reaches `target_snr_db` — the paper quotes these
+/// operating points as CR = 65.9 % (single) / 72.7 % (multi).
+double cr_at_snr(std::span<const double> crs, std::span<const double> snrs,
+                 double target_snr_db);
+
+}  // namespace wbsn::cs

@@ -1,0 +1,118 @@
+#include "cs/sensing_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wbsn::cs {
+
+SensingMatrix SensingMatrix::make_sparse_binary(std::size_t m, std::size_t n,
+                                                std::size_t ones_per_column, sig::Rng& rng) {
+  assert(ones_per_column >= 1 && ones_per_column <= m);
+  SensingMatrix mat(m, n);
+  mat.col_start_.reserve(n + 1);
+  mat.entries_.reserve(n * ones_per_column);
+  std::vector<std::uint16_t> rows(ones_per_column);
+  for (std::size_t c = 0; c < n; ++c) {
+    mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+    // Sample `ones_per_column` distinct rows (Floyd's algorithm would be
+    // overkill at these sizes; rejection is fine for d << m).
+    std::size_t placed = 0;
+    while (placed < ones_per_column) {
+      const auto r = static_cast<std::uint16_t>(rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+      if (std::find(rows.begin(), rows.begin() + static_cast<long>(placed), r) !=
+          rows.begin() + static_cast<long>(placed)) {
+        continue;
+      }
+      rows[placed++] = r;
+    }
+    for (std::size_t i = 0; i < ones_per_column; ++i) {
+      mat.entries_.push_back({rows[i], +1});
+    }
+  }
+  mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+  return mat;
+}
+
+SensingMatrix SensingMatrix::make_bernoulli(std::size_t m, std::size_t n, sig::Rng& rng) {
+  SensingMatrix mat(m, n);
+  mat.has_negative_ = true;
+  mat.col_start_.reserve(n + 1);
+  mat.entries_.reserve(n * m);
+  for (std::size_t c = 0; c < n; ++c) {
+    mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+    for (std::size_t r = 0; r < m; ++r) {
+      mat.entries_.push_back(
+          {static_cast<std::uint16_t>(r), rng.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1}});
+    }
+  }
+  mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+  return mat;
+}
+
+std::vector<std::int64_t> SensingMatrix::encode(std::span<const std::int32_t> x,
+                                                dsp::OpCount* ops) const {
+  assert(x.size() == n_);
+  dsp::OpCount local;
+  std::vector<std::int64_t> y(m_, 0);
+  for (std::size_t c = 0; c < n_; ++c) {
+    const auto v = static_cast<std::int64_t>(x[c]);
+    local.load += 1;
+    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+      const auto& entry = entries_[e];
+      if (entry.sign > 0) {
+        y[entry.row] += v;
+      } else {
+        y[entry.row] -= v;
+      }
+      local.add += 1;
+      local.load += 2;
+      local.store += 1;
+    }
+  }
+  if (ops != nullptr) *ops += local;
+  return y;
+}
+
+std::vector<double> SensingMatrix::apply(std::span<const double> x) const {
+  assert(x.size() == n_);
+  std::vector<double> y(m_, 0.0);
+  for (std::size_t c = 0; c < n_; ++c) {
+    const double v = x[c];
+    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+      y[entries_[e].row] += entries_[e].sign * v;
+    }
+  }
+  return y;
+}
+
+std::vector<double> SensingMatrix::apply_adjoint(std::span<const double> y) const {
+  assert(y.size() == m_);
+  std::vector<double> x(n_, 0.0);
+  for (std::size_t c = 0; c < n_; ++c) {
+    double acc = 0.0;
+    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+      acc += entries_[e].sign * y[entries_[e].row];
+    }
+    x[c] = acc;
+  }
+  return x;
+}
+
+std::size_t SensingMatrix::storage_bytes() const {
+  // 16-bit row index per non-zero; +1 bit per entry for signs if any.
+  std::size_t bytes = entries_.size() * 2;
+  if (has_negative_) bytes += (entries_.size() + 7) / 8;
+  return bytes;
+}
+
+double compression_ratio_percent(std::size_t m, std::size_t n) {
+  return 100.0 * (1.0 - static_cast<double>(m) / static_cast<double>(n));
+}
+
+std::size_t rows_for_cr(double cr_percent, std::size_t n) {
+  const double m = (1.0 - cr_percent / 100.0) * static_cast<double>(n);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(m)));
+}
+
+}  // namespace wbsn::cs

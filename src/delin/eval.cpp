@@ -1,0 +1,186 @@
+#include "delin/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wbsn::delin {
+
+std::string to_string(FiducialKind kind) {
+  switch (kind) {
+    case FiducialKind::kPOn: return "P-onset";
+    case FiducialKind::kPPeak: return "P-peak";
+    case FiducialKind::kPOff: return "P-offset";
+    case FiducialKind::kQrsOn: return "QRS-onset";
+    case FiducialKind::kRPeak: return "R-peak";
+    case FiducialKind::kQrsOff: return "QRS-offset";
+    case FiducialKind::kTOn: return "T-onset";
+    case FiducialKind::kTPeak: return "T-peak";
+    case FiducialKind::kTOff: return "T-offset";
+  }
+  return "?";
+}
+
+double PointStats::sensitivity() const {
+  const int denom = tp + fn;
+  return denom > 0 ? static_cast<double>(tp) / denom : 1.0;
+}
+
+double PointStats::positive_predictivity() const {
+  const int denom = tp + fp;
+  return denom > 0 ? static_cast<double>(tp) / denom : 1.0;
+}
+
+double PointStats::mean_error_ms() const {
+  return tp > 0 ? sum_err_ms / tp : 0.0;
+}
+
+double PointStats::rms_error_ms() const {
+  return tp > 0 ? std::sqrt(sum_sq_err_ms / tp) : 0.0;
+}
+
+double DelineationScore::worst_sensitivity() const {
+  double worst = 1.0;
+  for (const auto& p : points) worst = std::min(worst, p.sensitivity());
+  return worst;
+}
+
+double DelineationScore::worst_positive_predictivity() const {
+  double worst = 1.0;
+  for (const auto& p : points) worst = std::min(worst, p.positive_predictivity());
+  return worst;
+}
+
+DelineationScore& DelineationScore::operator+=(const DelineationScore& other) {
+  for (std::size_t k = 0; k < kNumFiducialKinds; ++k) {
+    points[k].tp += other.points[k].tp;
+    points[k].fn += other.points[k].fn;
+    points[k].fp += other.points[k].fp;
+    points[k].sum_err_ms += other.points[k].sum_err_ms;
+    points[k].sum_sq_err_ms += other.points[k].sum_sq_err_ms;
+  }
+  return *this;
+}
+
+namespace {
+
+/// Extracts the sample index of one fiducial kind (-1 if absent).
+std::int64_t fiducial_of(const sig::BeatAnnotation& beat, FiducialKind kind) {
+  switch (kind) {
+    case FiducialKind::kPOn: return beat.p.valid() ? beat.p.onset : -1;
+    case FiducialKind::kPPeak: return beat.p.valid() ? beat.p.peak : -1;
+    case FiducialKind::kPOff: return beat.p.valid() ? beat.p.offset : -1;
+    case FiducialKind::kQrsOn: return beat.qrs.valid() ? beat.qrs.onset : -1;
+    case FiducialKind::kRPeak: return beat.qrs.valid() ? beat.qrs.peak : -1;
+    case FiducialKind::kQrsOff: return beat.qrs.valid() ? beat.qrs.offset : -1;
+    case FiducialKind::kTOn: return beat.t.valid() ? beat.t.onset : -1;
+    case FiducialKind::kTPeak: return beat.t.valid() ? beat.t.peak : -1;
+    case FiducialKind::kTOff: return beat.t.valid() ? beat.t.offset : -1;
+  }
+  return -1;
+}
+
+bool is_peak_kind(FiducialKind kind) {
+  return kind == FiducialKind::kPPeak || kind == FiducialKind::kRPeak ||
+         kind == FiducialKind::kTPeak;
+}
+
+}  // namespace
+
+DelineationScore evaluate_delineation(std::span<const sig::BeatAnnotation> truth,
+                                      std::span<const sig::BeatAnnotation> detected,
+                                      const EvalConfig& cfg) {
+  DelineationScore score;
+  const double beat_tol = cfg.beat_match_tolerance_ms * cfg.fs / 1000.0;
+
+  // Greedy beat pairing by R peak (both lists sorted): classic two-pointer.
+  std::vector<std::pair<const sig::BeatAnnotation*, const sig::BeatAnnotation*>> pairs;
+  std::vector<bool> det_used(detected.size(), false);
+  std::size_t j = 0;
+  for (const auto& t : truth) {
+    // Advance to the nearest detection.
+    while (j + 1 < detected.size() &&
+           std::abs(detected[j + 1].r_peak - t.r_peak) <=
+               std::abs(detected[j].r_peak - t.r_peak)) {
+      ++j;
+    }
+    if (j < detected.size() && !det_used[j] &&
+        std::abs(static_cast<double>(detected[j].r_peak - t.r_peak)) <= beat_tol) {
+      pairs.emplace_back(&t, &detected[j]);
+      det_used[j] = true;
+    } else {
+      pairs.emplace_back(&t, nullptr);
+    }
+  }
+
+  for (std::size_t k = 0; k < kNumFiducialKinds; ++k) {
+    const auto kind = static_cast<FiducialKind>(k);
+    const double tol_ms = is_peak_kind(kind) ? cfg.peak_tolerance_ms : cfg.bound_tolerance_ms;
+    auto& stats = score.points[k];
+    for (const auto& [t, d] : pairs) {
+      const std::int64_t truth_pos = fiducial_of(*t, kind);
+      const std::int64_t det_pos = d != nullptr ? fiducial_of(*d, kind) : -1;
+      if (truth_pos < 0 && det_pos < 0) continue;  // True negative (no wave).
+      if (truth_pos < 0) {
+        ++stats.fp;  // Hallucinated wave.
+        continue;
+      }
+      if (det_pos < 0) {
+        ++stats.fn;  // Missed wave.
+        continue;
+      }
+      const double err_ms =
+          static_cast<double>(det_pos - truth_pos) * 1000.0 / cfg.fs;
+      if (std::abs(err_ms) <= tol_ms) {
+        ++stats.tp;
+        stats.sum_err_ms += err_ms;
+        stats.sum_sq_err_ms += err_ms * err_ms;
+      } else {
+        // Outside tolerance counts against both ratios, as in the CSE
+        // protocol: the truth point is missed and the detection is spurious.
+        ++stats.fn;
+        ++stats.fp;
+      }
+    }
+    // Detections in beats with no matching truth beat are false positives.
+    for (std::size_t di = 0; di < detected.size(); ++di) {
+      if (!det_used[di] && fiducial_of(detected[di], kind) >= 0) ++stats.fp;
+    }
+  }
+  return score;
+}
+
+PointStats evaluate_r_detection(std::span<const std::int64_t> truth,
+                                std::span<const std::int64_t> detected, double fs,
+                                double tolerance_ms) {
+  PointStats stats;
+  const double tol = tolerance_ms * fs / 1000.0;
+  std::vector<bool> used(detected.size(), false);
+  for (std::int64_t t : truth) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_j = detected.size();
+    for (std::size_t j = 0; j < detected.size(); ++j) {
+      if (used[j]) continue;
+      const double d = std::abs(static_cast<double>(detected[j] - t));
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    if (best_j < detected.size() && best <= tol) {
+      used[best_j] = true;
+      ++stats.tp;
+      const double err_ms = best * 1000.0 / fs;
+      stats.sum_err_ms += err_ms;
+      stats.sum_sq_err_ms += err_ms * err_ms;
+    } else {
+      ++stats.fn;
+    }
+  }
+  for (std::size_t j = 0; j < detected.size(); ++j) {
+    if (!used[j]) ++stats.fp;
+  }
+  return stats;
+}
+
+}  // namespace wbsn::delin

@@ -1,0 +1,224 @@
+#include "delin/mmd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/morphology.hpp"
+
+namespace wbsn::delin {
+namespace {
+
+/// Top-hat (x - opening) and bottom-hat (closing - x) residuals.  Unlike
+/// the symmetric transform x - (open+close)/2, the hats never "bridge"
+/// silent gaps between waves: opening is anti-extensive and closing is
+/// extensive, so each residual is zero wherever the signal carries no
+/// structure of the matching polarity narrower than the SE.  Positive
+/// waves light up the top-hat, negative waves the bottom-hat, and the
+/// isoelectric segments stay at zero — exactly what boundary scanning
+/// needs.
+struct HatPair {
+  std::vector<std::int32_t> top;
+  std::vector<std::int32_t> bottom;
+};
+
+HatPair hats(std::span<const std::int32_t> x, std::size_t width, dsp::OpCount& ops) {
+  HatPair h;
+  const auto opened = dsp::morph_open(x, width, &ops);
+  const auto closed = dsp::morph_close(x, width, &ops);
+  h.top.resize(x.size());
+  h.bottom.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    h.top[i] = x[i] - opened[i];
+    h.bottom[i] = closed[i] - x[i];
+  }
+  ops.add += 2 * x.size();
+  ops.load += 3 * x.size();
+  ops.store += 2 * x.size();
+  return h;
+}
+
+/// Wave response at sample i: the dominant hat and its polarity.
+struct Response {
+  std::int64_t magnitude = 0;
+  int polarity = +1;  ///< +1: top-hat (positive wave), -1: bottom-hat.
+};
+
+/// The bottom-hat also fires inside silent gaps *between* two positive
+/// waves (closing bridges any gap narrower than its SE), so hat choice is
+/// gated on the sign of the baseline-corrected signal itself: a genuine
+/// negative wave deflects the signal below baseline, a bridged gap does
+/// not.
+Response response_at(std::span<const std::int32_t> x, const HatPair& h, std::int64_t i) {
+  const auto idx = static_cast<std::size_t>(i);
+  if (x[idx] >= 0) return {static_cast<std::int64_t>(h.top[idx]), +1};
+  return {static_cast<std::int64_t>(h.bottom[idx]), -1};
+}
+
+/// Largest wave response in [lo, hi] (clamped); -1 for empty windows.
+std::int64_t argmax_response(std::span<const std::int32_t> x, const HatPair& h,
+                             std::int64_t lo, std::int64_t hi, dsp::OpCount& ops) {
+  lo = std::max<std::int64_t>(lo, 0);
+  hi = std::min<std::int64_t>(hi, static_cast<std::int64_t>(h.top.size()) - 1);
+  if (lo > hi) return -1;
+  std::int64_t best = lo;
+  std::int64_t best_mag = -1;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const auto r = response_at(x, h, i);
+    if (r.magnitude > best_mag) {
+      best_mag = r.magnitude;
+      best = i;
+    }
+  }
+  ops.cmp += 2 * static_cast<std::uint64_t>(hi - lo + 1);
+  ops.load += 2 * static_cast<std::uint64_t>(hi - lo + 1);
+  return best;
+}
+
+/// Walks outward from `from` along the polarity's hat until it decays
+/// below `threshold`; `min_steps` skips intra-complex dips.
+std::int64_t scan_boundary(const HatPair& h, std::int64_t from, int dir, int polarity,
+                           std::int64_t threshold, std::int64_t min_steps,
+                           std::int64_t max_steps, dsp::OpCount& ops) {
+  const auto& hat = polarity > 0 ? h.top : h.bottom;
+  const auto n = static_cast<std::int64_t>(hat.size());
+  std::int64_t i = from;
+  for (std::int64_t step = 0; step < max_steps; ++step) {
+    const std::int64_t next = i + dir;
+    if (next < 0 || next >= n) break;
+    i = next;
+    ops.cmp += 1;
+    ops.load += 1;
+    if (step + 1 < min_steps) continue;
+    if (static_cast<std::int64_t>(hat[static_cast<std::size_t>(i)]) < threshold) return i;
+  }
+  return i;
+}
+
+/// PQ quiet-zone veto.  A genuine P wave is followed by an isoelectric
+/// segment before the QRS; continuous fibrillatory activity (AF) is not.
+/// Accepts the candidate only if the mean |x| between its offset and the
+/// QRS onset stays below a fraction of the candidate's own amplitude.
+bool pq_zone_is_quiet(std::span<const std::int32_t> x, std::int64_t p_on,
+                      std::int64_t p_off, std::int64_t qrs_onset, std::int64_t p_peak,
+                      dsp::OpCount& ops) {
+  // Two evidence segments: the stretch before the P onset (after the
+  // preceding T wave) and the PQ segment proper.  A true P is isoelectric
+  // on both flanks; fibrillatory waves and T-wave tails are not.
+  std::int64_t acc = 0;
+  std::int64_t count = 0;
+  const auto n = static_cast<std::int64_t>(x.size());
+  const auto add_segment = [&](std::int64_t lo, std::int64_t hi) {
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi, n - 1);
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      acc += std::abs(static_cast<std::int64_t>(x[static_cast<std::size_t>(i)]));
+      ++count;
+    }
+    ops.add += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo + 1));
+    ops.load += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo + 1));
+  };
+  add_segment(p_on - 8, p_on - 2);
+  add_segment(p_off + 2, qrs_onset - 2);
+  if (count < 5) return true;  // Zones too short to judge; accept.
+  ops.div += 1;
+  const std::int64_t mean = acc / count;
+  const std::int64_t amp =
+      std::abs(static_cast<std::int64_t>(x[static_cast<std::size_t>(p_peak)]));
+  return mean < (amp * 96) >> 8;  // 37.5 % of the candidate amplitude.
+}
+
+}  // namespace
+
+MmdResult delineate_mmd(std::span<const std::int32_t> x,
+                        std::span<const std::int64_t> r_peaks, const MmdConfig& cfg) {
+  MmdResult result;
+  if (x.empty() || r_peaks.empty()) return result;
+
+  const auto samples = [&](double seconds) {
+    return static_cast<std::int64_t>(std::llround(seconds * cfg.fs));
+  };
+  const auto odd = [](std::int64_t w) { return static_cast<std::size_t>(w | 1); };
+
+  // Hat pairs at the two scales (computed once per buffer; streamed in
+  // fixed windows on the real node with identical per-sample work).
+  const HatPair h_qrs = hats(x, odd(samples(cfg.qrs_se_s)), result.ops);
+  const HatPair h_pt = hats(x, odd(samples(cfg.pt_se_s)), result.ops);
+  const auto n = static_cast<std::int64_t>(x.size());
+
+  for (std::size_t b = 0; b < r_peaks.size(); ++b) {
+    const std::int64_t r = r_peaks[b];
+    if (r < 0 || r >= n) continue;
+    sig::BeatAnnotation beat;
+    beat.r_peak = r;
+
+    const Response r_resp = response_at(x, h_qrs, r);
+    const std::int64_t qrs_thr =
+        std::max<std::int64_t>(1, (r_resp.magnitude * cfg.boundary_threshold_num) >> 8);
+    const std::int64_t max_scan = samples(0.12);
+
+    // --- QRS: scan outward from R along its own hat. ---
+    beat.qrs.peak = r;
+    beat.qrs.onset = scan_boundary(h_qrs, r, -1, r_resp.polarity, qrs_thr, samples(0.02),
+                                   max_scan, result.ops);
+    beat.qrs.offset = scan_boundary(h_qrs, r, +1, r_resp.polarity, qrs_thr, samples(0.02),
+                                    max_scan, result.ops);
+
+    // --- P wave ---
+    // The search window is bounded below by the previous beat's T-wave
+    // region so its tail cannot be mistaken for a P at high rates.
+    std::int64_t p_lo = r - samples(cfg.p_search_lo_s);
+    if (b > 0) {
+      const std::int64_t rr = r - r_peaks[b - 1];
+      // Two lower bounds: a fraction of the current RR, and an absolute
+      // floor covering the previous beat's T wave.  The floor matters for
+      // premature beats (short coupling interval), where the preceding T —
+      // timed by the *previous* cycle — still occupies early diastole.
+      p_lo = std::max(p_lo, r_peaks[b - 1] +
+                                std::max((rr * 154) >> 8, samples(0.45)));
+    }
+    // The window also ends before this beat's own QRS onset (a premature
+    // wide-QRS beat pushes its Q rise into the nominal P territory).
+    const std::int64_t p_hi =
+        std::min(r - samples(cfg.p_search_hi_s), beat.qrs.onset - samples(0.02));
+    const std::int64_t p_peak = argmax_response(x, h_pt, p_lo, p_hi, result.ops);
+    // A genuine P peak is interior to its window; a maximum hugging the
+    // window edge is the tail of a neighbouring wave leaking in.
+    const bool p_interior = p_peak > std::max<std::int64_t>(p_lo, 0) + 1 && p_peak < p_hi - 1;
+    if (p_peak >= 0 && p_interior) {
+      const Response p_resp = response_at(x, h_pt, p_peak);
+      if (p_resp.magnitude >= (r_resp.magnitude * cfg.p_presence_num) >> 8) {
+        const std::int64_t p_thr = std::max<std::int64_t>(
+            1, (p_resp.magnitude * cfg.p_boundary_threshold_num) >> 8);
+        sig::WaveFiducials p;
+        p.peak = p_peak;
+        p.onset = scan_boundary(h_pt, p_peak, -1, p_resp.polarity, p_thr, samples(0.015),
+                                max_scan, result.ops);
+        p.offset = scan_boundary(h_pt, p_peak, +1, p_resp.polarity, p_thr, samples(0.015),
+                                 max_scan, result.ops);
+        if (pq_zone_is_quiet(x, p.onset, p.offset, beat.qrs.onset, p_peak, result.ops)) {
+          beat.p = p;
+        }
+      }
+    }
+
+    // --- T wave ---
+    const std::int64_t t_lo = beat.qrs.offset + samples(cfg.t_search_lo_s);
+    const std::int64_t t_hi = r + samples(cfg.t_search_hi_s);
+    const std::int64_t t_peak = argmax_response(x, h_pt, t_lo, t_hi, result.ops);
+    if (t_peak >= 0) {
+      const Response t_resp = response_at(x, h_pt, t_peak);
+      const std::int64_t t_thr = std::max<std::int64_t>(
+          1, (t_resp.magnitude * cfg.pt_boundary_threshold_num) >> 8);
+      beat.t.peak = t_peak;
+      beat.t.onset = scan_boundary(h_pt, t_peak, -1, t_resp.polarity, t_thr,
+                                   samples(0.02), max_scan * 2, result.ops);
+      beat.t.offset = scan_boundary(h_pt, t_peak, +1, t_resp.polarity, t_thr,
+                                    samples(0.02), max_scan * 2, result.ops);
+    }
+
+    result.beats.push_back(beat);
+  }
+  return result;
+}
+
+}  // namespace wbsn::delin

@@ -1,0 +1,59 @@
+// Multiscale morphological delineation (MMD) of P, QRS and T waves.
+//
+// Implements the morphological-transform delineator of Sun, Chan & Krishnan
+// (BMC Cardiovascular Disorders, 2005), the "3L-MMD" kernel of the paper's
+// Figure 7 and one of the two embedded delineators compared in Braojos et
+// al. (BIBE 2012).  The peak-enhancing transform x - (open(x)+close(x))/2
+// maps wave peaks to extrema and flattens baseline, so fiducial points
+// reduce to window searches and threshold crossings — all integer
+// arithmetic with flat structuring elements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::delin {
+
+struct MmdConfig {
+  double fs = 250.0;
+  /// Structuring-element widths (seconds) for the per-wave transforms.
+  double qrs_se_s = 0.14;
+  double pt_se_s = 0.44;       ///< Wider SE: must exceed the widest T wave.
+  /// Wave search windows relative to the R peak / QRS bounds (seconds).
+  double q_search_s = 0.07;    ///< Q within [R - q_search, R).
+  double s_search_s = 0.09;    ///< S within (R, R + s_search].
+  double p_search_lo_s = 0.28; ///< P window begins at R - p_search_lo.
+  double p_search_hi_s = 0.07; ///< ... and ends at R - p_search_hi.
+  double t_search_lo_s = 0.12; ///< T window begins at QRS offset + ...
+  double t_search_hi_s = 0.42; ///< ... and ends at R + t_search_hi.
+  /// QRS on/offset threshold as a fraction of the wave's transform peak,
+  /// over 256 (13 ~ 5 %).
+  int boundary_threshold_num = 13;
+  /// P/T boundary threshold (over 256).  Higher than the QRS one because
+  /// the low-amplitude P wave's 5 %-level sits below the ambulatory noise
+  /// floor; 33/256 ~ 13 % keeps the scan above the noise at a ~10 ms
+  /// systematic bias (well inside the CSE tolerance).
+  int pt_boundary_threshold_num = 33;
+  /// P-wave boundary threshold (over 256): the P is the smallest wave, so
+  /// its scan needs the largest noise margin; 51/256 ~ 20 % trades a
+  /// ~15 ms inward bias for robustness to residual wander.
+  int p_boundary_threshold_num = 51;
+  /// Minimum P transform amplitude relative to the R transform amplitude
+  /// (fraction of 256) below which the beat is declared P-less.
+  int p_presence_num = 20;     ///< 20/256 = 7.8 % of the R response.
+};
+
+struct MmdResult {
+  std::vector<sig::BeatAnnotation> beats;
+  dsp::OpCount ops;
+};
+
+/// Delineates each beat of `x` given externally detected R peaks.
+MmdResult delineate_mmd(std::span<const std::int32_t> x,
+                        std::span<const std::int64_t> r_peaks, const MmdConfig& cfg = {});
+
+}  // namespace wbsn::delin

@@ -1,0 +1,54 @@
+#include "delin/pipeline.hpp"
+
+#include "dsp/lead_combine.hpp"
+
+namespace wbsn::delin {
+
+PipelineResult run_delineation_pipeline(std::span<const std::vector<std::int32_t>> leads,
+                                        const PipelineConfig& cfg) {
+  PipelineResult result;
+  if (leads.empty()) return result;
+
+  // Stage 1: morphological conditioning, independently per lead (the "3L"
+  // in 3L-MF: the same kernel over three data streams).
+  std::vector<std::vector<std::int32_t>> filtered;
+  filtered.reserve(leads.size());
+  for (const auto& lead : leads) {
+    auto stage = dsp::morphological_filter(lead, cfg.filter);
+    result.filter_ops += stage.ops;
+    filtered.push_back(std::move(stage.filtered));
+  }
+
+  // Stage 2: lead combination (RMS) or first-lead passthrough.
+  std::vector<std::int32_t> combined;
+  if (cfg.combine_leads && filtered.size() > 1) {
+    combined = dsp::rms_combine(filtered, &result.combine_ops);
+  } else {
+    combined = filtered[0];
+  }
+
+  // Stage 3: beat detection.
+  QrsDetectorConfig qrs_cfg = cfg.qrs;
+  qrs_cfg.fs = cfg.fs;
+  auto qrs = detect_qrs(combined, qrs_cfg);
+  result.qrs_ops = qrs.ops;
+  result.r_peaks = std::move(qrs.r_peaks);
+
+  // Stage 4: wave delineation on the combined signal.
+  if (cfg.delineator == Delineator::kMorphological) {
+    MmdConfig mmd_cfg = cfg.mmd;
+    mmd_cfg.fs = cfg.fs;
+    auto delineated = delineate_mmd(combined, result.r_peaks, mmd_cfg);
+    result.delineation_ops = delineated.ops;
+    result.beats = std::move(delineated.beats);
+  } else {
+    WaveletDelinConfig w_cfg = cfg.wavelet;
+    w_cfg.fs = cfg.fs;
+    auto delineated = delineate_wavelet(combined, result.r_peaks, w_cfg);
+    result.delineation_ops = delineated.ops;
+    result.beats = std::move(delineated.beats);
+  }
+  return result;
+}
+
+}  // namespace wbsn::delin

@@ -1,0 +1,51 @@
+// End-to-end multi-lead delineation pipeline (filter -> combine -> detect
+// -> delineate), matching the processing chain of Figure 1 up to the
+// "delineation" abstraction level.  This is the composition benchmarked as
+// 3L-MF + 3L-MMD in Figure 7 and evaluated in the delineation-accuracy
+// table; core/ builds the full application node on top of it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "delin/eval.hpp"
+#include "delin/mmd.hpp"
+#include "delin/qrs_detect.hpp"
+#include "delin/wavelet_delin.hpp"
+#include "dsp/morphology.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::delin {
+
+enum class Delineator { kMorphological, kWavelet };
+
+struct PipelineConfig {
+  double fs = 250.0;
+  dsp::MorphFilterConfig filter{};
+  QrsDetectorConfig qrs{};
+  Delineator delineator = Delineator::kMorphological;
+  MmdConfig mmd{};
+  WaveletDelinConfig wavelet{};
+  bool combine_leads = true;  ///< RMS combination before delineation.
+};
+
+struct PipelineResult {
+  std::vector<sig::BeatAnnotation> beats;
+  std::vector<std::int64_t> r_peaks;
+  /// Per-stage node-side work, for the energy model.
+  dsp::OpCount filter_ops;
+  dsp::OpCount combine_ops;
+  dsp::OpCount qrs_ops;
+  dsp::OpCount delineation_ops;
+
+  dsp::OpCount total_ops() const {
+    return filter_ops + combine_ops + qrs_ops + delineation_ops;
+  }
+};
+
+/// Runs the full chain on integer multi-lead input.
+PipelineResult run_delineation_pipeline(std::span<const std::vector<std::int32_t>> leads,
+                                        const PipelineConfig& cfg = {});
+
+}  // namespace wbsn::delin

@@ -1,0 +1,173 @@
+#include "delin/qrs_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::delin {
+namespace {
+
+/// Pan-Tompkins five-point derivative: y[n] = (2x[n] + x[n-1] - x[n-3]
+/// - 2x[n-4]) / 8.  Pure shifts and adds.
+std::vector<std::int32_t> derivative(std::span<const std::int32_t> x, dsp::OpCount& ops) {
+  std::vector<std::int32_t> y(x.size(), 0);
+  for (std::size_t i = 4; i < x.size(); ++i) {
+    const std::int64_t v = 2 * static_cast<std::int64_t>(x[i]) + x[i - 1] - x[i - 3] -
+                           2 * static_cast<std::int64_t>(x[i - 4]);
+    y[i] = static_cast<std::int32_t>(v >> 3);
+  }
+  ops.add += 3 * x.size();
+  ops.shift += 3 * x.size();
+  ops.load += 4 * x.size();
+  ops.store += x.size();
+  return y;
+}
+
+/// Squaring with a scale-down shift to keep the integrator in 32 bits.
+std::vector<std::int32_t> square(std::span<const std::int32_t> x, dsp::OpCount& ops) {
+  std::vector<std::int32_t> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::int64_t sq = static_cast<std::int64_t>(x[i]) * x[i];
+    y[i] = static_cast<std::int32_t>(std::min<std::int64_t>(sq >> 4, INT32_MAX));
+  }
+  ops.mul += x.size();
+  ops.shift += x.size();
+  ops.load += x.size();
+  ops.store += x.size();
+  return y;
+}
+
+/// Moving-window integral (running sum; the constant scale factor is
+/// irrelevant to thresholding so no division is needed).
+std::vector<std::int64_t> integrate(std::span<const std::int32_t> x, std::size_t window,
+                                    dsp::OpCount& ops) {
+  std::vector<std::int64_t> y(x.size(), 0);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    if (i >= window) acc -= x[i - window];
+    y[i] = acc;
+  }
+  ops.add += 2 * x.size();
+  ops.load += 2 * x.size();
+  ops.store += x.size();
+  return y;
+}
+
+}  // namespace
+
+QrsDetectionResult detect_qrs(std::span<const std::int32_t> x, const QrsDetectorConfig& cfg) {
+  QrsDetectionResult result;
+  if (x.size() < 16) return result;
+
+  const auto deriv = derivative(x, result.ops);
+  const auto squared = square(deriv, result.ops);
+  const auto window = static_cast<std::size_t>(cfg.integration_window_s * cfg.fs);
+  const auto integ = integrate(squared, window, result.ops);
+
+  const auto refractory = static_cast<std::int64_t>(cfg.refractory_s * cfg.fs);
+  const auto locate_halfwidth =
+      static_cast<std::int64_t>(cfg.r_locate_halfwidth_s * cfg.fs);
+  const auto n = static_cast<std::int64_t>(x.size());
+
+  // Adaptive levels: signal-peak and noise-peak running estimates.  Both
+  // update with 1/8 steps (shift), as in embedded Pan-Tompkins ports.
+  // Initialization: peak of the first two seconds as SPK, an eighth of it
+  // as NPK.
+  const std::int64_t init_span = std::min<std::int64_t>(n, static_cast<std::int64_t>(2 * cfg.fs));
+  std::int64_t spk = 0;
+  for (std::int64_t i = 0; i < init_span; ++i) {
+    spk = std::max(spk, integ[static_cast<std::size_t>(i)]);
+  }
+  std::int64_t npk = spk >> 3;
+  result.ops.cmp += static_cast<std::uint64_t>(init_span);
+
+  const auto threshold = [&]() { return npk + ((spk - npk) >> 2); };
+
+  // Refine an integrator hump into an R location: maximum of |x| within
+  // +/- locate_halfwidth around (hump - integrator delay).
+  const auto locate_r = [&](std::int64_t hump) {
+    const std::int64_t center = hump - static_cast<std::int64_t>(window / 2);
+    const std::int64_t lo = std::max<std::int64_t>(0, center - locate_halfwidth);
+    const std::int64_t hi = std::min<std::int64_t>(n - 1, center + locate_halfwidth);
+    std::int64_t best = lo;
+    std::int64_t best_mag = 0;
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      const std::int64_t mag = std::abs(static_cast<std::int64_t>(x[static_cast<std::size_t>(i)]));
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = i;
+      }
+    }
+    result.ops.cmp += static_cast<std::uint64_t>(hi - lo + 1);
+    result.ops.load += static_cast<std::uint64_t>(hi - lo + 1);
+    return best;
+  };
+
+  std::int64_t last_hump = -refractory;
+  std::vector<std::int64_t> humps;
+  // Local maxima of the integrated signal above threshold, refractory-gated.
+  for (std::int64_t i = 1; i + 1 < n; ++i) {
+    const std::int64_t v = integ[static_cast<std::size_t>(i)];
+    result.ops.cmp += 2;
+    result.ops.load += 3;
+    if (v < integ[static_cast<std::size_t>(i - 1)] ||
+        v < integ[static_cast<std::size_t>(i + 1)]) {
+      continue;
+    }
+    result.ops.cmp += 2;
+    if (v > 0 && v >= threshold() && i - last_hump >= refractory) {
+      humps.push_back(i);
+      last_hump = i;
+      spk += (v - spk) >> 3;  // SPK <- 7/8 SPK + 1/8 peak.
+      result.ops.add += 2;
+      result.ops.shift += 1;
+    } else if (v < threshold()) {
+      npk += (v - npk) >> 3;
+      result.ops.add += 2;
+      result.ops.shift += 1;
+    }
+  }
+
+  // Search-back: if a gap exceeds search_back_factor * running average RR,
+  // re-scan the gap with half threshold.
+  if (humps.size() >= 2) {
+    std::vector<std::int64_t> complete;
+    std::int64_t avg_rr = humps[1] - humps[0];
+    complete.push_back(humps[0]);
+    for (std::size_t k = 1; k < humps.size(); ++k) {
+      const std::int64_t gap = humps[k] - complete.back();
+      const auto horizon =
+          static_cast<std::int64_t>(cfg.search_back_factor * static_cast<double>(avg_rr));
+      if (gap > horizon && avg_rr > refractory) {
+        // Highest integrator hump in the interior of the gap above half SPK.
+        const std::int64_t lo = complete.back() + refractory;
+        const std::int64_t hi = humps[k] - refractory;
+        std::int64_t best = -1;
+        std::int64_t best_v = spk >> 1;
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          const std::int64_t v = integ[static_cast<std::size_t>(i)];
+          if (v > best_v) {
+            best_v = v;
+            best = i;
+          }
+        }
+        result.ops.cmp += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo + 1));
+        if (best >= 0) complete.push_back(best);
+      }
+      complete.push_back(humps[k]);
+      avg_rr += (complete.back() - complete[complete.size() - 2] - avg_rr) >> 3;
+      avg_rr = std::max(avg_rr, refractory);
+    }
+    humps = std::move(complete);
+  }
+
+  result.r_peaks.reserve(humps.size());
+  for (std::int64_t hump : humps) {
+    const std::int64_t r = locate_r(hump);
+    if (!result.r_peaks.empty() && r - result.r_peaks.back() < refractory) continue;
+    result.r_peaks.push_back(r);
+  }
+  return result;
+}
+
+}  // namespace wbsn::delin

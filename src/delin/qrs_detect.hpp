@@ -1,0 +1,36 @@
+// Integer QRS (R peak) detector in the Pan-Tompkins style.
+//
+// The front stage of both delineators: a derivative filter emphasizes the
+// steep QRS slopes, squaring rectifies and sharpens, a 150 ms moving-window
+// integral produces one hump per beat, and an adaptive two-level threshold
+// with a refractory period and search-back picks beat locations.  Every
+// arithmetic step is integer (shifts instead of divisions), matching the
+// MCU implementation constraints of Section IV-A.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::delin {
+
+struct QrsDetectorConfig {
+  double fs = 250.0;
+  double refractory_s = 0.20;         ///< Minimum beat spacing.
+  double integration_window_s = 0.15; ///< Moving-window integral length.
+  double search_back_factor = 1.66;   ///< Missed-beat search-back horizon.
+  double r_locate_halfwidth_s = 0.06; ///< Window to refine R around a hump.
+};
+
+struct QrsDetectionResult {
+  std::vector<std::int64_t> r_peaks;
+  dsp::OpCount ops;
+};
+
+/// Detects R peaks on a single (filtered) integer lead.
+QrsDetectionResult detect_qrs(std::span<const std::int32_t> x,
+                              const QrsDetectorConfig& cfg = {});
+
+}  // namespace wbsn::delin

@@ -1,0 +1,210 @@
+#include "delin/wavelet_delin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/wavelet.hpp"
+
+namespace wbsn::delin {
+namespace {
+
+std::int64_t clamp_idx(std::int64_t i, std::int64_t n) {
+  return std::clamp<std::int64_t>(i, 0, n - 1);
+}
+
+std::int64_t argmax_signed(std::span<const std::int32_t> w, std::int64_t lo, std::int64_t hi,
+                           int sign, dsp::OpCount& ops) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  lo = clamp_idx(lo, n);
+  hi = clamp_idx(hi, n);
+  if (lo > hi) return -1;
+  std::int64_t best = -1;
+  std::int64_t best_v = 0;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const std::int64_t v = sign * static_cast<std::int64_t>(w[static_cast<std::size_t>(i)]);
+    if (v > best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  ops.cmp += static_cast<std::uint64_t>(hi - lo + 1);
+  ops.load += static_cast<std::uint64_t>(hi - lo + 1);
+  return best;
+}
+
+/// First sign change of `w` between a and b (a < b); falls back to the
+/// midpoint when the segment never crosses zero.
+std::int64_t zero_crossing(std::span<const std::int32_t> w, std::int64_t a, std::int64_t b,
+                           dsp::OpCount& ops) {
+  for (std::int64_t i = a; i < b; ++i) {
+    const auto va = w[static_cast<std::size_t>(i)];
+    const auto vb = w[static_cast<std::size_t>(i + 1)];
+    ops.cmp += 1;
+    ops.load += 2;
+    if ((va >= 0 && vb < 0) || (va <= 0 && vb > 0)) {
+      // Pick the endpoint closer to zero.
+      return std::abs(va) <= std::abs(vb) ? i : i + 1;
+    }
+  }
+  return (a + b) / 2;
+}
+
+std::int64_t scan_below(std::span<const std::int32_t> w, std::int64_t from, int dir,
+                        std::int64_t threshold, std::int64_t max_steps, dsp::OpCount& ops) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  std::int64_t i = from;
+  for (std::int64_t step = 0; step < max_steps; ++step) {
+    const std::int64_t next = i + dir;
+    if (next < 0 || next >= n) break;
+    i = next;
+    ops.cmp += 1;
+    ops.load += 1;
+    if (std::abs(static_cast<std::int64_t>(w[static_cast<std::size_t>(i)])) < threshold) {
+      return i;
+    }
+  }
+  return i;
+}
+
+/// Locates one monophasic wave (P or T) in `w` restricted to [lo, hi]:
+/// finds the dominant modulus-maxima pair, the zero crossing between them
+/// (wave peak) and the outward threshold crossings (on/offset).
+sig::WaveFiducials locate_wave(std::span<const std::int32_t> w, std::int64_t lo,
+                               std::int64_t hi, std::int64_t presence_threshold,
+                               int boundary_num, std::int64_t max_scan,
+                               dsp::OpCount& ops) {
+  sig::WaveFiducials out;
+  const std::int64_t pos = argmax_signed(w, lo, hi, +1, ops);
+  const std::int64_t neg = argmax_signed(w, lo, hi, -1, ops);
+  if (pos < 0 || neg < 0) return out;
+  const auto mag = [&](std::int64_t i) {
+    return std::abs(static_cast<std::int64_t>(w[static_cast<std::size_t>(i)]));
+  };
+  // Both lobes of the derivative pair must clear the presence threshold.
+  if (std::min(mag(pos), mag(neg)) < presence_threshold) return out;
+  const std::int64_t first = std::min(pos, neg);
+  const std::int64_t second = std::max(pos, neg);
+  out.peak = zero_crossing(w, first, second, ops);
+  const std::int64_t on_thr = std::max<std::int64_t>(1, (mag(first) * boundary_num) >> 8);
+  const std::int64_t off_thr = std::max<std::int64_t>(1, (mag(second) * boundary_num) >> 8);
+  out.onset = scan_below(w, first, -1, on_thr, max_scan, ops);
+  out.offset = scan_below(w, second, +1, off_thr, max_scan, ops);
+  return out;
+}
+
+/// PQ quiet-zone veto (same rationale as the morphological delineator's):
+/// a genuine P wave is followed by an isoelectric stretch before the QRS,
+/// while fibrillatory activity keeps the zone busy.
+bool pq_zone_is_quiet(std::span<const std::int32_t> x, std::int64_t p_on,
+                      std::int64_t p_off, std::int64_t qrs_onset, std::int64_t p_peak,
+                      dsp::OpCount& ops) {
+  // Two evidence segments: the stretch before the P onset (after the
+  // preceding T wave) and the PQ segment proper.  A true P is isoelectric
+  // on both flanks; fibrillatory waves and T-wave tails are not.
+  std::int64_t acc = 0;
+  std::int64_t count = 0;
+  const auto n = static_cast<std::int64_t>(x.size());
+  const auto add_segment = [&](std::int64_t lo, std::int64_t hi) {
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi, n - 1);
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      acc += std::abs(static_cast<std::int64_t>(x[static_cast<std::size_t>(i)]));
+      ++count;
+    }
+    ops.add += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo + 1));
+    ops.load += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo + 1));
+  };
+  add_segment(p_on - 8, p_on - 2);
+  add_segment(p_off + 2, qrs_onset - 2);
+  if (count < 5) return true;  // Zones too short to judge; accept.
+  ops.div += 1;
+  const std::int64_t mean = acc / count;
+  const std::int64_t amp =
+      std::abs(static_cast<std::int64_t>(x[static_cast<std::size_t>(p_peak)]));
+  return mean < (amp * 96) >> 8;  // 37.5 % of the candidate amplitude.
+}
+
+}  // namespace
+
+WaveletDelinResult delineate_wavelet(std::span<const std::int32_t> x,
+                                     std::span<const std::int64_t> r_peaks,
+                                     const WaveletDelinConfig& cfg) {
+  WaveletDelinResult result;
+  if (x.empty() || r_peaks.empty()) return result;
+
+  const auto swt = dsp::swt_spline(x, cfg.levels);
+  result.ops += swt.ops;
+  const auto& w_qrs = swt.detail[static_cast<std::size_t>(cfg.qrs_scale - 1)];
+  const auto& w_pt = swt.detail[static_cast<std::size_t>(cfg.pt_scale - 1)];
+  const auto n = static_cast<std::int64_t>(x.size());
+
+  const auto samples = [&](double seconds) {
+    return static_cast<std::int64_t>(std::llround(seconds * cfg.fs));
+  };
+  const std::int64_t max_scan = samples(0.14);
+
+  for (std::size_t b = 0; b < r_peaks.size(); ++b) {
+    const std::int64_t r = r_peaks[b];
+    if (r < 0 || r >= n) continue;
+    sig::BeatAnnotation beat;
+    beat.r_peak = r;
+    beat.qrs.peak = r;
+
+    // QRS: dominant modulus-maxima pair across R at the fine scale.
+    const std::int64_t mm_pre =
+        argmax_signed(w_qrs, r - samples(cfg.q_search_s), r, +1, result.ops);
+    const std::int64_t mm_post =
+        argmax_signed(w_qrs, r, r + samples(cfg.s_search_s), -1, result.ops);
+    const auto mod = [&](const std::vector<std::int32_t>& w, std::int64_t i) {
+      return i >= 0 ? std::abs(static_cast<std::int64_t>(w[static_cast<std::size_t>(i)])) : 0;
+    };
+    const std::int64_t qrs_mod = std::max(mod(w_qrs, mm_pre), mod(w_qrs, mm_post));
+    const std::int64_t qrs_thr =
+        std::max<std::int64_t>(1, (qrs_mod * cfg.boundary_threshold_num) >> 8);
+    beat.qrs.onset =
+        scan_below(w_qrs, mm_pre >= 0 ? mm_pre : r, -1, qrs_thr, max_scan, result.ops);
+    beat.qrs.offset =
+        scan_below(w_qrs, mm_post >= 0 ? mm_post : r, +1, qrs_thr, max_scan, result.ops);
+
+    // Reference modulus for P presence: QRS response at the coarse scale.
+    std::int64_t qrs_mod_pt = 0;
+    for (std::int64_t i = clamp_idx(r - samples(0.06), n); i <= clamp_idx(r + samples(0.06), n);
+         ++i) {
+      qrs_mod_pt = std::max(qrs_mod_pt, mod(w_pt, i));
+    }
+    const std::int64_t presence =
+        std::max<std::int64_t>(1, (qrs_mod_pt * cfg.p_presence_num) >> 8);
+
+    // P wave, window bounded away from the previous T wave.
+    std::int64_t p_lo = r - samples(cfg.p_search_lo_s);
+    if (b > 0) {
+      const std::int64_t rr = r - r_peaks[b - 1];
+      // Two lower bounds: a fraction of the current RR, and an absolute
+      // floor covering the previous beat's T wave.  The floor matters for
+      // premature beats (short coupling interval), where the preceding T —
+      // timed by the *previous* cycle — still occupies early diastole.
+      p_lo = std::max(p_lo, r_peaks[b - 1] +
+                                std::max((rr * 154) >> 8, samples(0.45)));
+    }
+    const std::int64_t p_hi =
+        std::min(r - samples(cfg.p_search_hi_s), beat.qrs.onset - samples(0.02));
+    const sig::WaveFiducials p = locate_wave(w_pt, p_lo, p_hi, presence,
+                                             cfg.boundary_threshold_num, max_scan,
+                                             result.ops);
+    if (p.valid() &&
+        pq_zone_is_quiet(x, p.onset, p.offset, beat.qrs.onset, p.peak, result.ops)) {
+      beat.p = p;
+    }
+
+    // T wave (no presence gating: T is always sought, like the reference
+    // delineators which only report T misses on threshold failure).
+    beat.t = locate_wave(w_pt, beat.qrs.offset + samples(cfg.t_search_lo_s),
+                         r + samples(cfg.t_search_hi_s), presence / 2,
+                         cfg.boundary_threshold_num, max_scan * 2, result.ops);
+
+    result.beats.push_back(beat);
+  }
+  return result;
+}
+
+}  // namespace wbsn::delin

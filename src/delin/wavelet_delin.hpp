@@ -1,0 +1,51 @@
+// Wavelet (modulus-maxima) ECG delineation.
+//
+// The second embedded delineator of the paper (Rincón et al., BSN 2009,
+// following Martínez et al., IEEE TBME 2004): the undecimated
+// quadratic-spline transform of dsp/wavelet.hpp approximates the smoothed
+// derivative of the ECG at dyadic scales, so each monophasic wave appears
+// as a pair of opposite-sign modulus maxima with a zero crossing at the
+// wave peak.  QRS delineation reads scale 2^2, the slower P and T waves
+// read scale 2^4.  Wave on/offsets are located where the modulus decays
+// below a fraction of its flanking maximum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::delin {
+
+struct WaveletDelinConfig {
+  double fs = 250.0;
+  int levels = 4;              ///< SWT depth (scales 2^1 .. 2^levels).
+  int qrs_scale = 2;           ///< 1-based scale index for QRS work.
+  int pt_scale = 4;            ///< 1-based scale index for P/T work.
+  double q_search_s = 0.08;
+  double s_search_s = 0.10;
+  double p_search_lo_s = 0.28;
+  double p_search_hi_s = 0.06;
+  double t_search_lo_s = 0.10;
+  double t_search_hi_s = 0.45;
+  /// Boundary threshold as a fraction of the flanking modulus maximum
+  /// (numerator over 256); Martinez-style gamma factors.
+  int boundary_threshold_num = 32;   ///< 12.5 %.
+  /// P presence: modulus maximum must exceed this fraction (over 256) of
+  /// the QRS modulus at the P/T scale.
+  int p_presence_num = 10;
+};
+
+struct WaveletDelinResult {
+  std::vector<sig::BeatAnnotation> beats;
+  dsp::OpCount ops;
+};
+
+/// Delineates each beat of `x` given externally detected R peaks.
+WaveletDelinResult delineate_wavelet(std::span<const std::int32_t> x,
+                                     std::span<const std::int64_t> r_peaks,
+                                     const WaveletDelinConfig& cfg = {});
+
+}  // namespace wbsn::delin

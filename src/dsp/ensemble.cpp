@@ -1,0 +1,82 @@
+#include "dsp/ensemble.hpp"
+
+#include <algorithm>
+
+namespace wbsn::dsp {
+namespace {
+
+/// Copies the window around `trigger` if fully inside the signal.
+bool extract_window(std::span<const double> signal, std::int64_t trigger,
+                    const EnsembleWindow& w, std::vector<double>& out) {
+  const std::int64_t begin = trigger - static_cast<std::int64_t>(w.pre);
+  const std::int64_t end = trigger + static_cast<std::int64_t>(w.post);
+  if (begin < 0 || end > static_cast<std::int64_t>(signal.size())) return false;
+  out.assign(signal.begin() + begin, signal.begin() + end);
+  return true;
+}
+
+}  // namespace
+
+EnsembleAverager::EnsembleAverager(EnsembleWindow window)
+    : window_(window), sum_(window.length(), 0.0) {}
+
+void EnsembleAverager::accumulate(std::span<const double> signal, std::int64_t trigger) {
+  std::vector<double> win;
+  if (!extract_window(signal, trigger, window_, win)) return;
+  for (std::size_t i = 0; i < win.size(); ++i) sum_[i] += win[i];
+  ++count_;
+}
+
+std::vector<double> EnsembleAverager::average() const {
+  if (count_ == 0) return {};
+  std::vector<double> avg(sum_.size());
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    avg[i] = sum_[i] / static_cast<double>(count_);
+  }
+  return avg;
+}
+
+AdaptiveImpulseCorrelatedFilter::AdaptiveImpulseCorrelatedFilter(EnsembleWindow window,
+                                                                 double mu)
+    : window_(window), mu_(mu), estimate_(window.length(), 0.0) {}
+
+std::vector<double> AdaptiveImpulseCorrelatedFilter::process_beat(
+    std::span<const double> signal, std::int64_t trigger) {
+  std::vector<double> win;
+  if (!extract_window(signal, trigger, window_, win)) return {};
+  if (!primed_) {
+    // First beat initializes the estimate directly; otherwise convergence
+    // from zero would distort the first 1/mu beats.
+    estimate_ = win;
+    primed_ = true;
+    return estimate_;
+  }
+  for (std::size_t i = 0; i < win.size(); ++i) {
+    estimate_[i] += mu_ * (win[i] - estimate_[i]);
+  }
+  return estimate_;
+}
+
+double ensemble_residual_power(std::span<const double> signal,
+                               std::span<const std::int64_t> triggers,
+                               const EnsembleWindow& window) {
+  EnsembleAverager averager(window);
+  for (std::int64_t t : triggers) averager.accumulate(signal, t);
+  const auto tmpl = averager.average();
+  if (tmpl.empty()) return 0.0;
+
+  double acc = 0.0;
+  std::size_t n = 0;
+  std::vector<double> win;
+  for (std::int64_t t : triggers) {
+    if (!extract_window(signal, t, window, win)) continue;
+    for (std::size_t i = 0; i < win.size(); ++i) {
+      const double e = win[i] - tmpl[i];
+      acc += e * e;
+      ++n;
+    }
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,77 @@
+// Stimulus-locked noise reduction: ensemble averaging (EA) and the adaptive
+// impulse-correlated filter (AICF).
+//
+// Section IV-C of the paper: most cardiac bio-signals are time-locked to
+// the bioelectric stimulus visible in the ECG, so averaging signal windows
+// aligned on R peaks cancels noise that is uncorrelated with the stimulus.
+// Plain EA converges to the mean waveform but erases beat-to-beat dynamics;
+// the AICF (Laguna et al., IEEE TBME 1992) replaces the uniform average
+// with an exponentially-weighted LMS update per intra-beat sample, which
+// tracks slow morphological change while still averaging noise down.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::dsp {
+
+/// Common windowing: samples [trigger - pre, trigger + post).
+struct EnsembleWindow {
+  std::size_t pre = 50;    ///< Samples before the trigger (200 ms @ 250 Hz).
+  std::size_t post = 100;  ///< Samples after the trigger (400 ms @ 250 Hz).
+
+  std::size_t length() const { return pre + post; }
+};
+
+/// Uniform ensemble average over all triggers.
+class EnsembleAverager {
+ public:
+  explicit EnsembleAverager(EnsembleWindow window);
+
+  /// Accumulates one beat window centered on `trigger`; windows that spill
+  /// past the signal edges are skipped.
+  void accumulate(std::span<const double> signal, std::int64_t trigger);
+
+  /// Average waveform so far (empty if no complete window was seen).
+  std::vector<double> average() const;
+
+  std::size_t count() const { return count_; }
+  const EnsembleWindow& window() const { return window_; }
+
+ private:
+  EnsembleWindow window_;
+  std::vector<double> sum_;
+  std::size_t count_ = 0;
+};
+
+/// AICF: per-offset exponential estimator a_k <- a_k + mu (x_k - a_k).
+class AdaptiveImpulseCorrelatedFilter {
+ public:
+  AdaptiveImpulseCorrelatedFilter(EnsembleWindow window, double mu);
+
+  /// Processes one beat window; returns the *updated* estimate (the
+  /// filtered beat).  Returns an empty vector for windows off the edges.
+  std::vector<double> process_beat(std::span<const double> signal, std::int64_t trigger);
+
+  /// Current waveform estimate.
+  const std::vector<double>& estimate() const { return estimate_; }
+
+  double mu() const { return mu_; }
+
+ private:
+  EnsembleWindow window_;
+  double mu_;
+  std::vector<double> estimate_;
+  bool primed_ = false;
+};
+
+/// Convenience: runs EA over a whole record and reports the residual noise
+/// power of each beat against the final template (used in tests/benches).
+double ensemble_residual_power(std::span<const double> signal,
+                               std::span<const std::int64_t> triggers,
+                               const EnsembleWindow& window);
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,48 @@
+// Q15 fixed-point helpers for node-side arithmetic.
+//
+// The target MCU class (16-bit, integer-only — Section IV-A) represents
+// fractional quantities in Q15: value = raw / 2^15.  These helpers provide
+// saturating conversion and rounded multiply, the two places where naive
+// integer code silently loses correctness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace wbsn::dsp {
+
+inline constexpr std::int32_t kQ15One = 1 << 15;
+
+/// Converts a double in [-1, 1) to Q15 with saturation.
+constexpr std::int16_t to_q15(double v) {
+  const double scaled = v * kQ15One;
+  if (scaled >= 32767.0) return 32767;
+  if (scaled <= -32768.0) return -32768;
+  // Round half away from zero, branch-free enough for constexpr use.
+  return static_cast<std::int16_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+/// Q15 value back to double.
+constexpr double from_q15(std::int16_t v) {
+  return static_cast<double>(v) / kQ15One;
+}
+
+/// Rounded Q15 multiply: (a * b + 2^14) >> 15, saturated to int16 range.
+constexpr std::int16_t q15_mul(std::int16_t a, std::int16_t b) {
+  const std::int32_t p = (static_cast<std::int32_t>(a) * b + (1 << 14)) >> 15;
+  return static_cast<std::int16_t>(std::clamp(p, -32768, 32767));
+}
+
+/// Saturating 16-bit addition.
+constexpr std::int16_t sat_add16(std::int16_t a, std::int16_t b) {
+  const std::int32_t s = static_cast<std::int32_t>(a) + b;
+  return static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+}
+
+/// Saturating 16-bit subtraction.
+constexpr std::int16_t sat_sub16(std::int16_t a, std::int16_t b) {
+  const std::int32_t s = static_cast<std::int32_t>(a) - b;
+  return static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+}
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,88 @@
+#include "dsp/gauss_approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::dsp {
+
+PiecewiseGauss::PiecewiseGauss(int segments, double zmax)
+    : zmax_(zmax), step_(zmax / segments) {
+  values_.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    values_.push_back(exact(static_cast<double>(i) * step_));
+  }
+  slopes_.reserve(static_cast<std::size_t>(segments));
+  for (int i = 0; i < segments; ++i) {
+    slopes_.push_back((values_[static_cast<std::size_t>(i) + 1] - values_[static_cast<std::size_t>(i)]) / step_);
+  }
+}
+
+double PiecewiseGauss::value(double z) const {
+  z = std::abs(z);
+  if (z >= zmax_) return 0.0;
+  const auto seg = static_cast<std::size_t>(z / step_);
+  const double z0 = static_cast<double>(seg) * step_;
+  return values_[seg] + slopes_[seg] * (z - z0);
+}
+
+double PiecewiseGauss::exact(double z) { return std::exp(-0.5 * z * z); }
+
+double PiecewiseGauss::max_abs_error(int sweep_points) const {
+  double worst = 0.0;
+  for (int i = 0; i < sweep_points; ++i) {
+    const double z = zmax_ * static_cast<double>(i) / (sweep_points - 1);
+    worst = std::max(worst, std::abs(value(z) - exact(z)));
+  }
+  return worst;
+}
+
+PiecewiseGaussQ15::PiecewiseGaussQ15(int segments, double zmax) {
+  const double step = zmax / segments;
+  zmax_q12_ = static_cast<std::int16_t>(std::lround(zmax * 4096.0));
+  step_q12_ = static_cast<std::int16_t>(std::lround(step * 4096.0));
+  values_q15_.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double g = PiecewiseGauss::exact(static_cast<double>(i) * step);
+    values_q15_.push_back(static_cast<std::int16_t>(std::lround(g * 32767.0)));
+  }
+  slopes_q15_.reserve(static_cast<std::size_t>(segments));
+  for (int i = 0; i < segments; ++i) {
+    // Slope in Q15-result units per Q12-z unit, stored in Q8 so the worst
+    // case (~5 result-LSBs per z-LSB near z = 1) stays inside int16; the
+    // runtime multiply is then a single shift-by-8.
+    const double slope =
+        static_cast<double>(values_q15_[static_cast<std::size_t>(i) + 1] -
+                            values_q15_[static_cast<std::size_t>(i)]) /
+        static_cast<double>(step_q12_);
+    slopes_q15_.push_back(static_cast<std::int16_t>(std::lround(slope * 256.0)));
+  }
+}
+
+std::int16_t PiecewiseGaussQ15::value(std::int16_t z_q12, OpCount* ops) const {
+  OpCount local;
+  std::int32_t z = z_q12 < 0 ? -static_cast<std::int32_t>(z_q12) : z_q12;
+  local.cmp += 1;
+  local.add += 1;
+  if (z >= zmax_q12_) {
+    local.cmp += 1;
+    if (ops != nullptr) *ops += local;
+    return 0;
+  }
+  // Rounded step sizing can push z at the very top of the range one past
+  // the last segment; clamp rather than read out of bounds.
+  const auto seg = std::min(static_cast<std::size_t>(z / step_q12_), slopes_q15_.size() - 1);
+  const std::int32_t z0 = static_cast<std::int32_t>(seg) * step_q12_;
+  const std::int32_t dz = z - z0;
+  // value + slope * dz with the slope in Q8: one multiply, one shift.
+  const std::int32_t out =
+      values_q15_[seg] + ((static_cast<std::int32_t>(slopes_q15_[seg]) * dz) >> 8);
+  local.div += 1;
+  local.mul += 2;
+  local.add += 2;
+  local.shift += 1;
+  local.load += 2;
+  if (ops != nullptr) *ops += local;
+  return static_cast<std::int16_t>(std::clamp(out, 0, 32767));
+}
+
+}  // namespace wbsn::dsp

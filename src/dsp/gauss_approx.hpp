@@ -1,0 +1,63 @@
+// Piecewise-linear approximation of the Gaussian membership function.
+//
+// Heartbeat classification evaluates many Gaussian memberships per beat
+// (Section III-D).  Section IV-A reports that a four-segment linearization
+// achieves close-to-optimal classification while removing every exp() from
+// the node.  This module builds K-segment approximations of
+// g(z) = exp(-z^2 / 2) on z in [0, zmax] (symmetric in z) and exposes both
+// a double-precision evaluator (for accuracy studies) and a Q15 evaluator
+// whose breakpoints/slopes are precomputed integers (the node's version).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::dsp {
+
+/// K-segment chord approximation of exp(-z^2/2) for |z| <= zmax; zero beyond.
+class PiecewiseGauss {
+ public:
+  /// Breakpoints are spaced uniformly in z; each segment is the chord of
+  /// the true curve, so the approximation is exact at breakpoints.
+  explicit PiecewiseGauss(int segments, double zmax = 4.0);
+
+  /// Approximate exp(-z^2/2).
+  double value(double z) const;
+
+  /// Exact counterpart (for error studies).
+  static double exact(double z);
+
+  /// Maximum absolute error over a dense sweep of [0, zmax].
+  double max_abs_error(int sweep_points = 4096) const;
+
+  int segments() const { return static_cast<int>(slopes_.size()); }
+  double zmax() const { return zmax_; }
+
+ private:
+  double zmax_;
+  double step_;
+  std::vector<double> values_;  ///< g at breakpoints (segments + 1 entries).
+  std::vector<double> slopes_;  ///< Chord slope per segment.
+};
+
+/// Node-side Q15 version: z is supplied in Q12 (4096 = z of 1.0) so the
+/// usable range |z| <= 8 fits in int16; the result is Q15 in [0, 32767].
+class PiecewiseGaussQ15 {
+ public:
+  explicit PiecewiseGaussQ15(int segments, double zmax = 4.0);
+
+  /// Approximate exp(-z^2/2) for z given in Q12; result in Q15.
+  std::int16_t value(std::int16_t z_q12, OpCount* ops = nullptr) const;
+
+  int segments() const { return static_cast<int>(slopes_q15_.size()); }
+
+ private:
+  std::int16_t zmax_q12_;
+  std::int16_t step_q12_;
+  std::vector<std::int16_t> values_q15_;
+  std::vector<std::int16_t> slopes_q15_;  ///< Per-Q12-unit slope, Q15 scaled.
+};
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,69 @@
+#include "dsp/lead_combine.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace wbsn::dsp {
+
+std::uint32_t isqrt64(std::uint64_t v, OpCount* ops) {
+  // Classic bit-by-bit integer square root: ~32 iterations of shift,
+  // compare, subtract.
+  std::uint64_t rem = 0;
+  std::uint64_t root = 0;
+  OpCount local;
+  for (int i = 0; i < 32; ++i) {
+    root <<= 1;
+    rem = (rem << 2) | (v >> 62);
+    v <<= 2;
+    local.shift += 4;
+    if (root < rem) {
+      rem -= root + 1;
+      root += 2;
+      local.add += 2;
+    }
+    local.cmp += 1;
+    local.branch += 1;
+  }
+  if (ops != nullptr) *ops += local;
+  return static_cast<std::uint32_t>(root >> 1);
+}
+
+std::vector<std::int32_t> rms_combine(std::span<const std::vector<std::int32_t>> leads,
+                                      OpCount* ops) {
+  if (leads.empty()) return {};
+  const std::size_t n = leads[0].size();
+  for ([[maybe_unused]] const auto& lead : leads) assert(lead.size() == n);
+
+  OpCount local;
+  std::vector<std::int32_t> out(n);
+  const auto num_leads = static_cast<std::uint64_t>(leads.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t acc = 0;
+    for (const auto& lead : leads) {
+      const auto v = static_cast<std::int64_t>(lead[i]);
+      acc += static_cast<std::uint64_t>(v * v);
+      local.mul += 1;
+      local.add += 1;
+      local.load += 1;
+    }
+    out[i] = static_cast<std::int32_t>(isqrt64(acc / num_leads, &local));
+    local.div += 1;
+    local.store += 1;
+  }
+  if (ops != nullptr) *ops += local;
+  return out;
+}
+
+std::vector<double> rms_combine_ref(std::span<const std::vector<double>> leads) {
+  if (leads.empty()) return {};
+  const std::size_t n = leads[0].size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const auto& lead : leads) acc += lead[i] * lead[i];
+    out[i] = std::sqrt(acc / static_cast<double>(leads.size()));
+  }
+  return out;
+}
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,30 @@
+// Multi-lead source combination (Section III-B of the paper).
+//
+// Braojos et al. (BIBE 2012) show that combining the filtered leads with a
+// simple root-mean-square before delineation is a light-weight yet
+// effective way to exploit lead redundancy against noise: uncorrelated
+// noise averages down while the common cardiac component survives.  The
+// node-side variant is integer-only, using an integer square root.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::dsp {
+
+/// Integer square root: floor(sqrt(v)) for v >= 0 (bit-by-bit method, no
+/// division — suitable for MCUs without a hardware divider).
+std::uint32_t isqrt64(std::uint64_t v, OpCount* ops = nullptr);
+
+/// RMS combination of equal-length integer leads:
+/// out[i] = floor(sqrt(sum_l x_l[i]^2 / L)).
+std::vector<std::int32_t> rms_combine(std::span<const std::vector<std::int32_t>> leads,
+                                      OpCount* ops = nullptr);
+
+/// Floating-point reference implementation (host-side baseline).
+std::vector<double> rms_combine_ref(std::span<const std::vector<double>> leads);
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,105 @@
+#include "dsp/linear_filters.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wbsn::dsp {
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : coeff_{b0, b1, b2, a1, a2} {}
+
+double Biquad::process(double x) {
+  const double y = coeff_[0] * x + s1_;
+  s1_ = coeff_[1] * x - coeff_[3] * y + s2_;
+  s2_ = coeff_[2] * x - coeff_[4] * y;
+  return y;
+}
+
+void Biquad::reset() {
+  s1_ = 0.0;
+  s2_ = 0.0;
+}
+
+std::vector<double> Biquad::filter(std::span<const double> x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(process(v));
+  return out;
+}
+
+namespace {
+
+struct RbjParams {
+  double w0;
+  double cw;
+  double sw;
+  double alpha;
+};
+
+RbjParams rbj(double f0, double q, double fs) {
+  const double w0 = 2.0 * std::numbers::pi * f0 / fs;
+  return {w0, std::cos(w0), std::sin(w0), std::sin(w0) / (2.0 * q)};
+}
+
+}  // namespace
+
+Biquad Biquad::notch(double f0_hz, double q, double fs) {
+  const auto p = rbj(f0_hz, q, fs);
+  const double a0 = 1.0 + p.alpha;
+  return {(1.0) / a0, (-2.0 * p.cw) / a0, (1.0) / a0, (-2.0 * p.cw) / a0,
+          (1.0 - p.alpha) / a0};
+}
+
+Biquad Biquad::lowpass(double fc_hz, double q, double fs) {
+  const auto p = rbj(fc_hz, q, fs);
+  const double a0 = 1.0 + p.alpha;
+  const double b1 = 1.0 - p.cw;
+  return {(b1 / 2.0) / a0, b1 / a0, (b1 / 2.0) / a0, (-2.0 * p.cw) / a0,
+          (1.0 - p.alpha) / a0};
+}
+
+Biquad Biquad::highpass(double fc_hz, double q, double fs) {
+  const auto p = rbj(fc_hz, q, fs);
+  const double a0 = 1.0 + p.alpha;
+  const double b1 = 1.0 + p.cw;
+  return {(b1 / 2.0) / a0, -b1 / a0, (b1 / 2.0) / a0, (-2.0 * p.cw) / a0,
+          (1.0 - p.alpha) / a0};
+}
+
+BandpassFilter::BandpassFilter(double lo_hz, double hi_hz, double fs)
+    : hp_(Biquad::highpass(lo_hz, std::numbers::sqrt2 / 2.0, fs)),
+      lp_(Biquad::lowpass(hi_hz, std::numbers::sqrt2 / 2.0, fs)) {}
+
+double BandpassFilter::process(double x) { return lp_.process(hp_.process(x)); }
+
+std::vector<double> BandpassFilter::filter(std::span<const double> x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(process(v));
+  return out;
+}
+
+std::vector<std::int32_t> moving_average_pow2(std::span<const std::int32_t> x,
+                                              unsigned log2_len, OpCount* ops) {
+  const std::size_t len = std::size_t{1} << log2_len;
+  std::vector<std::int32_t> out(x.size());
+  std::int64_t acc = 0;
+  OpCount local;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    local.add += 1;
+    local.load += 1;
+    if (i >= len) {
+      acc -= x[i - len];
+      local.add += 1;
+      local.load += 1;
+    }
+    out[i] = static_cast<std::int32_t>(acc >> log2_len);
+    local.shift += 1;
+    local.store += 1;
+  }
+  if (ops != nullptr) *ops += local;
+  return out;
+}
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,58 @@
+// Classical linear filters used as comparison baselines.
+//
+// The paper's node relies on morphological and wavelet processing, but the
+// evaluation (and several ablations in this repository) compares against
+// conventional linear conditioning: an IIR notch for mains pickup, biquad
+// high/low-pass sections for band limiting, and an integer moving average.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::dsp {
+
+/// Second-order IIR section, direct form II transposed.
+class Biquad {
+ public:
+  /// Coefficients normalized so a0 = 1.
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  double process(double x);
+  void reset();
+  std::vector<double> filter(std::span<const double> x);
+
+  /// Notch at `f0` with quality factor `q` (RBJ cookbook).
+  static Biquad notch(double f0_hz, double q, double fs);
+  /// Butterworth-style low-pass at `fc`.
+  static Biquad lowpass(double fc_hz, double q, double fs);
+  /// Butterworth-style high-pass at `fc`.
+  static Biquad highpass(double fc_hz, double q, double fs);
+
+ private:
+  std::array<double, 5> coeff_;  // b0 b1 b2 a1 a2.
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+};
+
+/// Band-pass by cascading a high-pass and a low-pass biquad.
+class BandpassFilter {
+ public:
+  BandpassFilter(double lo_hz, double hi_hz, double fs);
+  double process(double x);
+  std::vector<double> filter(std::span<const double> x);
+
+ private:
+  Biquad hp_;
+  Biquad lp_;
+};
+
+/// Integer boxcar average with power-of-two length (shift instead of
+/// divide) — the cheapest smoother an MCU can run.
+std::vector<std::int32_t> moving_average_pow2(std::span<const std::int32_t> x,
+                                              unsigned log2_len, OpCount* ops = nullptr);
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,95 @@
+#include "dsp/morphology.hpp"
+
+#include "dsp/sliding_minmax.hpp"
+
+namespace wbsn::dsp {
+
+std::vector<std::int32_t> erode(std::span<const std::int32_t> x, std::size_t width,
+                                OpCount* ops) {
+  return sliding_min(x, width, ops);
+}
+
+std::vector<std::int32_t> dilate(std::span<const std::int32_t> x, std::size_t width,
+                                 OpCount* ops) {
+  return sliding_max(x, width, ops);
+}
+
+std::vector<std::int32_t> morph_open(std::span<const std::int32_t> x, std::size_t width,
+                                     OpCount* ops) {
+  return dilate(erode(x, width, ops), width, ops);
+}
+
+std::vector<std::int32_t> morph_close(std::span<const std::int32_t> x, std::size_t width,
+                                      OpCount* ops) {
+  return erode(dilate(x, width, ops), width, ops);
+}
+
+MorphFilterResult morphological_filter(std::span<const std::int32_t> x,
+                                       const MorphFilterConfig& cfg) {
+  MorphFilterResult result;
+
+  // Stage 1 — baseline estimation and removal: opening flattens the QRS
+  // (narrow positive structure), the subsequent closing fills the negative
+  // wave remnants; what survives is the slow drift.
+  std::vector<std::int32_t> corrected;
+  if (cfg.remove_baseline) {
+    result.baseline = morph_close(morph_open(x, cfg.baseline_open_width, &result.ops),
+                                  cfg.baseline_close_width, &result.ops);
+    corrected.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      corrected[i] = x[i] - result.baseline[i];
+    }
+    result.ops.add += x.size();
+    result.ops.load += 2 * x.size();
+    result.ops.store += x.size();
+  } else {
+    result.baseline.assign(x.size(), 0);
+    corrected.assign(x.begin(), x.end());
+  }
+
+  if (!cfg.suppress_noise) {
+    result.filtered = std::move(corrected);
+    return result;
+  }
+
+  // Stage 2 — noise suppression: average of an opening-closing and a
+  // closing-opening with a short SE pair.  The two branches bias the
+  // estimate in opposite directions, so their mean is close to unbiased
+  // while spike noise narrower than the SE disappears entirely.
+  const auto branch_a = morph_close(morph_open(corrected, cfg.noise_width_1, &result.ops),
+                                    cfg.noise_width_2, &result.ops);
+  const auto branch_b = morph_open(morph_close(corrected, cfg.noise_width_1, &result.ops),
+                                   cfg.noise_width_2, &result.ops);
+  result.filtered.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Round-to-nearest halving keeps the output unbiased; on the MCU this
+    // is an add plus an arithmetic shift.
+    result.filtered[i] =
+        static_cast<std::int32_t>((static_cast<std::int64_t>(branch_a[i]) + branch_b[i] + 1) >> 1);
+  }
+  result.ops.add += 2 * x.size();
+  result.ops.shift += x.size();
+  result.ops.load += 2 * x.size();
+  result.ops.store += x.size();
+  return result;
+}
+
+std::vector<std::int32_t> morph_transform(std::span<const std::int32_t> x, std::size_t width,
+                                          OpCount* ops) {
+  OpCount local;
+  const auto opened = morph_open(x, width, &local);
+  const auto closed = morph_close(x, width, &local);
+  std::vector<std::int32_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::int64_t avg = (static_cast<std::int64_t>(opened[i]) + closed[i]) >> 1;
+    out[i] = static_cast<std::int32_t>(x[i] - avg);
+  }
+  local.add += 2 * x.size();
+  local.shift += x.size();
+  local.load += 3 * x.size();
+  local.store += x.size();
+  if (ops != nullptr) *ops += local;
+  return out;
+}
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,47 @@
+// Operation-count instrumentation for node-side kernels.
+//
+// The paper's energy claims rest on pricing each processing stage on a
+// MHz-class 16-bit MCU.  Rather than hand-estimating workloads, every
+// node-side kernel in this library accumulates an OpCount of the abstract
+// operations it performs; the energy model (energy/mcu.hpp) then converts
+// counts into cycles and joules for a given core.  Counting is explicit (no
+// hidden globals) so callers can attribute work per stage.
+#pragma once
+
+#include <cstdint>
+
+namespace wbsn::dsp {
+
+/// Abstract operation mix of a kernel execution.
+struct OpCount {
+  std::uint64_t add = 0;      ///< Additions/subtractions (also abs, neg).
+  std::uint64_t mul = 0;      ///< Multiplications.
+  std::uint64_t div = 0;      ///< Divisions / modulo.
+  std::uint64_t cmp = 0;      ///< Comparisons / min / max selections.
+  std::uint64_t shift = 0;    ///< Bit shifts (cheap scaling on MCUs).
+  std::uint64_t load = 0;     ///< Data-memory reads.
+  std::uint64_t store = 0;    ///< Data-memory writes.
+  std::uint64_t branch = 0;   ///< Conditional branches taken or not.
+
+  OpCount& operator+=(const OpCount& other) {
+    add += other.add;
+    mul += other.mul;
+    div += other.div;
+    cmp += other.cmp;
+    shift += other.shift;
+    load += other.load;
+    store += other.store;
+    branch += other.branch;
+    return *this;
+  }
+
+  friend OpCount operator+(OpCount a, const OpCount& b) { return a += b; }
+
+  std::uint64_t total() const {
+    return add + mul + div + cmp + shift + load + store + branch;
+  }
+
+  bool operator==(const OpCount&) const = default;
+};
+
+}  // namespace wbsn::dsp

@@ -1,0 +1,107 @@
+#include "dsp/sliding_minmax.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wbsn::dsp {
+
+SlidingExtrema::SlidingExtrema(std::size_t window) : window_(window) {
+  assert(window >= 1);
+  min_wedge_.reserve(window);
+  max_wedge_.reserve(window);
+}
+
+void SlidingExtrema::evict(std::vector<Entry>& wedge, std::int64_t oldest_allowed) {
+  // Compact storage once the dead prefix grows; keeps memory O(window).
+  std::size_t& head = (&wedge == &min_wedge_) ? min_head_ : max_head_;
+  while (head < wedge.size() && wedge[head].index < oldest_allowed) {
+    ++head;
+    ops_.cmp += 1;
+    ops_.branch += 1;
+  }
+  if (head > window_) {
+    wedge.erase(wedge.begin(), wedge.begin() + static_cast<long>(head));
+    head = 0;
+  }
+}
+
+void SlidingExtrema::push(std::int32_t value) {
+  const std::int64_t idx = count_++;
+  const std::int64_t oldest_allowed = idx - static_cast<std::int64_t>(window_) + 1;
+
+  // Maintain the min wedge: strictly increasing values from head to tail.
+  while (min_wedge_.size() > min_head_ && min_wedge_.back().value >= value) {
+    min_wedge_.pop_back();
+    ops_.cmp += 1;
+    ops_.branch += 1;
+  }
+  min_wedge_.push_back({idx, value});
+  ops_.store += 1;
+  evict(min_wedge_, oldest_allowed);
+
+  // Max wedge: strictly decreasing values.
+  while (max_wedge_.size() > max_head_ && max_wedge_.back().value <= value) {
+    max_wedge_.pop_back();
+    ops_.cmp += 1;
+    ops_.branch += 1;
+  }
+  max_wedge_.push_back({idx, value});
+  ops_.store += 1;
+  evict(max_wedge_, oldest_allowed);
+}
+
+std::int32_t SlidingExtrema::min() const {
+  assert(min_head_ < min_wedge_.size());
+  return min_wedge_[min_head_].value;
+}
+
+std::int32_t SlidingExtrema::max() const {
+  assert(max_head_ < max_wedge_.size());
+  return max_wedge_[max_head_].value;
+}
+
+namespace {
+
+enum class Mode { kMin, kMax };
+
+std::vector<std::int32_t> sliding_extreme(std::span<const std::int32_t> x, std::size_t window,
+                                          Mode mode, OpCount* ops) {
+  std::vector<std::int32_t> out(x.size());
+  if (x.empty()) return out;
+  window = std::max<std::size_t>(1, window);
+  const std::size_t half = window / 2;
+
+  SlidingExtrema tracker(window);
+  OpCount local;
+  // Centered window: output sample i needs inputs up to i + half; push with
+  // a lead of `half` samples, clamping at the right edge by re-pushing the
+  // final sample (equivalent to edge replication, which keeps the filter
+  // from hallucinating steps at record boundaries).
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < x.size() + half; ++i) {
+    const std::int32_t v = x[std::min(i, x.size() - 1)];
+    tracker.push(v);
+    local.load += 1;
+    if (i >= half) {
+      out[emitted++] = mode == Mode::kMin ? tracker.min() : tracker.max();
+      local.store += 1;
+    }
+  }
+  local += tracker.ops();
+  if (ops != nullptr) *ops += local;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> sliding_min(std::span<const std::int32_t> x, std::size_t window,
+                                      OpCount* ops) {
+  return sliding_extreme(x, window, Mode::kMin, ops);
+}
+
+std::vector<std::int32_t> sliding_max(std::span<const std::int32_t> x, std::size_t window,
+                                      OpCount* ops) {
+  return sliding_extreme(x, window, Mode::kMax, ops);
+}
+
+}  // namespace wbsn::dsp

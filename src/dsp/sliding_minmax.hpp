@@ -1,0 +1,64 @@
+// O(1)-amortized sliding-window minimum / maximum.
+//
+// This is the algorithmic trick Section IV-A of the paper calls out for
+// morphological filtering on resource-constrained monitors: with a flat
+// structuring element, erosion and dilation reduce to windowed min/max,
+// and the monotonic-wedge algorithm (Lemire) computes them with fewer than
+// three comparisons per sample and a tiny ring buffer — integer-only and
+// constant-memory, ideal for MHz-class MCUs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::dsp {
+
+/// Streaming sliding-window extrema over the last `window` pushed samples.
+class SlidingExtrema {
+ public:
+  explicit SlidingExtrema(std::size_t window);
+
+  /// Pushes the next sample; O(1) amortized.
+  void push(std::int32_t value);
+
+  /// Current window minimum / maximum (over min(pushed, window) samples).
+  std::int32_t min() const;
+  std::int32_t max() const;
+
+  std::size_t window() const { return window_; }
+  std::uint64_t samples_pushed() const { return count_; }
+
+  /// Operations performed so far (for energy accounting).
+  const OpCount& ops() const { return ops_; }
+
+ private:
+  struct Entry {
+    std::int64_t index;
+    std::int32_t value;
+  };
+  void evict(std::vector<Entry>& wedge, std::int64_t oldest_allowed);
+
+  std::size_t window_;
+  std::int64_t count_ = 0;
+  // Monotonic wedges stored as index/value pairs; head_* are pop positions
+  // so eviction is O(1) without deque allocation churn.
+  std::vector<Entry> min_wedge_;
+  std::vector<Entry> max_wedge_;
+  std::size_t min_head_ = 0;
+  std::size_t max_head_ = 0;
+  OpCount ops_;
+};
+
+/// Batch centered sliding minimum: out[i] = min(x[i-half .. i+half]),
+/// window = 2*half+1, edges clamped to the valid range.
+std::vector<std::int32_t> sliding_min(std::span<const std::int32_t> x, std::size_t window,
+                                      OpCount* ops = nullptr);
+
+/// Batch centered sliding maximum (same conventions as sliding_min).
+std::vector<std::int32_t> sliding_max(std::span<const std::int32_t> x, std::size_t window,
+                                      OpCount* ops = nullptr);
+
+}  // namespace wbsn::dsp

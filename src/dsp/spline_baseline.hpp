@@ -1,0 +1,49 @@
+// Cubic-spline baseline-wander estimation (Meyer & Keiser, 1977).
+//
+// Section III-B of the paper cites this classic alternative to
+// morphological baseline removal: pick one "knot" per beat inside the
+// electrically silent PR segment (between P offset and QRS onset, where the
+// true signal is isoelectric so any level measured there *is* baseline),
+// then interpolate the knots with cubic polynomials and subtract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::dsp {
+
+struct SplineBaselineConfig {
+  double fs = 250.0;
+  /// Center of the knot-sampling window, relative to the R peak (seconds,
+  /// negative = before R).  The PR segment sits ~60-100 ms before R.
+  double knot_offset_s = -0.075;
+  /// Knot value = mean over this many samples (robustness to noise).
+  std::size_t knot_halfwidth = 2;
+};
+
+struct SplineBaselineResult {
+  std::vector<double> baseline;        ///< Per-sample baseline estimate.
+  std::vector<std::int64_t> knots;     ///< Knot sample indices used.
+  OpCount ops;
+};
+
+/// Estimates the baseline of `x` given the R-peak locations of its beats.
+/// Outside the first/last knot the estimate is extended as a constant.
+SplineBaselineResult estimate_spline_baseline(std::span<const double> x,
+                                              std::span<const std::int64_t> r_peaks,
+                                              const SplineBaselineConfig& cfg = {});
+
+/// Convenience: estimate and subtract in one step.
+std::vector<double> spline_baseline_correct(std::span<const double> x,
+                                            std::span<const std::int64_t> r_peaks,
+                                            const SplineBaselineConfig& cfg = {});
+
+/// Natural cubic spline through (xs, ys); exposed for testing.  Evaluates
+/// at integer positions [0, n) into `out` (clamped outside the knot range).
+void natural_cubic_spline_eval(std::span<const double> xs, std::span<const double> ys,
+                               std::span<double> out);
+
+}  // namespace wbsn::dsp

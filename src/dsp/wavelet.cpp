@@ -1,0 +1,145 @@
+#include "dsp/wavelet.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace wbsn::dsp {
+namespace {
+
+/// Mirror (reflect) indexing for edge handling.
+std::size_t mirror(std::int64_t i, std::int64_t n) {
+  if (n == 1) return 0;
+  const std::int64_t period = 2 * (n - 1);
+  std::int64_t m = i % period;
+  if (m < 0) m += period;
+  if (m >= n) m = period - m;
+  return static_cast<std::size_t>(m);
+}
+
+}  // namespace
+
+SwtResult swt_spline(std::span<const std::int32_t> x, int levels) {
+  SwtResult result;
+  const auto n = static_cast<std::int64_t>(x.size());
+  std::vector<std::int32_t> smooth(x.begin(), x.end());
+  result.detail.reserve(static_cast<std::size_t>(levels));
+
+  for (int j = 0; j < levels; ++j) {
+    const std::int64_t hole = std::int64_t{1} << j;  // Tap spacing 2^j.
+    std::vector<std::int32_t> next_smooth(x.size());
+    std::vector<std::int32_t> detail(x.size());
+    // Group delays: low-pass [1 3 3 1]/8 spans taps at {0,1,2,3}*hole ->
+    // center 1.5*hole; high-pass 2[1 -1] spans {0,1}*hole -> center
+    // 0.5*hole.  Outputs are shifted back so features stay time-aligned.
+    const std::int64_t lp_shift = (3 * hole) / 2;
+    const std::int64_t hp_shift = hole / 2;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto s0 = static_cast<std::int64_t>(smooth[mirror(i + lp_shift - 0 * hole, n)]);
+      const auto s1 = static_cast<std::int64_t>(smooth[mirror(i + lp_shift - 1 * hole, n)]);
+      const auto s2 = static_cast<std::int64_t>(smooth[mirror(i + lp_shift - 2 * hole, n)]);
+      const auto s3 = static_cast<std::int64_t>(smooth[mirror(i + lp_shift - 3 * hole, n)]);
+      // (s0 + 3 s1 + 3 s2 + s3) / 8 with rounding; 3x = x + (x << 1).
+      next_smooth[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>((s0 + 3 * s1 + 3 * s2 + s3 + 4) >> 3);
+
+      const auto d0 = static_cast<std::int64_t>(smooth[mirror(i + hp_shift, n)]);
+      const auto d1 = static_cast<std::int64_t>(smooth[mirror(i + hp_shift - hole, n)]);
+      detail[static_cast<std::size_t>(i)] = static_cast<std::int32_t>((d0 - d1) * 2);
+    }
+    // Per output sample: LP = 4 loads, 2 shifts (x2 "times 3"), 5 adds,
+    // 1 rounding shift, 1 store; HP = 2 loads, 1 add, 1 shift, 1 store.
+    result.ops.load += 6 * x.size();
+    result.ops.add += 6 * x.size();
+    result.ops.shift += 4 * x.size();
+    result.ops.store += 2 * x.size();
+    result.detail.push_back(std::move(detail));
+    smooth = std::move(next_smooth);
+  }
+  result.approx = std::move(smooth);
+  return result;
+}
+
+namespace {
+
+// Daubechies-4 (two vanishing moments) orthonormal filter pair.
+constexpr std::array<double, 4> kDb4Lo = {
+    0.48296291314453416, 0.83651630373780794, 0.22414386804201339, -0.12940952255126037};
+
+constexpr std::array<double, 4> kDb4Hi = {
+    // g[m] = (-1)^m h[3-m].
+    -0.12940952255126037, -0.22414386804201339, 0.83651630373780794, -0.48296291314453416};
+
+void dwt_step(std::span<const double> x, std::span<double> approx, std::span<double> detail) {
+  const std::size_t n = x.size();
+  const std::size_t half = n / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    double a = 0.0;
+    double d = 0.0;
+    for (std::size_t m = 0; m < 4; ++m) {
+      const double v = x[(2 * k + m) % n];
+      a += kDb4Lo[m] * v;
+      d += kDb4Hi[m] * v;
+    }
+    approx[k] = a;
+    detail[k] = d;
+  }
+}
+
+void idwt_step(std::span<const double> approx, std::span<const double> detail,
+               std::span<double> x) {
+  const std::size_t half = approx.size();
+  const std::size_t n = 2 * half;
+  std::fill(x.begin(), x.end(), 0.0);
+  for (std::size_t k = 0; k < half; ++k) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      const std::size_t i = (2 * k + m) % n;
+      x[i] += kDb4Lo[m] * approx[k] + kDb4Hi[m] * detail[k];
+    }
+  }
+}
+
+}  // namespace
+
+int dwt_max_levels(std::size_t n) {
+  int levels = 0;
+  while (n >= 4 && n % 2 == 0) {
+    n /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+std::vector<double> dwt_forward(std::span<const double> x, int levels) {
+  assert(levels >= 0 && levels <= dwt_max_levels(x.size()));
+  std::vector<double> coeffs(x.begin(), x.end());
+  std::vector<double> buf(x.size());
+  std::size_t len = x.size();
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t half = len / 2;
+    dwt_step(std::span<const double>(coeffs.data(), len),
+             std::span<double>(buf.data(), half),
+             std::span<double>(buf.data() + half, half));
+    std::copy(buf.begin(), buf.begin() + static_cast<long>(len), coeffs.begin());
+    len = half;
+  }
+  return coeffs;
+}
+
+std::vector<double> dwt_inverse(std::span<const double> coeffs, int levels) {
+  assert(levels >= 0 && levels <= dwt_max_levels(coeffs.size()));
+  std::vector<double> x(coeffs.begin(), coeffs.end());
+  std::vector<double> buf(coeffs.size());
+  std::size_t len = coeffs.size() >> levels;
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t full = 2 * len;
+    idwt_step(std::span<const double>(x.data(), len),
+              std::span<const double>(x.data() + len, len),
+              std::span<double>(buf.data(), full));
+    std::copy(buf.begin(), buf.begin() + static_cast<long>(full), x.begin());
+    len = full;
+  }
+  return x;
+}
+
+}  // namespace wbsn::dsp

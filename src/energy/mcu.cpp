@@ -1,0 +1,50 @@
+#include "energy/mcu.hpp"
+
+#include <array>
+
+namespace wbsn::energy {
+
+namespace {
+
+// MSP430-style discrete table: higher clocks demand higher supply.
+constexpr std::array<DvfsPoint, 5> kDvfsTable = {{
+    {1e6, 1.8},
+    {4e6, 2.0},
+    {8e6, 2.2},
+    {16e6, 2.8},
+    {25e6, 3.3},
+}};
+
+}  // namespace
+
+DvfsPoint dvfs_point_for(double f_hz) {
+  for (const auto& point : kDvfsTable) {
+    if (f_hz <= point.f_hz) return {f_hz, point.vdd};
+  }
+  return {kDvfsTable.back().f_hz, kDvfsTable.back().vdd};
+}
+
+std::uint64_t McuModel::cycles(const dsp::OpCount& ops) const {
+  return ops.add * cycles_add + ops.mul * cycles_mul + ops.div * cycles_div +
+         ops.cmp * cycles_cmp + ops.shift * cycles_shift + ops.load * cycles_load +
+         ops.store * cycles_store + ops.branch * cycles_branch;
+}
+
+double McuModel::energy_j(const dsp::OpCount& ops) const {
+  return static_cast<double>(cycles(ops)) * energy_per_cycle_j();
+}
+
+double McuModel::duty_cycle(const dsp::OpCount& ops, double window_s) const {
+  const double busy_s = static_cast<double>(cycles(ops)) / f_hz;
+  return busy_s / window_s;
+}
+
+McuModel McuModel::at_frequency(double f_hz_request) const {
+  McuModel scaled = *this;
+  const DvfsPoint point = dvfs_point_for(f_hz_request);
+  scaled.f_hz = point.f_hz;
+  scaled.vdd = point.vdd;
+  return scaled;
+}
+
+}  // namespace wbsn::energy

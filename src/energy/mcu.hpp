@@ -1,0 +1,67 @@
+// Energy model of the node's microcontroller (MSP430-class, 16-bit).
+//
+// The paper's platform runs "at a clock frequency of few MHz and only
+// supports integer arithmetic" (Section IV-A).  This model prices the
+// abstract OpCount that every node-side kernel in this library reports:
+// each operation class costs a fixed number of cycles (from the MSP430x1xx
+// family user's guide orders of magnitude), each cycle costs
+// k * Vdd^2 joules of switching energy, and a discrete DVFS table couples
+// the attainable clock to the supply voltage — the lever the multi-core
+// architecture of Figure 7 exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::energy {
+
+/// One DVFS operating point.
+struct DvfsPoint {
+  double f_hz;
+  double vdd;
+};
+
+/// Lowest-voltage operating point able to sustain `f_hz` (clamps to the
+/// highest point if the request exceeds the table).
+DvfsPoint dvfs_point_for(double f_hz);
+
+struct McuModel {
+  double vdd = 2.2;
+  double f_hz = 8e6;
+  /// Switching energy coefficient: e_cycle = k * Vdd^2.  0.15 nJ/V^2
+  /// reproduces the ~0.73 nJ/cycle of an MSP430F1xx at 2.2 V.
+  double k_j_per_v2 = 0.15e-9;
+  double leakage_w = 4e-6;         ///< Always-on leakage + LPM current.
+  double idle_cycle_fraction = 0.1;  ///< Clock-tree cost of an idle cycle.
+
+  // Cycles per operation class (16-bit ISA with HW multiplier).
+  std::uint32_t cycles_add = 1;
+  std::uint32_t cycles_mul = 5;
+  std::uint32_t cycles_div = 22;
+  std::uint32_t cycles_cmp = 1;
+  std::uint32_t cycles_shift = 1;
+  std::uint32_t cycles_load = 3;
+  std::uint32_t cycles_store = 3;
+  std::uint32_t cycles_branch = 2;
+
+  double energy_per_cycle_j() const { return k_j_per_v2 * vdd * vdd; }
+
+  /// Total cycles to execute an operation mix.
+  std::uint64_t cycles(const dsp::OpCount& ops) const;
+
+  /// Active-switching energy of an operation mix (no leakage).
+  double energy_j(const dsp::OpCount& ops) const;
+
+  /// Fraction of the real-time budget `window_s` spent computing `ops` —
+  /// the "7 % duty cycle" figure of Section V is this quantity.
+  double duty_cycle(const dsp::OpCount& ops, double window_s) const;
+
+  /// Leakage energy over a window.
+  double leakage_j(double window_s) const { return leakage_w * window_s; }
+
+  /// Returns a copy re-pointed at the DVFS entry for `f_hz`.
+  McuModel at_frequency(double f_hz) const;
+};
+
+}  // namespace wbsn::energy

@@ -1,0 +1,17 @@
+#include "energy/node.hpp"
+
+namespace wbsn::energy {
+
+EnergyBreakdown NodeEnergyModel::window_energy(std::uint32_t tx_payload_bytes,
+                                               const dsp::OpCount& computation,
+                                               std::uint64_t samples_acquired,
+                                               double window_s) const {
+  EnergyBreakdown breakdown;
+  breakdown.radio_j = radio.energy_tx_burst_j(tx_payload_bytes);
+  breakdown.sampling_j = adc.energy_j(samples_acquired);
+  breakdown.os_j = os.energy_j(mcu, window_s);
+  breakdown.computation_j = mcu.energy_j(computation);
+  return breakdown;
+}
+
+}  // namespace wbsn::energy

@@ -1,0 +1,75 @@
+// Node-level energy aggregation: acquisition + OS + computation + radio,
+// and battery-lifetime estimation.
+//
+// This is the model behind Figure 6's breakdown and the "mean time between
+// charges is typically one week" observation of Section V: given the bytes
+// a configuration puts on air and the OpCount its processing consumes, the
+// aggregator produces the per-window energy split and the projected
+// battery life.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/opcount.hpp"
+#include "energy/mcu.hpp"
+#include "energy/radio.hpp"
+
+namespace wbsn::energy {
+
+/// Acquisition front-end: instrumentation amplifier + SAR ADC per sample.
+struct AdcModel {
+  double energy_per_sample_j = 6e-9;
+
+  double energy_j(std::uint64_t samples) const {
+    return energy_per_sample_j * static_cast<double>(samples);
+  }
+};
+
+/// Operating-system / platform baseline: FreeRTOS tick, drivers, sensor
+/// ISRs — CPU time burned regardless of the application kernels.
+struct OsModel {
+  double active_fraction = 0.05;  ///< Fraction of wall-clock the CPU is up.
+
+  double energy_j(const McuModel& mcu, double window_s) const {
+    return active_fraction * window_s * mcu.f_hz * mcu.energy_per_cycle_j() +
+           mcu.leakage_j(window_s);
+  }
+};
+
+/// Per-window energy split (the Figure 6 categories; OS is folded into
+/// a category of its own so the share of each is visible).
+struct EnergyBreakdown {
+  double radio_j = 0.0;
+  double sampling_j = 0.0;
+  double os_j = 0.0;
+  double computation_j = 0.0;
+
+  double total_j() const { return radio_j + sampling_j + os_j + computation_j; }
+  double average_power_w(double window_s) const { return total_j() / window_s; }
+};
+
+struct NodeEnergyModel {
+  McuModel mcu{};
+  RadioModel radio{};
+  AdcModel adc{};
+  OsModel os{};
+
+  /// Energy of one processing window.
+  EnergyBreakdown window_energy(std::uint32_t tx_payload_bytes,
+                                const dsp::OpCount& computation,
+                                std::uint64_t samples_acquired, double window_s) const;
+};
+
+/// Battery lifetime (hours) at a given average power draw.
+struct BatteryModel {
+  double capacity_mah = 150.0;  ///< Small wearable cell.
+  double voltage = 3.7;
+  double usable_fraction = 0.85;
+
+  double lifetime_hours(double average_power_w) const {
+    const double energy_j = capacity_mah * 1e-3 * 3600.0 * voltage * usable_fraction;
+    return energy_j / average_power_w / 3600.0;
+  }
+};
+
+}  // namespace wbsn::energy

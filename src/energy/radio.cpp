@@ -1,0 +1,40 @@
+#include "energy/radio.hpp"
+
+namespace wbsn::energy {
+
+std::uint32_t RadioModel::frames_for(std::uint32_t payload_bytes) const {
+  if (payload_bytes == 0) return 0;
+  return (payload_bytes + max_mac_payload - 1) / max_mac_payload;
+}
+
+double RadioModel::energy_tx_burst_j(std::uint32_t payload_bytes) const {
+  const std::uint32_t frames = frames_for(payload_bytes);
+  if (frames == 0) return 0.0;
+  const double per_byte = seconds_per_byte();
+
+  const double tx_bytes_s =
+      (static_cast<double>(payload_bytes) +
+       static_cast<double>(frames) * (phy_overhead + mac_overhead)) *
+      per_byte;
+  const double tx_energy = tx_power_w * tx_bytes_s;
+
+  // Per frame: CCA listen, turnaround to RX, ACK reception.
+  const double rx_s = static_cast<double>(frames) *
+                      (cca_s + turnaround_s + ack_frame_bytes * per_byte);
+  const double rx_energy = rx_power_w * rx_s;
+
+  // One start-up per burst.
+  const double startup_energy = rx_power_w * startup_s;
+  return tx_energy + rx_energy + startup_energy;
+}
+
+double RadioModel::airtime_s(std::uint32_t payload_bytes) const {
+  const std::uint32_t frames = frames_for(payload_bytes);
+  const double per_byte = seconds_per_byte();
+  return (static_cast<double>(payload_bytes) +
+          static_cast<double>(frames) * (phy_overhead + mac_overhead + ack_frame_bytes)) *
+             per_byte +
+         frames * (cca_s + 2.0 * turnaround_s);
+}
+
+}  // namespace wbsn::energy

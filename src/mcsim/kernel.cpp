@@ -1,0 +1,20 @@
+#include "mcsim/kernel.hpp"
+
+#include <algorithm>
+
+namespace wbsn::mcsim {
+
+KernelProfile profile_from_ops(const std::string& name, const dsp::OpCount& ops,
+                               double divergence_prob) {
+  KernelProfile profile;
+  profile.name = name;
+  profile.instructions = ops.total();
+  const auto total = static_cast<double>(std::max<std::uint64_t>(1, ops.total()));
+  profile.load_fraction = static_cast<double>(ops.load) / total;
+  profile.store_fraction = static_cast<double>(ops.store) / total;
+  profile.branch_fraction = static_cast<double>(ops.branch + ops.cmp) / total;
+  profile.divergence_prob = divergence_prob;
+  return profile;
+}
+
+}  // namespace wbsn::mcsim

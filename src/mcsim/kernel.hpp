@@ -1,0 +1,38 @@
+// Kernel workload profiles for the multi-core simulator.
+//
+// Rather than hand-estimating workloads, profiles are derived from the
+// *measured* OpCounts of the real kernels in this library (the same code
+// whose accuracy the other benchmarks score): instruction counts and the
+// load/store/branch mix come straight from instrumentation, and each
+// kernel carries a divergence probability describing how often its
+// data-dependent branches break SIMD lockstep (high for the comparison-
+// heavy morphological filter, low for the straight-line random-projection
+// classifier).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsp/opcount.hpp"
+
+namespace wbsn::mcsim {
+
+struct KernelProfile {
+  std::string name;
+  std::uint64_t instructions = 0;   ///< Per core (one lead / one partition).
+  double load_fraction = 0.2;
+  double store_fraction = 0.1;
+  double branch_fraction = 0.05;
+  /// Probability that an executed branch diverges across cores.
+  double divergence_prob = 0.1;
+  /// Cycles of independent execution before the barrier recovers lockstep.
+  std::uint32_t divergence_penalty = 10;
+  /// Barrier cost (the paper's ISA-extension synchronization, Section IV-B).
+  std::uint32_t barrier_cycles = 3;
+};
+
+/// Builds a profile from a measured per-lead operation count.
+KernelProfile profile_from_ops(const std::string& name, const dsp::OpCount& ops,
+                               double divergence_prob);
+
+}  // namespace wbsn::mcsim

@@ -1,0 +1,76 @@
+#include "mcsim/machine.hpp"
+
+#include <algorithm>
+
+namespace wbsn::mcsim {
+
+SimStats simulate_kernel(const KernelProfile& profile, const MachineConfig& machine,
+                         std::uint64_t seed) {
+  SimStats stats;
+  sig::Rng rng(seed);
+  const auto cores = static_cast<std::uint64_t>(machine.num_cores);
+
+  // The cores execute the same instruction stream; the simulator walks it
+  // instruction by instruction.  This stays exact for the quantities that
+  // matter to energy (access and cycle counts) while remaining fast enough
+  // to run millions of instructions in tests.
+  std::uint64_t i = 0;
+  while (i < profile.instructions) {
+    // --- One lockstep instruction slot. ---
+    stats.wall_cycles += 1;
+    stats.active_core_cycles += cores;
+    stats.imem_accesses += (machine.broadcast_fetch && cores > 1) ? 1 : cores;
+
+    const double op_draw = rng.uniform();
+    const bool is_load = op_draw < profile.load_fraction;
+    const bool is_store =
+        !is_load && op_draw < profile.load_fraction + profile.store_fraction;
+    const bool is_branch =
+        !is_load && !is_store &&
+        op_draw < profile.load_fraction + profile.store_fraction + profile.branch_fraction;
+
+    if (is_load || is_store) {
+      stats.dmem_accesses += cores;
+      if (!machine.partitioned_dmem && cores > 1) {
+        // Unpartitioned ablation: each pair of cores collides with
+        // probability 1/banks; every collision serializes one extra cycle
+        // during which the non-owners wait.
+        std::uint64_t conflicts = 0;
+        for (std::uint64_t c = 1; c < cores; ++c) {
+          conflicts += rng.bernoulli(1.0 / machine.dmem_banks);
+        }
+        stats.dmem_stall_cycles += conflicts;
+        stats.wall_cycles += conflicts;
+        stats.idle_core_cycles += conflicts * (cores - 1);
+        stats.active_core_cycles += conflicts;  // The retried access.
+      }
+    }
+
+    if (is_branch && cores > 1 && rng.bernoulli(profile.divergence_prob)) {
+      // Divergence: cores run different paths for `penalty` cycles (no
+      // fetch merging, everyone active), then the barrier realigns them.
+      ++stats.divergence_events;
+      const std::uint64_t penalty = profile.divergence_penalty;
+      stats.wall_cycles += penalty;
+      stats.active_core_cycles += penalty * cores;
+      stats.imem_accesses += penalty * cores;
+      // Diverged paths revisit roughly the same mix of memory operations.
+      stats.dmem_accesses += static_cast<std::uint64_t>(
+          static_cast<double>(penalty * cores) *
+          (profile.load_fraction + profile.store_fraction));
+      // Barrier: cores arrive staggered; on average half the barrier span
+      // is idle waiting, then one cycle of synchronized restart.
+      const std::uint64_t barrier = profile.barrier_cycles;
+      stats.wall_cycles += barrier;
+      stats.idle_core_cycles += barrier * (cores - 1);
+      stats.active_core_cycles += barrier;  // The annotation/bookkeeping core.
+      // The diverged instructions *are* progress on the stream: skip ahead
+      // so divergence does not inflate the total instruction count.
+      i += penalty;
+    }
+    ++i;
+  }
+  return stats;
+}
+
+}  // namespace wbsn::mcsim

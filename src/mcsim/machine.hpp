@@ -1,0 +1,45 @@
+// Cycle-approximate simulation of the synchronized multi-core WBSN
+// processor of Figure 3 (Braojos et al., DATE 2014 — reference [18]).
+//
+// The architecture: N simple cores execute the same program over different
+// data streams (one ECG lead each), kept in lockstep by lightweight
+// hardware barriers.  While in lockstep, the interconnect *merges* the
+// cores' identical instruction fetches into a single multi-bank
+// instruction-memory access (the broadcast mechanism) — the dominant
+// energy win.  Data-dependent branches occasionally diverge; cores then
+// fetch independently until barrier insertion recovers lockstep.  Data
+// memory is banked per core (the paper's mapping methodology avoids
+// program-memory conflicts), with an optional conflict model for the
+// unpartitioned ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "mcsim/kernel.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::mcsim {
+
+struct MachineConfig {
+  int num_cores = 3;
+  bool broadcast_fetch = true;     ///< Merge identical lockstep fetches.
+  bool partitioned_dmem = true;    ///< Per-core banks: no conflicts.
+  int dmem_banks = 4;
+};
+
+/// Activity counters of one kernel execution.
+struct SimStats {
+  std::uint64_t wall_cycles = 0;
+  std::uint64_t imem_accesses = 0;
+  std::uint64_t dmem_accesses = 0;
+  std::uint64_t dmem_stall_cycles = 0;
+  std::uint64_t active_core_cycles = 0;  ///< Summed over cores.
+  std::uint64_t idle_core_cycles = 0;    ///< Waiting at barriers / stalls.
+  std::uint64_t divergence_events = 0;
+};
+
+/// Runs `profile` on `machine` (each core executes profile.instructions).
+SimStats simulate_kernel(const KernelProfile& profile, const MachineConfig& machine,
+                         std::uint64_t seed);
+
+}  // namespace wbsn::mcsim

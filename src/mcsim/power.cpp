@@ -1,0 +1,64 @@
+#include "mcsim/power.hpp"
+
+namespace wbsn::mcsim {
+
+PowerBreakdown price_execution(const SimStats& stats, int num_cores,
+                               const PowerConfig& cfg) {
+  PowerBreakdown power;
+  const double slot_s = cfg.compute_slot_fraction * cfg.window_s;
+  const double f_needed = static_cast<double>(stats.wall_cycles) / slot_s;
+  const energy::DvfsPoint point = energy::dvfs_point_for(f_needed);
+  power.f_hz = f_needed;
+  power.vdd = point.vdd;
+
+  const double scale = (point.vdd * point.vdd) / (cfg.vref * cfg.vref);
+  const double e_core = cfg.e_core_cycle_ref * scale;
+  const double e_imem = cfg.e_imem_access_ref * scale;
+  const double e_dmem = cfg.e_dmem_access_ref * scale;
+
+  const double core_energy =
+      static_cast<double>(stats.active_core_cycles) * e_core +
+      static_cast<double>(stats.idle_core_cycles) * e_core * cfg.idle_cycle_fraction;
+  const double imem_energy = static_cast<double>(stats.imem_accesses) * e_imem;
+  const double dmem_energy = static_cast<double>(stats.dmem_accesses) * e_dmem;
+
+  // Average power over the full acquisition window (the system sleeps
+  // outside the compute slot; leakage runs all the time).
+  power.cores_w = core_energy / cfg.window_s;
+  power.imem_w = imem_energy / cfg.window_s;
+  power.dmem_w = dmem_energy / cfg.window_s;
+  // Cores are power-gated outside the compute slot: one always-on core
+  // (system services) pays full leakage, the others leak only while their
+  // power domain is up.
+  power.leakage_w =
+      cfg.leakage_per_core_w *
+      (1.0 + (num_cores - 1) * cfg.compute_slot_fraction);
+  return power;
+}
+
+ScMcComparison compare_sc_mc(const KernelProfile& per_lead_profile, int num_leads,
+                             const MachineConfig& mc_machine, const PowerConfig& cfg,
+                             std::uint64_t seed) {
+  ScMcComparison cmp;
+
+  // Single core: all leads serialized on one core.
+  KernelProfile serial = per_lead_profile;
+  serial.instructions *= static_cast<std::uint64_t>(num_leads);
+  MachineConfig sc_machine = mc_machine;
+  sc_machine.num_cores = 1;
+  const SimStats sc_stats = simulate_kernel(serial, sc_machine, seed);
+  cmp.sc = price_execution(sc_stats, 1, cfg);
+  cmp.sc.kernel = per_lead_profile.name;
+  cmp.sc.config = "SC";
+
+  // Multi core: one lead per core in lockstep.
+  MachineConfig mc = mc_machine;
+  mc.num_cores = num_leads;
+  const SimStats mc_stats = simulate_kernel(per_lead_profile, mc, seed + 1);
+  cmp.mc = price_execution(mc_stats, num_leads, cfg);
+  cmp.mc.kernel = per_lead_profile.name;
+  cmp.mc.config = "MC";
+  return cmp;
+}
+
+}  // namespace wbsn::mcsim

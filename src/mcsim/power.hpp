@@ -1,0 +1,74 @@
+// Power accounting and the single-core vs multi-core comparison of
+// Figure 7.
+//
+// Given the activity counters of machine.hpp, this module prices each
+// component (cores, instruction memory, data memory) at the DVFS point a
+// configuration needs to meet its real-time deadline.  The single-core
+// baseline must serialize all leads inside the same compute slot, forcing
+// a clock N times higher — and with the discrete DVFS table, a higher
+// supply voltage.  The multi-core system runs each core N times slower at
+// lower Vdd and merges instruction fetches, which is where the paper's
+// "up to 40 % power reduction" comes from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/mcu.hpp"
+#include "mcsim/machine.hpp"
+
+namespace wbsn::mcsim {
+
+struct PowerConfig {
+  // Reference per-event energies at vref (90 nm low-power embedded SRAM +
+  // simple 16-bit core, order-of-magnitude figures).
+  double vref = 2.2;
+  double e_core_cycle_ref = 0.30e-9;
+  double e_imem_access_ref = 0.38e-9;   ///< Instruction SRAM read.
+  double e_dmem_access_ref = 0.30e-9;   ///< Data SRAM access.
+  double idle_cycle_fraction = 0.12;    ///< Clock-tree cost of idle cycles.
+  double leakage_per_core_w = 2e-6;
+
+  /// Real-time constraint: the kernels must complete within this fraction
+  /// of each acquisition window (the CPU also serves sampling ISRs and the
+  /// radio, so compute is confined to a bounded slot).
+  double compute_slot_fraction = 0.01;
+  double window_s = 2.048;
+};
+
+/// Component-wise power of one configuration running one kernel.
+struct PowerBreakdown {
+  std::string kernel;
+  std::string config;           ///< "SC" or "MC".
+  double f_hz = 0.0;
+  double vdd = 0.0;
+  double cores_w = 0.0;
+  double imem_w = 0.0;
+  double dmem_w = 0.0;
+  double leakage_w = 0.0;
+
+  double total_w() const { return cores_w + imem_w + dmem_w + leakage_w; }
+};
+
+/// Prices a simulated execution: picks the DVFS point that fits the
+/// compute slot, scales event energies by (vdd/vref)^2 and averages over
+/// the full window.
+PowerBreakdown price_execution(const SimStats& stats, int num_cores,
+                               const PowerConfig& cfg);
+
+/// Full Figure-7 style comparison for one kernel profile: the single-core
+/// system executes all `num_leads` partitions serially; the multi-core one
+/// maps one partition per core in lockstep.
+struct ScMcComparison {
+  PowerBreakdown sc;
+  PowerBreakdown mc;
+  double reduction_percent() const {
+    return 100.0 * (1.0 - mc.total_w() / sc.total_w());
+  }
+};
+
+ScMcComparison compare_sc_mc(const KernelProfile& per_lead_profile, int num_leads,
+                             const MachineConfig& mc_machine, const PowerConfig& cfg,
+                             std::uint64_t seed);
+
+}  // namespace wbsn::mcsim

@@ -1,0 +1,35 @@
+#include "sig/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::sig {
+
+std::vector<std::int32_t> quantize(std::span<const double> mv, const AdcConfig& cfg) {
+  std::vector<std::int32_t> out;
+  out.reserve(mv.size());
+  const double scale = cfg.gain / cfg.lsb_mv();
+  for (double v : mv) {
+    const auto q = static_cast<std::int32_t>(std::llround(v * scale));
+    out.push_back(std::clamp(q, cfg.min_count(), cfg.max_count()));
+  }
+  return out;
+}
+
+std::vector<double> dequantize(std::span<const std::int32_t> counts, const AdcConfig& cfg) {
+  std::vector<double> out;
+  out.reserve(counts.size());
+  const double scale = cfg.lsb_mv() / cfg.gain;
+  for (std::int32_t c : counts) out.push_back(static_cast<double>(c) * scale);
+  return out;
+}
+
+std::vector<std::vector<std::int32_t>> quantize_leads(
+    const std::vector<std::vector<double>>& leads, const AdcConfig& cfg) {
+  std::vector<std::vector<std::int32_t>> out;
+  out.reserve(leads.size());
+  for (const auto& lead : leads) out.push_back(quantize(lead, cfg));
+  return out;
+}
+
+}  // namespace wbsn::sig

@@ -1,0 +1,37 @@
+// Acquisition front-end model: amplification, sampling and quantization.
+//
+// The node-side processing chain (filters, delineators, classifiers, CS
+// encoder) runs on integer samples, exactly as it would on the 16-bit MCU of
+// the SmartCardia platform.  This model converts physical-unit (mV) signals
+// into ADC counts with configurable resolution, full-scale range and
+// saturation, and back (for host-side quality metrics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wbsn::sig {
+
+struct AdcConfig {
+  int bits = 12;                  ///< Resolution.
+  double full_scale_mv = 5.0;     ///< Input range is [-fs/2, +fs/2] after gain.
+  double gain = 1.0;              ///< Analog front-end gain.
+
+  std::int32_t max_count() const { return (1 << (bits - 1)) - 1; }
+  std::int32_t min_count() const { return -(1 << (bits - 1)); }
+  double lsb_mv() const { return full_scale_mv / static_cast<double>(1 << bits); }
+};
+
+/// Quantizes a physical-unit signal to signed ADC counts (mid-tread,
+/// saturating).
+std::vector<std::int32_t> quantize(std::span<const double> mv, const AdcConfig& cfg);
+
+/// Reconstructs physical units from counts (inverse of the ideal quantizer).
+std::vector<double> dequantize(std::span<const std::int32_t> counts, const AdcConfig& cfg);
+
+/// Quantizes every lead of a multi-lead record.
+std::vector<std::vector<std::int32_t>> quantize_leads(
+    const std::vector<std::vector<double>>& leads, const AdcConfig& cfg);
+
+}  // namespace wbsn::sig

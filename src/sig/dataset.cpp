@@ -1,0 +1,62 @@
+#include "sig/dataset.hpp"
+
+namespace wbsn::sig {
+namespace {
+
+SynthConfig base_config(const DatasetSpec& spec, int record_idx) {
+  SynthConfig cfg;
+  cfg.num_leads = spec.num_leads;
+  cfg.noise = NoiseParams::preset(spec.noise);
+  cfg.pvc_probability = spec.pvc_probability;
+  cfg.apc_probability = spec.apc_probability;
+  // Spread mean heart rate across records over the configured range.
+  const double frac = spec.num_records > 1
+                          ? static_cast<double>(record_idx) / (spec.num_records - 1)
+                          : 0.5;
+  cfg.sinus.mean_hr_bpm = spec.min_hr_bpm + (spec.max_hr_bpm - spec.min_hr_bpm) * frac;
+  cfg.record_name = "rec" + std::to_string(record_idx);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<Record> make_sinus_dataset(const DatasetSpec& spec) {
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(spec.num_records));
+  Rng master(spec.seed);
+  for (int i = 0; i < spec.num_records; ++i) {
+    SynthConfig cfg = base_config(spec, i);
+    cfg.episodes = {{RhythmEpisode::Kind::kSinus, spec.beats_per_record}};
+    Rng rng = master.split();
+    records.push_back(synthesize_ecg(cfg, rng));
+  }
+  return records;
+}
+
+std::vector<Record> make_arrhythmia_dataset(const DatasetSpec& spec) {
+  DatasetSpec with_ectopics = spec;
+  if (with_ectopics.pvc_probability == 0.0) with_ectopics.pvc_probability = 0.08;
+  if (with_ectopics.apc_probability == 0.0) with_ectopics.apc_probability = 0.05;
+  return make_sinus_dataset(with_ectopics);
+}
+
+std::vector<Record> make_af_dataset(const DatasetSpec& spec) {
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(spec.num_records));
+  Rng master(spec.seed ^ 0xAF00AF00ULL);
+  for (int i = 0; i < spec.num_records; ++i) {
+    SynthConfig cfg = base_config(spec, i);
+    const int quarter = spec.beats_per_record / 4;
+    cfg.episodes = {
+        {RhythmEpisode::Kind::kSinus, quarter},
+        {RhythmEpisode::Kind::kAfib, quarter},
+        {RhythmEpisode::Kind::kSinus, quarter},
+        {RhythmEpisode::Kind::kAfib, spec.beats_per_record - 3 * quarter},
+    };
+    Rng rng = master.split();
+    records.push_back(synthesize_ecg(cfg, rng));
+  }
+  return records;
+}
+
+}  // namespace wbsn::sig

@@ -1,0 +1,38 @@
+// Standard synthetic datasets used by the benchmarks and tests.
+//
+// These stand in for the MIT-BIH style recordings the original work
+// evaluates on (see DESIGN.md, substitution table).  Each builder returns a
+// reproducible set of annotated records spanning patients (different mean
+// rates, morphologies via jitter seeds), rhythms and noise conditions.
+#pragma once
+
+#include <vector>
+
+#include "sig/ecg_synth.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::sig {
+
+struct DatasetSpec {
+  int num_records = 12;
+  int beats_per_record = 120;
+  std::size_t num_leads = 3;
+  NoiseLevel noise = NoiseLevel::kLow;
+  double pvc_probability = 0.0;
+  double apc_probability = 0.0;
+  double min_hr_bpm = 55.0;   ///< Records span this heart-rate range.
+  double max_hr_bpm = 95.0;
+  std::uint64_t seed = 42;
+};
+
+/// Normal-sinus-rhythm records across a range of heart rates (55-95 bpm).
+std::vector<Record> make_sinus_dataset(const DatasetSpec& spec);
+
+/// Arrhythmia dataset: sinus rhythm with PVC/APC ectopics sprinkled in.
+std::vector<Record> make_arrhythmia_dataset(const DatasetSpec& spec);
+
+/// AF dataset: each record alternates sinus and AF episodes so both detector
+/// sensitivity (AF windows) and specificity (sinus windows) are exercised.
+std::vector<Record> make_af_dataset(const DatasetSpec& spec);
+
+}  // namespace wbsn::sig

@@ -1,0 +1,157 @@
+#include "sig/ecg_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::sig {
+
+double GaussWave::value(double t) const {
+  const double z = (t - center_s) / sigma_s;
+  return amplitude_mv * std::exp(-0.5 * z * z);
+}
+
+double BeatTemplate::value(double t) const {
+  double v = 0.0;
+  for (const auto& w : waves) v += w.value(t);
+  return v;
+}
+
+double BeatTemplate::support_begin_s() const {
+  double begin = 0.0;
+  for (const auto& w : waves) {
+    if (w.amplitude_mv != 0.0) begin = std::min(begin, w.center_s - kSupportSigmas * w.sigma_s);
+  }
+  return begin;
+}
+
+double BeatTemplate::support_end_s() const {
+  double end = 0.0;
+  for (const auto& w : waves) {
+    if (w.amplitude_mv != 0.0) end = std::max(end, w.center_s + kSupportSigmas * w.sigma_s);
+  }
+  return end;
+}
+
+namespace {
+
+WaveFiducials fiducials_of(const GaussWave& w, std::int64_t r_sample, double fs) {
+  WaveFiducials f;
+  if (w.amplitude_mv == 0.0) return f;  // Absent wave -> invalid fiducials.
+  const auto to_sample = [&](double t_rel) {
+    return r_sample + static_cast<std::int64_t>(std::llround(t_rel * fs));
+  };
+  f.onset = to_sample(w.center_s - kSupportSigmas * w.sigma_s);
+  f.peak = to_sample(w.center_s);
+  f.offset = to_sample(w.center_s + kSupportSigmas * w.sigma_s);
+  return f;
+}
+
+}  // namespace
+
+BeatAnnotation BeatTemplate::annotate(std::int64_t r_sample, double fs) const {
+  BeatAnnotation ann;
+  ann.r_peak = r_sample;
+  ann.label = label;
+  if (has_p_wave) ann.p = fiducials_of(wave(WaveIdx::kP), r_sample, fs);
+  // The QRS complex spans from the Q-wave onset to the S-wave offset, with
+  // the peak on R.
+  const WaveFiducials q = fiducials_of(wave(WaveIdx::kQ), r_sample, fs);
+  const WaveFiducials r = fiducials_of(wave(WaveIdx::kR), r_sample, fs);
+  const WaveFiducials s = fiducials_of(wave(WaveIdx::kS), r_sample, fs);
+  ann.qrs.onset = q.valid() ? q.onset : r.onset;
+  ann.qrs.peak = r.peak;
+  ann.qrs.offset = s.valid() ? s.offset : r.offset;
+  ann.t = fiducials_of(wave(WaveIdx::kT), r_sample, fs);
+  return ann;
+}
+
+namespace {
+
+/// Rate-adaptive T-wave center: QT interval shortens roughly with sqrt(RR)
+/// (Bazett).  At RR = 0.857 s (70 bpm) the T peak sits ~300 ms after R.
+double t_center_for_rr(double rr_s) {
+  const double rr = std::clamp(rr_s, 0.4, 1.5);
+  return 0.30 * std::sqrt(rr / 0.857);
+}
+
+}  // namespace
+
+BeatTemplate make_normal_beat(double rr_s) {
+  BeatTemplate beat;
+  beat.label = BeatClass::kNormal;
+  beat.has_p_wave = true;
+  beat.wave(WaveIdx::kP) = {0.15, -0.20, 0.022};
+  beat.wave(WaveIdx::kQ) = {-0.12, -0.035, 0.008};
+  beat.wave(WaveIdx::kR) = {1.10, 0.0, 0.010};
+  beat.wave(WaveIdx::kS) = {-0.25, 0.035, 0.009};
+  beat.wave(WaveIdx::kT) = {0.30, t_center_for_rr(rr_s), 0.055};
+  return beat;
+}
+
+BeatTemplate make_pvc_beat(double rr_s) {
+  // Premature ventricular contraction: no preceding P wave, wide and
+  // high-amplitude QRS, discordant (inverted) T wave.
+  BeatTemplate beat;
+  beat.label = BeatClass::kPvc;
+  beat.has_p_wave = false;
+  beat.wave(WaveIdx::kP) = {0.0, -0.20, 0.022};
+  beat.wave(WaveIdx::kQ) = {-0.30, -0.060, 0.018};
+  beat.wave(WaveIdx::kR) = {1.45, 0.0, 0.026};
+  beat.wave(WaveIdx::kS) = {-0.55, 0.065, 0.020};
+  beat.wave(WaveIdx::kT) = {-0.38, t_center_for_rr(rr_s) + 0.05, 0.070};
+  return beat;
+}
+
+BeatTemplate make_apc_beat(double rr_s) {
+  // Atrial premature contraction: early beat with a low, wide, displaced
+  // P wave; QRS morphology close to normal.
+  BeatTemplate beat = make_normal_beat(rr_s);
+  beat.label = BeatClass::kApc;
+  beat.wave(WaveIdx::kP) = {0.08, -0.17, 0.030};
+  beat.wave(WaveIdx::kR).amplitude_mv = 1.00;
+  return beat;
+}
+
+BeatTemplate make_af_beat(double rr_s) {
+  // AF beat: normal ventricular conduction but no organized atrial
+  // activity, hence no P wave.  Fibrillatory baseline activity is added by
+  // the synthesizer as a continuous (not beat-locked) component.
+  BeatTemplate beat = make_normal_beat(rr_s);
+  beat.label = BeatClass::kAfib;
+  beat.has_p_wave = false;
+  beat.wave(WaveIdx::kP).amplitude_mv = 0.0;
+  return beat;
+}
+
+void jitter_template(BeatTemplate& beat, double relative_spread, Rng& rng) {
+  for (auto& w : beat.waves) {
+    if (w.amplitude_mv == 0.0) continue;
+    w.amplitude_mv *= 1.0 + rng.normal(0.0, relative_spread);
+    w.sigma_s *= std::max(0.5, 1.0 + rng.normal(0.0, relative_spread * 0.6));
+  }
+}
+
+LeadProjection LeadProjection::standard3() {
+  LeadProjection p;
+  // Gains per wave (P, Q, R, S, T) for each of the three leads.  Lead I is
+  // the reference; leads II and III see the same dipole along rotated axes,
+  // so waves scale differently (the T/R ratio changes per lead, S deepens in
+  // lead III, ...).  Values chosen to mimic typical limb-lead ratios.
+  p.wave_gains = {
+      {{1.00, 1.00, 1.00, 1.00, 1.00}},
+      {{1.25, 0.80, 0.85, 1.30, 1.15}},
+      {{0.60, 1.40, 0.55, 1.70, 0.75}},
+  };
+  return p;
+}
+
+double LeadProjection::project(const BeatTemplate& beat, std::size_t lead, double t) const {
+  const auto& gains = wave_gains.at(lead);
+  double v = 0.0;
+  for (std::size_t i = 0; i < beat.waves.size(); ++i) {
+    v += gains[i] * beat.waves[i].value(t);
+  }
+  return v;
+}
+
+}  // namespace wbsn::sig

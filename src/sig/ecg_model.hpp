@@ -1,0 +1,86 @@
+// Morphological model of single heartbeats.
+//
+// Each beat is a sum of Gaussian waves (P, Q, R, S, T) placed on a time axis
+// relative to the R peak, following the classic dynamical ECG model of
+// McSharry et al. reduced to its per-beat template form.  Because every wave
+// is an analytic Gaussian, exact ground-truth fiducial points (onset, peak,
+// offset as in Figure 2 of the paper) fall out of the model for free: the
+// peak is the Gaussian center and on/offsets sit at +/- kSupportSigmas
+// standard deviations, where the wave amplitude has decayed below the
+// visibility threshold used by clinical delineators.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sig/rng.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::sig {
+
+/// Number of standard deviations considered the visible support of a wave.
+inline constexpr double kSupportSigmas = 2.5;
+
+/// One Gaussian component of a beat.
+struct GaussWave {
+  double amplitude_mv = 0.0;  ///< Signed peak amplitude in lead I.
+  double center_s = 0.0;      ///< Center relative to the R peak (seconds).
+  double sigma_s = 0.01;      ///< Gaussian standard deviation (seconds).
+
+  /// Value of the wave at time `t` (seconds, relative to R peak).
+  double value(double t) const;
+};
+
+/// Index of each named wave inside BeatTemplate::waves.
+enum class WaveIdx : std::size_t { kP = 0, kQ = 1, kR = 2, kS = 3, kT = 4 };
+
+/// Complete morphological template of a beat.
+struct BeatTemplate {
+  std::array<GaussWave, 5> waves{};  ///< P, Q, R, S, T.
+  BeatClass label = BeatClass::kNormal;
+  bool has_p_wave = true;
+
+  const GaussWave& wave(WaveIdx i) const { return waves[static_cast<std::size_t>(i)]; }
+  GaussWave& wave(WaveIdx i) { return waves[static_cast<std::size_t>(i)]; }
+
+  /// Sum of all waves at time `t` relative to the R peak.
+  double value(double t) const;
+
+  /// Earliest / latest time (relative to R) at which the template is nonzero.
+  double support_begin_s() const;
+  double support_end_s() const;
+
+  /// Ground-truth fiducials for a beat whose R peak sits at sample
+  /// `r_sample` of a record sampled at `fs`.
+  BeatAnnotation annotate(std::int64_t r_sample, double fs) const;
+};
+
+/// Canonical templates.  `rr_s` is the preceding RR interval; the T wave
+/// position adapts to rate following Bazett-style QT shortening.
+BeatTemplate make_normal_beat(double rr_s);
+BeatTemplate make_pvc_beat(double rr_s);
+BeatTemplate make_apc_beat(double rr_s);
+BeatTemplate make_af_beat(double rr_s);
+
+/// Applies bounded multiplicative jitter to amplitudes and widths so no two
+/// beats are identical (as in real recordings).
+void jitter_template(BeatTemplate& beat, double relative_spread, Rng& rng);
+
+/// Per-lead projection gains modelling the electrical axis seen by each
+/// electrode pair.  Leads share the cardiac source but observe each wave
+/// with a different gain, which is what makes multi-lead ECG jointly sparse
+/// yet not redundant (Section III-A of the paper).
+struct LeadProjection {
+  // One gain per wave (P, Q, R, S, T) for each lead.
+  std::vector<std::array<double, 5>> wave_gains;
+
+  std::size_t num_leads() const { return wave_gains.size(); }
+
+  /// Standard 3-lead projection used across the repository.
+  static LeadProjection standard3();
+
+  /// Value of `beat` at time `t` as seen by `lead`.
+  double project(const BeatTemplate& beat, std::size_t lead, double t) const;
+};
+
+}  // namespace wbsn::sig

@@ -1,0 +1,170 @@
+#include "sig/ecg_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::sig {
+namespace {
+
+struct ScheduledBeat {
+  double time_s = 0.0;      ///< R-peak time from record start.
+  double rr_prev_s = 0.8;   ///< RR interval preceding this beat.
+  BeatClass label = BeatClass::kNormal;
+  bool in_af_episode = false;
+};
+
+/// Expands the episode schedule into a concrete beat list with ectopics.
+std::vector<ScheduledBeat> schedule_beats(const SynthConfig& cfg, Rng& rng) {
+  std::vector<ScheduledBeat> beats;
+  double t = 0.6;  // Leave room for the first beat's P wave.
+  for (const auto& episode : cfg.episodes) {
+    if (episode.kind == RhythmEpisode::Kind::kAfib) {
+      const auto rr = generate_af_rr(cfg.af, episode.num_beats, rng);
+      for (double interval : rr) {
+        beats.push_back({t, interval, BeatClass::kAfib, true});
+        t += interval;
+      }
+      continue;
+    }
+    const auto rr = generate_sinus_rr(cfg.sinus, episode.num_beats, rng);
+    std::size_t i = 0;
+    while (i < rr.size()) {
+      const double interval = rr[i];
+      const bool make_pvc = rng.bernoulli(cfg.pvc_probability);
+      const bool make_apc = !make_pvc && rng.bernoulli(cfg.apc_probability);
+      if (make_pvc && i + 1 < rr.size()) {
+        // PVC: short coupling interval, followed by a fully compensatory
+        // pause (the sinus node keeps its phase, so coupling + pause spans
+        // two normal RR intervals).
+        const double coupling = 0.55 * interval;
+        beats.push_back({t + coupling, coupling, BeatClass::kPvc, false});
+        const double pause = 2.0 * interval - coupling;
+        t += coupling + pause;
+        beats.push_back({t, pause, BeatClass::kNormal, false});
+        i += 2;
+        continue;
+      }
+      if (make_apc) {
+        // APC: premature atrial beat with a non-compensatory pause (the
+        // sinus node resets, so the following interval is near-normal).
+        const double coupling = 0.75 * interval;
+        beats.push_back({t + coupling, coupling, BeatClass::kApc, false});
+        t += coupling + interval;
+        if (i + 1 < rr.size()) {
+          beats.push_back({t, interval, BeatClass::kNormal, false});
+        }
+        i += 2;
+        continue;
+      }
+      t += interval;
+      beats.push_back({t, interval, BeatClass::kNormal, false});
+      ++i;
+    }
+  }
+  return beats;
+}
+
+BeatTemplate template_for(const ScheduledBeat& beat, double rr_s) {
+  switch (beat.label) {
+    case BeatClass::kPvc: return make_pvc_beat(rr_s);
+    case BeatClass::kApc: return make_apc_beat(rr_s);
+    case BeatClass::kAfib: return make_af_beat(rr_s);
+    case BeatClass::kNormal: break;
+  }
+  return make_normal_beat(rr_s);
+}
+
+}  // namespace
+
+Record synthesize_ecg(const SynthConfig& cfg, Rng& rng) {
+  const auto scheduled = schedule_beats(cfg, rng);
+  const double last_t = scheduled.empty() ? 1.0 : scheduled.back().time_s;
+  const auto n = static_cast<std::size_t>(std::ceil((last_t + 0.8) * cfg.fs));
+
+  Record record;
+  record.name = cfg.record_name;
+  record.fs = cfg.fs;
+  record.leads.assign(cfg.num_leads, std::vector<double>(n, 0.0));
+
+  // The standard projection defines three leads; additional leads reuse the
+  // last axis with attenuation (a realistic redundant electrode placement).
+  const LeadProjection projection = LeadProjection::standard3();
+
+  // Track AF episode extents so fibrillatory activity can be confined there.
+  std::vector<std::pair<std::size_t, std::size_t>> af_ranges;
+
+  for (const auto& sched : scheduled) {
+    BeatTemplate beat = template_for(sched, sched.rr_prev_s);
+    jitter_template(beat, cfg.morphology_jitter, rng);
+    const auto r_sample = static_cast<std::int64_t>(std::llround(sched.time_s * cfg.fs));
+    if (r_sample < 0 || static_cast<std::size_t>(r_sample) >= n) continue;
+
+    const auto begin =
+        std::max<std::int64_t>(0, r_sample + static_cast<std::int64_t>(
+                                      std::floor(beat.support_begin_s() * cfg.fs)));
+    const auto end = std::min<std::int64_t>(
+        static_cast<std::int64_t>(n) - 1,
+        r_sample + static_cast<std::int64_t>(std::ceil(beat.support_end_s() * cfg.fs)));
+    for (std::size_t lead = 0; lead < cfg.num_leads; ++lead) {
+      const std::size_t proj_lead = std::min(lead, projection.num_leads() - 1);
+      const double extra_gain = lead < projection.num_leads() ? 1.0 : 0.8;
+      auto& samples = record.leads[lead];
+      for (std::int64_t s = begin; s <= end; ++s) {
+        const double t_rel = (static_cast<double>(s) - static_cast<double>(r_sample)) / cfg.fs;
+        samples[static_cast<std::size_t>(s)] +=
+            extra_gain * projection.project(beat, proj_lead, t_rel);
+      }
+    }
+
+    record.beats.push_back(beat.annotate(r_sample, cfg.fs));
+    if (sched.in_af_episode) {
+      record.af_episode_present = true;
+      const auto lo = static_cast<std::size_t>(std::max<std::int64_t>(
+          0, r_sample - static_cast<std::int64_t>(sched.rr_prev_s * cfg.fs)));
+      const auto hi = static_cast<std::size_t>(std::min<std::int64_t>(
+          static_cast<std::int64_t>(n) - 1, r_sample + static_cast<std::int64_t>(0.4 * cfg.fs)));
+      if (!af_ranges.empty() && lo <= af_ranges.back().second + 1) {
+        af_ranges.back().second = std::max(af_ranges.back().second, hi);
+      } else {
+        af_ranges.emplace_back(lo, hi);
+      }
+    }
+  }
+
+  // Fibrillatory atrial activity during AF episodes (continuous, not
+  // beat-locked), projected onto each lead with the P-wave gain since both
+  // originate from atrial depolarization.
+  if (!af_ranges.empty() && cfg.fibrillatory_mv > 0.0) {
+    Rng f_rng = rng.split();
+    const auto f_waves = gen_fibrillatory_waves(cfg.fibrillatory_mv, n, cfg.fs, f_rng);
+    for (std::size_t lead = 0; lead < cfg.num_leads; ++lead) {
+      const std::size_t proj_lead = std::min(lead, projection.num_leads() - 1);
+      const double gain = projection.wave_gains[proj_lead][0];  // P-wave axis.
+      for (const auto& [lo, hi] : af_ranges) {
+        for (std::size_t s = lo; s <= hi; ++s) record.leads[lead][s] += gain * f_waves[s];
+      }
+    }
+  }
+
+  // Additive noise: baseline wander and mains pickup are common-mode-ish
+  // (shared source, per-lead gain); EMG, motion and sensor noise are
+  // electrode-local and therefore independent per lead.
+  Rng shared_rng = rng.split();
+  const auto wander = gen_baseline_wander(cfg.noise, n, cfg.fs, shared_rng);
+  const auto mains = gen_powerline(cfg.noise, n, cfg.fs, shared_rng);
+  for (std::size_t lead = 0; lead < cfg.num_leads; ++lead) {
+    Rng lead_rng = rng.split();
+    const double shared_gain = 0.8 + 0.4 * lead_rng.uniform();
+    auto& samples = record.leads[lead];
+    const auto emg = gen_emg(cfg.noise, n, cfg.fs, lead_rng);
+    const auto motion = gen_motion_artifacts(cfg.noise, n, cfg.fs, lead_rng);
+    const auto white = gen_white(cfg.noise, n, lead_rng);
+    for (std::size_t s = 0; s < n; ++s) {
+      samples[s] += shared_gain * (wander[s] + mains[s]) + emg[s] + motion[s] + white[s];
+    }
+  }
+
+  return record;
+}
+
+}  // namespace wbsn::sig

@@ -1,0 +1,45 @@
+#include "sig/hrv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace wbsn::sig {
+
+std::vector<double> generate_sinus_rr(const SinusRhythmParams& params, int n, Rng& rng) {
+  std::vector<double> rr;
+  rr.reserve(static_cast<std::size_t>(n));
+  const double base_rr = 60.0 / params.mean_hr_bpm;
+  double vlf = 0.0;
+  double t = 0.0;  // Cumulative time drives the oscillatory modulations.
+  const double rsa_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double mayer_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (int i = 0; i < n; ++i) {
+    vlf = params.vlf_rho * vlf + rng.normal(0.0, params.vlf_sigma);
+    const double rsa =
+        params.rsa_depth * base_rr *
+        std::sin(2.0 * std::numbers::pi * params.rsa_freq_hz * t + rsa_phase);
+    const double mayer =
+        params.mayer_depth * base_rr *
+        std::sin(2.0 * std::numbers::pi * params.mayer_freq_hz * t + mayer_phase);
+    double interval = base_rr + rsa + mayer + vlf + rng.normal(0.0, params.white_sigma);
+    interval = std::clamp(interval, 0.35, 2.0);
+    rr.push_back(interval);
+    t += interval;
+  }
+  return rr;
+}
+
+std::vector<double> generate_af_rr(const AfRhythmParams& params, int n, Rng& rng) {
+  std::vector<double> rr;
+  rr.reserve(static_cast<std::size_t>(n));
+  const double base_rr = 60.0 / params.mean_hr_bpm;
+  for (int i = 0; i < n; ++i) {
+    // Log-normal-ish draw: broad, right-skewed, serially uncorrelated.
+    const double draw = base_rr * std::exp(rng.normal(0.0, params.spread));
+    rr.push_back(std::max(params.min_rr_s, std::min(draw, 1.8)));
+  }
+  return rr;
+}
+
+}  // namespace wbsn::sig

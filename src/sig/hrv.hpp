@@ -1,0 +1,43 @@
+// Generation of realistic RR-interval (beat-to-beat) series.
+//
+// Normal sinus rhythm is modelled as a mean rate modulated by respiratory
+// sinus arrhythmia (high-frequency band, ~0.25 Hz), Mayer-wave baroreflex
+// oscillation (low-frequency band, ~0.1 Hz) and a slowly-varying AR(1)
+// component standing in for very-low-frequency drift.  Atrial fibrillation
+// produces an "irregularly irregular" series: RR intervals drawn from a
+// broad distribution with negligible serial correlation, which is exactly
+// the statistical signature the AF detector of the paper keys on.
+#pragma once
+
+#include <vector>
+
+#include "sig/rng.hpp"
+
+namespace wbsn::sig {
+
+/// Parameters of the normal-sinus-rhythm RR process.
+struct SinusRhythmParams {
+  double mean_hr_bpm = 70.0;    ///< Mean heart rate.
+  double rsa_freq_hz = 0.25;    ///< Respiratory sinus arrhythmia frequency.
+  double rsa_depth = 0.04;      ///< RSA modulation depth (fraction of RR).
+  double mayer_freq_hz = 0.1;   ///< Mayer wave frequency.
+  double mayer_depth = 0.02;    ///< Mayer modulation depth.
+  double vlf_sigma = 0.015;     ///< AR(1) very-low-frequency jitter (s).
+  double vlf_rho = 0.95;        ///< AR(1) pole.
+  double white_sigma = 0.005;   ///< Unstructured beat-to-beat jitter (s).
+};
+
+/// Parameters of the atrial-fibrillation RR process.
+struct AfRhythmParams {
+  double mean_hr_bpm = 95.0;    ///< AF episodes usually run fast.
+  double spread = 0.18;         ///< Relative spread of the RR distribution.
+  double min_rr_s = 0.30;       ///< Physiological floor (ventricular refractory).
+};
+
+/// Generates `n` RR intervals (seconds) of normal sinus rhythm.
+std::vector<double> generate_sinus_rr(const SinusRhythmParams& params, int n, Rng& rng);
+
+/// Generates `n` RR intervals (seconds) of atrial fibrillation.
+std::vector<double> generate_af_rr(const AfRhythmParams& params, int n, Rng& rng);
+
+}  // namespace wbsn::sig

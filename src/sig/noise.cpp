@@ -1,0 +1,163 @@
+#include "sig/noise.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace wbsn::sig {
+
+NoiseParams NoiseParams::preset(NoiseLevel level) {
+  NoiseParams p;
+  switch (level) {
+    case NoiseLevel::kNone:
+      p.baseline_wander_mv = 0.0;
+      p.powerline_mv = 0.0;
+      p.emg_rms_mv = 0.0;
+      p.motion_rate_hz = 0.0;
+      p.white_rms_mv = 0.0;
+      break;
+    case NoiseLevel::kLow:
+      p.baseline_wander_mv = 0.08;
+      p.powerline_mv = 0.02;
+      p.emg_rms_mv = 0.01;
+      p.motion_rate_hz = 0.0;
+      p.white_rms_mv = 0.005;
+      break;
+    case NoiseLevel::kModerate:
+      // Defaults in the struct correspond to the moderate ambulatory case.
+      break;
+    case NoiseLevel::kSevere:
+      p.baseline_wander_mv = 0.45;
+      p.powerline_mv = 0.12;
+      p.emg_rms_mv = 0.08;
+      p.motion_rate_hz = 0.12;
+      p.motion_peak_mv = 1.0;
+      p.white_rms_mv = 0.02;
+      break;
+  }
+  return p;
+}
+
+std::vector<double> gen_baseline_wander(const NoiseParams& p, std::size_t n, double fs,
+                                        Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (p.baseline_wander_mv <= 0.0) return out;
+  // Three sinusoids clustered around the breathing frequency.
+  struct Component { double amp, freq, phase; };
+  std::array<Component, 3> comps{};
+  const double base_amp = p.baseline_wander_mv;
+  comps[0] = {base_amp * 0.6, p.baseline_freq_hz, rng.uniform(0.0, 2.0 * std::numbers::pi)};
+  comps[1] = {base_amp * 0.3, p.baseline_freq_hz * rng.uniform(0.35, 0.6),
+              rng.uniform(0.0, 2.0 * std::numbers::pi)};
+  comps[2] = {base_amp * 0.15, p.baseline_freq_hz * rng.uniform(1.4, 2.0),
+              rng.uniform(0.0, 2.0 * std::numbers::pi)};
+  // Bounded random walk for electrode drift; leaky integration keeps it
+  // zero-mean over long records.
+  double walk = 0.0;
+  const double walk_sigma = base_amp * 0.02;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    double v = 0.0;
+    for (const auto& c : comps) v += c.amp * std::sin(2.0 * std::numbers::pi * c.freq * t + c.phase);
+    walk = 0.999 * walk + rng.normal(0.0, walk_sigma);
+    out[i] = v + walk;
+  }
+  return out;
+}
+
+std::vector<double> gen_powerline(const NoiseParams& p, std::size_t n, double fs, Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (p.powerline_mv <= 0.0) return out;
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double mod_freq = rng.uniform(0.05, 0.2);  // Slow amplitude breathing.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double mod = 1.0 + 0.2 * std::sin(2.0 * std::numbers::pi * mod_freq * t);
+    const double w = 2.0 * std::numbers::pi * p.powerline_freq_hz * t + phase;
+    out[i] = p.powerline_mv * mod * (std::sin(w) + 0.15 * std::sin(3.0 * w));
+  }
+  return out;
+}
+
+std::vector<double> gen_emg(const NoiseParams& p, std::size_t n, double fs, Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (p.emg_rms_mv <= 0.0) return out;
+  // First-order high-pass on white noise, cutoff ~20 Hz.
+  const double rc = 1.0 / (2.0 * std::numbers::pi * 20.0);
+  const double alpha = rc / (rc + 1.0 / fs);
+  double prev_in = 0.0;
+  double prev_out = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    prev_out = alpha * (prev_out + x - prev_in);
+    prev_in = x;
+    out[i] = prev_out;
+  }
+  // Normalize to requested RMS.
+  double sum_sq = 0.0;
+  for (double v : out) sum_sq += v * v;
+  const double rms = std::sqrt(sum_sq / static_cast<double>(n));
+  if (rms > 0.0) {
+    const double scale = p.emg_rms_mv / rms;
+    for (double& v : out) v *= scale;
+  }
+  return out;
+}
+
+std::vector<double> gen_motion_artifacts(const NoiseParams& p, std::size_t n, double fs,
+                                         Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (p.motion_rate_hz <= 0.0) return out;
+  // Poisson arrivals: per-sample probability = rate / fs.
+  const double prob = p.motion_rate_hz / fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.bernoulli(prob)) continue;
+    const double peak = rng.normal(0.0, p.motion_peak_mv);
+    const double tau_samples = rng.uniform(0.1, 0.5) * fs;  // 100-500 ms decay.
+    for (std::size_t j = i; j < n; ++j) {
+      const double decay = std::exp(-static_cast<double>(j - i) / tau_samples);
+      if (decay < 1e-3) break;
+      out[j] += peak * decay;
+    }
+  }
+  return out;
+}
+
+std::vector<double> gen_white(const NoiseParams& p, std::size_t n, Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (p.white_rms_mv <= 0.0) return out;
+  for (double& v : out) v = rng.normal(0.0, p.white_rms_mv);
+  return out;
+}
+
+std::vector<double> gen_composite(const NoiseParams& p, std::size_t n, double fs, Rng& rng) {
+  std::vector<double> out = gen_baseline_wander(p, n, fs, rng);
+  const auto add = [&out](const std::vector<double>& other) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += other[i];
+  };
+  add(gen_powerline(p, n, fs, rng));
+  add(gen_emg(p, n, fs, rng));
+  add(gen_motion_artifacts(p, n, fs, rng));
+  add(gen_white(p, n, rng));
+  return out;
+}
+
+std::vector<double> gen_fibrillatory_waves(double amplitude_mv, std::size_t n, double fs,
+                                           Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (amplitude_mv <= 0.0) return out;
+  // Frequency-wandering oscillation in the 4-9 Hz atrial band with a second
+  // harmonic giving the characteristic sawtooth-ish shape.
+  double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  double freq = rng.uniform(5.0, 7.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    freq += rng.normal(0.0, 0.01);
+    freq = std::clamp(freq, 4.0, 9.0);
+    phase += 2.0 * std::numbers::pi * freq / fs;
+    out[i] = amplitude_mv * (std::sin(phase) + 0.3 * std::sin(2.0 * phase));
+  }
+  return out;
+}
+
+}  // namespace wbsn::sig

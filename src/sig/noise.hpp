@@ -1,0 +1,60 @@
+// Additive noise models for synthetic ECG, covering the disturbance classes
+// Section II/III-B of the paper discusses: baseline wander (respiration and
+// electrode drift), powerline interference, broadband muscular (EMG)
+// activity, and transient motion artifacts.  Each generator is deterministic
+// given its Rng and produces a vector that is summed onto a clean lead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sig/rng.hpp"
+
+namespace wbsn::sig {
+
+/// Intensity preset used by the dataset builders.
+enum class NoiseLevel { kNone, kLow, kModerate, kSevere };
+
+struct NoiseParams {
+  double baseline_wander_mv = 0.20;  ///< Peak amplitude of slow drift.
+  double baseline_freq_hz = 0.25;    ///< Dominant wander frequency (breathing).
+  double powerline_mv = 0.05;        ///< 50 Hz interference amplitude.
+  double powerline_freq_hz = 50.0;
+  double emg_rms_mv = 0.03;          ///< Broadband muscular noise RMS.
+  double motion_rate_hz = 0.05;      ///< Expected motion artifacts per second.
+  double motion_peak_mv = 0.6;       ///< Typical artifact excursion.
+  double white_rms_mv = 0.01;        ///< Sensor/quantization floor.
+
+  static NoiseParams preset(NoiseLevel level);
+};
+
+/// Sum-of-random-phase-sinusoids baseline wander around `baseline_freq_hz`
+/// plus a bounded random walk modelling electrode half-cell drift.
+std::vector<double> gen_baseline_wander(const NoiseParams& p, std::size_t n, double fs,
+                                        Rng& rng);
+
+/// Mains interference: fundamental plus a weak third harmonic with slow
+/// amplitude modulation.
+std::vector<double> gen_powerline(const NoiseParams& p, std::size_t n, double fs, Rng& rng);
+
+/// EMG: white noise shaped by a first-order high-pass (muscle noise is
+/// broadband but predominantly above the ECG's spectral mass).
+std::vector<double> gen_emg(const NoiseParams& p, std::size_t n, double fs, Rng& rng);
+
+/// Sparse motion artifacts: exponentially-decaying baseline jumps at Poisson
+/// arrival times (electrode pulls / cable snags).
+std::vector<double> gen_motion_artifacts(const NoiseParams& p, std::size_t n, double fs,
+                                         Rng& rng);
+
+/// Gaussian sensor-noise floor.
+std::vector<double> gen_white(const NoiseParams& p, std::size_t n, Rng& rng);
+
+/// Convenience: the sum of all components enabled by `p`.
+std::vector<double> gen_composite(const NoiseParams& p, std::size_t n, double fs, Rng& rng);
+
+/// Continuous fibrillatory "f waves" (4-9 Hz sawtooth-like atrial activity)
+/// injected during AF episodes in place of P waves.
+std::vector<double> gen_fibrillatory_waves(double amplitude_mv, std::size_t n, double fs,
+                                           Rng& rng);
+
+}  // namespace wbsn::sig

@@ -1,0 +1,73 @@
+#include "sig/ppg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace wbsn::sig {
+
+double BpTrajectory::map_at(double t_s) const {
+  if (excursion_mmhg == 0.0 || t_s < excursion_t0_s) return baseline_mmhg;
+  const double rel = (t_s - excursion_t0_s) / excursion_len_s;
+  if (rel >= 1.0) return baseline_mmhg;
+  // Smooth raised-cosine bump.
+  return baseline_mmhg + excursion_mmhg * 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * rel));
+}
+
+double BpTrajectory::pwv_for_map(double map_mmhg) const {
+  // Linearized Moens-Korteweg in the physiological range: ~4 m/s at
+  // 70 mmHg rising ~0.05 m/s per mmHg (consistent with Gesche et al. 2012).
+  return 4.0 + 0.05 * (map_mmhg - 70.0);
+}
+
+PpgRecord synthesize_ppg(const Record& ecg, const PpgConfig& cfg, const BpTrajectory& bp,
+                         Rng& rng) {
+  PpgRecord ppg;
+  ppg.fs = ecg.fs;
+  ppg.samples.assign(ecg.num_samples(), 0.0);
+
+  for (const auto& beat : ecg.beats) {
+    const double t_r = static_cast<double>(beat.r_peak) / ecg.fs;
+    const double map = bp.map_at(t_r);
+    const double pwv = bp.pwv_for_map(map);
+    const double ptt = cfg.artery_length_m / pwv;
+    const double pat = cfg.pre_ejection_s + ptt;
+    const double t_foot = t_r + pat;
+    const auto foot_sample = static_cast<std::int64_t>(std::llround(t_foot * ppg.fs));
+    if (foot_sample < 0 || static_cast<std::size_t>(foot_sample) >= ppg.samples.size()) {
+      continue;
+    }
+
+    ppg.truth.ptt_s.push_back(ptt);
+    ppg.truth.pwv_m_per_s.push_back(pwv);
+    ppg.truth.map_mmhg.push_back(map);
+    ppg.truth.foot_samples.push_back(foot_sample);
+
+    // Pulse shape: systolic upstroke (half-Gaussian rise from the foot,
+    // peaking at foot + ~40% of pulse width) plus a dicrotic wave.
+    const double sys_peak_t = t_foot + 0.4 * cfg.pulse_width_s;
+    const double sys_sigma = 0.22 * cfg.pulse_width_s;
+    const double dicrotic_t = t_foot + 0.95 * cfg.pulse_width_s;
+    const double dicrotic_sigma = 0.35 * cfg.pulse_width_s;
+    const double amp = 1.0 + rng.normal(0.0, 0.03);
+
+    const auto begin = static_cast<std::int64_t>(std::llround(t_foot * ppg.fs));
+    const auto end = std::min<std::int64_t>(
+        static_cast<std::int64_t>(ppg.samples.size()) - 1,
+        static_cast<std::int64_t>(std::llround((t_foot + 2.2 * cfg.pulse_width_s) * ppg.fs)));
+    for (std::int64_t s = begin; s <= end; ++s) {
+      const double t = static_cast<double>(s) / ppg.fs;
+      const double zs = (t - sys_peak_t) / sys_sigma;
+      const double zd = (t - dicrotic_t) / dicrotic_sigma;
+      ppg.samples[static_cast<std::size_t>(s)] +=
+          amp * (std::exp(-0.5 * zs * zs) + cfg.dicrotic_gain * std::exp(-0.5 * zd * zd));
+    }
+  }
+
+  if (cfg.noise_rms > 0.0) {
+    for (auto& v : ppg.samples) v += rng.normal(0.0, cfg.noise_rms);
+  }
+  return ppg;
+}
+
+}  // namespace wbsn::sig

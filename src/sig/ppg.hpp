@@ -1,0 +1,58 @@
+// Photoplethysmogram (PPG) synthesis time-locked to an ECG record.
+//
+// Section IV-C of the paper estimates blood pressure from the pulse arrival
+// time (PAT): the delay between the ECG R peak and the arrival of the
+// corresponding pressure pulse at a peripheral PPG probe.  This generator
+// produces a PPG whose per-beat pulse foot trails each R peak by the
+// pre-ejection period plus the pulse transit time (PTT), with PTT driven by
+// a configurable arterial-stiffness/blood-pressure trajectory — giving the
+// estimation pipeline a ground truth to recover.
+#pragma once
+
+#include <vector>
+
+#include "sig/rng.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::sig {
+
+struct PpgConfig {
+  double pre_ejection_s = 0.06;   ///< Electromechanical delay before ejection.
+  double artery_length_m = 0.65;  ///< Heart-to-finger path length.
+  double pulse_width_s = 0.22;    ///< Systolic upstroke width.
+  double dicrotic_gain = 0.35;    ///< Relative amplitude of the dicrotic wave.
+  double noise_rms = 0.01;        ///< Additive sensor noise.
+};
+
+/// Ground truth attached to a synthetic PPG.
+struct PpgTruth {
+  std::vector<double> ptt_s;        ///< Per-beat pulse transit time.
+  std::vector<double> pwv_m_per_s;  ///< Per-beat pulse wave velocity.
+  std::vector<double> map_mmhg;     ///< Per-beat mean arterial pressure.
+  std::vector<std::int64_t> foot_samples;  ///< Pulse-foot sample indices.
+};
+
+struct PpgRecord {
+  std::vector<double> samples;
+  double fs = kDefaultFs;
+  PpgTruth truth;
+};
+
+/// Blood-pressure trajectory: MAP in mmHg as a function of time (seconds).
+/// PWV follows the Moens-Korteweg-style monotone map used by cuffless BP
+/// estimators: pwv = a + b * map.
+struct BpTrajectory {
+  double baseline_mmhg = 90.0;
+  double excursion_mmhg = 0.0;   ///< Peak deviation (e.g. exercise bout).
+  double excursion_t0_s = 0.0;   ///< Excursion onset.
+  double excursion_len_s = 60.0;
+
+  double map_at(double t_s) const;
+  double pwv_for_map(double map_mmhg) const;  ///< m/s.
+};
+
+/// Synthesizes a PPG aligned with `ecg`, one pulse per annotated beat.
+PpgRecord synthesize_ppg(const Record& ecg, const PpgConfig& cfg, const BpTrajectory& bp,
+                         Rng& rng);
+
+}  // namespace wbsn::sig

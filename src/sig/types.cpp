@@ -1,0 +1,32 @@
+#include "sig/types.hpp"
+
+namespace wbsn::sig {
+
+char to_code(BeatClass c) {
+  switch (c) {
+    case BeatClass::kNormal: return 'N';
+    case BeatClass::kPvc: return 'V';
+    case BeatClass::kApc: return 'S';
+    case BeatClass::kAfib: return 'A';
+  }
+  return '?';
+}
+
+std::vector<std::int64_t> Record::r_peaks() const {
+  std::vector<std::int64_t> peaks;
+  peaks.reserve(beats.size());
+  for (const auto& b : beats) peaks.push_back(b.r_peak);
+  return peaks;
+}
+
+std::vector<double> Record::rr_intervals_s() const {
+  std::vector<double> rr;
+  if (beats.size() < 2) return rr;
+  rr.reserve(beats.size() - 1);
+  for (std::size_t i = 1; i < beats.size(); ++i) {
+    rr.push_back(static_cast<double>(beats[i].r_peak - beats[i - 1].r_peak) / fs);
+  }
+  return rr;
+}
+
+}  // namespace wbsn::sig

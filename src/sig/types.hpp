@@ -1,0 +1,73 @@
+// Common signal-domain types: beat labels, fiducial annotations and the
+// multi-lead Record container shared by the whole library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wbsn::sig {
+
+/// Default sampling rate of the acquisition front-end, in Hz.  The
+/// SmartCardia-class node samples 3 ECG leads at 250 Hz with a 12-bit ADC.
+inline constexpr double kDefaultFs = 250.0;
+
+/// Physiological class of one heartbeat (AAMI-style reduced set).
+enum class BeatClass : std::uint8_t {
+  kNormal,       ///< Normal sinus beat.
+  kPvc,          ///< Premature ventricular contraction (wide, bizarre QRS).
+  kApc,          ///< Atrial premature contraction (early, altered P wave).
+  kAfib,         ///< Beat inside an atrial-fibrillation episode (no P wave).
+};
+
+/// Human-readable one-letter code, matching common annotation conventions.
+char to_code(BeatClass c);
+
+/// Characteristic waves of a heartbeat (Figure 2 of the paper).
+enum class Wave : std::uint8_t { kP, kQrs, kT };
+
+/// Fiducial points of one wave: onset, peak and offset (sample indices).
+struct WaveFiducials {
+  std::int64_t onset = -1;
+  std::int64_t peak = -1;
+  std::int64_t offset = -1;
+
+  bool valid() const { return peak >= 0; }
+};
+
+/// Full per-beat ground-truth / detected annotation.
+struct BeatAnnotation {
+  std::int64_t r_peak = 0;    ///< Sample index of the R peak.
+  BeatClass label = BeatClass::kNormal;
+  WaveFiducials p;            ///< Absent (invalid) for AF beats.
+  WaveFiducials qrs;
+  WaveFiducials t;
+};
+
+/// A multi-lead recording plus its ground-truth annotations.
+///
+/// Samples are stored per lead in physical units (millivolt).  The ADC
+/// front-end (adc.hpp) converts to integer counts for node-side processing.
+struct Record {
+  std::string name;
+  double fs = kDefaultFs;
+  std::vector<std::vector<double>> leads;   ///< [lead][sample], mV.
+  std::vector<BeatAnnotation> beats;        ///< Sorted by r_peak.
+  bool af_episode_present = false;          ///< Any kAfib beats present.
+
+  std::size_t num_leads() const { return leads.size(); }
+  std::size_t num_samples() const { return leads.empty() ? 0 : leads[0].size(); }
+  double duration_s() const { return static_cast<double>(num_samples()) / fs; }
+
+  /// View of one lead.
+  std::span<const double> lead(std::size_t i) const { return leads.at(i); }
+
+  /// R-peak sample indices of all annotated beats.
+  std::vector<std::int64_t> r_peaks() const;
+
+  /// RR interval series in seconds (size = beats-1).
+  std::vector<double> rr_intervals_s() const;
+};
+
+}  // namespace wbsn::sig

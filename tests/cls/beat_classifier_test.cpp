@@ -1,0 +1,146 @@
+#include "cls/beat_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sig/adc.hpp"
+#include "sig/dataset.hpp"
+#include "sig/ecg_synth.hpp"
+
+namespace wbsn::cls {
+namespace {
+
+struct Prepared {
+  std::vector<std::vector<std::int32_t>> signals;
+  std::vector<sig::Record> records;
+};
+
+Prepared prepare(int num_records, std::uint64_t seed) {
+  sig::DatasetSpec spec;
+  spec.num_records = num_records;
+  spec.beats_per_record = 150;
+  spec.noise = sig::NoiseLevel::kLow;
+  spec.pvc_probability = 0.10;
+  spec.apc_probability = 0.08;
+  spec.seed = seed;
+  Prepared p;
+  p.records = make_arrhythmia_dataset(spec);
+  for (const auto& rec : p.records) {
+    p.signals.push_back(sig::quantize(rec.leads[0], sig::AdcConfig{}));
+  }
+  return p;
+}
+
+std::vector<BeatClassifier::TrainingRecord> as_training(const Prepared& p) {
+  std::vector<BeatClassifier::TrainingRecord> out;
+  for (std::size_t i = 0; i < p.records.size(); ++i) {
+    out.push_back({p.signals[i], p.records[i].beats});
+  }
+  return out;
+}
+
+ClassificationReport evaluate(const BeatClassifier& clf, const Prepared& p,
+                              bool linearized) {
+  ClassificationReport report;
+  report.confusion.assign(3, std::vector<int>(3, 0));
+  for (std::size_t i = 0; i < p.records.size(); ++i) {
+    const auto& beats = p.records[i].beats;
+    double rr_mean = 0.8;
+    for (std::size_t b = 1; b + 1 < beats.size(); ++b) {
+      const double rr_prev =
+          static_cast<double>(beats[b].r_peak - beats[b - 1].r_peak) / p.records[i].fs;
+      const double rr_next =
+          static_cast<double>(beats[b + 1].r_peak - beats[b].r_peak) / p.records[i].fs;
+      rr_mean += 0.125 * (rr_prev - rr_mean);
+      const BeatLabel got =
+          linearized ? clf.classify_linearized(p.signals[i], beats[b].r_peak, rr_prev,
+                                               rr_next, rr_mean)
+                     : clf.classify(p.signals[i], beats[b].r_peak, rr_prev, rr_next, rr_mean);
+      const BeatLabel want = to_beat_label(beats[b].label);
+      report.confusion[static_cast<std::size_t>(want)][static_cast<std::size_t>(got)]++;
+    }
+  }
+  return report;
+}
+
+class BeatClassifierFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    train_data_ = new Prepared(prepare(6, 100));
+    test_data_ = new Prepared(prepare(4, 200));
+    clf_ = new BeatClassifier();
+    const auto training = as_training(*train_data_);
+    clf_->train(training);
+  }
+  static void TearDownTestSuite() {
+    delete train_data_;
+    delete test_data_;
+    delete clf_;
+    train_data_ = nullptr;
+    test_data_ = nullptr;
+    clf_ = nullptr;
+  }
+
+  static Prepared* train_data_;
+  static Prepared* test_data_;
+  static BeatClassifier* clf_;
+};
+
+Prepared* BeatClassifierFixture::train_data_ = nullptr;
+Prepared* BeatClassifierFixture::test_data_ = nullptr;
+BeatClassifier* BeatClassifierFixture::clf_ = nullptr;
+
+TEST_F(BeatClassifierFixture, HighAccuracyOnHeldOutRecords) {
+  const auto report = evaluate(*clf_, *test_data_, false);
+  EXPECT_GT(report.accuracy(), 0.93);
+}
+
+TEST_F(BeatClassifierFixture, PvcSensitivityAndSpecificity) {
+  const auto report = evaluate(*clf_, *test_data_, false);
+  const int v = static_cast<int>(BeatLabel::kVentricular);
+  EXPECT_GT(report.sensitivity(v), 0.90);
+  EXPECT_GT(report.specificity(v), 0.95);
+}
+
+TEST_F(BeatClassifierFixture, LinearizedCloseToExact) {
+  const auto exact = evaluate(*clf_, *test_data_, false);
+  const auto lin = evaluate(*clf_, *test_data_, true);
+  // Section IV-A: four-segment linearization is close to optimal.
+  EXPECT_GT(lin.accuracy(), exact.accuracy() - 0.02);
+}
+
+TEST_F(BeatClassifierFixture, FeatureExtractionRejectsEdgeBeats) {
+  const auto& sigl = test_data_->signals[0];
+  EXPECT_TRUE(clf_->extract_features(sigl, 5, 0.8, 0.8, 0.8).empty());
+  EXPECT_TRUE(
+      clf_->extract_features(sigl, static_cast<std::int64_t>(sigl.size()) - 5, 0.8, 0.8, 0.8)
+          .empty());
+  EXPECT_FALSE(clf_->extract_features(sigl, 1000, 0.8, 0.8, 0.8).empty());
+}
+
+TEST_F(BeatClassifierFixture, FeatureVectorLayout) {
+  const auto& sigl = test_data_->signals[0];
+  const auto features = clf_->extract_features(sigl, 1000, 0.7, 0.9, 0.8);
+  ASSERT_EQ(features.size(), clf_->config().projected_dims + 2);
+  EXPECT_NEAR(features[features.size() - 2], 0.7 / 0.8, 1e-9);
+  EXPECT_NEAR(features[features.size() - 1], 0.9 / 0.8, 1e-9);
+}
+
+TEST_F(BeatClassifierFixture, OpCountIsSmall) {
+  // The classifier must stay a light add-on next to filtering (Fig. 7's
+  // RP-CLASS bar is the cheapest kernel).
+  const auto& sigl = test_data_->signals[0];
+  dsp::OpCount ops;
+  clf_->classify_linearized(sigl, 1000, 0.8, 0.8, 0.8, &ops);
+  EXPECT_EQ(ops.mul + ops.div, ops.mul + ops.div);
+  EXPECT_LT(ops.total(), 3000u);  // vs ~100k+ for per-sample filters.
+}
+
+TEST(BeatLabelMap, AamiMapping) {
+  EXPECT_EQ(to_beat_label(sig::BeatClass::kNormal), BeatLabel::kNormal);
+  EXPECT_EQ(to_beat_label(sig::BeatClass::kAfib), BeatLabel::kNormal);
+  EXPECT_EQ(to_beat_label(sig::BeatClass::kPvc), BeatLabel::kVentricular);
+  EXPECT_EQ(to_beat_label(sig::BeatClass::kApc), BeatLabel::kSupraventricular);
+}
+
+}  // namespace
+}  // namespace wbsn::cls

@@ -1,0 +1,131 @@
+#include "cls/fuzzy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sig/rng.hpp"
+
+namespace wbsn::cls {
+namespace {
+
+/// Two well-separated 2-D Gaussian blobs.
+std::vector<Sample> two_blobs(int per_class, sig::Rng& rng) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < per_class; ++i) {
+    samples.push_back({{rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)}, 0});
+    samples.push_back({{rng.normal(3.0, 0.5), rng.normal(3.0, 0.5)}, 1});
+  }
+  return samples;
+}
+
+TEST(Fuzzy, LearnsBlobMeans) {
+  sig::Rng rng(1);
+  const auto samples = two_blobs(500, rng);
+  FuzzyClassifier clf;
+  clf.train(samples, 2);
+  EXPECT_NEAR(clf.mu(0, 0), 0.0, 0.1);
+  EXPECT_NEAR(clf.mu(1, 0), 3.0, 0.1);
+  EXPECT_NEAR(clf.sigma(0, 1), 0.5, 0.1);
+}
+
+TEST(Fuzzy, SeparatesBlobsPerfectly) {
+  sig::Rng rng(2);
+  const auto train_set = two_blobs(300, rng);
+  FuzzyClassifier clf;
+  clf.train(train_set, 2);
+  const auto test_set = two_blobs(200, rng);
+  int correct = 0;
+  for (const auto& s : test_set) correct += clf.classify(s.features) == s.label;
+  EXPECT_GT(static_cast<double>(correct) / test_set.size(), 0.99);
+}
+
+TEST(Fuzzy, MembershipHighestAtClassMean) {
+  sig::Rng rng(3);
+  FuzzyClassifier clf;
+  clf.train(two_blobs(300, rng), 2);
+  const std::vector<double> at_mean0 = {0.0, 0.0};
+  const auto scores = clf.memberships(at_mean0);
+  EXPECT_GT(scores[0], 0.9);
+  EXPECT_LT(scores[1], 0.01);
+}
+
+class TNormTest : public ::testing::TestWithParam<TNorm> {};
+
+TEST_P(TNormTest, LinearizedMatchesExactOnSeparableData) {
+  sig::Rng rng(4);
+  FuzzyConfig cfg;
+  cfg.tnorm = GetParam();
+  FuzzyClassifier clf(cfg);
+  clf.train(two_blobs(300, rng), 2);
+  const auto test_set = two_blobs(300, rng);
+  int agree = 0;
+  for (const auto& s : test_set) {
+    agree += clf.classify(s.features) == clf.classify_linearized(s.features);
+  }
+  // Section IV-A: 4-segment linearization is close to optimal.
+  EXPECT_GT(static_cast<double>(agree) / test_set.size(), 0.98);
+}
+
+TEST_P(TNormTest, HarderOverlappingBlobsStillLearned) {
+  sig::Rng rng(5);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 600; ++i) {
+    samples.push_back({{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0});
+    samples.push_back({{rng.normal(1.6, 1.0), rng.normal(1.6, 1.0)}, 1});
+  }
+  FuzzyConfig cfg;
+  cfg.tnorm = GetParam();
+  FuzzyClassifier clf(cfg);
+  clf.train(samples, 2);
+  int correct = 0;
+  for (const auto& s : samples) correct += clf.classify(s.features) == s.label;
+  // Bayes-optimal here is ~87 %; demand a decent share of it.
+  EXPECT_GT(static_cast<double>(correct) / samples.size(), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, TNormTest,
+                         ::testing::Values(TNorm::kProduct, TNorm::kMinimum),
+                         [](const auto& info) {
+                           return info.param == TNorm::kProduct ? "Product" : "Minimum";
+                         });
+
+TEST(Fuzzy, ThreeClasses) {
+  sig::Rng rng(6);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 300; ++i) {
+    samples.push_back({{rng.normal(0.0, 0.4)}, 0});
+    samples.push_back({{rng.normal(2.0, 0.4)}, 1});
+    samples.push_back({{rng.normal(4.0, 0.4)}, 2});
+  }
+  FuzzyClassifier clf;
+  clf.train(samples, 3);
+  EXPECT_EQ(clf.classify(std::vector<double>{0.1}), 0);
+  EXPECT_EQ(clf.classify(std::vector<double>{1.9}), 1);
+  EXPECT_EQ(clf.classify(std::vector<double>{4.2}), 2);
+}
+
+TEST(Fuzzy, SigmaFloorPreventsDegenerateMemberships) {
+  // All samples of class 0 identical: sigma would be 0 without the floor.
+  std::vector<Sample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back({{1.0}, 0});
+    samples.push_back({{2.0 + 0.1 * (i % 5)}, 1});
+  }
+  FuzzyClassifier clf;
+  clf.train(samples, 2);
+  EXPECT_GE(clf.sigma(0, 0), 1e-3);
+  EXPECT_EQ(clf.classify(std::vector<double>{1.0}), 0);
+}
+
+TEST(Fuzzy, LinearizedReportsOps) {
+  sig::Rng rng(7);
+  FuzzyClassifier clf;
+  clf.train(two_blobs(100, rng), 2);
+  dsp::OpCount ops;
+  clf.classify_linearized(std::vector<double>{1.0, 1.0}, &ops);
+  EXPECT_GT(ops.total(), 0u);
+  // 2 classes x 2 features: cost stays tiny.
+  EXPECT_LT(ops.total(), 100u);
+}
+
+}  // namespace
+}  // namespace wbsn::cls

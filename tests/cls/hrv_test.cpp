@@ -1,0 +1,105 @@
+#include "cls/hrv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sig/hrv.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::cls {
+namespace {
+
+TEST(HrvTime, ConstantRrHasZeroVariability) {
+  const std::vector<double> rr(100, 0.8);
+  const auto m = compute_time_domain(rr);
+  EXPECT_NEAR(m.mean_rr_s, 0.8, 1e-12);
+  EXPECT_NEAR(m.sdnn_ms, 0.0, 1e-9);
+  EXPECT_NEAR(m.rmssd_ms, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.pnn50, 0.0);
+  EXPECT_NEAR(m.mean_hr_bpm, 75.0, 1e-9);
+}
+
+TEST(HrvTime, KnownAlternatingSeries) {
+  // RR alternating 0.8 / 0.9: every successive difference is 100 ms.
+  std::vector<double> rr;
+  for (int i = 0; i < 100; ++i) rr.push_back(i % 2 == 0 ? 0.8 : 0.9);
+  const auto m = compute_time_domain(rr);
+  EXPECT_NEAR(m.rmssd_ms, 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(m.pnn50, 1.0);  // All diffs exceed 50 ms.
+  EXPECT_NEAR(m.sdnn_ms, 50.0, 1.0);
+}
+
+TEST(HrvTime, MatchesGeneratorStatistics) {
+  sig::Rng rng(1);
+  sig::SinusRhythmParams p;
+  p.mean_hr_bpm = 72.0;
+  const auto rr = sig::generate_sinus_rr(p, 600, rng);
+  const auto m = compute_time_domain(rr);
+  EXPECT_NEAR(m.mean_hr_bpm, 72.0, 2.5);
+  EXPECT_GT(m.sdnn_ms, 15.0);
+  EXPECT_LT(m.sdnn_ms, 120.0);
+}
+
+TEST(HrvTime, AfRaisesRmssdSharply) {
+  sig::Rng rng_a(2);
+  sig::Rng rng_b(2);
+  const auto sinus = sig::generate_sinus_rr(sig::SinusRhythmParams{}, 400, rng_a);
+  const auto af = sig::generate_af_rr(sig::AfRhythmParams{}, 400, rng_b);
+  const auto ms = compute_time_domain(sinus);
+  const auto ma = compute_time_domain(af);
+  EXPECT_GT(ma.rmssd_ms, 3.0 * ms.rmssd_ms);
+}
+
+TEST(Tachogram, UniformSpacing) {
+  const std::vector<double> rr(50, 0.5);
+  const auto tacho = resample_tachogram(rr, 4.0);
+  // 50 beats x 0.5 s = 25 s of signal at 4 Hz -> ~97 samples (excluding
+  // the lead-in before the first beat).
+  EXPECT_NEAR(static_cast<double>(tacho.size()), 97.0, 3.0);
+  for (double v : tacho) EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+TEST(Tachogram, TooShortSeries) {
+  EXPECT_TRUE(resample_tachogram(std::vector<double>{0.8}, 4.0).empty());
+}
+
+TEST(HrvFreq, RsaShowsUpInHfBand) {
+  // RR modulated at 0.3 Hz (breathing) -> HF-dominant.
+  std::vector<double> rr;
+  double t = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const double interval =
+        0.8 + 0.05 * std::sin(2.0 * std::numbers::pi * 0.3 * t);
+    rr.push_back(interval);
+    t += interval;
+  }
+  const auto f = compute_frequency_domain(rr);
+  EXPECT_GT(f.hf_power, 5.0 * f.lf_power);
+  EXPECT_LT(f.lf_hf_ratio, 0.5);
+}
+
+TEST(HrvFreq, MayerWaveShowsUpInLfBand) {
+  std::vector<double> rr;
+  double t = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const double interval =
+        0.8 + 0.05 * std::sin(2.0 * std::numbers::pi * 0.09 * t);
+    rr.push_back(interval);
+    t += interval;
+  }
+  const auto f = compute_frequency_domain(rr);
+  EXPECT_GT(f.lf_power, 5.0 * f.hf_power);
+  EXPECT_GT(f.lf_hf_ratio, 2.0);
+}
+
+TEST(HrvFreq, ShortSeriesReturnsZeros) {
+  const std::vector<double> rr(10, 0.8);
+  const auto f = compute_frequency_domain(rr);
+  EXPECT_DOUBLE_EQ(f.lf_power, 0.0);
+  EXPECT_DOUBLE_EQ(f.hf_power, 0.0);
+}
+
+}  // namespace
+}  // namespace wbsn::cls

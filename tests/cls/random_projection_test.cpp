@@ -1,0 +1,116 @@
+#include "cls/random_projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wbsn::cls {
+namespace {
+
+TEST(PackedTernary, EntriesRoundTrip) {
+  sig::Rng rng(1);
+  const auto m = PackedTernaryMatrix::make_achlioptas(8, 100, 3.0, rng);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const int e = m.entry(r, c);
+      EXPECT_TRUE(e == -1 || e == 0 || e == 1);
+    }
+  }
+}
+
+TEST(PackedTernary, DensityMatchesSparsityParameter) {
+  sig::Rng rng(2);
+  for (double s : {1.0, 3.0, 8.0}) {
+    const auto m = PackedTernaryMatrix::make_achlioptas(32, 256, s, rng);
+    EXPECT_NEAR(m.density(), 1.0 / s, 0.03) << "s=" << s;
+  }
+}
+
+TEST(PackedTernary, StorageIsTwoBitsPerEntry) {
+  sig::Rng rng(3);
+  const auto m = PackedTernaryMatrix::make_achlioptas(16, 180, 3.0, rng);
+  // 180 cols -> 6 words of 32 entries per row -> 16*6*8 = 768 bytes.
+  EXPECT_EQ(m.storage_bytes(), 768u);
+  // Versus 16*180*8 = 23 kB as doubles: 30x smaller (paper Section IV-A).
+  EXPECT_LE(m.storage_bytes() * 30, 16 * 180 * sizeof(double));
+}
+
+TEST(PackedTernary, ProjectMatchesNaiveMultiply) {
+  sig::Rng rng(4);
+  const auto m = PackedTernaryMatrix::make_achlioptas(12, 90, 3.0, rng);
+  std::vector<std::int32_t> x(90);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-1000, 1000));
+  const auto y = m.project(x);
+  ASSERT_EQ(y.size(), 12u);
+  for (std::size_t r = 0; r < 12; ++r) {
+    std::int64_t want = 0;
+    for (std::size_t c = 0; c < 90; ++c) want += m.entry(r, c) * x[c];
+    EXPECT_EQ(y[r], want) << r;
+  }
+}
+
+TEST(PackedTernary, ProjectUsesNoMultiplies) {
+  sig::Rng rng(5);
+  const auto m = PackedTernaryMatrix::make_achlioptas(16, 128, 3.0, rng);
+  std::vector<std::int32_t> x(128, 7);
+  dsp::OpCount ops;
+  m.project(x, &ops);
+  EXPECT_EQ(ops.mul, 0u);
+  EXPECT_EQ(ops.div, 0u);
+  EXPECT_GT(ops.add, 0u);
+}
+
+TEST(PackedTernary, SparserMatrixDoesLessWork) {
+  sig::Rng rng_a(6);
+  sig::Rng rng_b(6);
+  const auto dense = PackedTernaryMatrix::make_achlioptas(16, 512, 1.0, rng_a);
+  const auto sparse = PackedTernaryMatrix::make_achlioptas(16, 512, 8.0, rng_b);
+  std::vector<std::int32_t> x(512, 3);
+  dsp::OpCount ops_dense;
+  dsp::OpCount ops_sparse;
+  dense.project(x, &ops_dense);
+  sparse.project(x, &ops_sparse);
+  EXPECT_LT(4 * ops_sparse.add, ops_dense.add);
+}
+
+TEST(PackedTernary, JohnsonLindenstraussDistancePreservation) {
+  // Pairwise distances between random vectors survive projection within a
+  // moderate distortion after 1/sqrt(k * density-scale) normalization.  We
+  // check the *ratio* statistics rather than a single pair.
+  sig::Rng rng(7);
+  const std::size_t d = 512;
+  const std::size_t k = 64;
+  const double s = 3.0;
+  const auto m = PackedTernaryMatrix::make_achlioptas(k, d, s, rng);
+  // Entry variance = 1/s, so E||Mx||^2 = (k/s)||x||^2.
+  const double expected_gain = static_cast<double>(k) / s;
+
+  int within = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::int32_t> x(d);
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-100, 100));
+    const auto y = m.project(x);
+    double nx = 0.0;
+    double ny = 0.0;
+    for (auto v : x) nx += static_cast<double>(v) * v;
+    for (auto v : y) ny += static_cast<double>(v) * v;
+    const double ratio = ny / (expected_gain * nx);
+    if (ratio > 0.6 && ratio < 1.5) ++within;
+  }
+  EXPECT_GE(within, 45);  // >= 90 % of pairs within the distortion band.
+}
+
+TEST(PackedTernary, DeterministicForSeed) {
+  sig::Rng a(8);
+  sig::Rng b(8);
+  const auto ma = PackedTernaryMatrix::make_achlioptas(8, 64, 3.0, a);
+  const auto mb = PackedTernaryMatrix::make_achlioptas(8, 64, 3.0, b);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 64; ++c) EXPECT_EQ(ma.entry(r, c), mb.entry(r, c));
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::cls

@@ -1,0 +1,121 @@
+#include "core/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sig/ecg_synth.hpp"
+#include "sig/hrv.hpp"
+
+namespace wbsn::core {
+namespace {
+
+std::vector<sig::BeatAnnotation> beats_from_rr(const std::vector<double>& rr, double fs) {
+  std::vector<sig::BeatAnnotation> beats;
+  double t = 1.0;
+  for (double interval : rr) {
+    t += interval;
+    sig::BeatAnnotation b;
+    b.r_peak = static_cast<std::int64_t>(t * fs);
+    b.qrs = {b.r_peak - 10, b.r_peak, b.r_peak + 10};
+    beats.push_back(b);
+  }
+  return beats;
+}
+
+TEST(SleepMonitor, EpochsCoverRecording) {
+  sig::Rng rng(1);
+  sig::SinusRhythmParams p;
+  p.mean_hr_bpm = 62.0;
+  const auto rr = sig::generate_sinus_rr(p, 900, rng);  // ~15 minutes.
+  const auto beats = beats_from_rr(rr, 250.0);
+  const auto epochs = analyze_sleep(beats, 250.0);
+  EXPECT_GE(epochs.size(), 6u);
+  for (std::size_t i = 1; i < epochs.size(); ++i) {
+    EXPECT_GT(epochs[i].start_s, epochs[i - 1].start_s);
+  }
+}
+
+TEST(SleepMonitor, FastRateScoresWake) {
+  sig::Rng rng(2);
+  sig::SinusRhythmParams p;
+  p.mean_hr_bpm = 85.0;
+  const auto rr = sig::generate_sinus_rr(p, 400, rng);
+  const auto epochs = analyze_sleep(beats_from_rr(rr, 250.0), 250.0);
+  ASSERT_FALSE(epochs.empty());
+  for (const auto& e : epochs) EXPECT_EQ(e.stage, SleepStage::kWake);
+}
+
+TEST(SleepMonitor, SlowVagalRateScoresSleep) {
+  // Slow rate with strong respiratory (HF) modulation: light or deep.
+  sig::Rng rng(3);
+  sig::SinusRhythmParams p;
+  p.mean_hr_bpm = 55.0;
+  p.rsa_depth = 0.06;
+  p.mayer_depth = 0.005;
+  const auto rr = sig::generate_sinus_rr(p, 500, rng);
+  const auto epochs = analyze_sleep(beats_from_rr(rr, 250.0), 250.0);
+  ASSERT_FALSE(epochs.empty());
+  for (const auto& e : epochs) EXPECT_NE(e.stage, SleepStage::kWake);
+}
+
+TEST(SleepMonitor, TooFewBeatsYieldNothing) {
+  const auto epochs = analyze_sleep(beats_from_rr({0.8, 0.8}, 250.0), 250.0);
+  EXPECT_TRUE(epochs.empty());
+}
+
+TEST(ArrhythmiaMonitor, PvcRunRaisesOneEvent) {
+  std::vector<double> rr(30, 0.8);
+  const auto beats = beats_from_rr(rr, 250.0);
+  std::vector<cls::BeatLabel> labels(beats.size(), cls::BeatLabel::kNormal);
+  labels[10] = cls::BeatLabel::kVentricular;
+  labels[11] = cls::BeatLabel::kVentricular;
+  labels[12] = cls::BeatLabel::kVentricular;
+  const auto events = detect_events(beats, labels, {}, 250.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ArrhythmiaEvent::Kind::kPvcRun);
+}
+
+TEST(ArrhythmiaMonitor, IsolatedPvcsRaiseNothing) {
+  std::vector<double> rr(30, 0.8);
+  const auto beats = beats_from_rr(rr, 250.0);
+  std::vector<cls::BeatLabel> labels(beats.size(), cls::BeatLabel::kNormal);
+  labels[5] = cls::BeatLabel::kVentricular;
+  labels[15] = cls::BeatLabel::kVentricular;
+  EXPECT_TRUE(detect_events(beats, labels, {}, 250.0).empty());
+}
+
+TEST(ArrhythmiaMonitor, AfOnsetAndEndPaired) {
+  std::vector<double> rr(64, 0.8);
+  const auto beats = beats_from_rr(rr, 250.0);
+  std::vector<cls::BeatLabel> labels(beats.size(), cls::BeatLabel::kNormal);
+  std::vector<cls::AfWindow> windows(6);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    windows[i].first_beat = i * 8;
+    windows[i].last_beat = i * 8 + 24;
+    windows[i].decided_af = (i >= 2 && i <= 3);
+  }
+  const auto events = detect_events(beats, labels, windows, 250.0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, ArrhythmiaEvent::Kind::kAfOnset);
+  EXPECT_EQ(events[1].kind, ArrhythmiaEvent::Kind::kAfEnd);
+  EXPECT_LT(events[0].time_s, events[1].time_s);
+}
+
+TEST(ArrhythmiaMonitor, EventsSortedByTime) {
+  std::vector<double> rr(64, 0.8);
+  const auto beats = beats_from_rr(rr, 250.0);
+  std::vector<cls::BeatLabel> labels(beats.size(), cls::BeatLabel::kNormal);
+  for (std::size_t i = 40; i < 43; ++i) labels[i] = cls::BeatLabel::kVentricular;
+  std::vector<cls::AfWindow> windows(2);
+  windows[0].first_beat = 0;
+  windows[0].decided_af = true;
+  windows[1].first_beat = 8;
+  windows[1].decided_af = false;
+  const auto events = detect_events(beats, labels, windows, 250.0);
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time_s, events[i].time_s);
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::core

@@ -1,0 +1,140 @@
+#include "core/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sig/ecg_synth.hpp"
+
+namespace wbsn::core {
+namespace {
+
+/// Slices a record into node-sized windows.
+std::vector<std::vector<std::vector<double>>> windows_of(const sig::Record& rec,
+                                                         std::size_t window) {
+  std::vector<std::vector<std::vector<double>>> out;
+  const std::size_t count = rec.num_samples() / window;
+  for (std::size_t w = 0; w < count; ++w) {
+    std::vector<std::vector<double>> leads;
+    for (const auto& lead : rec.leads) {
+      leads.emplace_back(lead.begin() + static_cast<long>(w * window),
+                         lead.begin() + static_cast<long>((w + 1) * window));
+    }
+    out.push_back(std::move(leads));
+  }
+  return out;
+}
+
+sig::Record test_record(int beats = 40, std::uint64_t seed = 1) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kLow);
+  sig::Rng rng(seed);
+  return synthesize_ecg(cfg, rng);
+}
+
+TEST(Node, RawStreamingPayloadSize) {
+  NodeConfig cfg;
+  cfg.mode = OperatingMode::kRawStreaming;
+  WbsnNode node(cfg);
+  const auto rec = test_record();
+  const auto windows = windows_of(rec, cfg.window_samples);
+  ASSERT_FALSE(windows.empty());
+  const auto out = node.process_window(windows[0]);
+  // 512 samples x 3 leads x 1.5 bytes.
+  EXPECT_EQ(out.tx_payload_bytes, raw_payload_bytes(512, 3));
+  EXPECT_EQ(out.tx_payload_bytes, 2304u);
+  EXPECT_EQ(out.processing_ops.total(), 0u);  // No on-node DSP.
+}
+
+TEST(Node, CsModesShrinkPayloadByCr) {
+  NodeConfig cfg;
+  cfg.mode = OperatingMode::kCompressedSingle;
+  cfg.cs_cr_percent = 60.0;
+  WbsnNode node(cfg);
+  const auto rec = test_record();
+  const auto windows = windows_of(rec, cfg.window_samples);
+  const auto out = node.process_window(windows[0]);
+  // m = 0.4 * 512 ~ 205 measurements x 3 leads x 14 bits packed.
+  EXPECT_NEAR(static_cast<double>(out.tx_payload_bytes), 0.4 * 512 * 3 * 14.0 / 8.0, 16.0);
+  EXPECT_GT(out.processing_ops.add, 0u);
+  EXPECT_EQ(out.processing_ops.mul, 0u);  // Sparse binary: adds only.
+}
+
+TEST(Node, AbstractionLadderMonotone) {
+  // Figure 1: each higher abstraction level transmits fewer bytes.
+  const auto rec = test_record(60);
+  std::vector<std::uint32_t> bytes;
+  for (OperatingMode mode : {OperatingMode::kRawStreaming, OperatingMode::kCompressedSingle,
+                             OperatingMode::kDelineation}) {
+    NodeConfig cfg;
+    cfg.mode = mode;
+    WbsnNode node(cfg);
+    const auto windows = windows_of(rec, cfg.window_samples);
+    std::uint64_t total = 0;
+    for (const auto& w : windows) total += node.process_window(w).tx_payload_bytes;
+    bytes.push_back(static_cast<std::uint32_t>(total));
+  }
+  EXPECT_GT(bytes[0], bytes[1]);
+  EXPECT_GT(bytes[1], bytes[2]);
+}
+
+TEST(Node, DelineationModeProducesBeats) {
+  NodeConfig cfg;
+  cfg.mode = OperatingMode::kDelineation;
+  WbsnNode node(cfg);
+  const auto rec = test_record(50);
+  const auto windows = windows_of(rec, cfg.window_samples);
+  std::size_t beats = 0;
+  for (const auto& w : windows) beats += node.process_window(w).beats.size();
+  // ~50 beats spread over the windows (edge beats may drop).
+  EXPECT_GT(beats, 35u);
+  EXPECT_LE(beats, 55u);
+}
+
+TEST(Node, EnergyFallsWithAbstractionLevel) {
+  // The core thesis: on-node intelligence cuts total energy.
+  const auto rec = test_record(60);
+  double prev_total = 1e18;
+  for (OperatingMode mode : {OperatingMode::kRawStreaming, OperatingMode::kCompressedSingle,
+                             OperatingMode::kDelineation}) {
+    NodeConfig cfg;
+    cfg.mode = mode;
+    cfg.cs_cr_percent = 60.0;
+    WbsnNode node(cfg);
+    const auto windows = windows_of(rec, cfg.window_samples);
+    double total = 0.0;
+    for (const auto& w : windows) total += node.process_window(w).energy.total_j();
+    EXPECT_LT(total, prev_total) << to_string(mode);
+    prev_total = total;
+  }
+}
+
+TEST(Node, RadioShareShrinksComputeShareGrows) {
+  const auto rec = test_record(60);
+  const auto share = [&](OperatingMode mode) {
+    NodeConfig cfg;
+    cfg.mode = mode;
+    WbsnNode node(cfg);
+    const auto windows = windows_of(rec, cfg.window_samples);
+    energy::EnergyBreakdown acc;
+    for (const auto& w : windows) {
+      const auto e = node.process_window(w).energy;
+      acc.radio_j += e.radio_j;
+      acc.sampling_j += e.sampling_j;
+      acc.os_j += e.os_j;
+      acc.computation_j += e.computation_j;
+    }
+    return std::pair{acc.radio_j / acc.total_j(), acc.computation_j / acc.total_j()};
+  };
+  const auto [raw_radio, raw_comp] = share(OperatingMode::kRawStreaming);
+  const auto [del_radio, del_comp] = share(OperatingMode::kDelineation);
+  EXPECT_GT(raw_radio, del_radio);
+  EXPECT_LT(raw_comp, del_comp);
+}
+
+TEST(Node, ModeNamesAreStable) {
+  EXPECT_EQ(to_string(OperatingMode::kRawStreaming), "raw-streaming");
+  EXPECT_EQ(to_string(OperatingMode::kAfAlarm), "af-alarm");
+}
+
+}  // namespace
+}  // namespace wbsn::core

@@ -1,0 +1,135 @@
+#include "core/pat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sig/ecg_synth.hpp"
+#include "sig/ppg.hpp"
+
+namespace wbsn::core {
+namespace {
+
+struct Scenario {
+  sig::Record ecg;
+  sig::PpgRecord ppg;
+};
+
+Scenario make_scenario(const sig::BpTrajectory& bp, int beats = 80, std::uint64_t seed = 1) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+  sig::Rng rng(seed);
+  Scenario s;
+  s.ecg = synthesize_ecg(cfg, rng);
+  sig::PpgConfig pcfg;
+  pcfg.noise_rms = 0.005;
+  s.ppg = synthesize_ppg(s.ecg, pcfg, bp, rng);
+  return s;
+}
+
+TEST(PulseFeet, DetectedNearTruth) {
+  const auto s = make_scenario(sig::BpTrajectory{});
+  const auto feet = detect_pulse_feet(s.ppg.samples, s.ecg.r_peaks());
+  std::size_t truth_idx = 0;
+  int matched = 0;
+  for (std::size_t i = 0; i < feet.size() && truth_idx < s.ppg.truth.foot_samples.size();
+       ++i) {
+    if (feet[i] < 0) continue;
+    const auto err = std::abs(feet[i] - s.ppg.truth.foot_samples[truth_idx]);
+    if (err <= 8) ++matched;  // Within 32 ms of the true foot.
+    ++truth_idx;
+  }
+  EXPECT_GT(matched, static_cast<int>(0.9 * s.ppg.truth.foot_samples.size()));
+}
+
+TEST(Pat, TracksConstantPressure) {
+  sig::BpTrajectory bp;
+  bp.baseline_mmhg = 95.0;
+  const auto s = make_scenario(bp);
+  const auto series = compute_pat(s.ppg.samples, s.ecg.r_peaks());
+  ASSERT_GT(series.pat_s.size(), 60u);
+  // True PAT = PEP + L / pwv(95).
+  const double truth = 0.06 + 0.65 / bp.pwv_for_map(95.0);
+  for (double pat : series.pat_s) EXPECT_NEAR(pat, truth, 0.03);
+}
+
+TEST(Pat, HigherPressureShortensPat) {
+  sig::BpTrajectory low;
+  low.baseline_mmhg = 75.0;
+  sig::BpTrajectory high;
+  high.baseline_mmhg = 125.0;
+  const auto s_low = make_scenario(low, 60, 2);
+  const auto s_high = make_scenario(high, 60, 2);
+  const auto pat_low = compute_pat(s_low.ppg.samples, s_low.ecg.r_peaks());
+  const auto pat_high = compute_pat(s_high.ppg.samples, s_high.ecg.r_peaks());
+  double mean_low = 0.0;
+  double mean_high = 0.0;
+  for (double v : pat_low.pat_s) mean_low += v;
+  for (double v : pat_high.pat_s) mean_high += v;
+  mean_low /= static_cast<double>(pat_low.pat_s.size());
+  mean_high /= static_cast<double>(pat_high.pat_s.size());
+  EXPECT_GT(mean_low, mean_high + 0.02);
+}
+
+TEST(BpEstimator, RecoversCalibrationLine) {
+  BpEstimator estimator;
+  // Synthetic calibration pairs from the generator's own law.
+  sig::BpTrajectory bp;
+  std::vector<double> pats;
+  std::vector<double> maps;
+  for (double map = 70.0; map <= 130.0; map += 5.0) {
+    maps.push_back(map);
+    pats.push_back(0.06 + 0.65 / bp.pwv_for_map(map));
+  }
+  estimator.calibrate(pats, maps);
+  ASSERT_TRUE(estimator.calibrated());
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    EXPECT_NEAR(estimator.estimate_map(pats[i]), maps[i], 3.0);
+  }
+}
+
+TEST(BpEstimator, EndToEndTracksExcursion) {
+  // Pressure excursion mid-record; estimator calibrated on the flat part
+  // must see the bump.
+  sig::BpTrajectory bp;
+  bp.baseline_mmhg = 90.0;
+  bp.excursion_mmhg = 25.0;
+  bp.excursion_t0_s = 30.0;
+  bp.excursion_len_s = 20.0;
+  const auto s = make_scenario(bp, 100, 3);
+  const auto series = compute_pat(s.ppg.samples, s.ecg.r_peaks());
+  ASSERT_GT(series.pat_s.size(), 80u);
+
+  // Calibrate on truth pairs (as a cuff would provide).
+  BpEstimator estimator;
+  estimator.calibrate(s.ppg.truth.ptt_s, s.ppg.truth.map_mmhg);
+  // The PAT series includes the PEP offset; recalibrate against PAT.
+  std::vector<double> maps_at_beats;
+  for (std::size_t k = 0; k < series.beat_index.size(); ++k) {
+    maps_at_beats.push_back(s.ppg.truth.map_mmhg[series.beat_index[k]]);
+  }
+  BpEstimator pat_estimator;
+  pat_estimator.calibrate(series.pat_s, maps_at_beats);
+  ASSERT_TRUE(pat_estimator.calibrated());
+
+  double peak_est = 0.0;
+  double base_est = 1e9;
+  for (std::size_t k = 0; k < series.pat_s.size(); ++k) {
+    const double est = pat_estimator.estimate_map(series.pat_s[k]);
+    peak_est = std::max(peak_est, est);
+    base_est = std::min(base_est, est);
+  }
+  EXPECT_GT(peak_est, 105.0);  // Sees the excursion...
+  EXPECT_LT(base_est, 95.0);   // ...and the baseline.
+}
+
+TEST(BpEstimator, RefusesDegenerateCalibration) {
+  BpEstimator estimator;
+  const std::vector<double> one = {0.25};
+  estimator.calibrate(one, one);
+  EXPECT_FALSE(estimator.calibrated());
+}
+
+}  // namespace
+}  // namespace wbsn::core

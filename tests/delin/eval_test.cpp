@@ -1,0 +1,134 @@
+#include "delin/eval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wbsn::delin {
+namespace {
+
+sig::BeatAnnotation beat_at(std::int64_t r, bool with_p = true, bool with_t = true) {
+  sig::BeatAnnotation b;
+  b.r_peak = r;
+  b.qrs = {r - 15, r, r + 15};
+  if (with_p) b.p = {r - 60, r - 50, r - 40};
+  if (with_t) b.t = {r + 50, r + 75, r + 100};
+  return b;
+}
+
+TEST(EvalDelineation, PerfectMatchIsAllTp) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250), beat_at(500), beat_at(750)};
+  const auto score = evaluate_delineation(truth, truth);
+  for (std::size_t k = 0; k < kNumFiducialKinds; ++k) {
+    EXPECT_EQ(score.points[k].tp, 3) << k;
+    EXPECT_EQ(score.points[k].fn, 0) << k;
+    EXPECT_EQ(score.points[k].fp, 0) << k;
+    EXPECT_DOUBLE_EQ(score.points[k].sensitivity(), 1.0);
+    EXPECT_DOUBLE_EQ(score.points[k].mean_error_ms(), 0.0);
+  }
+}
+
+TEST(EvalDelineation, MissedBeatCountsAllPointsAsFn) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250), beat_at(500)};
+  std::vector<sig::BeatAnnotation> detected = {beat_at(250)};
+  const auto score = evaluate_delineation(truth, detected);
+  EXPECT_EQ(score.at(FiducialKind::kRPeak).tp, 1);
+  EXPECT_EQ(score.at(FiducialKind::kRPeak).fn, 1);
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fn, 1);
+  EXPECT_EQ(score.at(FiducialKind::kTOff).fn, 1);
+}
+
+TEST(EvalDelineation, SpuriousBeatCountsAllPointsAsFp) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250)};
+  std::vector<sig::BeatAnnotation> detected = {beat_at(250), beat_at(600)};
+  const auto score = evaluate_delineation(truth, detected);
+  EXPECT_EQ(score.at(FiducialKind::kRPeak).fp, 1);
+  EXPECT_EQ(score.at(FiducialKind::kPOn).fp, 1);
+}
+
+TEST(EvalDelineation, SmallShiftWithinToleranceIsTp) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250)};
+  auto shifted = beat_at(250);
+  shifted.qrs.peak += 5;  // 20 ms at 250 Hz.
+  std::vector<sig::BeatAnnotation> detected = {shifted};
+  const auto score = evaluate_delineation(truth, detected);
+  EXPECT_EQ(score.at(FiducialKind::kRPeak).tp, 1);
+  EXPECT_NEAR(score.at(FiducialKind::kRPeak).mean_error_ms(), 20.0, 1e-9);
+}
+
+TEST(EvalDelineation, LargeShiftIsFnPlusFp) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250)};
+  auto shifted = beat_at(250);
+  shifted.t.peak += 30;  // 120 ms: outside the 40 ms peak tolerance.
+  std::vector<sig::BeatAnnotation> detected = {shifted};
+  const auto score = evaluate_delineation(truth, detected);
+  EXPECT_EQ(score.at(FiducialKind::kTPeak).tp, 0);
+  EXPECT_EQ(score.at(FiducialKind::kTPeak).fn, 1);
+  EXPECT_EQ(score.at(FiducialKind::kTPeak).fp, 1);
+  // Other points are unaffected.
+  EXPECT_EQ(score.at(FiducialKind::kRPeak).tp, 1);
+}
+
+TEST(EvalDelineation, AbsentPWaveHandledAsTrueNegative) {
+  auto truth_beat = beat_at(250, /*with_p=*/false);
+  auto det_beat = beat_at(250, /*with_p=*/false);
+  const auto score = evaluate_delineation({&truth_beat, 1}, {&det_beat, 1});
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).tp, 0);
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fn, 0);
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fp, 0);
+  EXPECT_DOUBLE_EQ(score.at(FiducialKind::kPPeak).sensitivity(), 1.0);
+}
+
+TEST(EvalDelineation, HallucinatedPWaveIsFp) {
+  auto truth_beat = beat_at(250, /*with_p=*/false);
+  auto det_beat = beat_at(250, /*with_p=*/true);
+  const auto score = evaluate_delineation({&truth_beat, 1}, {&det_beat, 1});
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fp, 1);
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fn, 0);
+}
+
+TEST(EvalDelineation, MissedPWaveIsFn) {
+  auto truth_beat = beat_at(250, /*with_p=*/true);
+  auto det_beat = beat_at(250, /*with_p=*/false);
+  const auto score = evaluate_delineation({&truth_beat, 1}, {&det_beat, 1});
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fn, 1);
+  EXPECT_EQ(score.at(FiducialKind::kPPeak).fp, 0);
+}
+
+TEST(EvalDelineation, WorstAcrossKindsFindsTheWeakPoint) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250), beat_at(500)};
+  auto d0 = beat_at(250);
+  auto d1 = beat_at(500, /*with_p=*/false);  // One missed P.
+  std::vector<sig::BeatAnnotation> detected = {d0, d1};
+  const auto score = evaluate_delineation(truth, detected);
+  EXPECT_DOUBLE_EQ(score.worst_sensitivity(), 0.5);
+  EXPECT_DOUBLE_EQ(score.worst_positive_predictivity(), 1.0);
+}
+
+TEST(EvalDelineation, AccumulationAcrossRecords) {
+  std::vector<sig::BeatAnnotation> truth = {beat_at(250)};
+  DelineationScore total;
+  total += evaluate_delineation(truth, truth);
+  total += evaluate_delineation(truth, truth);
+  EXPECT_EQ(total.at(FiducialKind::kRPeak).tp, 2);
+}
+
+TEST(EvalRDetection, CountsAndErrors) {
+  const std::vector<std::int64_t> truth = {100, 300, 500, 700};
+  const std::vector<std::int64_t> detected = {102, 300, 720, 900};
+  const auto stats = evaluate_r_detection(truth, detected, 250.0, 60.0);
+  // 102 matches 100 (8 ms), 300 exact, 720 matches 700 (80 ms > 60 ms? no:
+  // 20 samples = 80 ms exceeds tolerance), 900 unmatched.
+  EXPECT_EQ(stats.tp, 2);
+  EXPECT_EQ(stats.fn, 2);
+  EXPECT_EQ(stats.fp, 2);
+  EXPECT_NEAR(stats.mean_error_ms(), 4.0, 1e-9);
+}
+
+TEST(EvalRDetection, EmptyLists) {
+  const auto stats = evaluate_r_detection({}, {}, 250.0);
+  EXPECT_EQ(stats.tp, 0);
+  EXPECT_DOUBLE_EQ(stats.sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.positive_predictivity(), 1.0);
+}
+
+}  // namespace
+}  // namespace wbsn::delin

@@ -1,0 +1,142 @@
+#include "delin/qrs_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "delin/eval.hpp"
+#include "sig/adc.hpp"
+#include "sig/dataset.hpp"
+#include "sig/ecg_synth.hpp"
+
+namespace wbsn::delin {
+namespace {
+
+std::vector<std::int32_t> counts_of(const sig::Record& rec, std::size_t lead = 0) {
+  return sig::quantize(rec.leads[lead], sig::AdcConfig{});
+}
+
+TEST(QrsDetect, EmptyAndTinyInputs) {
+  EXPECT_TRUE(detect_qrs({}).r_peaks.empty());
+  const std::vector<std::int32_t> tiny(8, 0);
+  EXPECT_TRUE(detect_qrs(tiny).r_peaks.empty());
+}
+
+TEST(QrsDetect, FlatSignalNoBeats) {
+  const std::vector<std::int32_t> flat(5000, 100);
+  EXPECT_TRUE(detect_qrs(flat).r_peaks.empty());
+}
+
+TEST(QrsDetect, CleanSinusPerfectDetection) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 60}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+  sig::Rng rng(1);
+  const auto rec = synthesize_ecg(cfg, rng);
+  const auto detected = detect_qrs(counts_of(rec));
+  const auto stats = evaluate_r_detection(rec.r_peaks(), detected.r_peaks, rec.fs);
+  EXPECT_EQ(stats.fn, 0);
+  EXPECT_EQ(stats.fp, 0);
+  EXPECT_LT(stats.rms_error_ms(), 10.0);
+}
+
+TEST(QrsDetect, RateSweep) {
+  for (double hr : {50.0, 70.0, 90.0, 110.0}) {
+    sig::SynthConfig cfg;
+    cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 50}};
+    cfg.sinus.mean_hr_bpm = hr;
+    cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+    sig::Rng rng(static_cast<std::uint64_t>(hr));
+    const auto rec = synthesize_ecg(cfg, rng);
+    const auto detected = detect_qrs(counts_of(rec));
+    const auto stats = evaluate_r_detection(rec.r_peaks(), detected.r_peaks, rec.fs);
+    EXPECT_GT(stats.sensitivity(), 0.98) << "hr=" << hr;
+    EXPECT_GT(stats.positive_predictivity(), 0.98) << "hr=" << hr;
+  }
+}
+
+TEST(QrsDetect, RobustToModerateNoise) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 80}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kModerate);
+  sig::Rng rng(2);
+  const auto rec = synthesize_ecg(cfg, rng);
+  const auto detected = detect_qrs(counts_of(rec));
+  const auto stats = evaluate_r_detection(rec.r_peaks(), detected.r_peaks, rec.fs);
+  EXPECT_GT(stats.sensitivity(), 0.95);
+  EXPECT_GT(stats.positive_predictivity(), 0.95);
+}
+
+TEST(QrsDetect, HandlesEctopics) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 150}};
+  cfg.pvc_probability = 0.10;
+  cfg.apc_probability = 0.05;
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kLow);
+  sig::Rng rng(3);
+  const auto rec = synthesize_ecg(cfg, rng);
+  const auto detected = detect_qrs(counts_of(rec));
+  const auto stats = evaluate_r_detection(rec.r_peaks(), detected.r_peaks, rec.fs);
+  EXPECT_GT(stats.sensitivity(), 0.95);
+  EXPECT_GT(stats.positive_predictivity(), 0.95);
+}
+
+TEST(QrsDetect, IrregularAfRhythm) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kAfib, 100}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kLow);
+  sig::Rng rng(4);
+  const auto rec = synthesize_ecg(cfg, rng);
+  const auto detected = detect_qrs(counts_of(rec));
+  const auto stats = evaluate_r_detection(rec.r_peaks(), detected.r_peaks, rec.fs);
+  EXPECT_GT(stats.sensitivity(), 0.93);
+  EXPECT_GT(stats.positive_predictivity(), 0.93);
+}
+
+TEST(QrsDetect, RefractoryPreventsDoubleFiring) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 40}};
+  cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+  sig::Rng rng(5);
+  const auto rec = synthesize_ecg(cfg, rng);
+  const auto detected = detect_qrs(counts_of(rec));
+  for (std::size_t i = 1; i < detected.r_peaks.size(); ++i) {
+    EXPECT_GE(detected.r_peaks[i] - detected.r_peaks[i - 1],
+              static_cast<std::int64_t>(0.2 * rec.fs));
+  }
+}
+
+TEST(QrsDetect, ReportsOps) {
+  sig::SynthConfig cfg;
+  cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 10}};
+  sig::Rng rng(6);
+  const auto rec = synthesize_ecg(cfg, rng);
+  const auto counts = counts_of(rec);
+  const auto detected = detect_qrs(counts);
+  // At least the linear-pass stages must be accounted for.
+  EXPECT_GT(detected.ops.total(), 5 * counts.size());
+  EXPECT_GT(detected.ops.mul, 0u);  // Squaring stage.
+}
+
+TEST(QrsDetect, DatasetWideAccuracy) {
+  sig::DatasetSpec spec;
+  spec.num_records = 8;
+  spec.beats_per_record = 60;
+  spec.noise = sig::NoiseLevel::kLow;
+  const auto records = sig::make_sinus_dataset(spec);
+  int tp = 0;
+  int fn = 0;
+  int fp = 0;
+  for (const auto& rec : records) {
+    const auto detected = detect_qrs(counts_of(rec));
+    const auto stats = evaluate_r_detection(rec.r_peaks(), detected.r_peaks, rec.fs);
+    tp += stats.tp;
+    fn += stats.fn;
+    fp += stats.fp;
+  }
+  const double sens = static_cast<double>(tp) / (tp + fn);
+  const double ppv = static_cast<double>(tp) / (tp + fp);
+  EXPECT_GT(sens, 0.99);
+  EXPECT_GT(ppv, 0.99);
+}
+
+}  // namespace
+}  // namespace wbsn::delin

@@ -1,0 +1,81 @@
+#include "dsp/fixedpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sig/rng.hpp"
+
+namespace wbsn::dsp {
+namespace {
+
+TEST(Q15, RoundTripAccuracy) {
+  for (double v = -0.999; v < 1.0; v += 0.0137) {
+    EXPECT_NEAR(from_q15(to_q15(v)), v, 1.0 / kQ15One);
+  }
+}
+
+TEST(Q15, SaturatesAtBounds) {
+  EXPECT_EQ(to_q15(1.5), 32767);
+  EXPECT_EQ(to_q15(1.0), 32767);  // +1.0 is not representable.
+  EXPECT_EQ(to_q15(-1.0), -32768);
+  EXPECT_EQ(to_q15(-2.0), -32768);
+}
+
+TEST(Q15, ZeroAndSmallValues) {
+  EXPECT_EQ(to_q15(0.0), 0);
+  EXPECT_EQ(to_q15(0.5), 16384);
+  EXPECT_EQ(to_q15(-0.5), -16384);
+}
+
+TEST(Q15Mul, MatchesDoubleWithinOneLsb) {
+  sig::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.uniform(-0.999, 0.999);
+    const double b = rng.uniform(-0.999, 0.999);
+    const auto qa = to_q15(a);
+    const auto qb = to_q15(b);
+    const double got = from_q15(q15_mul(qa, qb));
+    EXPECT_NEAR(got, from_q15(qa) * from_q15(qb), 1.5 / kQ15One);
+  }
+}
+
+TEST(Q15Mul, Identities) {
+  const std::int16_t half = to_q15(0.5);
+  EXPECT_EQ(q15_mul(half, to_q15(0.5)), to_q15(0.25));
+  EXPECT_EQ(q15_mul(0, 12345), 0);
+  EXPECT_EQ(q15_mul(12345, 0), 0);
+}
+
+TEST(Q15Mul, Commutative) {
+  sig::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::int16_t>(rng.uniform_int(-32768, 32767));
+    const auto b = static_cast<std::int16_t>(rng.uniform_int(-32768, 32767));
+    EXPECT_EQ(q15_mul(a, b), q15_mul(b, a));
+  }
+}
+
+TEST(SatAdd, SaturatesBothDirections) {
+  EXPECT_EQ(sat_add16(32000, 1000), 32767);
+  EXPECT_EQ(sat_add16(-32000, -1000), -32768);
+  EXPECT_EQ(sat_add16(100, 200), 300);
+}
+
+TEST(SatSub, SaturatesBothDirections) {
+  EXPECT_EQ(sat_sub16(32000, -1000), 32767);
+  EXPECT_EQ(sat_sub16(-32000, 1000), -32768);
+  EXPECT_EQ(sat_sub16(100, 200), -100);
+}
+
+TEST(Q15, ConstexprUsable) {
+  // Compile-time evaluation is part of the contract (tables in ROM).
+  constexpr std::int16_t kHalf = to_q15(0.5);
+  constexpr std::int16_t kQuarter = q15_mul(kHalf, kHalf);
+  static_assert(kHalf == 16384);
+  static_assert(kQuarter == 8192);
+  EXPECT_EQ(kQuarter, 8192);
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

@@ -1,0 +1,103 @@
+#include "dsp/gauss_approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wbsn::dsp {
+namespace {
+
+TEST(PiecewiseGauss, ExactAtBreakpoints) {
+  const PiecewiseGauss g(4, 4.0);
+  for (int i = 0; i < 4; ++i) {
+    const double z = static_cast<double>(i);
+    EXPECT_NEAR(g.value(z), PiecewiseGauss::exact(z), 1e-12) << z;
+  }
+  // At z = zmax the approximation truncates to zero; the true value there
+  // is exp(-8) ~ 3.4e-4, an accepted (tiny) truncation error.
+  EXPECT_NEAR(g.value(4.0), 0.0, 1e-12);
+  EXPECT_LT(PiecewiseGauss::exact(4.0), 5e-4);
+}
+
+TEST(PiecewiseGauss, SymmetricInZ) {
+  const PiecewiseGauss g(4);
+  for (double z : {0.3, 1.1, 2.7, 3.9}) {
+    EXPECT_DOUBLE_EQ(g.value(z), g.value(-z));
+  }
+}
+
+TEST(PiecewiseGauss, ZeroBeyondSupport) {
+  const PiecewiseGauss g(4, 4.0);
+  EXPECT_DOUBLE_EQ(g.value(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(-5.0), 0.0);
+}
+
+TEST(PiecewiseGauss, FourSegmentsAreCloseToOptimal) {
+  // The paper's claim (Section IV-A): 4 segments suffice.  The chord
+  // approximation's worst error with 4 segments over [0,4] stays below 0.09
+  // — small relative to typical membership separations.
+  const PiecewiseGauss g(4);
+  EXPECT_LT(g.max_abs_error(), 0.09);
+}
+
+TEST(PiecewiseGauss, ErrorShrinksWithSegments) {
+  double prev = 1.0;
+  for (int segments : {2, 4, 8, 16, 32}) {
+    const PiecewiseGauss g(segments);
+    const double err = g.max_abs_error();
+    EXPECT_LT(err, prev) << segments;
+    prev = err;
+  }
+  EXPECT_LT(PiecewiseGauss(32).max_abs_error(), 2e-3);
+}
+
+TEST(PiecewiseGauss, ChordLiesAboveCurveOnConvexParts) {
+  // exp(-z^2/2) is convex for |z| > 1, so every chord lies on or above the
+  // curve there: approx >= exact on [1.5, ~3.9] (the final truncation to
+  // zero at zmax is excluded).
+  const PiecewiseGauss g(8);
+  for (double z = 1.6; z < 3.5; z += 0.05) {
+    EXPECT_GE(g.value(z), PiecewiseGauss::exact(z) - 1e-12) << z;
+  }
+}
+
+TEST(PiecewiseGaussQ15, MatchesDoubleVersion) {
+  const PiecewiseGauss ref(4);
+  const PiecewiseGaussQ15 q(4);
+  for (double z = 0.0; z < 4.5; z += 0.01) {
+    const auto z_q12 = static_cast<std::int16_t>(std::lround(z * 4096.0));
+    const double got = static_cast<double>(q.value(z_q12)) / 32767.0;
+    EXPECT_NEAR(got, ref.value(z), 0.01) << z;
+  }
+}
+
+TEST(PiecewiseGaussQ15, HandlesNegativeZ) {
+  const PiecewiseGaussQ15 q(4);
+  for (double z : {0.5, 1.5, 3.0}) {
+    const auto pos = static_cast<std::int16_t>(std::lround(z * 4096.0));
+    const auto neg = static_cast<std::int16_t>(-pos);
+    EXPECT_EQ(q.value(pos), q.value(neg));
+  }
+}
+
+TEST(PiecewiseGaussQ15, MonotoneNonIncreasing) {
+  const PiecewiseGaussQ15 q(4);
+  std::int16_t prev = 32767;
+  for (std::int16_t z = 0; z < 17000; z = static_cast<std::int16_t>(z + 128)) {
+    const std::int16_t v = q.value(z);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(PiecewiseGaussQ15, ReportsOps) {
+  const PiecewiseGaussQ15 q(4);
+  OpCount ops;
+  q.value(2048, &ops);
+  EXPECT_GT(ops.total(), 0u);
+  EXPECT_LE(ops.mul, 2u);  // The whole point: almost no multiplies.
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

@@ -1,0 +1,109 @@
+#include "dsp/lead_combine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sig/rng.hpp"
+
+namespace wbsn::dsp {
+namespace {
+
+TEST(Isqrt, ExactSquares) {
+  for (std::uint64_t r : {0ull, 1ull, 2ull, 15ull, 255ull, 65535ull, 1000000ull}) {
+    EXPECT_EQ(isqrt64(r * r), r);
+  }
+}
+
+TEST(Isqrt, FloorBehaviour) {
+  EXPECT_EQ(isqrt64(2), 1u);
+  EXPECT_EQ(isqrt64(3), 1u);
+  EXPECT_EQ(isqrt64(8), 2u);
+  EXPECT_EQ(isqrt64(99), 9u);
+  EXPECT_EQ(isqrt64(10000 - 1), 99u);
+}
+
+TEST(Isqrt, MatchesDoubleSqrtOnRandoms) {
+  sig::Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_u64() >> 16;  // Keep sqrt exact in double.
+    EXPECT_EQ(isqrt64(v), static_cast<std::uint32_t>(std::sqrt(static_cast<double>(v))));
+  }
+}
+
+TEST(RmsCombine, SingleLeadIsAbsoluteValue) {
+  const std::vector<std::vector<std::int32_t>> leads = {{3, -4, 0, 12, -1}};
+  const auto out = rms_combine(leads);
+  const std::vector<std::int32_t> want = {3, 4, 0, 12, 1};
+  EXPECT_EQ(out, want);
+}
+
+TEST(RmsCombine, EqualLeadsGiveSameMagnitude) {
+  const std::vector<std::int32_t> lead = {10, -20, 30, -40};
+  const std::vector<std::vector<std::int32_t>> leads = {lead, lead, lead};
+  const auto out = rms_combine(leads);
+  for (std::size_t i = 0; i < lead.size(); ++i) {
+    EXPECT_EQ(out[i], std::abs(lead[i]));
+  }
+}
+
+TEST(RmsCombine, MatchesReferenceWithinOneLsb) {
+  sig::Rng rng(31);
+  std::vector<std::vector<std::int32_t>> leads(3, std::vector<std::int32_t>(200));
+  std::vector<std::vector<double>> dleads(3, std::vector<double>(200));
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t i = 0; i < 200; ++i) {
+      leads[l][i] = static_cast<std::int32_t>(rng.uniform_int(-2000, 2000));
+      dleads[l][i] = static_cast<double>(leads[l][i]);
+    }
+  }
+  const auto fixed = rms_combine(leads);
+  const auto ref = rms_combine_ref(dleads);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_NEAR(static_cast<double>(fixed[i]), ref[i], 1.0) << i;
+  }
+}
+
+TEST(RmsCombine, SuppressesUncorrelatedNoise) {
+  // Common signal + independent noise in each lead: the RMS combination's
+  // correlation with the clean signal must beat any single lead's.
+  sig::Rng rng(41);
+  const std::size_t n = 4000;
+  std::vector<double> clean(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Positive bumps (RMS is a magnitude combiner, so use unipolar truth).
+    const double phase = 0.05 * static_cast<double>(i);
+    const double s = std::sin(phase);
+    clean[i] = s > 0.6 ? 100.0 * (s - 0.6) : 0.0;
+  }
+  std::vector<std::vector<std::int32_t>> leads(3, std::vector<std::int32_t>(n));
+  for (auto& lead : leads) {
+    for (std::size_t i = 0; i < n; ++i) {
+      lead[i] = static_cast<std::int32_t>(std::lround(clean[i] + rng.normal(0.0, 10.0)));
+    }
+  }
+  const auto combined = rms_combine(leads);
+  const auto rms_err = [&](const std::vector<std::int32_t>& x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = std::abs(static_cast<double>(x[i])) - clean[i];
+      acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(n));
+  };
+  EXPECT_LT(rms_err(combined), rms_err(leads[0]));
+}
+
+TEST(RmsCombine, EmptyInput) { EXPECT_TRUE(rms_combine({}).empty()); }
+
+TEST(RmsCombine, OpsScaleWithWork) {
+  std::vector<std::vector<std::int32_t>> leads(3, std::vector<std::int32_t>(100, 5));
+  OpCount ops;
+  rms_combine(leads, &ops);
+  EXPECT_EQ(ops.mul, 300u);           // One square per lead-sample.
+  EXPECT_GE(ops.cmp, 100u * 32u);     // isqrt iterations dominate.
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

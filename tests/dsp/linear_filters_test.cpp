@@ -1,0 +1,111 @@
+#include "dsp/linear_filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace wbsn::dsp {
+namespace {
+
+constexpr double kFs = 250.0;
+
+/// Steady-state amplitude of the filter response to a unit sine at f.
+double tone_gain(Biquad filter, double f) {
+  filter.reset();
+  const int n = 5000;
+  double peak = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = std::sin(2.0 * std::numbers::pi * f * i / kFs);
+    const double y = filter.process(x);
+    if (i > n / 2) peak = std::max(peak, std::abs(y));
+  }
+  return peak;
+}
+
+TEST(Biquad, NotchKillsTargetFrequency) {
+  const auto notch = Biquad::notch(50.0, 30.0, kFs);
+  EXPECT_LT(tone_gain(notch, 50.0), 0.05);
+  EXPECT_GT(tone_gain(notch, 10.0), 0.9);
+  EXPECT_GT(tone_gain(notch, 90.0), 0.9);
+}
+
+TEST(Biquad, LowpassAttenuatesHighFrequencies) {
+  const auto lp = Biquad::lowpass(40.0, std::numbers::sqrt2 / 2.0, kFs);
+  EXPECT_GT(tone_gain(lp, 5.0), 0.95);
+  EXPECT_NEAR(tone_gain(lp, 40.0), std::numbers::sqrt2 / 2.0, 0.08);
+  EXPECT_LT(tone_gain(lp, 110.0), 0.2);
+}
+
+TEST(Biquad, HighpassAttenuatesLowFrequencies) {
+  const auto hp = Biquad::highpass(0.5, std::numbers::sqrt2 / 2.0, kFs);
+  EXPECT_LT(tone_gain(hp, 0.05), 0.15);
+  EXPECT_GT(tone_gain(hp, 5.0), 0.95);
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto lp = Biquad::lowpass(10.0, 0.7, kFs);
+  for (int i = 0; i < 100; ++i) lp.process(1.0);
+  lp.reset();
+  // After reset the impulse response must match a fresh filter.
+  auto fresh = Biquad::lowpass(10.0, 0.7, kFs);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(lp.process(i == 0 ? 1.0 : 0.0), fresh.process(i == 0 ? 1.0 : 0.0));
+  }
+}
+
+TEST(Biquad, FilterMatchesProcessLoop) {
+  auto a = Biquad::lowpass(30.0, 0.7, kFs);
+  auto b = Biquad::lowpass(30.0, 0.7, kFs);
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(0.1 * static_cast<double>(i));
+  const auto batch = a.filter(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], b.process(x[i]));
+  }
+}
+
+TEST(Bandpass, PassesEcgBandRejectsEdges) {
+  BandpassFilter bp(0.5, 40.0, kFs);
+  const auto gain = [&](double f) {
+    BandpassFilter fresh(0.5, 40.0, kFs);
+    double peak = 0.0;
+    for (int i = 0; i < 6000; ++i) {
+      const double y = fresh.process(std::sin(2.0 * std::numbers::pi * f * i / kFs));
+      if (i > 3000) peak = std::max(peak, std::abs(y));
+    }
+    return peak;
+  };
+  EXPECT_GT(gain(10.0), 0.9);
+  EXPECT_LT(gain(0.05), 0.15);
+  EXPECT_LT(gain(115.0), 0.15);
+}
+
+TEST(MovingAverage, ConstantSignalConverges) {
+  const std::vector<std::int32_t> x(100, 64);
+  const auto y = moving_average_pow2(x, 3);  // Length 8.
+  for (std::size_t i = 8; i < x.size(); ++i) EXPECT_EQ(y[i], 64);
+}
+
+TEST(MovingAverage, SmoothsStep) {
+  std::vector<std::int32_t> x(64, 0);
+  for (std::size_t i = 32; i < 64; ++i) x[i] = 80;
+  const auto y = moving_average_pow2(x, 4);  // Length 16.
+  // Ramp across the step, monotone non-decreasing.
+  for (std::size_t i = 33; i < 64; ++i) EXPECT_GE(y[i], y[i - 1]);
+  EXPECT_EQ(y[63], 80);
+  EXPECT_EQ(y[20], 0);
+}
+
+TEST(MovingAverage, UsesOnlyCheapOps) {
+  const std::vector<std::int32_t> x(256, 1);
+  OpCount ops;
+  moving_average_pow2(x, 5, &ops);
+  EXPECT_EQ(ops.mul, 0u);
+  EXPECT_EQ(ops.div, 0u);
+  EXPECT_GE(ops.shift, x.size());
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

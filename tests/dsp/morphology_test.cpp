@@ -1,0 +1,199 @@
+#include "dsp/morphology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sig/adc.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::dsp {
+namespace {
+
+std::vector<std::int32_t> spike_train(std::size_t n, std::size_t period,
+                                      std::int32_t amplitude) {
+  std::vector<std::int32_t> x(n, 0);
+  for (std::size_t i = period / 2; i < n; i += period) x[i] = amplitude;
+  return x;
+}
+
+TEST(Morphology, OpeningRemovesNarrowPositivePeaks) {
+  const auto x = spike_train(200, 20, 100);
+  const auto opened = morph_open(x, 5);
+  for (std::int32_t v : opened) EXPECT_EQ(v, 0);
+}
+
+TEST(Morphology, ClosingRemovesNarrowPits) {
+  auto x = spike_train(200, 20, 100);
+  for (auto& v : x) v = -v;  // Negative spikes.
+  const auto closed = morph_close(x, 5);
+  for (std::int32_t v : closed) EXPECT_EQ(v, 0);
+}
+
+TEST(Morphology, OpeningPreservesWidePlateaus) {
+  std::vector<std::int32_t> x(100, 0);
+  for (std::size_t i = 30; i < 70; ++i) x[i] = 50;  // 40-sample plateau.
+  const auto opened = morph_open(x, 11);
+  // The plateau interior survives opening with a narrower SE.
+  for (std::size_t i = 40; i < 60; ++i) EXPECT_EQ(opened[i], 50) << i;
+}
+
+TEST(Morphology, AntiExtensivity) {
+  // Opening never exceeds the signal; closing never goes below it.
+  sig::Rng rng(3);
+  std::vector<std::int32_t> x(400);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-500, 500));
+  const auto opened = morph_open(x, 9);
+  const auto closed = morph_close(x, 9);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(opened[i], x[i]);
+    EXPECT_GE(closed[i], x[i]);
+  }
+}
+
+TEST(Morphology, Idempotence) {
+  // Opening and closing are idempotent: applying twice changes nothing.
+  sig::Rng rng(4);
+  std::vector<std::int32_t> x(300);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-200, 200));
+  const auto once = morph_open(x, 7);
+  EXPECT_EQ(morph_open(once, 7), once);
+  const auto conce = morph_close(x, 7);
+  EXPECT_EQ(morph_close(conce, 7), conce);
+}
+
+TEST(Morphology, ErodeDilateDuality) {
+  // erode(x) == -dilate(-x): the complement duality of flat morphology.
+  sig::Rng rng(5);
+  std::vector<std::int32_t> x(256);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-100, 100));
+  std::vector<std::int32_t> neg(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) neg[i] = -x[i];
+  const auto eroded = erode(x, 13);
+  auto dilated_neg = dilate(neg, 13);
+  for (auto& v : dilated_neg) v = -v;
+  EXPECT_EQ(eroded, dilated_neg);
+}
+
+class MorphFilterOnEcg : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sig::SynthConfig cfg;
+    cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 20}};
+    cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+    cfg.noise.baseline_wander_mv = 0.5;  // Only wander, nothing else.
+    sig::Rng rng(17);
+    record_ = synthesize_ecg(cfg, rng);
+    counts_ = sig::quantize(record_.leads[0], adc_);
+  }
+
+  sig::AdcConfig adc_;
+  sig::Record record_;
+  std::vector<std::int32_t> counts_;
+};
+
+TEST_F(MorphFilterOnEcg, RemovesBaselineWander) {
+  const auto result = morphological_filter(counts_);
+  // Wander dominates the low-frequency mean; after filtering, windowed
+  // means should be near zero everywhere.
+  const std::size_t window = 250;  // 1 s.
+  double worst_before = 0.0;
+  double worst_after = 0.0;
+  for (std::size_t start = 0; start + window <= counts_.size(); start += window) {
+    double mean_before = 0.0;
+    double mean_after = 0.0;
+    for (std::size_t i = start; i < start + window; ++i) {
+      mean_before += counts_[i];
+      mean_after += result.filtered[i];
+    }
+    worst_before = std::max(worst_before, std::abs(mean_before / window));
+    worst_after = std::max(worst_after, std::abs(mean_after / window));
+  }
+  EXPECT_LT(worst_after, 0.25 * worst_before);
+}
+
+TEST_F(MorphFilterOnEcg, PreservesRPeakAmplitude) {
+  const auto result = morphological_filter(counts_);
+  // The R peak must survive conditioning: check the filtered signal still
+  // has > 70 % of the clean R amplitude at annotated peaks.
+  const double r_mv = 1.1;  // Model R amplitude in lead I.
+  const double r_counts = r_mv / adc_.lsb_mv();
+  for (const auto& beat : record_.beats) {
+    const auto r = static_cast<std::size_t>(beat.r_peak);
+    std::int32_t peak = 0;
+    for (std::size_t i = r >= 3 ? r - 3 : 0; i <= std::min(counts_.size() - 1, r + 3); ++i) {
+      peak = std::max(peak, result.filtered[i]);
+    }
+    EXPECT_GT(peak, 0.6 * r_counts) << "beat at " << r;
+  }
+}
+
+TEST_F(MorphFilterOnEcg, ReportsWork) {
+  const auto result = morphological_filter(counts_);
+  EXPECT_GT(result.ops.total(), counts_.size());  // At least O(n).
+  EXPECT_EQ(result.ops.mul, 0u);  // Morphology is multiplier-free.
+  EXPECT_EQ(result.ops.div, 0u);
+}
+
+TEST(MorphFilter, NoiseSuppressionRemovesImpulses) {
+  // Clean slow sine + impulse noise; the two-branch open/close average
+  // must strip the impulses.
+  std::vector<std::int32_t> clean(500);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    clean[i] = static_cast<std::int32_t>(200.0 * std::sin(0.02 * static_cast<double>(i)));
+  }
+  auto noisy = clean;
+  sig::Rng rng(6);
+  for (int k = 0; k < 30; ++k) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(0, 499));
+    noisy[pos] += (k % 2 == 0) ? 150 : -150;
+  }
+  MorphFilterConfig cfg;
+  cfg.remove_baseline = false;  // Isolate the noise-suppression stage.
+  const auto result = morphological_filter(noisy, cfg);
+  const auto result_clean = morphological_filter(clean, cfg);
+  double max_err = 0.0;
+  double mean_err = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 20; i + 20 < clean.size(); ++i) {
+    const double e = std::abs(static_cast<double>(result.filtered[i]) -
+                              static_cast<double>(result_clean.filtered[i]));
+    max_err = std::max(max_err, e);
+    mean_err += e;
+    ++count;
+  }
+  mean_err /= static_cast<double>(count);
+  // Isolated impulses vanish entirely; occasional clustered ones survive
+  // attenuated.  Bound both tails: nothing at full impulse amplitude, and
+  // tiny residual on average.
+  EXPECT_LT(max_err, 150.0);
+  EXPECT_LT(mean_err, 10.0);
+}
+
+TEST(MorphTransform, PeaksBecomeExtrema) {
+  // A triangular peak maps to a positive extremum of the transform at the
+  // same location.
+  std::vector<std::int32_t> x(101, 0);
+  for (int i = 0; i <= 10; ++i) {
+    x[static_cast<std::size_t>(45 + i)] = 100 - 10 * i;
+    x[static_cast<std::size_t>(45 - i)] = 100 - 10 * i;
+  }
+  // SE of 25 samples exceeds the full 21-sample triangle, so the opening
+  // flattens the peak completely: transform peak = (x - (0 + x)/2) = x/2.
+  const auto t = morph_transform(x, 25);
+  const auto max_it = std::max_element(t.begin(), t.end());
+  const auto peak_pos = static_cast<std::size_t>(std::distance(t.begin(), max_it));
+  EXPECT_NEAR(static_cast<double>(peak_pos), 45.0, 2.0);
+  EXPECT_GT(*max_it, 40);
+}
+
+TEST(MorphTransform, FlatSignalMapsToZero) {
+  const std::vector<std::int32_t> x(64, 7);
+  for (std::int32_t v : morph_transform(x, 9)) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

@@ -1,0 +1,149 @@
+#include "dsp/sliding_minmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sig/rng.hpp"
+
+namespace wbsn::dsp {
+namespace {
+
+/// Brute-force reference for the centered batch variants.
+std::vector<std::int32_t> brute_centered(const std::vector<std::int32_t>& x,
+                                         std::size_t window, bool want_min) {
+  const std::size_t half = window / 2;
+  std::vector<std::int32_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t lo = i >= (window - 1 - half) ? i - (window - 1 - half) : 0;
+    const std::size_t hi = std::min(x.size() - 1, i + half);
+    std::int32_t best = x[lo];
+    for (std::size_t j = lo; j <= hi; ++j) {
+      best = want_min ? std::min(best, x[j]) : std::max(best, x[j]);
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+TEST(SlidingExtrema, SingleElementWindowIsIdentity) {
+  SlidingExtrema tracker(1);
+  for (std::int32_t v : {5, -3, 10, 0}) {
+    tracker.push(v);
+    EXPECT_EQ(tracker.min(), v);
+    EXPECT_EQ(tracker.max(), v);
+  }
+}
+
+TEST(SlidingExtrema, TracksWindowOfThree) {
+  SlidingExtrema tracker(3);
+  const std::vector<std::int32_t> x = {4, 2, 7, 1, 9, 9, 3};
+  const std::vector<std::int32_t> want_min = {4, 2, 2, 1, 1, 1, 3};
+  const std::vector<std::int32_t> want_max = {4, 4, 7, 7, 9, 9, 9};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    tracker.push(x[i]);
+    EXPECT_EQ(tracker.min(), want_min[i]) << i;
+    EXPECT_EQ(tracker.max(), want_max[i]) << i;
+  }
+}
+
+TEST(SlidingExtrema, HandlesDuplicates) {
+  SlidingExtrema tracker(2);
+  tracker.push(5);
+  tracker.push(5);
+  EXPECT_EQ(tracker.min(), 5);
+  EXPECT_EQ(tracker.max(), 5);
+  tracker.push(1);
+  EXPECT_EQ(tracker.min(), 1);
+  EXPECT_EQ(tracker.max(), 5);
+  tracker.push(1);
+  EXPECT_EQ(tracker.max(), 1);
+}
+
+TEST(SlidingExtrema, MatchesBruteForceOnRandomStream) {
+  sig::Rng rng(99);
+  for (std::size_t window : {2u, 5u, 16u, 63u}) {
+    SlidingExtrema tracker(window);
+    std::vector<std::int32_t> history;
+    for (int i = 0; i < 2000; ++i) {
+      const auto v = static_cast<std::int32_t>(rng.uniform_int(-1000, 1000));
+      history.push_back(v);
+      tracker.push(v);
+      const std::size_t lo = history.size() > window ? history.size() - window : 0;
+      std::int32_t lo_v = history[lo];
+      std::int32_t hi_v = history[lo];
+      for (std::size_t j = lo; j < history.size(); ++j) {
+        lo_v = std::min(lo_v, history[j]);
+        hi_v = std::max(hi_v, history[j]);
+      }
+      ASSERT_EQ(tracker.min(), lo_v) << "window=" << window << " i=" << i;
+      ASSERT_EQ(tracker.max(), hi_v) << "window=" << window << " i=" << i;
+    }
+  }
+}
+
+TEST(SlidingExtrema, AmortizedConstantComparisons) {
+  // The monotonic wedge does < 4 comparisons per sample on average; this is
+  // the property that makes flat-SE morphology feasible on the MCU.
+  sig::Rng rng(7);
+  SlidingExtrema tracker(64);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    tracker.push(static_cast<std::int32_t>(rng.uniform_int(-10000, 10000)));
+  }
+  EXPECT_LT(tracker.ops().cmp, static_cast<std::uint64_t>(8 * n));
+}
+
+using BatchParam = std::tuple<std::size_t, int>;  // window, seed.
+
+class SlidingBatchTest : public ::testing::TestWithParam<BatchParam> {};
+
+TEST_P(SlidingBatchTest, MatchesBruteForce) {
+  const auto [window, seed] = GetParam();
+  sig::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::int32_t> x(500);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-2048, 2047));
+  EXPECT_EQ(sliding_min(x, window), brute_centered(x, window, true));
+  EXPECT_EQ(sliding_max(x, window), brute_centered(x, window, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SlidingBatchTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 21, 51, 77),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(SlidingBatch, EmptyInput) {
+  const std::vector<std::int32_t> empty;
+  EXPECT_TRUE(sliding_min(empty, 5).empty());
+  EXPECT_TRUE(sliding_max(empty, 5).empty());
+}
+
+TEST(SlidingBatch, ConstantSignalInvariant) {
+  const std::vector<std::int32_t> x(100, 42);
+  EXPECT_EQ(sliding_min(x, 9), x);
+  EXPECT_EQ(sliding_max(x, 9), x);
+}
+
+TEST(SlidingBatch, MinLeqMaxEverywhere) {
+  sig::Rng rng(5);
+  std::vector<std::int32_t> x(300);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(-100, 100));
+  const auto mn = sliding_min(x, 15);
+  const auto mx = sliding_max(x, 15);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(mn[i], x[i]);
+    EXPECT_GE(mx[i], x[i]);
+    EXPECT_LE(mn[i], mx[i]);
+  }
+}
+
+TEST(SlidingBatch, OpsAreReported) {
+  std::vector<std::int32_t> x(256, 0);
+  OpCount ops;
+  sliding_min(x, 31, &ops);
+  EXPECT_GT(ops.total(), 0u);
+  EXPECT_GE(ops.store, x.size());
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

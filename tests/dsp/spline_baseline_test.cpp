@@ -1,0 +1,150 @@
+#include "dsp/spline_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sig/ecg_synth.hpp"
+
+namespace wbsn::dsp {
+namespace {
+
+TEST(CubicSpline, InterpolatesKnotsExactly) {
+  const std::vector<double> xs = {10.0, 50.0, 90.0, 130.0};
+  const std::vector<double> ys = {1.0, -2.0, 3.0, 0.5};
+  std::vector<double> out(150);
+  natural_cubic_spline_eval(xs, ys, out);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(xs[k])], ys[k], 1e-9);
+  }
+}
+
+TEST(CubicSpline, ClampsOutsideKnotRange) {
+  const std::vector<double> xs = {20.0, 40.0};
+  const std::vector<double> ys = {5.0, -5.0};
+  std::vector<double> out(60);
+  natural_cubic_spline_eval(xs, ys, out);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_DOUBLE_EQ(out[10], 5.0);
+  EXPECT_DOUBLE_EQ(out[50], -5.0);
+  EXPECT_DOUBLE_EQ(out[59], -5.0);
+}
+
+TEST(CubicSpline, LinearDataReproducedExactly) {
+  // A natural spline through collinear points is that line.
+  const std::vector<double> xs = {0.0, 30.0, 60.0, 90.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(0.5 * x + 2.0);
+  std::vector<double> out(91);
+  natural_cubic_spline_eval(xs, ys, out);
+  for (std::size_t i = 0; i <= 90; ++i) {
+    EXPECT_NEAR(out[i], 0.5 * static_cast<double>(i) + 2.0, 1e-9);
+  }
+}
+
+TEST(CubicSpline, SingleKnotGivesConstant) {
+  const std::vector<double> xs = {25.0};
+  const std::vector<double> ys = {3.3};
+  std::vector<double> out(50);
+  natural_cubic_spline_eval(xs, ys, out);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 3.3);
+}
+
+TEST(CubicSpline, EmptyKnotsGiveZero) {
+  std::vector<double> out(10, 99.0);
+  natural_cubic_spline_eval({}, {}, out);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+class SplineOnEcg : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sig::SynthConfig cfg;
+    cfg.episodes = {{sig::RhythmEpisode::Kind::kSinus, 30}};
+    cfg.noise = sig::NoiseParams::preset(sig::NoiseLevel::kNone);
+    cfg.noise.baseline_wander_mv = 0.4;
+    cfg.noise.baseline_freq_hz = 0.3;
+    sig::Rng rng(11);
+    record_ = synthesize_ecg(cfg, rng);
+  }
+
+  sig::Record record_;
+};
+
+TEST_F(SplineOnEcg, BaselineEstimateTracksWander) {
+  const auto r_peaks = record_.r_peaks();
+  const auto result = estimate_spline_baseline(record_.leads[0], r_peaks);
+  ASSERT_GT(result.knots.size(), 10u);
+  // Between the first and last knot, the corrected low-frequency content
+  // should collapse: compare 1-second means before/after.
+  const auto corrected = spline_baseline_correct(record_.leads[0], r_peaks);
+  const std::size_t begin = static_cast<std::size_t>(result.knots.front());
+  const std::size_t end = static_cast<std::size_t>(result.knots.back());
+  double worst_before = 0.0;
+  double worst_after = 0.0;
+  for (std::size_t s = begin; s + 250 < end; s += 250) {
+    double mb = 0.0;
+    double ma = 0.0;
+    for (std::size_t i = s; i < s + 250; ++i) {
+      mb += record_.leads[0][i];
+      ma += corrected[i];
+    }
+    worst_before = std::max(worst_before, std::abs(mb / 250.0));
+    worst_after = std::max(worst_after, std::abs(ma / 250.0));
+  }
+  EXPECT_LT(worst_after, 0.4 * worst_before);
+}
+
+TEST_F(SplineOnEcg, KnotsSitInPrSegment) {
+  const auto r_peaks = record_.r_peaks();
+  const auto result = estimate_spline_baseline(record_.leads[0], r_peaks);
+  // Each knot must precede its R peak by the configured PR offset (in
+  // rounded samples, matching the implementation's arithmetic).
+  SplineBaselineConfig cfg;
+  const auto offset = static_cast<std::int64_t>(std::llround(cfg.knot_offset_s * record_.fs));
+  for (std::size_t i = 0; i < result.knots.size(); ++i) {
+    bool found = false;
+    for (std::int64_t r : r_peaks) {
+      if (result.knots[i] == r + offset) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "knot " << i;
+  }
+}
+
+TEST(SplineBaseline, NoBeatsGivesZeroBaseline) {
+  std::vector<double> x(100, 1.5);
+  const auto result = estimate_spline_baseline(x, {});
+  for (double v : result.baseline) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SplineBaseline, RecoversSlowSineOnSyntheticKnots) {
+  // Pure wander + flat "PR segments": recovery should be near-perfect.
+  const double fs = 250.0;
+  const std::size_t n = 5000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.3 * std::sin(2.0 * std::numbers::pi * 0.2 * static_cast<double>(i) / fs);
+  }
+  std::vector<std::int64_t> fake_r;
+  for (std::int64_t r = 200; r < static_cast<std::int64_t>(n) - 200; r += 200) {
+    fake_r.push_back(r);
+  }
+  SplineBaselineConfig cfg;
+  cfg.fs = fs;
+  const auto est = estimate_spline_baseline(x, fake_r, cfg);
+  const std::size_t begin = static_cast<std::size_t>(est.knots.front());
+  const std::size_t end = static_cast<std::size_t>(est.knots.back());
+  double worst = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    worst = std::max(worst, std::abs(est.baseline[i] - x[i]));
+  }
+  EXPECT_LT(worst, 0.05);  // 1/6 of the wander amplitude.
+}
+
+}  // namespace
+}  // namespace wbsn::dsp

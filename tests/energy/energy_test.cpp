@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "energy/mcu.hpp"
+#include "energy/node.hpp"
+#include "energy/radio.hpp"
+
+namespace wbsn::energy {
+namespace {
+
+TEST(Dvfs, TableIsMonotone) {
+  double prev_vdd = 0.0;
+  for (double f : {0.5e6, 1e6, 4e6, 8e6, 16e6, 25e6}) {
+    const auto point = dvfs_point_for(f);
+    EXPECT_GE(point.vdd, prev_vdd) << f;
+    prev_vdd = point.vdd;
+  }
+}
+
+TEST(Dvfs, ClampsAboveTable) {
+  const auto point = dvfs_point_for(100e6);
+  EXPECT_DOUBLE_EQ(point.vdd, 3.3);
+  EXPECT_DOUBLE_EQ(point.f_hz, 25e6);
+}
+
+TEST(Mcu, CyclesWeightedByOpClass) {
+  McuModel mcu;
+  dsp::OpCount ops;
+  ops.add = 100;
+  EXPECT_EQ(mcu.cycles(ops), 100u);
+  ops.div = 10;
+  EXPECT_EQ(mcu.cycles(ops), 100u + 10u * mcu.cycles_div);
+  ops.mul = 5;
+  EXPECT_EQ(mcu.cycles(ops), 100u + 220u + 5u * mcu.cycles_mul);
+}
+
+TEST(Mcu, EnergyScalesWithVddSquared) {
+  McuModel low;
+  low.vdd = 1.8;
+  McuModel high = low;
+  high.vdd = 3.6;
+  dsp::OpCount ops;
+  ops.add = 1000;
+  EXPECT_NEAR(high.energy_j(ops) / low.energy_j(ops), 4.0, 1e-9);
+}
+
+TEST(Mcu, DutyCycleDefinition) {
+  McuModel mcu;
+  mcu.f_hz = 1e6;
+  dsp::OpCount ops;
+  ops.add = 100000;  // 100k cycles at 1 MHz = 100 ms.
+  EXPECT_NEAR(mcu.duty_cycle(ops, 1.0), 0.1, 1e-12);
+}
+
+TEST(Mcu, AtFrequencyPicksDvfsPoint) {
+  McuModel mcu;
+  const auto fast = mcu.at_frequency(16e6);
+  EXPECT_DOUBLE_EQ(fast.vdd, 2.8);
+  const auto slow = mcu.at_frequency(0.8e6);
+  EXPECT_DOUBLE_EQ(slow.vdd, 1.8);
+  EXPECT_LT(slow.energy_per_cycle_j(), fast.energy_per_cycle_j());
+}
+
+TEST(Radio, PerByteEnergyMatchesLinkRate) {
+  RadioModel radio;
+  // 32 us per byte at 250 kb/s; 52.2 mW TX -> ~1.67 uJ/byte.
+  EXPECT_NEAR(radio.energy_per_tx_byte_j(), 1.67e-6, 0.02e-6);
+}
+
+TEST(Radio, FragmentationCounts) {
+  RadioModel radio;
+  EXPECT_EQ(radio.frames_for(0), 0u);
+  EXPECT_EQ(radio.frames_for(1), 1u);
+  EXPECT_EQ(radio.frames_for(116), 1u);
+  EXPECT_EQ(radio.frames_for(117), 2u);
+  EXPECT_EQ(radio.frames_for(1160), 10u);
+}
+
+TEST(Radio, OverheadPenalizesSmallPayloads) {
+  RadioModel radio;
+  // Energy per payload byte is far worse for a 5-byte packet than a full
+  // frame: the fixed-cost argument for aggregating notifications.
+  const double small = radio.energy_tx_burst_j(5) / 5.0;
+  const double full = radio.energy_tx_burst_j(116) / 116.0;
+  EXPECT_GT(small, 5.0 * full);
+}
+
+TEST(Radio, EnergyMonotoneInPayload) {
+  RadioModel radio;
+  double prev = 0.0;
+  for (std::uint32_t bytes : {10u, 100u, 500u, 1000u, 5000u}) {
+    const double e = radio.energy_tx_burst_j(bytes);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Radio, AirtimeConsistentWithBitrate) {
+  RadioModel radio;
+  // 1160 bytes payload in 10 frames: > payload bits / bitrate.
+  const double t = radio.airtime_s(1160);
+  EXPECT_GT(t, 1160.0 * 8.0 / 250e3);
+  EXPECT_LT(t, 2.0 * 1160.0 * 8.0 / 250e3);
+}
+
+TEST(Node, BreakdownSumsToTotal) {
+  NodeEnergyModel node;
+  dsp::OpCount ops;
+  ops.add = 50000;
+  const auto breakdown = node.window_energy(768, ops, 1536, 2.048);
+  EXPECT_NEAR(breakdown.total_j(), breakdown.radio_j + breakdown.sampling_j +
+                                       breakdown.os_j + breakdown.computation_j,
+              1e-15);
+  EXPECT_GT(breakdown.radio_j, 0.0);
+  EXPECT_GT(breakdown.sampling_j, 0.0);
+  EXPECT_GT(breakdown.os_j, 0.0);
+  EXPECT_GT(breakdown.computation_j, 0.0);
+}
+
+TEST(Node, RadioDominatesRawStreaming) {
+  // The paper's premise: streaming raw data is radio-bound.
+  NodeEnergyModel node;
+  dsp::OpCount no_processing;
+  const auto breakdown = node.window_energy(2304, no_processing, 1536, 2.048);
+  EXPECT_GT(breakdown.radio_j, 0.5 * breakdown.total_j());
+}
+
+TEST(Node, CompressionShiftsEnergyOffRadio) {
+  NodeEnergyModel node;
+  dsp::OpCount cs_ops;
+  cs_ops.add = 6144;   // 3 leads x 512 samples x d=4 adds.
+  cs_ops.load = 20000;
+  cs_ops.store = 2000;
+  const auto raw = node.window_energy(2304, {}, 1536, 2.048);
+  const auto cs = node.window_energy(784, cs_ops, 1536, 2.048);  // CR ~66 %.
+  EXPECT_LT(cs.radio_j, 0.40 * raw.radio_j);
+  EXPECT_LT(cs.total_j(), raw.total_j());
+  // Computation cost is tiny relative to the radio savings.
+  EXPECT_LT(cs.computation_j, 0.2 * (raw.radio_j - cs.radio_j));
+}
+
+TEST(Battery, WeekOfOperationAtMilliwatt) {
+  BatteryModel battery;  // 150 mAh @ 3.7 V, 85 % usable.
+  // ~ 1.7 kJ usable -> at 2.5 mW a week is plausible (the Section V
+  // "mean time between charges is typically one week").
+  const double hours = battery.lifetime_hours(2.5e-3);
+  EXPECT_GT(hours, 5.0 * 24.0);
+  EXPECT_LT(hours, 14.0 * 24.0);
+}
+
+TEST(Battery, LifetimeInverseInPower) {
+  BatteryModel battery;
+  EXPECT_NEAR(battery.lifetime_hours(1e-3) / battery.lifetime_hours(2e-3), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wbsn::energy

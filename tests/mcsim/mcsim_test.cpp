@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "mcsim/kernel.hpp"
+#include "mcsim/machine.hpp"
+#include "mcsim/power.hpp"
+
+namespace wbsn::mcsim {
+namespace {
+
+KernelProfile straight_line(std::uint64_t instructions) {
+  KernelProfile profile;
+  profile.name = "straight";
+  profile.instructions = instructions;
+  profile.load_fraction = 0.25;
+  profile.store_fraction = 0.10;
+  profile.branch_fraction = 0.05;
+  profile.divergence_prob = 0.0;
+  return profile;
+}
+
+TEST(Profile, DerivedFromOpCounts) {
+  dsp::OpCount ops;
+  ops.add = 500;
+  ops.load = 300;
+  ops.store = 100;
+  ops.cmp = 50;
+  ops.branch = 50;
+  const auto profile = profile_from_ops("mf", ops, 0.3);
+  EXPECT_EQ(profile.instructions, 1000u);
+  EXPECT_NEAR(profile.load_fraction, 0.3, 1e-12);
+  EXPECT_NEAR(profile.store_fraction, 0.1, 1e-12);
+  EXPECT_NEAR(profile.branch_fraction, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(profile.divergence_prob, 0.3);
+}
+
+TEST(Simulate, SingleCoreBaseline) {
+  const auto profile = straight_line(100000);
+  MachineConfig machine;
+  machine.num_cores = 1;
+  const auto stats = simulate_kernel(profile, machine, 1);
+  EXPECT_EQ(stats.wall_cycles, 100000u);
+  EXPECT_EQ(stats.imem_accesses, 100000u);  // One fetch per instruction.
+  EXPECT_EQ(stats.active_core_cycles, 100000u);
+  EXPECT_EQ(stats.idle_core_cycles, 0u);
+  EXPECT_EQ(stats.divergence_events, 0u);
+  // ~35 % of instructions touch data memory.
+  EXPECT_NEAR(static_cast<double>(stats.dmem_accesses), 35000.0, 2000.0);
+}
+
+TEST(Simulate, BroadcastMergesLockstepFetches) {
+  const auto profile = straight_line(50000);
+  MachineConfig with;
+  with.num_cores = 3;
+  with.broadcast_fetch = true;
+  MachineConfig without = with;
+  without.broadcast_fetch = false;
+  const auto merged = simulate_kernel(profile, with, 2);
+  const auto unmerged = simulate_kernel(profile, without, 2);
+  // Divergence-free: merged = 1 access/cycle, unmerged = 3.
+  EXPECT_EQ(merged.imem_accesses, 50000u);
+  EXPECT_EQ(unmerged.imem_accesses, 150000u);
+  EXPECT_EQ(merged.wall_cycles, unmerged.wall_cycles);
+}
+
+TEST(Simulate, DivergenceCostsCyclesAndFetches) {
+  KernelProfile profile = straight_line(100000);
+  profile.divergence_prob = 0.2;
+  MachineConfig machine;
+  machine.num_cores = 3;
+  const auto diverging = simulate_kernel(profile, machine, 3);
+  profile.divergence_prob = 0.0;
+  const auto clean = simulate_kernel(profile, machine, 3);
+  EXPECT_GT(diverging.divergence_events, 100u);
+  EXPECT_GT(diverging.imem_accesses, clean.imem_accesses);
+  EXPECT_GT(diverging.idle_core_cycles, 0u);
+  // Fetch merging still pays off overall: far fewer than 3x fetches.
+  EXPECT_LT(diverging.imem_accesses, 2u * diverging.wall_cycles);
+}
+
+TEST(Simulate, UnpartitionedDmemStalls) {
+  KernelProfile profile = straight_line(100000);
+  MachineConfig partitioned;
+  partitioned.num_cores = 3;
+  partitioned.partitioned_dmem = true;
+  MachineConfig shared = partitioned;
+  shared.partitioned_dmem = false;
+  shared.dmem_banks = 2;
+  const auto clean = simulate_kernel(profile, partitioned, 4);
+  const auto conflicted = simulate_kernel(profile, shared, 4);
+  EXPECT_EQ(clean.dmem_stall_cycles, 0u);
+  EXPECT_GT(conflicted.dmem_stall_cycles, 1000u);
+  EXPECT_GT(conflicted.wall_cycles, clean.wall_cycles);
+}
+
+TEST(Simulate, DeterministicForSeed) {
+  KernelProfile profile = straight_line(20000);
+  profile.divergence_prob = 0.1;
+  MachineConfig machine;
+  machine.num_cores = 3;
+  const auto a = simulate_kernel(profile, machine, 99);
+  const auto b = simulate_kernel(profile, machine, 99);
+  EXPECT_EQ(a.wall_cycles, b.wall_cycles);
+  EXPECT_EQ(a.imem_accesses, b.imem_accesses);
+  EXPECT_EQ(a.divergence_events, b.divergence_events);
+}
+
+TEST(Power, BreakdownComponentsPositive) {
+  const auto profile = straight_line(200000);
+  MachineConfig machine;
+  machine.num_cores = 3;
+  const auto stats = simulate_kernel(profile, machine, 5);
+  const auto power = price_execution(stats, 3, PowerConfig{});
+  EXPECT_GT(power.cores_w, 0.0);
+  EXPECT_GT(power.imem_w, 0.0);
+  EXPECT_GT(power.dmem_w, 0.0);
+  EXPECT_NEAR(power.total_w(),
+              power.cores_w + power.imem_w + power.dmem_w + power.leakage_w, 1e-15);
+}
+
+TEST(Power, HigherLoadNeedsHigherVoltage) {
+  MachineConfig machine;
+  machine.num_cores = 1;
+  PowerConfig cfg;
+  const auto light = simulate_kernel(straight_line(50000), machine, 6);
+  const auto heavy = simulate_kernel(straight_line(900000), machine, 6);
+  const auto p_light = price_execution(light, 1, cfg);
+  const auto p_heavy = price_execution(heavy, 1, cfg);
+  EXPECT_GE(p_heavy.vdd, p_light.vdd);
+  EXPECT_GT(p_heavy.f_hz, p_light.f_hz);
+}
+
+TEST(Power, McBeatsScOnParallelWorkload) {
+  // The Figure 7 headline: the synchronized multi-core cuts total power —
+  // "up to 40 %" — via voltage scaling plus instruction-fetch merging.
+  KernelProfile profile = straight_line(300000);
+  profile.divergence_prob = 0.1;
+  MachineConfig machine;
+  const auto cmp = compare_sc_mc(profile, 3, machine, PowerConfig{}, 7);
+  EXPECT_LT(cmp.mc.total_w(), cmp.sc.total_w());
+  EXPECT_GT(cmp.reduction_percent(), 15.0);
+  EXPECT_LT(cmp.reduction_percent(), 70.0);
+  // Instruction memory is where the broadcast earns most.
+  EXPECT_LT(cmp.mc.imem_w, cmp.sc.imem_w);
+  // MC runs each core slower at a lower voltage.
+  EXPECT_LE(cmp.mc.vdd, cmp.sc.vdd);
+  EXPECT_LT(cmp.mc.f_hz, cmp.sc.f_hz);
+}
+
+TEST(Power, BroadcastIsLoadBearing) {
+  // Ablation (DESIGN.md #3): disabling fetch merging erases most of the
+  // instruction-memory advantage.
+  KernelProfile profile = straight_line(300000);
+  MachineConfig with;
+  with.broadcast_fetch = true;
+  MachineConfig without;
+  without.broadcast_fetch = false;
+  const auto cmp_with = compare_sc_mc(profile, 3, with, PowerConfig{}, 8);
+  const auto cmp_without = compare_sc_mc(profile, 3, without, PowerConfig{}, 8);
+  EXPECT_GT(cmp_with.reduction_percent(), cmp_without.reduction_percent() + 5.0);
+}
+
+}  // namespace
+}  // namespace wbsn::mcsim

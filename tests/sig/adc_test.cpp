@@ -1,0 +1,89 @@
+#include "sig/adc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wbsn::sig {
+namespace {
+
+TEST(Adc, ZeroMapsToZero) {
+  const AdcConfig cfg;
+  const std::vector<double> mv = {0.0};
+  EXPECT_EQ(quantize(mv, cfg)[0], 0);
+}
+
+TEST(Adc, LsbResolution) {
+  AdcConfig cfg;
+  cfg.bits = 12;
+  cfg.full_scale_mv = 5.0;
+  EXPECT_NEAR(cfg.lsb_mv(), 5.0 / 4096.0, 1e-12);
+  const std::vector<double> mv = {cfg.lsb_mv(), 2.0 * cfg.lsb_mv()};
+  const auto q = quantize(mv, cfg);
+  EXPECT_EQ(q[0], 1);
+  EXPECT_EQ(q[1], 2);
+}
+
+TEST(Adc, SaturatesAtRails) {
+  AdcConfig cfg;
+  cfg.bits = 12;
+  cfg.full_scale_mv = 5.0;
+  const std::vector<double> mv = {100.0, -100.0};
+  const auto q = quantize(mv, cfg);
+  EXPECT_EQ(q[0], cfg.max_count());
+  EXPECT_EQ(q[1], cfg.min_count());
+  EXPECT_EQ(cfg.max_count(), 2047);
+  EXPECT_EQ(cfg.min_count(), -2048);
+}
+
+TEST(Adc, GainAmplifiesBeforeQuantization) {
+  AdcConfig unity;
+  AdcConfig gained;
+  gained.gain = 2.0;
+  // Use an exact multiple of the LSB so doubling introduces no rounding.
+  const std::vector<double> mv = {100.0 * unity.lsb_mv()};
+  EXPECT_EQ(quantize(mv, unity)[0], 100);
+  EXPECT_EQ(quantize(mv, gained)[0], 200);
+}
+
+TEST(Adc, RoundTripErrorBoundedByHalfLsb) {
+  AdcConfig cfg;
+  std::vector<double> mv;
+  for (int i = -100; i <= 100; ++i) mv.push_back(0.013 * i);
+  const auto q = quantize(mv, cfg);
+  const auto back = dequantize(q, cfg);
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    EXPECT_LE(std::abs(back[i] - mv[i]), 0.5 * cfg.lsb_mv() + 1e-12);
+  }
+}
+
+TEST(Adc, BitDepthControlsError) {
+  AdcConfig low;
+  low.bits = 8;
+  AdcConfig high;
+  high.bits = 14;
+  std::vector<double> mv;
+  for (int i = 0; i < 1000; ++i) mv.push_back(2.0 * std::sin(0.01 * i));
+  const auto err = [&](const AdcConfig& cfg) {
+    const auto back = dequantize(quantize(mv, cfg), cfg);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < mv.size(); ++i) acc += std::abs(back[i] - mv[i]);
+    return acc / static_cast<double>(mv.size());
+  };
+  EXPECT_GT(err(low), 10.0 * err(high));
+}
+
+TEST(Adc, QuantizeLeadsHandlesAllLeads) {
+  AdcConfig cfg;
+  const std::vector<std::vector<double>> leads = {{0.1, 0.2}, {-0.1, -0.2}, {0.0, 1.0}};
+  const auto q = quantize_leads(leads, cfg);
+  ASSERT_EQ(q.size(), 3u);
+  for (std::size_t lead = 0; lead < q.size(); ++lead) {
+    ASSERT_EQ(q[lead].size(), 2u);
+    EXPECT_EQ(q[lead][0], quantize(leads[lead], cfg)[0]);
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::sig

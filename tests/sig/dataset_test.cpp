@@ -1,0 +1,100 @@
+#include "sig/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wbsn::sig {
+namespace {
+
+TEST(Datasets, SinusDatasetShape) {
+  DatasetSpec spec;
+  spec.num_records = 6;
+  spec.beats_per_record = 50;
+  const auto records = make_sinus_dataset(spec);
+  ASSERT_EQ(records.size(), 6u);
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.num_leads(), 3u);
+    EXPECT_EQ(rec.beats.size(), 50u);
+    EXPECT_FALSE(rec.af_episode_present);
+  }
+}
+
+TEST(Datasets, HeartRatesSpanRange) {
+  DatasetSpec spec;
+  spec.num_records = 5;
+  spec.beats_per_record = 80;
+  const auto records = make_sinus_dataset(spec);
+  const auto mean_rr = [](const Record& r) {
+    const auto rr = r.rr_intervals_s();
+    double acc = 0.0;
+    for (double v : rr) acc += v;
+    return acc / static_cast<double>(rr.size());
+  };
+  // First record targets 55 bpm, last 95 bpm.
+  EXPECT_GT(mean_rr(records.front()), mean_rr(records.back()));
+  EXPECT_NEAR(mean_rr(records.front()), 60.0 / 55.0, 0.08);
+  EXPECT_NEAR(mean_rr(records.back()), 60.0 / 95.0, 0.06);
+}
+
+TEST(Datasets, ArrhythmiaDatasetContainsEctopics) {
+  DatasetSpec spec;
+  spec.num_records = 4;
+  spec.beats_per_record = 200;
+  const auto records = make_arrhythmia_dataset(spec);
+  int pvc = 0;
+  int apc = 0;
+  for (const auto& rec : records) {
+    for (const auto& beat : rec.beats) {
+      pvc += beat.label == BeatClass::kPvc;
+      apc += beat.label == BeatClass::kApc;
+    }
+  }
+  EXPECT_GT(pvc, 20);
+  EXPECT_GT(apc, 10);
+}
+
+int rec_beats_quarter(const Record& rec) {
+  return static_cast<int>(rec.beats.size() / 4);
+}
+
+TEST(Datasets, AfDatasetAlternatesRhythms) {
+  DatasetSpec spec;
+  spec.num_records = 3;
+  spec.beats_per_record = 120;
+  const auto records = make_af_dataset(spec);
+  for (const auto& rec : records) {
+    EXPECT_TRUE(rec.af_episode_present);
+    int af = 0;
+    int sinus = 0;
+    for (const auto& beat : rec.beats) {
+      af += beat.label == BeatClass::kAfib;
+      sinus += beat.label == BeatClass::kNormal;
+    }
+    // Roughly half the beats belong to AF episodes.
+    EXPECT_GT(af, rec_beats_quarter(rec));
+    EXPECT_GT(sinus, rec_beats_quarter(rec));
+  }
+}
+
+TEST(Datasets, ReproducibleAcrossCalls) {
+  DatasetSpec spec;
+  spec.num_records = 2;
+  spec.beats_per_record = 30;
+  const auto a = make_sinus_dataset(spec);
+  const auto b = make_sinus_dataset(spec);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].leads[0], b[0].leads[0]);
+  EXPECT_EQ(a[1].leads[2], b[1].leads[2]);
+}
+
+TEST(Datasets, SeedChangesData) {
+  DatasetSpec spec;
+  spec.num_records = 1;
+  spec.beats_per_record = 30;
+  const auto a = make_sinus_dataset(spec);
+  spec.seed = 43;
+  const auto b = make_sinus_dataset(spec);
+  EXPECT_NE(a[0].leads[0], b[0].leads[0]);
+}
+
+}  // namespace
+}  // namespace wbsn::sig

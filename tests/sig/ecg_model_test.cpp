@@ -1,0 +1,139 @@
+#include "sig/ecg_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wbsn::sig {
+namespace {
+
+TEST(GaussWave, PeaksAtCenter) {
+  const GaussWave w{1.0, 0.1, 0.02};
+  EXPECT_DOUBLE_EQ(w.value(0.1), 1.0);
+  EXPECT_LT(w.value(0.1 + 0.02), 1.0);
+  EXPECT_NEAR(w.value(0.1 + 0.02), std::exp(-0.5), 1e-12);
+}
+
+TEST(GaussWave, SymmetricAroundCenter) {
+  const GaussWave w{-0.5, 0.0, 0.01};
+  for (double dt : {0.005, 0.01, 0.02}) {
+    EXPECT_DOUBLE_EQ(w.value(dt), w.value(-dt));
+  }
+}
+
+TEST(NormalBeat, RWaveDominates) {
+  const BeatTemplate beat = make_normal_beat(0.85);
+  const double at_r = beat.value(0.0);
+  EXPECT_GT(at_r, 0.9);
+  EXPECT_GT(at_r, std::abs(beat.value(-0.2)));  // > P region.
+  EXPECT_GT(at_r, std::abs(beat.value(0.3)));   // > T region.
+}
+
+TEST(NormalBeat, HasAllFiducials) {
+  const BeatTemplate beat = make_normal_beat(0.85);
+  const BeatAnnotation ann = beat.annotate(1000, 250.0);
+  EXPECT_EQ(ann.r_peak, 1000);
+  EXPECT_TRUE(ann.p.valid());
+  EXPECT_TRUE(ann.qrs.valid());
+  EXPECT_TRUE(ann.t.valid());
+  // Physiological ordering.
+  EXPECT_LT(ann.p.onset, ann.p.peak);
+  EXPECT_LT(ann.p.peak, ann.p.offset);
+  EXPECT_LT(ann.p.offset, ann.qrs.onset);
+  EXPECT_LT(ann.qrs.onset, ann.qrs.peak);
+  EXPECT_EQ(ann.qrs.peak, 1000);
+  EXPECT_LT(ann.qrs.peak, ann.qrs.offset);
+  EXPECT_LT(ann.qrs.offset, ann.t.onset);
+  EXPECT_LT(ann.t.onset, ann.t.peak);
+  EXPECT_LT(ann.t.peak, ann.t.offset);
+}
+
+TEST(PvcBeat, NoPWaveAndWideQrs) {
+  const BeatTemplate pvc = make_pvc_beat(0.85);
+  const BeatTemplate normal = make_normal_beat(0.85);
+  EXPECT_FALSE(pvc.has_p_wave);
+  const BeatAnnotation ann = pvc.annotate(500, 250.0);
+  EXPECT_FALSE(ann.p.valid());
+  const auto qrs_width = [](const BeatAnnotation& a) { return a.qrs.offset - a.qrs.onset; };
+  const BeatAnnotation nann = normal.annotate(500, 250.0);
+  EXPECT_GT(qrs_width(ann), 3 * qrs_width(nann) / 2);
+}
+
+TEST(PvcBeat, TWaveDiscordant) {
+  const BeatTemplate pvc = make_pvc_beat(0.85);
+  // Dominant QRS deflection positive, T wave negative (discordant).
+  EXPECT_GT(pvc.wave(WaveIdx::kR).amplitude_mv, 0.0);
+  EXPECT_LT(pvc.wave(WaveIdx::kT).amplitude_mv, 0.0);
+}
+
+TEST(ApcBeat, SmallerDisplacedPWave) {
+  const BeatTemplate apc = make_apc_beat(0.85);
+  const BeatTemplate normal = make_normal_beat(0.85);
+  EXPECT_TRUE(apc.has_p_wave);
+  EXPECT_LT(apc.wave(WaveIdx::kP).amplitude_mv, normal.wave(WaveIdx::kP).amplitude_mv);
+}
+
+TEST(AfBeat, NoPWave) {
+  const BeatTemplate af = make_af_beat(0.7);
+  EXPECT_FALSE(af.has_p_wave);
+  EXPECT_EQ(af.wave(WaveIdx::kP).amplitude_mv, 0.0);
+  EXPECT_FALSE(af.annotate(100, 250.0).p.valid());
+}
+
+TEST(TWave, AdaptsToRate) {
+  // Faster rate (shorter RR) -> earlier T wave (QT shortening).
+  const BeatTemplate fast = make_normal_beat(0.5);
+  const BeatTemplate slow = make_normal_beat(1.2);
+  EXPECT_LT(fast.wave(WaveIdx::kT).center_s, slow.wave(WaveIdx::kT).center_s);
+}
+
+TEST(Support, CoversPToT) {
+  const BeatTemplate beat = make_normal_beat(0.85);
+  EXPECT_LT(beat.support_begin_s(), -0.2);
+  EXPECT_GT(beat.support_end_s(), 0.3);
+  EXPECT_LT(beat.support_end_s(), 0.8);  // Within one cardiac cycle.
+}
+
+TEST(Jitter, PreservesSignsAndRoughMagnitude) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    BeatTemplate beat = make_normal_beat(0.85);
+    jitter_template(beat, 0.05, rng);
+    EXPECT_GT(beat.wave(WaveIdx::kR).amplitude_mv, 0.7);
+    EXPECT_LT(beat.wave(WaveIdx::kQ).amplitude_mv, 0.0);
+    EXPECT_GT(beat.wave(WaveIdx::kR).sigma_s, 0.005);
+  }
+}
+
+TEST(Jitter, ZeroAmplitudeWavesStayAbsent) {
+  Rng rng(43);
+  BeatTemplate beat = make_af_beat(0.8);
+  jitter_template(beat, 0.1, rng);
+  EXPECT_EQ(beat.wave(WaveIdx::kP).amplitude_mv, 0.0);
+}
+
+TEST(LeadProjection, ThreeLeadsDiffer) {
+  const auto proj = LeadProjection::standard3();
+  ASSERT_EQ(proj.num_leads(), 3u);
+  const BeatTemplate beat = make_normal_beat(0.85);
+  const double r0 = proj.project(beat, 0, 0.0);
+  const double r1 = proj.project(beat, 1, 0.0);
+  const double r2 = proj.project(beat, 2, 0.0);
+  EXPECT_NE(r0, r1);
+  EXPECT_NE(r1, r2);
+  // All leads still show a dominant positive R in this model.
+  EXPECT_GT(r0, 0.3);
+  EXPECT_GT(r1, 0.3);
+  EXPECT_GT(r2, 0.3);
+}
+
+TEST(LeadProjection, LeadZeroIsIdentity) {
+  const auto proj = LeadProjection::standard3();
+  const BeatTemplate beat = make_normal_beat(0.85);
+  for (double t : {-0.2, -0.03, 0.0, 0.04, 0.3}) {
+    EXPECT_NEAR(proj.project(beat, 0, t), beat.value(t), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::sig

@@ -1,0 +1,175 @@
+#include "sig/ecg_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace wbsn::sig {
+namespace {
+
+SynthConfig clean_config(int beats = 30) {
+  SynthConfig cfg;
+  cfg.episodes = {{RhythmEpisode::Kind::kSinus, beats}};
+  cfg.noise = NoiseParams::preset(NoiseLevel::kNone);
+  return cfg;
+}
+
+TEST(EcgSynth, ProducesRequestedBeatsAndLeads) {
+  Rng rng(1);
+  const Record rec = synthesize_ecg(clean_config(30), rng);
+  EXPECT_EQ(rec.num_leads(), 3u);
+  EXPECT_EQ(rec.beats.size(), 30u);
+  EXPECT_GT(rec.num_samples(), 0u);
+  for (const auto& lead : rec.leads) EXPECT_EQ(lead.size(), rec.num_samples());
+}
+
+TEST(EcgSynth, RPeaksAreLocalMaximaOfLeadOne) {
+  Rng rng(2);
+  const Record rec = synthesize_ecg(clean_config(25), rng);
+  const auto& lead = rec.leads[0];
+  for (const auto& beat : rec.beats) {
+    const auto r = static_cast<std::size_t>(beat.r_peak);
+    ASSERT_LT(r, lead.size());
+    // The sample at the annotated R peak should be within one sample of the
+    // local maximum of a +/-40 ms neighbourhood.
+    const std::size_t lo = r >= 10 ? r - 10 : 0;
+    const std::size_t hi = std::min(lead.size() - 1, r + 10);
+    const auto max_it = std::max_element(lead.begin() + static_cast<long>(lo),
+                                         lead.begin() + static_cast<long>(hi) + 1);
+    const auto max_idx = static_cast<std::size_t>(std::distance(lead.begin(), max_it));
+    EXPECT_LE(max_idx > r ? max_idx - r : r - max_idx, 1u) << "beat at " << r;
+  }
+}
+
+TEST(EcgSynth, AnnotationsSortedAndInRange) {
+  Rng rng(3);
+  const Record rec = synthesize_ecg(clean_config(40), rng);
+  for (std::size_t i = 1; i < rec.beats.size(); ++i) {
+    EXPECT_GT(rec.beats[i].r_peak, rec.beats[i - 1].r_peak);
+  }
+  for (const auto& beat : rec.beats) {
+    EXPECT_GE(beat.qrs.onset, 0);
+    EXPECT_LT(beat.t.offset, static_cast<std::int64_t>(rec.num_samples()));
+  }
+}
+
+TEST(EcgSynth, RrIntervalsMatchConfiguredRate) {
+  Rng rng(4);
+  SynthConfig cfg = clean_config(100);
+  cfg.sinus.mean_hr_bpm = 60.0;
+  const Record rec = synthesize_ecg(cfg, rng);
+  const auto rr = rec.rr_intervals_s();
+  const double mean_rr =
+      std::accumulate(rr.begin(), rr.end(), 0.0) / static_cast<double>(rr.size());
+  EXPECT_NEAR(mean_rr, 1.0, 0.05);
+}
+
+TEST(EcgSynth, PvcInjectionProducesLabelsAndPauses) {
+  Rng rng(5);
+  SynthConfig cfg = clean_config(300);
+  cfg.pvc_probability = 0.15;
+  const Record rec = synthesize_ecg(cfg, rng);
+  int pvc_count = 0;
+  for (std::size_t i = 0; i < rec.beats.size(); ++i) {
+    if (rec.beats[i].label != BeatClass::kPvc) continue;
+    ++pvc_count;
+    EXPECT_FALSE(rec.beats[i].p.valid());  // PVCs carry no P wave.
+    if (i > 0 && i + 1 < rec.beats.size()) {
+      const auto rr_before = rec.beats[i].r_peak - rec.beats[i - 1].r_peak;
+      const auto rr_after = rec.beats[i + 1].r_peak - rec.beats[i].r_peak;
+      EXPECT_GT(rr_after, rr_before);  // Compensatory pause.
+    }
+  }
+  EXPECT_GT(pvc_count, 10);
+}
+
+TEST(EcgSynth, ApcInjectionProducesEarlyBeats) {
+  Rng rng(6);
+  SynthConfig cfg = clean_config(300);
+  cfg.apc_probability = 0.12;
+  const Record rec = synthesize_ecg(cfg, rng);
+  int apc_count = 0;
+  for (std::size_t i = 1; i < rec.beats.size(); ++i) {
+    if (rec.beats[i].label != BeatClass::kApc) continue;
+    ++apc_count;
+    EXPECT_TRUE(rec.beats[i].p.valid());  // APCs keep a (displaced) P wave.
+  }
+  EXPECT_GT(apc_count, 8);
+}
+
+TEST(EcgSynth, AfEpisodeFlagsRecordAndRemovesPWaves) {
+  Rng rng(7);
+  SynthConfig cfg = clean_config();
+  cfg.episodes = {{RhythmEpisode::Kind::kSinus, 20}, {RhythmEpisode::Kind::kAfib, 40}};
+  const Record rec = synthesize_ecg(cfg, rng);
+  EXPECT_TRUE(rec.af_episode_present);
+  int af_beats = 0;
+  for (const auto& beat : rec.beats) {
+    if (beat.label == BeatClass::kAfib) {
+      ++af_beats;
+      EXPECT_FALSE(beat.p.valid());
+    }
+  }
+  EXPECT_EQ(af_beats, 40);
+}
+
+TEST(EcgSynth, NoiseRaisesOutOfBandPower) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  SynthConfig clean = clean_config(20);
+  SynthConfig noisy = clean;
+  noisy.noise = NoiseParams::preset(NoiseLevel::kSevere);
+  const Record rc = synthesize_ecg(clean, rng_a);
+  const Record rn = synthesize_ecg(noisy, rng_b);
+  const auto power = [](const std::vector<double>& x) {
+    double acc = 0.0;
+    for (double v : x) acc += v * v;
+    return acc / static_cast<double>(x.size());
+  };
+  EXPECT_GT(power(rn.leads[0]), 1.5 * power(rc.leads[0]));
+}
+
+TEST(EcgSynth, DeterministicGivenSeed) {
+  Rng a(9);
+  Rng b(9);
+  const Record ra = synthesize_ecg(clean_config(15), a);
+  const Record rb = synthesize_ecg(clean_config(15), b);
+  ASSERT_EQ(ra.num_samples(), rb.num_samples());
+  EXPECT_EQ(ra.leads[0], rb.leads[0]);
+  EXPECT_EQ(ra.beats.size(), rb.beats.size());
+}
+
+TEST(EcgSynth, LeadsAreCorrelatedButNotIdentical) {
+  Rng rng(10);
+  const Record rec = synthesize_ecg(clean_config(30), rng);
+  const auto& a = rec.leads[0];
+  const auto& b = rec.leads[1];
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double corr = dot / std::sqrt(na * nb);
+  EXPECT_GT(corr, 0.6);   // Same cardiac source.
+  EXPECT_LT(corr, 0.999); // Different projection.
+  EXPECT_NE(a, b);
+}
+
+TEST(EcgSynth, RrSeriesMatchesAnnotationSpacing) {
+  Rng rng(11);
+  const Record rec = synthesize_ecg(clean_config(50), rng);
+  const auto rr = rec.rr_intervals_s();
+  ASSERT_EQ(rr.size(), rec.beats.size() - 1);
+  for (double v : rr) {
+    EXPECT_GT(v, 0.3);
+    EXPECT_LT(v, 2.1);
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::sig

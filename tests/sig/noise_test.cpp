@@ -1,0 +1,170 @@
+#include "sig/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace wbsn::sig {
+namespace {
+
+constexpr double kFs = 250.0;
+
+double rms(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+/// Single-bin Goertzel power at frequency f (relative units).
+double tone_power(const std::vector<double>& x, double f, double fs) {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = 2.0 * std::numbers::pi * f * static_cast<double>(i) / fs;
+    re += x[i] * std::cos(w);
+    im += x[i] * std::sin(w);
+  }
+  return (re * re + im * im) / static_cast<double>(x.size() * x.size());
+}
+
+TEST(NoisePresets, NoneIsSilent) {
+  Rng rng(1);
+  const auto p = NoiseParams::preset(NoiseLevel::kNone);
+  const auto noise = gen_composite(p, 5000, kFs, rng);
+  EXPECT_EQ(rms(noise), 0.0);
+}
+
+TEST(NoisePresets, SeverityOrdering) {
+  const std::vector<NoiseLevel> levels = {NoiseLevel::kLow, NoiseLevel::kModerate,
+                                          NoiseLevel::kSevere};
+  double prev = 0.0;
+  for (NoiseLevel level : levels) {
+    Rng rng(2);
+    const auto noise = gen_composite(NoiseParams::preset(level), 20000, kFs, rng);
+    const double r = rms(noise);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(BaselineWander, EnergyConcentratedAtLowFrequency) {
+  Rng rng(3);
+  NoiseParams p;
+  p.baseline_wander_mv = 0.3;
+  const auto w = gen_baseline_wander(p, 50000, kFs, rng);
+  // Power near the breathing frequency dwarfs power at 10 Hz.
+  EXPECT_GT(tone_power(w, p.baseline_freq_hz, kFs), 100.0 * tone_power(w, 10.0, kFs));
+}
+
+TEST(BaselineWander, AmplitudeScalesWithParam) {
+  Rng rng_a(4);
+  Rng rng_b(4);
+  NoiseParams small;
+  small.baseline_wander_mv = 0.1;
+  NoiseParams big;
+  big.baseline_wander_mv = 0.4;
+  const auto ws = gen_baseline_wander(small, 20000, kFs, rng_a);
+  const auto wb = gen_baseline_wander(big, 20000, kFs, rng_b);
+  EXPECT_NEAR(rms(wb) / rms(ws), 4.0, 0.8);
+}
+
+TEST(Powerline, PeaksAtMainsFrequency) {
+  Rng rng(5);
+  NoiseParams p;
+  p.powerline_mv = 0.1;
+  const auto x = gen_powerline(p, 25000, kFs, rng);
+  const double at_mains = tone_power(x, 50.0, kFs);
+  EXPECT_GT(at_mains, 30.0 * tone_power(x, 30.0, kFs));
+  EXPECT_GT(at_mains, 30.0 * tone_power(x, 70.0, kFs));
+}
+
+TEST(Powerline, ContainsThirdHarmonic) {
+  Rng rng(6);
+  NoiseParams p;
+  p.powerline_mv = 0.1;
+  // 3rd harmonic of 50 Hz = 150 Hz aliases at 250 Hz sampling to 100 Hz.
+  const auto x = gen_powerline(p, 25000, kFs, rng);
+  EXPECT_GT(tone_power(x, 100.0, kFs), 5.0 * tone_power(x, 80.0, kFs));
+}
+
+TEST(Emg, MatchesRequestedRms) {
+  Rng rng(7);
+  NoiseParams p;
+  p.emg_rms_mv = 0.05;
+  const auto x = gen_emg(p, 30000, kFs, rng);
+  EXPECT_NEAR(rms(x), 0.05, 0.005);
+}
+
+TEST(Emg, IsHighPassShaped) {
+  Rng rng(8);
+  NoiseParams p;
+  p.emg_rms_mv = 0.05;
+  const auto x = gen_emg(p, 50000, kFs, rng);
+  // Average power in a high band exceeds a low band.
+  double low = 0.0;
+  double high = 0.0;
+  for (double f = 1.0; f <= 5.0; f += 1.0) low += tone_power(x, f, kFs);
+  for (double f = 60.0; f <= 64.0; f += 1.0) high += tone_power(x, f, kFs);
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(Motion, ZeroRateMeansNoArtifacts) {
+  Rng rng(9);
+  NoiseParams p;
+  p.motion_rate_hz = 0.0;
+  const auto x = gen_motion_artifacts(p, 10000, kFs, rng);
+  EXPECT_EQ(rms(x), 0.0);
+}
+
+TEST(Motion, ArtifactsAreSparseTransients) {
+  Rng rng(10);
+  NoiseParams p;
+  p.motion_rate_hz = 0.05;
+  p.motion_peak_mv = 1.0;
+  const auto x = gen_motion_artifacts(p, 250 * 600, kFs, rng);  // 10 minutes.
+  // Most samples are near zero (sparse), but peaks exist.
+  std::size_t quiet = 0;
+  double peak = 0.0;
+  for (double v : x) {
+    if (std::abs(v) < 0.01) ++quiet;
+    peak = std::max(peak, std::abs(v));
+  }
+  EXPECT_GT(static_cast<double>(quiet) / static_cast<double>(x.size()), 0.5);
+  EXPECT_GT(peak, 0.3);
+}
+
+TEST(White, MatchesRequestedRms) {
+  Rng rng(11);
+  NoiseParams p;
+  p.white_rms_mv = 0.02;
+  const auto x = gen_white(p, 50000, rng);
+  EXPECT_NEAR(rms(x), 0.02, 0.002);
+}
+
+TEST(Fibrillatory, EnergyInAtrialBand) {
+  Rng rng(12);
+  const auto x = gen_fibrillatory_waves(0.08, 50000, kFs, rng);
+  double atrial = 0.0;
+  double outside = 0.0;
+  for (double f = 4.0; f <= 9.0; f += 0.5) atrial += tone_power(x, f, kFs);
+  for (double f = 25.0; f <= 30.0; f += 0.5) outside += tone_power(x, f, kFs);
+  EXPECT_GT(atrial, 20.0 * outside);
+  EXPECT_NEAR(rms(x), 0.08 / std::sqrt(2.0), 0.04);
+}
+
+TEST(Composite, SumsAllComponents) {
+  Rng rng_a(13);
+  Rng rng_b(13);
+  NoiseParams p = NoiseParams::preset(NoiseLevel::kModerate);
+  const auto all = gen_composite(p, 20000, kFs, rng_a);
+  // Composite must carry at least the baseline wander energy generated from
+  // the same stream prefix.
+  const auto wander_only = gen_baseline_wander(p, 20000, kFs, rng_b);
+  EXPECT_GT(rms(all), 0.8 * rms(wander_only));
+}
+
+}  // namespace
+}  // namespace wbsn::sig

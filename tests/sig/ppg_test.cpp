@@ -1,0 +1,112 @@
+#include "sig/ppg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sig/ecg_synth.hpp"
+
+namespace wbsn::sig {
+namespace {
+
+Record make_ecg(int beats = 40, std::uint64_t seed = 1) {
+  SynthConfig cfg;
+  cfg.episodes = {{RhythmEpisode::Kind::kSinus, beats}};
+  cfg.noise = NoiseParams::preset(NoiseLevel::kNone);
+  Rng rng(seed);
+  return synthesize_ecg(cfg, rng);
+}
+
+TEST(BpTrajectory, FlatWithoutExcursion) {
+  BpTrajectory bp;
+  bp.baseline_mmhg = 92.0;
+  EXPECT_DOUBLE_EQ(bp.map_at(0.0), 92.0);
+  EXPECT_DOUBLE_EQ(bp.map_at(500.0), 92.0);
+}
+
+TEST(BpTrajectory, ExcursionPeaksMidWindow) {
+  BpTrajectory bp;
+  bp.baseline_mmhg = 90.0;
+  bp.excursion_mmhg = 20.0;
+  bp.excursion_t0_s = 100.0;
+  bp.excursion_len_s = 60.0;
+  EXPECT_DOUBLE_EQ(bp.map_at(99.0), 90.0);
+  EXPECT_NEAR(bp.map_at(130.0), 110.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bp.map_at(161.0), 90.0);
+}
+
+TEST(BpTrajectory, PwvIncreasesWithPressure) {
+  BpTrajectory bp;
+  EXPECT_GT(bp.pwv_for_map(120.0), bp.pwv_for_map(80.0));
+}
+
+TEST(PpgSynth, OnePulsePerBeat) {
+  const Record ecg = make_ecg(40);
+  Rng rng(2);
+  const PpgRecord ppg = synthesize_ppg(ecg, PpgConfig{}, BpTrajectory{}, rng);
+  // All beats except possibly the last (whose pulse may fall past the end)
+  // produce a pulse.
+  EXPECT_GE(ppg.truth.foot_samples.size(), ecg.beats.size() - 1);
+  EXPECT_EQ(ppg.samples.size(), ecg.num_samples());
+}
+
+TEST(PpgSynth, FootTrailsRPeakByPat) {
+  const Record ecg = make_ecg(30);
+  Rng rng(3);
+  PpgConfig cfg;
+  cfg.pre_ejection_s = 0.06;
+  BpTrajectory bp;  // Constant 90 mmHg -> constant PTT.
+  const PpgRecord ppg = synthesize_ppg(ecg, cfg, bp, rng);
+  const double expected_ptt = cfg.artery_length_m / bp.pwv_for_map(90.0);
+  for (std::size_t i = 0; i < ppg.truth.foot_samples.size(); ++i) {
+    const double pat =
+        static_cast<double>(ppg.truth.foot_samples[i] - ecg.beats[i].r_peak) / ppg.fs;
+    EXPECT_NEAR(pat, cfg.pre_ejection_s + expected_ptt, 0.01);
+  }
+}
+
+TEST(PpgSynth, TruthVectorsConsistent) {
+  const Record ecg = make_ecg(25);
+  Rng rng(4);
+  const PpgRecord ppg = synthesize_ppg(ecg, PpgConfig{}, BpTrajectory{}, rng);
+  const auto n = ppg.truth.foot_samples.size();
+  EXPECT_EQ(ppg.truth.ptt_s.size(), n);
+  EXPECT_EQ(ppg.truth.pwv_m_per_s.size(), n);
+  EXPECT_EQ(ppg.truth.map_mmhg.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ppg.truth.ptt_s[i] * ppg.truth.pwv_m_per_s[i], 0.65, 1e-9);
+  }
+}
+
+TEST(PpgSynth, HigherPressureShortensPtt) {
+  const Record ecg = make_ecg(60);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  BpTrajectory low;
+  low.baseline_mmhg = 80.0;
+  BpTrajectory high;
+  high.baseline_mmhg = 120.0;
+  const PpgRecord ppg_low = synthesize_ppg(ecg, PpgConfig{}, low, rng_a);
+  const PpgRecord ppg_high = synthesize_ppg(ecg, PpgConfig{}, high, rng_b);
+  EXPECT_GT(ppg_low.truth.ptt_s[5], ppg_high.truth.ptt_s[5]);
+}
+
+TEST(PpgSynth, PulseRisesAfterFoot) {
+  const Record ecg = make_ecg(20);
+  Rng rng(6);
+  PpgConfig cfg;
+  cfg.noise_rms = 0.0;
+  const PpgRecord ppg = synthesize_ppg(ecg, cfg, BpTrajectory{}, rng);
+  for (std::size_t i = 0; i + 1 < ppg.truth.foot_samples.size(); ++i) {
+    const auto foot = static_cast<std::size_t>(ppg.truth.foot_samples[i]);
+    const auto peak_region_end = std::min(ppg.samples.size() - 1, foot + 40);
+    const double at_foot = ppg.samples[foot];
+    const double peak = *std::max_element(ppg.samples.begin() + static_cast<long>(foot),
+                                          ppg.samples.begin() + static_cast<long>(peak_region_end));
+    EXPECT_GT(peak, at_foot + 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::sig
