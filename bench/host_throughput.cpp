@@ -1,0 +1,114 @@
+// Host-side reconstruction throughput: records/second versus worker-thread
+// count for a multi-patient batch of compressed ECG windows, plus a
+// bit-exactness check of every threaded run against the serial reference.
+//
+// Usage: host_throughput [patients] [beats_per_patient] [cr_percent]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "host/reconstruction_engine.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace {
+
+using namespace wbsn;
+
+std::vector<host::CompressedWindow> make_fleet_batch(int patients,
+                                                     int beats_per_patient,
+                                                     double cr_percent) {
+  std::vector<host::CompressedWindow> batch;
+  for (int p = 0; p < patients; ++p) {
+    sig::SynthConfig synth;
+    synth.num_leads = 1;
+    synth.episodes = {{p % 4 == 3 ? sig::RhythmEpisode::Kind::kAfib
+                                  : sig::RhythmEpisode::Kind::kSinus,
+                       beats_per_patient}};
+    synth.noise = sig::NoiseParams::preset(sig::NoiseLevel::kModerate);
+    synth.record_name = "patient-" + std::to_string(p);
+    sig::Rng rng(0x5EED0000ULL + static_cast<std::uint64_t>(p));
+    const auto record = synthesize_ecg(synth, rng);
+
+    host::RecordCompressionConfig compression;
+    compression.cr_percent = cr_percent;
+    auto windows = host::compress_record(record, static_cast<std::uint32_t>(p),
+                                         compression);
+    batch.insert(batch.end(), std::make_move_iterator(windows.begin()),
+                 std::make_move_iterator(windows.end()));
+  }
+  return batch;
+}
+
+bool identical_signals(const host::BatchResult& a, const host::BatchResult& b) {
+  if (a.windows.size() != b.windows.size()) return false;
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    const auto& x = a.windows[i].signal;
+    const auto& y = b.windows[i].signal;
+    if (x.size() != y.size()) return false;
+    if (!x.empty() &&
+        std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int patients = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int beats = argc > 2 ? std::atoi(argv[2]) : 24;
+  const double cr = argc > 3 ? std::atof(argv[3]) : 50.0;
+
+  std::printf("# host_throughput: %d patients x %d beats, CR %.0f%%\n",
+              patients, beats, cr);
+  const auto batch = make_fleet_batch(patients, beats, cr);
+  std::printf("# batch: %zu windows\n\n", batch.size());
+
+  // threads = worker-thread count; the submitting thread also helps drain,
+  // so threads=0 is the fully serial reference execution.
+  const int thread_sweep[] = {0, 1, 2, 4, 8};
+
+  host::BatchResult serial;
+  double serial_rps = 0.0;
+  bool all_identical = true;
+
+  std::printf("%-8s %-12s %-12s %-10s %-10s\n", "threads", "records/s",
+              "wall_s", "speedup", "mean_snr");
+  for (const int threads : thread_sweep) {
+    host::EngineConfig cfg;
+    cfg.threads = threads;
+    host::ReconstructionEngine engine(cfg);
+    auto result = engine.reconstruct(batch);
+
+    double snr_acc = 0.0;
+    for (const auto& p : result.patients) snr_acc += p.mean_snr_db;
+    const double mean_snr =
+        result.patients.empty()
+            ? 0.0
+            : snr_acc / static_cast<double>(result.patients.size());
+
+    if (threads == 0) {
+      serial_rps = result.records_per_second;
+      serial = std::move(result);
+      std::printf("%-8s %-12.1f %-12.3f %-10s %-10.2f\n", "serial",
+                  serial_rps, serial.wall_seconds, "1.00x", mean_snr);
+    } else {
+      const bool same = identical_signals(serial, result);
+      all_identical = all_identical && same;
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    result.records_per_second / serial_rps);
+      std::printf("%-8d %-12.1f %-12.3f %-10s %-10.2f%s\n", threads,
+                  result.records_per_second, result.wall_seconds, speedup,
+                  mean_snr, same ? "" : "  [MISMATCH vs serial]");
+    }
+  }
+
+  std::printf("\nbit-exactness vs serial: %s\n",
+              all_identical ? "PASS" : "FAIL");
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+# Shared compile options: an interface target every wbsn library and
+# executable links against, plus the opt-in sanitizer configuration.
+
+add_library(wbsn_compile_options INTERFACE)
+add_library(wbsn::options ALIAS wbsn_compile_options)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(wbsn_compile_options INTERFACE -Wall -Wextra)
+  if(WBSN_WERROR)
+    target_compile_options(wbsn_compile_options INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(wbsn_compile_options INTERFACE /W4)
+  if(WBSN_WERROR)
+    target_compile_options(wbsn_compile_options INTERFACE /WX)
+  endif()
+endif()
+
+if(WBSN_SANITIZE AND WBSN_TSAN)
+  message(FATAL_ERROR "WBSN_SANITIZE and WBSN_TSAN are mutually exclusive")
+endif()
+
+if(WBSN_SANITIZE OR WBSN_TSAN)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "Sanitizer builds require GCC or Clang")
+  endif()
+  if(WBSN_SANITIZE)
+    set(_wbsn_sanitizers address,undefined)
+  else()
+    set(_wbsn_sanitizers thread)
+  endif()
+  # Applied globally (not via the interface target) so the flags reach
+  # both the compile and the final link of every target, including
+  # fetched third-party test dependencies.
+  add_compile_options(-fsanitize=${_wbsn_sanitizers} -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_wbsn_sanitizers})
+endif()
+
+# Convenience function: create a wbsn static library for one src/ layer.
+#   wbsn_add_layer(<name> SOURCES ... DEPS ...)
+# exposes the target as both wbsn_<name> and wbsn::<name>, with the
+# repository-wide "src/ is the include root" convention.
+function(wbsn_add_layer name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(wbsn_${name} STATIC ${ARG_SOURCES})
+  add_library(wbsn::${name} ALIAS wbsn_${name})
+  target_include_directories(wbsn_${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(wbsn_${name} PRIVATE wbsn::options)
+  if(ARG_DEPS)
+    target_link_libraries(wbsn_${name} PUBLIC ${ARG_DEPS})
+  endif()
+endfunction()

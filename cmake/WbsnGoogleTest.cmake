@@ -1,0 +1,20 @@
+# GoogleTest via FetchContent, preferring a system install when one is
+# available (FIND_PACKAGE_ARGS, CMake >= 3.24) so offline/CI builds with a
+# cached or distro-packaged GTest never touch the network.
+
+include(FetchContent)
+
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+# For Windows: prevent overriding the parent project's runtime settings.
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/releases/download/v1.14.0/googletest-1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE
+  FIND_PACKAGE_ARGS NAMES GTest
+)
+FetchContent_MakeAvailable(googletest)
+
+include(GoogleTest)

@@ -11,6 +11,19 @@ std::size_t window_count(std::size_t total, std::size_t window) { return total /
 
 }  // namespace
 
+EncodedWindow encode_window(const SensingMatrix& phi, std::span<const double> window_mv,
+                            const sig::AdcConfig& adc, bool keep_reference,
+                            dsp::OpCount* ops) {
+  const auto counts = sig::quantize(window_mv, adc);
+  const auto y_int = phi.encode(counts, ops);
+  EncodedWindow out;
+  out.measurements.assign(y_int.begin(), y_int.end());
+  const double lsb = measurement_scale_mv(adc);
+  for (double& v : out.measurements) v *= lsb;
+  if (keep_reference) out.reference = sig::dequantize(counts, adc);
+  return out;
+}
+
 CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,
                                const CsPipelineConfig& cfg) {
   CsRunResult result;
@@ -25,20 +38,14 @@ CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,
   const std::size_t windows = window_count(lead.size(), n);
   for (std::size_t w = 0; w < windows; ++w) {
     const auto window_mv = lead.subspan(w * n, n);
-    // Node side: quantize and encode in integers.
-    const auto counts = sig::quantize(window_mv, cfg.adc);
-    const auto y_int = phi.encode(counts, &encode_ops);
-    result.measurement_count += y_int.size();
-
-    // Host side: reconstruct from the (dequantized-scale) measurements and
-    // compare against the quantized-then-dequantized reference — the best
-    // any lossless link could deliver.
-    std::vector<double> y(y_int.begin(), y_int.end());
-    const double lsb = cfg.adc.lsb_mv() / cfg.adc.gain;
-    for (double& v : y) v *= lsb;
-    const auto reference = sig::dequantize(counts, cfg.adc);
-    const auto recon = fista_reconstruct(phi, y, cfg.fista);
-    snr_acc += reconstruction_snr_db(reference, recon.signal);
+    // Node side: quantize and encode in integers; host side: reconstruct
+    // and score against the quantized-then-dequantized reference — the
+    // best any lossless link could deliver.
+    const auto encoded = encode_window(phi, window_mv, cfg.adc,
+                                       /*keep_reference=*/true, &encode_ops);
+    result.measurement_count += encoded.measurements.size();
+    const auto recon = fista_reconstruct(phi, encoded.measurements, cfg.fista);
+    snr_acc += reconstruction_snr_db(encoded.reference, recon.signal);
   }
   result.windows = windows;
   result.mean_snr_db = windows > 0 ? snr_acc / static_cast<double>(windows) : 0.0;
@@ -59,10 +66,9 @@ CsRunResult run_multi_lead_impl(const sig::Record& record, double cr_percent,
   // joint decoding pull ahead of lead-by-lead decoding.
   std::vector<SensingMatrix> phis;
   for (std::size_t l = 0; l < record.num_leads(); ++l) {
-    sig::Rng rng(cfg.matrix_seed + l);
+    sig::Rng rng(lead_matrix_seed(cfg.matrix_seed, l));
     phis.push_back(SensingMatrix::make_sparse_binary(m, n, cfg.ones_per_column, rng));
   }
-  const double lsb = cfg.adc.lsb_mv() / cfg.adc.gain;
 
   dsp::OpCount encode_ops;
   double snr_acc = 0.0;
@@ -75,13 +81,11 @@ CsRunResult run_multi_lead_impl(const sig::Record& record, double cr_percent,
       const auto& lead = record.leads[l];
       const auto window_mv =
           std::span<const double>(lead).subspan(w * n, n);
-      const auto counts = sig::quantize(window_mv, cfg.adc);
-      const auto y_int = phis[l].encode(counts, &encode_ops);
-      result.measurement_count += y_int.size();
-      std::vector<double> y(y_int.begin(), y_int.end());
-      for (double& v : y) v *= lsb;
-      ys.push_back(std::move(y));
-      references.push_back(sig::dequantize(counts, cfg.adc));
+      auto encoded = encode_window(phis[l], window_mv, cfg.adc,
+                                   /*keep_reference=*/true, &encode_ops);
+      result.measurement_count += encoded.measurements.size();
+      ys.push_back(std::move(encoded.measurements));
+      references.push_back(std::move(encoded.reference));
     }
 
     if (joint) {

@@ -31,6 +31,34 @@ struct CsRunResult {
   std::size_t measurement_count = 0;  ///< Total measurements produced.
 };
 
+/// Node-side encoding conventions shared by the Figure 5 pipeline and the
+/// host reconstruction engine (host/reconstruction_engine.hpp).  Keeping
+/// them in one place is what makes engine output comparable to the
+/// pipeline and keeps the node/host matrix-seed contract honest.
+
+/// Per-lead sensing-matrix seed: the node derives lead l's operator from
+/// the shared base seed.
+inline std::uint64_t lead_matrix_seed(std::uint64_t base_seed, std::size_t lead) {
+  return base_seed + lead;
+}
+
+/// Scale factor from integer measurements back to physical units (mV).
+inline double measurement_scale_mv(const sig::AdcConfig& adc) {
+  return adc.lsb_mv() / adc.gain;
+}
+
+/// One window quantized and encoded node-side: measurements already scaled
+/// to mV, plus (optionally) the quantized-then-dequantized window — the
+/// reference the best lossless link could deliver, used for SNR scoring.
+struct EncodedWindow {
+  std::vector<double> measurements;
+  std::vector<double> reference;
+};
+
+EncodedWindow encode_window(const SensingMatrix& phi, std::span<const double> window_mv,
+                            const sig::AdcConfig& adc, bool keep_reference = true,
+                            dsp::OpCount* ops = nullptr);
+
 /// Single-lead CS over `lead` (mV) at the given CR.
 CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,
                                const CsPipelineConfig& cfg = {});

@@ -1,0 +1,206 @@
+#include "host/reconstruction_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "cs/pipeline.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::host {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+ReconstructionEngine::ReconstructionEngine(EngineConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity) {
+  const int threads = std::max(0, cfg_.threads);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ReconstructionEngine::~ReconstructionEngine() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ReconstructionEngine::worker_loop() {
+  for (;;) {
+    std::size_t index;
+    if (queue_.try_pop(index)) {
+      process(index);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(work_mutex_);
+    work_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) || !queue_.empty_approx();
+    });
+    if (stop_.load(std::memory_order_acquire) && queue_.empty_approx()) return;
+  }
+}
+
+void ReconstructionEngine::prepare_matrices(std::span<const CompressedWindow> batch) {
+  for (const auto& window : batch) {
+    const MatrixKey key{window.matrix_seed, window.measurements.size(),
+                        window.window_samples, window.ones_per_column};
+    if (matrices_.contains(key)) continue;
+    sig::Rng rng(window.matrix_seed);
+    matrices_.emplace(
+        key, cs::SensingMatrix::make_sparse_binary(
+                 window.measurements.size(), window.window_samples,
+                 window.ones_per_column, rng));
+  }
+}
+
+void ReconstructionEngine::process(std::size_t index) {
+  const CompressedWindow& window = batch_[index];
+  WindowResult result;
+  result.patient_id = window.patient_id;
+  result.window_index = window.window_index;
+
+  const MatrixKey key{window.matrix_seed, window.measurements.size(),
+                      window.window_samples, window.ones_per_column};
+  const cs::SensingMatrix& phi = matrices_.at(key);
+
+  const auto t0 = Clock::now();
+  auto solved = cs::fista_reconstruct(phi, window.measurements, cfg_.fista);
+  result.latency_ms = ms_between(t0, Clock::now());
+  result.iterations = solved.iterations_run;
+  result.signal = std::move(solved.signal);
+  result.snr_db = window.reference.empty()
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : cs::reconstruction_snr_db(window.reference, result.signal);
+
+  (*results_)[index] = std::move(result);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+BatchResult ReconstructionEngine::reconstruct(std::span<const CompressedWindow> batch) {
+  std::lock_guard<std::mutex> batch_guard(batch_mutex_);
+
+  BatchResult out;
+  out.windows.assign(batch.size(), WindowResult{});
+  if (batch.empty()) return out;
+
+  prepare_matrices(batch);
+  batch_ = batch;
+  results_ = &out.windows;
+  remaining_.store(batch.size(), std::memory_order_release);
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    while (!queue_.try_push(i)) {
+      // Queue oversubscribed: apply backpressure by helping drain inline.
+      std::size_t index;
+      if (queue_.try_pop(index)) {
+        process(index);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    if (!workers_.empty()) {
+      {
+        std::lock_guard<std::mutex> lk(work_mutex_);
+      }
+      work_cv_.notify_one();
+    }
+  }
+
+  // The caller drains alongside the workers; with threads == 0 this is the
+  // entire (serial, reference) execution path.
+  std::size_t index;
+  while (queue_.try_pop(index)) process(index);
+
+  {
+    std::unique_lock<std::mutex> lk(done_mutex_);
+    done_cv_.wait(lk, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.records_per_second =
+      out.wall_seconds > 0.0
+          ? static_cast<double>(batch.size()) / out.wall_seconds
+          : 0.0;
+
+  // Safe to reset: remaining_ hit zero, so every process() call — each of
+  // which touches batch_/results_ strictly before its fetch_sub — is done.
+  batch_ = {};
+  results_ = nullptr;
+
+  // Serial aggregation in input order keeps the stats deterministic.
+  std::map<std::uint32_t, PatientStats> stats;
+  std::map<std::uint32_t, std::size_t> scored;
+  for (const auto& window : out.windows) {
+    auto& s = stats[window.patient_id];
+    s.patient_id = window.patient_id;
+    ++s.windows;
+    if (!std::isnan(window.snr_db)) {
+      s.mean_snr_db += window.snr_db;
+      ++scored[window.patient_id];
+    }
+    s.mean_latency_ms += window.latency_ms;
+    s.max_latency_ms = std::max(s.max_latency_ms, window.latency_ms);
+  }
+  out.patients.reserve(stats.size());
+  for (auto& [id, s] : stats) {
+    const std::size_t n_scored = scored[id];
+    s.mean_snr_db = n_scored > 0
+                        ? s.mean_snr_db / static_cast<double>(n_scored)
+                        : std::numeric_limits<double>::quiet_NaN();
+    s.mean_latency_ms /= static_cast<double>(s.windows);
+    out.patients.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<CompressedWindow> compress_record(const sig::Record& record,
+                                              std::uint32_t patient_id,
+                                              const RecordCompressionConfig& cfg) {
+  std::vector<CompressedWindow> out;
+  const std::size_t n = cfg.window_samples;
+  const std::size_t m = cs::rows_for_cr(cfg.cr_percent, n);
+
+  std::uint32_t window_index = 0;
+  for (std::size_t l = 0; l < record.num_leads(); ++l) {
+    const std::uint64_t seed = cs::lead_matrix_seed(cfg.matrix_seed, l);
+    sig::Rng rng(seed);
+    const auto phi = cs::SensingMatrix::make_sparse_binary(m, n, cfg.ones_per_column, rng);
+
+    const auto& lead = record.leads[l];
+    const std::size_t windows = lead.size() / n;
+    for (std::size_t w = 0; w < windows; ++w) {
+      const auto window_mv = std::span<const double>(lead).subspan(w * n, n);
+      auto encoded = cs::encode_window(phi, window_mv, cfg.adc, cfg.keep_reference);
+
+      CompressedWindow cw;
+      cw.patient_id = patient_id;
+      cw.window_index = window_index++;
+      cw.matrix_seed = seed;
+      cw.window_samples = static_cast<std::uint32_t>(n);
+      cw.ones_per_column = static_cast<std::uint32_t>(cfg.ones_per_column);
+      cw.measurements = std::move(encoded.measurements);
+      cw.reference = std::move(encoded.reference);
+      out.push_back(std::move(cw));
+    }
+  }
+  return out;
+}
+
+}  // namespace wbsn::host

@@ -1,0 +1,147 @@
+// Multi-patient host-side reconstruction engine.
+//
+// The node fleet only encodes (cs/sensing_matrix.hpp); every measurement
+// window lands on the host, which must run one FISTA solve per window.
+// At fleet scale the decoder — not the node — is the throughput
+// bottleneck, so this engine schedules batches of compressed windows from
+// many patients across a fixed pool of worker threads fed by a bounded
+// lock-free work queue (work_queue.hpp), and reports per-patient
+// SNR/latency statistics.
+//
+// Determinism contract: for a given batch and FistaConfig, the
+// reconstructed signals are bit-identical regardless of thread count or
+// queue capacity.  Work items are independent (one window, one read-only
+// sensing matrix), results are written to a preallocated slot per item,
+// and all aggregation happens serially after the batch barrier.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cs/fista.hpp"
+#include "cs/sensing_matrix.hpp"
+#include "host/work_queue.hpp"
+#include "sig/adc.hpp"
+#include "sig/types.hpp"
+
+namespace wbsn::host {
+
+/// One measurement window as it arrives from a node: the measurements plus
+/// the metadata needed to rebuild the (seeded) sensing operator host-side.
+struct CompressedWindow {
+  std::uint32_t patient_id = 0;
+  std::uint32_t window_index = 0;       ///< Per-patient sequence number.
+  std::uint64_t matrix_seed = 0;        ///< Seed shared with the node.
+  std::uint32_t window_samples = 0;     ///< n (columns of Phi).
+  std::uint32_t ones_per_column = 4;    ///< Sparse-binary density d.
+  std::vector<double> measurements;     ///< y, already scaled to mV.
+  /// Optional ground truth (test/bench only; empty in production) for SNR.
+  std::vector<double> reference;
+};
+
+/// Reconstruction output for one window.
+struct WindowResult {
+  std::uint32_t patient_id = 0;
+  std::uint32_t window_index = 0;
+  std::vector<double> signal;     ///< Reconstructed time-domain window.
+  double snr_db = 0.0;            ///< NaN when no reference was attached.
+  int iterations = 0;
+  double latency_ms = 0.0;        ///< Solve wall time (excludes queue wait).
+};
+
+/// Per-patient aggregate over one batch.
+struct PatientStats {
+  std::uint32_t patient_id = 0;
+  std::size_t windows = 0;
+  double mean_snr_db = 0.0;       ///< Over windows with a reference (NaN if none).
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+struct BatchResult {
+  std::vector<WindowResult> windows;    ///< Same order as the input batch.
+  std::vector<PatientStats> patients;   ///< Sorted by patient_id.
+  double wall_seconds = 0.0;            ///< Batch wall time, submit to drain.
+  double records_per_second = 0.0;      ///< windows.size() / wall_seconds.
+};
+
+struct EngineConfig {
+  /// Worker threads.  0 = solve in the calling thread (serial reference
+  /// mode); N >= 1 spawns N persistent workers (the caller also helps
+  /// drain the queue, so total parallelism is N + 1).
+  int threads = 0;
+  std::size_t queue_capacity = 1024;
+  cs::FistaConfig fista{};
+};
+
+class ReconstructionEngine {
+ public:
+  explicit ReconstructionEngine(EngineConfig cfg = {});
+  ~ReconstructionEngine();
+
+  ReconstructionEngine(const ReconstructionEngine&) = delete;
+  ReconstructionEngine& operator=(const ReconstructionEngine&) = delete;
+
+  /// Reconstructs every window in the batch and blocks until done.
+  /// Not reentrant: one batch at a time (guarded internally).
+  BatchResult reconstruct(std::span<const CompressedWindow> batch);
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+  void process(std::size_t index);
+  /// Builds/reuses the sensing matrices the batch needs (serial, so the
+  /// per-batch matrix set is deterministic and read-only once workers run).
+  void prepare_matrices(std::span<const CompressedWindow> batch);
+
+  EngineConfig cfg_;
+  BoundedWorkQueue<std::size_t> queue_;
+  std::vector<std::thread> workers_;
+
+  // Cache of seeded sensing operators, shared across batches.  Keyed by
+  // (seed, m, n, d); std::map keeps node pointers stable while workers read.
+  using MatrixKey = std::tuple<std::uint64_t, std::size_t, std::size_t, std::size_t>;
+  std::map<MatrixKey, cs::SensingMatrix> matrices_;
+
+  std::mutex batch_mutex_;              ///< Serializes reconstruct() calls.
+  std::span<const CompressedWindow> batch_{};
+  std::vector<WindowResult>* results_ = nullptr;
+
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;     ///< Workers sleep here between items.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;     ///< reconstruct() waits for the drain.
+  /// Items left in the current batch.  A countdown (not done/total) so the
+  /// last worker detects completion from its own fetch_sub return value
+  /// alone — it never reads a field the main thread later resets, which
+  /// would race once the batch barrier has been passed.
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// Node-side compression of a whole multi-lead record into engine work
+/// items: quantize -> sparse-binary encode -> scale measurements to mV.
+/// Mirrors cs/pipeline.cpp so engine output is comparable to the Figure 5
+/// pipeline.  Windows are emitted lead-major, window_index increasing.
+struct RecordCompressionConfig {
+  double cr_percent = 50.0;
+  std::size_t window_samples = 512;
+  std::size_t ones_per_column = 4;
+  std::uint64_t matrix_seed = 0xC0FFEE;
+  sig::AdcConfig adc{};
+  /// Attach the quantized-then-dequantized window as SNR reference.
+  bool keep_reference = true;
+};
+
+std::vector<CompressedWindow> compress_record(const sig::Record& record,
+                                              std::uint32_t patient_id,
+                                              const RecordCompressionConfig& cfg = {});
+
+}  // namespace wbsn::host

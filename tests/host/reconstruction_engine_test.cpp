@@ -1,0 +1,190 @@
+#include "host/reconstruction_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "cs/sensing_matrix.hpp"
+#include "host/work_queue.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::host {
+namespace {
+
+// Small, fast workload: short windows and a truncated solver so the full
+// thread-count sweep stays cheap in Debug/ASan CI jobs.
+RecordCompressionConfig fast_compression() {
+  RecordCompressionConfig cfg;
+  cfg.window_samples = 128;
+  cfg.cr_percent = 50.0;
+  return cfg;
+}
+
+EngineConfig fast_engine(int threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.fista.max_iterations = 40;
+  cfg.fista.debias_iterations = 10;
+  return cfg;
+}
+
+sig::Record make_record(std::uint64_t seed, int beats) {
+  sig::SynthConfig synth;
+  synth.num_leads = 2;
+  synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats}};
+  sig::Rng rng(seed);
+  return synthesize_ecg(synth, rng);
+}
+
+std::vector<CompressedWindow> two_patient_batch() {
+  auto batch = compress_record(make_record(11, 8), /*patient_id=*/1,
+                               fast_compression());
+  auto more = compress_record(make_record(22, 8), /*patient_id=*/2,
+                              fast_compression());
+  batch.insert(batch.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+  return batch;
+}
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(WorkQueue, FifoSingleThreaded) {
+  BoundedWorkQueue<std::size_t> q(8);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(WorkQueue, ReportsFullAndRoundsCapacityUp) {
+  BoundedWorkQueue<int> q(3);  // Rounds up to 4.
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_TRUE(q.try_push(99));  // Slot freed.
+}
+
+TEST(CompressRecord, EmitsOneItemPerFullWindowPerLead) {
+  const auto record = make_record(7, 10);
+  const auto cfg = fast_compression();
+  const auto batch = compress_record(record, 42, cfg);
+
+  const std::size_t per_lead = record.num_samples() / cfg.window_samples;
+  ASSERT_EQ(batch.size(), per_lead * record.num_leads());
+
+  const std::size_t m = cs::rows_for_cr(cfg.cr_percent, cfg.window_samples);
+  std::set<std::uint32_t> indices;
+  for (const auto& w : batch) {
+    EXPECT_EQ(w.patient_id, 42u);
+    EXPECT_EQ(w.window_samples, cfg.window_samples);
+    EXPECT_EQ(w.measurements.size(), m);
+    EXPECT_EQ(w.reference.size(), cfg.window_samples);
+    indices.insert(w.window_index);
+  }
+  EXPECT_EQ(indices.size(), batch.size()) << "window_index must be unique";
+}
+
+TEST(ReconstructionEngine, EmptyBatch) {
+  ReconstructionEngine engine(fast_engine(2));
+  const auto result = engine.reconstruct({});
+  EXPECT_TRUE(result.windows.empty());
+  EXPECT_TRUE(result.patients.empty());
+  EXPECT_EQ(result.records_per_second, 0.0);
+}
+
+TEST(ReconstructionEngine, BitIdenticalAcrossThreadCounts) {
+  const auto batch = two_patient_batch();
+
+  ReconstructionEngine serial(fast_engine(0));
+  const auto reference = serial.reconstruct(batch);
+  ASSERT_EQ(reference.windows.size(), batch.size());
+
+  for (const int threads : {1, 3}) {
+    ReconstructionEngine engine(fast_engine(threads));
+    const auto result = engine.reconstruct(batch);
+    ASSERT_EQ(result.windows.size(), reference.windows.size());
+    for (std::size_t i = 0; i < result.windows.size(); ++i) {
+      EXPECT_TRUE(bit_identical(result.windows[i].signal,
+                                reference.windows[i].signal))
+          << "window " << i << " differs at threads=" << threads;
+      EXPECT_EQ(result.windows[i].iterations, reference.windows[i].iterations);
+      EXPECT_EQ(result.windows[i].snr_db, reference.windows[i].snr_db);
+    }
+  }
+}
+
+TEST(ReconstructionEngine, OversubscribedQueueStillCompletes) {
+  auto cfg = fast_engine(2);
+  cfg.queue_capacity = 2;  // Far smaller than the batch: forces backpressure.
+  ReconstructionEngine engine(cfg);
+
+  const auto batch = two_patient_batch();
+  ASSERT_GT(batch.size(), engine.thread_count() * 4u);
+  const auto result = engine.reconstruct(batch);
+
+  ASSERT_EQ(result.windows.size(), batch.size());
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    EXPECT_EQ(result.windows[i].signal.size(), batch[i].window_samples)
+        << "window " << i << " was dropped or truncated";
+  }
+}
+
+TEST(ReconstructionEngine, PerPatientStats) {
+  const auto batch = two_patient_batch();
+  ReconstructionEngine engine(fast_engine(2));
+  const auto result = engine.reconstruct(batch);
+
+  ASSERT_EQ(result.patients.size(), 2u);
+  EXPECT_EQ(result.patients[0].patient_id, 1u);
+  EXPECT_EQ(result.patients[1].patient_id, 2u);
+  std::size_t total = 0;
+  for (const auto& p : result.patients) {
+    total += p.windows;
+    EXPECT_TRUE(std::isfinite(p.mean_snr_db));
+    EXPECT_GT(p.mean_snr_db, 0.0) << "reconstruction should beat 0 dB";
+    EXPECT_GE(p.max_latency_ms, p.mean_latency_ms * 0.999);
+    EXPECT_GT(p.mean_latency_ms, 0.0);
+  }
+  EXPECT_EQ(total, batch.size());
+  EXPECT_GT(result.records_per_second, 0.0);
+}
+
+TEST(ReconstructionEngine, NoReferenceMeansNanSnr) {
+  auto cfg = fast_compression();
+  cfg.keep_reference = false;
+  const auto batch = compress_record(make_record(5, 6), 9, cfg);
+  ASSERT_FALSE(batch.empty());
+
+  ReconstructionEngine engine(fast_engine(1));
+  const auto result = engine.reconstruct(batch);
+  for (const auto& w : result.windows) EXPECT_TRUE(std::isnan(w.snr_db));
+  ASSERT_EQ(result.patients.size(), 1u);
+  EXPECT_TRUE(std::isnan(result.patients[0].mean_snr_db));
+}
+
+TEST(ReconstructionEngine, ReusableAcrossBatches) {
+  ReconstructionEngine engine(fast_engine(2));
+  const auto batch = two_patient_batch();
+  const auto first = engine.reconstruct(batch);
+  const auto second = engine.reconstruct(batch);  // Matrix cache hit path.
+  ASSERT_EQ(first.windows.size(), second.windows.size());
+  for (std::size_t i = 0; i < first.windows.size(); ++i) {
+    EXPECT_TRUE(
+        bit_identical(first.windows[i].signal, second.windows[i].signal));
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::host
