@@ -1,14 +1,33 @@
-// Host-side reconstruction throughput: records/second versus worker-thread
-// count for a multi-patient batch of compressed ECG windows, plus a
-// bit-exactness check of every threaded run against the serial reference.
+// Host-side reconstruction throughput, two modes:
+//
+//  * Batch sweep (default): records/second versus worker-thread count for
+//    a multi-patient batch, plus a bit-exactness check of every threaded
+//    run against the serial reference.
+//  * Streaming (--poisson RATE_HZ): drives the submit/poll interface with
+//    Poisson arrivals at RATE_HZ windows/second — the live-fleet shape —
+//    and reports the engine's SLO statistics (p50/p95/p99 enqueue->
+//    complete latency, throughput, in-flight depth, deadline violations,
+//    shed windows) plus the same bit-exactness check.
 //
 // Usage: host_throughput [patients] [beats_per_patient] [cr_percent]
+//                        [--poisson RATE_HZ] [--threads N] [--deadline-ms D]
+//
+// In streaming mode the per-window deadline defaults to the real-time
+// window period (cs::window_period_ms): the decoder keeps up with live
+// traffic iff every window finishes before the patient's next one lands.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "cs/pipeline.hpp"
 #include "host/reconstruction_engine.hpp"
 #include "sig/ecg_synth.hpp"
 #include "sig/rng.hpp"
@@ -16,6 +35,7 @@
 namespace {
 
 using namespace wbsn;
+using Clock = std::chrono::steady_clock;
 
 std::vector<host::CompressedWindow> make_fleet_batch(int patients,
                                                      int beats_per_patient,
@@ -56,18 +76,7 @@ bool identical_signals(const host::BatchResult& a, const host::BatchResult& b) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const int patients = argc > 1 ? std::atoi(argv[1]) : 16;
-  const int beats = argc > 2 ? std::atoi(argv[2]) : 24;
-  const double cr = argc > 3 ? std::atof(argv[3]) : 50.0;
-
-  std::printf("# host_throughput: %d patients x %d beats, CR %.0f%%\n",
-              patients, beats, cr);
-  const auto batch = make_fleet_batch(patients, beats, cr);
-  std::printf("# batch: %zu windows\n\n", batch.size());
-
+int run_batch_sweep(const std::vector<host::CompressedWindow>& batch) {
   // threads = worker-thread count; the submitting thread also helps drain,
   // so threads=0 is the fully serial reference execution.
   const int thread_sweep[] = {0, 1, 2, 4, 8};
@@ -111,4 +120,142 @@ int main(int argc, char** argv) {
   std::printf("\nbit-exactness vs serial: %s\n",
               all_identical ? "PASS" : "FAIL");
   return all_identical ? 0 : 1;
+}
+
+int run_streaming(const std::vector<host::CompressedWindow>& batch,
+                  double rate_hz, int threads, double deadline_ms) {
+  // Serial batch reference for the bit-exactness check.
+  host::EngineConfig serial_cfg;
+  host::ReconstructionEngine serial(serial_cfg);
+  const auto reference = serial.reconstruct(batch);
+
+  // Deterministically shuffled arrival order: patients interleave.
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  sig::Rng rng(0xA551A55ULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng.uniform_int(
+                                0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  host::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.slo.deadline_ms = deadline_ms;
+  host::ReconstructionEngine engine(cfg);
+
+  std::printf("streaming: %zu windows, Poisson %.1f/s, %d worker thread%s, "
+              "deadline %.1f ms\n",
+              batch.size(), rate_hz, threads, threads == 1 ? "" : "s",
+              deadline_ms);
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> streamed;
+  std::size_t shed = 0;
+  const auto t0 = Clock::now();
+  double next_arrival_s = 0.0;
+  for (const std::size_t i : order) {
+    // Exponential inter-arrival times make the submissions Poisson.
+    next_arrival_s += -std::log(1.0 - rng.uniform()) / rate_hz;
+    const auto arrival = t0 + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(next_arrival_s));
+    while (Clock::now() < arrival) {
+      if (auto result = engine.poll()) {
+        streamed.emplace(std::make_pair(result->patient_id, result->window_index),
+                         std::move(result->signal));
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    host::CompressedWindow copy = batch[i];
+    if (!engine.try_submit(std::move(copy))) ++shed;  // Overload: window dropped.
+  }
+  for (auto&& result : engine.drain()) {
+    streamed.emplace(std::make_pair(result.patient_id, result.window_index),
+                     std::move(result.signal));
+  }
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const auto snap = engine.slo().snapshot();
+  std::printf("\n%-24s %12s\n", "metric", "value");
+  std::printf("%-24s %12zu\n", "windows submitted", static_cast<std::size_t>(snap.submitted));
+  std::printf("%-24s %12zu\n", "windows completed", static_cast<std::size_t>(snap.completed));
+  std::printf("%-24s %12zu\n", "windows shed", shed);
+  std::printf("%-24s %12.1f\n", "throughput (win/s)", snap.throughput_per_s);
+  std::printf("%-24s %12.2f\n", "latency p50 (ms)", snap.p50_ms);
+  std::printf("%-24s %12.2f\n", "latency p95 (ms)", snap.p95_ms);
+  std::printf("%-24s %12.2f\n", "latency p99 (ms)", snap.p99_ms);
+  std::printf("%-24s %12.2f\n", "latency max (ms)", snap.max_ms);
+  std::printf("%-24s %12.2f\n", "latency mean (ms)", snap.mean_ms);
+  std::printf("%-24s %12zu\n", "deadline violations",
+              static_cast<std::size_t>(snap.deadline_violations));
+  std::printf("%-24s %12zu\n", "max in-flight", static_cast<std::size_t>(snap.max_in_flight));
+  std::printf("%-24s %12.2f\n", "wall time (s)", wall_s);
+
+  // Every non-shed window must match the serial batch reference bit for bit.
+  bool all_identical = streamed.size() + shed == batch.size();
+  std::size_t compared = 0;
+  for (const auto& expected : reference.windows) {
+    const auto found =
+        streamed.find(std::make_pair(expected.patient_id, expected.window_index));
+    if (found == streamed.end()) continue;  // Shed under overload.
+    ++compared;
+    if (found->second.size() != expected.signal.size() ||
+        (!expected.signal.empty() &&
+         std::memcmp(found->second.data(), expected.signal.data(),
+                     expected.signal.size() * sizeof(double)) != 0)) {
+      all_identical = false;
+    }
+  }
+  all_identical = all_identical && compared == streamed.size();
+
+  std::printf("\nbit-exactness vs serial (%zu windows): %s\n", compared,
+              all_identical ? "PASS" : "FAIL");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* positional[3] = {"16", "24", "50"};
+  int n_positional = 0;
+  double poisson_hz = 0.0;
+  int threads = 4;
+  double deadline_ms = -1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool is_flag = arg == "--poisson" || arg == "--threads" || arg == "--deadline-ms";
+    if (is_flag && i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+      return 2;
+    }
+    if (arg == "--poisson") {
+      poisson_hz = std::atof(argv[++i]);
+    } else if (arg == "--threads") {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (n_positional < 3) {
+      positional[n_positional++] = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const int patients = std::atoi(positional[0]);
+  const int beats = std::atoi(positional[1]);
+  const double cr = std::atof(positional[2]);
+
+  std::printf("# host_throughput: %d patients x %d beats, CR %.0f%%\n",
+              patients, beats, cr);
+  const auto batch = make_fleet_batch(patients, beats, cr);
+  std::printf("# batch: %zu windows\n\n", batch.size());
+  if (batch.empty()) return 0;
+
+  if (poisson_hz > 0.0) {
+    if (deadline_ms < 0.0) {
+      deadline_ms = cs::window_period_ms(batch.front().window_samples);
+    }
+    return run_streaming(batch, poisson_hz, std::max(0, threads), deadline_ms);
+  }
+  return run_batch_sweep(batch);
 }

@@ -1,0 +1,21 @@
+# google-benchmark via FetchContent, preferring a system install when one
+# is available (FIND_PACKAGE_ARGS, CMake >= 3.24) so offline/CI builds with
+# a cached or distro-packaged benchmark never touch the network — the same
+# scheme as WbsnGoogleTest.cmake.  This makes bench/micro_kernels a
+# first-class target instead of a silently skipped soft dependency.
+
+include(FetchContent)
+
+set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+set(BENCHMARK_INSTALL_DOCS OFF CACHE BOOL "" FORCE)
+
+FetchContent_Declare(
+  benchmark
+  URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+  URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE
+  FIND_PACKAGE_ARGS NAMES benchmark
+)
+FetchContent_MakeAvailable(benchmark)

@@ -47,6 +47,15 @@ inline double measurement_scale_mv(const sig::AdcConfig& adc) {
   return adc.lsb_mv() / adc.gain;
 }
 
+/// Real-time arrival period of one window: a node sampling at `fs_hz`
+/// emits a compressed window every `window_samples / fs_hz` seconds, so
+/// this is both the mean inter-arrival time of live traffic and the
+/// natural per-window latency deadline — the decoder keeps up with a
+/// patient iff it reconstructs each window before the next one lands.
+inline double window_period_ms(std::size_t window_samples, double fs_hz = sig::kDefaultFs) {
+  return 1000.0 * static_cast<double>(window_samples) / fs_hz;
+}
+
 /// One window quantized and encoded node-side: measurements already scaled
 /// to mV, plus (optionally) the quantized-then-dequantized window — the
 /// reference the best lossless link could deliver, used for SNR scoring.

@@ -19,7 +19,8 @@ SensingMatrix SensingMatrix::make_sparse_binary(std::size_t m, std::size_t n,
     // overkill at these sizes; rejection is fine for d << m).
     std::size_t placed = 0;
     while (placed < ones_per_column) {
-      const auto r = static_cast<std::uint16_t>(rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+      const auto r =
+          static_cast<std::uint16_t>(rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
       if (std::find(rows.begin(), rows.begin() + static_cast<long>(placed), r) !=
           rows.begin() + static_cast<long>(placed)) {
         continue;

@@ -13,7 +13,8 @@ PiecewiseGauss::PiecewiseGauss(int segments, double zmax)
   }
   slopes_.reserve(static_cast<std::size_t>(segments));
   for (int i = 0; i < segments; ++i) {
-    slopes_.push_back((values_[static_cast<std::size_t>(i) + 1] - values_[static_cast<std::size_t>(i)]) / step_);
+    slopes_.push_back(
+        (values_[static_cast<std::size_t>(i) + 1] - values_[static_cast<std::size_t>(i)]) / step_);
   }
 }
 

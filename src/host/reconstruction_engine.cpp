@@ -1,9 +1,12 @@
 #include "host/reconstruction_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "cs/pipeline.hpp"
 #include "sig/rng.hpp"
@@ -20,7 +23,7 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 ReconstructionEngine::ReconstructionEngine(EngineConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity) {
+    : cfg_(cfg), queue_(cfg.queue_capacity), slo_(cfg.slo) {
   const int threads = std::max(0, cfg_.threads);
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -35,13 +38,17 @@ ReconstructionEngine::~ReconstructionEngine() {
   }
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  // Unsolved items still queued are abandoned with the engine (workers are
+  // gone); unretrieved results in done_ free themselves.
+  WorkItem* item = nullptr;
+  while (queue_.try_pop(item)) delete item;
 }
 
 void ReconstructionEngine::worker_loop() {
   for (;;) {
-    std::size_t index;
-    if (queue_.try_pop(index)) {
-      process(index);
+    WorkItem* item = nullptr;
+    if (queue_.try_pop(item)) {
+      process(item);
       continue;
     }
     std::unique_lock<std::mutex> lk(work_mutex_);
@@ -52,42 +59,147 @@ void ReconstructionEngine::worker_loop() {
   }
 }
 
-void ReconstructionEngine::prepare_matrices(std::span<const CompressedWindow> batch) {
-  for (const auto& window : batch) {
-    const MatrixKey key{window.matrix_seed, window.measurements.size(),
-                        window.window_samples, window.ones_per_column};
-    if (matrices_.contains(key)) continue;
-    sig::Rng rng(window.matrix_seed);
-    matrices_.emplace(
-        key, cs::SensingMatrix::make_sparse_binary(
-                 window.measurements.size(), window.window_samples,
-                 window.ones_per_column, rng));
+const cs::SensingMatrix* ReconstructionEngine::prepare_matrix(const CompressedWindow& window) {
+  const MatrixKey key{window.matrix_seed, window.measurements.size(), window.window_samples,
+                      window.ones_per_column};
+  {
+    std::lock_guard<std::mutex> lk(matrices_mutex_);
+    const auto found = matrices_.find(key);
+    if (found != matrices_.end()) return &found->second;
   }
+  // Cache miss: build outside the lock so concurrent submitters (even pure
+  // cache hits) never stall behind a construction.  Two racing misses both
+  // build; emplace keeps the first and the duplicate — bit-identical, it
+  // is a pure function of the key — is discarded.
+  sig::Rng rng(window.matrix_seed);
+  auto built = cs::SensingMatrix::make_sparse_binary(
+      window.measurements.size(), window.window_samples, window.ones_per_column, rng);
+  std::lock_guard<std::mutex> lk(matrices_mutex_);
+  const auto [it, inserted] = matrices_.emplace(key, std::move(built));
+  return &it->second;
 }
 
-void ReconstructionEngine::process(std::size_t index) {
-  const CompressedWindow& window = batch_[index];
+void ReconstructionEngine::process(WorkItem* item) {
+  const CompressedWindow& window = item->window;
   WindowResult result;
   result.patient_id = window.patient_id;
   result.window_index = window.window_index;
-
-  const MatrixKey key{window.matrix_seed, window.measurements.size(),
-                      window.window_samples, window.ones_per_column};
-  const cs::SensingMatrix& phi = matrices_.at(key);
+  result.ticket = item->ticket;
 
   const auto t0 = Clock::now();
-  auto solved = cs::fista_reconstruct(phi, window.measurements, cfg_.fista);
-  result.latency_ms = ms_between(t0, Clock::now());
+  auto solved = cs::fista_reconstruct(*item->phi, window.measurements, cfg_.fista);
+  const auto t1 = Clock::now();
+  result.latency_ms = ms_between(t0, t1);
+  result.e2e_ms = ms_between(item->enqueue_time, t1);
   result.iterations = solved.iterations_run;
   result.signal = std::move(solved.signal);
   result.snr_db = window.reference.empty()
                       ? std::numeric_limits<double>::quiet_NaN()
                       : cs::reconstruction_snr_db(window.reference, result.signal);
 
-  (*results_)[index] = std::move(result);
-  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  slo_.on_complete(result.e2e_ms);
+  delete item;
+  {
     std::lock_guard<std::mutex> lk(done_mutex_);
-    done_cv_.notify_all();
+    done_.push_back(std::move(result));
+  }
+  // Publish the result strictly before the slot release: any thread that
+  // observes in_flight_ == 0 (acquire) is guaranteed to find every result
+  // already in done_.
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  done_cv_.notify_all();
+}
+
+std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&& window) {
+  // Reserve an in-flight slot first; this is the only admission gate.
+  std::size_t current = in_flight_.load(std::memory_order_acquire);
+  do {
+    if (current >= in_flight_capacity()) return std::nullopt;
+  } while (!in_flight_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel,
+                                             std::memory_order_acquire));
+
+  auto item = std::make_unique<WorkItem>();
+  item->phi = prepare_matrix(window);
+  item->window = std::move(window);
+  item->ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  item->enqueue_time = Clock::now();
+  const std::uint64_t ticket = item->ticket;
+
+  slo_.on_submit();
+  const bool pushed = queue_.try_push(item.release());
+  assert(pushed);  // Guaranteed by the slot reservation above.
+  (void)pushed;
+
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(work_mutex_);
+    }
+    work_cv_.notify_one();
+  }
+  return ticket;
+}
+
+std::uint64_t ReconstructionEngine::submit(CompressedWindow window) {
+  for (;;) {
+    if (auto ticket = try_submit(std::move(window))) return *ticket;
+    // At capacity.  Serial mode: make room by solving one window inline.
+    // Threaded mode: wait for a worker to complete one (wait_for rather
+    // than wait so a slot freed between the failed try_submit and the
+    // sleep cannot strand us).
+    if (workers_.empty() && help_one()) continue;
+    std::unique_lock<std::mutex> lk(done_mutex_);
+    done_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+      return in_flight_.load(std::memory_order_acquire) < in_flight_capacity();
+    });
+  }
+}
+
+bool ReconstructionEngine::help_one() {
+  WorkItem* item = nullptr;
+  if (!queue_.try_pop(item)) return false;
+  process(item);
+  return true;
+}
+
+std::optional<WindowResult> ReconstructionEngine::poll() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(done_mutex_);
+      if (!done_.empty()) {
+        std::optional<WindowResult> result{std::move(done_.front())};
+        done_.pop_front();
+        slo_.on_retrieve();
+        return result;
+      }
+    }
+    // Serial reference mode: the calling thread is the solver.  Loop (not
+    // recurse) because a concurrent poller may steal the result we solved.
+    if (workers_.empty() && help_one()) continue;
+    return std::nullopt;
+  }
+}
+
+std::vector<WindowResult> ReconstructionEngine::drain() {
+  std::vector<WindowResult> out;
+  for (;;) {
+    while (auto result = poll()) out.push_back(std::move(*result));
+    if (in_flight_.load(std::memory_order_acquire) == 0) {
+      // Everything solved, and every result was published to done_ before
+      // its slot release — but possibly after our poll() loop saw done_
+      // empty, so sweep once more.
+      while (auto result = poll()) out.push_back(std::move(*result));
+      return out;
+    }
+    if (workers_.empty()) {
+      // poll() keeps solving inline; yield covers the corner where another
+      // thread is mid-solve and the queues are momentarily empty.
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(done_mutex_);
+    done_cv_.wait(lk, [this] {
+      return in_flight_.load(std::memory_order_acquire) == 0 || !done_.empty();
+    });
   }
 }
 
@@ -98,51 +210,42 @@ BatchResult ReconstructionEngine::reconstruct(std::span<const CompressedWindow> 
   out.windows.assign(batch.size(), WindowResult{});
   if (batch.empty()) return out;
 
-  prepare_matrices(batch);
-  batch_ = batch;
-  results_ = &out.windows;
-  remaining_.store(batch.size(), std::memory_order_release);
+  // Ticket -> batch position, so completion-order results can be put back
+  // in input order.  Tickets are engine-global, not batch-local, so the
+  // wrapper records its own mapping as it submits.  A ticket not in the
+  // map is a leftover from streaming submissions the caller never polled;
+  // the wrapper discards it rather than corrupting the batch output.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  slot_of.reserve(batch.size());
+  const auto place = [&](WindowResult&& result) {
+    const auto found = slot_of.find(result.ticket);
+    if (found == slot_of.end()) return;
+    out.windows[found->second] = std::move(result);
+  };
 
   const auto t0 = Clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    while (!queue_.try_push(i)) {
-      // Queue oversubscribed: apply backpressure by helping drain inline.
-      std::size_t index;
-      if (queue_.try_pop(index)) {
-        process(index);
+    CompressedWindow copy = batch[i];
+    for (;;) {
+      if (auto ticket = try_submit(std::move(copy))) {
+        slot_of.emplace(*ticket, i);
+        break;
+      }
+      // Backpressure: retrieve (and in serial mode, solve) to make room.
+      if (auto result = poll()) {
+        place(std::move(*result));
       } else {
-        std::this_thread::yield();
+        std::unique_lock<std::mutex> lk(done_mutex_);
+        done_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+          return in_flight_.load(std::memory_order_acquire) < in_flight_capacity();
+        });
       }
     }
-    if (!workers_.empty()) {
-      {
-        std::lock_guard<std::mutex> lk(work_mutex_);
-      }
-      work_cv_.notify_one();
-    }
   }
-
-  // The caller drains alongside the workers; with threads == 0 this is the
-  // entire (serial, reference) execution path.
-  std::size_t index;
-  while (queue_.try_pop(index)) process(index);
-
-  {
-    std::unique_lock<std::mutex> lk(done_mutex_);
-    done_cv_.wait(lk, [this] {
-      return remaining_.load(std::memory_order_acquire) == 0;
-    });
-  }
+  for (auto&& result : drain()) place(std::move(result));
   out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   out.records_per_second =
-      out.wall_seconds > 0.0
-          ? static_cast<double>(batch.size()) / out.wall_seconds
-          : 0.0;
-
-  // Safe to reset: remaining_ hit zero, so every process() call — each of
-  // which touches batch_/results_ strictly before its fetch_sub — is done.
-  batch_ = {};
-  results_ = nullptr;
+      out.wall_seconds > 0.0 ? static_cast<double>(batch.size()) / out.wall_seconds : 0.0;
 
   // Serial aggregation in input order keeps the stats deterministic.
   std::map<std::uint32_t, PatientStats> stats;
@@ -161,9 +264,9 @@ BatchResult ReconstructionEngine::reconstruct(std::span<const CompressedWindow> 
   out.patients.reserve(stats.size());
   for (auto& [id, s] : stats) {
     const std::size_t n_scored = scored[id];
-    s.mean_snr_db = n_scored > 0
-                        ? s.mean_snr_db / static_cast<double>(n_scored)
-                        : std::numeric_limits<double>::quiet_NaN();
+    s.mean_snr_db =
+        n_scored > 0 ? s.mean_snr_db / static_cast<double>(n_scored)
+                     : std::numeric_limits<double>::quiet_NaN();
     s.mean_latency_ms /= static_cast<double>(s.windows);
     out.patients.push_back(std::move(s));
   }

@@ -1,31 +1,60 @@
-// Multi-patient host-side reconstruction engine.
+// Multi-patient host-side reconstruction engine — streaming core.
 //
 // The node fleet only encodes (cs/sensing_matrix.hpp); every measurement
 // window lands on the host, which must run one FISTA solve per window.
-// At fleet scale the decoder — not the node — is the throughput
-// bottleneck, so this engine schedules batches of compressed windows from
-// many patients across a fixed pool of worker threads fed by a bounded
-// lock-free work queue (work_queue.hpp), and reports per-patient
-// SNR/latency statistics.
+// Fleet traffic is inherently continuous — nodes emit one compressed
+// window every couple of seconds, forever — so the engine is built around
+// a submit/poll streaming interface rather than offline batches:
 //
-// Determinism contract: for a given batch and FistaConfig, the
-// reconstructed signals are bit-identical regardless of thread count or
-// queue capacity.  Work items are independent (one window, one read-only
-// sensing matrix), results are written to a preallocated slot per item,
-// and all aggregation happens serially after the batch barrier.
+//   * submit()/try_submit() hand one window to the engine at any time,
+//     from any thread.  Admission is bounded: at most queue_capacity
+//     windows may be in flight (submitted but not yet solved);
+//     try_submit() reports backpressure instead of blocking.  Completed
+//     results wait in an unbounded completion list until retrieved, so a
+//     producer that submits a long burst before draining never deadlocks
+//     against its own unpolled results.
+//   * A fixed pool of worker threads drains the bounded lock-free MPMC
+//     work queue (work_queue.hpp) persistently — there is no per-batch
+//     barrier, a worker starts the next window the moment it finishes the
+//     previous one.
+//   * poll() returns one completed window (completion order); drain()
+//     blocks until everything in flight has completed and returns the
+//     rest.  With threads == 0 both run the solver inline in the calling
+//     thread (the serial reference mode).
+//   * Every window's enqueue->complete latency lands in a lock-free SLO
+//     histogram (slo_tracker.hpp): p50/p95/p99, throughput, in-flight
+//     depth, and violations of a configurable per-window deadline.
+//
+// reconstruct() remains as a thin batch wrapper over the streaming core
+// (submit everything, drain, restore submission order) so offline callers
+// and the original tests keep working unchanged.
+//
+// Determinism contract: a window's reconstruction depends only on the
+// window payload and the FistaConfig — never on thread count, submission
+// interleaving, or queue capacity — so per-window results are
+// bit-identical across any of those.  Sensing matrices are built serially
+// under a mutex at submit time and published read-only to workers through
+// the queue's release/acquire edge; completion *order* is the only
+// nondeterministic output, and the batch wrapper sorts it away.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "cs/fista.hpp"
 #include "cs/sensing_matrix.hpp"
+#include "host/slo_tracker.hpp"
 #include "host/work_queue.hpp"
 #include "sig/adc.hpp"
 #include "sig/types.hpp"
@@ -36,11 +65,11 @@ namespace wbsn::host {
 /// the metadata needed to rebuild the (seeded) sensing operator host-side.
 struct CompressedWindow {
   std::uint32_t patient_id = 0;
-  std::uint32_t window_index = 0;       ///< Per-patient sequence number.
-  std::uint64_t matrix_seed = 0;        ///< Seed shared with the node.
-  std::uint32_t window_samples = 0;     ///< n (columns of Phi).
-  std::uint32_t ones_per_column = 4;    ///< Sparse-binary density d.
-  std::vector<double> measurements;     ///< y, already scaled to mV.
+  std::uint32_t window_index = 0;    ///< Per-patient sequence number.
+  std::uint64_t matrix_seed = 0;     ///< Seed shared with the node.
+  std::uint32_t window_samples = 0;  ///< n (columns of Phi).
+  std::uint32_t ones_per_column = 4; ///< Sparse-binary density d.
+  std::vector<double> measurements;  ///< y, already scaled to mV.
   /// Optional ground truth (test/bench only; empty in production) for SNR.
   std::vector<double> reference;
 };
@@ -49,35 +78,39 @@ struct CompressedWindow {
 struct WindowResult {
   std::uint32_t patient_id = 0;
   std::uint32_t window_index = 0;
+  std::uint64_t ticket = 0;       ///< Engine-wide submission sequence number.
   std::vector<double> signal;     ///< Reconstructed time-domain window.
   double snr_db = 0.0;            ///< NaN when no reference was attached.
   int iterations = 0;
   double latency_ms = 0.0;        ///< Solve wall time (excludes queue wait).
+  double e2e_ms = 0.0;            ///< Enqueue -> complete (the SLO latency).
 };
 
 /// Per-patient aggregate over one batch.
 struct PatientStats {
   std::uint32_t patient_id = 0;
   std::size_t windows = 0;
-  double mean_snr_db = 0.0;       ///< Over windows with a reference (NaN if none).
+  double mean_snr_db = 0.0;  ///< Over windows with a reference (NaN if none).
   double mean_latency_ms = 0.0;
   double max_latency_ms = 0.0;
 };
 
 struct BatchResult {
-  std::vector<WindowResult> windows;    ///< Same order as the input batch.
-  std::vector<PatientStats> patients;   ///< Sorted by patient_id.
-  double wall_seconds = 0.0;            ///< Batch wall time, submit to drain.
-  double records_per_second = 0.0;      ///< windows.size() / wall_seconds.
+  std::vector<WindowResult> windows;   ///< Same order as the input batch.
+  std::vector<PatientStats> patients;  ///< Sorted by patient_id.
+  double wall_seconds = 0.0;           ///< Batch wall time, submit to drain.
+  double records_per_second = 0.0;     ///< windows.size() / wall_seconds.
 };
 
 struct EngineConfig {
-  /// Worker threads.  0 = solve in the calling thread (serial reference
-  /// mode); N >= 1 spawns N persistent workers (the caller also helps
-  /// drain the queue, so total parallelism is N + 1).
+  /// Worker threads.  0 = solve in the calling thread during poll()/
+  /// drain() (serial reference mode); N >= 1 spawns N persistent workers.
   int threads = 0;
+  /// Admission bound: maximum windows in flight (submitted but not yet
+  /// solved).  Rounded up to a power of two; see in_flight_capacity().
   std::size_t queue_capacity = 1024;
   cs::FistaConfig fista{};
+  SloConfig slo{};
 };
 
 class ReconstructionEngine {
@@ -88,41 +121,97 @@ class ReconstructionEngine {
   ReconstructionEngine(const ReconstructionEngine&) = delete;
   ReconstructionEngine& operator=(const ReconstructionEngine&) = delete;
 
-  /// Reconstructs every window in the batch and blocks until done.
-  /// Not reentrant: one batch at a time (guarded internally).
+  // --- Streaming interface -------------------------------------------------
+
+  /// Hands one window to the engine.  Returns the window's ticket on
+  /// success; std::nullopt when the engine is at capacity (backpressure —
+  /// retry after poll()ing).  Thread-safe; `window` is untouched on
+  /// rejection.
+  std::optional<std::uint64_t> try_submit(CompressedWindow&& window);
+
+  /// Blocking submit: waits out backpressure (workers draining the
+  /// backlog; with threads == 0 it solves pending windows inline to make
+  /// room) and returns the ticket.
+  std::uint64_t submit(CompressedWindow window);
+
+  /// Returns one completed window in completion order, or std::nullopt if
+  /// none is ready.  With threads == 0 this runs the solver inline on the
+  /// oldest pending window first.  Thread-safe.
+  std::optional<WindowResult> poll();
+
+  /// Blocks until nothing is in flight and returns all results not yet
+  /// poll()ed, in completion order.  The calling thread helps solve when
+  /// the engine has no workers.  Thread-safe (concurrent pollers simply
+  /// split the results).
+  std::vector<WindowResult> drain();
+
+  /// Windows currently in flight (submitted, not yet solved).
+  std::size_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
+  /// Admission bound actually in force (queue_capacity rounded up).
+  std::size_t in_flight_capacity() const { return queue_.capacity(); }
+
+  /// Latency/throughput/deadline statistics since construction (or the
+  /// last slo().reset() while quiesced).
+  const SloTracker& slo() const { return slo_; }
+  SloTracker& slo() { return slo_; }  ///< Mutable, e.g. for per-interval reset().
+
+  // --- Batch wrapper -------------------------------------------------------
+
+  /// Reconstructs every window in the batch and blocks until done; results
+  /// are returned in input order.  A thin wrapper over submit()/drain().
+  /// Not reentrant: one batch at a time (guarded internally); do not call
+  /// concurrently with streaming submissions (the drain would steal them).
   BatchResult reconstruct(std::span<const CompressedWindow> batch);
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
  private:
+  struct WorkItem {
+    CompressedWindow window;
+    const cs::SensingMatrix* phi = nullptr;  ///< Stable map-node pointer.
+    std::uint64_t ticket = 0;
+    std::chrono::steady_clock::time_point enqueue_time{};
+  };
+
   void worker_loop();
-  void process(std::size_t index);
-  /// Builds/reuses the sensing matrices the batch needs (serial, so the
-  /// per-batch matrix set is deterministic and read-only once workers run).
-  void prepare_matrices(std::span<const CompressedWindow> batch);
+  /// Pops one pending window and solves it; false when none was pending.
+  bool help_one();
+  void process(WorkItem* item);
+  /// Builds/reuses the sensing matrix a window needs (serial under
+  /// matrices_mutex_, so matrix construction is deterministic and the
+  /// object is read-only by the time any worker sees it).
+  const cs::SensingMatrix* prepare_matrix(const CompressedWindow& window);
 
   EngineConfig cfg_;
-  BoundedWorkQueue<std::size_t> queue_;
+  BoundedWorkQueue<WorkItem*> queue_;  ///< Pending (unsolved) windows.
   std::vector<std::thread> workers_;
+  SloTracker slo_;
 
-  // Cache of seeded sensing operators, shared across batches.  Keyed by
-  // (seed, m, n, d); std::map keeps node pointers stable while workers read.
+  // Cache of seeded sensing operators, shared across the engine lifetime.
+  // Keyed by (seed, m, n, d); std::map keeps node pointers stable while
+  // workers read.
   using MatrixKey = std::tuple<std::uint64_t, std::size_t, std::size_t, std::size_t>;
+  std::mutex matrices_mutex_;
   std::map<MatrixKey, cs::SensingMatrix> matrices_;
 
-  std::mutex batch_mutex_;              ///< Serializes reconstruct() calls.
-  std::span<const CompressedWindow> batch_{};
-  std::vector<WindowResult>* results_ = nullptr;
+  std::mutex batch_mutex_;  ///< Serializes reconstruct() calls.
 
   std::mutex work_mutex_;
-  std::condition_variable work_cv_;     ///< Workers sleep here between items.
+  std::condition_variable work_cv_;  ///< Workers sleep here between items.
+
+  /// Completed results, in completion order, until poll()/drain() takes
+  /// them.  Unbounded by design: completion must never block on a slow
+  /// retriever, so the admission gate only covers the unsolved backlog.
   std::mutex done_mutex_;
-  std::condition_variable done_cv_;     ///< reconstruct() waits for the drain.
-  /// Items left in the current batch.  A countdown (not done/total) so the
-  /// last worker detects completion from its own fetch_sub return value
-  /// alone — it never reads a field the main thread later resets, which
-  /// would race once the batch barrier has been passed.
-  std::atomic<std::size_t> remaining_{0};
+  std::condition_variable done_cv_;  ///< drain()/submit() wait here.
+  std::deque<WindowResult> done_;
+
+  /// Submitted but not yet solved.  The admission reservation happens here
+  /// (CAS against in_flight_capacity()), which is what guarantees the
+  /// bounded work ring can never reject an internal push.
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -1,0 +1,116 @@
+#include "host/slo_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbsn::host {
+namespace {
+
+std::uint64_t saturating_us(double ms) {
+  const double us = ms * 1000.0;
+  if (!(us > 0.0)) return 0;  // Also catches NaN.
+  if (us >= 9.0e18) return std::uint64_t{9000000000000000000ULL};
+  return static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+std::size_t SloTracker::bucket_index(std::uint64_t us) {
+  if (us < kSub) return static_cast<std::size_t>(us);
+  const unsigned msb = static_cast<unsigned>(std::bit_width(us)) - 1;
+  const unsigned shift = msb - kSubBits;
+  const std::size_t base = static_cast<std::size_t>(msb - kSubBits + 1) << kSubBits;
+  const std::size_t offset = static_cast<std::size_t>(us >> shift) & (kSub - 1);
+  return std::min(base + offset, kBuckets - 1);
+}
+
+double SloTracker::bucket_mid_us(std::size_t index) {
+  if (index < kSub) return static_cast<double>(index);
+  const std::size_t octave = (index >> kSubBits) - 1;
+  const double lower = std::ldexp(1.0, static_cast<int>(octave + kSubBits)) +
+                       std::ldexp(static_cast<double>(index & (kSub - 1)), static_cast<int>(octave));
+  return lower + std::ldexp(0.5, static_cast<int>(octave));
+}
+
+void SloTracker::on_submit() {
+  const std::uint64_t submitted = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Approximate under concurrency (submitted/retrieved are read at slightly
+  // different instants) but exact whenever submission is single-threaded.
+  const std::uint64_t retrieved = retrieved_.load(std::memory_order_relaxed);
+  const std::uint64_t depth = submitted - std::min(retrieved, submitted);
+  std::uint64_t seen = max_in_flight_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_in_flight_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void SloTracker::on_complete(double latency_ms) {
+  const std::uint64_t us = saturating_us(latency_ms);
+  buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen && !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+  if (cfg_.deadline_ms > 0.0 && latency_ms > cfg_.deadline_ms) {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SloTracker::on_retrieve() { retrieved_.fetch_add(1, std::memory_order_relaxed); }
+
+SloSnapshot SloTracker::snapshot() const {
+  SloSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.deadline_violations = violations_.load(std::memory_order_relaxed);
+  const std::uint64_t retrieved = retrieved_.load(std::memory_order_relaxed);
+  snap.in_flight = snap.submitted - std::min(retrieved, snap.submitted);
+  snap.max_in_flight = max_in_flight_.load(std::memory_order_relaxed);
+  snap.max_ms = static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1000.0;
+  snap.deadline_ms = cfg_.deadline_ms;
+
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total > 0) {
+    snap.mean_ms = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+                   static_cast<double>(total) / 1000.0;
+    const auto quantile = [&](double q) {
+      const auto rank = static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(total)));
+      std::uint64_t seen = 0;
+      for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= std::max<std::uint64_t>(rank, 1)) return bucket_mid_us(i) / 1000.0;
+      }
+      return snap.max_ms;
+    };
+    snap.p50_ms = quantile(0.50);
+    snap.p95_ms = quantile(0.95);
+    snap.p99_ms = quantile(0.99);
+  }
+
+  snap.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  snap.throughput_per_s =
+      snap.elapsed_s > 0.0 ? static_cast<double>(snap.completed) / snap.elapsed_s : 0.0;
+  return snap;
+}
+
+void SloTracker::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  submitted_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  retrieved_.store(0, std::memory_order_relaxed);
+  violations_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+  max_in_flight_.store(0, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace wbsn::host

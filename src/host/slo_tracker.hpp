@@ -1,0 +1,97 @@
+// Latency SLO tracking for the streaming reconstruction engine.
+//
+// Workers record one enqueue->complete latency per window into a
+// lock-free log-bucketed histogram (power-of-two octaves split into 8
+// sub-buckets, HdrHistogram-style, <= 12.5% relative quantile error), so
+// the hot path is a handful of relaxed atomic increments — no mutex, no
+// allocation.  snapshot() folds the histogram into p50/p95/p99/max/mean,
+// throughput, in-flight depth, and deadline-violation counts.
+//
+// Counter reads in snapshot() are individually atomic but not taken at a
+// single instant, so a snapshot raced against recording threads is
+// approximate; once the engine is drained (quiesced) it is exact.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace wbsn::host {
+
+struct SloConfig {
+  /// Enqueue->complete deadline per window; 0 disables violation counting.
+  /// A natural choice is the real-time arrival period of one window
+  /// (cs::window_period_ms): the decoder keeps up with live traffic iff it
+  /// finishes each window before the next one lands.
+  double deadline_ms = 0.0;
+};
+
+/// One coherent view of the tracker, in milliseconds.
+struct SloSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_violations = 0;
+  std::uint64_t in_flight = 0;      ///< Submitted but not yet retrieved.
+  std::uint64_t max_in_flight = 0;  ///< High-water mark of in_flight.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;   ///< Exact (tracked outside the histogram).
+  double mean_ms = 0.0;  ///< Exact (sum tracked in integer microseconds).
+  double elapsed_s = 0.0;
+  double throughput_per_s = 0.0;  ///< completed / elapsed since start/reset.
+  double deadline_ms = 0.0;       ///< Echo of the configured deadline.
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig cfg = {}) : cfg_(cfg) { reset(); }
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// A window entered the engine.  Thread-safe.
+  void on_submit();
+
+  /// A window finished solving, `latency_ms` after it was submitted.
+  /// Thread-safe and lock-free.
+  void on_complete(double latency_ms);
+
+  /// A completed window was handed back to the caller (poll/drain).
+  void on_retrieve();
+
+  SloSnapshot snapshot() const;
+
+  /// Clears all counters and restarts the throughput clock.  Must not run
+  /// concurrently with recording.
+  void reset();
+
+  double deadline_ms() const { return cfg_.deadline_ms; }
+
+ private:
+  // 8 sub-buckets per octave.  Indices 0..7 are exact (one bucket per
+  // microsecond); every later octave [2^k, 2^(k+1)) is split into 8.
+  static constexpr unsigned kSubBits = 3;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  // Octaves up to 2^41 us (~25 days) before the index clamps.
+  static constexpr std::size_t kBuckets = kSub * 40;
+
+  static std::size_t bucket_index(std::uint64_t us);
+  static double bucket_mid_us(std::size_t index);
+
+  SloConfig cfg_;
+  std::chrono::steady_clock::time_point start_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> retrieved_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+  std::atomic<std::uint64_t> max_in_flight_{0};
+};
+
+}  // namespace wbsn::host

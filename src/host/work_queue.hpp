@@ -81,6 +81,15 @@ class BoundedWorkQueue {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Racy occupancy snapshot — for metrics/telemetry only (the counters
+  /// are read at different instants, so the value can be transiently off
+  /// by the number of concurrently active producers/consumers).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail > head ? tail - head : 0;
+  }
+
  private:
   struct Cell {
     std::atomic<std::size_t> sequence{0};

@@ -59,7 +59,9 @@ std::vector<double> gen_baseline_wander(const NoiseParams& p, std::size_t n, dou
   for (std::size_t i = 0; i < n; ++i) {
     const double t = static_cast<double>(i) / fs;
     double v = 0.0;
-    for (const auto& c : comps) v += c.amp * std::sin(2.0 * std::numbers::pi * c.freq * t + c.phase);
+    for (const auto& c : comps) {
+      v += c.amp * std::sin(2.0 * std::numbers::pi * c.freq * t + c.phase);
+    }
     walk = 0.999 * walk + rng.normal(0.0, walk_sigma);
     out[i] = v + walk;
   }

@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "cs/sensing_matrix.hpp"
 #include "host/work_queue.hpp"
@@ -53,27 +55,6 @@ bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
-}
-
-TEST(WorkQueue, FifoSingleThreaded) {
-  BoundedWorkQueue<std::size_t> q(8);
-  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < 5; ++i) {
-    EXPECT_TRUE(q.try_pop(out));
-    EXPECT_EQ(out, i);
-  }
-  EXPECT_FALSE(q.try_pop(out));
-}
-
-TEST(WorkQueue, ReportsFullAndRoundsCapacityUp) {
-  BoundedWorkQueue<int> q(3);  // Rounds up to 4.
-  EXPECT_EQ(q.capacity(), 4u);
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
-  EXPECT_FALSE(q.try_push(99));
-  int out = 0;
-  EXPECT_TRUE(q.try_pop(out));
-  EXPECT_TRUE(q.try_push(99));  // Slot freed.
 }
 
 TEST(CompressRecord, EmitsOneItemPerFullWindowPerLead) {
@@ -183,6 +164,172 @@ TEST(ReconstructionEngine, ReusableAcrossBatches) {
   for (std::size_t i = 0; i < first.windows.size(); ++i) {
     EXPECT_TRUE(
         bit_identical(first.windows[i].signal, second.windows[i].signal));
+  }
+}
+
+// --- Streaming interface ----------------------------------------------------
+
+// Key results by identity so completion-order outputs can be compared to an
+// input-order reference.
+using WindowKey = std::pair<std::uint32_t, std::uint32_t>;
+
+std::map<WindowKey, WindowResult> by_identity(std::vector<WindowResult> results) {
+  std::map<WindowKey, WindowResult> out;
+  for (auto& r : results) {
+    const WindowKey key{r.patient_id, r.window_index};
+    EXPECT_TRUE(out.emplace(key, std::move(r)).second) << "duplicate result";
+  }
+  return out;
+}
+
+TEST(StreamingEngine, SubmitPollDrainDeliversEverything) {
+  const auto batch = two_patient_batch();
+  ReconstructionEngine engine(fast_engine(2));
+
+  std::vector<WindowResult> results;
+  std::uint64_t last_ticket = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    CompressedWindow copy = batch[i];
+    const std::uint64_t ticket = engine.submit(std::move(copy));
+    EXPECT_TRUE(i == 0 || ticket > last_ticket) << "tickets must be monotonic";
+    last_ticket = ticket;
+    if (auto r = engine.poll()) results.push_back(std::move(*r));  // Opportunistic.
+  }
+  auto rest = engine.drain();
+  results.insert(results.end(), std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(engine.in_flight(), 0u);
+  const auto keyed = by_identity(std::move(results));
+  for (const auto& window : batch) {
+    const auto found = keyed.find({window.patient_id, window.window_index});
+    ASSERT_NE(found, keyed.end());
+    EXPECT_EQ(found->second.signal.size(), window.window_samples);
+    EXPECT_GE(found->second.e2e_ms, found->second.latency_ms)
+        << "enqueue->complete includes queue wait";
+  }
+}
+
+TEST(StreamingEngine, SerialModePollSolvesInline) {
+  const auto batch = two_patient_batch();
+  ReconstructionEngine engine(fast_engine(0));
+  ASSERT_EQ(engine.thread_count(), 0);
+
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    ASSERT_TRUE(engine.try_submit(std::move(copy)).has_value());
+    const auto result = engine.poll();  // Solves this window in this thread.
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->signal.size(), window.window_samples);
+  }
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_FALSE(engine.poll().has_value());
+}
+
+TEST(StreamingEngine, TrySubmitAppliesBackpressureAtCapacity) {
+  auto cfg = fast_engine(0);
+  cfg.queue_capacity = 2;
+  ReconstructionEngine engine(cfg);
+  ASSERT_EQ(engine.in_flight_capacity(), 2u);
+
+  const auto batch = two_patient_batch();
+  ASSERT_GE(batch.size(), 3u);
+  CompressedWindow a = batch[0], b = batch[1], c = batch[2];
+  ASSERT_TRUE(engine.try_submit(std::move(a)).has_value());
+  ASSERT_TRUE(engine.try_submit(std::move(b)).has_value());
+  EXPECT_EQ(engine.in_flight(), 2u);
+
+  EXPECT_FALSE(engine.try_submit(std::move(c)).has_value()) << "third must bounce";
+  EXPECT_EQ(c.measurements.size(), batch[2].measurements.size())
+      << "rejected window must be left intact";
+
+  ASSERT_TRUE(engine.poll().has_value());  // Frees one slot.
+  EXPECT_TRUE(engine.try_submit(std::move(c)).has_value());
+  EXPECT_EQ(engine.drain().size(), 2u);
+}
+
+TEST(StreamingEngine, DeterministicAcrossThreadsAndSubmissionOrder) {
+  const auto batch = two_patient_batch();
+
+  ReconstructionEngine serial(fast_engine(0));
+  const auto reference = by_identity(std::move(serial.reconstruct(batch).windows));
+
+  // Shuffle the submission order deterministically and stream with workers:
+  // per-window outputs must stay bit-identical.
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  sig::Rng rng(0xD150FDE5ULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  for (const int threads : {1, 3}) {
+    ReconstructionEngine engine(fast_engine(threads));
+    for (const std::size_t i : order) {
+      CompressedWindow copy = batch[i];
+      engine.submit(std::move(copy));
+    }
+    const auto keyed = by_identity(engine.drain());
+    ASSERT_EQ(keyed.size(), reference.size()) << "threads=" << threads;
+    for (const auto& [key, expected] : reference) {
+      const auto found = keyed.find(key);
+      ASSERT_NE(found, keyed.end());
+      EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+          << "patient " << key.first << " window " << key.second
+          << " differs at threads=" << threads;
+      EXPECT_EQ(found->second.iterations, expected.iterations);
+      EXPECT_EQ(found->second.snr_db, expected.snr_db);
+    }
+  }
+}
+
+TEST(StreamingEngine, SloTracksLatencyThroughputAndDeadlines) {
+  auto cfg = fast_engine(2);
+  cfg.slo.deadline_ms = 1e-6;  // Absurdly tight: every window must violate.
+  ReconstructionEngine engine(cfg);
+
+  const auto batch = two_patient_batch();
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    engine.submit(std::move(copy));
+  }
+  const auto results = engine.drain();
+  ASSERT_EQ(results.size(), batch.size());
+
+  const auto snap = engine.slo().snapshot();
+  EXPECT_EQ(snap.submitted, batch.size());
+  EXPECT_EQ(snap.completed, batch.size());
+  EXPECT_EQ(snap.in_flight, 0u);
+  EXPECT_GE(snap.max_in_flight, 1u);
+  EXPECT_EQ(snap.deadline_violations, batch.size());
+  EXPECT_GT(snap.p50_ms, 0.0);
+  EXPECT_LE(snap.p50_ms, snap.p99_ms);
+  EXPECT_GT(snap.throughput_per_s, 0.0);
+  EXPECT_GT(snap.mean_ms, 0.0);
+}
+
+TEST(StreamingEngine, BatchWrapperMatchesStreamingResults) {
+  const auto batch = two_patient_batch();
+  ReconstructionEngine batch_engine(fast_engine(2));
+  const auto wrapped = batch_engine.reconstruct(batch);
+
+  ReconstructionEngine stream_engine(fast_engine(2));
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    stream_engine.submit(std::move(copy));
+  }
+  const auto keyed = by_identity(stream_engine.drain());
+
+  ASSERT_EQ(wrapped.windows.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // The wrapper restores input order.
+    EXPECT_EQ(wrapped.windows[i].patient_id, batch[i].patient_id);
+    EXPECT_EQ(wrapped.windows[i].window_index, batch[i].window_index);
+    const auto found = keyed.find({batch[i].patient_id, batch[i].window_index});
+    ASSERT_NE(found, keyed.end());
+    EXPECT_TRUE(bit_identical(wrapped.windows[i].signal, found->second.signal));
   }
 }
 

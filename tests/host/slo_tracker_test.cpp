@@ -1,0 +1,160 @@
+#include "host/slo_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace wbsn::host {
+namespace {
+
+// The histogram uses 8 sub-buckets per octave, so any reported quantile is
+// within 12.5% (one sub-bucket) of the true value, plus half a bucket for
+// the midpoint convention.
+constexpr double kRelTol = 0.20;
+
+TEST(SloTracker, EmptySnapshotIsAllZero) {
+  SloTracker tracker;
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.submitted, 0u);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_EQ(snap.in_flight, 0u);
+  EXPECT_EQ(snap.deadline_violations, 0u);
+  EXPECT_EQ(snap.p50_ms, 0.0);
+  EXPECT_EQ(snap.p99_ms, 0.0);
+  EXPECT_EQ(snap.max_ms, 0.0);
+  EXPECT_EQ(snap.mean_ms, 0.0);
+}
+
+TEST(SloTracker, QuantilesOnUniformLatencies) {
+  SloTracker tracker;
+  // 1..1000 ms, each exactly once: p50 = 500, p95 = 950, p99 = 990.
+  for (int ms = 1; ms <= 1000; ++ms) {
+    tracker.on_submit();
+    tracker.on_complete(static_cast<double>(ms));
+    tracker.on_retrieve();
+  }
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.completed, 1000u);
+  EXPECT_EQ(snap.in_flight, 0u);
+  EXPECT_NEAR(snap.p50_ms, 500.0, 500.0 * kRelTol);
+  EXPECT_NEAR(snap.p95_ms, 950.0, 950.0 * kRelTol);
+  EXPECT_NEAR(snap.p99_ms, 990.0, 990.0 * kRelTol);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 1000.0);          // Max is exact.
+  EXPECT_NEAR(snap.mean_ms, 500.5, 0.01);          // Mean is exact (us sum).
+  EXPECT_LE(snap.p50_ms, snap.p95_ms);
+  EXPECT_LE(snap.p95_ms, snap.p99_ms);
+  EXPECT_LE(snap.p99_ms, snap.max_ms * (1.0 + kRelTol));
+}
+
+TEST(SloTracker, SubMillisecondLatenciesResolve) {
+  SloTracker tracker;
+  for (int i = 0; i < 100; ++i) {
+    tracker.on_submit();
+    tracker.on_complete(0.050);  // 50 us.
+    tracker.on_retrieve();
+  }
+  const auto snap = tracker.snapshot();
+  EXPECT_NEAR(snap.p50_ms, 0.050, 0.050 * kRelTol);
+  EXPECT_NEAR(snap.mean_ms, 0.050, 0.001);
+}
+
+TEST(SloTracker, DeadlineViolationsCounted) {
+  SloTracker tracker(SloConfig{.deadline_ms = 10.0});
+  const double latencies[] = {1.0, 9.9, 10.0, 10.1, 50.0, 3.0};
+  for (const double ms : latencies) {
+    tracker.on_submit();
+    tracker.on_complete(ms);
+    tracker.on_retrieve();
+  }
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.deadline_violations, 2u);  // 10.1 and 50; 10.0 is on time.
+  EXPECT_DOUBLE_EQ(snap.deadline_ms, 10.0);
+}
+
+TEST(SloTracker, ZeroDeadlineDisablesViolations) {
+  SloTracker tracker;  // deadline_ms = 0.
+  tracker.on_submit();
+  tracker.on_complete(1e6);
+  tracker.on_retrieve();
+  EXPECT_EQ(tracker.snapshot().deadline_violations, 0u);
+}
+
+TEST(SloTracker, InFlightDepthAndHighWaterMark) {
+  SloTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.on_submit();
+  auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.in_flight, 5u);
+  EXPECT_EQ(snap.max_in_flight, 5u);
+
+  for (int i = 0; i < 3; ++i) {
+    tracker.on_complete(1.0);
+    tracker.on_retrieve();
+  }
+  snap = tracker.snapshot();
+  EXPECT_EQ(snap.in_flight, 2u);
+  EXPECT_EQ(snap.max_in_flight, 5u) << "high-water mark must not shrink";
+
+  tracker.on_submit();
+  snap = tracker.snapshot();
+  EXPECT_EQ(snap.in_flight, 3u);
+  EXPECT_EQ(snap.max_in_flight, 5u);
+}
+
+TEST(SloTracker, ResetClearsEverything) {
+  SloTracker tracker(SloConfig{.deadline_ms = 1.0});
+  tracker.on_submit();
+  tracker.on_complete(100.0);
+  tracker.on_retrieve();
+  ASSERT_EQ(tracker.snapshot().deadline_violations, 1u);
+
+  tracker.reset();
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.submitted, 0u);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_EQ(snap.deadline_violations, 0u);
+  EXPECT_EQ(snap.max_in_flight, 0u);
+  EXPECT_EQ(snap.p99_ms, 0.0);
+  EXPECT_EQ(snap.max_ms, 0.0);
+}
+
+TEST(SloTracker, ConcurrentRecordingLosesNothing) {
+  SloTracker tracker(SloConfig{.deadline_ms = 0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracker.on_submit();
+        tracker.on_complete(i % 2 == 0 ? 0.1 : 1.0);  // Half violate 0.5 ms.
+        tracker.on_retrieve();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.in_flight, 0u);
+  EXPECT_EQ(snap.deadline_violations, snap.completed / 2);
+  EXPECT_GT(snap.throughput_per_s, 0.0);
+}
+
+TEST(SloTracker, ThroughputUsesElapsedClock) {
+  SloTracker tracker;
+  tracker.on_submit();
+  tracker.on_complete(1.0);
+  tracker.on_retrieve();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto snap = tracker.snapshot();
+  EXPECT_GT(snap.elapsed_s, 0.015);
+  EXPECT_GT(snap.throughput_per_s, 0.0);
+  EXPECT_LT(snap.throughput_per_s, 1.0 / 0.015);
+}
+
+}  // namespace
+}  // namespace wbsn::host

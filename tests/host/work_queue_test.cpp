@@ -1,0 +1,156 @@
+// Edge cases of the bounded Vyukov MPMC ring: full-queue rejection, index
+// wrap-around far past the ring size, and concurrent producers racing
+// consumers that start late (so the ring oscillates between full and
+// drained while head/tail keep wrapping).
+#include "host/work_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace wbsn::host {
+namespace {
+
+TEST(WorkQueue, FifoSingleThreaded) {
+  BoundedWorkQueue<std::size_t> q(8);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(WorkQueue, ReportsFullAndRoundsCapacityUp) {
+  BoundedWorkQueue<int> q(3);  // Rounds up to 4.
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_TRUE(q.try_push(99));  // Slot freed.
+}
+
+TEST(WorkQueue, RejectsWhenFullAndRecoversRepeatedly) {
+  BoundedWorkQueue<int> q(4);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(round * 10 + i));
+    EXPECT_FALSE(q.try_push(-1)) << "round " << round;
+    EXPECT_FALSE(q.try_push(-2)) << "full must stay full";
+    int out = 0;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(q.try_pop(out));
+      EXPECT_EQ(out, round * 10 + i);
+    }
+    EXPECT_FALSE(q.try_pop(out)) << "drained must stay drained";
+  }
+}
+
+TEST(WorkQueue, WrapsIndicesFarPastRingSize) {
+  // Cell sequence numbers keep growing while positions wrap at the mask;
+  // push/pop many multiples of the capacity to cross the wrap repeatedly,
+  // with a partially full ring so head and tail wrap at different times.
+  BoundedWorkQueue<std::size_t> q(4);
+  std::size_t out = 0;
+  ASSERT_TRUE(q.try_push(1000));  // Keep one element resident.
+  for (std::size_t i = 0; i < 64 * q.capacity(); ++i) {
+    ASSERT_TRUE(q.try_push(i)) << "iteration " << i;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i == 0 ? 1000 : i - 1) << "FIFO must survive wrap-around";
+  }
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 64 * q.capacity() - 1);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(WorkQueue, SizeApproxTracksOccupancyWhenQuiesced) {
+  BoundedWorkQueue<int> q(8);
+  EXPECT_EQ(q.size_approx(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size_approx(), 5u);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(q.size_approx(), 4u);
+}
+
+TEST(WorkQueue, ConcurrentProducersWithStaggeredConsumers) {
+  // A small ring forces producers into the full-queue path while the
+  // consumers are still asleep; once consumers start, head/tail wrap the
+  // ring hundreds of times.  Checks that nothing is lost, duplicated, or
+  // reordered within one producer's stream.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 2000;
+  BoundedWorkQueue<std::uint64_t> q(8);
+
+  std::atomic<std::uint64_t> popped_total{0};
+  std::vector<std::vector<std::uint64_t>> popped(kConsumers);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      // Staggered start: let producers hit the full ring first.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 * (c + 1)));
+      std::uint64_t value = 0;
+      while (popped_total.load(std::memory_order_acquire) <
+             kProducers * kPerProducer) {
+        if (q.try_pop(value)) {
+          popped[static_cast<std::size_t>(c)].push_back(value);
+          popped_total.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!q.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  // Every pushed value popped exactly once.
+  std::vector<std::uint64_t> all;
+  for (const auto& per_consumer : popped) {
+    all.insert(all.end(), per_consumer.begin(), per_consumer.end());
+  }
+  ASSERT_EQ(all.size(), kProducers * kPerProducer);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end()) << "duplicate element";
+  for (int p = 0; p < kProducers; ++p) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(p) * kPerProducer + i],
+                (static_cast<std::uint64_t>(p) << 32) | i);
+    }
+  }
+
+  // Per-producer FIFO: each consumer must see any one producer's values in
+  // increasing order (the ring assigns slots in producer CAS order).
+  for (const auto& per_consumer : popped) {
+    std::array<std::int64_t, kProducers> last;
+    last.fill(-1);
+    for (const std::uint64_t value : per_consumer) {
+      const auto producer = static_cast<std::size_t>(value >> 32);
+      const auto seq = static_cast<std::int64_t>(value & 0xFFFFFFFFu);
+      EXPECT_GT(seq, last[producer]) << "producer " << producer << " reordered";
+      last[producer] = seq;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::host
