@@ -11,6 +11,11 @@
 //
 // Usage: host_throughput [patients] [beats_per_patient] [cr_percent]
 //                        [--poisson RATE_HZ] [--threads N] [--deadline-ms D]
+//                        [--batch W]
+//
+// --batch W sets EngineConfig::batch_windows: workers pack up to W queued
+// windows that share a sensing matrix into one batched FISTA solve
+// (bit-identical to solo solves, so the exactness check still applies).
 //
 // In streaming mode the per-window deadline defaults to the real-time
 // window period (cs::window_period_ms): the decoder keeps up with live
@@ -123,7 +128,8 @@ int run_batch_sweep(const std::vector<host::CompressedWindow>& batch) {
 }
 
 int run_streaming(const std::vector<host::CompressedWindow>& batch,
-                  double rate_hz, int threads, double deadline_ms) {
+                  double rate_hz, int threads, double deadline_ms,
+                  int batch_windows) {
   // Serial batch reference for the bit-exactness check.
   host::EngineConfig serial_cfg;
   host::ReconstructionEngine serial(serial_cfg);
@@ -141,12 +147,13 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
   host::EngineConfig cfg;
   cfg.threads = threads;
   cfg.slo.deadline_ms = deadline_ms;
+  cfg.batch_windows = batch_windows;
   host::ReconstructionEngine engine(cfg);
 
   std::printf("streaming: %zu windows, Poisson %.1f/s, %d worker thread%s, "
-              "deadline %.1f ms\n",
+              "deadline %.1f ms, batch_windows %d\n",
               batch.size(), rate_hz, threads, threads == 1 ? "" : "s",
-              deadline_ms);
+              deadline_ms, batch_windows);
 
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> streamed;
   std::size_t shed = 0;
@@ -190,6 +197,19 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
   std::printf("%-24s %12zu\n", "max in-flight", static_cast<std::size_t>(snap.max_in_flight));
   std::printf("%-24s %12.2f\n", "wall time (s)", wall_s);
 
+  // Per-patient SLO breakdown: which patients are (not) making deadline.
+  const auto per_patient = engine.patient_slo_snapshots();
+  if (!per_patient.empty()) {
+    std::printf("\n%-10s %8s %10s %10s %10s %10s %10s\n", "patient", "windows",
+                "p50_ms", "p95_ms", "p99_ms", "mean_ms", "violations");
+    for (const auto& p : per_patient) {
+      std::printf("%-10u %8zu %10.2f %10.2f %10.2f %10.2f %10zu\n", p.patient_id,
+                  static_cast<std::size_t>(p.slo.completed), p.slo.p50_ms, p.slo.p95_ms,
+                  p.slo.p99_ms, p.slo.mean_ms,
+                  static_cast<std::size_t>(p.slo.deadline_violations));
+    }
+  }
+
   // Every non-shed window must match the serial batch reference bit for bit.
   bool all_identical = streamed.size() + shed == batch.size();
   std::size_t compared = 0;
@@ -220,10 +240,12 @@ int main(int argc, char** argv) {
   double poisson_hz = 0.0;
   int threads = 4;
   double deadline_ms = -1.0;
+  int batch_windows = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const bool is_flag = arg == "--poisson" || arg == "--threads" || arg == "--deadline-ms";
+    const bool is_flag = arg == "--poisson" || arg == "--threads" ||
+                         arg == "--deadline-ms" || arg == "--batch";
     if (is_flag && i + 1 >= argc) {
       std::fprintf(stderr, "%s requires a value\n", arg.c_str());
       return 2;
@@ -234,6 +256,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--batch") {
+      batch_windows = std::max(1, std::atoi(argv[++i]));
     } else if (n_positional < 3) {
       positional[n_positional++] = argv[i];
     } else {
@@ -255,7 +279,8 @@ int main(int argc, char** argv) {
     if (deadline_ms < 0.0) {
       deadline_ms = cs::window_period_ms(batch.front().window_samples);
     }
-    return run_streaming(batch, poisson_hz, std::max(0, threads), deadline_ms);
+    return run_streaming(batch, poisson_hz, std::max(0, threads), deadline_ms,
+                         batch_windows);
   }
   return run_batch_sweep(batch);
 }

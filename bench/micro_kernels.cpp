@@ -1,13 +1,27 @@
-// google-benchmark micro-benchmarks of the node-side kernels: host-side
-// throughput sanity checks (the energy claims use the OpCount model, not
-// host timings, but regressions here catch algorithmic blow-ups).
+// google-benchmark micro-benchmarks, two families:
+//
+//  * node-side kernels: host-side throughput sanity checks (the energy
+//    claims use the OpCount model, not host timings, but regressions here
+//    catch algorithmic blow-ups);
+//  * host-side reconstruction hot path: the kern-layer kernels
+//    (apply/adjoint/DWT/FISTA) benchmarked per backend — benchmarks named
+//    .../scalar and .../avx2 pin the dispatch, so the pair measures the
+//    SIMD speedup directly — plus the streaming engine's submit/poll
+//    round trip.  AVX2 variants report "AVX2 unavailable" on hosts
+//    without it.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "cls/random_projection.hpp"
+#include "cs/fista.hpp"
 #include "cs/sensing_matrix.hpp"
 #include "dsp/morphology.hpp"
 #include "dsp/sliding_minmax.hpp"
 #include "dsp/wavelet.hpp"
+#include "host/reconstruction_engine.hpp"
+#include "kern/backend.hpp"
 #include "sig/adc.hpp"
 #include "sig/ecg_synth.hpp"
 
@@ -86,6 +100,153 @@ void BM_RandomProjection(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 180);
 }
 BENCHMARK(BM_RandomProjection)->Arg(1)->Arg(3)->Arg(8);
+
+// --- kern-layer backends: scalar vs AVX2 -----------------------------------
+
+/// Pins the requested backend for one benchmark run; restores the default
+/// dispatch afterwards so unrelated benchmarks measure the production
+/// configuration.
+class BackendPin {
+ public:
+  BackendPin(benchmark::State& state, kern::Backend backend)
+      : previous_(kern::active_backend()) {
+    restore_ = kern::set_backend(backend);
+    if (!restore_) state.SkipWithError("AVX2 unavailable on this host/build");
+  }
+  ~BackendPin() {
+    if (restore_) kern::set_backend(previous_);
+  }
+  BackendPin(const BackendPin&) = delete;
+  BackendPin& operator=(const BackendPin&) = delete;
+
+ private:
+  kern::Backend previous_;
+  bool restore_ = false;
+};
+
+kern::Backend backend_of(const benchmark::State& state) {
+  return state.range(0) == 0 ? kern::Backend::kScalar : kern::Backend::kAvx2;
+}
+
+constexpr std::size_t kWindow = 512;  ///< Paper window: ~2 s at 250 Hz.
+constexpr std::size_t kRowsCr50 = 256;
+
+cs::SensingMatrix bench_matrix() {
+  sig::Rng rng(7);
+  return cs::SensingMatrix::make_sparse_binary(kRowsCr50, kWindow, 4, rng);
+}
+
+std::vector<double> bench_window(std::uint64_t seed) {
+  sig::Rng rng(seed);
+  std::vector<double> x(kWindow);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+void BM_KernApply(benchmark::State& state) {
+  BackendPin pin(state, backend_of(state));
+  const auto phi = bench_matrix();
+  const auto x = bench_window(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phi.apply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(phi.nonzeros()));
+}
+BENCHMARK(BM_KernApply)->ArgName("avx2")->Arg(0)->Arg(1);
+
+void BM_KernApplyAdjoint(benchmark::State& state) {
+  BackendPin pin(state, backend_of(state));
+  const auto phi = bench_matrix();
+  const auto y = bench_window(12);
+  const std::vector<double> ym(y.begin(), y.begin() + kRowsCr50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phi.apply_adjoint(ym));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(phi.nonzeros()));
+}
+BENCHMARK(BM_KernApplyAdjoint)->ArgName("avx2")->Arg(0)->Arg(1);
+
+void BM_KernApplyBatch8(benchmark::State& state) {
+  BackendPin pin(state, backend_of(state));
+  const auto phi = bench_matrix();
+  constexpr std::size_t kBatch = 8;
+  std::vector<double> x(kWindow * kBatch);
+  sig::Rng rng(13);
+  for (auto& v : x) v = rng.normal();
+  std::vector<double> y(kRowsCr50 * kBatch);
+  for (auto _ : state) {
+    phi.apply_batch(x, kBatch, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(phi.nonzeros() * kBatch));
+}
+BENCHMARK(BM_KernApplyBatch8)->ArgName("avx2")->Arg(0)->Arg(1);
+
+void BM_KernDwtForward(benchmark::State& state) {
+  BackendPin pin(state, backend_of(state));
+  const auto x = bench_window(14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dwt_forward(x, 5));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_KernDwtForward)->ArgName("avx2")->Arg(0)->Arg(1);
+
+void BM_KernDwtInverse(benchmark::State& state) {
+  BackendPin pin(state, backend_of(state));
+  const auto coeffs = dsp::dwt_forward(bench_window(15), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dwt_inverse(coeffs, 5));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_KernDwtInverse)->ArgName("avx2")->Arg(0)->Arg(1);
+
+/// Whole-solve view: one 512-sample window at CR 50 %, truncated solver
+/// (enough iterations to exercise every kernel family in proportion).
+void BM_KernFistaWindow(benchmark::State& state) {
+  BackendPin pin(state, backend_of(state));
+  const auto phi = bench_matrix();
+  const auto y = phi.apply(bench_window(16));
+  cs::FistaConfig cfg;
+  cfg.max_iterations = 50;
+  cfg.debias_iterations = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::fista_reconstruct(phi, y, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_KernFistaWindow)->ArgName("avx2")->Arg(0)->Arg(1);
+
+// --- streaming engine hot path ----------------------------------------------
+
+/// submit -> poll round trip with a near-zero-cost solve: measures the
+/// engine's per-window overhead (ticketing, matrix-cache hit, queue push,
+/// SLO recording, completion publish) rather than FISTA itself.
+void BM_EngineSubmitPoll(benchmark::State& state) {
+  host::EngineConfig cfg;
+  cfg.threads = 0;  // Solve inline: no cross-thread wakeup noise.
+  cfg.fista.max_iterations = 1;
+  cfg.fista.debias = false;
+  host::ReconstructionEngine engine(cfg);
+
+  host::CompressedWindow window;
+  window.patient_id = 1;
+  window.matrix_seed = 42;
+  window.window_samples = 128;
+  window.ones_per_column = 4;
+  window.measurements = bench_window(17);
+  window.measurements.resize(64);
+
+  for (auto _ : state) {
+    host::CompressedWindow copy = window;
+    benchmark::DoNotOptimize(engine.try_submit(std::move(copy)));
+    benchmark::DoNotOptimize(engine.poll());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineSubmitPoll);
 
 }  // namespace
 

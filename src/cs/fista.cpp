@@ -5,14 +5,13 @@
 #include <cmath>
 
 #include "dsp/wavelet.hpp"
+#include "kern/backend.hpp"
 
 namespace wbsn::cs {
 namespace {
 
 double norm2(std::span<const double> v) {
-  double acc = 0.0;
-  for (double x : v) acc += x * x;
-  return std::sqrt(acc);
+  return std::sqrt(kern::ops().nrm2_sq(v.data(), v.size()));
 }
 
 /// Largest singular value squared of Phi via power iteration (the sparsity
@@ -31,23 +30,12 @@ double lipschitz_of(const SensingMatrix& phi) {
   return std::max(lambda, 1e-9);
 }
 
-void soft_threshold(std::span<double> a, double tau) {
-  for (double& x : a) {
-    if (x > tau) {
-      x -= tau;
-    } else if (x < -tau) {
-      x += tau;
-    } else {
-      x = 0.0;
-    }
-  }
-}
-
 /// Least-squares refit of `a` restricted to its non-zero support:
 /// conjugate gradient on the normal equations of the composed operator
 /// A = Phi Psi' (masked to the support).
 void debias_on_support(const SensingMatrix& phi, int levels, std::span<const double> y,
                        std::vector<double>& a, int iterations) {
+  const auto& k = kern::ops();
   const std::size_t n = a.size();
   std::vector<std::uint8_t> mask(n, 0);
   std::size_t support = 0;
@@ -77,22 +65,19 @@ void debias_on_support(const SensingMatrix& phi, int levels, std::span<const dou
   for (std::size_t i = 0; i < residual.size(); ++i) residual[i] = y[i] - residual[i];
   auto g = adjoint_masked(residual);  // Gradient residual in coef space.
   auto direction = g;
-  double g_norm_sq = 0.0;
-  for (double v : g) g_norm_sq += v * v;
+  double g_norm_sq = k.nrm2_sq(g.data(), g.size());
 
   for (int it = 0; it < iterations && g_norm_sq > 1e-18; ++it) {
     const auto ad = apply_masked(direction);
-    double ad_norm_sq = 0.0;
-    for (double v : ad) ad_norm_sq += v * v;
+    const double ad_norm_sq = k.nrm2_sq(ad.data(), ad.size());
     if (ad_norm_sq <= 1e-18) break;
     const double alpha = g_norm_sq / ad_norm_sq;
-    for (std::size_t i = 0; i < n; ++i) a[i] += alpha * direction[i];
-    for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= alpha * ad[i];
+    k.axpy(alpha, direction.data(), a.data(), n);
+    k.axpy(-alpha, ad.data(), residual.data(), residual.size());
     const auto g_next = adjoint_masked(residual);
-    double g_next_norm_sq = 0.0;
-    for (double v : g_next) g_next_norm_sq += v * v;
+    const double g_next_norm_sq = k.nrm2_sq(g_next.data(), g_next.size());
     const double beta = g_next_norm_sq / g_norm_sq;
-    for (std::size_t i = 0; i < n; ++i) direction[i] = g_next[i] + beta * direction[i];
+    k.xpby(g_next.data(), beta, direction.data(), n);
     g = g_next;
     g_norm_sq = g_next_norm_sq;
   }
@@ -100,59 +85,144 @@ void debias_on_support(const SensingMatrix& phi, int levels, std::span<const dou
 
 }  // namespace
 
-FistaResult fista_reconstruct(const SensingMatrix& phi, std::span<const double> y,
-                              const FistaConfig& cfg) {
-  const std::size_t n = phi.cols();
-  const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
-  FistaResult result;
+std::vector<FistaResult> fista_solve_batch(const SensingMatrix& phi,
+                                           std::span<const std::vector<double>> ys,
+                                           const FistaConfig& cfg) {
+  const std::size_t batch = ys.size();
+  std::vector<FistaResult> results(batch);
+  if (batch == 0) return results;
 
-  const auto forward = [&](std::span<const double> a) {
-    return phi.apply(dsp::dwt_inverse(a, levels));
-  };
-  const auto adjoint = [&](std::span<const double> r) {
-    return dsp::dwt_forward(phi.apply_adjoint(r), levels);
-  };
+  const auto& k = kern::ops();
+  const std::size_t n = phi.cols();
+  const std::size_t m = phi.rows();
+  const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
 
   const double lip = lipschitz_of(phi);
-  const auto aty = adjoint(y);
-  double max_abs = 0.0;
-  for (double v : aty) max_abs = std::max(max_abs, std::abs(v));
-  const double lambda = cfg.lambda_rel * max_abs;
 
-  std::vector<double> a(n, 0.0);       // Current iterate.
-  std::vector<double> z(n, 0.0);       // Momentum point.
-  std::vector<double> a_prev(n, 0.0);
-  double t = 1.0;
-
-  for (int it = 0; it < cfg.max_iterations; ++it) {
-    // Gradient step at z: g = A'(A z - y).
-    auto az = forward(z);
-    for (std::size_t i = 0; i < az.size(); ++i) az[i] -= y[i];
-    const auto grad = adjoint(az);
-    a_prev = a;
-    for (std::size_t i = 0; i < n; ++i) a[i] = z[i] - grad[i] / lip;
-    soft_threshold(a, lambda / lip);
-
-    // Momentum update.
-    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
-    const double beta = (t - 1.0) / t_next;
-    double delta = 0.0;
-    double scale = 1e-12;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = a[i] - a_prev[i];
-      delta += d * d;
-      scale += a[i] * a[i];
-      z[i] = a[i] + beta * d;
-    }
-    t = t_next;
-    result.iterations_run = it + 1;
-    if (std::sqrt(delta / scale) < cfg.tolerance) break;
+  // Windows interleave element-major: Y[r * batch + b] is measurement r of
+  // window b.  Every kernel's per-window math is bit-identical across
+  // batch widths (kern contract), so packing windows is purely an
+  // execution-layout optimization — the matrix plan and the DWT filters
+  // stream once per iteration for the whole batch.
+  std::vector<double> y_interleaved(m * batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    assert(ys[b].size() == m);
+    for (std::size_t r = 0; r < m; ++r) y_interleaved[r * batch + b] = ys[b][r];
   }
 
-  if (cfg.debias) debias_on_support(phi, levels, y, a, cfg.debias_iterations);
-  result.coefficients = a;
-  result.signal = dsp::dwt_inverse(a, levels);
-  return result;
+  // Per-window lambda from the worst-case correlation |A' y| (max is
+  // order-free, so a plain strided scan matches the single-window path).
+  std::vector<double> buf_n(n * batch);
+  phi.apply_adjoint_batch(y_interleaved, batch, buf_n);
+  const auto aty = dsp::dwt_forward_batch(buf_n, batch, levels);
+  std::vector<double> tau(batch, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      tau[b] = std::max(tau[b], std::abs(aty[i * batch + b]));
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) tau[b] = cfg.lambda_rel * tau[b] / lip;
+
+  // Active-lane state.  When a window converges, its iterate is extracted
+  // and the lane is compacted away, so later iterations only pay for the
+  // windows still running.  Every kernel's per-window math is independent
+  // of the batch composition (the kern batch-width contract), so shrinking
+  // the batch mid-solve cannot change any surviving window's bits.
+  std::vector<std::size_t> owner(batch);  // Lane -> original window index.
+  for (std::size_t b = 0; b < batch; ++b) owner[b] = b;
+  std::vector<double> y_cur = std::move(y_interleaved);  // Not read again.
+  std::vector<double> tau_cur = tau;
+  std::vector<double> a(n * batch, 0.0);  // Current iterates, lane-interleaved.
+  std::vector<double> z(n * batch, 0.0);  // Momentum points.
+  std::vector<double> a_prev;
+  std::vector<double> buf_m(m * batch);
+  std::vector<double> delta(batch, 0.0);
+  std::vector<double> scale(batch, 0.0);
+  std::vector<std::vector<double>> final_a(batch);  // Extracted iterates.
+  std::vector<std::size_t> kept;  // Reused per iteration: no per-iter alloc.
+  kept.reserve(batch);
+  std::size_t cur = batch;
+  double t = 1.0;
+
+  const auto extract_lane = [&](std::size_t lane) {
+    std::vector<double> ab(n);
+    for (std::size_t i = 0; i < n; ++i) ab[i] = a[i * cur + lane];
+    final_a[owner[lane]] = std::move(ab);
+  };
+
+  for (int it = 0; it < cfg.max_iterations && cur > 0; ++it) {
+    // Gradient step at z: grad = A'(A z - y), a = soft(z - grad / L).
+    auto xz = dsp::dwt_inverse_batch(std::span<const double>(z.data(), n * cur), cur, levels);
+    phi.apply_batch(xz, cur, std::span<double>(buf_m.data(), m * cur));
+    k.axpy(-1.0, y_cur.data(), buf_m.data(), m * cur);
+    phi.apply_adjoint_batch(std::span<const double>(buf_m.data(), m * cur), cur,
+                            std::span<double>(buf_n.data(), n * cur));
+    const auto grad =
+        dsp::dwt_forward_batch(std::span<const double>(buf_n.data(), n * cur), cur, levels);
+    a_prev = a;
+    k.grad_step(z.data(), grad.data(), lip, a.data(), n * cur);
+    k.soft_threshold_batch(a.data(), n, cur, tau_cur.data());
+
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_next;
+    k.momentum_batch(a.data(), a_prev.data(), z.data(), beta, n, cur, delta.data(),
+                     scale.data());
+    t = t_next;
+
+    kept.clear();
+    for (std::size_t lane = 0; lane < cur; ++lane) {
+      results[owner[lane]].iterations_run = it + 1;
+      if (std::sqrt(delta[lane] / (1e-12 + scale[lane])) < cfg.tolerance) {
+        extract_lane(lane);  // Converged: this window's solve ends here.
+      } else {
+        kept.push_back(lane);
+      }
+    }
+    if (kept.size() < cur) {
+      // Compact the surviving lanes (exact copies, no arithmetic).
+      const std::size_t next = kept.size();
+      std::vector<double> a2(n * next);
+      std::vector<double> z2(n * next);
+      std::vector<double> y2(m * next);
+      std::vector<double> tau2(next);
+      std::vector<std::size_t> owner2(next);
+      for (std::size_t j = 0; j < next; ++j) {
+        const std::size_t lane = kept[j];
+        for (std::size_t i = 0; i < n; ++i) {
+          a2[i * next + j] = a[i * cur + lane];
+          z2[i * next + j] = z[i * cur + lane];
+        }
+        for (std::size_t r = 0; r < m; ++r) y2[r * next + j] = y_cur[r * cur + lane];
+        tau2[j] = tau_cur[lane];
+        owner2[j] = owner[lane];
+      }
+      a = std::move(a2);
+      z = std::move(z2);
+      y_cur = std::move(y2);
+      tau_cur = std::move(tau2);
+      owner = std::move(owner2);
+      cur = next;
+    }
+  }
+  // Windows that hit max_iterations without converging.
+  for (std::size_t lane = 0; lane < cur; ++lane) extract_lane(lane);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    // Every lane was extracted above — at convergence, or by the post-loop
+    // sweep (which covers max_iterations == 0 with the zero iterate too).
+    auto ab = std::move(final_a[b]);
+    if (cfg.debias) debias_on_support(phi, levels, ys[b], ab, cfg.debias_iterations);
+    results[b].signal = dsp::dwt_inverse(ab, levels);
+    results[b].coefficients = std::move(ab);
+  }
+  return results;
+}
+
+FistaResult fista_reconstruct(const SensingMatrix& phi, std::span<const double> y,
+                              const FistaConfig& cfg) {
+  const std::vector<std::vector<double>> ys(1, std::vector<double>(y.begin(), y.end()));
+  auto results = fista_solve_batch(phi, ys, cfg);
+  return std::move(results[0]);
 }
 
 GroupFistaResult group_fista_reconstruct(const SensingMatrix& phi,
@@ -166,6 +236,7 @@ GroupFistaResult group_fista_reconstruct_multi(std::span<const SensingMatrix> ph
                                                std::span<const std::vector<double>> ys,
                                                const FistaConfig& cfg) {
   assert(phis.size() == ys.size());
+  const auto& kn = kern::ops();
   const std::size_t n = phis[0].cols();
   const std::size_t num_leads = ys.size();
   const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
@@ -192,9 +263,9 @@ GroupFistaResult group_fista_reconstruct_multi(std::span<const SensingMatrix> ph
     a_prev = a;
     for (std::size_t l = 0; l < num_leads; ++l) {
       auto az = phis[l].apply(dsp::dwt_inverse(z[l], levels));
-      for (std::size_t i = 0; i < az.size(); ++i) az[i] -= ys[l][i];
+      kn.axpy(-1.0, ys[l].data(), az.data(), az.size());
       const auto grad = dsp::dwt_forward(phis[l].apply_adjoint(az), levels);
-      for (std::size_t i = 0; i < n; ++i) a[l][i] = z[l][i] - grad[i] / lip;
+      kn.grad_step(z[l].data(), grad.data(), lip, a[l].data(), n);
     }
     // Group (row-wise) soft threshold: shrink the cross-lead coefficient
     // vector at each index jointly — coefficients survive only where the
@@ -213,12 +284,12 @@ GroupFistaResult group_fista_reconstruct_multi(std::span<const SensingMatrix> ph
     double delta = 0.0;
     double scale_acc = 1e-12;
     for (std::size_t l = 0; l < num_leads; ++l) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const double d = a[l][i] - a_prev[l][i];
-        delta += d * d;
-        scale_acc += a[l][i] * a[l][i];
-        z[l][i] = a[l][i] + beta * d;
-      }
+      double lead_delta = 0.0;
+      double lead_scale = 0.0;
+      kn.momentum(a[l].data(), a_prev[l].data(), z[l].data(), beta, n, &lead_delta,
+                  &lead_scale);
+      delta += lead_delta;
+      scale_acc += lead_scale;
     }
     t = t_next;
     result.iterations_run = it + 1;
@@ -238,6 +309,7 @@ std::vector<double> omp_reconstruct(const SensingMatrix& phi, std::span<const do
   const std::size_t n = phi.cols();
   const std::size_t m = phi.rows();
   const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
+  const auto& kn = kern::ops();
 
   // Column of A = Phi * (inverse DWT of the i-th unit coefficient).
   const auto column_of = [&](std::size_t i) {
@@ -275,14 +347,11 @@ std::vector<double> omp_reconstruct(const SensingMatrix& phi, std::span<const do
     std::vector<double> b(k, 0.0);
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = 0; j <= i; ++j) {
-        double acc = 0.0;
-        for (std::size_t r = 0; r < m; ++r) acc += atoms[i][r] * atoms[j][r];
+        const double acc = kn.dot(atoms[i].data(), atoms[j].data(), m);
         gram[i * k + j] = acc;
         gram[j * k + i] = acc;
       }
-      double acc = 0.0;
-      for (std::size_t r = 0; r < m; ++r) acc += atoms[i][r] * y[r];
-      b[i] = acc;
+      b[i] = kn.dot(atoms[i].data(), y.data(), m);
     }
     // Cholesky G = L L'.
     std::vector<double> chol(k * k, 0.0);
@@ -314,7 +383,7 @@ std::vector<double> omp_reconstruct(const SensingMatrix& phi, std::span<const do
     // Residual update.
     residual.assign(y.begin(), y.end());
     for (std::size_t i = 0; i < k; ++i) {
-      for (std::size_t r = 0; r < m; ++r) residual[r] -= coef[i] * atoms[i][r];
+      kn.axpy(-coef[i], atoms[i].data(), residual.data(), m);
     }
   }
 

@@ -39,8 +39,24 @@ struct FistaResult {
 };
 
 /// Single-lead reconstruction of a window of `n` samples from `y`.
+/// Equivalent to fista_solve_batch with one window.
 FistaResult fista_reconstruct(const SensingMatrix& phi, std::span<const double> y,
                               const FistaConfig& cfg = {});
+
+/// Solves several independent windows that share one sensing matrix in a
+/// single batched FISTA pass: the windows are interleaved element-major
+/// so the packed matrix plan and the DWT filters stream once per
+/// iteration across the whole batch.  Each window keeps its own lambda
+/// and its own stopping iteration (converged windows are extracted and
+/// compacted out while the rest continue, so stragglers don't pay for
+/// finished lanes), and every per-window result is bit-identical to a
+/// solo fista_reconstruct of that window — batching is purely an
+/// execution-layout optimization (the kern layer's batch-width
+/// contract), which is what lets host::ReconstructionEngine batch
+/// opportunistically without breaking its determinism guarantee.
+std::vector<FistaResult> fista_solve_batch(const SensingMatrix& phi,
+                                           std::span<const std::vector<double>> ys,
+                                           const FistaConfig& cfg = {});
 
 struct GroupFistaResult {
   std::vector<std::vector<double>> signals;  ///< [lead][sample].

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "kern/backend.hpp"
+
 namespace wbsn::cs {
 
 SensingMatrix SensingMatrix::make_sparse_binary(std::size_t m, std::size_t n,
@@ -32,6 +34,7 @@ SensingMatrix SensingMatrix::make_sparse_binary(std::size_t m, std::size_t n,
     }
   }
   mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+  mat.build_plans();
   return mat;
 }
 
@@ -48,7 +51,35 @@ SensingMatrix SensingMatrix::make_bernoulli(std::size_t m, std::size_t n, sig::R
     }
   }
   mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+  mat.build_plans();
   return mat;
+}
+
+void SensingMatrix::build_plans() {
+  // Adjoint outputs are the columns — the entry lists are already
+  // column-major, so each output's canonical term order is the stored
+  // entry order.
+  std::vector<kern::SpmvTerms> cols(n_);
+  for (std::size_t c = 0; c < n_; ++c) {
+    cols[c].reserve(col_start_[c + 1] - col_start_[c]);
+    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+      cols[c].emplace_back(static_cast<std::int32_t>(entries_[e].row),
+                           static_cast<double>(entries_[e].sign));
+    }
+  }
+  adjoint_plan_ = kern::build_spmv_plan(m_, cols);
+
+  // Apply outputs are the rows; scanning columns in ascending order gives
+  // each row its terms in ascending-column order, the same order the
+  // original scatter loop accumulated in.
+  std::vector<kern::SpmvTerms> rows(m_);
+  for (std::size_t c = 0; c < n_; ++c) {
+    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+      rows[entries_[e].row].emplace_back(static_cast<std::int32_t>(c),
+                                         static_cast<double>(entries_[e].sign));
+    }
+  }
+  apply_plan_ = kern::build_spmv_plan(n_, rows);
 }
 
 std::vector<std::int64_t> SensingMatrix::encode(std::span<const std::int32_t> x,
@@ -77,27 +108,28 @@ std::vector<std::int64_t> SensingMatrix::encode(std::span<const std::int32_t> x,
 
 std::vector<double> SensingMatrix::apply(std::span<const double> x) const {
   assert(x.size() == n_);
-  std::vector<double> y(m_, 0.0);
-  for (std::size_t c = 0; c < n_; ++c) {
-    const double v = x[c];
-    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
-      y[entries_[e].row] += entries_[e].sign * v;
-    }
-  }
+  std::vector<double> y(m_);
+  kern::ops().spmv(apply_plan_, x.data(), y.data());
   return y;
 }
 
 std::vector<double> SensingMatrix::apply_adjoint(std::span<const double> y) const {
   assert(y.size() == m_);
-  std::vector<double> x(n_, 0.0);
-  for (std::size_t c = 0; c < n_; ++c) {
-    double acc = 0.0;
-    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
-      acc += entries_[e].sign * y[entries_[e].row];
-    }
-    x[c] = acc;
-  }
+  std::vector<double> x(n_);
+  kern::ops().spmv(adjoint_plan_, y.data(), x.data());
   return x;
+}
+
+void SensingMatrix::apply_batch(std::span<const double> x, std::size_t batch,
+                                std::span<double> y) const {
+  assert(x.size() == n_ * batch && y.size() == m_ * batch);
+  kern::ops().spmv_batch(apply_plan_, x.data(), batch, y.data());
+}
+
+void SensingMatrix::apply_adjoint_batch(std::span<const double> y, std::size_t batch,
+                                        std::span<double> x) const {
+  assert(y.size() == m_ * batch && x.size() == n_ * batch);
+  kern::ops().spmv_batch(adjoint_plan_, y.data(), batch, x.data());
 }
 
 std::size_t SensingMatrix::storage_bytes() const {

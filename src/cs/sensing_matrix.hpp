@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dsp/opcount.hpp"
+#include "kern/spmv_plan.hpp"
 #include "sig/rng.hpp"
 
 namespace wbsn::cs {
@@ -38,8 +39,18 @@ class SensingMatrix {
                                    dsp::OpCount* ops = nullptr) const;
 
   /// Host-side apply / adjoint in double precision (for the solver).
+  /// Routed through the kern layer's packed spmv plans — bit-identical
+  /// across the scalar and AVX2 backends and across batch widths.
   std::vector<double> apply(std::span<const double> x) const;
   std::vector<double> apply_adjoint(std::span<const double> y) const;
+
+  /// Batched apply over `batch` windows interleaved element-major
+  /// (x[i * batch + b] is element i of window b; y laid out the same
+  /// way).  Matrix data streams once across the whole batch.
+  void apply_batch(std::span<const double> x, std::size_t batch,
+                   std::span<double> y) const;
+  void apply_adjoint_batch(std::span<const double> y, std::size_t batch,
+                           std::span<double> x) const;
 
   /// Bytes of node ROM needed to store the matrix (row indices, 16-bit,
   /// plus a sign bit-plane when any entry is negative).
@@ -47,6 +58,11 @@ class SensingMatrix {
 
  private:
   SensingMatrix(std::size_t m, std::size_t n) : m_(m), n_(n) {}
+
+  /// Builds the packed apply/adjoint plans from entries_; called once by
+  /// each factory so the matrix is immutable — and safely shared across
+  /// solver threads — from then on.
+  void build_plans();
 
   struct Entry {
     std::uint16_t row;
@@ -57,6 +73,8 @@ class SensingMatrix {
   std::vector<std::uint32_t> col_start_;  ///< n_+1 offsets into entries_.
   std::vector<Entry> entries_;
   bool has_negative_ = false;
+  kern::SpmvPlan apply_plan_;    ///< Row-major packing (outputs = rows).
+  kern::SpmvPlan adjoint_plan_;  ///< Column-major packing (outputs = cols).
 };
 
 /// Compression ratio (%) for a window of n samples measured with m rows:

@@ -1,8 +1,10 @@
 #include "dsp/wavelet.hpp"
 
-#include <array>
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "kern/backend.hpp"
 
 namespace wbsn::dsp {
 namespace {
@@ -60,47 +62,6 @@ SwtResult swt_spline(std::span<const std::int32_t> x, int levels) {
   return result;
 }
 
-namespace {
-
-// Daubechies-4 (two vanishing moments) orthonormal filter pair.
-constexpr std::array<double, 4> kDb4Lo = {
-    0.48296291314453416, 0.83651630373780794, 0.22414386804201339, -0.12940952255126037};
-
-constexpr std::array<double, 4> kDb4Hi = {
-    // g[m] = (-1)^m h[3-m].
-    -0.12940952255126037, -0.22414386804201339, 0.83651630373780794, -0.48296291314453416};
-
-void dwt_step(std::span<const double> x, std::span<double> approx, std::span<double> detail) {
-  const std::size_t n = x.size();
-  const std::size_t half = n / 2;
-  for (std::size_t k = 0; k < half; ++k) {
-    double a = 0.0;
-    double d = 0.0;
-    for (std::size_t m = 0; m < 4; ++m) {
-      const double v = x[(2 * k + m) % n];
-      a += kDb4Lo[m] * v;
-      d += kDb4Hi[m] * v;
-    }
-    approx[k] = a;
-    detail[k] = d;
-  }
-}
-
-void idwt_step(std::span<const double> approx, std::span<const double> detail,
-               std::span<double> x) {
-  const std::size_t half = approx.size();
-  const std::size_t n = 2 * half;
-  std::fill(x.begin(), x.end(), 0.0);
-  for (std::size_t k = 0; k < half; ++k) {
-    for (std::size_t m = 0; m < 4; ++m) {
-      const std::size_t i = (2 * k + m) % n;
-      x[i] += kDb4Lo[m] * approx[k] + kDb4Hi[m] * detail[k];
-    }
-  }
-}
-
-}  // namespace
-
 int dwt_max_levels(std::size_t n) {
   int levels = 0;
   while (n >= 4 && n % 2 == 0) {
@@ -110,16 +71,20 @@ int dwt_max_levels(std::size_t n) {
   return levels;
 }
 
+// The Db4 lifting steps live in the kern layer (kern/backend.hpp): the
+// loops below only orchestrate the level cascade, so the per-output
+// arithmetic — and thus the bits — comes from the runtime-dispatched
+// backend, identical across scalar/AVX2 and batch widths.
+
 std::vector<double> dwt_forward(std::span<const double> x, int levels) {
   assert(levels >= 0 && levels <= dwt_max_levels(x.size()));
+  const auto& k = kern::ops();
   std::vector<double> coeffs(x.begin(), x.end());
   std::vector<double> buf(x.size());
   std::size_t len = x.size();
   for (int level = 0; level < levels; ++level) {
     const std::size_t half = len / 2;
-    dwt_step(std::span<const double>(coeffs.data(), len),
-             std::span<double>(buf.data(), half),
-             std::span<double>(buf.data() + half, half));
+    k.dwt_step(coeffs.data(), len, buf.data(), buf.data() + half);
     std::copy(buf.begin(), buf.begin() + static_cast<long>(len), coeffs.begin());
     len = half;
   }
@@ -128,15 +93,50 @@ std::vector<double> dwt_forward(std::span<const double> x, int levels) {
 
 std::vector<double> dwt_inverse(std::span<const double> coeffs, int levels) {
   assert(levels >= 0 && levels <= dwt_max_levels(coeffs.size()));
+  const auto& k = kern::ops();
   std::vector<double> x(coeffs.begin(), coeffs.end());
   std::vector<double> buf(coeffs.size());
   std::size_t len = coeffs.size() >> levels;
   for (int level = 0; level < levels; ++level) {
     const std::size_t full = 2 * len;
-    idwt_step(std::span<const double>(x.data(), len),
-              std::span<const double>(x.data() + len, len),
-              std::span<double>(buf.data(), full));
+    k.idwt_step(x.data(), x.data() + len, len, buf.data());
     std::copy(buf.begin(), buf.begin() + static_cast<long>(full), x.begin());
+    len = full;
+  }
+  return x;
+}
+
+std::vector<double> dwt_forward_batch(std::span<const double> x, std::size_t batch,
+                                      int levels) {
+  assert(batch > 0 && x.size() % batch == 0);
+  const std::size_t n = x.size() / batch;
+  assert(levels >= 0 && levels <= dwt_max_levels(n));
+  const auto& k = kern::ops();
+  std::vector<double> coeffs(x.begin(), x.end());
+  std::vector<double> buf(x.size());
+  std::size_t len = n;
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t half = len / 2;
+    k.dwt_step_batch(coeffs.data(), len, batch, buf.data(), buf.data() + half * batch);
+    std::copy(buf.begin(), buf.begin() + static_cast<long>(len * batch), coeffs.begin());
+    len = half;
+  }
+  return coeffs;
+}
+
+std::vector<double> dwt_inverse_batch(std::span<const double> coeffs, std::size_t batch,
+                                      int levels) {
+  assert(batch > 0 && coeffs.size() % batch == 0);
+  const std::size_t n = coeffs.size() / batch;
+  assert(levels >= 0 && levels <= dwt_max_levels(n));
+  const auto& k = kern::ops();
+  std::vector<double> x(coeffs.begin(), coeffs.end());
+  std::vector<double> buf(coeffs.size());
+  std::size_t len = n >> levels;
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t full = 2 * len;
+    k.idwt_step_batch(x.data(), x.data() + len * batch, len, batch, buf.data());
+    std::copy(buf.begin(), buf.begin() + static_cast<long>(full * batch), x.begin());
     len = full;
   }
   return x;

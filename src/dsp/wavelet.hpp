@@ -42,6 +42,17 @@ std::vector<double> dwt_forward(std::span<const double> x, int levels);
 /// Inverse of dwt_forward (exact reconstruction up to rounding).
 std::vector<double> dwt_inverse(std::span<const double> coeffs, int levels);
 
+/// Batched analysis over `batch` windows interleaved element-major:
+/// x[i * batch + b] is sample i of window b, x.size() == n * batch.
+/// Per-window results are bit-identical to dwt_forward on that window
+/// alone (the kern layer's batch-width contract).
+std::vector<double> dwt_forward_batch(std::span<const double> x, std::size_t batch,
+                                      int levels);
+
+/// Inverse of dwt_forward_batch (same interleaved layout).
+std::vector<double> dwt_inverse_batch(std::span<const double> coeffs, std::size_t batch,
+                                      int levels);
+
 /// Maximum level count usable for length n (keeps every stage even-length).
 int dwt_max_levels(std::size_t n);
 

@@ -45,10 +45,14 @@ ReconstructionEngine::~ReconstructionEngine() {
 }
 
 void ReconstructionEngine::worker_loop() {
+  std::vector<WorkItem*> items;
   for (;;) {
     WorkItem* item = nullptr;
     if (queue_.try_pop(item)) {
-      process(item);
+      items.clear();
+      items.push_back(item);
+      pop_batch(items);
+      process_batch(items);
       continue;
     }
     std::unique_lock<std::mutex> lk(work_mutex_);
@@ -59,54 +63,148 @@ void ReconstructionEngine::worker_loop() {
   }
 }
 
-const cs::SensingMatrix* ReconstructionEngine::prepare_matrix(const CompressedWindow& window) {
+void ReconstructionEngine::pop_batch(std::vector<WorkItem*>& items) {
+  const auto limit = static_cast<std::size_t>(std::max(1, cfg_.batch_windows));
+  WorkItem* item = nullptr;
+  while (items.size() < limit && queue_.try_pop(item)) items.push_back(item);
+}
+
+std::shared_ptr<const cs::SensingMatrix> ReconstructionEngine::prepare_matrix(
+    const CompressedWindow& window) {
   const MatrixKey key{window.matrix_seed, window.measurements.size(), window.window_samples,
                       window.ones_per_column};
   {
     std::lock_guard<std::mutex> lk(matrices_mutex_);
     const auto found = matrices_.find(key);
-    if (found != matrices_.end()) return &found->second;
+    if (found != matrices_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second.lru_pos);  // Touch.
+      return found->second.phi;
+    }
   }
   // Cache miss: build outside the lock so concurrent submitters (even pure
   // cache hits) never stall behind a construction.  Two racing misses both
   // build; emplace keeps the first and the duplicate — bit-identical, it
   // is a pure function of the key — is discarded.
   sig::Rng rng(window.matrix_seed);
-  auto built = cs::SensingMatrix::make_sparse_binary(
-      window.measurements.size(), window.window_samples, window.ones_per_column, rng);
+  auto built = std::make_shared<const cs::SensingMatrix>(cs::SensingMatrix::make_sparse_binary(
+      window.measurements.size(), window.window_samples, window.ones_per_column, rng));
   std::lock_guard<std::mutex> lk(matrices_mutex_);
-  const auto [it, inserted] = matrices_.emplace(key, std::move(built));
-  return &it->second;
+  const auto [it, inserted] = matrices_.emplace(key, CachedMatrix{std::move(built), {}});
+  if (inserted) {
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    if (cfg_.matrix_cache_capacity > 0) {
+      while (matrices_.size() > cfg_.matrix_cache_capacity) {
+        // Evict least-recently used.  Windows already holding the
+        // shared_ptr keep the matrix alive until they finish.
+        matrices_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    }
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  return it->second.phi;
 }
 
-void ReconstructionEngine::process(WorkItem* item) {
-  const CompressedWindow& window = item->window;
-  WindowResult result;
-  result.patient_id = window.patient_id;
-  result.window_index = window.window_index;
-  result.ticket = item->ticket;
+std::size_t ReconstructionEngine::cached_matrices() const {
+  std::lock_guard<std::mutex> lk(matrices_mutex_);
+  return matrices_.size();
+}
+
+SloTracker* ReconstructionEngine::patient_tracker(std::uint32_t patient_id) {
+  if (!cfg_.per_patient_slo) return nullptr;
+  std::lock_guard<std::mutex> lk(patient_slo_mutex_);
+  const auto found = patient_slo_.find(patient_id);
+  if (found != patient_slo_.end()) return found->second.get();
+  // Entries are never evicted (recording threads use raw pointers), so
+  // the map is bounded by refusing new ids at the cap instead: a fleet
+  // with churning patient ids can't grow host memory without bound.
+  if (cfg_.max_tracked_patients > 0 && patient_slo_.size() >= cfg_.max_tracked_patients) {
+    return nullptr;
+  }
+  return patient_slo_.emplace(patient_id, std::make_unique<SloTracker>(cfg_.slo))
+      .first->second.get();
+}
+
+std::vector<PatientSlo> ReconstructionEngine::patient_slo_snapshots() const {
+  std::lock_guard<std::mutex> lk(patient_slo_mutex_);
+  std::vector<PatientSlo> out;
+  out.reserve(patient_slo_.size());
+  for (const auto& [patient_id, tracker] : patient_slo_) {
+    out.push_back({patient_id, tracker->snapshot()});
+  }
+  return out;  // std::map iteration: already sorted by patient_id.
+}
+
+void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
+  // Keep the same-matrix group containing the oldest popped item; requeue
+  // the rest for other workers.  Different shared_ptr instances of the
+  // same key are possible across evictions; grouping by object is
+  // sufficient — and necessary, since a batched solve streams one plan.
+  std::vector<WorkItem*> group;
+  std::size_t requeued = 0;
+  group.reserve(items.size());
+  for (WorkItem* item : items) {
+    if (item->phi == items.front()->phi) {
+      group.push_back(item);
+    } else {
+      const bool pushed = queue_.try_push(item);  // Reservation held: cannot fail.
+      assert(pushed);
+      (void)pushed;
+      ++requeued;
+    }
+  }
+  if (requeued > 0 && !workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(work_mutex_);
+    }
+    work_cv_.notify_all();
+  }
 
   const auto t0 = Clock::now();
-  auto solved = cs::fista_reconstruct(*item->phi, window.measurements, cfg_.fista);
+  std::vector<cs::FistaResult> solved;
+  if (group.size() == 1) {
+    solved.push_back(cs::fista_reconstruct(*group.front()->phi,
+                                           group.front()->window.measurements, cfg_.fista));
+  } else {
+    std::vector<std::vector<double>> ys;
+    ys.reserve(group.size());
+    for (const WorkItem* item : group) ys.push_back(item->window.measurements);
+    solved = cs::fista_solve_batch(*group.front()->phi, ys, cfg_.fista);
+  }
   const auto t1 = Clock::now();
-  result.latency_ms = ms_between(t0, t1);
-  result.e2e_ms = ms_between(item->enqueue_time, t1);
-  result.iterations = solved.iterations_run;
-  result.signal = std::move(solved.signal);
-  result.snr_db = window.reference.empty()
-                      ? std::numeric_limits<double>::quiet_NaN()
-                      : cs::reconstruction_snr_db(window.reference, result.signal);
+  const double solve_ms = ms_between(t0, t1);
 
-  slo_.on_complete(result.e2e_ms);
-  delete item;
+  std::vector<DoneItem> results;
+  results.reserve(group.size());
+  for (std::size_t s = 0; s < group.size(); ++s) {
+    WorkItem* item = group[s];
+    const CompressedWindow& window = item->window;
+    WindowResult result;
+    result.patient_id = window.patient_id;
+    result.window_index = window.window_index;
+    result.ticket = item->ticket;
+    result.latency_ms = solve_ms;  // Whole-group solve wall time.
+    result.e2e_ms = ms_between(item->enqueue_time, t1);
+    result.iterations = solved[s].iterations_run;
+    result.signal = std::move(solved[s].signal);
+    result.snr_db = window.reference.empty()
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : cs::reconstruction_snr_db(window.reference, result.signal);
+    slo_.on_complete(result.e2e_ms);
+    if (item->patient_slo != nullptr) item->patient_slo->on_complete(result.e2e_ms);
+    results.push_back(DoneItem{std::move(result), item->patient_slo});
+    delete item;
+  }
   {
     std::lock_guard<std::mutex> lk(done_mutex_);
-    done_.push_back(std::move(result));
+    for (auto& result : results) done_.push_back(std::move(result));
   }
-  // Publish the result strictly before the slot release: any thread that
+  // Publish the results strictly before the slot release: any thread that
   // observes in_flight_ == 0 (acquire) is guaranteed to find every result
   // already in done_.
-  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  in_flight_.fetch_sub(group.size(), std::memory_order_acq_rel);
   done_cv_.notify_all();
 }
 
@@ -121,11 +219,13 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&&
   auto item = std::make_unique<WorkItem>();
   item->phi = prepare_matrix(window);
   item->window = std::move(window);
+  item->patient_slo = patient_tracker(item->window.patient_id);
   item->ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   item->enqueue_time = Clock::now();
   const std::uint64_t ticket = item->ticket;
 
   slo_.on_submit();
+  if (item->patient_slo != nullptr) item->patient_slo->on_submit();
   const bool pushed = queue_.try_push(item.release());
   assert(pushed);  // Guaranteed by the slot reservation above.
   (void)pushed;
@@ -142,11 +242,11 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&&
 std::uint64_t ReconstructionEngine::submit(CompressedWindow window) {
   for (;;) {
     if (auto ticket = try_submit(std::move(window))) return *ticket;
-    // At capacity.  Serial mode: make room by solving one window inline.
-    // Threaded mode: wait for a worker to complete one (wait_for rather
-    // than wait so a slot freed between the failed try_submit and the
-    // sleep cannot strand us).
-    if (workers_.empty() && help_one()) continue;
+    // At capacity.  Serial mode: make room by solving pending windows
+    // inline.  Threaded mode: wait for a worker to complete one (wait_for
+    // rather than wait so a slot freed between the failed try_submit and
+    // the sleep cannot strand us).
+    if (workers_.empty() && help_some()) continue;
     std::unique_lock<std::mutex> lk(done_mutex_);
     done_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
       return in_flight_.load(std::memory_order_acquire) < in_flight_capacity();
@@ -154,10 +254,12 @@ std::uint64_t ReconstructionEngine::submit(CompressedWindow window) {
   }
 }
 
-bool ReconstructionEngine::help_one() {
+bool ReconstructionEngine::help_some() {
   WorkItem* item = nullptr;
   if (!queue_.try_pop(item)) return false;
-  process(item);
+  std::vector<WorkItem*> items{item};
+  pop_batch(items);
+  process_batch(items);
   return true;
 }
 
@@ -166,15 +268,17 @@ std::optional<WindowResult> ReconstructionEngine::poll() {
     {
       std::lock_guard<std::mutex> lk(done_mutex_);
       if (!done_.empty()) {
-        std::optional<WindowResult> result{std::move(done_.front())};
+        DoneItem done = std::move(done_.front());
         done_.pop_front();
         slo_.on_retrieve();
-        return result;
+        // Resolved at submit and engine-lifetime stable: no map, no lock.
+        if (done.patient_slo != nullptr) done.patient_slo->on_retrieve();
+        return std::optional<WindowResult>{std::move(done.result)};
       }
     }
     // Serial reference mode: the calling thread is the solver.  Loop (not
     // recurse) because a concurrent poller may steal the result we solved.
-    if (workers_.empty() && help_one()) continue;
+    if (workers_.empty() && help_some()) continue;
     return std::nullopt;
   }
 }

@@ -16,7 +16,10 @@
 //   * A fixed pool of worker threads drains the bounded lock-free MPMC
 //     work queue (work_queue.hpp) persistently — there is no per-batch
 //     barrier, a worker starts the next window the moment it finishes the
-//     previous one.
+//     previous one.  With batch_windows > 1 a worker opportunistically
+//     pops several queued windows at once and solves same-matrix groups
+//     in one batched FISTA pass (cs::fista_solve_batch) whose per-window
+//     results are bit-identical to solo solves.
 //   * poll() returns one completed window (completion order); drain()
 //     blocks until everything in flight has completed and returns the
 //     rest.  With threads == 0 both run the solver inline in the calling
@@ -43,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -82,7 +86,12 @@ struct WindowResult {
   std::vector<double> signal;     ///< Reconstructed time-domain window.
   double snr_db = 0.0;            ///< NaN when no reference was attached.
   int iterations = 0;
-  double latency_ms = 0.0;        ///< Solve wall time (excludes queue wait).
+  /// Solve wall time, excluding queue wait.  With batch_windows > 1 this
+  /// is the wall time of the whole batched solve the window rode in (the
+  /// compute was shared, so a per-window split would be fiction): expect
+  /// it to exceed a solo solve even when throughput improved.  e2e_ms is
+  /// the SLO-relevant number.
+  double latency_ms = 0.0;
   double e2e_ms = 0.0;            ///< Enqueue -> complete (the SLO latency).
 };
 
@@ -109,8 +118,37 @@ struct EngineConfig {
   /// Admission bound: maximum windows in flight (submitted but not yet
   /// solved).  Rounded up to a power of two; see in_flight_capacity().
   std::size_t queue_capacity = 1024;
+  /// Windows a worker may pack into one batched FISTA solve
+  /// (cs::fista_solve_batch).  Workers drain opportunistically: up to
+  /// this many queued windows are popped at once, grouped by sensing
+  /// matrix, and windows sharing a matrix solve together so the packed
+  /// plan streams once across the group.  Batched results are
+  /// bit-identical to solo solves, so any value preserves the
+  /// determinism contract; 1 (the default) disables packing.
+  int batch_windows = 1;
+  /// LRU capacity of the sensing-matrix cache, in matrices (one per
+  /// distinct (seed, m, n, d)); 0 = unbounded.  Evicted matrices are
+  /// rebuilt deterministically on the next miss, and in-flight windows
+  /// keep their matrix alive regardless (shared ownership), so eviction
+  /// never changes results — it only bounds memory across seed churn.
+  std::size_t matrix_cache_capacity = 64;
+  /// Maintain one SloTracker per patient_id alongside the engine-wide
+  /// one (see patient_slo_snapshots()).
+  bool per_patient_slo = true;
+  /// Bound on the per-patient tracker map (each tracker is a few KB and
+  /// lives for the engine lifetime — recording threads hold raw pointers,
+  /// so entries are never evicted).  Ids beyond the cap simply go
+  /// untracked in the breakdown; the engine-wide tracker still counts
+  /// them.  0 = unbounded.
+  std::size_t max_tracked_patients = 4096;
   cs::FistaConfig fista{};
   SloConfig slo{};
+};
+
+/// One patient's latency/throughput breakdown (per_patient_slo).
+struct PatientSlo {
+  std::uint32_t patient_id = 0;
+  SloSnapshot slo;
 };
 
 class ReconstructionEngine {
@@ -156,6 +194,14 @@ class ReconstructionEngine {
   const SloTracker& slo() const { return slo_; }
   SloTracker& slo() { return slo_; }  ///< Mutable, e.g. for per-interval reset().
 
+  /// Per-patient SLO breakdown, sorted by patient_id; empty when
+  /// per_patient_slo is off.  Same approximation caveats as
+  /// SloTracker::snapshot() while traffic is in flight.
+  std::vector<PatientSlo> patient_slo_snapshots() const;
+
+  /// Sensing matrices currently cached (bounded by matrix_cache_capacity).
+  std::size_t cached_matrices() const;
+
   // --- Batch wrapper -------------------------------------------------------
 
   /// Reconstructs every window in the batch and blocks until done; results
@@ -169,31 +215,60 @@ class ReconstructionEngine {
  private:
   struct WorkItem {
     CompressedWindow window;
-    const cs::SensingMatrix* phi = nullptr;  ///< Stable map-node pointer.
+    /// Shared ownership: an LRU eviction of the cache entry must not
+    /// invalidate a matrix that queued windows still reference.
+    std::shared_ptr<const cs::SensingMatrix> phi;
+    /// Resolved once at submit (trackers live for the engine lifetime),
+    /// so the completion path records without touching the tracker map.
+    SloTracker* patient_slo = nullptr;
     std::uint64_t ticket = 0;
     std::chrono::steady_clock::time_point enqueue_time{};
   };
 
   void worker_loop();
-  /// Pops one pending window and solves it; false when none was pending.
-  bool help_one();
-  void process(WorkItem* item);
-  /// Builds/reuses the sensing matrix a window needs (serial under
-  /// matrices_mutex_, so matrix construction is deterministic and the
-  /// object is read-only by the time any worker sees it).
-  const cs::SensingMatrix* prepare_matrix(const CompressedWindow& window);
+  /// Pops up to batch_windows pending windows and solves them; false when
+  /// none was pending.
+  bool help_some();
+  /// Pops up to cfg_.batch_windows items off the work ring (at least one
+  /// already popped by the caller may be passed in via `items`).
+  void pop_batch(std::vector<WorkItem*>& items);
+  /// Solves the same-matrix group containing items[0] in one
+  /// cs::fista_solve_batch call (bit-identical to solo solves) and
+  /// requeues the rest for other workers, so a mixed-matrix pop neither
+  /// serializes foreign groups behind one worker nor delays their
+  /// publication.  Requeueing cannot fail: every popped item still holds
+  /// its in-flight ring reservation.
+  void process_batch(std::vector<WorkItem*>& items);
+  /// Builds/reuses the sensing matrix a window needs; bounded LRU keyed
+  /// by (seed, m, n, d).  Construction is a pure function of the key, so
+  /// a rebuilt matrix is bit-identical to the evicted one.
+  std::shared_ptr<const cs::SensingMatrix> prepare_matrix(const CompressedWindow& window);
+  /// The per-patient tracker for `patient_id` (created on first use), or
+  /// nullptr when per_patient_slo is off.
+  SloTracker* patient_tracker(std::uint32_t patient_id);
 
   EngineConfig cfg_;
   BoundedWorkQueue<WorkItem*> queue_;  ///< Pending (unsolved) windows.
   std::vector<std::thread> workers_;
   SloTracker slo_;
 
-  // Cache of seeded sensing operators, shared across the engine lifetime.
-  // Keyed by (seed, m, n, d); std::map keeps node pointers stable while
-  // workers read.
+  // Bounded LRU cache of seeded sensing operators, keyed by
+  // (seed, m, n, d).  lru_ orders keys most-recent-first; each map value
+  // carries its lru_ position for O(log n) touch.
   using MatrixKey = std::tuple<std::uint64_t, std::size_t, std::size_t, std::size_t>;
-  std::mutex matrices_mutex_;
-  std::map<MatrixKey, cs::SensingMatrix> matrices_;
+  struct CachedMatrix {
+    std::shared_ptr<const cs::SensingMatrix> phi;
+    std::list<MatrixKey>::iterator lru_pos;
+  };
+  mutable std::mutex matrices_mutex_;
+  std::map<MatrixKey, CachedMatrix> matrices_;
+  std::list<MatrixKey> lru_;
+
+  // Per-patient SLO trackers (stable unique_ptrs: SloTracker is
+  // non-movable and recording threads hold raw pointers across the map's
+  // rebalancing).
+  mutable std::mutex patient_slo_mutex_;
+  std::map<std::uint32_t, std::unique_ptr<SloTracker>> patient_slo_;
 
   std::mutex batch_mutex_;  ///< Serializes reconstruct() calls.
 
@@ -203,9 +278,16 @@ class ReconstructionEngine {
   /// Completed results, in completion order, until poll()/drain() takes
   /// them.  Unbounded by design: completion must never block on a slow
   /// retriever, so the admission gate only covers the unsolved backlog.
+  /// Each entry carries the window's per-patient tracker (resolved at
+  /// submit, engine-lifetime stable) so poll()'s retrieve accounting
+  /// needs no map lookup and no second lock.
+  struct DoneItem {
+    WindowResult result;
+    SloTracker* patient_slo = nullptr;
+  };
   std::mutex done_mutex_;
   std::condition_variable done_cv_;  ///< drain()/submit() wait here.
-  std::deque<WindowResult> done_;
+  std::deque<DoneItem> done_;
 
   /// Submitted but not yet solved.  The admission reservation happens here
   /// (CAS against in_flight_capacity()), which is what guarantees the

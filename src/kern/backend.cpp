@@ -1,0 +1,61 @@
+#include "kern/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace wbsn::kern {
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(WBSN_KERN_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const Ops* select_initial() {
+  const Ops* avx2 = avx2_supported() ? avx2_ops() : nullptr;
+  if (const char* env = std::getenv("WBSN_KERN_BACKEND")) {
+    if (std::strcmp(env, "scalar") == 0) return scalar_ops();
+    if (std::strcmp(env, "avx2") == 0 && avx2 != nullptr) return avx2;
+    // "auto", unknown values, or avx2 requested but unavailable: fall through.
+  }
+  return avx2 != nullptr ? avx2 : scalar_ops();
+}
+
+std::atomic<const Ops*>& active_slot() {
+  static std::atomic<const Ops*> active{select_initial()};
+  return active;
+}
+
+}  // namespace
+
+bool avx2_supported() { return avx2_ops() != nullptr && cpu_has_avx2(); }
+
+const Ops& ops() { return *active_slot().load(std::memory_order_acquire); }
+
+Backend active_backend() {
+  return &ops() == scalar_ops() ? Backend::kScalar : Backend::kAvx2;
+}
+
+const char* backend_name() { return ops().name; }
+
+bool set_backend(Backend backend) {
+  const Ops* table = nullptr;
+  switch (backend) {
+    case Backend::kScalar:
+      table = scalar_ops();
+      break;
+    case Backend::kAvx2:
+      table = avx2_supported() ? avx2_ops() : nullptr;
+      break;
+  }
+  if (table == nullptr) return false;
+  active_slot().store(table, std::memory_order_release);
+  return true;
+}
+
+}  // namespace wbsn::kern

@@ -1,0 +1,121 @@
+// Runtime-dispatched numeric kernels for the FISTA hot path.
+//
+// The reconstruction inner loop is dominated by four kernel families —
+// sensing-matrix apply/adjoint (spmv over the packed ±1 plans), the Db4
+// DWT lifting steps, the soft-threshold/momentum vector ops, and the
+// BLAS-1 reductions.  This layer owns them behind an Ops table with two
+// backends:
+//
+//   * scalar — portable reference, runs anywhere;
+//   * avx2   — x86 AVX2 intrinsics, selected at startup via CPUID.
+//
+// Determinism contract (inherited by host::ReconstructionEngine): both
+// backends produce bit-identical doubles for every kernel.  The mechanism
+// is a *canonical accumulation order* baked into the kernel definitions
+// rather than left to the implementation:
+//
+//   * Reductions (dot, nrm2_sq, the momentum delta/scale sums) accumulate
+//     into kLanes = 4 partial sums, lane l taking elements i ≡ l (mod 4),
+//     and reduce as (s0 + s2) + (s1 + s3) — exactly the AVX2 register
+//     layout and its extract-fold, which the scalar backend emulates.
+//   * Spmv outputs sum their plan taps sequentially (see spmv_plan.hpp).
+//   * DWT outputs use the fixed pairwise tree (c0·x0 + c1·x1) + (c2·x2 +
+//     c3·x3).
+//   * Elementwise kernels are single-rounded expressions (no FMA; the
+//     kern TUs are compiled with -ffp-contract=off).
+//
+// Batched layout: the *_batch kernels operate on windows interleaved
+// element-major (X[i * batch + b] is element i of window b).  Per-window
+// math follows the same canonical orders, so results are bit-identical
+// across batch widths — batch = 1 reproduces the single-window kernels
+// exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "kern/spmv_plan.hpp"
+
+namespace wbsn::kern {
+
+/// Lane width of the canonical accumulation order (doubles per AVX2
+/// register).  Independent of the backend actually running.
+inline constexpr std::size_t kLanes = 4;
+
+struct Ops {
+  const char* name;
+
+  // --- Reductions (canonical 4-lane strided order) -------------------------
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  double (*nrm2_sq)(const double* x, std::size_t n);
+
+  // --- Elementwise ---------------------------------------------------------
+  /// y[i] += alpha * x[i].
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+  /// y[i] = x[i] + beta * y[i].
+  void (*xpby)(const double* x, double beta, double* y, std::size_t n);
+  /// a[i] = z[i] - grad[i] / lip (the FISTA gradient step).
+  void (*grad_step)(const double* z, const double* grad, double lip, double* a,
+                    std::size_t n);
+  /// a[i] = copysign(max(|a[i]| - tau, 0), a[i]).
+  void (*soft_threshold)(double* a, std::size_t n, double tau);
+  /// Interleaved batch: element j belongs to window j % batch and uses
+  /// tau[j % batch].
+  void (*soft_threshold_batch)(double* a, std::size_t n, std::size_t batch,
+                               const double* tau);
+
+  // --- Fused FISTA momentum ------------------------------------------------
+  /// z[i] = a[i] + beta * (a[i] - a_prev[i]); *delta_sq = Σ (a - a_prev)²,
+  /// *scale_sq = Σ a², both in canonical lane order (no epsilon added).
+  void (*momentum)(const double* a, const double* a_prev, double* z, double beta,
+                   std::size_t n, double* delta_sq, double* scale_sq);
+  /// Batched: per-window sums land in delta_sq[b] / scale_sq[b].
+  void (*momentum_batch)(const double* a, const double* a_prev, double* z, double beta,
+                         std::size_t n, std::size_t batch, double* delta_sq,
+                         double* scale_sq);
+
+  // --- Sparse sensing operator ---------------------------------------------
+  /// y[o] = Σ_taps sgn · x[idx] over the plan (y fully overwritten).
+  void (*spmv)(const SpmvPlan& plan, const double* x, double* y);
+  /// Interleaved batch of the same plan.
+  void (*spmv_batch)(const SpmvPlan& plan, const double* x, std::size_t batch,
+                     double* y);
+
+  // --- Daubechies-4 DWT steps (periodized) ---------------------------------
+  /// approx[k] / detail[k] from x[2k..2k+3 mod n]; n even, half = n / 2.
+  void (*dwt_step)(const double* x, std::size_t n, double* approx, double* detail);
+  /// Inverse step: x (length 2 * half) from approx/detail (length half).
+  void (*idwt_step)(const double* approx, const double* detail, std::size_t half,
+                    double* x);
+  void (*dwt_step_batch)(const double* x, std::size_t n, std::size_t batch,
+                         double* approx, double* detail);
+  void (*idwt_step_batch)(const double* approx, const double* detail, std::size_t half,
+                          std::size_t batch, double* x);
+};
+
+enum class Backend {
+  kScalar,
+  kAvx2,
+};
+
+/// The active backend's kernel table.  Selection happens once, at first
+/// use: the WBSN_KERN_BACKEND environment variable ("scalar" / "avx2" /
+/// "auto") when set, otherwise AVX2 iff the build and the CPU support it.
+const Ops& ops();
+
+Backend active_backend();
+const char* backend_name();
+
+/// True when the binary carries the AVX2 backend *and* CPUID reports AVX2.
+bool avx2_supported();
+
+/// Forces a backend (tests and benchmarks).  Returns false — and leaves
+/// the selection unchanged — when the requested backend is unavailable.
+/// Not meant to race in-flight solves: switch while quiesced.
+bool set_backend(Backend backend);
+
+/// Backend tables (for parity tests); avx2_ops() is null when the binary
+/// was built without AVX2 support.
+const Ops* scalar_ops();
+const Ops* avx2_ops();
+
+}  // namespace wbsn::kern

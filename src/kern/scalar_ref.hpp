@@ -1,0 +1,222 @@
+// Canonical scalar reference implementations, shared by the scalar
+// backend (wholesale) and the AVX2 backend (loop tails and small-n
+// fallbacks).  Every function here *defines* the kernel's bit-exact
+// semantics — see backend.hpp for the accumulation-order contract.
+//
+// Internal to src/kern; compiled only in TUs built with -ffp-contract=off
+// so no platform fuses the mul/add pairs into FMAs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "kern/spmv_plan.hpp"
+
+namespace wbsn::kern::ref {
+
+/// Canonical fold of the 4 lane accumulators: matches the AVX2
+/// extract-low/high + fold sequence.
+inline double reduce_lanes(const double acc[4]) {
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+inline double dot(const double* x, const double* y, std::size_t n) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc[i & 3] += x[i] * y[i];
+  return reduce_lanes(acc);
+}
+
+inline double nrm2_sq(const double* x, std::size_t n) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc[i & 3] += x[i] * x[i];
+  return reduce_lanes(acc);
+}
+
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = y[i] + alpha * x[i];
+}
+
+inline void xpby(const double* x, double beta, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+}
+
+inline void grad_step(const double* z, const double* grad, double lip, double* a,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = z[i] - grad[i] / lip;
+}
+
+/// copysign(max(|v| - tau, 0), v): the branchless form both backends use;
+/// |v| <= tau yields ±0.0 carrying v's sign bit.
+inline double soft_threshold_one(double v, double tau) {
+  const double mag = std::fabs(v) - tau;
+  return std::copysign(mag > 0.0 ? mag : 0.0, v);
+}
+
+inline void soft_threshold(double* a, std::size_t n, double tau) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = soft_threshold_one(a[i], tau);
+}
+
+inline void soft_threshold_batch(double* a, std::size_t n, std::size_t batch,
+                                 const double* tau) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      a[i * batch + b] = soft_threshold_one(a[i * batch + b], tau[b]);
+    }
+  }
+}
+
+inline void momentum(const double* a, const double* a_prev, double* z, double beta,
+                     std::size_t n, double* delta_sq, double* scale_sq) {
+  double acc_d[4] = {0.0, 0.0, 0.0, 0.0};
+  double acc_s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - a_prev[i];
+    acc_d[i & 3] += d * d;
+    acc_s[i & 3] += a[i] * a[i];
+    z[i] = a[i] + beta * d;
+  }
+  *delta_sq = reduce_lanes(acc_d);
+  *scale_sq = reduce_lanes(acc_s);
+}
+
+/// Per-window momentum over the interleaved layout.  Window b's lane-l
+/// accumulator takes its elements i ≡ l (mod 4) — the same partition the
+/// single-window kernel uses, which is what makes batch widths agree.
+inline void momentum_batch_window(const double* a, const double* a_prev, double* z,
+                                  double beta, std::size_t n, std::size_t batch,
+                                  std::size_t b, double* delta_sq, double* scale_sq) {
+  double acc_d[4] = {0.0, 0.0, 0.0, 0.0};
+  double acc_s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i * batch + b;
+    const double d = a[j] - a_prev[j];
+    acc_d[i & 3] += d * d;
+    acc_s[i & 3] += a[j] * a[j];
+    z[j] = a[j] + beta * d;
+  }
+  delta_sq[b] = reduce_lanes(acc_d);
+  scale_sq[b] = reduce_lanes(acc_s);
+}
+
+inline void momentum_batch(const double* a, const double* a_prev, double* z, double beta,
+                           std::size_t n, std::size_t batch, double* delta_sq,
+                           double* scale_sq) {
+  for (std::size_t b = 0; b < batch; ++b) {
+    momentum_batch_window(a, a_prev, z, beta, n, batch, b, delta_sq, scale_sq);
+  }
+}
+
+/// One plan output, summed sequentially over its taps (including pads).
+inline double spmv_output(const SpmvPlan& plan, const double* x, std::size_t block,
+                          std::size_t lane) {
+  double acc = 0.0;
+  for (std::uint32_t g = plan.block_tap_start[block]; g < plan.block_tap_start[block + 1];
+       ++g) {
+    const std::size_t t = static_cast<std::size_t>(g) * SpmvPlan::kLanes + lane;
+    acc += plan.sgn[t] * x[plan.idx[t]];
+  }
+  return acc;
+}
+
+inline void spmv(const SpmvPlan& plan, const double* x, double* y) {
+  for (std::size_t o = 0; o < plan.num_outputs; ++o) {
+    y[o] = spmv_output(plan, x, o / SpmvPlan::kLanes, o % SpmvPlan::kLanes);
+  }
+}
+
+/// One plan output across an interleaved batch slab, same tap order.
+inline void spmv_output_batch(const SpmvPlan& plan, const double* x, std::size_t batch,
+                              std::size_t o, double* y) {
+  const std::size_t block = o / SpmvPlan::kLanes;
+  const std::size_t lane = o % SpmvPlan::kLanes;
+  for (std::size_t b = 0; b < batch; ++b) y[o * batch + b] = 0.0;
+  for (std::uint32_t g = plan.block_tap_start[block]; g < plan.block_tap_start[block + 1];
+       ++g) {
+    const std::size_t t = static_cast<std::size_t>(g) * SpmvPlan::kLanes + lane;
+    const double s = plan.sgn[t];
+    const double* src = x + static_cast<std::size_t>(plan.idx[t]) * batch;
+    double* dst = y + o * batch;
+    for (std::size_t b = 0; b < batch; ++b) dst[b] = dst[b] + s * src[b];
+  }
+}
+
+inline void spmv_batch(const SpmvPlan& plan, const double* x, std::size_t batch,
+                       double* y) {
+  for (std::size_t o = 0; o < plan.num_outputs; ++o) {
+    spmv_output_batch(plan, x, batch, o, y);
+  }
+}
+
+// Daubechies-4 orthonormal filter pair (two vanishing moments).
+inline constexpr double kDb4Lo[4] = {0.48296291314453416, 0.83651630373780794,
+                                     0.22414386804201339, -0.12940952255126037};
+inline constexpr double kDb4Hi[4] = {-0.12940952255126037, -0.22414386804201339,
+                                     0.83651630373780794, -0.48296291314453416};
+
+/// Canonical pairwise tree for one forward output pair.
+inline void dwt_output(double x0, double x1, double x2, double x3, double* a, double* d) {
+  *a = (kDb4Lo[0] * x0 + kDb4Lo[1] * x1) + (kDb4Lo[2] * x2 + kDb4Lo[3] * x3);
+  *d = (kDb4Hi[0] * x0 + kDb4Hi[1] * x1) + (kDb4Hi[2] * x2 + kDb4Hi[3] * x3);
+}
+
+inline void dwt_step(const double* x, std::size_t n, double* approx, double* detail) {
+  const std::size_t half = n / 2;
+  if (half == 0) return;
+  // Only the last output wraps (taps 2k..2k+3 with k = half-1 reach n+1):
+  // the main loop runs modulo-free.
+  for (std::size_t k = 0; k + 1 < half; ++k) {
+    dwt_output(x[2 * k], x[2 * k + 1], x[2 * k + 2], x[2 * k + 3], &approx[k], &detail[k]);
+  }
+  const std::size_t k = half - 1;
+  dwt_output(x[(2 * k) % n], x[(2 * k + 1) % n], x[(2 * k + 2) % n], x[(2 * k + 3) % n],
+             &approx[k], &detail[k]);
+}
+
+/// Canonical pairwise tree for one inverse output pair: output 2k uses
+/// filter taps (0, 2), output 2k+1 taps (1, 3), both drawing on
+/// coefficients k and k⁻ = (k - 1) mod half.
+inline void idwt_outputs(double ak, double dk, double akm, double dkm, double* even,
+                         double* odd) {
+  *even = (kDb4Lo[0] * ak + kDb4Hi[0] * dk) + (kDb4Lo[2] * akm + kDb4Hi[2] * dkm);
+  *odd = (kDb4Lo[1] * ak + kDb4Hi[1] * dk) + (kDb4Lo[3] * akm + kDb4Hi[3] * dkm);
+}
+
+inline void idwt_step(const double* approx, const double* detail, std::size_t half,
+                      double* x) {
+  if (half == 0) return;
+  // Only k = 0 wraps (k⁻ = half-1); the main loop uses k⁻ = k - 1 directly.
+  idwt_outputs(approx[0], detail[0], approx[half - 1], detail[half - 1], &x[0], &x[1]);
+  for (std::size_t k = 1; k < half; ++k) {
+    idwt_outputs(approx[k], detail[k], approx[k - 1], detail[k - 1], &x[2 * k],
+                 &x[2 * k + 1]);
+  }
+}
+
+inline void dwt_step_batch(const double* x, std::size_t n, std::size_t batch,
+                           double* approx, double* detail) {
+  const std::size_t half = n / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    const double* x0 = x + ((2 * k) % n) * batch;
+    const double* x1 = x + ((2 * k + 1) % n) * batch;
+    const double* x2 = x + ((2 * k + 2) % n) * batch;
+    const double* x3 = x + ((2 * k + 3) % n) * batch;
+    for (std::size_t b = 0; b < batch; ++b) {
+      dwt_output(x0[b], x1[b], x2[b], x3[b], &approx[k * batch + b],
+                 &detail[k * batch + b]);
+    }
+  }
+}
+
+inline void idwt_step_batch(const double* approx, const double* detail, std::size_t half,
+                            std::size_t batch, double* x) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::size_t km = (k + half - 1) % half;
+    for (std::size_t b = 0; b < batch; ++b) {
+      idwt_outputs(approx[k * batch + b], detail[k * batch + b], approx[km * batch + b],
+                   detail[km * batch + b], &x[(2 * k) * batch + b],
+                   &x[(2 * k + 1) * batch + b]);
+    }
+  }
+}
+
+}  // namespace wbsn::kern::ref

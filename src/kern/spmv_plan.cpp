@@ -1,0 +1,51 @@
+#include "kern/spmv_plan.hpp"
+
+#include <algorithm>
+
+namespace wbsn::kern {
+
+SpmvPlan build_spmv_plan(std::size_t num_inputs, const std::vector<SpmvTerms>& terms) {
+  SpmvPlan plan;
+  plan.num_outputs = terms.size();
+  plan.num_inputs = num_inputs;
+  if (terms.empty()) {
+    plan.block_tap_start.push_back(0);
+    return plan;
+  }
+
+  const std::size_t blocks = (terms.size() + SpmvPlan::kLanes - 1) / SpmvPlan::kLanes;
+  plan.block_tap_start.reserve(blocks + 1);
+  plan.block_tap_start.push_back(0);
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t taps = 0;
+    for (std::size_t l = 0; l < SpmvPlan::kLanes; ++l) {
+      const std::size_t o = b * SpmvPlan::kLanes + l;
+      if (o < terms.size()) taps = std::max(taps, terms[o].size());
+    }
+    for (std::size_t t = 0; t < taps; ++t) {
+      for (std::size_t l = 0; l < SpmvPlan::kLanes; ++l) {
+        const std::size_t o = b * SpmvPlan::kLanes + l;
+        if (o < terms.size() && t < terms[o].size()) {
+          plan.idx.push_back(terms[o][t].first);
+          plan.sgn.push_back(terms[o][t].second);
+        } else {
+          plan.idx.push_back(0);  // Padding: gathers x[0], weighted 0.0.
+          plan.sgn.push_back(0.0);
+        }
+      }
+    }
+    plan.block_tap_start.push_back(
+        static_cast<std::uint32_t>(plan.idx.size() / SpmvPlan::kLanes));
+  }
+  plan.uniform_positive = true;
+  for (const double s : plan.sgn) {
+    if (s != 1.0) {
+      plan.uniform_positive = false;
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace wbsn::kern

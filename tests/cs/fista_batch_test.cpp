@@ -1,0 +1,143 @@
+// fista_solve_batch: multi-window batched solves must be bit-identical to
+// solo fista_reconstruct per window — batching is an execution-layout
+// optimization only.  (Cross-backend parity is covered by the kern parity
+// suite; this suite pins the batch semantics on the active backend.)
+#include "cs/fista.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "cs/sensing_matrix.hpp"
+#include "dsp/wavelet.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::cs {
+namespace {
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::vector<double> sparse_window_measurements(const SensingMatrix& phi, int levels,
+                                               int nonzeros, sig::Rng& rng) {
+  std::vector<double> coeffs(phi.cols(), 0.0);
+  for (int i = 0; i < nonzeros; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(phi.cols()) - 1));
+    coeffs[idx] = rng.normal(0.0, 2.0);
+  }
+  return phi.apply(dsp::dwt_inverse(coeffs, levels));
+}
+
+TEST(FistaBatch, EmptyBatch) {
+  sig::Rng rng(1);
+  const auto phi = SensingMatrix::make_sparse_binary(32, 64, 4, rng);
+  EXPECT_TRUE(fista_solve_batch(phi, {}, FistaConfig{}).empty());
+}
+
+TEST(FistaBatch, BatchOfOneMatchesSolo) {
+  sig::Rng rng(2);
+  const auto phi = SensingMatrix::make_sparse_binary(64, 128, 4, rng);
+  const auto y = sparse_window_measurements(phi, 3, 6, rng);
+  FistaConfig cfg;
+  cfg.dwt_levels = 3;
+
+  const auto solo = fista_reconstruct(phi, y, cfg);
+  const std::vector<std::vector<double>> ys{y};
+  const auto batched = fista_solve_batch(phi, ys, cfg);
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0].iterations_run, solo.iterations_run);
+  EXPECT_TRUE(bit_identical(batched[0].signal, solo.signal));
+  EXPECT_TRUE(bit_identical(batched[0].coefficients, solo.coefficients));
+}
+
+TEST(FistaBatch, EveryWidthMatchesSoloBitwise) {
+  sig::Rng rng(3);
+  const std::size_t n = 128;
+  const auto phi = SensingMatrix::make_sparse_binary(64, n, 4, rng);
+  FistaConfig cfg;
+  cfg.dwt_levels = 4;
+  cfg.max_iterations = 80;
+
+  // Windows with varied sparsity: convergence speeds differ, so batched
+  // solves must freeze windows at different iterations.
+  std::vector<std::vector<double>> ys;
+  for (int w = 0; w < 8; ++w) {
+    ys.push_back(sparse_window_measurements(phi, 4, 3 + 4 * w, rng));
+  }
+  std::vector<FistaResult> solo;
+  for (const auto& y : ys) solo.push_back(fista_reconstruct(phi, y, cfg));
+
+  for (const std::size_t batch : {2u, 3u, 4u, 5u, 8u}) {
+    for (std::size_t start = 0; start + batch <= ys.size(); start += batch) {
+      const std::span<const std::vector<double>> slice(ys.data() + start, batch);
+      const auto results = fista_solve_batch(phi, slice, cfg);
+      ASSERT_EQ(results.size(), batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        EXPECT_EQ(results[b].iterations_run, solo[start + b].iterations_run)
+            << "B=" << batch << " window=" << start + b;
+        EXPECT_TRUE(bit_identical(results[b].signal, solo[start + b].signal))
+            << "B=" << batch << " window=" << start + b;
+        EXPECT_TRUE(bit_identical(results[b].coefficients, solo[start + b].coefficients))
+            << "B=" << batch << " window=" << start + b;
+      }
+    }
+  }
+}
+
+TEST(FistaBatch, WindowsConvergeIndependently) {
+  // A very sparse window next to a dense one: the sparse one must stop
+  // earlier inside the batch (per-window freeze), not ride along to the
+  // slow window's iteration count.
+  sig::Rng rng(4);
+  const auto phi = SensingMatrix::make_sparse_binary(96, 128, 4, rng);
+  FistaConfig cfg;
+  cfg.dwt_levels = 3;
+  cfg.max_iterations = 300;
+  cfg.tolerance = 1e-5;
+
+  std::vector<std::vector<double>> ys;
+  ys.push_back(sparse_window_measurements(phi, 3, 2, rng));
+  ys.push_back(sparse_window_measurements(phi, 3, 40, rng));
+  const auto results = fista_solve_batch(phi, ys, cfg);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].iterations_run, results[1].iterations_run)
+      << "expected different convergence points for different sparsity";
+  EXPECT_LT(std::min(results[0].iterations_run, results[1].iterations_run),
+            cfg.max_iterations);
+}
+
+TEST(FistaBatch, ReconstructionQualityHolds) {
+  // Not just self-consistency: batched reconstructions of exactly-sparse
+  // signals still recover them.
+  sig::Rng rng(5);
+  const std::size_t n = 256;
+  const auto phi = SensingMatrix::make_sparse_binary(128, n, 4, rng);
+  FistaConfig cfg;
+  cfg.dwt_levels = 4;
+  cfg.max_iterations = 400;
+  cfg.lambda_rel = 0.002;
+
+  std::vector<std::vector<double>> signals;
+  std::vector<std::vector<double>> ys;
+  for (int w = 0; w < 4; ++w) {
+    std::vector<double> coeffs(n, 0.0);
+    for (int i = 0; i < 10; ++i) {
+      coeffs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))] = rng.normal(0.0, 2.0);
+    }
+    signals.push_back(dsp::dwt_inverse(coeffs, 4));
+    ys.push_back(phi.apply(signals.back()));
+  }
+  const auto results = fista_solve_batch(phi, ys, cfg);
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_GT(reconstruction_snr_db(signals[w], results[w].signal), 25.0) << "window " << w;
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::cs

@@ -1,0 +1,315 @@
+// Randomized dispatch-parity property tests: the scalar and AVX2 backends
+// must produce bit-identical doubles for every kernel, for every size
+// (vector bodies AND tails), and the interleaved batch kernels must
+// reproduce the single-window kernels exactly at any batch width.  This
+// is the test behind the engine's determinism-across-dispatch contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "cs/fista.hpp"
+#include "cs/sensing_matrix.hpp"
+#include "dsp/wavelet.hpp"
+#include "kern/backend.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::kern {
+namespace {
+
+class BackendGuard {
+ public:
+  BackendGuard() : previous_(active_backend()) {}
+  ~BackendGuard() { set_backend(previous_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool bit_identical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::vector<double> random_vector(std::size_t n, sig::Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+/// Sizes exercising empty input, pure tails, and vector bodies + tails.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 64, 67, 512};
+
+#define REQUIRE_AVX2()                                            \
+  if (!avx2_supported()) {                                        \
+    GTEST_SKIP() << "AVX2 unavailable on this host/build";        \
+  }
+
+TEST(DispatchParity, Reductions) {
+  REQUIRE_AVX2();
+  const Ops& scalar = *scalar_ops();
+  const Ops& avx2 = *avx2_ops();
+  sig::Rng rng(1);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vector(n, rng);
+    const auto y = random_vector(n, rng);
+    EXPECT_TRUE(bit_identical(scalar.dot(x.data(), y.data(), n),
+                              avx2.dot(x.data(), y.data(), n)))
+        << "dot n=" << n;
+    EXPECT_TRUE(bit_identical(scalar.nrm2_sq(x.data(), n), avx2.nrm2_sq(x.data(), n)))
+        << "nrm2_sq n=" << n;
+  }
+}
+
+TEST(DispatchParity, Elementwise) {
+  REQUIRE_AVX2();
+  const Ops& scalar = *scalar_ops();
+  const Ops& avx2 = *avx2_ops();
+  sig::Rng rng(2);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vector(n, rng);
+    const auto z = random_vector(n, rng);
+    auto y_a = random_vector(n, rng);
+    auto y_b = y_a;
+
+    scalar.axpy(0.37, x.data(), y_a.data(), n);
+    avx2.axpy(0.37, x.data(), y_b.data(), n);
+    EXPECT_TRUE(bit_identical(y_a, y_b)) << "axpy n=" << n;
+
+    scalar.xpby(x.data(), -1.13, y_a.data(), n);
+    avx2.xpby(x.data(), -1.13, y_b.data(), n);
+    EXPECT_TRUE(bit_identical(y_a, y_b)) << "xpby n=" << n;
+
+    std::vector<double> a_a(n);
+    std::vector<double> a_b(n);
+    scalar.grad_step(z.data(), x.data(), 3.7, a_a.data(), n);
+    avx2.grad_step(z.data(), x.data(), 3.7, a_b.data(), n);
+    EXPECT_TRUE(bit_identical(a_a, a_b)) << "grad_step n=" << n;
+  }
+}
+
+TEST(DispatchParity, SoftThresholdIncludingSignedZeros) {
+  REQUIRE_AVX2();
+  const Ops& scalar = *scalar_ops();
+  const Ops& avx2 = *avx2_ops();
+  sig::Rng rng(3);
+  for (const std::size_t n : kSizes) {
+    auto a = random_vector(n, rng);
+    // Sprinkle sub-threshold values of both signs: the branchless form
+    // yields ±0.0 carrying the input's sign bit, and both backends must
+    // agree on those bits too.
+    for (std::size_t i = 0; i < n; i += 3) a[i] *= 1e-3;
+    auto a_b = a;
+    scalar.soft_threshold(a.data(), n, 0.5);
+    avx2.soft_threshold(a_b.data(), n, 0.5);
+    EXPECT_TRUE(bit_identical(a, a_b)) << "soft_threshold n=" << n;
+  }
+
+  for (const std::size_t batch : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    const std::size_t n = 37;
+    auto a = random_vector(n * batch, rng);
+    for (std::size_t i = 0; i < a.size(); i += 2) a[i] *= 1e-3;
+    auto a_b = a;
+    std::vector<double> tau(batch);
+    for (auto& t : tau) t = std::abs(rng.normal()) + 0.1;
+    scalar.soft_threshold_batch(a.data(), n, batch, tau.data());
+    avx2.soft_threshold_batch(a_b.data(), n, batch, tau.data());
+    EXPECT_TRUE(bit_identical(a, a_b)) << "soft_threshold_batch B=" << batch;
+  }
+}
+
+TEST(DispatchParity, Momentum) {
+  REQUIRE_AVX2();
+  const Ops& scalar = *scalar_ops();
+  const Ops& avx2 = *avx2_ops();
+  sig::Rng rng(4);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(n, rng);
+    const auto a_prev = random_vector(n, rng);
+    std::vector<double> z_a(n);
+    std::vector<double> z_b(n);
+    double d_a = -1.0;
+    double s_a = -1.0;
+    double d_b = -2.0;
+    double s_b = -2.0;
+    scalar.momentum(a.data(), a_prev.data(), z_a.data(), 0.81, n, &d_a, &s_a);
+    avx2.momentum(a.data(), a_prev.data(), z_b.data(), 0.81, n, &d_b, &s_b);
+    EXPECT_TRUE(bit_identical(z_a, z_b)) << "momentum z n=" << n;
+    EXPECT_TRUE(bit_identical(d_a, d_b)) << "momentum delta n=" << n;
+    EXPECT_TRUE(bit_identical(s_a, s_b)) << "momentum scale n=" << n;
+  }
+}
+
+TEST(DispatchParity, MomentumBatchMatchesSingle) {
+  // Runs on every available backend: per-window batched sums must equal
+  // the single-window kernel bit for bit (the batch-width contract).
+  for (const Ops* table : {scalar_ops(), avx2_ops()}) {
+    if (table == nullptr || (table == avx2_ops() && !avx2_supported())) continue;
+    sig::Rng rng(5);
+    for (const std::size_t batch : {1u, 2u, 4u, 5u, 8u}) {
+      const std::size_t n = 67;
+      std::vector<std::vector<double>> a(batch);
+      std::vector<std::vector<double>> a_prev(batch);
+      std::vector<double> ai(n * batch);
+      std::vector<double> pi(n * batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        a[b] = random_vector(n, rng);
+        a_prev[b] = random_vector(n, rng);
+        for (std::size_t i = 0; i < n; ++i) {
+          ai[i * batch + b] = a[b][i];
+          pi[i * batch + b] = a_prev[b][i];
+        }
+      }
+      std::vector<double> zi(n * batch);
+      std::vector<double> delta(batch);
+      std::vector<double> scale(batch);
+      table->momentum_batch(ai.data(), pi.data(), zi.data(), 0.6, n, batch, delta.data(),
+                            scale.data());
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::vector<double> z(n);
+        double d = 0.0;
+        double s = 0.0;
+        table->momentum(a[b].data(), a_prev[b].data(), z.data(), 0.6, n, &d, &s);
+        EXPECT_TRUE(bit_identical(d, delta[b])) << table->name << " B=" << batch;
+        EXPECT_TRUE(bit_identical(s, scale[b])) << table->name << " B=" << batch;
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_TRUE(bit_identical(z[i], zi[i * batch + b]))
+              << table->name << " B=" << batch << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchParity, SensingMatrixApplyAdjoint) {
+  REQUIRE_AVX2();
+  BackendGuard guard;
+  sig::Rng mrng(6);
+  sig::Rng xrng(7);
+  // Sparse binary (uniform-positive adjoint plan, ragged apply plan) and
+  // Bernoulli (dense ±1): exercises the signed and sign-free spmv paths.
+  const auto sparse = cs::SensingMatrix::make_sparse_binary(100, 256, 4, mrng);
+  const auto dense = cs::SensingMatrix::make_bernoulli(24, 64, mrng);
+  for (const auto* phi : {&sparse, &dense}) {
+    const auto x = random_vector(phi->cols(), xrng);
+    const auto y = random_vector(phi->rows(), xrng);
+
+    ASSERT_TRUE(set_backend(Backend::kScalar));
+    const auto ax_scalar = phi->apply(x);
+    const auto aty_scalar = phi->apply_adjoint(y);
+    ASSERT_TRUE(set_backend(Backend::kAvx2));
+    const auto ax_avx2 = phi->apply(x);
+    const auto aty_avx2 = phi->apply_adjoint(y);
+
+    EXPECT_TRUE(bit_identical(ax_scalar, ax_avx2));
+    EXPECT_TRUE(bit_identical(aty_scalar, aty_avx2));
+  }
+}
+
+TEST(DispatchParity, DwtForwardInverse) {
+  REQUIRE_AVX2();
+  BackendGuard guard;
+  sig::Rng rng(8);
+  for (const std::size_t n : {8u, 16u, 64u, 256u, 512u}) {
+    const auto x = random_vector(n, rng);
+    const int levels = dsp::dwt_max_levels(n);
+
+    ASSERT_TRUE(set_backend(Backend::kScalar));
+    const auto coeffs_scalar = dsp::dwt_forward(x, levels);
+    const auto back_scalar = dsp::dwt_inverse(coeffs_scalar, levels);
+    ASSERT_TRUE(set_backend(Backend::kAvx2));
+    const auto coeffs_avx2 = dsp::dwt_forward(x, levels);
+    const auto back_avx2 = dsp::dwt_inverse(coeffs_avx2, levels);
+
+    EXPECT_TRUE(bit_identical(coeffs_scalar, coeffs_avx2)) << "forward n=" << n;
+    EXPECT_TRUE(bit_identical(back_scalar, back_avx2)) << "inverse n=" << n;
+  }
+}
+
+TEST(DispatchParity, DwtBatchMatchesSingle) {
+  sig::Rng rng(9);
+  for (const std::size_t batch : {1u, 3u, 4u, 8u}) {
+    const std::size_t n = 128;
+    const int levels = 4;
+    std::vector<std::vector<double>> xs(batch);
+    std::vector<double> interleaved(n * batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      xs[b] = random_vector(n, rng);
+      for (std::size_t i = 0; i < n; ++i) interleaved[i * batch + b] = xs[b][i];
+    }
+    const auto coeffs = dsp::dwt_forward_batch(interleaved, batch, levels);
+    const auto back = dsp::dwt_inverse_batch(coeffs, batch, levels);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto solo = dsp::dwt_forward(xs[b], levels);
+      const auto solo_back = dsp::dwt_inverse(solo, levels);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(bit_identical(solo[i], coeffs[i * batch + b]))
+            << "B=" << batch << " b=" << b << " i=" << i;
+        EXPECT_TRUE(bit_identical(solo_back[i], back[i * batch + b]))
+            << "B=" << batch << " b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+/// End-to-end: full FISTA reconstructions must be bit-identical across
+/// backends at every batch width — the property the host engine's
+/// determinism contract rests on.
+TEST(DispatchParity, FistaEndToEndAcrossBackendsAndBatchWidths) {
+  REQUIRE_AVX2();
+  BackendGuard guard;
+  sig::Rng rng(10);
+  const std::size_t n = 128;
+  const std::size_t m = 64;
+  const auto phi = cs::SensingMatrix::make_sparse_binary(m, n, 4, rng);
+
+  constexpr std::size_t kWindows = 8;
+  std::vector<std::vector<double>> ys(kWindows);
+  for (auto& y : ys) {
+    // Measurements of random sparse-ish signals (varied sparsity so the
+    // windows converge after different iteration counts).
+    auto x = random_vector(n, rng);
+    for (std::size_t i = 0; i < n; i += 2) x[i] *= 0.05;
+    y = phi.apply(x);
+  }
+
+  cs::FistaConfig cfg;
+  cfg.max_iterations = 60;
+  cfg.debias_iterations = 8;
+
+  ASSERT_TRUE(set_backend(Backend::kScalar));
+  std::vector<cs::FistaResult> solo_scalar;
+  for (const auto& y : ys) solo_scalar.push_back(cs::fista_reconstruct(phi, y, cfg));
+
+  for (const Backend backend : {Backend::kScalar, Backend::kAvx2}) {
+    ASSERT_TRUE(set_backend(backend));
+    for (const std::size_t batch : {1u, 4u, 8u}) {
+      for (std::size_t start = 0; start + batch <= kWindows; start += batch) {
+        const std::span<const std::vector<double>> slice(ys.data() + start, batch);
+        const auto results = cs::fista_solve_batch(phi, slice, cfg);
+        for (std::size_t b = 0; b < batch; ++b) {
+          const auto& expected = solo_scalar[start + b];
+          EXPECT_EQ(results[b].iterations_run, expected.iterations_run)
+              << "backend=" << (backend == Backend::kScalar ? "scalar" : "avx2")
+              << " B=" << batch << " window=" << start + b;
+          EXPECT_TRUE(bit_identical(results[b].signal, expected.signal))
+              << "backend=" << (backend == Backend::kScalar ? "scalar" : "avx2")
+              << " B=" << batch << " window=" << start + b;
+          EXPECT_TRUE(bit_identical(results[b].coefficients, expected.coefficients))
+              << "backend=" << (backend == Backend::kScalar ? "scalar" : "avx2")
+              << " B=" << batch << " window=" << start + b;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::kern
