@@ -3,19 +3,29 @@
 //  * Batch sweep (default): records/second versus worker-thread count for
 //    a multi-patient batch, plus a bit-exactness check of every threaded
 //    run against the serial reference.
-//  * Streaming (--poisson RATE_HZ): drives the submit/poll interface with
-//    Poisson arrivals at RATE_HZ windows/second — the live-fleet shape —
-//    and reports the engine's SLO statistics (p50/p95/p99 enqueue->
-//    complete latency, throughput, in-flight depth, deadline violations,
-//    shed windows) plus the same bit-exactness check.
+//  * Streaming (--poisson RATE_HZ): drives the sharded fabric's
+//    submit/poll interface with Poisson arrivals at RATE_HZ
+//    windows/second — the live-fleet shape — and reports the aggregate
+//    SLO statistics (p50/p95/p99 enqueue->complete latency, throughput,
+//    in-flight depth, deadline violations, shed/rejected windows), a
+//    per-lane (urgent vs routine) split, per-shard and per-patient
+//    breakdowns, plus the same bit-exactness check.
 //
 // Usage: host_throughput [patients] [beats_per_patient] [cr_percent]
 //                        [--poisson RATE_HZ] [--threads N] [--deadline-ms D]
-//                        [--batch W]
+//                        [--batch W] [--shards S] [--priority-frac F]
+//                        [--shed]
 //
 // --batch W sets EngineConfig::batch_windows: workers pack up to W queued
 // windows that share a sensing matrix into one batched FISTA solve
-// (bit-identical to solo solves, so the exactness check still applies).
+// (bit-identical to solo solves, so the exactness check still applies);
+// W = 0 lets each worker auto-size its batch from the backlog depth.
+// --shards S partitions the fleet across S engine shards by patient_id
+// (threads is the per-shard worker count).  --priority-frac F tags that
+// fraction of windows urgent: they jump the backlog through the priority
+// lane.  --shed enables deadline-aware shedding (at capacity, drop the
+// queued window predicted to miss its deadline instead of bouncing the
+// arrival).
 //
 // In streaming mode the per-window deadline defaults to the real-time
 // window period (cs::window_period_ms): the decoder keeps up with live
@@ -33,7 +43,7 @@
 #include <vector>
 
 #include "cs/pipeline.hpp"
-#include "host/reconstruction_engine.hpp"
+#include "host/reconstruction_fabric.hpp"
 #include "sig/ecg_synth.hpp"
 #include "sig/rng.hpp"
 
@@ -127,36 +137,48 @@ int run_batch_sweep(const std::vector<host::CompressedWindow>& batch) {
   return all_identical ? 0 : 1;
 }
 
-int run_streaming(const std::vector<host::CompressedWindow>& batch,
-                  double rate_hz, int threads, double deadline_ms,
-                  int batch_windows) {
+int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
+                  int threads, double deadline_ms, int batch_windows,
+                  int shards, double priority_frac, bool shed_enabled) {
   // Serial batch reference for the bit-exactness check.
   host::EngineConfig serial_cfg;
   host::ReconstructionEngine serial(serial_cfg);
   const auto reference = serial.reconstruct(batch);
 
+  // Tag a deterministic fraction of the traffic urgent: the AF-alarm
+  // pathway's share of the fleet.
+  sig::Rng rng(0xA551A55ULL);
+  std::size_t urgent_count = 0;
+  for (auto& window : batch) {
+    if (rng.uniform() < priority_frac) {
+      window.priority = cs::WindowPriority::kUrgent;
+      ++urgent_count;
+    }
+  }
+
   // Deterministically shuffled arrival order: patients interleave.
   std::vector<std::size_t> order(batch.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  sig::Rng rng(0xA551A55ULL);
   for (std::size_t i = order.size(); i > 1; --i) {
     std::swap(order[i - 1], order[static_cast<std::size_t>(rng.uniform_int(
                                 0, static_cast<std::int64_t>(i) - 1))]);
   }
 
-  host::EngineConfig cfg;
-  cfg.threads = threads;
-  cfg.slo.deadline_ms = deadline_ms;
-  cfg.batch_windows = batch_windows;
-  host::ReconstructionEngine engine(cfg);
+  host::FabricConfig cfg;
+  cfg.shards = shards;
+  cfg.engine.threads = threads;
+  cfg.engine.slo.deadline_ms = deadline_ms;
+  cfg.engine.batch_windows = batch_windows;
+  cfg.engine.deadline_shedding = shed_enabled;
+  host::ReconstructionFabric fabric(cfg);
 
-  std::printf("streaming: %zu windows, Poisson %.1f/s, %d worker thread%s, "
-              "deadline %.1f ms, batch_windows %d\n",
-              batch.size(), rate_hz, threads, threads == 1 ? "" : "s",
-              deadline_ms, batch_windows);
+  std::printf("streaming: %zu windows (%zu urgent), Poisson %.1f/s, %d shard%s x "
+              "%d worker thread%s, deadline %.1f ms, batch_windows %d%s\n",
+              batch.size(), urgent_count, rate_hz, shards, shards == 1 ? "" : "s",
+              threads, threads == 1 ? "" : "s", deadline_ms, batch_windows,
+              shed_enabled ? ", deadline shedding" : "");
 
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> streamed;
-  std::size_t shed = 0;
   const auto t0 = Clock::now();
   double next_arrival_s = 0.0;
   for (const std::size_t i : order) {
@@ -165,7 +187,7 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
     const auto arrival = t0 + std::chrono::duration_cast<Clock::duration>(
                                   std::chrono::duration<double>(next_arrival_s));
     while (Clock::now() < arrival) {
-      if (auto result = engine.poll()) {
+      if (auto result = fabric.poll()) {
         streamed.emplace(std::make_pair(result->patient_id, result->window_index),
                          std::move(result->signal));
       } else {
@@ -173,19 +195,25 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
       }
     }
     host::CompressedWindow copy = batch[i];
-    if (!engine.try_submit(std::move(copy))) ++shed;  // Overload: window dropped.
+    // Overload drops the window; the engine counts it in snap.rejected.
+    (void)fabric.try_submit(std::move(copy));
   }
-  for (auto&& result : engine.drain()) {
+  for (auto&& result : fabric.drain()) {
     streamed.emplace(std::make_pair(result.patient_id, result.window_index),
                      std::move(result.signal));
   }
   const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
 
-  const auto snap = engine.slo().snapshot();
+  const auto snap = fabric.slo_snapshot();
+  const auto shed_total = static_cast<std::size_t>(snap.shed_routine + snap.shed_urgent);
   std::printf("\n%-24s %12s\n", "metric", "value");
   std::printf("%-24s %12zu\n", "windows submitted", static_cast<std::size_t>(snap.submitted));
   std::printf("%-24s %12zu\n", "windows completed", static_cast<std::size_t>(snap.completed));
-  std::printf("%-24s %12zu\n", "windows shed", shed);
+  std::printf("%-24s %12zu\n", "windows rejected", static_cast<std::size_t>(snap.rejected));
+  std::printf("%-24s %12zu\n", "windows shed (routine)",
+              static_cast<std::size_t>(snap.shed_routine));
+  std::printf("%-24s %12zu\n", "windows shed (urgent)",
+              static_cast<std::size_t>(snap.shed_urgent));
   std::printf("%-24s %12.1f\n", "throughput (win/s)", snap.throughput_per_s);
   std::printf("%-24s %12.2f\n", "latency p50 (ms)", snap.p50_ms);
   std::printf("%-24s %12.2f\n", "latency p95 (ms)", snap.p95_ms);
@@ -197,8 +225,32 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
   std::printf("%-24s %12zu\n", "max in-flight", static_cast<std::size_t>(snap.max_in_flight));
   std::printf("%-24s %12.2f\n", "wall time (s)", wall_s);
 
+  // Lane split: is the alarm path actually faster than routine telemetry?
+  std::printf("\n%-10s %8s %10s %10s %10s %10s %10s %6s\n", "lane", "windows",
+              "p50_ms", "p95_ms", "p99_ms", "mean_ms", "violations", "shed");
+  for (const auto priority : {cs::WindowPriority::kUrgent, cs::WindowPriority::kRoutine}) {
+    const auto lane = fabric.lane_slo_snapshot(priority);
+    std::printf("%-10s %8zu %10.2f %10.2f %10.2f %10.2f %10zu %6zu\n",
+                cs::to_string(priority), static_cast<std::size_t>(lane.completed),
+                lane.p50_ms, lane.p95_ms, lane.p99_ms, lane.mean_ms,
+                static_cast<std::size_t>(lane.deadline_violations),
+                static_cast<std::size_t>(lane.shed_routine + lane.shed_urgent));
+  }
+
+  // Per-shard balance.
+  if (fabric.shard_count() > 1) {
+    std::printf("\n%-10s %8s %10s %10s %10s %10s\n", "shard", "windows", "p50_ms",
+                "p95_ms", "violations", "in-flt max");
+    for (const auto& s : fabric.shard_slo_snapshots()) {
+      std::printf("%-10zu %8zu %10.2f %10.2f %10zu %10zu\n", s.shard,
+                  static_cast<std::size_t>(s.slo.completed), s.slo.p50_ms, s.slo.p95_ms,
+                  static_cast<std::size_t>(s.slo.deadline_violations),
+                  static_cast<std::size_t>(s.slo.max_in_flight));
+    }
+  }
+
   // Per-patient SLO breakdown: which patients are (not) making deadline.
-  const auto per_patient = engine.patient_slo_snapshots();
+  const auto per_patient = fabric.patient_slo_snapshots();
   if (!per_patient.empty()) {
     std::printf("\n%-10s %8s %10s %10s %10s %10s %10s\n", "patient", "windows",
                 "p50_ms", "p95_ms", "p99_ms", "mean_ms", "violations");
@@ -210,13 +262,15 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
     }
   }
 
-  // Every non-shed window must match the serial batch reference bit for bit.
-  bool all_identical = streamed.size() + shed == batch.size();
+  // Every completed window must match the serial batch reference bit for
+  // bit; rejected and shed windows are the only ones allowed to be absent.
+  bool all_identical =
+      streamed.size() + static_cast<std::size_t>(snap.rejected) + shed_total == batch.size();
   std::size_t compared = 0;
   for (const auto& expected : reference.windows) {
     const auto found =
         streamed.find(std::make_pair(expected.patient_id, expected.window_index));
-    if (found == streamed.end()) continue;  // Shed under overload.
+    if (found == streamed.end()) continue;  // Rejected or shed under overload.
     ++compared;
     if (found->second.size() != expected.signal.size() ||
         (!expected.signal.empty() &&
@@ -225,7 +279,9 @@ int run_streaming(const std::vector<host::CompressedWindow>& batch,
       all_identical = false;
     }
   }
-  all_identical = all_identical && compared == streamed.size();
+  // A vacuous pass (everything shed/rejected, nothing compared) must fail:
+  // this bench doubles as the CI smoke gate for the streaming path.
+  all_identical = all_identical && compared == streamed.size() && compared > 0;
 
   std::printf("\nbit-exactness vs serial (%zu windows): %s\n", compared,
               all_identical ? "PASS" : "FAIL");
@@ -241,11 +297,15 @@ int main(int argc, char** argv) {
   int threads = 4;
   double deadline_ms = -1.0;
   int batch_windows = 1;
+  int shards = 1;
+  double priority_frac = 0.0;
+  bool shed_enabled = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool is_flag = arg == "--poisson" || arg == "--threads" ||
-                         arg == "--deadline-ms" || arg == "--batch";
+                         arg == "--deadline-ms" || arg == "--batch" ||
+                         arg == "--shards" || arg == "--priority-frac";
     if (is_flag && i + 1 >= argc) {
       std::fprintf(stderr, "%s requires a value\n", arg.c_str());
       return 2;
@@ -257,7 +317,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--batch") {
-      batch_windows = std::max(1, std::atoi(argv[++i]));
+      batch_windows = std::max(0, std::atoi(argv[++i]));  // 0 = auto-size.
+    } else if (arg == "--shards") {
+      shards = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--priority-frac") {
+      priority_frac = std::atof(argv[++i]);
+    } else if (arg == "--shed") {
+      shed_enabled = true;
     } else if (n_positional < 3) {
       positional[n_positional++] = argv[i];
     } else {
@@ -271,7 +337,7 @@ int main(int argc, char** argv) {
 
   std::printf("# host_throughput: %d patients x %d beats, CR %.0f%%\n",
               patients, beats, cr);
-  const auto batch = make_fleet_batch(patients, beats, cr);
+  auto batch = make_fleet_batch(patients, beats, cr);  // Moved into run_streaming.
   std::printf("# batch: %zu windows\n\n", batch.size());
   if (batch.empty()) return 0;
 
@@ -279,8 +345,9 @@ int main(int argc, char** argv) {
     if (deadline_ms < 0.0) {
       deadline_ms = cs::window_period_ms(batch.front().window_samples);
     }
-    return run_streaming(batch, poisson_hz, std::max(0, threads), deadline_ms,
-                         batch_windows);
+    return run_streaming(std::move(batch), poisson_hz, std::max(0, threads),
+                         deadline_ms, batch_windows, shards, priority_frac,
+                         shed_enabled);
   }
   return run_batch_sweep(batch);
 }

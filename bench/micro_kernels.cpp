@@ -11,6 +11,7 @@
 //    without it.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -218,6 +219,43 @@ void BM_KernFistaWindow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kWindow));
 }
 BENCHMARK(BM_KernFistaWindow)->ArgName("avx2")->Arg(0)->Arg(1);
+
+// --- SLO tracker hot path ---------------------------------------------------
+
+/// One full record cycle (submit -> complete -> retrieve): the per-window
+/// accounting cost workers pay on top of every solve.  Latencies walk the
+/// histogram's octaves so the bucket-index path is not branch-predicted
+/// into irrelevance.
+void BM_SloTrackerRecord(benchmark::State& state) {
+  host::SloTracker tracker(host::SloConfig{.deadline_ms = 2048.0});
+  double latency_ms = 0.25;
+  for (auto _ : state) {
+    tracker.on_submit();
+    tracker.on_complete(latency_ms);
+    tracker.on_retrieve();
+    latency_ms = latency_ms < 4000.0 ? latency_ms * 1.618 : 0.25;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SloTrackerRecord);
+
+/// Folding the full 320-bucket histogram into quantiles — the cost of one
+/// monitoring read (fabric aggregation runs one merge+snapshot per shard).
+void BM_SloTrackerSnapshot(benchmark::State& state) {
+  host::SloTracker tracker(host::SloConfig{.deadline_ms = 2048.0});
+  sig::Rng rng(21);
+  for (int i = 0; i < 100000; ++i) {
+    tracker.on_submit();
+    // Log-uniform latencies from ~30 us to ~20 s populate every octave.
+    tracker.on_complete(0.03 * std::pow(10.0, rng.uniform() * 5.8));
+    tracker.on_retrieve();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SloTrackerSnapshot);
 
 // --- streaming engine hot path ----------------------------------------------
 

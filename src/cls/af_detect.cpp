@@ -115,4 +115,25 @@ std::vector<AfWindow> AfDetector::detect(std::span<const sig::BeatAnnotation> be
   return windows;
 }
 
+std::vector<sig::SampleSpan> af_urgent_spans(std::span<const AfWindow> windows,
+                                             std::span<const sig::BeatAnnotation> beats) {
+  std::vector<sig::SampleSpan> spans;
+  for (const auto& w : windows) {
+    if (!w.decided_af) continue;
+    if (w.first_beat >= w.last_beat || w.last_beat > beats.size()) continue;
+    sig::SampleSpan span;
+    span.begin = beats[w.first_beat].r_peak;
+    span.end = beats[w.last_beat - 1].r_peak + 1;
+    if (span.empty()) continue;
+    // Decision windows overlap (stride < window_beats), so spans from
+    // consecutive AF-positive windows usually chain into one episode.
+    if (!spans.empty() && span.begin <= spans.back().end) {
+      spans.back().end = std::max(spans.back().end, span.end);
+    } else {
+      spans.push_back(span);
+    }
+  }
+  return spans;
+}
+
 }  // namespace wbsn::cls

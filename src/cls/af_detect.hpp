@@ -72,6 +72,16 @@ class AfDetector {
   FuzzyClassifier fuzzy_;
 };
 
+/// Priority tagging hook for the host reconstruction fabric: the merged
+/// sample spans covered by AF-positive decision windows.  A node that runs
+/// the detector locally tags every compressed-sensing window overlapping
+/// one of these spans as urgent (cs::WindowPriority::kUrgent), so the host
+/// reconstructs the suspected-AF stretch ahead of routine telemetry.  Each
+/// span runs from the R peak of the decision window's first beat to one
+/// past the R peak of its last; overlapping/adjacent spans are merged.
+std::vector<sig::SampleSpan> af_urgent_spans(std::span<const AfWindow> windows,
+                                             std::span<const sig::BeatAnnotation> beats);
+
 /// Sensitivity / specificity over a set of evaluated windows.
 struct AfReport {
   int tp = 0;

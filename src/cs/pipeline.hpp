@@ -47,6 +47,24 @@ inline double measurement_scale_mv(const sig::AdcConfig& adc) {
   return adc.lsb_mv() / adc.gain;
 }
 
+/// Transport priority of one compressed window.  Part of the node->host
+/// window metadata: the node's classifier chain (cls::af_urgent_spans)
+/// tags windows that overlap a suspected-AF stretch as urgent, and the
+/// host fabric lets urgent windows jump the reconstruction backlog.
+/// Priority never changes reconstruction *values* (the determinism
+/// contract is priority-blind) — only queueing order and shed policy.
+enum class WindowPriority : std::uint8_t {
+  kRoutine = 0,  ///< Normal telemetry; may be shed first under overload.
+  kUrgent = 1,   ///< Alarm-path window (e.g. AF): jumps the backlog.
+};
+
+/// Number of priority lanes (array sizing for per-lane accounting).
+inline constexpr std::size_t kPriorityLanes = 2;
+
+inline const char* to_string(WindowPriority p) {
+  return p == WindowPriority::kUrgent ? "urgent" : "routine";
+}
+
 /// Real-time arrival period of one window: a node sampling at `fs_hz`
 /// emits a compressed window every `window_samples / fs_hz` seconds, so
 /// this is both the mean inter-arrival time of live traffic and the

@@ -1,7 +1,6 @@
 #include "host/reconstruction_engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -23,7 +22,8 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 ReconstructionEngine::ReconstructionEngine(EngineConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity), slo_(cfg.slo) {
+    : cfg_(cfg), capacity_(std::max<std::size_t>(1, cfg.queue_capacity)), slo_(cfg.slo) {
+  for (auto& tracker : lane_slo_) tracker.configure(cfg_.slo);
   const int threads = std::max(0, cfg_.threads);
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -57,16 +57,29 @@ void ReconstructionEngine::worker_loop() {
     }
     std::unique_lock<std::mutex> lk(work_mutex_);
     work_cv_.wait(lk, [this] {
-      return stop_.load(std::memory_order_acquire) || !queue_.empty_approx();
+      return stop_.load(std::memory_order_acquire) || !queue_.empty();
     });
-    if (stop_.load(std::memory_order_acquire) && queue_.empty_approx()) return;
+    if (stop_.load(std::memory_order_acquire) && queue_.empty()) return;
   }
 }
 
 void ReconstructionEngine::pop_batch(std::vector<WorkItem*>& items) {
-  const auto limit = static_cast<std::size_t>(std::max(1, cfg_.batch_windows));
-  WorkItem* item = nullptr;
-  while (items.size() < limit && queue_.try_pop(item)) items.push_back(item);
+  std::size_t limit;
+  if (cfg_.batch_windows > 0) {
+    limit = static_cast<std::size_t>(cfg_.batch_windows);
+  } else {
+    // Backlog-driven auto-sizing: split the backlog this worker can see
+    // (queued plus what it already popped) evenly across the pool — solo
+    // solves while traffic is light, wide same-matrix batches once a
+    // backlog builds.  Any width is bit-identical, so the choice only
+    // moves the latency/throughput trade-off.
+    const std::size_t backlog = queue_.size() + items.size();
+    const auto workers = static_cast<std::size_t>(std::max(1, cfg_.threads));
+    const std::size_t share = (backlog + workers - 1) / workers;
+    limit = std::clamp<std::size_t>(share, 1,
+                                    static_cast<std::size_t>(std::max(1, cfg_.max_auto_batch)));
+  }
+  if (items.size() < limit) queue_.pop_some(items, limit - items.size());
 }
 
 std::shared_ptr<const cs::SensingMatrix> ReconstructionEngine::prepare_matrix(
@@ -143,19 +156,22 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   // same key are possible across evictions; grouping by object is
   // sufficient — and necessary, since a batched solve streams one plan.
   std::vector<WorkItem*> group;
-  std::size_t requeued = 0;
+  std::vector<WorkItem*> foreign;
   group.reserve(items.size());
   for (WorkItem* item : items) {
     if (item->phi == items.front()->phi) {
       group.push_back(item);
     } else {
-      const bool pushed = queue_.try_push(item);  // Reservation held: cannot fail.
-      assert(pushed);
-      (void)pushed;
-      ++requeued;
+      foreign.push_back(item);
     }
   }
-  if (requeued > 0 && !workers_.empty()) {
+  // Requeue foreign-matrix items at the front of their lanes, in reverse
+  // pop order so their relative age is preserved for other workers (and
+  // for the shed predictor's positional scan).
+  for (auto it = foreign.rbegin(); it != foreign.rend(); ++it) {
+    queue_.push_front(*it, (*it)->window.priority == cs::WindowPriority::kUrgent);
+  }
+  if (!foreign.empty() && !workers_.empty()) {
     {
       std::lock_guard<std::mutex> lk(work_mutex_);
     }
@@ -176,6 +192,14 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   const auto t1 = Clock::now();
   const double solve_ms = ms_between(t0, t1);
 
+  // Feed the shed predictor: EWMA (alpha = 1/8) of per-window solve time.
+  // Racy read-modify-write across workers only blurs the estimate.
+  const auto sample_us = static_cast<std::uint64_t>(
+      solve_ms * 1000.0 / static_cast<double>(group.size()));
+  const std::uint64_t prev_us = ewma_solve_us_.load(std::memory_order_relaxed);
+  ewma_solve_us_.store(prev_us == 0 ? sample_us : (prev_us * 7 + sample_us) / 8,
+                       std::memory_order_relaxed);
+
   std::vector<DoneItem> results;
   results.reserve(group.size());
   for (std::size_t s = 0; s < group.size(); ++s) {
@@ -184,6 +208,7 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     WindowResult result;
     result.patient_id = window.patient_id;
     result.window_index = window.window_index;
+    result.priority = window.priority;
     result.ticket = item->ticket;
     result.latency_ms = solve_ms;  // Whole-group solve wall time.
     result.e2e_ms = ms_between(item->enqueue_time, t1);
@@ -193,6 +218,7 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
                         ? std::numeric_limits<double>::quiet_NaN()
                         : cs::reconstruction_snr_db(window.reference, result.signal);
     slo_.on_complete(result.e2e_ms);
+    lane_slo_[lane_index(window.priority)].on_complete(result.e2e_ms);
     if (item->patient_slo != nullptr) item->patient_slo->on_complete(result.e2e_ms);
     results.push_back(DoneItem{std::move(result), item->patient_slo});
     delete item;
@@ -208,13 +234,71 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   done_cv_.notify_all();
 }
 
-std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&& window) {
-  // Reserve an in-flight slot first; this is the only admission gate.
+bool ReconstructionEngine::reserve_slot() {
   std::size_t current = in_flight_.load(std::memory_order_acquire);
   do {
-    if (current >= in_flight_capacity()) return std::nullopt;
+    if (current >= in_flight_capacity()) return false;
   } while (!in_flight_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel,
                                              std::memory_order_acquire));
+  return true;
+}
+
+bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priority) {
+  const double deadline_ms = cfg_.slo.deadline_ms;
+  if (deadline_ms <= 0.0) return false;
+  const double est_ms =
+      cfg_.shed_solve_estimate_ms > 0.0
+          ? cfg_.shed_solve_estimate_ms
+          : static_cast<double>(ewma_solve_us_.load(std::memory_order_relaxed)) / 1000.0;
+  if (est_ms <= 0.0) return false;  // No solve-time signal yet.
+  const auto workers = static_cast<double>(std::max(1, cfg_.threads));
+  const auto now = Clock::now();
+  const auto score = [&](WorkItem* item, std::size_t position, bool) -> std::optional<double> {
+    // Predicted completion if left queued: everything ahead of it plus
+    // itself must solve, spread across the pool — a coarse M/D/c wait
+    // model fed by the measured solve EWMA.  Positive overshoot means
+    // the deadline is already forecast to be missed.
+    const double wait_ms = est_ms * static_cast<double>(position + 1) / workers;
+    const double age_ms = ms_between(item->enqueue_time, now);
+    const double overshoot_ms = age_ms + wait_ms - deadline_ms;
+    if (overshoot_ms <= 0.0) return std::nullopt;  // Still expected to make it.
+    return overshoot_ms;  // Shed the most-doomed window.
+  };
+  // Routine victims first; the urgent lane is scanned only when no routine
+  // window is predicted to miss AND the arrival itself is urgent.
+  auto victim = queue_.extract_best(score, /*include_urgent=*/false);
+  if (!victim.has_value() && arrival_priority == cs::WindowPriority::kUrgent) {
+    victim = queue_.extract_best(score, /*include_urgent=*/true);
+  }
+  if (!victim.has_value()) return false;
+  WorkItem* item = *victim;
+  const bool urgent = item->window.priority == cs::WindowPriority::kUrgent;
+  slo_.on_shed(urgent);
+  lane_slo_[lane_index(item->window.priority)].on_shed(urgent);
+  if (item->patient_slo != nullptr) item->patient_slo->on_shed(urgent);
+  delete item;
+  return true;  // The victim's in-flight reservation passes to the arrival.
+}
+
+std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&& window) {
+  const std::size_t lane = lane_index(window.priority);
+  if (auto ticket = try_submit_impl(std::move(window), cfg_.deadline_shedding)) {
+    return ticket;
+  }
+  slo_.on_reject();
+  lane_slo_[lane].on_reject();
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWindow&& window,
+                                                                   bool allow_shedding) {
+  // Reserve an in-flight slot first; this is the only admission gate.  At
+  // capacity, deadline-aware shedding may instead free a slot by dropping
+  // the queued window predicted to miss its deadline — the arrival then
+  // takes over the victim's reservation.
+  if (!reserve_slot() && !(allow_shedding && shed_predicted_miss(window.priority))) {
+    return std::nullopt;
+  }
 
   auto item = std::make_unique<WorkItem>();
   item->phi = prepare_matrix(window);
@@ -223,12 +307,12 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&&
   item->ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   item->enqueue_time = Clock::now();
   const std::uint64_t ticket = item->ticket;
+  const bool urgent = item->window.priority == cs::WindowPriority::kUrgent;
 
   slo_.on_submit();
+  lane_slo_[lane_index(item->window.priority)].on_submit();
   if (item->patient_slo != nullptr) item->patient_slo->on_submit();
-  const bool pushed = queue_.try_push(item.release());
-  assert(pushed);  // Guaranteed by the slot reservation above.
-  (void)pushed;
+  queue_.push(item.release(), urgent);
 
   if (!workers_.empty()) {
     {
@@ -241,7 +325,12 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&&
 
 std::uint64_t ReconstructionEngine::submit(CompressedWindow window) {
   for (;;) {
-    if (auto ticket = try_submit(std::move(window))) return *ticket;
+    // A blocking submitter can afford to wait, so it never sheds queued
+    // work to jump in — and its retries are backpressure, not rejections,
+    // so they stay out of the reject counters.
+    if (auto ticket = try_submit_impl(std::move(window), /*allow_shedding=*/false)) {
+      return *ticket;
+    }
     // At capacity.  Serial mode: make room by solving pending windows
     // inline.  Threaded mode: wait for a worker to complete one (wait_for
     // rather than wait so a slot freed between the failed try_submit and
@@ -271,6 +360,7 @@ std::optional<WindowResult> ReconstructionEngine::poll() {
         DoneItem done = std::move(done_.front());
         done_.pop_front();
         slo_.on_retrieve();
+        lane_slo_[lane_index(done.result.priority)].on_retrieve();
         // Resolved at submit and engine-lifetime stable: no map, no lock.
         if (done.patient_slo != nullptr) done.patient_slo->on_retrieve();
         return std::optional<WindowResult>{std::move(done.result)};
@@ -331,7 +421,11 @@ BatchResult ReconstructionEngine::reconstruct(std::span<const CompressedWindow> 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     CompressedWindow copy = batch[i];
     for (;;) {
-      if (auto ticket = try_submit(std::move(copy))) {
+      // Never shed inside the batch wrapper: its contract is every window
+      // reconstructed, so overload is waited out, not dropped — a shed
+      // here could even evict another window of this same batch, leaving
+      // a default-constructed hole in the output.
+      if (auto ticket = try_submit_impl(std::move(copy), /*allow_shedding=*/false)) {
         slot_of.emplace(*ticket, i);
         break;
       }
@@ -350,11 +444,15 @@ BatchResult ReconstructionEngine::reconstruct(std::span<const CompressedWindow> 
   out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   out.records_per_second =
       out.wall_seconds > 0.0 ? static_cast<double>(batch.size()) / out.wall_seconds : 0.0;
+  out.patients = aggregate_patient_stats(out.windows);
+  return out;
+}
 
+std::vector<PatientStats> aggregate_patient_stats(std::span<const WindowResult> windows) {
   // Serial aggregation in input order keeps the stats deterministic.
   std::map<std::uint32_t, PatientStats> stats;
   std::map<std::uint32_t, std::size_t> scored;
-  for (const auto& window : out.windows) {
+  for (const auto& window : windows) {
     auto& s = stats[window.patient_id];
     s.patient_id = window.patient_id;
     ++s.windows;
@@ -365,14 +463,14 @@ BatchResult ReconstructionEngine::reconstruct(std::span<const CompressedWindow> 
     s.mean_latency_ms += window.latency_ms;
     s.max_latency_ms = std::max(s.max_latency_ms, window.latency_ms);
   }
-  out.patients.reserve(stats.size());
+  std::vector<PatientStats> out;
+  out.reserve(stats.size());
   for (auto& [id, s] : stats) {
     const std::size_t n_scored = scored[id];
-    s.mean_snr_db =
-        n_scored > 0 ? s.mean_snr_db / static_cast<double>(n_scored)
-                     : std::numeric_limits<double>::quiet_NaN();
+    s.mean_snr_db = n_scored > 0 ? s.mean_snr_db / static_cast<double>(n_scored)
+                                 : std::numeric_limits<double>::quiet_NaN();
     s.mean_latency_ms /= static_cast<double>(s.windows);
-    out.patients.push_back(std::move(s));
+    out.push_back(std::move(s));
   }
   return out;
 }
@@ -402,6 +500,13 @@ std::vector<CompressedWindow> compress_record(const sig::Record& record,
       cw.matrix_seed = seed;
       cw.window_samples = static_cast<std::uint32_t>(n);
       cw.ones_per_column = static_cast<std::uint32_t>(cfg.ones_per_column);
+      const auto lo = static_cast<std::int64_t>(w * n);
+      for (const auto& span : cfg.urgent_spans) {
+        if (span.overlaps(lo, lo + static_cast<std::int64_t>(n))) {
+          cw.priority = cs::WindowPriority::kUrgent;
+          break;
+        }
+      }
       cw.measurements = std::move(encoded.measurements);
       cw.reference = std::move(encoded.reference);
       out.push_back(std::move(cw));

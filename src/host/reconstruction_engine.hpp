@@ -13,13 +13,24 @@
 //     results wait in an unbounded completion list until retrieved, so a
 //     producer that submits a long burst before draining never deadlocks
 //     against its own unpolled results.
-//   * A fixed pool of worker threads drains the bounded lock-free MPMC
-//     work queue (work_queue.hpp) persistently — there is no per-batch
-//     barrier, a worker starts the next window the moment it finishes the
-//     previous one.  With batch_windows > 1 a worker opportunistically
-//     pops several queued windows at once and solves same-matrix groups
-//     in one batched FISTA pass (cs::fista_solve_batch) whose per-window
-//     results are bit-identical to solo solves.
+//   * The pending backlog is a two-lane priority queue (work_queue.hpp):
+//     windows tagged cs::WindowPriority::kUrgent (the AF-alarm pathway)
+//     jump ahead of routine telemetry, FIFO within each lane.  A fixed
+//     pool of worker threads drains it persistently — there is no
+//     per-batch barrier, a worker starts the next window the moment it
+//     finishes the previous one.  With batch_windows > 1 a worker
+//     opportunistically pops several queued windows at once and solves
+//     same-matrix groups in one batched FISTA pass (cs::fista_solve_batch)
+//     whose per-window results are bit-identical to solo solves; with
+//     batch_windows == 0 each worker auto-sizes its pop from the current
+//     backlog depth (latency when idle, throughput under load).
+//   * Under overload, admission is deadline-aware when deadline_shedding
+//     is on: instead of bouncing the newest arrival, try_submit sheds the
+//     queued window whose predicted completion (backlog position x the
+//     measured per-window solve EWMA) overshoots its deadline the most,
+//     and admits the arrival into the freed slot.  Routine windows are
+//     shed before urgent ones; sheds and rejects land in the SLO trackers
+//     per lane.
 //   * poll() returns one completed window (completion order); drain()
 //     blocks until everything in flight has completed and returns the
 //     rest.  With threads == 0 both run the solver inline in the calling
@@ -57,6 +68,7 @@
 #include <vector>
 
 #include "cs/fista.hpp"
+#include "cs/pipeline.hpp"
 #include "cs/sensing_matrix.hpp"
 #include "host/slo_tracker.hpp"
 #include "host/work_queue.hpp"
@@ -73,6 +85,10 @@ struct CompressedWindow {
   std::uint64_t matrix_seed = 0;     ///< Seed shared with the node.
   std::uint32_t window_samples = 0;  ///< n (columns of Phi).
   std::uint32_t ones_per_column = 4; ///< Sparse-binary density d.
+  /// Queue lane on the host: urgent windows (tagged by the node's AF
+  /// pathway, cls::af_urgent_spans, or directly by the caller) jump the
+  /// reconstruction backlog and are shed last.  Never affects values.
+  cs::WindowPriority priority = cs::WindowPriority::kRoutine;
   std::vector<double> measurements;  ///< y, already scaled to mV.
   /// Optional ground truth (test/bench only; empty in production) for SNR.
   std::vector<double> reference;
@@ -82,6 +98,7 @@ struct CompressedWindow {
 struct WindowResult {
   std::uint32_t patient_id = 0;
   std::uint32_t window_index = 0;
+  cs::WindowPriority priority = cs::WindowPriority::kRoutine;  ///< Echo of the input lane.
   std::uint64_t ticket = 0;       ///< Engine-wide submission sequence number.
   std::vector<double> signal;     ///< Reconstructed time-domain window.
   double snr_db = 0.0;            ///< NaN when no reference was attached.
@@ -111,12 +128,17 @@ struct BatchResult {
   double records_per_second = 0.0;     ///< windows.size() / wall_seconds.
 };
 
+/// Per-patient aggregation over completed windows, sorted by patient_id.
+/// Deterministic (serial, input order); shared by the engine's and the
+/// fabric's batch wrappers.
+std::vector<PatientStats> aggregate_patient_stats(std::span<const WindowResult> windows);
+
 struct EngineConfig {
   /// Worker threads.  0 = solve in the calling thread during poll()/
   /// drain() (serial reference mode); N >= 1 spawns N persistent workers.
   int threads = 0;
   /// Admission bound: maximum windows in flight (submitted but not yet
-  /// solved).  Rounded up to a power of two; see in_flight_capacity().
+  /// solved); see in_flight_capacity().
   std::size_t queue_capacity = 1024;
   /// Windows a worker may pack into one batched FISTA solve
   /// (cs::fista_solve_batch).  Workers drain opportunistically: up to
@@ -125,7 +147,25 @@ struct EngineConfig {
   /// plan streams once across the group.  Batched results are
   /// bit-identical to solo solves, so any value preserves the
   /// determinism contract; 1 (the default) disables packing.
+  /// 0 enables backlog-driven auto-sizing: each worker pops
+  /// ceil(backlog / threads) windows, clamped to [1, max_auto_batch] —
+  /// solo solves for latency when the queue is shallow, wide batches for
+  /// throughput when it is deep.
   int batch_windows = 1;
+  /// Upper bound on an auto-sized batch (batch_windows == 0).
+  int max_auto_batch = 32;
+  /// Deadline-aware load shedding.  When admission is at capacity and the
+  /// backlog predicts a deadline miss, drop the queued window with the
+  /// worst predicted overshoot (routine lane first; the urgent lane is
+  /// only eligible when the arrival itself is urgent) and admit the new
+  /// arrival into its slot.  Off (the default) keeps binary admission:
+  /// try_submit just reports backpressure.  Requires slo.deadline_ms > 0
+  /// and a solve-time signal (shed_solve_estimate_ms or at least one
+  /// completed solve) to act; until then it falls back to rejection.
+  bool deadline_shedding = false;
+  /// Per-window solve-time estimate feeding the shed predictor, in ms.
+  /// 0 (default) uses the engine's measured EWMA of completed solves.
+  double shed_solve_estimate_ms = 0.0;
   /// LRU capacity of the sensing-matrix cache, in matrices (one per
   /// distinct (seed, m, n, d)); 0 = unbounded.  Evicted matrices are
   /// rebuilt deterministically on the next miss, and in-flight windows
@@ -162,14 +202,19 @@ class ReconstructionEngine {
   // --- Streaming interface -------------------------------------------------
 
   /// Hands one window to the engine.  Returns the window's ticket on
-  /// success; std::nullopt when the engine is at capacity (backpressure —
-  /// retry after poll()ing).  Thread-safe; `window` is untouched on
-  /// rejection.
+  /// success; std::nullopt when the engine is at capacity and nothing
+  /// could be shed (backpressure — retry after poll()ing).  With
+  /// deadline_shedding on, an at-capacity arrival is admitted anyway when
+  /// a queued window is already predicted to miss its deadline: that
+  /// window is dropped instead (see SloSnapshot::shed_*).  Thread-safe;
+  /// `window` is untouched on rejection.
   std::optional<std::uint64_t> try_submit(CompressedWindow&& window);
 
   /// Blocking submit: waits out backpressure (workers draining the
   /// backlog; with threads == 0 it solves pending windows inline to make
-  /// room) and returns the ticket.
+  /// room) and returns the ticket.  Never sheds queued work and never
+  /// counts as a rejection — a caller willing to wait gets admission
+  /// without costing anyone else's window.
   std::uint64_t submit(CompressedWindow window);
 
   /// Returns one completed window in completion order, or std::nullopt if
@@ -186,13 +231,25 @@ class ReconstructionEngine {
   /// Windows currently in flight (submitted, not yet solved).
   std::size_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
 
-  /// Admission bound actually in force (queue_capacity rounded up).
-  std::size_t in_flight_capacity() const { return queue_.capacity(); }
+  /// Admission bound actually in force.
+  std::size_t in_flight_capacity() const { return capacity_; }
+
+  /// Pending (unsolved) windows in the given priority lane.
+  std::size_t backlog(cs::WindowPriority priority) const {
+    return queue_.lane_size(priority == cs::WindowPriority::kUrgent);
+  }
 
   /// Latency/throughput/deadline statistics since construction (or the
   /// last slo().reset() while quiesced).
   const SloTracker& slo() const { return slo_; }
   SloTracker& slo() { return slo_; }  ///< Mutable, e.g. for per-interval reset().
+
+  /// Per-lane breakdown of the same statistics: every window is recorded
+  /// both engine-wide and in its priority lane's tracker, so under mixed
+  /// traffic this separates alarm-path latency from routine telemetry.
+  const SloTracker& lane_slo(cs::WindowPriority priority) const {
+    return lane_slo_[lane_index(priority)];
+  }
 
   /// Per-patient SLO breakdown, sorted by patient_id; empty when
   /// per_patient_slo is off.  Same approximation caveats as
@@ -205,8 +262,10 @@ class ReconstructionEngine {
   // --- Batch wrapper -------------------------------------------------------
 
   /// Reconstructs every window in the batch and blocks until done; results
-  /// are returned in input order.  A thin wrapper over submit()/drain().
-  /// Not reentrant: one batch at a time (guarded internally); do not call
+  /// are returned in input order.  A thin wrapper over submit()/drain()
+  /// that waits out overload instead of shedding (deadline_shedding does
+  /// not apply inside the wrapper — every window comes back).  Not
+  /// reentrant: one batch at a time (guarded internally); do not call
   /// concurrently with streaming submissions (the drain would steal them).
   BatchResult reconstruct(std::span<const CompressedWindow> batch);
 
@@ -225,13 +284,31 @@ class ReconstructionEngine {
     std::chrono::steady_clock::time_point enqueue_time{};
   };
 
+  static std::size_t lane_index(cs::WindowPriority priority) {
+    return priority == cs::WindowPriority::kUrgent ? 1 : 0;
+  }
+
   void worker_loop();
-  /// Pops up to batch_windows pending windows and solves them; false when
+  /// Pops up to one batch of pending windows and solves them; false when
   /// none was pending.
   bool help_some();
-  /// Pops up to cfg_.batch_windows items off the work ring (at least one
-  /// already popped by the caller may be passed in via `items`).
+  /// Tops `items` up to this worker's batch width (static batch_windows,
+  /// or backlog/threads when auto-sizing) from the lane queue, urgent
+  /// first.  At least one already-popped item is passed in by the caller.
   void pop_batch(std::vector<WorkItem*>& items);
+  /// Reserves one in-flight slot; false when at capacity.
+  bool reserve_slot();
+  /// Admission core shared by try_submit (shedding per config, rejects
+  /// counted by the caller) and the blocking paths (submit()/
+  /// reconstruct(): never shed — a waiter must not drop queued work —
+  /// and retries are backpressure, not rejections).
+  std::optional<std::uint64_t> try_submit_impl(CompressedWindow&& window, bool allow_shedding);
+  /// Deadline-aware shedding: drops the queued window with the worst
+  /// predicted deadline overshoot and returns true, transferring its
+  /// in-flight reservation to the caller's arrival.  False when no queued
+  /// window is predicted to miss (or no solve-time signal exists yet).
+  /// Only an urgent arrival may displace an urgent window.
+  bool shed_predicted_miss(cs::WindowPriority arrival_priority);
   /// Solves the same-matrix group containing items[0] in one
   /// cs::fista_solve_batch call (bit-identical to solo solves) and
   /// requeues the rest for other workers, so a mixed-matrix pop neither
@@ -248,9 +325,14 @@ class ReconstructionEngine {
   SloTracker* patient_tracker(std::uint32_t patient_id);
 
   EngineConfig cfg_;
-  BoundedWorkQueue<WorkItem*> queue_;  ///< Pending (unsolved) windows.
+  std::size_t capacity_ = 1;           ///< max(1, cfg_.queue_capacity).
+  TwoLaneWorkQueue<WorkItem*> queue_;  ///< Pending (unsolved) windows, two lanes.
   std::vector<std::thread> workers_;
   SloTracker slo_;
+  SloTracker lane_slo_[cs::kPriorityLanes];  ///< [0]=routine, [1]=urgent.
+  /// EWMA of per-window solve wall time, microseconds; feeds the shed
+  /// predictor when shed_solve_estimate_ms is 0.
+  std::atomic<std::uint64_t> ewma_solve_us_{0};
 
   // Bounded LRU cache of seeded sensing operators, keyed by
   // (seed, m, n, d).  lru_ orders keys most-recent-first; each map value
@@ -309,6 +391,11 @@ struct RecordCompressionConfig {
   sig::AdcConfig adc{};
   /// Attach the quantized-then-dequantized window as SNR reference.
   bool keep_reference = true;
+  /// Clinically urgent stretches of the record, as within-lead sample
+  /// ranges (typically cls::af_urgent_spans output).  Every window
+  /// overlapping a span — in any lead, AF is a rhythm-level property — is
+  /// tagged cs::WindowPriority::kUrgent for the host's priority lane.
+  std::vector<sig::SampleSpan> urgent_spans;
 };
 
 std::vector<CompressedWindow> compress_record(const sig::Record& record,

@@ -1,0 +1,145 @@
+#include "host/reconstruction_fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+namespace wbsn::host {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// splitmix64 finalizer: a fast, well-mixed stable hash.  patient_id is a
+/// dense small integer in most fleets; modulo alone would stripe patients
+/// across shards in lockstep with id-assignment order, so mix first.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ReconstructionFabric::ReconstructionFabric(FabricConfig cfg) : cfg_(cfg) {
+  const int shards = std::max(1, cfg_.shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<ReconstructionEngine>(cfg_.engine));
+  }
+}
+
+std::size_t ReconstructionFabric::shard_of(std::uint32_t patient_id) const {
+  return static_cast<std::size_t>(splitmix64(patient_id) % shards_.size());
+}
+
+std::optional<std::uint64_t> ReconstructionFabric::try_submit(CompressedWindow&& window) {
+  const std::size_t shard = shard_of(window.patient_id);
+  const auto local = shards_[shard]->try_submit(std::move(window));
+  if (!local.has_value()) return std::nullopt;
+  return compose_ticket(shard, *local);
+}
+
+std::uint64_t ReconstructionFabric::submit(CompressedWindow window) {
+  const std::size_t shard = shard_of(window.patient_id);
+  return compose_ticket(shard, shards_[shard]->submit(std::move(window)));
+}
+
+std::optional<WindowResult> ReconstructionFabric::poll() {
+  const std::size_t start =
+      next_poll_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::size_t shard = (start + i) % shards_.size();
+    if (auto result = shards_[shard]->poll()) {
+      result->ticket = compose_ticket(shard, result->ticket);
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<WindowResult> ReconstructionFabric::drain() {
+  std::vector<WindowResult> out;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    auto results = shards_[shard]->drain();
+    out.reserve(out.size() + results.size());
+    for (auto& result : results) {
+      result.ticket = compose_ticket(shard, result.ticket);
+      out.push_back(std::move(result));
+    }
+  }
+  return out;
+}
+
+std::size_t ReconstructionFabric::in_flight() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->in_flight();
+  return total;
+}
+
+SloSnapshot ReconstructionFabric::slo_snapshot() const {
+  SloTracker merged(cfg_.engine.slo);
+  for (const auto& shard : shards_) merged.merge_from(shard->slo());
+  return merged.snapshot();
+}
+
+SloSnapshot ReconstructionFabric::lane_slo_snapshot(cs::WindowPriority priority) const {
+  SloTracker merged(cfg_.engine.slo);
+  for (const auto& shard : shards_) merged.merge_from(shard->lane_slo(priority));
+  return merged.snapshot();
+}
+
+std::vector<ShardSlo> ReconstructionFabric::shard_slo_snapshots() const {
+  std::vector<ShardSlo> out;
+  out.reserve(shards_.size());
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    out.push_back({shard, shards_[shard]->slo().snapshot()});
+  }
+  return out;
+}
+
+std::vector<PatientSlo> ReconstructionFabric::patient_slo_snapshots() const {
+  std::vector<PatientSlo> out;
+  for (const auto& shard : shards_) {
+    auto per_shard = shard->patient_slo_snapshots();
+    out.insert(out.end(), std::make_move_iterator(per_shard.begin()),
+               std::make_move_iterator(per_shard.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PatientSlo& a, const PatientSlo& b) { return a.patient_id < b.patient_id; });
+  return out;
+}
+
+BatchResult ReconstructionFabric::reconstruct(std::span<const CompressedWindow> batch) {
+  std::lock_guard<std::mutex> batch_guard(batch_mutex_);
+
+  BatchResult out;
+  out.windows.assign(batch.size(), WindowResult{});
+  if (batch.empty()) return out;
+
+  // Composite ticket -> input position, so shard-major completion-order
+  // results land back in input order.  Stray tickets from streaming
+  // submissions the caller never polled are discarded, as in the engine's
+  // wrapper.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  slot_of.reserve(batch.size());
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    CompressedWindow copy = batch[i];
+    slot_of.emplace(submit(std::move(copy)), i);
+  }
+  for (auto&& result : drain()) {
+    const auto found = slot_of.find(result.ticket);
+    if (found == slot_of.end()) continue;
+    out.windows[found->second] = std::move(result);
+  }
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.records_per_second =
+      out.wall_seconds > 0.0 ? static_cast<double>(batch.size()) / out.wall_seconds : 0.0;
+  out.patients = aggregate_patient_stats(out.windows);
+  return out;
+}
+
+}  // namespace wbsn::host

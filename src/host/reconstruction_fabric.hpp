@@ -1,0 +1,146 @@
+// Sharded reconstruction fabric — the layer between the node fleet and
+// the per-shard streaming engines.
+//
+//   node -> fabric -> shard (engine) -> kern
+//
+// One ReconstructionEngine owns one slice of the fleet; the fabric
+// partitions traffic across N such shards by a stable hash of patient_id,
+// so a patient's windows always land on the same shard (its matrix cache
+// stays warm, its per-patient SLO tracker lives in one place) and shards
+// share nothing on the hot path — no cross-shard lock, no global queue.
+// Each shard keeps its own admission gate, priority lanes, shed policy,
+// worker pool, and SLO trackers; the fabric adds:
+//
+//   * stable routing (shard_of) that is independent of shard *state*, so
+//     adding monitoring or draining one shard never re-routes patients;
+//   * fabric-wide submit/try_submit/poll/drain mirroring the engine API
+//     (poll sweeps shards round-robin so no shard's completions starve);
+//   * composite tickets — shard index in the top bits, the shard-local
+//     ticket below — unique fabric-wide;
+//   * aggregate SLO snapshots: per-shard histograms are folded into one
+//     tracker (SloTracker::merge_from), so fabric-level p50/p95/p99 come
+//     from real merged histograms, not an average of quantiles; the same
+//     per lane, plus per-shard and per-patient breakdowns.
+//
+// Determinism contract, inherited and preserved: a window's reconstruction
+// depends only on its payload and the FistaConfig, so per-window results
+// are bit-identical across shard counts, priority mixes, thread counts,
+// and batch widths — sharding moves *where* and *when* a window solves,
+// never *what* it solves to.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "host/reconstruction_engine.hpp"
+
+namespace wbsn::host {
+
+struct FabricConfig {
+  /// Engine shards; clamped to >= 1.  Patient -> shard routing is a pure
+  /// function of patient_id and this count.
+  int shards = 1;
+  /// Per-shard engine configuration.  `threads` is the worker count of
+  /// EACH shard, so the fabric runs shards * threads workers in total.
+  EngineConfig engine{};
+};
+
+/// One shard's SLO view (see ReconstructionFabric::shard_slo_snapshots).
+struct ShardSlo {
+  std::size_t shard = 0;
+  SloSnapshot slo;
+};
+
+class ReconstructionFabric {
+ public:
+  explicit ReconstructionFabric(FabricConfig cfg = {});
+
+  ReconstructionFabric(const ReconstructionFabric&) = delete;
+  ReconstructionFabric& operator=(const ReconstructionFabric&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard that owns `patient_id`: stable (splitmix64) hash modulo the
+  /// shard count — uniform across ids, independent of shard state.
+  std::size_t shard_of(std::uint32_t patient_id) const;
+
+  ReconstructionEngine& shard(std::size_t index) { return *shards_[index]; }
+  const ReconstructionEngine& shard(std::size_t index) const { return *shards_[index]; }
+
+  // --- Composite tickets ---------------------------------------------------
+
+  /// Shard-local tickets occupy the low 48 bits of a fabric ticket; the
+  /// owning shard index sits above.  2^48 windows per shard outlives any
+  /// deployment (5k years at 2k windows/s/shard).
+  static constexpr unsigned kLocalTicketBits = 48;
+  static std::uint64_t compose_ticket(std::size_t shard, std::uint64_t local) {
+    return (static_cast<std::uint64_t>(shard) << kLocalTicketBits) | local;
+  }
+  static std::size_t ticket_shard(std::uint64_t ticket) {
+    return static_cast<std::size_t>(ticket >> kLocalTicketBits);
+  }
+  static std::uint64_t ticket_local(std::uint64_t ticket) {
+    return ticket & ((std::uint64_t{1} << kLocalTicketBits) - 1);
+  }
+
+  // --- Streaming interface (mirrors ReconstructionEngine) ------------------
+
+  /// Routes the window to its patient's shard.  Returns the composite
+  /// ticket, or std::nullopt on that shard's backpressure (other shards'
+  /// headroom does not help — routing is stable by design).  Thread-safe.
+  std::optional<std::uint64_t> try_submit(CompressedWindow&& window);
+
+  /// Blocking submit on the owning shard; returns the composite ticket.
+  std::uint64_t submit(CompressedWindow window);
+
+  /// One completed window from any shard, or std::nullopt when none is
+  /// ready.  Sweeps shards starting from a rotating index so a busy shard
+  /// cannot starve the others' completions.  Thread-safe.
+  std::optional<WindowResult> poll();
+
+  /// Drains every shard and returns all unretrieved results (per-shard
+  /// completion order, shard-major).  Like the engine's drain(), do not
+  /// race it against concurrent submissions you care to keep.
+  std::vector<WindowResult> drain();
+
+  /// Windows in flight across all shards.
+  std::size_t in_flight() const;
+
+  // --- Aggregate SLO views -------------------------------------------------
+
+  /// Fabric-wide SLO: every shard's tracker folded into one histogram.
+  /// Approximate while traffic is in flight (same caveat as
+  /// SloTracker::snapshot()); exact once drained.
+  SloSnapshot slo_snapshot() const;
+
+  /// Fabric-wide per-lane SLO (routine vs urgent), folded the same way.
+  SloSnapshot lane_slo_snapshot(cs::WindowPriority priority) const;
+
+  /// Per-shard engine-wide snapshots, indexed by shard.
+  std::vector<ShardSlo> shard_slo_snapshots() const;
+
+  /// Per-patient breakdown across the fleet, sorted by patient_id.  Each
+  /// patient lives on exactly one shard, so this is a concatenation, not
+  /// a merge.
+  std::vector<PatientSlo> patient_slo_snapshots() const;
+
+  // --- Batch wrapper -------------------------------------------------------
+
+  /// Reconstructs the batch across all shards and blocks until done;
+  /// results return in input order.  Not reentrant (guarded internally);
+  /// do not call concurrently with streaming submissions.
+  BatchResult reconstruct(std::span<const CompressedWindow> batch);
+
+ private:
+  FabricConfig cfg_;
+  std::vector<std::unique_ptr<ReconstructionEngine>> shards_;
+  std::atomic<std::size_t> next_poll_shard_{0};
+  std::mutex batch_mutex_;  ///< Serializes reconstruct() calls.
+};
+
+}  // namespace wbsn::host

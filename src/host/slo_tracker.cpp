@@ -34,10 +34,12 @@ double SloTracker::bucket_mid_us(std::size_t index) {
 
 void SloTracker::on_submit() {
   const std::uint64_t submitted = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
-  // Approximate under concurrency (submitted/retrieved are read at slightly
+  // Approximate under concurrency (the counters are read at slightly
   // different instants) but exact whenever submission is single-threaded.
-  const std::uint64_t retrieved = retrieved_.load(std::memory_order_relaxed);
-  const std::uint64_t depth = submitted - std::min(retrieved, submitted);
+  const std::uint64_t retired = retrieved_.load(std::memory_order_relaxed) +
+                                shed_routine_.load(std::memory_order_relaxed) +
+                                shed_urgent_.load(std::memory_order_relaxed);
+  const std::uint64_t depth = submitted - std::min(retired, submitted);
   std::uint64_t seen = max_in_flight_.load(std::memory_order_relaxed);
   while (depth > seen &&
          !max_in_flight_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
@@ -59,13 +61,57 @@ void SloTracker::on_complete(double latency_ms) {
 
 void SloTracker::on_retrieve() { retrieved_.fetch_add(1, std::memory_order_relaxed); }
 
+void SloTracker::on_shed(bool urgent) {
+  (urgent ? shed_urgent_ : shed_routine_).fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloTracker::on_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+void SloTracker::merge_from(const SloTracker& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t count = other.buckets_[i].load(std::memory_order_relaxed);
+    if (count > 0) buckets_[i].fetch_add(count, std::memory_order_relaxed);
+  }
+  submitted_.fetch_add(other.submitted_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  completed_.fetch_add(other.completed_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  retrieved_.fetch_add(other.retrieved_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  shed_routine_.fetch_add(other.shed_routine_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  shed_urgent_.fetch_add(other.shed_urgent_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  rejected_.fetch_add(other.rejected_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  violations_.fetch_add(other.violations_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const std::uint64_t other_max = other.max_us_.load(std::memory_order_relaxed);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_us_.compare_exchange_weak(seen, other_max, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t other_depth = other.max_in_flight_.load(std::memory_order_relaxed);
+  seen = max_in_flight_.load(std::memory_order_relaxed);
+  while (other_depth > seen &&
+         !max_in_flight_.compare_exchange_weak(seen, other_depth, std::memory_order_relaxed)) {
+  }
+  if (other.start_ < start_) start_ = other.start_;
+}
+
 SloSnapshot SloTracker::snapshot() const {
   SloSnapshot snap;
   snap.submitted = submitted_.load(std::memory_order_relaxed);
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.deadline_violations = violations_.load(std::memory_order_relaxed);
-  const std::uint64_t retrieved = retrieved_.load(std::memory_order_relaxed);
-  snap.in_flight = snap.submitted - std::min(retrieved, snap.submitted);
+  snap.shed_routine = shed_routine_.load(std::memory_order_relaxed);
+  snap.shed_urgent = shed_urgent_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  const std::uint64_t retired = retrieved_.load(std::memory_order_relaxed) +
+                                snap.shed_routine + snap.shed_urgent;
+  snap.in_flight = snap.submitted - std::min(retired, snap.submitted);
   snap.max_in_flight = max_in_flight_.load(std::memory_order_relaxed);
   snap.max_ms = static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1000.0;
   snap.deadline_ms = cfg_.deadline_ms;
@@ -106,6 +152,9 @@ void SloTracker::reset() {
   submitted_.store(0, std::memory_order_relaxed);
   completed_.store(0, std::memory_order_relaxed);
   retrieved_.store(0, std::memory_order_relaxed);
+  shed_routine_.store(0, std::memory_order_relaxed);
+  shed_urgent_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
   violations_.store(0, std::memory_order_relaxed);
   sum_us_.store(0, std::memory_order_relaxed);
   max_us_.store(0, std::memory_order_relaxed);

@@ -34,7 +34,16 @@ struct SloSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t deadline_violations = 0;
-  std::uint64_t in_flight = 0;      ///< Submitted but not yet retrieved.
+  /// Windows dropped by deadline-aware shedding after admission, split by
+  /// the victim's priority lane (the admission-time decision dropped a
+  /// queued window predicted to miss instead of the new arrival).
+  std::uint64_t shed_routine = 0;
+  std::uint64_t shed_urgent = 0;
+  /// Arrivals bounced at admission (binary backpressure: the engine was at
+  /// capacity and no shed victim was available/eligible).  Rejected windows
+  /// were never submitted, so they appear only here.
+  std::uint64_t rejected = 0;
+  std::uint64_t in_flight = 0;      ///< Submitted, not yet retrieved or shed.
   std::uint64_t max_in_flight = 0;  ///< High-water mark of in_flight.
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -53,6 +62,10 @@ class SloTracker {
   SloTracker(const SloTracker&) = delete;
   SloTracker& operator=(const SloTracker&) = delete;
 
+  /// Re-targets the deadline.  For trackers that cannot take a config at
+  /// construction (array members); must not race recording.
+  void configure(SloConfig cfg) { cfg_ = cfg; }
+
   /// A window entered the engine.  Thread-safe.
   void on_submit();
 
@@ -63,7 +76,25 @@ class SloTracker {
   /// A completed window was handed back to the caller (poll/drain).
   void on_retrieve();
 
+  /// A submitted window was dropped by deadline-aware shedding (it leaves
+  /// the in-flight population without completing).  Thread-safe.
+  void on_shed(bool urgent);
+
+  /// An arrival was bounced at admission (binary backpressure, no shed
+  /// victim).  The window was never on_submit()ed.  Thread-safe.
+  void on_reject();
+
   SloSnapshot snapshot() const;
+
+  /// Adds `other`'s counters and latency histogram into this tracker, and
+  /// adopts the earlier of the two start times (so elapsed/throughput span
+  /// both).  Used by the fabric to fold per-shard trackers into one
+  /// aggregate before snapshotting.  Same caveat as snapshot(): reads race
+  /// concurrent recording on `other`, so an aggregate taken under traffic
+  /// is approximate (exact once quiesced).  max_in_flight becomes the max
+  /// of the per-tracker marks — a lower bound on the true aggregate
+  /// high-water mark, since the marks need not be simultaneous.
+  void merge_from(const SloTracker& other);
 
   /// Clears all counters and restarts the throughput clock.  Must not run
   /// concurrently with recording.
@@ -88,6 +119,9 @@ class SloTracker {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> retrieved_{0};
+  std::atomic<std::uint64_t> shed_routine_{0};
+  std::atomic<std::uint64_t> shed_urgent_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> violations_{0};
   std::atomic<std::uint64_t> sum_us_{0};
   std::atomic<std::uint64_t> max_us_{0};

@@ -1,12 +1,24 @@
-// Bounded multi-producer/multi-consumer work queue for the host-side
-// reconstruction engine (Dmitry Vyukov's bounded MPMC ring).  Push/pop are
-// lock-free (a single CAS each on the uncontended path); blocking behavior
-// is layered on top by the engine with a condition variable, keeping the
-// hot path atomic-only.
+// Work queues for the host-side reconstruction engine.
+//
+//  * BoundedWorkQueue — Dmitry Vyukov's bounded MPMC ring.  Push/pop are
+//    lock-free (a single CAS each on the uncontended path).  The original
+//    single-lane engine queue; kept for callers that want the atomic-only
+//    hot path and FIFO semantics.
+//  * TwoLaneWorkQueue — two FIFO lanes (urgent ahead of routine) under one
+//    mutex.  Pop order is strict priority: every urgent window drains
+//    before any routine one.  The mutex buys what a ring cannot offer:
+//    exact backlog depth (batch auto-sizing), positional scans, and
+//    mid-queue extraction (deadline-aware shed victims).  Critical
+//    sections are a few pointer moves while the consumer's unit of work is
+//    a millisecond-scale FISTA solve, so the lock is invisible in
+//    profiles; blocking behavior stays layered on top by the engine.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -100,6 +112,107 @@ class BoundedWorkQueue {
   std::size_t mask_ = 0;
   alignas(64) std::atomic<std::size_t> tail_{0};
   alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+/// Two-lane priority work queue: urgent items always pop before routine
+/// ones, FIFO within each lane.  Unbounded (admission is the engine's
+/// in-flight gate, not the container); thread-safe under one mutex.
+template <typename T>
+class TwoLaneWorkQueue {
+ public:
+  TwoLaneWorkQueue() = default;
+  TwoLaneWorkQueue(const TwoLaneWorkQueue&) = delete;
+  TwoLaneWorkQueue& operator=(const TwoLaneWorkQueue&) = delete;
+
+  void push(T value, bool urgent) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    lane(urgent).push_back(std::move(value));
+  }
+
+  /// Re-inserts at the front of its lane — used when a consumer popped an
+  /// item it cannot process yet (e.g. a foreign-matrix window in a batched
+  /// pop), so the item keeps its queue age rather than going to the back.
+  void push_front(T value, bool urgent) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    lane(urgent).push_front(std::move(value));
+  }
+
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto* q : {&urgent_, &routine_}) {
+      if (!q->empty()) {
+        out = std::move(q->front());
+        q->pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pops up to `max` items in priority order into `out` (appended).
+  /// Returns the number popped.
+  std::size_t pop_some(std::vector<T>& out, std::size_t max) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::size_t popped = 0;
+    for (auto* q : {&urgent_, &routine_}) {
+      while (popped < max && !q->empty()) {
+        out.push_back(std::move(q->front()));
+        q->pop_front();
+        ++popped;
+      }
+    }
+    return popped;
+  }
+
+  /// Removes and returns the queued item maximizing `score`, considering
+  /// the routine lane and — when `include_urgent` — the urgent lane too.
+  /// `score(item, position, urgent)` returns std::nullopt to disqualify;
+  /// `position` is the item's place in overall pop order (urgent lane
+  /// first), which is what a wait-time predictor needs.  Returns nullopt
+  /// when no item qualifies.  Used to extract deadline-shed victims.
+  template <typename ScoreFn>
+  std::optional<T> extract_best(ScoreFn&& score, bool include_urgent) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::deque<T>* best_lane = nullptr;
+    std::size_t best_index = 0;
+    double best_score = 0.0;
+    const auto scan = [&](std::deque<T>& q, bool urgent, std::size_t base) {
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const auto s = score(q[i], base + i, urgent);
+        if (!s.has_value()) continue;
+        if (best_lane == nullptr || *s > best_score) {
+          best_lane = &q;
+          best_index = i;
+          best_score = *s;
+        }
+      }
+    };
+    if (include_urgent) scan(urgent_, true, 0);
+    scan(routine_, false, urgent_.size());
+    if (best_lane == nullptr) return std::nullopt;
+    T out = std::move((*best_lane)[best_index]);
+    best_lane->erase(best_lane->begin() + static_cast<std::ptrdiff_t>(best_index));
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return urgent_.size() + routine_.size();
+  }
+
+  std::size_t lane_size(bool urgent) const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return urgent ? urgent_.size() : routine_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::deque<T>& lane(bool urgent) { return urgent ? urgent_ : routine_; }
+
+  mutable std::mutex mutex_;
+  std::deque<T> urgent_;
+  std::deque<T> routine_;
 };
 
 }  // namespace wbsn::host

@@ -36,6 +36,20 @@ struct WaveFiducials {
   bool valid() const { return peak >= 0; }
 };
 
+/// Half-open range of sample indices [begin, end) within one lead.  Used
+/// by classifier stages to mark clinically urgent stretches of a record
+/// (e.g. AF episodes) so downstream transport can prioritize them.
+struct SampleSpan {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  ///< One past the last sample.
+
+  bool empty() const { return end <= begin; }
+  /// True when [begin, end) intersects [lo, hi).
+  bool overlaps(std::int64_t lo, std::int64_t hi) const {
+    return begin < hi && lo < end;
+  }
+};
+
 /// Full per-beat ground-truth / detected annotation.
 struct BeatAnnotation {
   std::int64_t r_peak = 0;    ///< Sample index of the R peak.

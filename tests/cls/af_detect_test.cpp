@@ -153,5 +153,81 @@ TEST_F(AfDetectorFixture, OpsAccountedWhenRequested) {
   EXPECT_GT(ops.total(), 0u);
 }
 
+// --- Priority tagging hook (host fabric integration) -------------------------
+
+TEST(AfUrgentSpans, CoversOnlyAfPositiveWindowsAndMergesOverlaps) {
+  std::vector<sig::BeatAnnotation> beats(20);
+  for (std::size_t i = 0; i < beats.size(); ++i) {
+    beats[i].r_peak = static_cast<std::int64_t>(100 * i);
+  }
+  // Three decision windows of 8 beats at stride 4: [0,8) AF, [4,12) AF
+  // (overlaps the first), [8,16) clean, [12,20) AF (disjoint).
+  std::vector<AfWindow> windows(4);
+  windows[0] = {.first_beat = 0, .last_beat = 8, .features = {}, .decided_af = true};
+  windows[1] = {.first_beat = 4, .last_beat = 12, .features = {}, .decided_af = true};
+  windows[2] = {.first_beat = 8, .last_beat = 16, .features = {}, .decided_af = false};
+  windows[3] = {.first_beat = 12, .last_beat = 20, .features = {}, .decided_af = true};
+
+  const auto spans = af_urgent_spans(windows, beats);
+  ASSERT_EQ(spans.size(), 2u) << "overlapping AF windows must merge";
+  EXPECT_EQ(spans[0].begin, 0);
+  EXPECT_EQ(spans[0].end, 1101) << "one past the last beat's R peak";
+  EXPECT_EQ(spans[1].begin, 1200);
+  EXPECT_EQ(spans[1].end, 1901);
+  EXPECT_TRUE(spans[0].overlaps(500, 600));
+  EXPECT_FALSE(spans[0].overlaps(1101, 1200));
+}
+
+TEST(AfUrgentSpans, EmptyWithoutAfDecisionsOrOutOfRangeWindows) {
+  std::vector<sig::BeatAnnotation> beats(10);
+  for (std::size_t i = 0; i < beats.size(); ++i) {
+    beats[i].r_peak = static_cast<std::int64_t>(50 * i);
+  }
+  std::vector<AfWindow> windows(2);
+  windows[0] = {.first_beat = 0, .last_beat = 8, .features = {}, .decided_af = false};
+  windows[1] = {.first_beat = 8, .last_beat = 99, .features = {}, .decided_af = true};
+
+  EXPECT_TRUE(af_urgent_spans(windows, beats).empty())
+      << "clean windows and windows past the beat list produce no spans";
+  EXPECT_TRUE(af_urgent_spans({}, beats).empty());
+}
+
+TEST_F(AfDetectorFixture, UrgentSpansFromDetectorCoverTheAfEpisode) {
+  // End-to-end priority hook: delineate an AF record, detect, and derive
+  // the urgent spans a node would ship with its compressed windows.
+  sig::DatasetSpec spec;
+  spec.num_records = 1;
+  spec.beats_per_record = 120;
+  spec.seed = 4000;
+  const auto records = sig::make_af_dataset(spec);
+  const auto beats = delineate_with_truth(records[0]);
+  const auto windows = detector_->detect(beats, records[0].fs);
+  ASSERT_FALSE(windows.empty());
+
+  bool any_af = false;
+  for (const auto& w : windows) any_af |= w.decided_af;
+  ASSERT_TRUE(any_af) << "detector must fire somewhere on an AF record";
+
+  const auto spans = af_urgent_spans(windows, beats);
+  ASSERT_FALSE(spans.empty());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i].begin, spans[i].end);
+    EXPECT_GE(spans[i].begin, beats.front().r_peak);
+    EXPECT_LE(spans[i].end, beats.back().r_peak + 1);
+    if (i > 0) {
+      EXPECT_GT(spans[i].begin, spans[i - 1].end) << "spans must be disjoint";
+    }
+  }
+  // Every AF-positive decision window's beats are covered by some span.
+  for (const auto& w : windows) {
+    if (!w.decided_af) continue;
+    const std::int64_t lo = beats[w.first_beat].r_peak;
+    const std::int64_t hi = beats[w.last_beat - 1].r_peak + 1;
+    bool covered = false;
+    for (const auto& span : spans) covered |= span.begin <= lo && hi <= span.end;
+    EXPECT_TRUE(covered) << "AF window starting at beat " << w.first_beat;
+  }
+}
+
 }  // namespace
 }  // namespace wbsn::cls

@@ -105,6 +105,39 @@ TEST(EngineBatching, MixedMatricesWithinOnePopStillCorrect) {
   }
 }
 
+TEST(EngineBatching, AutoSizedBatchesStayBitIdentical) {
+  // batch_windows == 0: each worker sizes its pop from the backlog depth.
+  // Width only moves the latency/throughput trade-off — results must stay
+  // bit-identical to the serial solo-solve reference at any depth.
+  const auto batch = two_patient_batch();
+  ReconstructionEngine serial(fast_engine(0, 1));
+  const auto reference = serial.reconstruct(batch);
+
+  for (const int threads : {0, 2}) {
+    auto cfg = fast_engine(threads, 0);
+    cfg.max_auto_batch = 8;
+    ReconstructionEngine engine(cfg);
+    // Pre-load the whole backlog before any solving in serial mode so the
+    // auto-sizer actually sees a deep queue and picks wide batches.
+    for (const auto& window : batch) {
+      CompressedWindow copy = window;
+      engine.submit(std::move(copy));
+    }
+    const auto results = engine.drain();
+    ASSERT_EQ(results.size(), batch.size()) << "threads=" << threads;
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>, const WindowResult*> by_id;
+    for (const auto& r : results) by_id[{r.patient_id, r.window_index}] = &r;
+    for (const auto& expected : reference.windows) {
+      const auto found = by_id.find({expected.patient_id, expected.window_index});
+      ASSERT_NE(found, by_id.end());
+      EXPECT_TRUE(bit_identical(found->second->signal, expected.signal))
+          << "patient " << expected.patient_id << " window " << expected.window_index
+          << " threads=" << threads;
+    }
+  }
+}
+
 TEST(EngineCache, LruEvictionBoundsCacheAndKeepsResultsExact) {
   auto unbounded_cfg = fast_engine(0, 1);
   unbounded_cfg.matrix_cache_capacity = 0;

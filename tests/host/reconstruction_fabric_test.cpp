@@ -1,0 +1,283 @@
+// Sharded fabric coverage: stable patient -> shard routing, composite
+// tickets, aggregate/per-shard/per-lane SLO folding, and the acceptance
+// bar of this layer — per-window results bit-identical across shard
+// counts x priority mixes x thread counts (the determinism contract must
+// not notice the fabric at all).
+#include "host/reconstruction_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::host {
+namespace {
+
+RecordCompressionConfig fast_compression() {
+  RecordCompressionConfig cfg;
+  cfg.window_samples = 128;
+  cfg.cr_percent = 50.0;
+  return cfg;
+}
+
+EngineConfig fast_engine(int threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.fista.max_iterations = 40;
+  cfg.fista.debias_iterations = 10;
+  return cfg;
+}
+
+/// Fleet traffic: `patients` single-lead records, each compressed into a
+/// handful of windows, with `urgent_frac` of all windows tagged urgent by
+/// a deterministic coin so every (shards, threads, frac) cell sees the
+/// same priority assignment.
+std::vector<CompressedWindow> fleet_batch(int patients, double urgent_frac) {
+  std::vector<CompressedWindow> batch;
+  for (int p = 0; p < patients; ++p) {
+    sig::SynthConfig synth;
+    synth.num_leads = 1;
+    synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, 6}};
+    sig::Rng rng(0xFAB0000ULL + static_cast<std::uint64_t>(p));
+    const auto record = synthesize_ecg(synth, rng);
+    auto windows = compress_record(record, static_cast<std::uint32_t>(p), fast_compression());
+    batch.insert(batch.end(), std::make_move_iterator(windows.begin()),
+                 std::make_move_iterator(windows.end()));
+  }
+  sig::Rng coin(0x5EED5EEDULL);
+  for (auto& window : batch) {
+    window.priority = coin.uniform() < urgent_frac ? cs::WindowPriority::kUrgent
+                                                   : cs::WindowPriority::kRoutine;
+  }
+  return batch;
+}
+
+using WindowKey = std::pair<std::uint32_t, std::uint32_t>;
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::map<WindowKey, WindowResult> by_identity(std::vector<WindowResult> results) {
+  std::map<WindowKey, WindowResult> out;
+  for (auto& r : results) {
+    const WindowKey key{r.patient_id, r.window_index};
+    EXPECT_TRUE(out.emplace(key, std::move(r)).second) << "duplicate result";
+  }
+  return out;
+}
+
+TEST(FabricRouting, ShardOfIsStableAndCoversAllShards) {
+  FabricConfig cfg;
+  cfg.shards = 4;
+  ReconstructionFabric fabric(cfg);
+  ASSERT_EQ(fabric.shard_count(), 4u);
+
+  std::set<std::size_t> used;
+  for (std::uint32_t id = 0; id < 256; ++id) {
+    const std::size_t shard = fabric.shard_of(id);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, fabric.shard_of(id)) << "routing must be stable";
+    used.insert(shard);
+  }
+  EXPECT_EQ(used.size(), 4u) << "256 ids should touch every shard";
+}
+
+TEST(FabricRouting, CompositeTicketsRoundTripAndStayUnique) {
+  EXPECT_EQ(ReconstructionFabric::ticket_shard(ReconstructionFabric::compose_ticket(3, 41)), 3u);
+  EXPECT_EQ(ReconstructionFabric::ticket_local(ReconstructionFabric::compose_ticket(3, 41)), 41u);
+
+  FabricConfig cfg;
+  cfg.shards = 3;
+  cfg.engine = fast_engine(0);
+  ReconstructionFabric fabric(cfg);
+  const auto batch = fleet_batch(6, 0.25);
+
+  std::set<std::uint64_t> tickets;
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    const auto ticket = fabric.try_submit(std::move(copy));
+    ASSERT_TRUE(ticket.has_value());
+    EXPECT_EQ(ReconstructionFabric::ticket_shard(*ticket), fabric.shard_of(window.patient_id));
+    EXPECT_TRUE(tickets.insert(*ticket).second) << "fabric tickets must be unique";
+  }
+  const auto results = fabric.drain();
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(tickets.count(result.ticket)) << "result ticket must echo submission";
+  }
+}
+
+// The acceptance bar: randomized fleet traffic, submitted in shuffled
+// order, must reconstruct bit-identically across every combination of
+// shard count, priority mix, and thread count — the serial single-engine
+// run is the one reference for all of them.
+TEST(FabricDeterminism, BitIdenticalAcrossShardsPriorityMixesAndThreads) {
+  for (const double urgent_frac : {0.0, 0.35, 1.0}) {
+    const auto batch = fleet_batch(5, urgent_frac);
+
+    ReconstructionEngine serial(fast_engine(0));
+    const auto reference = by_identity(std::move(serial.reconstruct(batch).windows));
+    ASSERT_EQ(reference.size(), batch.size());
+
+    // Deterministically shuffled arrival order, shared by every cell.
+    std::vector<std::size_t> order(batch.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    sig::Rng rng(0xD15C0ULL + static_cast<std::uint64_t>(urgent_frac * 100));
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    for (const int shards : {1, 2, 4}) {
+      for (const int threads : {0, 2}) {
+        FabricConfig cfg;
+        cfg.shards = shards;
+        cfg.engine = fast_engine(threads);
+        ReconstructionFabric fabric(cfg);
+        for (const std::size_t i : order) {
+          CompressedWindow copy = batch[i];
+          fabric.submit(std::move(copy));
+        }
+        const auto keyed = by_identity(fabric.drain());
+        ASSERT_EQ(keyed.size(), reference.size())
+            << "shards=" << shards << " threads=" << threads << " frac=" << urgent_frac;
+        for (const auto& [key, expected] : reference) {
+          const auto found = keyed.find(key);
+          ASSERT_NE(found, keyed.end());
+          EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+              << "patient " << key.first << " window " << key.second << " differs at shards="
+              << shards << " threads=" << threads << " frac=" << urgent_frac;
+          EXPECT_EQ(found->second.iterations, expected.iterations);
+          EXPECT_EQ(found->second.snr_db, expected.snr_db);
+        }
+      }
+    }
+  }
+}
+
+TEST(FabricSlo, AggregateFoldsEveryShardAndLanesSplitTraffic) {
+  FabricConfig cfg;
+  cfg.shards = 4;
+  cfg.engine = fast_engine(2);
+  ReconstructionFabric fabric(cfg);
+
+  const auto batch = fleet_batch(6, 0.4);
+  std::size_t urgent = 0;
+  for (const auto& window : batch) urgent += window.priority == cs::WindowPriority::kUrgent;
+  ASSERT_GT(urgent, 0u);
+  ASSERT_LT(urgent, batch.size());
+
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    fabric.submit(std::move(copy));
+  }
+  const auto results = fabric.drain();
+  ASSERT_EQ(results.size(), batch.size());
+
+  const auto aggregate = fabric.slo_snapshot();
+  EXPECT_EQ(aggregate.submitted, batch.size());
+  EXPECT_EQ(aggregate.completed, batch.size());
+  EXPECT_EQ(aggregate.in_flight, 0u);
+  EXPECT_GT(aggregate.p50_ms, 0.0);
+  EXPECT_LE(aggregate.p50_ms, aggregate.p99_ms);
+
+  // Aggregate == sum over per-shard snapshots, and every window went to
+  // its patient's shard.
+  const auto per_shard = fabric.shard_slo_snapshots();
+  ASSERT_EQ(per_shard.size(), 4u);
+  std::uint64_t shard_total = 0;
+  for (const auto& s : per_shard) shard_total += s.slo.completed;
+  EXPECT_EQ(shard_total, aggregate.completed);
+
+  const auto urgent_lane = fabric.lane_slo_snapshot(cs::WindowPriority::kUrgent);
+  const auto routine_lane = fabric.lane_slo_snapshot(cs::WindowPriority::kRoutine);
+  EXPECT_EQ(urgent_lane.completed, urgent);
+  EXPECT_EQ(routine_lane.completed, batch.size() - urgent);
+
+  // Per-patient: one entry per patient, sorted, each on exactly one shard.
+  const auto per_patient = fabric.patient_slo_snapshots();
+  ASSERT_EQ(per_patient.size(), 6u);
+  std::uint64_t patient_total = 0;
+  for (std::size_t i = 0; i < per_patient.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(per_patient[i - 1].patient_id, per_patient[i].patient_id);
+    }
+    patient_total += per_patient[i].slo.completed;
+  }
+  EXPECT_EQ(patient_total, batch.size());
+}
+
+TEST(FabricBatch, ReconstructRestoresInputOrderAndMatchesEngine) {
+  const auto batch = fleet_batch(5, 0.3);
+
+  ReconstructionEngine serial(fast_engine(0));
+  const auto reference = serial.reconstruct(batch);
+
+  FabricConfig cfg;
+  cfg.shards = 3;
+  cfg.engine = fast_engine(2);
+  ReconstructionFabric fabric(cfg);
+  const auto result = fabric.reconstruct(batch);
+
+  ASSERT_EQ(result.windows.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.windows[i].patient_id, batch[i].patient_id);
+    EXPECT_EQ(result.windows[i].window_index, batch[i].window_index);
+    EXPECT_TRUE(bit_identical(result.windows[i].signal, reference.windows[i].signal))
+        << "window " << i;
+  }
+  ASSERT_EQ(result.patients.size(), reference.patients.size());
+  for (std::size_t p = 0; p < result.patients.size(); ++p) {
+    EXPECT_EQ(result.patients[p].patient_id, reference.patients[p].patient_id);
+    EXPECT_EQ(result.patients[p].windows, reference.patients[p].windows);
+    EXPECT_DOUBLE_EQ(result.patients[p].mean_snr_db, reference.patients[p].mean_snr_db);
+  }
+}
+
+TEST(FabricBackpressure, TrySubmitBouncesOnlyTheOwningShard) {
+  FabricConfig cfg;
+  cfg.shards = 2;
+  cfg.engine = fast_engine(0);
+  cfg.engine.queue_capacity = 1;
+  ReconstructionFabric fabric(cfg);
+
+  const auto batch = fleet_batch(8, 0.0);
+  // Find two patients on different shards.
+  std::uint32_t on_zero = 0, on_one = 0;
+  bool found_zero = false, found_one = false;
+  for (const auto& window : batch) {
+    (fabric.shard_of(window.patient_id) == 0 ? found_zero : found_one) = true;
+    (fabric.shard_of(window.patient_id) == 0 ? on_zero : on_one) = window.patient_id;
+  }
+  ASSERT_TRUE(found_zero && found_one) << "8 patients must span both shards";
+
+  const auto window_for = [&](std::uint32_t patient) {
+    for (const auto& w : batch) {
+      if (w.patient_id == patient) return w;
+    }
+    return batch.front();
+  };
+
+  CompressedWindow a = window_for(on_zero);
+  CompressedWindow b = window_for(on_zero);
+  CompressedWindow c = window_for(on_one);
+  ASSERT_TRUE(fabric.try_submit(std::move(a)).has_value());
+  EXPECT_FALSE(fabric.try_submit(std::move(b)).has_value())
+      << "owning shard full: must bounce even though the other shard is idle";
+  EXPECT_TRUE(fabric.try_submit(std::move(c)).has_value())
+      << "the other shard's admission gate is independent";
+  EXPECT_EQ(fabric.drain().size(), 2u);
+  EXPECT_EQ(fabric.slo_snapshot().rejected, 1u);
+}
+
+}  // namespace
+}  // namespace wbsn::host

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -142,6 +144,110 @@ TEST(SloTracker, ConcurrentRecordingLosesNothing) {
   EXPECT_EQ(snap.in_flight, 0u);
   EXPECT_EQ(snap.deadline_violations, snap.completed / 2);
   EXPECT_GT(snap.throughput_per_s, 0.0);
+}
+
+TEST(SloTracker, ShedAndRejectCountersSplitByLane) {
+  SloTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.on_submit();
+  tracker.on_shed(/*urgent=*/false);
+  tracker.on_shed(/*urgent=*/false);
+  tracker.on_shed(/*urgent=*/true);
+  tracker.on_reject();
+
+  auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.shed_routine, 2u);
+  EXPECT_EQ(snap.shed_urgent, 1u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.submitted, 5u) << "rejected arrivals were never submitted";
+  EXPECT_EQ(snap.in_flight, 2u) << "shed windows leave the in-flight population";
+
+  for (int i = 0; i < 2; ++i) {
+    tracker.on_complete(1.0);
+    tracker.on_retrieve();
+  }
+  snap = tracker.snapshot();
+  EXPECT_EQ(snap.in_flight, 0u);
+  EXPECT_EQ(snap.completed, 2u);
+
+  tracker.reset();
+  snap = tracker.snapshot();
+  EXPECT_EQ(snap.shed_routine + snap.shed_urgent + snap.rejected, 0u);
+}
+
+TEST(SloTracker, MergeFromFoldsHistogramsAndCounters) {
+  SloTracker a(SloConfig{.deadline_ms = 10.0});
+  SloTracker b(SloConfig{.deadline_ms = 10.0});
+  // a: 100 windows at 2 ms; b: 100 windows at 200 ms (all violations).
+  for (int i = 0; i < 100; ++i) {
+    a.on_submit();
+    a.on_complete(2.0);
+    a.on_retrieve();
+    b.on_submit();
+    b.on_complete(200.0);
+    b.on_retrieve();
+  }
+  b.on_shed(/*urgent=*/true);
+  b.on_reject();
+
+  SloTracker merged(SloConfig{.deadline_ms = 10.0});
+  merged.merge_from(a);
+  merged.merge_from(b);
+  const auto snap = merged.snapshot();
+  EXPECT_EQ(snap.submitted, 200u);
+  EXPECT_EQ(snap.completed, 200u);
+  EXPECT_EQ(snap.deadline_violations, 100u);
+  EXPECT_EQ(snap.shed_urgent, 1u);
+  EXPECT_EQ(snap.rejected, 1u);
+  // Quantiles come from the merged histogram, not an average of per-shard
+  // quantiles: the bimodal mix has p50 in the low mode, p95 in the high.
+  EXPECT_NEAR(snap.p50_ms, 2.0, 2.0 * kRelTol);
+  EXPECT_NEAR(snap.p95_ms, 200.0, 200.0 * kRelTol);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 200.0);
+  EXPECT_NEAR(snap.mean_ms, 101.0, 0.1);
+  // The merged clock spans the earliest start, so throughput is well
+  // defined and positive.
+  EXPECT_GT(snap.elapsed_s, 0.0);
+  EXPECT_GT(snap.throughput_per_s, 0.0);
+}
+
+// Snapshots raced against recording threads must stay internally sane
+// (never crash, never report impossible totals once quiesced).  This is
+// also the TSan probe for the record/snapshot concurrency the engine and
+// the fabric's merge_from rely on.
+TEST(SloTracker, ConcurrentRecordVersusSnapshot) {
+  SloTracker tracker(SloConfig{.deadline_ms = 0.5});
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 20000;
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto snap = tracker.snapshot();
+      // Monotone quantile ordering holds for any histogram state.
+      EXPECT_LE(snap.p50_ms, snap.p95_ms);
+      EXPECT_LE(snap.p95_ms, snap.p99_ms);
+      EXPECT_LE(snap.completed, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&tracker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracker.on_submit();
+        tracker.on_complete(i % 2 == 0 ? 0.1 : 1.0);
+        tracker.on_retrieve();
+      }
+    });
+  }
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.in_flight, 0u);
 }
 
 TEST(SloTracker, ThroughputUsesElapsedClock) {

@@ -147,6 +147,137 @@ TEST(StreamingStress, ConcurrentProducersPollerAndWorkers) {
   EXPECT_LE(snap.max_in_flight, total_windows);
 }
 
+TEST(StreamingStress, MixedPriorityContentionStaysDeterministic) {
+  // Producers submit interleaved urgent/routine traffic (every third
+  // window urgent) while workers drain the two-lane queue and a poller
+  // retrieves concurrently: lanes must change only scheduling, never
+  // values, and the per-lane trackers must account for every window.
+  constexpr int kProducers = 3;
+  std::vector<std::vector<CompressedWindow>> traffic;
+  std::size_t total_windows = 0;
+  std::size_t total_urgent = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    traffic.push_back(patient_windows(static_cast<std::uint32_t>(p), 6));
+    for (std::size_t i = 0; i < traffic.back().size(); ++i) {
+      if (i % 3 == 0) {
+        traffic.back()[i].priority = cs::WindowPriority::kUrgent;
+        ++total_urgent;
+      }
+    }
+    total_windows += traffic.back().size();
+  }
+  ASSERT_GT(total_urgent, 0u);
+
+  std::map<WindowKey, WindowResult> reference;
+  {
+    ReconstructionEngine serial(stress_config(0, 4));
+    for (const auto& patient : traffic) {
+      for (const auto& window : patient) {
+        CompressedWindow copy = window;
+        serial.submit(std::move(copy));
+        for (auto& result : serial.drain()) {
+          reference.emplace(WindowKey{result.patient_id, result.window_index},
+                            std::move(result));
+        }
+      }
+    }
+  }
+
+  ReconstructionEngine engine(stress_config(2, 4));
+  std::vector<WindowResult> retrieved;
+  std::atomic<bool> producers_done{false};
+  std::thread poller([&] {
+    for (;;) {
+      if (auto result = engine.poll()) {
+        retrieved.push_back(std::move(*result));
+        continue;
+      }
+      if (producers_done.load(std::memory_order_acquire) && engine.in_flight() == 0) {
+        while (auto result = engine.poll()) retrieved.push_back(std::move(*result));
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (const auto& window : traffic[static_cast<std::size_t>(p)]) {
+        CompressedWindow copy = window;
+        engine.submit(std::move(copy));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  producers_done.store(true, std::memory_order_release);
+  poller.join();
+
+  ASSERT_EQ(retrieved.size(), total_windows);
+  for (const auto& result : retrieved) {
+    const auto found = reference.find(WindowKey{result.patient_id, result.window_index});
+    ASSERT_NE(found, reference.end());
+    EXPECT_TRUE(bit_identical(result.signal, found->second.signal))
+        << "priority lanes must not change values";
+  }
+
+  const auto urgent = engine.lane_slo(cs::WindowPriority::kUrgent).snapshot();
+  const auto routine = engine.lane_slo(cs::WindowPriority::kRoutine).snapshot();
+  EXPECT_EQ(urgent.completed, total_urgent);
+  EXPECT_EQ(routine.completed, total_windows - total_urgent);
+  EXPECT_EQ(urgent.in_flight, 0u);
+  EXPECT_EQ(routine.in_flight, 0u);
+}
+
+TEST(StreamingStress, TrackerMapCapHoldsUnderConcurrentPatientChurn) {
+  // Many distinct patient ids churn through a small tracker cap while a
+  // snapshot thread reads the breakdown concurrently: the map must stay
+  // bounded, ids beyond the cap must still count engine-wide, and the
+  // concurrent snapshots must not race the recording paths (TSan).
+  auto cfg = stress_config(2, 8);
+  cfg.max_tracked_patients = 4;
+  ReconstructionEngine engine(cfg);
+
+  const auto base = patient_windows(0, 4);
+  ASSERT_FALSE(base.empty());
+  constexpr int kProducers = 3;
+  constexpr std::uint32_t kIdsPerProducer = 8;
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_LE(engine.patient_slo_snapshots().size(), 4u);
+      (void)engine.slo().snapshot();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  std::atomic<std::size_t> submitted{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint32_t i = 0; i < kIdsPerProducer; ++i) {
+        CompressedWindow copy = base[i % base.size()];
+        copy.patient_id = static_cast<std::uint32_t>(p) * kIdsPerProducer + i;
+        engine.submit(std::move(copy));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  const auto results = engine.drain();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  EXPECT_EQ(results.size(), submitted.load());
+  const auto per_patient = engine.patient_slo_snapshots();
+  EXPECT_EQ(per_patient.size(), 4u) << "tracker map must refuse ids beyond the cap";
+  std::uint64_t tracked = 0;
+  for (const auto& p : per_patient) tracked += p.slo.completed;
+  EXPECT_LE(tracked, submitted.load());
+  EXPECT_EQ(engine.slo().snapshot().completed, submitted.load())
+      << "untracked ids still count engine-wide";
+}
+
 TEST(StreamingStress, RepeatedDrainCyclesStayConsistent) {
   // Alternating burst-submit / drain cycles on one engine: exercises queue
   // wrap-around, matrix-cache reuse across cycles, and drain() returning
