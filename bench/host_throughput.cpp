@@ -14,7 +14,7 @@
 // Usage: host_throughput [patients] [beats_per_patient] [cr_percent]
 //                        [--poisson RATE_HZ] [--threads N] [--deadline-ms D]
 //                        [--batch W] [--shards S] [--priority-frac F]
-//                        [--shed]
+//                        [--shed] [--reshard-at K:S ...]
 //
 // --batch W sets EngineConfig::batch_windows: workers pack up to W queued
 // windows that share a sensing matrix into one batched FISTA solve
@@ -25,7 +25,11 @@
 // fraction of windows urgent: they jump the backlog through the priority
 // lane.  --shed enables deadline-aware shedding (at capacity, drop the
 // queued window predicted to miss its deadline instead of bouncing the
-// arrival).
+// arrival).  --reshard-at K:S (repeatable) live-resizes the fabric to S
+// shards after the K-th submission attempt — the elasticity drill: the
+// stream keeps flowing while the consistent-hash ring re-routes only the
+// moved patients, and the bit-exactness gate still applies to every
+// window solved before, during, and after each resize.
 //
 // In streaming mode the per-window deadline defaults to the real-time
 // window period (cs::window_period_ms): the decoder keeps up with live
@@ -139,7 +143,8 @@ int run_batch_sweep(const std::vector<host::CompressedWindow>& batch) {
 
 int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
                   int threads, double deadline_ms, int batch_windows,
-                  int shards, double priority_frac, bool shed_enabled) {
+                  int shards, double priority_frac, bool shed_enabled,
+                  std::vector<std::pair<std::size_t, int>> reshards) {
   // Serial batch reference for the bit-exactness check.
   host::EngineConfig serial_cfg;
   host::ReconstructionEngine serial(serial_cfg);
@@ -178,10 +183,27 @@ int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
               threads, threads == 1 ? "" : "s", deadline_ms, batch_windows,
               shed_enabled ? ", deadline shedding" : "");
 
+  std::sort(reshards.begin(), reshards.end());
+
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> streamed;
   const auto t0 = Clock::now();
   double next_arrival_s = 0.0;
+  std::size_t submitted = 0;
+  std::size_t next_reshard = 0;
   for (const std::size_t i : order) {
+    while (next_reshard < reshards.size() && submitted >= reshards[next_reshard].first) {
+      const auto resize_t0 = Clock::now();
+      const auto report = fabric.resize(reshards[next_reshard].second);
+      const double resize_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - resize_t0).count();
+      std::printf("reshard @%zu: epoch %u, %zu -> %zu shards, moved %zu/%zu patients "
+                  "(%zu SLO handoffs), retired %zu, reaped %zu, %.2f ms\n",
+                  submitted, report.epoch, report.shards_before, report.shards_after,
+                  report.moved_patients, report.known_patients, report.slo_handoffs,
+                  report.retired_shards, report.reaped_shards, resize_ms);
+      ++next_reshard;
+    }
+    ++submitted;
     // Exponential inter-arrival times make the submissions Poisson.
     next_arrival_s += -std::log(1.0 - rng.uniform()) / rate_hz;
     const auto arrival = t0 + std::chrono::duration_cast<Clock::duration>(
@@ -300,12 +322,14 @@ int main(int argc, char** argv) {
   int shards = 1;
   double priority_frac = 0.0;
   bool shed_enabled = false;
+  std::vector<std::pair<std::size_t, int>> reshards;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool is_flag = arg == "--poisson" || arg == "--threads" ||
                          arg == "--deadline-ms" || arg == "--batch" ||
-                         arg == "--shards" || arg == "--priority-frac";
+                         arg == "--shards" || arg == "--priority-frac" ||
+                         arg == "--reshard-at";
     if (is_flag && i + 1 >= argc) {
       std::fprintf(stderr, "%s requires a value\n", arg.c_str());
       return 2;
@@ -324,6 +348,16 @@ int main(int argc, char** argv) {
       priority_frac = std::atof(argv[++i]);
     } else if (arg == "--shed") {
       shed_enabled = true;
+    } else if (arg == "--reshard-at") {
+      // K:S — resize to S shards after the K-th submission attempt.
+      const std::string value = argv[++i];
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--reshard-at expects K:S, got %s\n", value.c_str());
+        return 2;
+      }
+      reshards.emplace_back(static_cast<std::size_t>(std::atoll(value.c_str())),
+                            std::max(1, std::atoi(value.c_str() + colon + 1)));
     } else if (n_positional < 3) {
       positional[n_positional++] = argv[i];
     } else {
@@ -347,7 +381,7 @@ int main(int argc, char** argv) {
     }
     return run_streaming(std::move(batch), poisson_hz, std::max(0, threads),
                          deadline_ms, batch_windows, shards, priority_frac,
-                         shed_enabled);
+                         shed_enabled, std::move(reshards));
   }
   return run_batch_sweep(batch);
 }

@@ -114,8 +114,18 @@ int main() {
       cs::window_period_ms(compression.window_samples, record.fs);
   fabric_cfg.engine.deadline_shedding = true;
   host::ReconstructionFabric fabric(fabric_cfg);
-  for (const auto& w : compressed) {
-    host::CompressedWindow copy = w;
+  // Stream the first half, then grow the fabric live — a monitoring host
+  // scaling out mid-shift.  The consistent-hash ring moves only the
+  // patients the new shard captures; everything in flight completes where
+  // it started, and reconstruction values are unaffected by the resize.
+  const std::size_t half = compressed.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    host::CompressedWindow copy = compressed[i];
+    fabric.submit(std::move(copy));
+  }
+  const auto reshard = fabric.resize(3);
+  for (std::size_t i = half; i < compressed.size(); ++i) {
+    host::CompressedWindow copy = compressed[i];
     fabric.submit(std::move(copy));
   }
   const auto results = fabric.drain();
@@ -132,6 +142,9 @@ int main() {
   std::printf("%zu windows reconstructed (%zu urgent via AF pathway), mean SNR %.1f dB\n",
               results.size(), urgent_windows,
               scored > 0 ? snr_sum / static_cast<double>(scored) : 0.0);
+  std::printf("live reshard mid-stream: epoch %u, %zu -> %zu shards, %zu/%zu patients moved\n",
+              reshard.epoch, reshard.shards_before, reshard.shards_after,
+              reshard.moved_patients, reshard.known_patients);
   for (const auto priority : {cs::WindowPriority::kUrgent, cs::WindowPriority::kRoutine}) {
     const auto lane = fabric.lane_slo_snapshot(priority);
     if (lane.completed == 0) continue;

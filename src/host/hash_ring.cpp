@@ -1,0 +1,46 @@
+#include "host/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace wbsn::host {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashRing::vnode_point(std::size_t shard, std::size_t replica) {
+  // Distinct 64-bit input per (shard, replica); the salt keeps virtual
+  // nodes out of the (small-integer) patient input range so a vnode and a
+  // patient never share a pre-image.
+  constexpr std::uint64_t kVnodeSalt = 0x52494E47'00000000ULL;  // "RING"
+  return splitmix64(kVnodeSalt ^ (static_cast<std::uint64_t>(shard) << 24) ^
+                    static_cast<std::uint64_t>(replica));
+}
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes_per_shard)
+    : shards_(shards), vnodes_per_shard_(std::max<std::size_t>(1, vnodes_per_shard)) {
+  ring_.reserve(shards_ * vnodes_per_shard_);
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    for (std::size_t replica = 0; replica < vnodes_per_shard_; ++replica) {
+      ring_.push_back({vnode_point(shard, replica), static_cast<std::uint32_t>(shard)});
+    }
+  }
+  // Sort by (point, shard): the shard tie-break makes ownership fully
+  // deterministic even in the astronomically unlikely event of two virtual
+  // nodes landing on the same point.
+  std::sort(ring_.begin(), ring_.end(), [](const Vnode& a, const Vnode& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+std::size_t HashRing::owner_of_point(std::uint64_t point) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Vnode& vnode, std::uint64_t p) { return vnode.point < p; });
+  return it != ring_.end() ? it->shard : ring_.front().shard;  // Wrap.
+}
+
+}  // namespace wbsn::host

@@ -125,19 +125,45 @@ std::size_t ReconstructionEngine::cached_matrices() const {
   return matrices_.size();
 }
 
-SloTracker* ReconstructionEngine::patient_tracker(std::uint32_t patient_id) {
+std::shared_ptr<SloTracker> ReconstructionEngine::patient_tracker(std::uint32_t patient_id) {
   if (!cfg_.per_patient_slo) return nullptr;
   std::lock_guard<std::mutex> lk(patient_slo_mutex_);
   const auto found = patient_slo_.find(patient_id);
-  if (found != patient_slo_.end()) return found->second.get();
-  // Entries are never evicted (recording threads use raw pointers), so
-  // the map is bounded by refusing new ids at the cap instead: a fleet
-  // with churning patient ids can't grow host memory without bound.
+  if (found != patient_slo_.end()) return found->second;
+  // Entries are never evicted by traffic (only extracted by a reshard
+  // handoff), so the map is bounded by refusing new ids at the cap: a
+  // fleet with churning patient ids can't grow host memory without bound.
   if (cfg_.max_tracked_patients > 0 && patient_slo_.size() >= cfg_.max_tracked_patients) {
     return nullptr;
   }
-  return patient_slo_.emplace(patient_id, std::make_unique<SloTracker>(cfg_.slo))
-      .first->second.get();
+  return patient_slo_.emplace(patient_id, std::make_shared<SloTracker>(cfg_.slo)).first->second;
+}
+
+std::shared_ptr<SloTracker> ReconstructionEngine::extract_patient_slo(std::uint32_t patient_id) {
+  std::lock_guard<std::mutex> lk(patient_slo_mutex_);
+  const auto found = patient_slo_.find(patient_id);
+  if (found == patient_slo_.end()) return nullptr;
+  auto out = std::move(found->second);
+  patient_slo_.erase(found);
+  return out;
+}
+
+bool ReconstructionEngine::adopt_patient_slo(std::uint32_t patient_id,
+                                             std::shared_ptr<SloTracker> tracker) {
+  if (!cfg_.per_patient_slo || tracker == nullptr) return false;
+  std::lock_guard<std::mutex> lk(patient_slo_mutex_);
+  const auto found = patient_slo_.find(patient_id);
+  if (found != patient_slo_.end()) {
+    // A submission (or a bounce back) beat the handoff: fold the moved
+    // history into the entry already recording here.
+    tracker->drain_into(*found->second);
+    return true;
+  }
+  if (cfg_.max_tracked_patients > 0 && patient_slo_.size() >= cfg_.max_tracked_patients) {
+    return false;  // Same cap semantics as a brand-new patient.
+  }
+  patient_slo_.emplace(patient_id, std::move(tracker));
+  return true;
 }
 
 std::vector<PatientSlo> ReconstructionEngine::patient_slo_snapshots() const {
@@ -209,6 +235,7 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     result.patient_id = window.patient_id;
     result.window_index = window.window_index;
     result.priority = window.priority;
+    result.route_tag = window.route_tag;
     result.ticket = item->ticket;
     result.latency_ms = solve_ms;  // Whole-group solve wall time.
     result.e2e_ms = ms_between(item->enqueue_time, t1);
@@ -221,17 +248,63 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     lane_slo_[lane_index(window.priority)].on_complete(result.e2e_ms);
     if (item->patient_slo != nullptr) item->patient_slo->on_complete(result.e2e_ms);
     results.push_back(DoneItem{std::move(result), item->patient_slo});
-    delete item;
   }
   {
     std::lock_guard<std::mutex> lk(done_mutex_);
     for (auto& result : results) done_.push_back(std::move(result));
   }
+  // Completions are recorded and published; only now may a drain_patient()
+  // waiter observe the patient as quiesced.
+  retire_pending(group);
+  for (WorkItem* item : group) delete item;
   // Publish the results strictly before the slot release: any thread that
   // observes in_flight_ == 0 (acquire) is guaranteed to find every result
   // already in done_.
   in_flight_.fetch_sub(group.size(), std::memory_order_acq_rel);
   done_cv_.notify_all();
+}
+
+void ReconstructionEngine::retire_pending(const std::vector<WorkItem*>& items) {
+  {
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    for (const WorkItem* item : items) {
+      const auto found = patient_pending_.find(item->window.patient_id);
+      if (found == patient_pending_.end()) continue;
+      if (--found->second == 0) patient_pending_.erase(found);
+    }
+  }
+  pending_cv_.notify_all();
+}
+
+std::size_t ReconstructionEngine::ready_results() const {
+  std::lock_guard<std::mutex> lk(done_mutex_);
+  return done_.size();
+}
+
+std::size_t ReconstructionEngine::patient_pending(std::uint32_t patient_id) const {
+  std::lock_guard<std::mutex> lk(pending_mutex_);
+  const auto found = patient_pending_.find(patient_id);
+  return found != patient_pending_.end() ? found->second : 0;
+}
+
+void ReconstructionEngine::drain_patient(std::uint32_t patient_id) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(pending_mutex_);
+      const auto quiesced = [this, patient_id] {
+        return patient_pending_.find(patient_id) == patient_pending_.end();
+      };
+      if (quiesced()) return;
+      if (!workers_.empty()) {
+        pending_cv_.wait(lk, quiesced);
+        return;
+      }
+    }
+    // Serial reference mode: the calling thread is the solver.  help_some
+    // may solve other patients' windows first (FIFO order is preserved),
+    // which only brings the target's turn closer.
+    if (!help_some()) std::this_thread::yield();
+  }
 }
 
 bool ReconstructionEngine::reserve_slot() {
@@ -276,6 +349,7 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
   slo_.on_shed(urgent);
   lane_slo_[lane_index(item->window.priority)].on_shed(urgent);
   if (item->patient_slo != nullptr) item->patient_slo->on_shed(urgent);
+  retire_pending({item});
   delete item;
   return true;  // The victim's in-flight reservation passes to the arrival.
 }
@@ -312,6 +386,12 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
   slo_.on_submit();
   lane_slo_[lane_index(item->window.priority)].on_submit();
   if (item->patient_slo != nullptr) item->patient_slo->on_submit();
+  {
+    // Counted before the queue push so a worker's retire can never precede
+    // its submit from a drain_patient() waiter's point of view.
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    ++patient_pending_[item->window.patient_id];
+  }
   queue_.push(item.release(), urgent);
 
   if (!workers_.empty()) {

@@ -65,6 +65,7 @@
 #include <span>
 #include <thread>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "cs/fista.hpp"
@@ -89,6 +90,12 @@ struct CompressedWindow {
   /// pathway, cls::af_urgent_spans, or directly by the caller) jump the
   /// reconstruction backlog and are shed last.  Never affects values.
   cs::WindowPriority priority = cs::WindowPriority::kRoutine;
+  /// Opaque routing tag, echoed verbatim into WindowResult::route_tag and
+  /// never read by the engine.  The fabric stores the submission epoch
+  /// here so a result polled from a shard can be composed into the same
+  /// epoch-tagged composite ticket its submit() returned, even when the
+  /// fabric was resized while the window was in flight.
+  std::uint32_t route_tag = 0;
   std::vector<double> measurements;  ///< y, already scaled to mV.
   /// Optional ground truth (test/bench only; empty in production) for SNR.
   std::vector<double> reference;
@@ -99,6 +106,7 @@ struct WindowResult {
   std::uint32_t patient_id = 0;
   std::uint32_t window_index = 0;
   cs::WindowPriority priority = cs::WindowPriority::kRoutine;  ///< Echo of the input lane.
+  std::uint32_t route_tag = 0;    ///< Echo of CompressedWindow::route_tag.
   std::uint64_t ticket = 0;       ///< Engine-wide submission sequence number.
   std::vector<double> signal;     ///< Reconstructed time-domain window.
   double snr_db = 0.0;            ///< NaN when no reference was attached.
@@ -231,6 +239,22 @@ class ReconstructionEngine {
   /// Windows currently in flight (submitted, not yet solved).
   std::size_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
 
+  /// Completed results waiting in the completion list for poll()/drain().
+  std::size_t ready_results() const;
+
+  /// In-flight (submitted, not yet solved or shed) windows for one
+  /// patient.  Thread-safe.
+  std::size_t patient_pending(std::uint32_t patient_id) const;
+
+  /// Per-patient drain hook for live resharding: blocks until
+  /// patient_pending(patient_id) == 0 — every window of that patient has
+  /// either completed (its result may still be waiting for poll()) or been
+  /// shed.  With threads == 0 the calling thread solves pending windows
+  /// inline.  A concurrent submitter can re-open the patient's backlog
+  /// after this returns; callers that need quiescence must stop routing
+  /// that patient here first (the fabric flips its epoch before draining).
+  void drain_patient(std::uint32_t patient_id);
+
   /// Admission bound actually in force.
   std::size_t in_flight_capacity() const { return capacity_; }
 
@@ -256,6 +280,32 @@ class ReconstructionEngine {
   /// SloTracker::snapshot() while traffic is in flight.
   std::vector<PatientSlo> patient_slo_snapshots() const;
 
+  /// Removes the patient's tracker from this engine's breakdown map and
+  /// returns it (nullptr when untracked).  The tracker object itself
+  /// stays alive through shared ownership, so in-flight windows of that
+  /// patient still record into it — which is exactly right during a
+  /// handoff: drain_patient() first, then extract, and every count lands
+  /// in the object that moves.  Frees the patient's slot under
+  /// max_tracked_patients.
+  std::shared_ptr<SloTracker> extract_patient_slo(std::uint32_t patient_id);
+
+  /// Adopts a tracker extracted from another engine as this engine's
+  /// per-patient tracker for `patient_id`.  If the patient is already
+  /// tracked here (it raced back, or a submission beat the handoff), the
+  /// incoming tracker is drained into the existing one instead
+  /// (SloTracker::drain_into — counts conserved; the existing entry stays
+  /// live because windows already in flight here hold pointers to it.
+  /// Retrieves of results still parked on the source engine keep
+  /// recording into the discarded incoming object, so on this fold path
+  /// the patient's breakdown can permanently show those as in_flight —
+  /// the documented cost of a submit racing a handoff).  Returns false
+  /// when the
+  /// breakdown is off, the tracker is null, or the patient map is at
+  /// max_tracked_patients capacity (the history is dropped from the
+  /// breakdown; engine-wide counters are unaffected, matching how a new
+  /// patient beyond the cap goes untracked).
+  bool adopt_patient_slo(std::uint32_t patient_id, std::shared_ptr<SloTracker> tracker);
+
   /// Sensing matrices currently cached (bounded by matrix_cache_capacity).
   std::size_t cached_matrices() const;
 
@@ -277,9 +327,11 @@ class ReconstructionEngine {
     /// Shared ownership: an LRU eviction of the cache entry must not
     /// invalidate a matrix that queued windows still reference.
     std::shared_ptr<const cs::SensingMatrix> phi;
-    /// Resolved once at submit (trackers live for the engine lifetime),
-    /// so the completion path records without touching the tracker map.
-    SloTracker* patient_slo = nullptr;
+    /// Resolved once at submit, with shared ownership: the completion path
+    /// records without touching the tracker map, and a tracker extracted
+    /// for a reshard handoff stays alive (and keeps receiving this
+    /// window's events) no matter when the map entry moved.
+    std::shared_ptr<SloTracker> patient_slo;
     std::uint64_t ticket = 0;
     std::chrono::steady_clock::time_point enqueue_time{};
   };
@@ -322,7 +374,10 @@ class ReconstructionEngine {
   std::shared_ptr<const cs::SensingMatrix> prepare_matrix(const CompressedWindow& window);
   /// The per-patient tracker for `patient_id` (created on first use), or
   /// nullptr when per_patient_slo is off.
-  SloTracker* patient_tracker(std::uint32_t patient_id);
+  std::shared_ptr<SloTracker> patient_tracker(std::uint32_t patient_id);
+  /// Decrements the per-patient pending count for each item's patient and
+  /// wakes drain_patient() waiters.
+  void retire_pending(const std::vector<WorkItem*>& items);
 
   EngineConfig cfg_;
   std::size_t capacity_ = 1;           ///< max(1, cfg_.queue_capacity).
@@ -346,11 +401,19 @@ class ReconstructionEngine {
   std::map<MatrixKey, CachedMatrix> matrices_;
   std::list<MatrixKey> lru_;
 
-  // Per-patient SLO trackers (stable unique_ptrs: SloTracker is
-  // non-movable and recording threads hold raw pointers across the map's
-  // rebalancing).
+  // Per-patient SLO trackers.  shared_ptr (SloTracker is non-movable):
+  // recording threads and extracted-for-handoff trackers keep the object
+  // alive across map rebalancing, extraction, and adoption by another
+  // engine.
   mutable std::mutex patient_slo_mutex_;
-  std::map<std::uint32_t, std::unique_ptr<SloTracker>> patient_slo_;
+  std::map<std::uint32_t, std::shared_ptr<SloTracker>> patient_slo_;
+
+  // Per-patient in-flight (unsolved) window counts, feeding the
+  // drain_patient() reshard hook.  Entries are erased at zero, so the map
+  // is bounded by the in-flight capacity, not the fleet size.
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;  ///< drain_patient() waits here.
+  std::unordered_map<std::uint32_t, std::size_t> patient_pending_;
 
   std::mutex batch_mutex_;  ///< Serializes reconstruct() calls.
 
@@ -365,9 +428,9 @@ class ReconstructionEngine {
   /// needs no map lookup and no second lock.
   struct DoneItem {
     WindowResult result;
-    SloTracker* patient_slo = nullptr;
+    std::shared_ptr<SloTracker> patient_slo;
   };
-  std::mutex done_mutex_;
+  mutable std::mutex done_mutex_;    ///< mutable: ready_results() is const.
   std::condition_variable done_cv_;  ///< drain()/submit() wait here.
   std::deque<DoneItem> done_;
 

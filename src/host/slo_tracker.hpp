@@ -96,6 +96,16 @@ class SloTracker {
   /// high-water mark, since the marks need not be simultaneous.
   void merge_from(const SloTracker& other);
 
+  /// Moves this tracker's counters and histogram into `dest` and zeroes
+  /// them here (counter-by-counter exchange(0) + add, so each count lands
+  /// in exactly one tracker — never both, never neither).  The handoff
+  /// primitive behind live resharding: when a patient's shard ownership
+  /// moves, the old shard's per-patient tracker is drained into the new
+  /// shard's so the patient's history follows the patient.  Counts
+  /// recorded into `this` concurrently with the drain may land on either
+  /// side of the move, but are conserved; `dest` must not race a reset.
+  void drain_into(SloTracker& dest);
+
   /// Clears all counters and restarts the throughput clock.  Must not run
   /// concurrently with recording.
   void reset();

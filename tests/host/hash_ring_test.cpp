@@ -1,0 +1,93 @@
+// Consistent-hash ring invariants: deterministic construction, balanced
+// ownership, and — the property the fabric's elasticity rests on — a
+// bounded blast radius: growing N -> N+1 moves < 2/N of the fleet, every
+// mover lands on the new shard, and shrinking moves exactly the retired
+// shard's patients.
+#include "host/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace wbsn::host {
+namespace {
+
+constexpr std::uint32_t kFleet = 20000;
+constexpr std::size_t kVnodes = 64;
+
+TEST(HashRing, DeterministicAndStable) {
+  const HashRing a(4, kVnodes);
+  const HashRing b(4, kVnodes);
+  for (std::uint32_t id = 0; id < 512; ++id) {
+    ASSERT_LT(a.owner(id), 4u);
+    EXPECT_EQ(a.owner(id), b.owner(id)) << "same config must build the same ring";
+    EXPECT_EQ(a.owner(id), a.owner(id)) << "ownership must be stable";
+  }
+}
+
+TEST(HashRing, SingleShardOwnsEverything) {
+  const HashRing ring(1, kVnodes);
+  for (std::uint32_t id = 0; id < 256; ++id) EXPECT_EQ(ring.owner(id), 0u);
+}
+
+TEST(HashRing, OwnershipIsReasonablyBalanced) {
+  for (const std::size_t shards : {2u, 3u, 4u, 8u}) {
+    const HashRing ring(shards, kVnodes);
+    std::vector<std::size_t> owned(shards, 0);
+    for (std::uint32_t id = 0; id < kFleet; ++id) ++owned[ring.owner(id)];
+    const double ideal = static_cast<double>(kFleet) / static_cast<double>(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(static_cast<double>(owned[s]), 0.5 * ideal)
+          << "shard " << s << " of " << shards << " is starved";
+      EXPECT_LT(static_cast<double>(owned[s]), 1.6 * ideal)
+          << "shard " << s << " of " << shards << " is overloaded";
+    }
+  }
+}
+
+// The acceptance bound: on an N -> N+1 grow, fewer than 2/N of patients
+// may re-route (the ideal is 1/(N+1)), and every one that moves must move
+// *to* the new shard — survivors' virtual nodes did not change, so no
+// patient may bounce between two surviving shards.
+TEST(HashRing, GrowMovesLessThanTwoOverNAndOnlyToTheNewShard) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const HashRing before(n, kVnodes);
+    const HashRing after(n + 1, kVnodes);
+    std::size_t moved = 0;
+    for (std::uint32_t id = 0; id < kFleet; ++id) {
+      const std::size_t old_owner = before.owner(id);
+      const std::size_t new_owner = after.owner(id);
+      if (old_owner == new_owner) continue;
+      ++moved;
+      EXPECT_EQ(new_owner, n) << "a mover may only move to the added shard";
+    }
+    EXPECT_GT(moved, 0u) << "the new shard must capture someone";
+    EXPECT_LT(static_cast<double>(moved),
+              2.0 / static_cast<double>(n) * static_cast<double>(kFleet))
+        << "grow " << n << " -> " << n + 1 << " re-routed too much of the fleet";
+  }
+}
+
+TEST(HashRing, ShrinkMovesExactlyTheRetiredShardsPatients) {
+  const HashRing before(5, kVnodes);
+  const HashRing after(4, kVnodes);
+  for (std::uint32_t id = 0; id < kFleet; ++id) {
+    const std::size_t old_owner = before.owner(id);
+    const std::size_t new_owner = after.owner(id);
+    if (old_owner < 4) {
+      EXPECT_EQ(new_owner, old_owner) << "survivors' patients must not move on a shrink";
+    } else {
+      EXPECT_LT(new_owner, 4u) << "the retired shard's patients must scatter to survivors";
+    }
+  }
+}
+
+TEST(HashRing, VnodePointsAreAPureFunctionOfShardAndReplica) {
+  EXPECT_EQ(HashRing::vnode_point(3, 7), HashRing::vnode_point(3, 7));
+  EXPECT_NE(HashRing::vnode_point(3, 7), HashRing::vnode_point(7, 3));
+  EXPECT_NE(HashRing::vnode_point(0, 1), HashRing::vnode_point(1, 0));
+}
+
+}  // namespace
+}  // namespace wbsn::host

@@ -91,8 +91,22 @@ TEST(FabricRouting, ShardOfIsStableAndCoversAllShards) {
 }
 
 TEST(FabricRouting, CompositeTicketsRoundTripAndStayUnique) {
-  EXPECT_EQ(ReconstructionFabric::ticket_shard(ReconstructionFabric::compose_ticket(3, 41)), 3u);
-  EXPECT_EQ(ReconstructionFabric::ticket_local(ReconstructionFabric::compose_ticket(3, 41)), 41u);
+  // Epoch | shard | local bit fields round-trip independently, including
+  // at each field's maximum value.
+  const auto ticket = ReconstructionFabric::compose_ticket(5, 3, 41);
+  EXPECT_EQ(ReconstructionFabric::ticket_epoch(ticket), 5u);
+  EXPECT_EQ(ReconstructionFabric::ticket_shard(ticket), 3u);
+  EXPECT_EQ(ReconstructionFabric::ticket_local(ticket), 41u);
+
+  constexpr std::uint32_t kMaxEpoch = (1u << ReconstructionFabric::kEpochBits) - 1;
+  constexpr std::size_t kMaxShard = (std::size_t{1} << ReconstructionFabric::kShardBits) - 1;
+  constexpr std::uint64_t kMaxLocal =
+      (std::uint64_t{1} << ReconstructionFabric::kLocalTicketBits) - 1;
+  const auto max_ticket = ReconstructionFabric::compose_ticket(kMaxEpoch, kMaxShard, kMaxLocal);
+  EXPECT_EQ(ReconstructionFabric::ticket_epoch(max_ticket), kMaxEpoch);
+  EXPECT_EQ(ReconstructionFabric::ticket_shard(max_ticket), kMaxShard);
+  EXPECT_EQ(ReconstructionFabric::ticket_local(max_ticket), kMaxLocal);
+  EXPECT_EQ(max_ticket, ~std::uint64_t{0}) << "the three fields must tile all 64 bits";
 
   FabricConfig cfg;
   cfg.shards = 3;
@@ -105,6 +119,7 @@ TEST(FabricRouting, CompositeTicketsRoundTripAndStayUnique) {
     CompressedWindow copy = window;
     const auto ticket = fabric.try_submit(std::move(copy));
     ASSERT_TRUE(ticket.has_value());
+    EXPECT_EQ(ReconstructionFabric::ticket_epoch(*ticket), fabric.epoch());
     EXPECT_EQ(ReconstructionFabric::ticket_shard(*ticket), fabric.shard_of(window.patient_id));
     EXPECT_TRUE(tickets.insert(*ticket).second) << "fabric tickets must be unique";
   }
@@ -113,6 +128,135 @@ TEST(FabricRouting, CompositeTicketsRoundTripAndStayUnique) {
   for (const auto& result : results) {
     EXPECT_TRUE(tickets.count(result.ticket)) << "result ticket must echo submission";
   }
+}
+
+TEST(FabricRouting, TicketsStayUniqueAcrossAnEpochBump) {
+  // A shrink-then-grow recreates a shard index with a fresh engine whose
+  // local tickets restart at 0: without the epoch tag the composite
+  // tickets would collide.  Submit under three topologies and check the
+  // full ticket set stays collision-free and every result echoes the
+  // ticket its submission returned.
+  FabricConfig cfg;
+  cfg.shards = 3;
+  cfg.engine = fast_engine(0);
+  ReconstructionFabric fabric(cfg);
+  const auto batch = fleet_batch(6, 0.0);
+
+  std::set<std::uint64_t> tickets;
+  const auto submit_all = [&] {
+    for (const auto& window : batch) {
+      CompressedWindow copy = window;
+      const auto ticket = fabric.try_submit(std::move(copy));
+      ASSERT_TRUE(ticket.has_value());
+      EXPECT_EQ(ReconstructionFabric::ticket_epoch(*ticket), fabric.epoch());
+      EXPECT_TRUE(tickets.insert(*ticket).second)
+          << "composite tickets must stay unique across epochs";
+    }
+  };
+
+  submit_all();  // Epoch 0, 3 shards.
+  std::vector<WindowResult> results = fabric.drain();
+  fabric.resize(1);  // Retires shards 1 and 2.
+  submit_all();      // Epoch 1, 1 shard.
+  for (auto&& r : fabric.drain()) results.push_back(std::move(r));
+  fabric.resize(3);  // Shard indices 1 and 2 come back as fresh engines.
+  ASSERT_EQ(fabric.epoch(), 2u);
+  submit_all();  // Epoch 2: same shard indices, local tickets restart.
+  for (auto&& r : fabric.drain()) results.push_back(std::move(r));
+
+  ASSERT_EQ(results.size(), 3 * batch.size());
+  ASSERT_EQ(tickets.size(), 3 * batch.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(tickets.count(result.ticket)) << "result ticket must echo its submission";
+  }
+}
+
+TEST(FabricRouting, OldEpochTicketsStillPollCorrectlyAfterResize) {
+  // Windows in flight across a resize complete where they started and
+  // come back under the epoch-tagged ticket submit() returned — not one
+  // re-stamped with the new epoch.
+  FabricConfig cfg;
+  cfg.shards = 4;
+  cfg.engine = fast_engine(0);
+  ReconstructionFabric fabric(cfg);
+  const auto batch = fleet_batch(6, 0.0);
+
+  std::map<std::uint64_t, WindowKey> submitted;
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    const auto ticket = fabric.try_submit(std::move(copy));
+    ASSERT_TRUE(ticket.has_value());
+    EXPECT_EQ(ReconstructionFabric::ticket_epoch(*ticket), 0u);
+    submitted.emplace(*ticket, WindowKey{window.patient_id, window.window_index});
+  }
+
+  // Serial engines solve during poll, so nothing has completed yet; the
+  // resize (a shrink, so shards 2/3 retire holding this backlog) finishes
+  // the movers' windows on their original shards.
+  const auto report = fabric.resize(2);
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(report.shards_before, 4u);
+  EXPECT_EQ(report.shards_after, 2u);
+
+  std::size_t polled = 0;
+  while (auto result = fabric.poll()) {
+    const auto found = submitted.find(result->ticket);
+    ASSERT_NE(found, submitted.end())
+        << "old-epoch ticket must survive the resize unchanged";
+    EXPECT_EQ(ReconstructionFabric::ticket_epoch(result->ticket), 0u);
+    EXPECT_EQ(found->second, (WindowKey{result->patient_id, result->window_index}));
+    submitted.erase(found);
+    ++polled;
+  }
+  EXPECT_EQ(polled, batch.size());
+  EXPECT_TRUE(submitted.empty()) << "every pre-resize submission must come back";
+}
+
+TEST(FabricResize, MovesFewPatientsAndHandsOffSloHistory) {
+  FabricConfig cfg;
+  cfg.shards = 4;
+  cfg.engine = fast_engine(2);
+  ReconstructionFabric fabric(cfg);
+
+  const auto batch = fleet_batch(12, 0.25);
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    fabric.submit(std::move(copy));
+  }
+  const auto results = fabric.drain();
+  ASSERT_EQ(results.size(), batch.size());
+  const auto before = fabric.patient_slo_snapshots();
+  ASSERT_EQ(before.size(), 12u);
+
+  const auto report = fabric.resize(5);
+  EXPECT_EQ(report.known_patients, 12u);
+  EXPECT_LT(report.moved_patients, 12u) << "a grow must not re-route the whole fleet";
+  EXPECT_EQ(report.slo_handoffs, report.moved_patients)
+      << "every mover's SLO history must be handed off";
+
+  // Routing now matches an independently built 5-shard ring, and movers
+  // all landed on the shard the new ring says owns them.
+  const HashRing ring5(5, static_cast<std::size_t>(cfg.vnodes_per_shard));
+  std::size_t moved = 0;
+  const HashRing ring4(4, static_cast<std::size_t>(cfg.vnodes_per_shard));
+  for (std::uint32_t p = 0; p < 12; ++p) {
+    EXPECT_EQ(fabric.shard_of(p), ring5.owner(p));
+    moved += ring4.owner(p) != ring5.owner(p);
+  }
+  EXPECT_EQ(moved, report.moved_patients);
+
+  // The per-patient breakdown is unchanged by the move: same patients,
+  // same completed counts, each patient still on exactly one shard.
+  const auto after = fabric.patient_slo_snapshots();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].patient_id, before[i].patient_id);
+    EXPECT_EQ(after[i].slo.completed, before[i].slo.completed)
+        << "handoff must conserve patient " << before[i].patient_id << "'s history";
+  }
+  const auto aggregate = fabric.slo_snapshot();
+  EXPECT_EQ(aggregate.submitted, batch.size());
+  EXPECT_EQ(aggregate.completed, batch.size());
 }
 
 // The acceptance bar: randomized fleet traffic, submitted in shuffled

@@ -1,0 +1,336 @@
+// Deterministic chaos harness for live resharding — the proof behind the
+// fabric's elasticity guarantee.
+//
+// A seeded RNG interleaves submit / poll / drain / resize operations into
+// a schedule that walks the fabric through shard counts drawn from
+// {1, 2, 3, 4, 8} while fleet traffic is in flight.  Each schedule is
+// executed twice against fresh fabrics and the two outcomes must be
+// *identical*: every window's reconstruction bitwise-equal (and equal to
+// the serial single-engine reference), every composite ticket equal, and
+// the aggregate SLO counters (submitted / completed / shed / rejected)
+// equal and conserved — topology changes may move work between shards,
+// but they may not invent, lose, or alter a single window or count.
+//
+// Three resize shapes are required by the acceptance bar — grow, shrink,
+// and grow-then-shrink — each run with 1 and N worker threads per shard
+// (plus the serial inline mode), and a serial overload schedule checks
+// that rejection accounting also survives topology changes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "host/reconstruction_fabric.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::host {
+namespace {
+
+using WindowKey = std::pair<std::uint32_t, std::uint32_t>;
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// Small windows and a truncated solver keep 18 full chaos runs affordable
+// (also under TSan) while still exercising every reshard transition.
+EngineConfig fast_engine(int threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.fista.max_iterations = 25;
+  cfg.fista.debias_iterations = 5;
+  return cfg;
+}
+
+std::vector<CompressedWindow> fleet_traffic(int patients, int beats_per_patient) {
+  std::vector<CompressedWindow> traffic;
+  for (int p = 0; p < patients; ++p) {
+    sig::SynthConfig synth;
+    synth.num_leads = 1;
+    synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats_per_patient}};
+    sig::Rng rng(0xC4A05000ULL + static_cast<std::uint64_t>(p));
+    const auto record = synthesize_ecg(synth, rng);
+
+    RecordCompressionConfig compression;
+    compression.window_samples = 128;
+    compression.cr_percent = 50.0;
+    auto windows = compress_record(record, static_cast<std::uint32_t>(p), compression);
+    traffic.insert(traffic.end(), std::make_move_iterator(windows.begin()),
+                   std::make_move_iterator(windows.end()));
+  }
+  // A deterministic third of the traffic rides the urgent lane so the
+  // reshard protocol is exercised across both priority lanes.
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    if (i % 3 == 0) traffic[i].priority = cs::WindowPriority::kUrgent;
+  }
+  return traffic;
+}
+
+struct Op {
+  enum class Kind { kSubmit, kPoll, kDrain, kResize };
+  Kind kind = Kind::kSubmit;
+  std::size_t window = 0;  ///< kSubmit: index into the traffic batch.
+  int shards = 0;          ///< kResize: the new shard count.
+};
+
+/// Builds a schedule: the traffic in seeded-shuffled submission order,
+/// polls and occasional drains sprinkled between submissions, and the
+/// scenario's resizes pinned at fixed fractions of submission progress so
+/// every replay (and every thread count) sees the identical op sequence.
+std::vector<Op> make_schedule(std::size_t windows, std::uint64_t seed,
+                              const std::vector<std::pair<double, int>>& resizes) {
+  std::vector<std::size_t> order(windows);
+  for (std::size_t i = 0; i < windows; ++i) order[i] = i;
+  sig::Rng rng(seed);
+  for (std::size_t i = windows; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  std::vector<Op> ops;
+  std::size_t next_resize = 0;
+  for (std::size_t submitted = 0; submitted < windows; ++submitted) {
+    while (next_resize < resizes.size() &&
+           static_cast<double>(submitted) >=
+               resizes[next_resize].first * static_cast<double>(windows)) {
+      ops.push_back({Op::Kind::kResize, 0, resizes[next_resize].second});
+      ++next_resize;
+    }
+    ops.push_back({Op::Kind::kSubmit, order[submitted], 0});
+    const double coin = rng.uniform();
+    if (coin < 0.30) ops.push_back({Op::Kind::kPoll, 0, 0});
+    if (coin >= 0.95) ops.push_back({Op::Kind::kDrain, 0, 0});
+  }
+  for (; next_resize < resizes.size(); ++next_resize) {
+    ops.push_back({Op::Kind::kResize, 0, resizes[next_resize].second});
+  }
+  return ops;
+}
+
+/// Everything observable about one schedule execution.  Two replays of
+/// the same schedule must produce equal Outcomes, field for field.
+struct Outcome {
+  std::map<WindowKey, WindowResult> results;
+  std::vector<std::uint64_t> tickets;       ///< Per submit op, in op order.
+  std::vector<std::size_t> moved_per_resize;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint32_t final_epoch = 0;
+  std::size_t final_shards = 0;
+};
+
+Outcome run_schedule(const std::vector<CompressedWindow>& traffic, const std::vector<Op>& ops,
+                     int initial_shards, int threads) {
+  FabricConfig cfg;
+  cfg.shards = initial_shards;
+  cfg.engine = fast_engine(threads);
+  ReconstructionFabric fabric(cfg);
+
+  Outcome out;
+  const auto keep = [&out](WindowResult&& result) {
+    const WindowKey key{result.patient_id, result.window_index};
+    EXPECT_TRUE(out.results.emplace(key, std::move(result)).second)
+        << "duplicate result for patient " << key.first << " window " << key.second;
+  };
+
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kSubmit: {
+        CompressedWindow copy = traffic[op.window];
+        out.tickets.push_back(fabric.submit(std::move(copy)));
+        break;
+      }
+      case Op::Kind::kPoll:
+        if (auto result = fabric.poll()) keep(std::move(*result));
+        break;
+      case Op::Kind::kDrain:
+        for (auto&& result : fabric.drain()) keep(std::move(result));
+        break;
+      case Op::Kind::kResize:
+        out.moved_per_resize.push_back(fabric.resize(op.shards).moved_patients);
+        break;
+    }
+  }
+  for (auto&& result : fabric.drain()) keep(std::move(result));
+
+  const auto snap = fabric.slo_snapshot();
+  out.submitted = snap.submitted;
+  out.completed = snap.completed;
+  out.shed = snap.shed_routine + snap.shed_urgent;
+  out.rejected = snap.rejected;
+  out.final_epoch = fabric.epoch();
+  out.final_shards = fabric.shard_count();
+
+  // Conservation at quiesce: nothing in flight, every submitted window
+  // completed (blocking submits: nothing shed or rejected), every
+  // completed window retrieved exactly once.
+  EXPECT_EQ(fabric.in_flight(), 0u);
+  EXPECT_EQ(snap.in_flight, 0u) << "retrieves must account for every completion";
+  EXPECT_EQ(out.completed, out.submitted);
+  return out;
+}
+
+void expect_equal_outcomes(const Outcome& a, const Outcome& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (const auto& [key, expected] : a.results) {
+    const auto found = b.results.find(key);
+    ASSERT_NE(found, b.results.end());
+    EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+        << "replay diverged for patient " << key.first << " window " << key.second;
+    EXPECT_EQ(found->second.iterations, expected.iterations);
+    EXPECT_EQ(found->second.ticket, expected.ticket) << "ticket assignment must replay";
+  }
+  EXPECT_EQ(a.tickets, b.tickets);
+  EXPECT_EQ(a.moved_per_resize, b.moved_per_resize);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.final_epoch, b.final_epoch);
+  EXPECT_EQ(a.final_shards, b.final_shards);
+}
+
+class ReshardChaos : public ::testing::Test {
+ protected:
+  void run_scenario(std::uint64_t seed, int initial_shards,
+                    const std::vector<std::pair<double, int>>& resizes) {
+    const auto traffic = fleet_traffic(/*patients=*/8, /*beats_per_patient=*/4);
+    ASSERT_GE(traffic.size(), 16u);
+
+    // Serial single-engine reference: the one ground truth every cell of
+    // the (threads x replay) grid must reproduce bit for bit.
+    std::map<WindowKey, WindowResult> reference;
+    {
+      ReconstructionEngine serial(fast_engine(0));
+      for (const auto& window : traffic) {
+        CompressedWindow copy = window;
+        serial.submit(std::move(copy));
+      }
+      for (auto& result : serial.drain()) {
+        reference.emplace(WindowKey{result.patient_id, result.window_index}, std::move(result));
+      }
+    }
+    ASSERT_EQ(reference.size(), traffic.size());
+
+    const auto ops = make_schedule(traffic.size(), seed, resizes);
+    for (const int threads : {0, 1, 3}) {
+      const auto first = run_schedule(traffic, ops, initial_shards, threads);
+      const auto second = run_schedule(traffic, ops, initial_shards, threads);
+
+      ASSERT_EQ(first.results.size(), traffic.size()) << "threads=" << threads;
+      EXPECT_EQ(first.final_epoch, resizes.size());
+      {
+        SCOPED_TRACE("replay determinism, threads=" + std::to_string(threads));
+        expect_equal_outcomes(first, second);
+      }
+      for (const auto& [key, expected] : reference) {
+        const auto found = first.results.find(key);
+        ASSERT_NE(found, first.results.end()) << "threads=" << threads;
+        EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+            << "patient " << key.first << " window " << key.second
+            << " differs from the serial reference at threads=" << threads;
+        EXPECT_EQ(found->second.iterations, expected.iterations);
+        EXPECT_EQ(found->second.snr_db, expected.snr_db);
+      }
+    }
+  }
+};
+
+TEST_F(ReshardChaos, GrowSchedule) {
+  run_scenario(0xC4A05001ULL, /*initial_shards=*/1,
+               {{0.25, 2}, {0.50, 4}, {0.75, 8}});
+}
+
+TEST_F(ReshardChaos, ShrinkSchedule) {
+  run_scenario(0xC4A05002ULL, /*initial_shards=*/8,
+               {{0.25, 4}, {0.50, 2}, {0.75, 1}});
+}
+
+TEST_F(ReshardChaos, GrowThenShrinkSchedule) {
+  run_scenario(0xC4A05003ULL, /*initial_shards=*/2,
+               {{0.20, 3}, {0.45, 8}, {0.70, 3}, {0.90, 2}});
+}
+
+// Overload under topology change: a serial fabric with tiny per-shard
+// admission and non-blocking submits.  With no workers, progress happens
+// only at poll/drain ops, so the reject pattern is fully deterministic —
+// and must replay exactly, with attempts conserved across rejects and
+// completions even as shards come and go.
+TEST_F(ReshardChaos, RejectAccountingSurvivesResizes) {
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/4);
+  const auto ops =
+      make_schedule(traffic.size(), 0xC4A05004ULL, {{0.30, 3}, {0.60, 8}, {0.85, 2}});
+
+  const auto run_once = [&] {
+    FabricConfig cfg;
+    cfg.shards = 2;
+    cfg.engine = fast_engine(0);
+    cfg.engine.queue_capacity = 2;
+    ReconstructionFabric fabric(cfg);
+
+    Outcome out;
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case Op::Kind::kSubmit: {
+          CompressedWindow copy = traffic[op.window];
+          const auto ticket = fabric.try_submit(std::move(copy));
+          out.tickets.push_back(ticket.value_or(0));  // 0 marks a reject.
+          break;
+        }
+        case Op::Kind::kPoll:
+          if (auto result = fabric.poll()) {
+            out.results.emplace(WindowKey{result->patient_id, result->window_index},
+                                std::move(*result));
+          }
+          break;
+        case Op::Kind::kDrain:
+          for (auto&& result : fabric.drain()) {
+            out.results.emplace(WindowKey{result.patient_id, result.window_index},
+                                std::move(result));
+          }
+          break;
+        case Op::Kind::kResize:
+          out.moved_per_resize.push_back(fabric.resize(op.shards).moved_patients);
+          break;
+      }
+    }
+    for (auto&& result : fabric.drain()) {
+      out.results.emplace(WindowKey{result.patient_id, result.window_index}, std::move(result));
+    }
+    const auto snap = fabric.slo_snapshot();
+    out.submitted = snap.submitted;
+    out.completed = snap.completed;
+    out.shed = snap.shed_routine + snap.shed_urgent;
+    out.rejected = snap.rejected;
+    out.final_epoch = fabric.epoch();
+    out.final_shards = fabric.shard_count();
+    return out;
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+
+  EXPECT_GT(first.rejected, 0u) << "the schedule must actually hit backpressure";
+  EXPECT_LT(first.results.size(), traffic.size());
+  // Attempt conservation: every submission either completed or was
+  // rejected at admission, across three topology changes.
+  EXPECT_EQ(first.completed + first.rejected, traffic.size());
+  EXPECT_EQ(first.completed, first.results.size());
+  EXPECT_EQ(first.submitted, first.completed);
+  EXPECT_EQ(first.shed, 0u);
+  {
+    SCOPED_TRACE("overload replay determinism");
+    expect_equal_outcomes(first, second);
+  }
+}
+
+}  // namespace
+}  // namespace wbsn::host

@@ -1,5 +1,7 @@
 #include "host/slo_tracker.hpp"
 
+#include "host/reconstruction_engine.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -210,6 +212,105 @@ TEST(SloTracker, MergeFromFoldsHistogramsAndCounters) {
   EXPECT_GT(snap.throughput_per_s, 0.0);
 }
 
+TEST(SloTracker, MergeFromEmptySourceIsANoOp) {
+  SloTracker tracker(SloConfig{.deadline_ms = 5.0});
+  for (int i = 0; i < 10; ++i) {
+    tracker.on_submit();
+    tracker.on_complete(2.0);
+    tracker.on_retrieve();
+  }
+  const auto before = tracker.snapshot();
+
+  SloTracker empty(SloConfig{.deadline_ms = 5.0});
+  tracker.merge_from(empty);
+  const auto after = tracker.snapshot();
+  EXPECT_EQ(after.submitted, before.submitted);
+  EXPECT_EQ(after.completed, before.completed);
+  EXPECT_EQ(after.shed_routine + after.shed_urgent, 0u);
+  EXPECT_EQ(after.rejected, 0u);
+  EXPECT_DOUBLE_EQ(after.p50_ms, before.p50_ms);
+  EXPECT_DOUBLE_EQ(after.max_ms, before.max_ms);
+  EXPECT_DOUBLE_EQ(after.mean_ms, before.mean_ms);
+  EXPECT_EQ(empty.snapshot().submitted, 0u) << "merge_from must not touch the source";
+}
+
+TEST(SloTracker, DrainIntoConservesEveryCounterAndZeroesTheSource) {
+  SloTracker source(SloConfig{.deadline_ms = 10.0});
+  SloTracker dest(SloConfig{.deadline_ms = 10.0});
+  for (int i = 0; i < 50; ++i) {
+    source.on_submit();
+    source.on_complete(i % 2 == 0 ? 2.0 : 200.0);  // Half violate.
+    source.on_retrieve();
+  }
+  source.on_shed(/*urgent=*/false);
+  source.on_shed(/*urgent=*/true);
+  source.on_reject();
+  for (int i = 0; i < 20; ++i) {
+    dest.on_submit();
+    dest.on_complete(5.0);
+    dest.on_retrieve();
+  }
+
+  const auto s0 = source.snapshot();
+  const auto d0 = dest.snapshot();
+  source.drain_into(dest);
+  const auto s1 = source.snapshot();
+  const auto d1 = dest.snapshot();
+
+  // Conservation: dest gained exactly what source lost, for every counter.
+  EXPECT_EQ(s1.submitted, 0u);
+  EXPECT_EQ(s1.completed, 0u);
+  EXPECT_EQ(s1.shed_routine + s1.shed_urgent + s1.rejected, 0u);
+  EXPECT_EQ(s1.deadline_violations, 0u);
+  EXPECT_EQ(s1.max_ms, 0.0);
+  EXPECT_EQ(d1.submitted, s0.submitted + d0.submitted);
+  EXPECT_EQ(d1.completed, s0.completed + d0.completed);
+  EXPECT_EQ(d1.deadline_violations, s0.deadline_violations + d0.deadline_violations);
+  EXPECT_EQ(d1.shed_routine, s0.shed_routine);
+  EXPECT_EQ(d1.shed_urgent, s0.shed_urgent);
+  EXPECT_EQ(d1.rejected, s0.rejected);
+  EXPECT_DOUBLE_EQ(d1.max_ms, 200.0);
+  // The merged histogram carries the bimodal mix, not an average.
+  EXPECT_NEAR(d1.p95_ms, 200.0, 200.0 * kRelTol);
+
+  // Draining an already-drained (empty) source changes nothing.
+  source.drain_into(dest);
+  const auto d2 = dest.snapshot();
+  EXPECT_EQ(d2.submitted, d1.submitted);
+  EXPECT_EQ(d2.completed, d1.completed);
+}
+
+// Handoff raced against a recording thread: counts may land on either
+// side of the move but must be conserved — the sum across both trackers
+// equals everything ever recorded.  This is the TSan probe for the
+// reshard handoff path (ReconstructionEngine::adopt_patient_slo drains a
+// moved tracker into an existing one while completions still record).
+TEST(SloTracker, DrainIntoConcurrentWithRecordConservesTotals) {
+  SloTracker source;
+  SloTracker dest;
+  constexpr int kRecords = 30000;
+
+  std::thread recorder([&source] {
+    for (int i = 0; i < kRecords; ++i) {
+      source.on_submit();
+      source.on_complete(1.0);
+      source.on_retrieve();
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    source.drain_into(dest);
+    std::this_thread::yield();
+  }
+  recorder.join();
+  source.drain_into(dest);  // Sweep the stragglers.
+
+  const auto total = dest.snapshot();
+  EXPECT_EQ(total.submitted, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(total.completed, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(total.in_flight, 0u);
+  EXPECT_EQ(source.snapshot().submitted, 0u);
+}
+
 // Snapshots raced against recording threads must stay internally sane
 // (never crash, never report impossible totals once quiesced).  This is
 // also the TSan probe for the record/snapshot concurrency the engine and
@@ -248,6 +349,50 @@ TEST(SloTracker, ConcurrentRecordVersusSnapshot) {
   EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(snap.completed, snap.submitted);
   EXPECT_EQ(snap.in_flight, 0u);
+}
+
+// Handoff against the engine's patient-map capacity: an adopted tracker
+// must respect max_tracked_patients exactly like a brand-new patient
+// (dropped from the breakdown, engine-wide counters untouched), and
+// adopting onto an existing entry must fold, not replace.
+TEST(SloTracker, AdoptAtPatientMapCapacityDropsButNeverSplits) {
+  EngineConfig cfg;
+  cfg.max_tracked_patients = 2;
+  ReconstructionEngine engine(cfg);
+
+  const auto tracker_with = [](std::uint64_t completions) {
+    auto tracker = std::make_shared<SloTracker>();
+    for (std::uint64_t i = 0; i < completions; ++i) {
+      tracker->on_submit();
+      tracker->on_complete(1.0);
+      tracker->on_retrieve();
+    }
+    return tracker;
+  };
+
+  EXPECT_TRUE(engine.adopt_patient_slo(1, tracker_with(3)));
+  EXPECT_TRUE(engine.adopt_patient_slo(2, tracker_with(5)));
+  EXPECT_FALSE(engine.adopt_patient_slo(3, tracker_with(7)))
+      << "a handoff beyond the cap must be refused, not grow the map";
+  EXPECT_FALSE(engine.adopt_patient_slo(4, nullptr));
+
+  // Adopting onto an already-tracked patient folds the moved history in.
+  EXPECT_TRUE(engine.adopt_patient_slo(1, tracker_with(4)));
+
+  const auto breakdown = engine.patient_slo_snapshots();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].patient_id, 1u);
+  EXPECT_EQ(breakdown[0].slo.completed, 7u) << "3 adopted + 4 folded in";
+  EXPECT_EQ(breakdown[1].patient_id, 2u);
+  EXPECT_EQ(breakdown[1].slo.completed, 5u);
+
+  // Extraction frees a slot: the previously refused patient now fits.
+  const auto extracted = engine.extract_patient_slo(2);
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_EQ(extracted->snapshot().completed, 5u);
+  EXPECT_EQ(engine.extract_patient_slo(2), nullptr) << "already extracted";
+  EXPECT_TRUE(engine.adopt_patient_slo(3, tracker_with(7)));
+  EXPECT_EQ(engine.patient_slo_snapshots().size(), 2u);
 }
 
 TEST(SloTracker, ThroughputUsesElapsedClock) {
