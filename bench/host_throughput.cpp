@@ -14,7 +14,8 @@
 // Usage: host_throughput [patients] [beats_per_patient] [cr_percent]
 //                        [--poisson RATE_HZ] [--threads N] [--deadline-ms D]
 //                        [--batch W] [--shards S] [--priority-frac F]
-//                        [--shed] [--reshard-at K:S ...]
+//                        [--shed] [--reshard-at K:S ...] [--pool]
+//                        [--json FILE]
 //
 // --batch W sets EngineConfig::batch_windows: workers pack up to W queued
 // windows that share a sensing matrix into one batched FISTA solve
@@ -30,6 +31,15 @@
 // stream keeps flowing while the consistent-hash ring re-routes only the
 // moved patients, and the bit-exactness gate still applies to every
 // window solved before, during, and after each resize.
+//
+// --pool routes every window payload through a shared PayloadPool
+// (payload_pool.hpp): the producer checks buffer shells out of the pool,
+// the engine recycles them after each solve, and the poll loop returns
+// result-signal buffers — the zero-allocation steady-state configuration
+// (alloc_smoke is the strict gate; here the process-wide heap counter is
+// reported per window when the build has -DWBSN_ALLOC_COUNTER=ON).
+// --json FILE additionally writes the streaming metrics as a flat JSON
+// object for the bench-trajectory trend gate.
 //
 // In streaming mode the per-window deadline defaults to the real-time
 // window period (cs::window_period_ms): the decoder keeps up with live
@@ -47,6 +57,8 @@
 #include <vector>
 
 #include "cs/pipeline.hpp"
+#include "host/alloc_meter.hpp"
+#include "host/payload_pool.hpp"
 #include "host/reconstruction_fabric.hpp"
 #include "sig/ecg_synth.hpp"
 #include "sig/rng.hpp"
@@ -144,7 +156,8 @@ int run_batch_sweep(const std::vector<host::CompressedWindow>& batch) {
 int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
                   int threads, double deadline_ms, int batch_windows,
                   int shards, double priority_frac, bool shed_enabled,
-                  std::vector<std::pair<std::size_t, int>> reshards) {
+                  std::vector<std::pair<std::size_t, int>> reshards,
+                  bool pooled, const std::string& json_path) {
   // Serial batch reference for the bit-exactness check.
   host::EngineConfig serial_cfg;
   host::ReconstructionEngine serial(serial_cfg);
@@ -175,17 +188,49 @@ int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
   cfg.engine.slo.deadline_ms = deadline_ms;
   cfg.engine.batch_windows = batch_windows;
   cfg.engine.deadline_shedding = shed_enabled;
+  std::shared_ptr<host::PayloadPool> pool;
+  if (pooled) {
+    pool = std::make_shared<host::PayloadPool>();
+    cfg.engine.payload_pool = pool;
+  }
   host::ReconstructionFabric fabric(cfg);
 
   std::printf("streaming: %zu windows (%zu urgent), Poisson %.1f/s, %d shard%s x "
-              "%d worker thread%s, deadline %.1f ms, batch_windows %d%s\n",
+              "%d worker thread%s, deadline %.1f ms, batch_windows %d%s%s\n",
               batch.size(), urgent_count, rate_hz, shards, shards == 1 ? "" : "s",
               threads, threads == 1 ? "" : "s", deadline_ms, batch_windows,
-              shed_enabled ? ", deadline shedding" : "");
+              shed_enabled ? ", deadline shedding" : "",
+              pooled ? ", pooled payloads" : "");
 
   std::sort(reshards.begin(), reshards.end());
 
+  // Producer-side copy of one template window; with --pool the shell and
+  // both payload buffers come from (and eventually return to) the pool.
+  const auto make_copy = [&](const host::CompressedWindow& src) {
+    if (!pool) return src;
+    host::CompressedWindow window = pool->acquire_window();
+    window.patient_id = src.patient_id;
+    window.window_index = src.window_index;
+    window.matrix_seed = src.matrix_seed;
+    window.window_samples = src.window_samples;
+    window.ones_per_column = src.ones_per_column;
+    window.priority = src.priority;
+    window.measurements.assign(src.measurements.begin(), src.measurements.end());
+    window.reference.assign(src.reference.begin(), src.reference.end());
+    return window;
+  };
+
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> streamed;
+  const auto record_result = [&](host::WindowResult&& result) {
+    // The harness keeps a copy for the bit-exactness audit; the pooled
+    // buffer itself goes straight back into circulation.
+    streamed.emplace(std::make_pair(result.patient_id, result.window_index),
+                     pool ? std::vector<double>(result.signal)
+                          : std::move(result.signal));
+    if (pool) pool->recycle(std::move(result));
+  };
+
+  const std::uint64_t allocs_at_start = host::alloc_count();
   const auto t0 = Clock::now();
   double next_arrival_s = 0.0;
   std::size_t submitted = 0;
@@ -210,21 +255,20 @@ int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
                                   std::chrono::duration<double>(next_arrival_s));
     while (Clock::now() < arrival) {
       if (auto result = fabric.poll()) {
-        streamed.emplace(std::make_pair(result->patient_id, result->window_index),
-                         std::move(result->signal));
+        record_result(std::move(*result));
       } else {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     }
-    host::CompressedWindow copy = batch[i];
+    host::CompressedWindow copy = make_copy(batch[i]);
     // Overload drops the window; the engine counts it in snap.rejected.
     (void)fabric.try_submit(std::move(copy));
   }
   for (auto&& result : fabric.drain()) {
-    streamed.emplace(std::make_pair(result.patient_id, result.window_index),
-                     std::move(result.signal));
+    record_result(std::move(result));
   }
   const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::uint64_t allocs_streaming = host::alloc_count() - allocs_at_start;
 
   const auto snap = fabric.slo_snapshot();
   const auto shed_total = static_cast<std::size_t>(snap.shed_routine + snap.shed_urgent);
@@ -246,6 +290,21 @@ int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
               static_cast<std::size_t>(snap.deadline_violations));
   std::printf("%-24s %12zu\n", "max in-flight", static_cast<std::size_t>(snap.max_in_flight));
   std::printf("%-24s %12.2f\n", "wall time (s)", wall_s);
+  if (host::alloc_counter_enabled() && snap.completed > 0) {
+    // Includes warmup (first-touch pool misses, arena growth), so the
+    // pooled steady-state rate is strictly below this; alloc_smoke holds
+    // the exact-zero line.
+    std::printf("%-24s %12.3f\n", "allocs/window (incl warmup)",
+                static_cast<double>(allocs_streaming) /
+                    static_cast<double>(snap.completed));
+  }
+  if (pool) {
+    const auto pstats = pool->stats();
+    std::printf("%-24s %12zu\n", "pool hits", static_cast<std::size_t>(pstats.hits));
+    std::printf("%-24s %12zu\n", "pool misses", static_cast<std::size_t>(pstats.misses));
+    std::printf("%-24s %12zu\n", "pool recycled", static_cast<std::size_t>(pstats.recycled));
+    std::printf("%-24s %12zu\n", "pool dropped", static_cast<std::size_t>(pstats.dropped));
+  }
 
   // Lane split: is the alarm path actually faster than routine telemetry?
   std::printf("\n%-10s %8s %10s %10s %10s %10s %10s %6s\n", "lane", "windows",
@@ -307,6 +366,44 @@ int run_streaming(std::vector<host::CompressedWindow> batch, double rate_hz,
 
   std::printf("\nbit-exactness vs serial (%zu windows): %s\n", compared,
               all_identical ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    // Flat key->number object consumed by scripts/bench_trajectory.py.
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"windows_submitted\": %zu,\n"
+                 "  \"windows_completed\": %zu,\n"
+                 "  \"windows_rejected\": %zu,\n"
+                 "  \"windows_shed\": %zu,\n"
+                 "  \"throughput_win_per_s\": %.6f,\n"
+                 "  \"latency_p50_ms\": %.6f,\n"
+                 "  \"latency_p95_ms\": %.6f,\n"
+                 "  \"latency_p99_ms\": %.6f,\n"
+                 "  \"latency_mean_ms\": %.6f,\n"
+                 "  \"deadline_violations\": %zu,\n"
+                 "  \"allocs_per_window_incl_warmup\": %.6f,\n"
+                 "  \"alloc_counter_enabled\": %d,\n"
+                 "  \"pooled\": %d,\n"
+                 "  \"bit_exact\": %d\n"
+                 "}\n",
+                 static_cast<std::size_t>(snap.submitted),
+                 static_cast<std::size_t>(snap.completed),
+                 static_cast<std::size_t>(snap.rejected), shed_total,
+                 snap.throughput_per_s, snap.p50_ms, snap.p95_ms, snap.p99_ms,
+                 snap.mean_ms, static_cast<std::size_t>(snap.deadline_violations),
+                 snap.completed > 0 ? static_cast<double>(allocs_streaming) /
+                                          static_cast<double>(snap.completed)
+                                    : 0.0,
+                 host::alloc_counter_enabled() ? 1 : 0, pool ? 1 : 0,
+                 all_identical ? 1 : 0);
+    std::fclose(out);
+    std::printf("json metrics -> %s\n", json_path.c_str());
+  }
   return all_identical ? 0 : 1;
 }
 
@@ -322,6 +419,8 @@ int main(int argc, char** argv) {
   int shards = 1;
   double priority_frac = 0.0;
   bool shed_enabled = false;
+  bool pooled = false;
+  std::string json_path;
   std::vector<std::pair<std::size_t, int>> reshards;
 
   for (int i = 1; i < argc; ++i) {
@@ -329,7 +428,7 @@ int main(int argc, char** argv) {
     const bool is_flag = arg == "--poisson" || arg == "--threads" ||
                          arg == "--deadline-ms" || arg == "--batch" ||
                          arg == "--shards" || arg == "--priority-frac" ||
-                         arg == "--reshard-at";
+                         arg == "--reshard-at" || arg == "--json";
     if (is_flag && i + 1 >= argc) {
       std::fprintf(stderr, "%s requires a value\n", arg.c_str());
       return 2;
@@ -348,6 +447,10 @@ int main(int argc, char** argv) {
       priority_frac = std::atof(argv[++i]);
     } else if (arg == "--shed") {
       shed_enabled = true;
+    } else if (arg == "--pool") {
+      pooled = true;
+    } else if (arg == "--json") {
+      json_path = argv[++i];
     } else if (arg == "--reshard-at") {
       // K:S — resize to S shards after the K-th submission attempt.
       const std::string value = argv[++i];
@@ -381,7 +484,7 @@ int main(int argc, char** argv) {
     }
     return run_streaming(std::move(batch), poisson_hz, std::max(0, threads),
                          deadline_ms, batch_windows, shards, priority_frac,
-                         shed_enabled, std::move(reshards));
+                         shed_enabled, std::move(reshards), pooled, json_path);
   }
   return run_batch_sweep(batch);
 }

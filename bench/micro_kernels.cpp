@@ -21,6 +21,8 @@
 #include "dsp/morphology.hpp"
 #include "dsp/sliding_minmax.hpp"
 #include "dsp/wavelet.hpp"
+#include "host/alloc_meter.hpp"
+#include "host/payload_pool.hpp"
 #include "host/reconstruction_engine.hpp"
 #include "kern/backend.hpp"
 #include "sig/adc.hpp"
@@ -285,6 +287,55 @@ void BM_EngineSubmitPoll(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineSubmitPoll);
+
+/// Same round trip through the pooled hot path: window shells come from a
+/// PayloadPool, the engine recycles their buffers after the solve, and the
+/// poller recycles the result signal.  With -DWBSN_ALLOC_COUNTER=ON the
+/// allocs_per_window counter reports the measured steady-state heap rate
+/// (the alloc-gate asserts it is exactly zero in alloc_smoke).
+void BM_EngineSubmitPollPooled(benchmark::State& state) {
+  auto pool = std::make_shared<host::PayloadPool>();
+  host::EngineConfig cfg;
+  cfg.threads = 0;  // Solve inline: no cross-thread wakeup noise.
+  cfg.fista.max_iterations = 1;
+  cfg.fista.debias = false;
+  cfg.payload_pool = pool;
+  host::ReconstructionEngine engine(cfg);
+
+  const std::vector<double> measurements = [] {
+    auto m = bench_window(17);
+    m.resize(64);
+    return m;
+  }();
+
+  // One warm lap primes the pool, the matrix cache, and the solver arena
+  // so the measured loop sees the steady state.
+  const auto lap = [&] {
+    host::CompressedWindow window = pool->acquire_window();
+    window.patient_id = 1;
+    window.matrix_seed = 42;
+    window.window_samples = 128;
+    window.ones_per_column = 4;
+    window.measurements.assign(measurements.begin(), measurements.end());
+    benchmark::DoNotOptimize(engine.try_submit(std::move(window)));
+    auto result = engine.poll();
+    benchmark::DoNotOptimize(result);
+    if (result) pool->recycle(std::move(*result));
+  };
+  lap();
+
+  const std::uint64_t allocs_before = host::alloc_count();
+  for (auto _ : state) lap();
+  const std::uint64_t allocs_after = host::alloc_count();
+
+  state.SetItemsProcessed(state.iterations());
+  if (host::alloc_counter_enabled() && state.iterations() > 0) {
+    state.counters["allocs_per_window"] = benchmark::Counter(
+        static_cast<double>(allocs_after - allocs_before) /
+        static_cast<double>(state.iterations()));
+  }
+}
+BENCHMARK(BM_EngineSubmitPollPooled);
 
 }  // namespace
 

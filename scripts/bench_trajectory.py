@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory gate: run the perf suite, record it, compare it.
+
+Runs the two steady benchmarks —
+
+  * micro_kernels (google-benchmark, JSON output, median of N repetitions)
+  * host_throughput --poisson (streaming fabric; its --json metrics file)
+
+— merges both into one BENCH_results.json (the CI artifact, one point of
+the performance trajectory), and compares throughput metrics against the
+committed baseline (bench/BENCH_baseline.json).  The streaming
+throughput (windows/second over a multi-second Poisson run) gates at
+--tolerance; the micro-kernel rates gate at the looser --micro-tolerance
+because nanosecond-scale benches jitter 10-20% run-to-run on shared
+runners even as medians of repetitions.  Latency and allocation metrics
+ride along informationally (CI runners are too noisy to gate on absolute
+times, so only relative throughput is enforced).
+
+Only the standard library is used.  Typical invocations:
+
+  python3 scripts/bench_trajectory.py --build-dir build          # gate
+  python3 scripts/bench_trajectory.py --build-dir build \
+      --write-baseline                                           # refresh
+
+The tolerance can also be set via WBSN_BENCH_TOLERANCE (fraction, e.g.
+0.10).  Baseline refreshes should come from the same class of machine
+that gates — in CI, rerun the job with --write-baseline and commit the
+result.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HOST_THROUGHPUT_ARGS = [
+    "8", "12", "50", "--poisson", "400", "--threads", "2", "--shards", "2",
+    "--batch", "0", "--pool",
+]
+MICRO_REPETITIONS = 3
+
+# Gated metrics: higher is better, relative to baseline.
+GATED_HOST_METRICS = ["throughput_win_per_s"]
+
+
+def run_micro(build_dir, repetitions):
+    """micro_kernels -> {benchmark_name: items_per_second (median)}."""
+    binary = os.path.join(build_dir, "bench", "micro_kernels")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        subprocess.run(
+            [
+                binary,
+                f"--benchmark_repetitions={repetitions}",
+                "--benchmark_report_aggregates_only=true",
+                f"--benchmark_out={out_path}",
+                "--benchmark_out_format=json",
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(out_path) as f:
+            raw = json.load(f)
+    finally:
+        os.unlink(out_path)
+
+    micro = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench["run_name"]
+        entry = {"real_time_ns": bench.get("real_time")}
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+        if "allocs_per_window" in bench:
+            entry["allocs_per_window"] = bench["allocs_per_window"]
+        micro[name] = entry
+    if not micro:
+        raise SystemExit("micro_kernels produced no median aggregates")
+    return micro
+
+
+def run_host_throughput(build_dir):
+    """host_throughput --poisson --json -> its flat metrics object."""
+    binary = os.path.join(build_dir, "bench", "host_throughput")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [binary, *HOST_THROUGHPUT_ARGS, "--json", out_path],
+            stdout=subprocess.DEVNULL,
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"host_throughput exited {proc.returncode} "
+                "(bit-exactness or argument failure)")
+        with open(out_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(out_path)
+
+
+def compare(results, baseline, tolerance, micro_tolerance):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+
+    def check(label, new, old, floor_tolerance):
+        if old is None or old <= 0 or new is None:
+            return
+        ratio = new / old
+        line = f"{label}: {new:.1f} vs baseline {old:.1f} ({ratio:.2%})"
+        if ratio < 1.0 - floor_tolerance:
+            failures.append(line + f"  < {1.0 - floor_tolerance:.2%} floor")
+        else:
+            print(f"  ok    {line}")
+
+    for name, base_entry in sorted(baseline.get("micro", {}).items()):
+        new_entry = results["micro"].get(name)
+        if new_entry is None:
+            failures.append(f"{name}: present in baseline, missing from run")
+            continue
+        check(f"{name}/items_per_second",
+              new_entry.get("items_per_second"),
+              base_entry.get("items_per_second"),
+              micro_tolerance)
+
+    base_host = baseline.get("host_throughput_poisson", {})
+    new_host = results.get("host_throughput_poisson", {})
+    for metric in GATED_HOST_METRICS:
+        check(f"host_throughput/{metric}", new_host.get(metric),
+              base_host.get(metric), tolerance)
+
+    if new_host.get("bit_exact") == 0:
+        failures.append("host_throughput: bit-exactness check failed")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--output", default="BENCH_results.json")
+    parser.add_argument("--baseline",
+                        default=os.path.join("bench", "BENCH_baseline.json"))
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record this run as the committed baseline "
+                             "instead of gating against it")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("WBSN_BENCH_TOLERANCE",
+                                                     "0.10")),
+                        help="allowed fractional streaming-throughput drop "
+                             "(default 0.10, env WBSN_BENCH_TOLERANCE)")
+    parser.add_argument("--micro-tolerance", type=float,
+                        default=float(os.environ.get(
+                            "WBSN_BENCH_MICRO_TOLERANCE", "0.30")),
+                        help="allowed fractional micro-kernel rate drop "
+                             "(default 0.30 — ns-scale benches jitter "
+                             "hard on shared runners; env "
+                             "WBSN_BENCH_MICRO_TOLERANCE)")
+    parser.add_argument("--repetitions", type=int, default=MICRO_REPETITIONS)
+    args = parser.parse_args()
+
+    print(f"# micro_kernels ({args.repetitions} repetitions, median)")
+    micro = run_micro(args.build_dir, args.repetitions)
+    print(f"#   {len(micro)} benchmarks")
+    print("# host_throughput " + " ".join(HOST_THROUGHPUT_ARGS))
+    host = run_host_throughput(args.build_dir)
+
+    results = {
+        "schema": 1,
+        "micro": micro,
+        "host_throughput_poisson": host,
+    }
+    with open(args.output, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"# results -> {args.output}")
+
+    if args.write_baseline:
+        with open(args.baseline, "w") as f:
+            json.dump(results, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"# baseline -> {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        raise SystemExit(f"no baseline at {args.baseline}; run with "
+                         "--write-baseline once and commit it")
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    print(f"# gate: streaming floor {1.0 - args.tolerance:.2%}, "
+          f"micro floor {1.0 - args.micro_tolerance:.2%} of baseline")
+    failures = compare(results, baseline, args.tolerance,
+                       args.micro_tolerance)
+    if failures:
+        print("\nbench-trajectory REGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL  {failure}", file=sys.stderr)
+        return 1
+    print("bench-trajectory: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

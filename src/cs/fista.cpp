@@ -14,193 +14,239 @@ double norm2(std::span<const double> v) {
   return std::sqrt(kern::ops().nrm2_sq(v.data(), v.size()));
 }
 
-/// Largest singular value squared of Phi via power iteration (the sparsity
-/// basis is orthonormal, so it equals the Lipschitz constant of the
-/// composed operator's gradient).
-double lipschitz_of(const SensingMatrix& phi) {
-  std::vector<double> v(phi.cols(), 1.0);
-  double lambda = 1.0;
-  for (int it = 0; it < 40; ++it) {
-    const auto w = phi.apply_adjoint(phi.apply(v));
-    lambda = norm2(w);
-    if (lambda <= 0.0) return 1.0;
-    v = w;
-    for (double& x : v) x /= lambda;
-  }
-  return std::max(lambda, 1e-9);
-}
-
 /// Least-squares refit of `a` restricted to its non-zero support:
 /// conjugate gradient on the normal equations of the composed operator
-/// A = Phi Psi' (masked to the support).
-void debias_on_support(const SensingMatrix& phi, int levels, std::span<const double> y,
-                       std::vector<double>& a, int iterations) {
+/// A = Phi Psi' (masked to the support).  All scratch comes from `ws`
+/// (ensure_debias'd for this shape) — no allocation.
+void debias_on_support_ws(const SensingMatrix& phi, int levels, std::span<const double> y,
+                          std::span<double> a, int iterations, FistaWorkspace& ws) {
   const auto& k = kern::ops();
   const std::size_t n = a.size();
-  std::vector<std::uint8_t> mask(n, 0);
+  const std::size_t m = phi.rows();
   std::size_t support = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    mask[i] = a[i] != 0.0;
-    support += mask[i];
+    ws.db_mask[i] = a[i] != 0.0;
+    support += ws.db_mask[i];
   }
-  if (support == 0 || support > phi.rows()) return;  // Under-determined: skip.
+  if (support == 0 || support > m) return;  // Under-determined: skip.
 
-  const auto apply_masked = [&](const std::vector<double>& c) {
-    std::vector<double> full(c);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!mask[i]) full[i] = 0.0;
-    }
-    return phi.apply(dsp::dwt_inverse(full, levels));
+  const auto apply_masked = [&](std::span<const double> c, std::span<double> out_m) {
+    for (std::size_t i = 0; i < n; ++i) ws.db_full[i] = ws.db_mask[i] ? c[i] : 0.0;
+    dsp::dwt_inverse_into(std::span<const double>(ws.db_full.data(), n), levels,
+                          std::span<double>(ws.db_time.data(), n),
+                          std::span<double>(ws.db_scr.data(), n));
+    phi.apply_into(std::span<const double>(ws.db_time.data(), n), out_m);
   };
-  const auto adjoint_masked = [&](std::span<const double> r) {
-    auto g = dsp::dwt_forward(phi.apply_adjoint(r), levels);
+  const auto adjoint_masked = [&](std::span<const double> r, std::span<double> out_n) {
+    phi.apply_adjoint_into(r, std::span<double>(ws.db_full.data(), n));
+    dsp::dwt_forward_into(std::span<const double>(ws.db_full.data(), n), levels, out_n,
+                          std::span<double>(ws.db_scr.data(), n));
     for (std::size_t i = 0; i < n; ++i) {
-      if (!mask[i]) g[i] = 0.0;
+      if (!ws.db_mask[i]) out_n[i] = 0.0;
     }
-    return g;
   };
 
   // CG on A'A c = A'y, warm-started at the FISTA solution.
-  auto residual = apply_masked(a);
-  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] = y[i] - residual[i];
-  auto g = adjoint_masked(residual);  // Gradient residual in coef space.
-  auto direction = g;
-  double g_norm_sq = k.nrm2_sq(g.data(), g.size());
+  const std::span<double> residual(ws.db_resid.data(), m);
+  apply_masked(a, residual);
+  for (std::size_t i = 0; i < m; ++i) residual[i] = y[i] - residual[i];
+  const std::span<double> g(ws.db_g.data(), n);  // Gradient residual, coef space.
+  adjoint_masked(residual, g);
+  std::copy(g.begin(), g.end(), ws.db_dir.begin());
+  double g_norm_sq = k.nrm2_sq(g.data(), n);
 
   for (int it = 0; it < iterations && g_norm_sq > 1e-18; ++it) {
-    const auto ad = apply_masked(direction);
-    const double ad_norm_sq = k.nrm2_sq(ad.data(), ad.size());
+    const std::span<double> ad(ws.db_ad.data(), m);
+    apply_masked(std::span<const double>(ws.db_dir.data(), n), ad);
+    const double ad_norm_sq = k.nrm2_sq(ad.data(), m);
     if (ad_norm_sq <= 1e-18) break;
     const double alpha = g_norm_sq / ad_norm_sq;
-    k.axpy(alpha, direction.data(), a.data(), n);
-    k.axpy(-alpha, ad.data(), residual.data(), residual.size());
-    const auto g_next = adjoint_masked(residual);
-    const double g_next_norm_sq = k.nrm2_sq(g_next.data(), g_next.size());
+    k.axpy(alpha, ws.db_dir.data(), a.data(), n);
+    k.axpy(-alpha, ad.data(), residual.data(), m);
+    const std::span<double> g_next(ws.db_gnext.data(), n);
+    adjoint_masked(residual, g_next);
+    const double g_next_norm_sq = k.nrm2_sq(g_next.data(), n);
     const double beta = g_next_norm_sq / g_norm_sq;
-    k.xpby(g_next.data(), beta, direction.data(), n);
-    g = g_next;
+    k.xpby(g_next.data(), beta, ws.db_dir.data(), n);
     g_norm_sq = g_next_norm_sq;
   }
 }
 
+/// Allocating wrapper for the non-hot paths (group solver, ablations).
+void debias_on_support(const SensingMatrix& phi, int levels, std::span<const double> y,
+                       std::vector<double>& a, int iterations) {
+  FistaWorkspace ws;
+  ws.ensure_debias(phi.rows(), phi.cols());
+  debias_on_support_ws(phi, levels, y, std::span<double>(a.data(), a.size()), iterations,
+                       ws);
+}
+
 }  // namespace
 
-std::vector<FistaResult> fista_solve_batch(const SensingMatrix& phi,
-                                           std::span<const std::vector<double>> ys,
-                                           const FistaConfig& cfg) {
+void FistaWorkspace::ensure(std::size_t m, std::size_t n, std::size_t batch) {
+  bool grew = false;
+  const std::size_t mb = m * batch;
+  const std::size_t nb = n * batch;
+  grew |= grow(y, mb);
+  grew |= grow(y2, mb);
+  grew |= grow(buf_m, mb);
+  grew |= grow(buf_n, nb);
+  grew |= grow(aty, nb);
+  grew |= grow(grad, nb);
+  grew |= grow(xz, nb);
+  grew |= grow(dwt_scr, nb);
+  grew |= grow(a, nb);
+  grew |= grow(z, nb);
+  grew |= grow(a_prev, nb);
+  grew |= grow(a2, nb);
+  grew |= grow(z2, nb);
+  grew |= grow(final_a, nb);
+  grew |= grow(tau, batch);
+  grew |= grow(tau2, batch);
+  grew |= grow(delta, batch);
+  grew |= grow(scale, batch);
+  grew |= grow(owner, batch);
+  grew |= grow(owner2, batch);
+  grew |= grow(kept, batch);
+  grew |= grow(db_mask, n);
+  grew |= grow(db_full, n);
+  grew |= grow(db_time, n);
+  grew |= grow(db_scr, n);
+  grew |= grow(db_g, n);
+  grew |= grow(db_dir, n);
+  grew |= grow(db_gnext, n);
+  grew |= grow(db_resid, m);
+  grew |= grow(db_ad, m);
+  if (grew) ++grow_count_;
+}
+
+void FistaWorkspace::ensure_debias(std::size_t m, std::size_t n) {
+  bool grew = false;
+  grew |= grow(db_mask, n);
+  grew |= grow(db_full, n);
+  grew |= grow(db_time, n);
+  grew |= grow(db_scr, n);
+  grew |= grow(db_g, n);
+  grew |= grow(db_dir, n);
+  grew |= grow(db_gnext, n);
+  grew |= grow(db_resid, m);
+  grew |= grow(db_ad, m);
+  if (grew) ++grow_count_;
+}
+
+void fista_solve_batch_into(const SensingMatrix& phi,
+                            std::span<const std::span<const double>> ys,
+                            const FistaConfig& cfg, FistaWorkspace& ws,
+                            std::span<FistaWindowOut> outs) {
   const std::size_t batch = ys.size();
-  std::vector<FistaResult> results(batch);
-  if (batch == 0) return results;
+  assert(outs.size() == batch);
+  if (batch == 0) return;
 
   const auto& k = kern::ops();
   const std::size_t n = phi.cols();
   const std::size_t m = phi.rows();
   const int levels = std::min(cfg.dwt_levels, dsp::dwt_max_levels(n));
+  const double lip = phi.lipschitz();
 
-  const double lip = lipschitz_of(phi);
+  ws.ensure(m, n, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    assert(ys[b].size() == m);
+    assert(outs[b].signal.size() == n);
+    outs[b].iterations_run = 0;
+  }
 
   // Windows interleave element-major: Y[r * batch + b] is measurement r of
   // window b.  Every kernel's per-window math is bit-identical across
   // batch widths (kern contract), so packing windows is purely an
   // execution-layout optimization — the matrix plan and the DWT filters
   // stream once per iteration for the whole batch.
-  std::vector<double> y_interleaved(m * batch);
   for (std::size_t b = 0; b < batch; ++b) {
-    assert(ys[b].size() == m);
-    for (std::size_t r = 0; r < m; ++r) y_interleaved[r * batch + b] = ys[b][r];
+    for (std::size_t r = 0; r < m; ++r) ws.y[r * batch + b] = ys[b][r];
   }
 
   // Per-window lambda from the worst-case correlation |A' y| (max is
   // order-free, so a plain strided scan matches the single-window path).
-  std::vector<double> buf_n(n * batch);
-  phi.apply_adjoint_batch(y_interleaved, batch, buf_n);
-  const auto aty = dsp::dwt_forward_batch(buf_n, batch, levels);
-  std::vector<double> tau(batch, 0.0);
+  phi.apply_adjoint_batch(std::span<const double>(ws.y.data(), m * batch), batch,
+                          std::span<double>(ws.buf_n.data(), n * batch));
+  dsp::dwt_forward_batch_into(std::span<const double>(ws.buf_n.data(), n * batch), batch,
+                              levels, std::span<double>(ws.aty.data(), n * batch),
+                              std::span<double>(ws.dwt_scr.data(), n * batch));
+  std::fill(ws.tau.begin(), ws.tau.begin() + static_cast<long>(batch), 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t b = 0; b < batch; ++b) {
-      tau[b] = std::max(tau[b], std::abs(aty[i * batch + b]));
+      ws.tau[b] = std::max(ws.tau[b], std::abs(ws.aty[i * batch + b]));
     }
   }
-  for (std::size_t b = 0; b < batch; ++b) tau[b] = cfg.lambda_rel * tau[b] / lip;
+  for (std::size_t b = 0; b < batch; ++b) ws.tau[b] = cfg.lambda_rel * ws.tau[b] / lip;
 
   // Active-lane state.  When a window converges, its iterate is extracted
   // and the lane is compacted away, so later iterations only pay for the
   // windows still running.  Every kernel's per-window math is independent
   // of the batch composition (the kern batch-width contract), so shrinking
   // the batch mid-solve cannot change any surviving window's bits.
-  std::vector<std::size_t> owner(batch);  // Lane -> original window index.
-  for (std::size_t b = 0; b < batch; ++b) owner[b] = b;
-  std::vector<double> y_cur = std::move(y_interleaved);  // Not read again.
-  std::vector<double> tau_cur = tau;
-  std::vector<double> a(n * batch, 0.0);  // Current iterates, lane-interleaved.
-  std::vector<double> z(n * batch, 0.0);  // Momentum points.
-  std::vector<double> a_prev;
-  std::vector<double> buf_m(m * batch);
-  std::vector<double> delta(batch, 0.0);
-  std::vector<double> scale(batch, 0.0);
-  std::vector<std::vector<double>> final_a(batch);  // Extracted iterates.
-  std::vector<std::size_t> kept;  // Reused per iteration: no per-iter alloc.
-  kept.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) ws.owner[b] = b;  // Lane -> window.
+  std::fill(ws.a.begin(), ws.a.begin() + static_cast<long>(n * batch), 0.0);
+  std::fill(ws.z.begin(), ws.z.begin() + static_cast<long>(n * batch), 0.0);
+  ws.kept.clear();  // Capacity >= batch: per-iteration push_back never allocates.
   std::size_t cur = batch;
   double t = 1.0;
 
   const auto extract_lane = [&](std::size_t lane) {
-    std::vector<double> ab(n);
-    for (std::size_t i = 0; i < n; ++i) ab[i] = a[i * cur + lane];
-    final_a[owner[lane]] = std::move(ab);
+    double* ab = ws.final_a.data() + ws.owner[lane] * n;
+    for (std::size_t i = 0; i < n; ++i) ab[i] = ws.a[i * cur + lane];
   };
 
   for (int it = 0; it < cfg.max_iterations && cur > 0; ++it) {
     // Gradient step at z: grad = A'(A z - y), a = soft(z - grad / L).
-    auto xz = dsp::dwt_inverse_batch(std::span<const double>(z.data(), n * cur), cur, levels);
-    phi.apply_batch(xz, cur, std::span<double>(buf_m.data(), m * cur));
-    k.axpy(-1.0, y_cur.data(), buf_m.data(), m * cur);
-    phi.apply_adjoint_batch(std::span<const double>(buf_m.data(), m * cur), cur,
-                            std::span<double>(buf_n.data(), n * cur));
-    const auto grad =
-        dsp::dwt_forward_batch(std::span<const double>(buf_n.data(), n * cur), cur, levels);
-    a_prev = a;
-    k.grad_step(z.data(), grad.data(), lip, a.data(), n * cur);
-    k.soft_threshold_batch(a.data(), n, cur, tau_cur.data());
+    dsp::dwt_inverse_batch_into(std::span<const double>(ws.z.data(), n * cur), cur, levels,
+                                std::span<double>(ws.xz.data(), n * cur),
+                                std::span<double>(ws.dwt_scr.data(), n * cur));
+    phi.apply_batch(std::span<const double>(ws.xz.data(), n * cur), cur,
+                    std::span<double>(ws.buf_m.data(), m * cur));
+    k.axpy(-1.0, ws.y.data(), ws.buf_m.data(), m * cur);
+    phi.apply_adjoint_batch(std::span<const double>(ws.buf_m.data(), m * cur), cur,
+                            std::span<double>(ws.buf_n.data(), n * cur));
+    dsp::dwt_forward_batch_into(std::span<const double>(ws.buf_n.data(), n * cur), cur,
+                                levels, std::span<double>(ws.grad.data(), n * cur),
+                                std::span<double>(ws.dwt_scr.data(), n * cur));
+    std::copy(ws.a.begin(), ws.a.begin() + static_cast<long>(n * cur), ws.a_prev.begin());
+    k.grad_step(ws.z.data(), ws.grad.data(), lip, ws.a.data(), n * cur);
+    k.soft_threshold_batch(ws.a.data(), n, cur, ws.tau.data());
 
     const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
     const double beta = (t - 1.0) / t_next;
-    k.momentum_batch(a.data(), a_prev.data(), z.data(), beta, n, cur, delta.data(),
-                     scale.data());
+    k.momentum_batch(ws.a.data(), ws.a_prev.data(), ws.z.data(), beta, n, cur,
+                     ws.delta.data(), ws.scale.data());
     t = t_next;
 
-    kept.clear();
+    ws.kept.clear();
     for (std::size_t lane = 0; lane < cur; ++lane) {
-      results[owner[lane]].iterations_run = it + 1;
-      if (std::sqrt(delta[lane] / (1e-12 + scale[lane])) < cfg.tolerance) {
+      outs[ws.owner[lane]].iterations_run = it + 1;
+      if (std::sqrt(ws.delta[lane] / (1e-12 + ws.scale[lane])) < cfg.tolerance) {
         extract_lane(lane);  // Converged: this window's solve ends here.
       } else {
-        kept.push_back(lane);
+        ws.kept.push_back(lane);
       }
     }
-    if (kept.size() < cur) {
-      // Compact the surviving lanes (exact copies, no arithmetic).
-      const std::size_t next = kept.size();
-      std::vector<double> a2(n * next);
-      std::vector<double> z2(n * next);
-      std::vector<double> y2(m * next);
-      std::vector<double> tau2(next);
-      std::vector<std::size_t> owner2(next);
+    if (ws.kept.size() < cur) {
+      // Compact the surviving lanes (exact copies, no arithmetic); the
+      // shadow buffers swap in, so no allocation either.
+      const std::size_t next = ws.kept.size();
       for (std::size_t j = 0; j < next; ++j) {
-        const std::size_t lane = kept[j];
+        const std::size_t lane = ws.kept[j];
         for (std::size_t i = 0; i < n; ++i) {
-          a2[i * next + j] = a[i * cur + lane];
-          z2[i * next + j] = z[i * cur + lane];
+          ws.a2[i * next + j] = ws.a[i * cur + lane];
+          ws.z2[i * next + j] = ws.z[i * cur + lane];
         }
-        for (std::size_t r = 0; r < m; ++r) y2[r * next + j] = y_cur[r * cur + lane];
-        tau2[j] = tau_cur[lane];
-        owner2[j] = owner[lane];
+        for (std::size_t r = 0; r < m; ++r) ws.y2[r * next + j] = ws.y[r * cur + lane];
+        ws.tau2[j] = ws.tau[lane];
+        ws.owner2[j] = ws.owner[lane];
       }
-      a = std::move(a2);
-      z = std::move(z2);
-      y_cur = std::move(y2);
-      tau_cur = std::move(tau2);
-      owner = std::move(owner2);
+      std::swap(ws.a, ws.a2);
+      std::swap(ws.z, ws.z2);
+      std::swap(ws.y, ws.y2);
+      std::swap(ws.tau, ws.tau2);
+      std::swap(ws.owner, ws.owner2);
       cur = next;
     }
   }
@@ -210,10 +256,34 @@ std::vector<FistaResult> fista_solve_batch(const SensingMatrix& phi,
   for (std::size_t b = 0; b < batch; ++b) {
     // Every lane was extracted above — at convergence, or by the post-loop
     // sweep (which covers max_iterations == 0 with the zero iterate too).
-    auto ab = std::move(final_a[b]);
-    if (cfg.debias) debias_on_support(phi, levels, ys[b], ab, cfg.debias_iterations);
-    results[b].signal = dsp::dwt_inverse(ab, levels);
-    results[b].coefficients = std::move(ab);
+    const std::span<double> ab(ws.final_a.data() + b * n, n);
+    if (cfg.debias) debias_on_support_ws(phi, levels, ys[b], ab, cfg.debias_iterations, ws);
+    dsp::dwt_inverse_into(ab, levels, outs[b].signal,
+                          std::span<double>(ws.dwt_scr.data(), n));
+  }
+}
+
+std::vector<FistaResult> fista_solve_batch(const SensingMatrix& phi,
+                                           std::span<const std::vector<double>> ys,
+                                           const FistaConfig& cfg) {
+  const std::size_t batch = ys.size();
+  std::vector<FistaResult> results(batch);
+  if (batch == 0) return results;
+  const std::size_t n = phi.cols();
+
+  FistaWorkspace ws;
+  std::vector<std::span<const double>> views(batch);
+  std::vector<FistaWindowOut> outs(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    views[b] = std::span<const double>(ys[b].data(), ys[b].size());
+    results[b].signal.resize(n);
+    outs[b].signal = std::span<double>(results[b].signal.data(), n);
+  }
+  fista_solve_batch_into(phi, views, cfg, ws, outs);
+  for (std::size_t b = 0; b < batch; ++b) {
+    results[b].iterations_run = outs[b].iterations_run;
+    results[b].coefficients.assign(ws.final_a.begin() + static_cast<long>(b * n),
+                                   ws.final_a.begin() + static_cast<long>((b + 1) * n));
   }
   return results;
 }
@@ -244,7 +314,7 @@ GroupFistaResult group_fista_reconstruct_multi(std::span<const SensingMatrix> ph
   assert(num_leads > 0);
 
   double lip = 1.0;
-  for (const auto& phi : phis) lip = std::max(lip, lipschitz_of(phi));
+  for (const auto& phi : phis) lip = std::max(lip, phi.lipschitz());
 
   // lambda from the worst lead's correlation (keeps all leads active).
   double max_abs = 0.0;

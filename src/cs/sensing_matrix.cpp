@@ -80,6 +80,26 @@ void SensingMatrix::build_plans() {
     }
   }
   apply_plan_ = kern::build_spmv_plan(n_, rows);
+
+  // Power iteration for the Lipschitz constant, cached so solves never
+  // recompute it.  Arithmetic (and thus bits) matches the historical
+  // per-solve loop exactly: w = Phi'(Phi v), lambda = ||w||, v = w / lambda,
+  // 40 rounds from the all-ones start.  Backend-independent by the kern
+  // parity contract.
+  const auto& k = kern::ops();
+  std::vector<double> v(n_, 1.0);
+  std::vector<double> wm(m_);
+  std::vector<double> wn(n_);
+  double lambda = 1.0;
+  lipschitz_ = 1.0;
+  for (int it = 0; it < 40; ++it) {
+    k.spmv(apply_plan_, v.data(), wm.data());
+    k.spmv(adjoint_plan_, wm.data(), wn.data());
+    lambda = std::sqrt(k.nrm2_sq(wn.data(), n_));
+    if (lambda <= 0.0) return;  // Degenerate: keep lipschitz_ = 1.0.
+    for (std::size_t i = 0; i < n_; ++i) v[i] = wn[i] / lambda;
+  }
+  lipschitz_ = std::max(lambda, 1e-9);
 }
 
 std::vector<std::int64_t> SensingMatrix::encode(std::span<const std::int32_t> x,
@@ -118,6 +138,16 @@ std::vector<double> SensingMatrix::apply_adjoint(std::span<const double> y) cons
   std::vector<double> x(n_);
   kern::ops().spmv(adjoint_plan_, y.data(), x.data());
   return x;
+}
+
+void SensingMatrix::apply_into(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == n_ && y.size() == m_);
+  kern::ops().spmv(apply_plan_, x.data(), y.data());
+}
+
+void SensingMatrix::apply_adjoint_into(std::span<const double> y, std::span<double> x) const {
+  assert(y.size() == m_ && x.size() == n_);
+  kern::ops().spmv(adjoint_plan_, y.data(), x.data());
 }
 
 void SensingMatrix::apply_batch(std::span<const double> x, std::size_t batch,

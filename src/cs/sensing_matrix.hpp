@@ -44,6 +44,17 @@ class SensingMatrix {
   std::vector<double> apply(std::span<const double> x) const;
   std::vector<double> apply_adjoint(std::span<const double> y) const;
 
+  /// Allocation-free variants writing into caller-owned buffers
+  /// (y.size() == rows(), x.size() == cols()).
+  void apply_into(std::span<const double> x, std::span<double> y) const;
+  void apply_adjoint_into(std::span<const double> y, std::span<double> x) const;
+
+  /// Lipschitz constant of the composed operator's gradient (largest
+  /// squared singular value, 40 power iterations) — computed once at
+  /// construction so solves never pay for it.  Bit-identical to the
+  /// historical per-solve power iteration: same kernels, same order.
+  double lipschitz() const { return lipschitz_; }
+
   /// Batched apply over `batch` windows interleaved element-major
   /// (x[i * batch + b] is element i of window b; y laid out the same
   /// way).  Matrix data streams once across the whole batch.
@@ -73,6 +84,7 @@ class SensingMatrix {
   std::vector<std::uint32_t> col_start_;  ///< n_+1 offsets into entries_.
   std::vector<Entry> entries_;
   bool has_negative_ = false;
+  double lipschitz_ = 1.0;       ///< Cached by build_plans().
   kern::SpmvPlan apply_plan_;    ///< Row-major packing (outputs = rows).
   kern::SpmvPlan adjoint_plan_;  ///< Column-major packing (outputs = cols).
 };

@@ -76,69 +76,97 @@ int dwt_max_levels(std::size_t n) {
 // arithmetic — and thus the bits — comes from the runtime-dispatched
 // backend, identical across scalar/AVX2 and batch widths.
 
-std::vector<double> dwt_forward(std::span<const double> x, int levels) {
+void dwt_forward_into(std::span<const double> x, int levels, std::span<double> out,
+                      std::span<double> scratch) {
   assert(levels >= 0 && levels <= dwt_max_levels(x.size()));
+  assert(out.size() >= x.size() && scratch.size() >= x.size());
   const auto& k = kern::ops();
-  std::vector<double> coeffs(x.begin(), x.end());
-  std::vector<double> buf(x.size());
+  std::copy(x.begin(), x.end(), out.begin());
   std::size_t len = x.size();
   for (int level = 0; level < levels; ++level) {
     const std::size_t half = len / 2;
-    k.dwt_step(coeffs.data(), len, buf.data(), buf.data() + half);
-    std::copy(buf.begin(), buf.begin() + static_cast<long>(len), coeffs.begin());
+    k.dwt_step(out.data(), len, scratch.data(), scratch.data() + half);
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(len), out.begin());
     len = half;
   }
+}
+
+void dwt_inverse_into(std::span<const double> coeffs, int levels, std::span<double> out,
+                      std::span<double> scratch) {
+  assert(levels >= 0 && levels <= dwt_max_levels(coeffs.size()));
+  assert(out.size() >= coeffs.size() && scratch.size() >= coeffs.size());
+  const auto& k = kern::ops();
+  std::copy(coeffs.begin(), coeffs.end(), out.begin());
+  std::size_t len = coeffs.size() >> levels;
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t full = 2 * len;
+    k.idwt_step(out.data(), out.data() + len, len, scratch.data());
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(full), out.begin());
+    len = full;
+  }
+}
+
+std::vector<double> dwt_forward(std::span<const double> x, int levels) {
+  std::vector<double> coeffs(x.size());
+  std::vector<double> buf(x.size());
+  dwt_forward_into(x, levels, coeffs, buf);
   return coeffs;
 }
 
 std::vector<double> dwt_inverse(std::span<const double> coeffs, int levels) {
-  assert(levels >= 0 && levels <= dwt_max_levels(coeffs.size()));
-  const auto& k = kern::ops();
-  std::vector<double> x(coeffs.begin(), coeffs.end());
+  std::vector<double> x(coeffs.size());
   std::vector<double> buf(coeffs.size());
-  std::size_t len = coeffs.size() >> levels;
+  dwt_inverse_into(coeffs, levels, x, buf);
+  return x;
+}
+
+void dwt_forward_batch_into(std::span<const double> x, std::size_t batch, int levels,
+                            std::span<double> out, std::span<double> scratch) {
+  assert(batch > 0 && x.size() % batch == 0);
+  const std::size_t n = x.size() / batch;
+  assert(levels >= 0 && levels <= dwt_max_levels(n));
+  assert(out.size() >= x.size() && scratch.size() >= x.size());
+  const auto& k = kern::ops();
+  std::copy(x.begin(), x.end(), out.begin());
+  std::size_t len = n;
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t half = len / 2;
+    k.dwt_step_batch(out.data(), len, batch, scratch.data(), scratch.data() + half * batch);
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(len * batch), out.begin());
+    len = half;
+  }
+}
+
+void dwt_inverse_batch_into(std::span<const double> coeffs, std::size_t batch, int levels,
+                            std::span<double> out, std::span<double> scratch) {
+  assert(batch > 0 && coeffs.size() % batch == 0);
+  const std::size_t n = coeffs.size() / batch;
+  assert(levels >= 0 && levels <= dwt_max_levels(n));
+  assert(out.size() >= coeffs.size() && scratch.size() >= coeffs.size());
+  const auto& k = kern::ops();
+  std::copy(coeffs.begin(), coeffs.end(), out.begin());
+  std::size_t len = n >> levels;
   for (int level = 0; level < levels; ++level) {
     const std::size_t full = 2 * len;
-    k.idwt_step(x.data(), x.data() + len, len, buf.data());
-    std::copy(buf.begin(), buf.begin() + static_cast<long>(full), x.begin());
+    k.idwt_step_batch(out.data(), out.data() + len * batch, len, batch, scratch.data());
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(full * batch), out.begin());
     len = full;
   }
-  return x;
 }
 
 std::vector<double> dwt_forward_batch(std::span<const double> x, std::size_t batch,
                                       int levels) {
-  assert(batch > 0 && x.size() % batch == 0);
-  const std::size_t n = x.size() / batch;
-  assert(levels >= 0 && levels <= dwt_max_levels(n));
-  const auto& k = kern::ops();
-  std::vector<double> coeffs(x.begin(), x.end());
+  std::vector<double> coeffs(x.size());
   std::vector<double> buf(x.size());
-  std::size_t len = n;
-  for (int level = 0; level < levels; ++level) {
-    const std::size_t half = len / 2;
-    k.dwt_step_batch(coeffs.data(), len, batch, buf.data(), buf.data() + half * batch);
-    std::copy(buf.begin(), buf.begin() + static_cast<long>(len * batch), coeffs.begin());
-    len = half;
-  }
+  dwt_forward_batch_into(x, batch, levels, coeffs, buf);
   return coeffs;
 }
 
 std::vector<double> dwt_inverse_batch(std::span<const double> coeffs, std::size_t batch,
                                       int levels) {
-  assert(batch > 0 && coeffs.size() % batch == 0);
-  const std::size_t n = coeffs.size() / batch;
-  assert(levels >= 0 && levels <= dwt_max_levels(n));
-  const auto& k = kern::ops();
-  std::vector<double> x(coeffs.begin(), coeffs.end());
+  std::vector<double> x(coeffs.size());
   std::vector<double> buf(coeffs.size());
-  std::size_t len = n >> levels;
-  for (int level = 0; level < levels; ++level) {
-    const std::size_t full = 2 * len;
-    k.idwt_step_batch(x.data(), x.data() + len * batch, len, batch, buf.data());
-    std::copy(buf.begin(), buf.begin() + static_cast<long>(full * batch), x.begin());
-    len = full;
-  }
+  dwt_inverse_batch_into(coeffs, batch, levels, x, buf);
   return x;
 }
 

@@ -1,0 +1,31 @@
+// Process-wide heap-allocation counter for the zero-alloc gate.
+//
+// Built with -DWBSN_ALLOC_COUNTER=ON, alloc_meter.cpp replaces every
+// global operator new/delete variant with a forwarding shim that bumps a
+// relaxed atomic before malloc/free.  The alloc-gate CI job and the
+// alloc_smoke bench read the counter around a steady-state streaming
+// window and fail when allocations/window > 0 — turning the hot path's
+// zero-allocation property from an anecdote into an enforced invariant.
+//
+// Off (the default), these accessors are constant-folded stubs: zero
+// overhead, zero uncovered lines, and no interference with ASan/TSan
+// (which interpose the same symbols; CMake refuses the combination).
+#pragma once
+
+#include <cstdint>
+
+namespace wbsn::host {
+
+#if defined(WBSN_ALLOC_COUNTER)
+/// Total global operator-new calls (all variants) since process start.
+std::uint64_t alloc_count() noexcept;
+/// Total global operator-delete calls on non-null pointers.
+std::uint64_t dealloc_count() noexcept;
+inline constexpr bool alloc_counter_enabled() noexcept { return true; }
+#else
+inline std::uint64_t alloc_count() noexcept { return 0; }
+inline std::uint64_t dealloc_count() noexcept { return 0; }
+inline constexpr bool alloc_counter_enabled() noexcept { return false; }
+#endif
+
+}  // namespace wbsn::host

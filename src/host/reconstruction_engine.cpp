@@ -22,7 +22,13 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 ReconstructionEngine::ReconstructionEngine(EngineConfig cfg)
-    : cfg_(cfg), capacity_(std::max<std::size_t>(1, cfg.queue_capacity)), slo_(cfg.slo) {
+    : cfg_(cfg),
+      capacity_(std::max<std::size_t>(1, cfg.queue_capacity)),
+      // 2x the in-flight bound: queued windows plus a same-sized tranche
+      // parked in the completion list all recycle without a miss.
+      item_pool_(2 * std::max<std::size_t>(1, cfg.queue_capacity)),
+      slo_(cfg.slo) {
+  pending_sweep_threshold_ = std::max<std::size_t>(1024, 4 * capacity_);
   for (auto& tracker : lane_slo_) tracker.configure(cfg_.slo);
   const int threads = std::max(0, cfg_.threads);
   workers_.reserve(static_cast<std::size_t>(threads));
@@ -38,10 +44,37 @@ ReconstructionEngine::~ReconstructionEngine() {
   }
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
-  // Unsolved items still queued are abandoned with the engine (workers are
-  // gone); unretrieved results in done_ free themselves.
+  // Unsolved items still queued and unretrieved completions are abandoned
+  // with the engine (workers are gone; deleting bypasses item_pool_, whose
+  // destructor frees only its own freelist).  Their payload buffers die
+  // with them rather than returning to a shared pool — by design: the pool
+  // replenishes through misses, it never double-frees.
   WorkItem* item = nullptr;
   while (queue_.try_pop(item)) delete item;
+  WorkItem* node = done_head_;
+  while (node != nullptr) {
+    WorkItem* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void ReconstructionEngine::release_window_payload(CompressedWindow& window) {
+  if (cfg_.payload_pool != nullptr) {
+    cfg_.payload_pool->recycle(std::move(window));
+  } else {
+    window.measurements = std::vector<double>{};
+    window.reference = std::vector<double>{};
+  }
+}
+
+void ReconstructionEngine::recycle_item(WorkItem* item) {
+  item->window = CompressedWindow{};
+  item->phi.reset();
+  item->patient_slo.reset();
+  item->result = WindowResult{};
+  item->next = nullptr;
+  item_pool_.recycle(item);
 }
 
 void ReconstructionEngine::worker_loop() {
@@ -177,13 +210,23 @@ std::vector<PatientSlo> ReconstructionEngine::patient_slo_snapshots() const {
 }
 
 void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
+  // Per-worker solve scratch, reused across batches: the FISTA arena plus
+  // the grouping/view vectors below.  thread_local (not per-call) is what
+  // makes the steady-state solve allocation-free — and sharing one arena
+  // across engines on the same thread (serial mode, fabric shards) only
+  // widens its high-water mark.
+  static thread_local std::vector<WorkItem*> group;
+  static thread_local std::vector<WorkItem*> foreign;
+  static thread_local std::vector<std::span<const double>> views;
+  static thread_local std::vector<cs::FistaWindowOut> outs;
+  static thread_local cs::FistaWorkspace workspace;
+
   // Keep the same-matrix group containing the oldest popped item; requeue
   // the rest for other workers.  Different shared_ptr instances of the
   // same key are possible across evictions; grouping by object is
   // sufficient — and necessary, since a batched solve streams one plan.
-  std::vector<WorkItem*> group;
-  std::vector<WorkItem*> foreign;
-  group.reserve(items.size());
+  group.clear();
+  foreign.clear();
   for (WorkItem* item : items) {
     if (item->phi == items.front()->phi) {
       group.push_back(item);
@@ -204,17 +247,27 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     work_cv_.notify_all();
   }
 
-  const auto t0 = Clock::now();
-  std::vector<cs::FistaResult> solved;
-  if (group.size() == 1) {
-    solved.push_back(cs::fista_reconstruct(*group.front()->phi,
-                                           group.front()->window.measurements, cfg_.fista));
-  } else {
-    std::vector<std::vector<double>> ys;
-    ys.reserve(group.size());
-    for (const WorkItem* item : group) ys.push_back(item->window.measurements);
-    solved = cs::fista_solve_batch(*group.front()->phi, ys, cfg_.fista);
+  // Measurements are *borrowed* from the queued windows (no copies — the
+  // buffers travel by move from the producer through the queue to here),
+  // and each window's signal lands directly in its result buffer, drawn
+  // from the payload pool when one is configured.
+  const std::size_t n = group.front()->window.window_samples;
+  views.clear();
+  outs.clear();
+  for (WorkItem* item : group) {
+    views.emplace_back(item->window.measurements.data(), item->window.measurements.size());
+    WindowResult& result = item->result;
+    if (cfg_.payload_pool != nullptr) result.signal = cfg_.payload_pool->acquire_signal();
+    result.signal.resize(n);
+    outs.push_back(cs::FistaWindowOut{
+        std::span<double>(result.signal.data(), result.signal.size()), 0});
   }
+
+  const auto t0 = Clock::now();
+  cs::fista_solve_batch_into(
+      *group.front()->phi,
+      std::span<const std::span<const double>>(views.data(), views.size()), cfg_.fista,
+      workspace, std::span<cs::FistaWindowOut>(outs.data(), outs.size()));
   const auto t1 = Clock::now();
   const double solve_ms = ms_between(t0, t1);
 
@@ -226,12 +279,10 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   ewma_solve_us_.store(prev_us == 0 ? sample_us : (prev_us * 7 + sample_us) / 8,
                        std::memory_order_relaxed);
 
-  std::vector<DoneItem> results;
-  results.reserve(group.size());
   for (std::size_t s = 0; s < group.size(); ++s) {
     WorkItem* item = group[s];
     const CompressedWindow& window = item->window;
-    WindowResult result;
+    WindowResult& result = item->result;
     result.patient_id = window.patient_id;
     result.window_index = window.window_index;
     result.priority = window.priority;
@@ -239,24 +290,35 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     result.ticket = item->ticket;
     result.latency_ms = solve_ms;  // Whole-group solve wall time.
     result.e2e_ms = ms_between(item->enqueue_time, t1);
-    result.iterations = solved[s].iterations_run;
-    result.signal = std::move(solved[s].signal);
+    result.iterations = outs[s].iterations_run;
     result.snr_db = window.reference.empty()
                         ? std::numeric_limits<double>::quiet_NaN()
                         : cs::reconstruction_snr_db(window.reference, result.signal);
     slo_.on_complete(result.e2e_ms);
     lane_slo_[lane_index(window.priority)].on_complete(result.e2e_ms);
     if (item->patient_slo != nullptr) item->patient_slo->on_complete(result.e2e_ms);
-    results.push_back(DoneItem{std::move(result), item->patient_slo});
+    // The solve is done with the payload: the buffers go back to the pool
+    // now (not at poll) so the producer's next acquire hits.  The matrix
+    // reference drops with them — the node parks in done_ holding neither.
+    release_window_payload(item->window);
+    item->phi.reset();
   }
   {
     std::lock_guard<std::mutex> lk(done_mutex_);
-    for (auto& result : results) done_.push_back(std::move(result));
+    for (WorkItem* item : group) {
+      item->next = nullptr;
+      if (done_tail_ != nullptr) {
+        done_tail_->next = item;
+      } else {
+        done_head_ = item;
+      }
+      done_tail_ = item;
+      ++done_count_;
+    }
   }
   // Completions are recorded and published; only now may a drain_patient()
   // waiter observe the patient as quiesced.
   retire_pending(group);
-  for (WorkItem* item : group) delete item;
   // Publish the results strictly before the slot release: any thread that
   // observes in_flight_ == 0 (acquire) is guaranteed to find every result
   // already in done_.
@@ -270,7 +332,16 @@ void ReconstructionEngine::retire_pending(const std::vector<WorkItem*>& items) {
     for (const WorkItem* item : items) {
       const auto found = patient_pending_.find(item->window.patient_id);
       if (found == patient_pending_.end()) continue;
-      if (--found->second == 0) patient_pending_.erase(found);
+      // Zero entries stay in the map: erasing here would make the next
+      // submit of the same patient pay a map-node allocation, forever.
+      --found->second;
+    }
+    // Id churn bound: only when the retained zeros have grown the map well
+    // past the in-flight capacity, sweep them (erase-only — no allocation).
+    if (patient_pending_.size() > pending_sweep_threshold_) {
+      for (auto it = patient_pending_.begin(); it != patient_pending_.end();) {
+        it = it->second == 0 ? patient_pending_.erase(it) : std::next(it);
+      }
     }
   }
   pending_cv_.notify_all();
@@ -278,7 +349,7 @@ void ReconstructionEngine::retire_pending(const std::vector<WorkItem*>& items) {
 
 std::size_t ReconstructionEngine::ready_results() const {
   std::lock_guard<std::mutex> lk(done_mutex_);
-  return done_.size();
+  return done_count_;
 }
 
 std::size_t ReconstructionEngine::patient_pending(std::uint32_t patient_id) const {
@@ -292,7 +363,8 @@ void ReconstructionEngine::drain_patient(std::uint32_t patient_id) {
     {
       std::unique_lock<std::mutex> lk(pending_mutex_);
       const auto quiesced = [this, patient_id] {
-        return patient_pending_.find(patient_id) == patient_pending_.end();
+        const auto found = patient_pending_.find(patient_id);
+        return found == patient_pending_.end() || found->second == 0;
       };
       if (quiesced()) return;
       if (!workers_.empty()) {
@@ -350,7 +422,10 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
   lane_slo_[lane_index(item->window.priority)].on_shed(urgent);
   if (item->patient_slo != nullptr) item->patient_slo->on_shed(urgent);
   retire_pending({item});
-  delete item;
+  // A shed window's payload goes back to the pool like a solved one's —
+  // shedding under overload must not bleed the pool dry.
+  release_window_payload(item->window);
+  recycle_item(item);
   return true;  // The victim's in-flight reservation passes to the arrival.
 }
 
@@ -374,7 +449,9 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
     return std::nullopt;
   }
 
-  auto item = std::make_unique<WorkItem>();
+  // Node from the freelist; the window's buffers MOVE in (the producer's
+  // pooled buffers travel untouched through the queue to the solver).
+  WorkItem* item = item_pool_.acquire();
   item->phi = prepare_matrix(window);
   item->window = std::move(window);
   item->patient_slo = patient_tracker(item->window.patient_id);
@@ -392,7 +469,7 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
     std::lock_guard<std::mutex> lk(pending_mutex_);
     ++patient_pending_[item->window.patient_id];
   }
-  queue_.push(item.release(), urgent);
+  queue_.push(item, urgent);
 
   if (!workers_.empty()) {
     {
@@ -426,7 +503,10 @@ std::uint64_t ReconstructionEngine::submit(CompressedWindow window) {
 bool ReconstructionEngine::help_some() {
   WorkItem* item = nullptr;
   if (!queue_.try_pop(item)) return false;
-  std::vector<WorkItem*> items{item};
+  // thread_local so serial-mode polling stays allocation-free after warmup.
+  static thread_local std::vector<WorkItem*> items;
+  items.clear();
+  items.push_back(item);
   pop_batch(items);
   process_batch(items);
   return true;
@@ -434,17 +514,27 @@ bool ReconstructionEngine::help_some() {
 
 std::optional<WindowResult> ReconstructionEngine::poll() {
   for (;;) {
+    WorkItem* node = nullptr;
     {
       std::lock_guard<std::mutex> lk(done_mutex_);
-      if (!done_.empty()) {
-        DoneItem done = std::move(done_.front());
-        done_.pop_front();
+      if (done_head_ != nullptr) {
+        node = done_head_;
+        done_head_ = node->next;
+        if (done_head_ == nullptr) done_tail_ = nullptr;
+        --done_count_;
         slo_.on_retrieve();
-        lane_slo_[lane_index(done.result.priority)].on_retrieve();
+        lane_slo_[lane_index(node->result.priority)].on_retrieve();
         // Resolved at submit and engine-lifetime stable: no map, no lock.
-        if (done.patient_slo != nullptr) done.patient_slo->on_retrieve();
-        return std::optional<WindowResult>{std::move(done.result)};
+        if (node->patient_slo != nullptr) node->patient_slo->on_retrieve();
       }
+    }
+    if (node != nullptr) {
+      // The signal buffer moves out to the caller (who may recycle it into
+      // the payload pool after use); the node itself goes back on the
+      // freelist.
+      WindowResult out = std::move(node->result);
+      recycle_item(node);
+      return std::optional<WindowResult>{std::move(out)};
     }
     // Serial reference mode: the calling thread is the solver.  Loop (not
     // recurse) because a concurrent poller may steal the result we solved.
@@ -472,7 +562,7 @@ std::vector<WindowResult> ReconstructionEngine::drain() {
     }
     std::unique_lock<std::mutex> lk(done_mutex_);
     done_cv_.wait(lk, [this] {
-      return in_flight_.load(std::memory_order_acquire) == 0 || !done_.empty();
+      return in_flight_.load(std::memory_order_acquire) == 0 || done_count_ != 0;
     });
   }
 }

@@ -56,7 +56,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <list>
 #include <map>
 #include <memory>
@@ -71,6 +70,7 @@
 #include "cs/fista.hpp"
 #include "cs/pipeline.hpp"
 #include "cs/sensing_matrix.hpp"
+#include "host/payload_pool.hpp"
 #include "host/slo_tracker.hpp"
 #include "host/work_queue.hpp"
 #include "sig/adc.hpp"
@@ -189,6 +189,15 @@ struct EngineConfig {
   /// untracked in the breakdown; the engine-wide tracker still counts
   /// them.  0 = unbounded.
   std::size_t max_tracked_patients = 4096;
+  /// Shared payload pool (payload_pool.hpp).  When set, the engine recycles
+  /// every consumed window's measurement/reference buffers back into it
+  /// after the solve and draws result-signal buffers from it before the
+  /// solve, making the steady-state submit->solve->poll cycle
+  /// allocation-free end to end (producers acquire_window() from the same
+  /// pool; consumers recycle polled results into it).  Shared_ptr so one
+  /// pool spans producers, engines, and every shard the fabric builds
+  /// across resize() epochs.  Null (the default) keeps plain allocation.
+  std::shared_ptr<PayloadPool> payload_pool;
   cs::FistaConfig fista{};
   SloConfig slo{};
 };
@@ -322,6 +331,10 @@ class ReconstructionEngine {
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
  private:
+  /// One window's node for its whole life inside the engine: queued work
+  /// entry first, then (same allocation) completion-list node — `result`
+  /// is filled in place by the solve and `next` links it into done_.
+  /// Nodes cycle through item_pool_, so steady state news nothing.
   struct WorkItem {
     CompressedWindow window;
     /// Shared ownership: an LRU eviction of the cache entry must not
@@ -334,6 +347,8 @@ class ReconstructionEngine {
     std::shared_ptr<SloTracker> patient_slo;
     std::uint64_t ticket = 0;
     std::chrono::steady_clock::time_point enqueue_time{};
+    WindowResult result;
+    WorkItem* next = nullptr;  ///< Intrusive completion-list link.
   };
 
   static std::size_t lane_index(cs::WindowPriority priority) {
@@ -378,10 +393,20 @@ class ReconstructionEngine {
   /// Decrements the per-patient pending count for each item's patient and
   /// wakes drain_patient() waiters.
   void retire_pending(const std::vector<WorkItem*>& items);
+  /// Returns a window's payload buffers to the payload pool (or frees
+  /// them when no pool is configured).  Metadata fields are left alone.
+  void release_window_payload(CompressedWindow& window);
+  /// Resets a node's state and returns it to item_pool_.  Payload buffers
+  /// must already be released (the pool must not collect empty shells).
+  void recycle_item(WorkItem* item);
 
   EngineConfig cfg_;
   std::size_t capacity_ = 1;           ///< max(1, cfg_.queue_capacity).
   TwoLaneWorkQueue<WorkItem*> queue_;  ///< Pending (unsolved) windows, two lanes.
+  /// WorkItem freelist.  Sized past the in-flight bound so nodes parked in
+  /// the completion list also recycle; a deeper unpolled backlog degrades
+  /// to plain allocation instead of growing the pool.
+  ObjectPool<WorkItem> item_pool_;
   std::vector<std::thread> workers_;
   SloTracker slo_;
   SloTracker lane_slo_[cs::kPriorityLanes];  ///< [0]=routine, [1]=urgent.
@@ -409,11 +434,14 @@ class ReconstructionEngine {
   std::map<std::uint32_t, std::shared_ptr<SloTracker>> patient_slo_;
 
   // Per-patient in-flight (unsolved) window counts, feeding the
-  // drain_patient() reshard hook.  Entries are erased at zero, so the map
-  // is bounded by the in-flight capacity, not the fleet size.
+  // drain_patient() reshard hook.  Zero entries are retained (erasing and
+  // re-inserting would cost a map-node allocation per window for a stable
+  // fleet); a sweep evicts them only if patient-id churn grows the map
+  // past pending_sweep_threshold_.
   mutable std::mutex pending_mutex_;
   std::condition_variable pending_cv_;  ///< drain_patient() waits here.
   std::unordered_map<std::uint32_t, std::size_t> patient_pending_;
+  std::size_t pending_sweep_threshold_ = 0;  ///< Set from capacity_ at construction.
 
   std::mutex batch_mutex_;  ///< Serializes reconstruct() calls.
 
@@ -423,16 +451,17 @@ class ReconstructionEngine {
   /// Completed results, in completion order, until poll()/drain() takes
   /// them.  Unbounded by design: completion must never block on a slow
   /// retriever, so the admission gate only covers the unsolved backlog.
-  /// Each entry carries the window's per-patient tracker (resolved at
-  /// submit, engine-lifetime stable) so poll()'s retrieve accounting
-  /// needs no map lookup and no second lock.
-  struct DoneItem {
-    WindowResult result;
-    std::shared_ptr<SloTracker> patient_slo;
-  };
+  /// An intrusive singly-linked list of the windows' own WorkItem nodes
+  /// (WorkItem::next): publication is a pointer splice, retrieval returns
+  /// the node to item_pool_ — no container, no per-completion allocation.
+  /// Each node still carries its per-patient tracker (resolved at submit,
+  /// engine-lifetime stable) so poll()'s retrieve accounting needs no map
+  /// lookup and no second lock.
   mutable std::mutex done_mutex_;    ///< mutable: ready_results() is const.
   std::condition_variable done_cv_;  ///< drain()/submit() wait here.
-  std::deque<DoneItem> done_;
+  WorkItem* done_head_ = nullptr;
+  WorkItem* done_tail_ = nullptr;
+  std::size_t done_count_ = 0;
 
   /// Submitted but not yet solved.  The admission reservation happens here
   /// (CAS against in_flight_capacity()), which is what guarantees the

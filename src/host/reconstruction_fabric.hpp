@@ -91,6 +91,10 @@ struct FabricConfig {
   int vnodes_per_shard = 64;
   /// Per-shard engine configuration.  `threads` is the worker count of
   /// EACH shard, so the fabric runs shards * threads workers in total.
+  /// `engine.payload_pool` (when set) is shared by every shard — including
+  /// engines constructed by later resize() epochs, which inherit the same
+  /// shared_ptr through this config — so pooled buffers keep recycling
+  /// across the fabric's whole elastic lifetime.
   EngineConfig engine{};
 };
 
