@@ -1,0 +1,214 @@
+// Cross-machine fabric loopback throughput: RoutingClient -> N in-process
+// ShardServers over real TCP sockets on 127.0.0.1.  Measures the wire
+// path end to end — wbsn-wire encode, kernel socket round trip, decode
+// into pooled buffers, solve, result frame back — and reports windows/s,
+// per-window wire bytes in each direction, and the same bit-exactness
+// check against the serial in-process reference that every fabric bench
+// carries.  The delta between this and host_throughput at equal thread
+// counts is the price of the process boundary.
+//
+// Usage: net_loopback [patients] [beats_per_patient] [cr_percent]
+//                     [--shards N] [--threads N] [--no-fixed]
+//
+// --threads is each shard's worker count.  --no-fixed disables the
+// fixed-point measurement coding (fixed_scale = 0) to measure how much
+// the compact coding buys on the submit path.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cs/pipeline.hpp"
+#include "host/payload_pool.hpp"
+#include "net/routing_client.hpp"
+#include "net/shard_server.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace {
+
+using namespace wbsn;
+using Clock = std::chrono::steady_clock;
+
+std::vector<host::CompressedWindow> make_fleet_batch(int patients,
+                                                     int beats_per_patient,
+                                                     double cr_percent) {
+  std::vector<host::CompressedWindow> batch;
+  for (int p = 0; p < patients; ++p) {
+    sig::SynthConfig synth;
+    synth.num_leads = 1;
+    synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats_per_patient}};
+    synth.record_name = "patient-" + std::to_string(p);
+    sig::Rng rng(0x10013AD0ULL + static_cast<std::uint64_t>(p));
+    const auto record = synthesize_ecg(synth, rng);
+
+    host::RecordCompressionConfig compression;
+    compression.cr_percent = cr_percent;
+    auto windows = host::compress_record(record, static_cast<std::uint32_t>(p),
+                                         compression);
+    batch.insert(batch.end(), std::make_move_iterator(windows.begin()),
+                 std::make_move_iterator(windows.end()));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* positional[3] = {"8", "12", "50"};
+  int n_positional = 0;
+  int shards = 2;
+  int threads = 2;
+  bool fixed_coding = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--shards" || arg == "--threads") && i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+      return 2;
+    }
+    if (arg == "--shards") {
+      shards = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--threads") {
+      threads = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--no-fixed") {
+      fixed_coding = false;
+    } else if (n_positional < 3) {
+      positional[n_positional++] = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const int patients = std::atoi(positional[0]);
+  const int beats = std::atoi(positional[1]);
+  const double cr = std::atof(positional[2]);
+
+  auto batch = make_fleet_batch(patients, beats, cr);
+  std::printf("# net_loopback: %d patients x %d beats, CR %.0f%% -> %zu windows, "
+              "%d shard%s x %d worker%s, %s measurement coding\n",
+              patients, beats, cr, batch.size(), shards, shards == 1 ? "" : "s",
+              threads, threads == 1 ? "" : "s",
+              fixed_coding ? "fixed-point" : "float64");
+  if (batch.empty()) return 0;
+
+  // Serial in-process reference for the bit-exactness gate.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> reference;
+  {
+    host::EngineConfig serial_cfg;
+    serial_cfg.threads = 0;
+    host::ReconstructionEngine serial(serial_cfg);
+    for (const auto& window : batch) {
+      host::CompressedWindow copy = window;
+      serial.submit(std::move(copy));
+    }
+    for (auto& result : serial.drain()) {
+      reference.emplace(std::make_pair(result.patient_id, result.window_index),
+                        std::move(result.signal));
+    }
+  }
+
+  const double scale =
+      fixed_coding ? cs::measurement_scale_mv(sig::AdcConfig{}) : 0.0;
+
+  // One in-process ShardServer per shard, each on its own event-loop
+  // thread — identical protocol path to a real daemon, minus fork/exec.
+  struct Shard {
+    std::unique_ptr<net::ShardServer> server;
+    std::thread loop;
+  };
+  std::vector<Shard> fleet(static_cast<std::size_t>(shards));
+  std::vector<net::ShardEndpoint> endpoints;
+  for (auto& shard : fleet) {
+    net::ShardServerConfig cfg;
+    cfg.engine.threads = threads;
+    cfg.engine.payload_pool = std::make_shared<host::PayloadPool>();
+    cfg.wire.fixed_scale = scale;
+    shard.server = std::make_unique<net::ShardServer>(cfg);
+    if (!shard.server->start()) {
+      std::fprintf(stderr, "shard failed to start\n");
+      return 1;
+    }
+    shard.loop = std::thread([s = shard.server.get()] { s->run(); });
+    endpoints.push_back({"127.0.0.1", shard.server->port()});
+  }
+
+  net::RoutingClientConfig client_cfg;
+  client_cfg.wire.fixed_scale = scale;
+  client_cfg.payload_pool = std::make_shared<host::PayloadPool>();
+  net::RoutingClient client(client_cfg);
+  if (!client.connect(endpoints)) {
+    std::fprintf(stderr, "client failed to connect\n");
+    return 1;
+  }
+
+  // Wire accounting: re-encode one sample of each direction's frames to
+  // size them (the client does not expose socket byte counters).
+  std::size_t submit_bytes = 0;
+  std::size_t result_bytes_estimate = 0;
+  {
+    std::vector<std::uint8_t> buf;
+    net::WireEncodeOptions wire;
+    wire.fixed_scale = scale;
+    for (const auto& window : batch) {
+      buf.clear();
+      net::encode_submit_window(buf, window, /*blocking=*/true, wire);
+      submit_bytes += buf.size();
+    }
+    // A result frame carries the full float64 signal (determinism
+    // contract) plus ~40 bytes of metadata and framing.
+    for (const auto& window : batch) {
+      result_bytes_estimate += 8u * window.window_samples + 40u;
+    }
+  }
+
+  const auto t0 = Clock::now();
+  std::size_t submitted = 0;
+  for (auto& window : batch) {
+    host::CompressedWindow copy = window;
+    if (client.submit(std::move(copy)).has_value()) ++submitted;
+  }
+  auto results = client.drain();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  bool all_identical = results.size() == reference.size();
+  for (const auto& result : results) {
+    const auto expected =
+        reference.find(std::make_pair(result.patient_id, result.window_index));
+    if (expected == reference.end() ||
+        result.signal.size() != expected->second.size() ||
+        (!result.signal.empty() &&
+         std::memcmp(result.signal.data(), expected->second.data(),
+                     result.signal.size() * sizeof(double)) != 0)) {
+      all_identical = false;
+    }
+  }
+
+  std::printf("\n%-28s %12s\n", "metric", "value");
+  std::printf("%-28s %12zu\n", "windows submitted", submitted);
+  std::printf("%-28s %12zu\n", "windows completed", results.size());
+  std::printf("%-28s %12.1f\n", "throughput (win/s)",
+              static_cast<double>(results.size()) / wall_s);
+  std::printf("%-28s %12.2f\n", "wall time (s)", wall_s);
+  std::printf("%-28s %12.1f\n", "submit wire bytes/window",
+              static_cast<double>(submit_bytes) / static_cast<double>(batch.size()));
+  std::printf("%-28s %12.1f\n", "result wire bytes/window (est)",
+              static_cast<double>(result_bytes_estimate) /
+                  static_cast<double>(batch.size()));
+
+  std::printf("\nbit-exactness vs serial (%zu windows): %s\n", results.size(),
+              all_identical ? "PASS" : "FAIL");
+
+  client.shutdown(/*send_bye=*/false);
+  for (auto& shard : fleet) {
+    shard.server->stop();
+    shard.loop.join();
+  }
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree — the docs-gate CI check.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and images, and fails if any *repo-relative* target is
+broken:
+
+  * relative file links must point at an existing file or directory
+    (resolved against the linking file's directory);
+  * fragment links (``file.md#anchor`` or ``#anchor``) must match a
+    heading in the target file, using GitHub's slug rules (lowercase,
+    spaces to dashes, punctuation stripped, de-duplicated with -1/-2…);
+  * bare ``#anchor`` links resolve against the linking file itself.
+
+External links (http/https/mailto) are NOT fetched — CI must not flake
+on the network — they are only syntax-checked.  Code spans and fenced
+code blocks are ignored, so CLI examples like ``--flag [a](b)`` can't
+false-positive.
+
+Only the standard library is used.  Exit status: 0 clean, 1 broken
+links (each printed as file:line), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:…
+
+
+def github_slug(text: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to dashes."""
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: pathlib.Path) -> set[str]:
+    """All anchor slugs a markdown file exposes, with GitHub's -N
+    de-duplication for repeated headings."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: pathlib.Path):
+    """Yield (line_number, target) for every inline link outside code."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)  # drop inline code spans
+        for m in INLINE_LINK.finditer(stripped):
+            yield lineno, m.group(1)
+
+
+def check_file(path: pathlib.Path, repo_root: pathlib.Path,
+               anchor_cache: dict[pathlib.Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    for lineno, target in iter_links(path):
+        if EXTERNAL.match(target):
+            continue  # external — syntax-checked by the regex match itself
+        fragment = ""
+        if "#" in target:
+            target, fragment = target.split("#", 1)
+        dest = path if not target else (path.parent / target).resolve()
+        if not dest.exists():
+            errors.append(f"{path}:{lineno}: broken link -> {target}")
+            continue
+        if fragment and dest.is_file() and dest.suffix.lower() == ".md":
+            if dest not in anchor_cache:
+                anchor_cache[dest] = heading_anchors(dest)
+            if fragment.lower() not in anchor_cache[dest]:
+                rel = dest.relative_to(repo_root) if dest.is_relative_to(repo_root) else dest
+                errors.append(
+                    f"{path}:{lineno}: missing anchor #{fragment} in {rel}"
+                )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*", type=pathlib.Path,
+        help="markdown files to check (default: README.md docs/*.md)")
+    parser.add_argument(
+        "--root", type=pathlib.Path, default=pathlib.Path.cwd(),
+        help="repository root (default: cwd)")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    files = args.files or sorted(
+        [root / "README.md", *(root / "docs").glob("*.md")]
+    )
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+    errors: list[str] = []
+    checked = 0
+    for f in files:
+        errors.extend(check_file(f.resolve(), root, anchor_cache))
+        checked += 1
+    for e in errors:
+        print(e)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -271,13 +271,15 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   const auto t1 = Clock::now();
   const double solve_ms = ms_between(t0, t1);
 
-  // Feed the shed predictor: EWMA (alpha = 1/8) of per-window solve time.
-  // Racy read-modify-write across workers only blurs the estimate.
+  // Feed the shed predictor: EWMA (alpha = 1/8) of per-window solve time,
+  // both per window shape (every window in a same-matrix group shares one
+  // (m, n)) and shape-blind.  Racy read-modify-write across workers only
+  // blurs the estimate.
   const auto sample_us = static_cast<std::uint64_t>(
       solve_ms * 1000.0 / static_cast<double>(group.size()));
-  const std::uint64_t prev_us = ewma_solve_us_.load(std::memory_order_relaxed);
-  ewma_solve_us_.store(prev_us == 0 ? sample_us : (prev_us * 7 + sample_us) / 8,
-                       std::memory_order_relaxed);
+  record_solve_sample(
+      static_cast<std::uint32_t>(group.front()->window.measurements.size()),
+      group.front()->window.window_samples, sample_us);
 
   for (std::size_t s = 0; s < group.size(); ++s) {
     WorkItem* item = group[s];
@@ -303,6 +305,12 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     release_window_payload(item->window);
     item->phi.reset();
   }
+  // Snapshot the patient ids now: the moment an item is published to done_,
+  // a concurrent poll() may pop and recycle it (wiping window and result),
+  // so nothing on the item may be read after the publish below.
+  static thread_local std::vector<std::uint32_t> retired_ids;
+  retired_ids.clear();
+  for (const WorkItem* item : group) retired_ids.push_back(item->window.patient_id);
   {
     std::lock_guard<std::mutex> lk(done_mutex_);
     for (WorkItem* item : group) {
@@ -318,7 +326,7 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   }
   // Completions are recorded and published; only now may a drain_patient()
   // waiter observe the patient as quiesced.
-  retire_pending(group);
+  retire_pending(retired_ids);
   // Publish the results strictly before the slot release: any thread that
   // observes in_flight_ == 0 (acquire) is guaranteed to find every result
   // already in done_.
@@ -326,11 +334,11 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   done_cv_.notify_all();
 }
 
-void ReconstructionEngine::retire_pending(const std::vector<WorkItem*>& items) {
+void ReconstructionEngine::retire_pending(std::span<const std::uint32_t> patient_ids) {
   {
     std::lock_guard<std::mutex> lk(pending_mutex_);
-    for (const WorkItem* item : items) {
-      const auto found = patient_pending_.find(item->window.patient_id);
+    for (const std::uint32_t patient_id : patient_ids) {
+      const auto found = patient_pending_.find(patient_id);
       if (found == patient_pending_.end()) continue;
       // Zero entries stay in the map: erasing here would make the next
       // submit of the same patient pay a map-node allocation, forever.
@@ -388,32 +396,92 @@ bool ReconstructionEngine::reserve_slot() {
   return true;
 }
 
+void ReconstructionEngine::record_solve_sample(std::uint32_t m, std::uint32_t n,
+                                               std::uint64_t sample_us) {
+  const auto fold = [sample_us](std::atomic<std::uint64_t>& ewma) {
+    const std::uint64_t prev_us = ewma.load(std::memory_order_relaxed);
+    ewma.store(prev_us == 0 ? sample_us : (prev_us * 7 + sample_us) / 8,
+               std::memory_order_relaxed);
+  };
+  fold(ewma_solve_us_);
+  const std::uint64_t key = solve_shape_key(m, n);
+  if (key == 0) return;
+  const std::size_t start = static_cast<std::size_t>(key) % kSolveEwmaSlots;
+  for (std::size_t probe = 0; probe < kSolveEwmaSlots; ++probe) {
+    SolveEwmaSlot& slot = solve_ewma_[(start + probe) % kSolveEwmaSlots];
+    std::uint64_t expected = 0;
+    if (slot.key.load(std::memory_order_acquire) == key ||
+        slot.key.compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
+      if (slot.key.load(std::memory_order_acquire) != key) continue;  // Lost the race.
+      fold(slot.ewma_us);
+      return;
+    }
+  }
+  // Table full of other shapes: the global EWMA carries this one.
+}
+
+std::uint64_t ReconstructionEngine::shape_ewma_us(std::uint32_t m, std::uint32_t n) const {
+  const std::uint64_t key = solve_shape_key(m, n);
+  if (key == 0) return 0;
+  const std::size_t start = static_cast<std::size_t>(key) % kSolveEwmaSlots;
+  for (std::size_t probe = 0; probe < kSolveEwmaSlots; ++probe) {
+    const SolveEwmaSlot& slot = solve_ewma_[(start + probe) % kSolveEwmaSlots];
+    const std::uint64_t slot_key = slot.key.load(std::memory_order_acquire);
+    if (slot_key == key) return slot.ewma_us.load(std::memory_order_relaxed);
+    if (slot_key == 0) return 0;  // Insert-only table: the probe chain ends here.
+  }
+  return 0;
+}
+
+double ReconstructionEngine::solve_estimate_ms(std::uint32_t measurements,
+                                               std::uint32_t samples) const {
+  if (cfg_.shed_solve_estimate_ms > 0.0) return cfg_.shed_solve_estimate_ms;
+  if (const std::uint64_t us = shape_ewma_us(measurements, samples); us > 0) {
+    return static_cast<double>(us) / 1000.0;
+  }
+  return static_cast<double>(ewma_solve_us_.load(std::memory_order_relaxed)) / 1000.0;
+}
+
 bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priority) {
   const double deadline_ms = cfg_.slo.deadline_ms;
   if (deadline_ms <= 0.0) return false;
-  const double est_ms =
+  const double global_est_ms =
       cfg_.shed_solve_estimate_ms > 0.0
           ? cfg_.shed_solve_estimate_ms
           : static_cast<double>(ewma_solve_us_.load(std::memory_order_relaxed)) / 1000.0;
-  if (est_ms <= 0.0) return false;  // No solve-time signal yet.
+  if (global_est_ms <= 0.0) return false;  // No solve-time signal yet.
   const auto workers = static_cast<double>(std::max(1, cfg_.threads));
   const auto now = Clock::now();
-  const auto score = [&](WorkItem* item, std::size_t position, bool) -> std::optional<double> {
-    // Predicted completion if left queued: everything ahead of it plus
-    // itself must solve, spread across the pool — a coarse M/D/c wait
-    // model fed by the measured solve EWMA.  Positive overshoot means
-    // the deadline is already forecast to be missed.
-    const double wait_ms = est_ms * static_cast<double>(position + 1) / workers;
-    const double age_ms = ms_between(item->enqueue_time, now);
-    const double overshoot_ms = age_ms + wait_ms - deadline_ms;
-    if (overshoot_ms <= 0.0) return std::nullopt;  // Still expected to make it.
-    return overshoot_ms;  // Shed the most-doomed window.
+  // Predicted completion if left queued: everything ahead of it plus
+  // itself must solve, spread across the pool — a coarse M/D/c wait model.
+  // Each queued window contributes its own shape's solve estimate
+  // (solve_estimate_ms), so a backlog mixing window sizes is costed
+  // window by window rather than by one blurred average; extract_best
+  // scans in pop order (urgent lane first), which is exactly the order
+  // the cumulative cost accrues in.  Positive overshoot means the
+  // deadline is already forecast to be missed.
+  double cum_wait_ms = 0.0;
+  const auto make_score = [&](bool urgent_eligible) {
+    return [&, urgent_eligible](WorkItem* item, std::size_t,
+                                bool urgent) -> std::optional<double> {
+      const double est_ms = solve_estimate_ms(
+          static_cast<std::uint32_t>(item->window.measurements.size()),
+          item->window.window_samples);
+      cum_wait_ms += (est_ms > 0.0 ? est_ms : global_est_ms) / workers;
+      if (urgent && !urgent_eligible) return std::nullopt;
+      const double age_ms = ms_between(item->enqueue_time, now);
+      const double overshoot_ms = age_ms + cum_wait_ms - deadline_ms;
+      if (overshoot_ms <= 0.0) return std::nullopt;  // Still expected to make it.
+      return overshoot_ms;  // Shed the most-doomed window.
+    };
   };
-  // Routine victims first; the urgent lane is scanned only when no routine
-  // window is predicted to miss AND the arrival itself is urgent.
-  auto victim = queue_.extract_best(score, /*include_urgent=*/false);
+  // Routine victims first (urgent windows still contribute queue-wait cost
+  // but are never eligible); the urgent lane becomes eligible only when no
+  // routine window is predicted to miss AND the arrival itself is urgent.
+  auto victim = queue_.extract_best(make_score(false), /*include_urgent=*/true);
   if (!victim.has_value() && arrival_priority == cs::WindowPriority::kUrgent) {
-    victim = queue_.extract_best(score, /*include_urgent=*/true);
+    cum_wait_ms = 0.0;  // Fresh scan, fresh cumulative cost.
+    victim = queue_.extract_best(make_score(true), /*include_urgent=*/true);
   }
   if (!victim.has_value()) return false;
   WorkItem* item = *victim;
@@ -421,7 +489,8 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
   slo_.on_shed(urgent);
   lane_slo_[lane_index(item->window.priority)].on_shed(urgent);
   if (item->patient_slo != nullptr) item->patient_slo->on_shed(urgent);
-  retire_pending({item});
+  const std::uint32_t shed_patient = item->window.patient_id;
+  retire_pending({&shed_patient, 1});
   // A shed window's payload goes back to the pool like a solved one's —
   // shedding under overload must not bleed the pool dry.
   release_window_payload(item->window);

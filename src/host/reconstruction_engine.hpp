@@ -52,6 +52,7 @@
 // nondeterministic output, and the batch wrapper sorts it away.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -318,6 +319,15 @@ class ReconstructionEngine {
   /// Sensing matrices currently cached (bounded by matrix_cache_capacity).
   std::size_t cached_matrices() const;
 
+  /// The per-window solve-time estimate the shed predictor would use for a
+  /// window with `measurements` rows and `samples` columns, in ms: the
+  /// configured shed_solve_estimate_ms override when set, else the
+  /// measured EWMA for that exact (m, n) shape, else the shape-blind
+  /// global EWMA.  0 until any solve has completed — solve cost scales
+  /// with problem size, so under mixed window shapes the per-shape value
+  /// is what makes the deadline forecast honest.
+  double solve_estimate_ms(std::uint32_t measurements, std::uint32_t samples) const;
+
   // --- Batch wrapper -------------------------------------------------------
 
   /// Reconstructs every window in the batch and blocks until done; results
@@ -392,7 +402,7 @@ class ReconstructionEngine {
   std::shared_ptr<SloTracker> patient_tracker(std::uint32_t patient_id);
   /// Decrements the per-patient pending count for each item's patient and
   /// wakes drain_patient() waiters.
-  void retire_pending(const std::vector<WorkItem*>& items);
+  void retire_pending(std::span<const std::uint32_t> patient_ids);
   /// Returns a window's payload buffers to the payload pool (or frees
   /// them when no pool is configured).  Metadata fields are left alone.
   void release_window_payload(CompressedWindow& window);
@@ -411,8 +421,33 @@ class ReconstructionEngine {
   SloTracker slo_;
   SloTracker lane_slo_[cs::kPriorityLanes];  ///< [0]=routine, [1]=urgent.
   /// EWMA of per-window solve wall time, microseconds; feeds the shed
-  /// predictor when shed_solve_estimate_ms is 0.
+  /// predictor when shed_solve_estimate_ms is 0.  Shape-blind fallback for
+  /// the per-(m, n) table below.
   std::atomic<std::uint64_t> ewma_solve_us_{0};
+
+  /// Per-(m, n) solve-time EWMAs: a lock-free insert-only open-addressed
+  /// table keyed by (m << 32) | n.  FISTA solve cost scales with the
+  /// window shape, so a fleet mixing window sizes (or compression ratios)
+  /// would otherwise feed the shed predictor one blurred average — small
+  /// windows over-shed, large windows under-shed.  Fixed capacity: a
+  /// fleet has a handful of distinct shapes; beyond kSolveEwmaSlots new
+  /// shapes fall back to the global EWMA instead of growing the table
+  /// (the hot path must not allocate).  Racy read-modify-write across
+  /// workers only blurs an estimate, like the global EWMA.
+  struct SolveEwmaSlot {
+    std::atomic<std::uint64_t> key{0};  ///< (m << 32) | n; 0 = empty.
+    std::atomic<std::uint64_t> ewma_us{0};
+  };
+  static constexpr std::size_t kSolveEwmaSlots = 64;
+  static std::uint64_t solve_shape_key(std::uint32_t m, std::uint32_t n) {
+    return (static_cast<std::uint64_t>(m) << 32) | n;
+  }
+  /// Folds one per-window sample into the shape's EWMA (inserting the
+  /// shape on first sight) and into the global fallback.
+  void record_solve_sample(std::uint32_t m, std::uint32_t n, std::uint64_t sample_us);
+  /// The shape's EWMA in microseconds; 0 when unseen (or table-overflowed).
+  std::uint64_t shape_ewma_us(std::uint32_t m, std::uint32_t n) const;
+  std::array<SolveEwmaSlot, kSolveEwmaSlots> solve_ewma_{};
 
   // Bounded LRU cache of seeded sensing operators, keyed by
   // (seed, m, n, d).  lru_ orders keys most-recent-first; each map value

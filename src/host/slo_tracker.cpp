@@ -130,6 +130,60 @@ void SloTracker::drain_into(SloTracker& dest) {
   if (start_ < dest.start_) dest.start_ = start_;
 }
 
+SloTrackerState SloTracker::extract_state() {
+  SloTrackerState state;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t count = buckets_[i].exchange(0, std::memory_order_relaxed);
+    if (count > 0) state.buckets.emplace_back(static_cast<std::uint32_t>(i), count);
+  }
+  state.submitted = submitted_.exchange(0, std::memory_order_relaxed);
+  state.completed = completed_.exchange(0, std::memory_order_relaxed);
+  state.retrieved = retrieved_.exchange(0, std::memory_order_relaxed);
+  state.shed_routine = shed_routine_.exchange(0, std::memory_order_relaxed);
+  state.shed_urgent = shed_urgent_.exchange(0, std::memory_order_relaxed);
+  state.rejected = rejected_.exchange(0, std::memory_order_relaxed);
+  state.violations = violations_.exchange(0, std::memory_order_relaxed);
+  state.sum_us = sum_us_.exchange(0, std::memory_order_relaxed);
+  state.max_us = max_us_.exchange(0, std::memory_order_relaxed);
+  state.max_in_flight = max_in_flight_.exchange(0, std::memory_order_relaxed);
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  state.elapsed_us = elapsed.count() > 0
+                         ? static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                                   .count())
+                         : 0;
+  return state;
+}
+
+void SloTracker::absorb_state(const SloTrackerState& state) {
+  for (const auto& [index, count] : state.buckets) {
+    if (index < kBuckets && count > 0) {
+      buckets_[index].fetch_add(count, std::memory_order_relaxed);
+    }
+  }
+  submitted_.fetch_add(state.submitted, std::memory_order_relaxed);
+  completed_.fetch_add(state.completed, std::memory_order_relaxed);
+  retrieved_.fetch_add(state.retrieved, std::memory_order_relaxed);
+  shed_routine_.fetch_add(state.shed_routine, std::memory_order_relaxed);
+  shed_urgent_.fetch_add(state.shed_urgent, std::memory_order_relaxed);
+  rejected_.fetch_add(state.rejected, std::memory_order_relaxed);
+  violations_.fetch_add(state.violations, std::memory_order_relaxed);
+  sum_us_.fetch_add(state.sum_us, std::memory_order_relaxed);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (state.max_us > seen &&
+         !max_us_.compare_exchange_weak(seen, state.max_us, std::memory_order_relaxed)) {
+  }
+  seen = max_in_flight_.load(std::memory_order_relaxed);
+  while (state.max_in_flight > seen &&
+         !max_in_flight_.compare_exchange_weak(seen, state.max_in_flight,
+                                               std::memory_order_relaxed)) {
+  }
+  // Back-date the throughput clock so elapsed covers the moved history.
+  const auto imported_start =
+      std::chrono::steady_clock::now() - std::chrono::microseconds(state.elapsed_us);
+  if (imported_start < start_) start_ = imported_start;
+}
+
 SloSnapshot SloTracker::snapshot() const {
   SloSnapshot snap;
   snap.submitted = submitted_.load(std::memory_order_relaxed);

@@ -18,6 +18,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace wbsn::host {
 
@@ -53,6 +55,32 @@ struct SloSnapshot {
   double elapsed_s = 0.0;
   double throughput_per_s = 0.0;  ///< completed / elapsed since start/reset.
   double deadline_ms = 0.0;       ///< Echo of the configured deadline.
+};
+
+/// A tracker's counters and histogram as plain (non-atomic) values — the
+/// process-crossing form of the drain_into handoff.  `buckets` holds only
+/// the non-zero histogram bins as (index, count) pairs (the histogram is
+/// sparse for any real workload), and the wall-clock anchor travels as
+/// `elapsed_us` since steady_clock time points are meaningless in another
+/// process.  Serialized by net/wire_format as the SLO_STATE payload.
+struct SloTrackerState {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retrieved = 0;
+  std::uint64_t shed_routine = 0;
+  std::uint64_t shed_urgent = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t max_in_flight = 0;
+  std::uint64_t elapsed_us = 0;  ///< Age of the tracker's throughput clock.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;  ///< Non-zero bins.
+
+  bool empty() const {
+    return submitted == 0 && completed == 0 && retrieved == 0 && shed_routine == 0 &&
+           shed_urgent == 0 && rejected == 0 && violations == 0 && buckets.empty();
+  }
 };
 
 class SloTracker {
@@ -105,6 +133,20 @@ class SloTracker {
   /// recorded into `this` concurrently with the drain may land on either
   /// side of the move, but are conserved; `dest` must not race a reset.
   void drain_into(SloTracker& dest);
+
+  /// drain_into, but into a plain-value state that can cross a process
+  /// boundary: every counter is exchange(0)'d out of this tracker and into
+  /// the returned state, so (as with drain_into) each count lands in
+  /// exactly one place — the conservation property the cross-machine SLO
+  /// handoff inherits.  Counts recorded concurrently with the extraction
+  /// may land on either side, but are never lost or doubled.
+  SloTrackerState extract_state();
+
+  /// Adds an extracted state into this tracker (fetch_add counters, fold
+  /// histogram bins, max the maxima) and back-dates the throughput clock
+  /// so it spans at least `state.elapsed_us`.  The receiving half of the
+  /// cross-process handoff; absorbing an empty state is a no-op.
+  void absorb_state(const SloTrackerState& state);
 
   /// Clears all counters and restarts the throughput clock.  Must not run
   /// concurrently with recording.

@@ -1,0 +1,427 @@
+#include "net/routing_client.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "host/reconstruction_fabric.hpp"
+
+namespace wbsn::net {
+
+namespace {
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+void accumulate(SnapshotPayload& into, const SnapshotPayload& s) {
+  into.submitted += s.submitted;
+  into.completed += s.completed;
+  into.retrieved += s.retrieved;
+  into.shed_routine += s.shed_routine;
+  into.shed_urgent += s.shed_urgent;
+  into.rejected += s.rejected;
+  into.deadline_violations += s.deadline_violations;
+  into.unsolved += s.unsolved;
+  into.ready += s.ready;
+}
+}  // namespace
+
+RoutingClient::RoutingClient(RoutingClientConfig cfg) : cfg_(std::move(cfg)) {}
+
+RoutingClient::~RoutingClient() { shutdown(false); }
+
+bool RoutingClient::connect(std::vector<ShardEndpoint> shards) {
+  shutdown(false);
+  conns_.clear();
+  epoch_ = 0;
+  ring_history_.clear();
+  patients_.clear();
+  pending_.clear();
+  retired_ = {};
+  for (auto& ep : shards) {
+    auto conn = std::make_unique<Conn>();
+    conn->endpoint = std::move(ep);
+    if (!ensure_connected(*conn)) return false;
+    conns_.push_back(std::move(conn));
+  }
+  ring_history_.emplace_back(conns_.size(), cfg_.vnodes_per_shard);
+  return true;
+}
+
+std::size_t RoutingClient::owner(std::uint32_t patient_id) const {
+  return ring_history_[epoch_].owner(patient_id);
+}
+
+bool RoutingClient::ensure_connected(Conn& conn) {
+  if (conn.fd.valid()) return true;
+  return reconnect(conn);
+}
+
+bool RoutingClient::reconnect(Conn& conn) {
+  conn.fd.reset();
+  conn.rx.clear();
+  int backoff_ms = cfg_.reconnect_backoff_ms;
+  for (int attempt = 0; attempt <= cfg_.reconnect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    Fd fd = tcp_connect(conn.endpoint.host, conn.endpoint.port, cfg_.connect_timeout_ms,
+                        cfg_.io_timeout_ms);
+    if (!fd.valid()) continue;
+    conn.fd = std::move(fd);
+    // Version negotiation before anything else on the connection.
+    std::vector<std::uint8_t> buf;
+    encode_hello(buf, HelloPayload{});
+    if (!send_all(conn.fd.get(), buf.data(), buf.size())) {
+      conn.fd.reset();
+      continue;
+    }
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    std::uint8_t version = 0;
+    if (!read_frame(conn, frame, view) || view.type != FrameType::kHelloAck ||
+        !decode_hello_ack(view.payload, version) || version != kWireVersion) {
+      conn.fd.reset();
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool RoutingClient::send_request(Conn& conn, const std::vector<std::uint8_t>& buf,
+                                 bool may_retry) {
+  if (!ensure_connected(conn)) return false;
+  if (send_all(conn.fd.get(), buf.data(), buf.size())) return true;
+  if (!may_retry) {
+    conn.fd.reset();
+    return false;
+  }
+  return reconnect(conn) && send_all(conn.fd.get(), buf.data(), buf.size());
+}
+
+bool RoutingClient::read_frame(Conn& conn, std::vector<std::uint8_t>& frame,
+                               FrameView& view) {
+  if (!conn.fd.valid()) return false;
+  for (;;) {
+    FrameView peek;
+    const auto status = peek_frame(conn.rx, peek);
+    if (status == FrameStatus::kOk) {
+      frame.assign(conn.rx.begin(), conn.rx.begin() + peek.frame_bytes);
+      conn.rx.erase(conn.rx.begin(), conn.rx.begin() + peek.frame_bytes);
+      // Re-peek against the stable copy so the view outlives conn.rx.
+      return peek_frame(frame, view) == FrameStatus::kOk;
+    }
+    if (status != FrameStatus::kNeedMore) {
+      conn.fd.reset();  // Corrupt or desynchronized stream; resync via reconnect.
+      return false;
+    }
+    std::uint8_t chunk[kRecvChunk];
+    const long n = recv_some(conn.fd.get(), chunk, sizeof(chunk));
+    if (n <= 0) {
+      conn.fd.reset();
+      return false;
+    }
+    conn.rx.insert(conn.rx.end(), chunk, chunk + n);
+  }
+}
+
+std::optional<std::uint64_t> RoutingClient::try_submit(host::CompressedWindow&& window) {
+  const std::size_t shard = owner(window.patient_id);
+  Conn& conn = *conns_[shard];
+  window.route_tag = epoch_;
+  std::vector<std::uint8_t> buf;
+  encode_submit_window(buf, window, 0, cfg_.wire);
+  if (!send_request(conn, buf, /*may_retry=*/false)) return std::nullopt;
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+  if (!read_frame(conn, frame, view)) return std::nullopt;
+  if (view.type == FrameType::kSubmitReject) return std::nullopt;
+  std::uint64_t local = 0;
+  if (view.type != FrameType::kSubmitAck || !decode_submit_ack(view.payload, local)) {
+    conn.fd.reset();
+    return std::nullopt;
+  }
+  patients_.insert(window.patient_id);
+  if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
+  return host::ReconstructionFabric::compose_ticket(epoch_, shard, local);
+}
+
+std::optional<std::uint64_t> RoutingClient::submit(host::CompressedWindow window) {
+  const std::size_t shard = owner(window.patient_id);
+  Conn& conn = *conns_[shard];
+  window.route_tag = epoch_;
+  std::vector<std::uint8_t> buf;
+  encode_submit_window(buf, window, kSubmitFlagBlocking, cfg_.wire);
+  if (!send_request(conn, buf, /*may_retry=*/false)) return std::nullopt;
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+  std::uint64_t local = 0;
+  if (!read_frame(conn, frame, view) || view.type != FrameType::kSubmitAck ||
+      !decode_submit_ack(view.payload, local)) {
+    conn.fd.reset();
+    return std::nullopt;
+  }
+  patients_.insert(window.patient_id);
+  if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
+  return host::ReconstructionFabric::compose_ticket(epoch_, shard, local);
+}
+
+std::uint64_t RoutingClient::compose_result_ticket(const host::WindowResult& result) {
+  // route_tag carries the submission epoch; that epoch's ring names the
+  // shard index the window was actually submitted to, even if the shard's
+  // index (or existence) changed since.
+  const std::uint32_t e = result.route_tag;
+  const std::size_t shard =
+      e < ring_history_.size() ? ring_history_[e].owner(result.patient_id) : 0;
+  return host::ReconstructionFabric::compose_ticket(e, shard, result.ticket);
+}
+
+bool RoutingClient::read_poll_results(Conn& conn, std::size_t* retrieved) {
+  for (;;) {
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    if (!read_frame(conn, frame, view)) return false;
+    if (view.type == FrameType::kPollEnd) {
+      std::uint32_t count = 0;
+      return decode_poll_end(view.payload, count);
+    }
+    if (view.type != FrameType::kResult) {
+      conn.fd.reset();
+      return false;
+    }
+    host::WindowResult result;
+    if (!decode_result(view.payload, result, cfg_.payload_pool.get())) {
+      conn.fd.reset();
+      return false;
+    }
+    result.ticket = compose_result_ticket(result);
+    pending_.push_back(std::move(result));
+    if (retrieved) ++*retrieved;
+  }
+}
+
+std::optional<host::WindowResult> RoutingClient::poll() {
+  if (pending_.empty()) {
+    std::vector<std::uint8_t> buf;
+    encode_poll(buf, cfg_.poll_batch);
+    for (auto& conn : conns_) {
+      if (!send_request(*conn, buf, /*may_retry=*/true)) continue;
+      (void)read_poll_results(*conn, nullptr);
+    }
+  }
+  if (pending_.empty()) return std::nullopt;
+  auto result = std::move(pending_.front());
+  pending_.pop_front();
+  return result;
+}
+
+std::vector<host::WindowResult> RoutingClient::drain() {
+  std::vector<host::WindowResult> all;
+  for (;;) {
+    // Sweep every shard, then check fleet-wide quiescence.
+    std::vector<std::uint8_t> buf;
+    encode_poll(buf, cfg_.poll_batch);
+    for (auto& conn : conns_) {
+      if (!send_request(*conn, buf, /*may_retry=*/true)) continue;
+      (void)read_poll_results(*conn, nullptr);
+    }
+    while (!pending_.empty()) {
+      all.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    bool quiesced = true;
+    for (auto& conn : conns_) {
+      SnapshotPayload snap;
+      if (!fetch_snapshot(*conn, snap)) continue;  // Unreachable: nothing to wait on.
+      if (snap.unsolved > 0 || snap.ready > 0) {
+        quiesced = false;
+        break;
+      }
+    }
+    if (quiesced) return all;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool RoutingClient::fetch_snapshot(Conn& conn, SnapshotPayload& out) {
+  std::vector<std::uint8_t> buf;
+  encode_snapshot_request(buf);
+  if (!send_request(conn, buf, /*may_retry=*/true)) return false;
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+  return read_frame(conn, frame, view) && view.type == FrameType::kSnapshot &&
+         decode_snapshot(view.payload, out);
+}
+
+SnapshotPayload RoutingClient::aggregate_snapshot() {
+  SnapshotPayload sum = retired_;
+  for (auto& conn : conns_) {
+    SnapshotPayload snap;
+    if (fetch_snapshot(*conn, snap)) accumulate(sum, snap);
+  }
+  return sum;
+}
+
+std::optional<host::SloTrackerState> RoutingClient::patient_slo_state(
+    std::uint32_t patient_id) {
+  Conn& conn = *conns_[owner(patient_id)];
+  std::vector<std::uint8_t> buf;
+  encode_patient_frame(buf, FrameType::kExtractSlo, patient_id);
+  if (!send_request(conn, buf, /*may_retry=*/false)) return std::nullopt;
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+  SloStatePayload slo;
+  if (!read_frame(conn, frame, view) || view.type != FrameType::kSloState ||
+      !decode_slo_state(view.payload, slo)) {
+    return std::nullopt;
+  }
+  // Hand the history straight back so the shard's breakdown keeps it; the
+  // caller gets a copy.
+  buf.clear();
+  encode_slo_state(buf, FrameType::kAdoptSlo, slo);
+  if (send_request(conn, buf, /*may_retry=*/false)) {
+    bool adopted = false;
+    if (read_frame(conn, frame, view) && view.type == FrameType::kAdoptAck) {
+      (void)decode_adopt_ack(view.payload, adopted);
+    }
+  }
+  return slo.present ? std::optional(slo.state) : std::nullopt;
+}
+
+bool RoutingClient::drain_and_move_patient(std::uint32_t patient_id, Conn& from, Conn& to) {
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+
+  // 1. Quiesce the patient on the old owner (the epoch already flipped, so
+  //    no new windows can race in behind the drain).
+  encode_patient_frame(buf, FrameType::kDrainPatient, patient_id);
+  if (!send_request(from, buf, /*may_retry=*/false)) return false;
+  std::uint32_t echoed = 0;
+  if (!read_frame(from, frame, view) || view.type != FrameType::kDrainDone ||
+      !decode_patient_frame(view.payload, echoed) || echoed != patient_id) {
+    return false;
+  }
+
+  // 2. Move the SLO history: extract (exchange(0) server-side) and adopt.
+  buf.clear();
+  encode_patient_frame(buf, FrameType::kExtractSlo, patient_id);
+  if (!send_request(from, buf, /*may_retry=*/false)) return false;
+  SloStatePayload slo;
+  if (!read_frame(from, frame, view) || view.type != FrameType::kSloState ||
+      !decode_slo_state(view.payload, slo)) {
+    return false;
+  }
+  if (!slo.present) return true;  // Never tracked: nothing to carry over.
+  buf.clear();
+  encode_slo_state(buf, FrameType::kAdoptSlo, slo);
+  if (!send_request(to, buf, /*may_retry=*/false)) return false;
+  bool adopted = false;
+  return read_frame(to, frame, view) && view.type == FrameType::kAdoptAck &&
+         decode_adopt_ack(view.payload, adopted);
+}
+
+bool RoutingClient::retire(Conn& conn) {
+  // Pull out every result still parked on the shard (all its patients were
+  // just drained, so only the completion list can be non-empty), fold its
+  // final counters into the retired accumulator, and dismiss it.
+  std::vector<std::uint8_t> buf;
+  for (;;) {
+    SnapshotPayload snap;
+    if (!fetch_snapshot(conn, snap)) return false;
+    if (snap.unsolved == 0 && snap.ready == 0) {
+      accumulate(retired_, snap);
+      break;
+    }
+    buf.clear();
+    encode_poll(buf, cfg_.poll_batch);
+    if (!send_request(conn, buf, /*may_retry=*/false)) return false;
+    if (!read_poll_results(conn, nullptr)) return false;
+  }
+  buf.clear();
+  encode_bye(buf);
+  if (send_request(conn, buf, /*may_retry=*/false)) {
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    (void)read_frame(conn, frame, view);  // BYE_ACK (best effort).
+  }
+  conn.fd.reset();
+  return true;
+}
+
+bool RoutingClient::set_topology(std::vector<ShardEndpoint> shards) {
+  const host::HashRing old_ring = ring_history_[epoch_];
+  // The previous epoch's index -> connection table, captured before the
+  // container shuffle below (the Conn objects themselves don't move, so
+  // raw pointers stay valid while unique_ptrs change vectors).
+  std::vector<Conn*> old_table;
+  old_table.reserve(conns_.size());
+  for (auto& c : conns_) old_table.push_back(c.get());
+
+  // Build the next epoch's connection table, reusing live connections for
+  // endpoints that survive (matched by host:port) so their engines keep
+  // their backlogs and completion lists.
+  std::vector<std::unique_ptr<Conn>> next;
+  next.reserve(shards.size());
+  for (auto& ep : shards) {
+    auto it = std::find_if(conns_.begin(), conns_.end(),
+                           [&](const auto& c) { return c && c->endpoint == ep; });
+    if (it != conns_.end()) {
+      next.push_back(std::move(*it));
+    } else {
+      auto conn = std::make_unique<Conn>();
+      conn->endpoint = std::move(ep);
+      if (!ensure_connected(*conn)) return false;
+      next.push_back(std::move(conn));
+    }
+  }
+  std::vector<std::unique_ptr<Conn>> leaving;
+  for (auto& c : conns_) {
+    if (c) leaving.push_back(std::move(c));
+  }
+
+  // Flip the routing epoch first — same ordering as the in-process
+  // fabric's resize(): from here on nothing routes to a leaving shard and
+  // every new submission is tagged with the new epoch, so each window's
+  // route is decided by exactly one epoch.
+  conns_ = std::move(next);
+  ring_history_.emplace_back(conns_.size(), cfg_.vnodes_per_shard);
+  ++epoch_;
+
+  // Migrate every patient whose owning *endpoint* changed: quiesce it on
+  // the old owner, then move its SLO history.  An index shift that keeps
+  // the endpoint needs no migration — the connection is the identity.
+  bool ok = true;
+  for (std::uint32_t patient : patients_) {
+    Conn* from = old_table[old_ring.owner(patient)];
+    Conn* to = conns_[owner(patient)].get();
+    if (from == to) continue;
+    if (!drain_and_move_patient(patient, *from, *to)) ok = false;
+  }
+  // Leaving shards are now empty of routed patients: pull their parked
+  // results, fold their counters, dismiss them.
+  for (auto& conn : leaving) {
+    if (!retire(*conn)) ok = false;
+  }
+  return ok;
+}
+
+void RoutingClient::shutdown(bool send_bye) {
+  if (send_bye) {
+    std::vector<std::uint8_t> buf;
+    encode_bye(buf);
+    for (auto& conn : conns_) {
+      if (!conn || !conn->fd.valid()) continue;
+      if (send_all(conn->fd.get(), buf.data(), buf.size())) {
+        std::vector<std::uint8_t> frame;
+        FrameView view;
+        (void)read_frame(*conn, frame, view);
+      }
+    }
+  }
+  for (auto& conn : conns_) {
+    if (conn) conn->fd.reset();
+  }
+}
+
+}  // namespace wbsn::net

@@ -1,0 +1,171 @@
+// RoutingClient — the coordinator half of the cross-machine fabric.
+//
+// Speaks wbsn-wire v1 to a fleet of ShardServer processes and presents
+// the same submit/poll/drain surface as host::ReconstructionFabric, with
+// the same placement guarantees proven for the in-process fabric (PR 5):
+//
+//   * Patients are routed by the same consistent-hash ring
+//     (host::HashRing) the in-process fabric uses — the ring is rebuilt
+//     locally from (shard_count, vnodes_per_shard), so client and any
+//     audit tool agree on placement without a metadata service.
+//   * set_topology() opens a new routing epoch, exactly like
+//     ReconstructionFabric::resize(): the ring/endpoint list flips first
+//     (no new submission routes to a leaving shard), then every moved
+//     patient is drained on its old shard (DRAIN_PATIENT), its SLO
+//     history extracted (EXTRACT_SLO) and adopted by the new owner
+//     (ADOPT_SLO) — counts conserved end to end because extract_state()
+//     is an exchange(0) on every counter.
+//   * Tickets are the fabric's composite epoch | shard | local form
+//     (ReconstructionFabric::compose_ticket).  The submission epoch rides
+//     in CompressedWindow::route_tag and comes back in the result, and the
+//     client keeps the ring of every epoch it has opened, so a result
+//     polled after any number of reshards still composes the exact ticket
+//     its submit() returned.
+//   * Shards leaving the topology are retired synchronously: their
+//     remaining results are polled out, their final counter snapshot is
+//     folded into the client's retired accumulator (so
+//     aggregate_snapshot() conserves submitted == completed + shed and
+//     attempts == submitted + rejected across the whole topology
+//     history), and they are dismissed with BYE — which stops a
+//     stop_on_bye daemon.
+//
+// Threading: single-coordinator by design, like the reshard protocol
+// itself — one thread owns the client; it is not thread-safe.  Sockets
+// are blocking with I/O timeouts; a failed connection is retried with
+// exponential backoff (reconnect_* knobs).  Verbs that carry no
+// server-side state transition are retried across a reconnect; SUBMIT is
+// not (a retry could double-submit), it reports failure instead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "host/hash_ring.hpp"
+#include "host/reconstruction_engine.hpp"
+#include "net/socket.hpp"
+#include "net/wire_format.hpp"
+
+namespace wbsn::net {
+
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  bool operator==(const ShardEndpoint&) const = default;
+};
+
+struct RoutingClientConfig {
+  /// Must match the in-process fabric's FabricConfig::vnodes_per_shard for
+  /// placement parity with audit tooling.
+  std::size_t vnodes_per_shard = 64;
+  int connect_timeout_ms = 5000;
+  /// Per-operation socket send/recv timeout.  Generous by default: a
+  /// DRAIN_PATIENT response legitimately waits out a backlog.
+  int io_timeout_ms = 60000;
+  int reconnect_attempts = 5;
+  int reconnect_backoff_ms = 10;  ///< Doubles per attempt.
+  /// Results requested per POLL sweep of one shard.
+  std::uint32_t poll_batch = 64;
+  WireEncodeOptions wire{};
+  /// Decode result signals into pooled buffers; recycle submitted windows'
+  /// payloads after the shard acknowledges them.  Same zero-copy contract
+  /// as EngineConfig::payload_pool.
+  std::shared_ptr<host::PayloadPool> payload_pool;
+};
+
+class RoutingClient {
+ public:
+  explicit RoutingClient(RoutingClientConfig cfg = {});
+  ~RoutingClient();
+
+  RoutingClient(const RoutingClient&) = delete;
+  RoutingClient& operator=(const RoutingClient&) = delete;
+
+  /// Connects and version-negotiates with every endpoint; epoch 0 opens on
+  /// success.  False when any endpoint stays unreachable after retries.
+  bool connect(std::vector<ShardEndpoint> shards);
+
+  std::size_t shard_count() const { return conns_.size(); }
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// The shard index that owns `patient_id` under the current epoch.
+  std::size_t owner(std::uint32_t patient_id) const;
+
+  /// Reshards to a new endpoint set under a fresh epoch (see file
+  /// comment).  Endpoints are matched by host:port, so surviving shards
+  /// keep their connections (and their engines keep their backlogs) even
+  /// when their index shifts.  False when a new endpoint is unreachable
+  /// or a migration verb fails; the epoch flip is not rolled back —
+  /// resolve connectivity and call again.
+  bool set_topology(std::vector<ShardEndpoint> shards);
+
+  /// Routes one window to its owner shard.  Returns the composite ticket,
+  /// or nullopt on shard backpressure (SUBMIT_REJECT) or a dead shard.
+  /// `window` is untouched on rejection.
+  std::optional<std::uint64_t> try_submit(host::CompressedWindow&& window);
+
+  /// Blocking submit: the shard waits out its backpressure server-side
+  /// (never sheds, never counts a rejection).  nullopt only on a dead
+  /// connection.
+  std::optional<std::uint64_t> submit(host::CompressedWindow window);
+
+  /// One completed result in arrival order across shards, or nullopt when
+  /// none is ready anywhere right now.
+  std::optional<host::WindowResult> poll();
+
+  /// Polls until every shard reports quiescence (nothing unsolved, nothing
+  /// ready) and returns everything retrieved.
+  std::vector<host::WindowResult> drain();
+
+  /// Sum of every live shard's counter snapshot plus the retired
+  /// accumulator — the conservation audit surface.  Exact when quiesced.
+  SnapshotPayload aggregate_snapshot();
+
+  /// Per-patient SLO state fetched from the patient's current owner
+  /// (EXTRACT_SLO + immediate ADOPT_SLO back, so the history stays on the
+  /// shard).  nullopt when the shard is unreachable.
+  std::optional<host::SloTrackerState> patient_slo_state(std::uint32_t patient_id);
+
+  /// Closes every connection; with `send_bye`, dismisses the shards first
+  /// (stops stop_on_bye daemons).  Idempotent; the destructor calls
+  /// shutdown(false).
+  void shutdown(bool send_bye);
+
+ private:
+  struct Conn {
+    ShardEndpoint endpoint;
+    Fd fd;
+    std::vector<std::uint8_t> rx;
+  };
+
+  bool ensure_connected(Conn& conn);
+  bool reconnect(Conn& conn);
+  /// Sends `buf`; one reconnect-and-resend on failure when `may_retry`.
+  bool send_request(Conn& conn, const std::vector<std::uint8_t>& buf, bool may_retry);
+  /// Blocks until one complete frame is buffered; fills `frame` (a copy,
+  /// stable against further reads) and parses it into `view`.
+  bool read_frame(Conn& conn, std::vector<std::uint8_t>& frame, FrameView& view);
+  /// Reads result frames into pending_ until POLL_END; count retrieved.
+  bool read_poll_results(Conn& conn, std::size_t* retrieved);
+  std::uint64_t compose_result_ticket(const host::WindowResult& result);
+  bool drain_and_move_patient(std::uint32_t patient_id, Conn& from, Conn& to);
+  bool retire(Conn& conn);
+  bool fetch_snapshot(Conn& conn, SnapshotPayload& out);
+
+  RoutingClientConfig cfg_;
+  std::vector<std::unique_ptr<Conn>> conns_;  ///< Index == shard index.
+  std::uint32_t epoch_ = 0;
+  /// ring_history_[e] is epoch e's ring: result tickets compose with the
+  /// shard index of their *submission* epoch, whatever the topology now.
+  std::vector<host::HashRing> ring_history_;
+  std::unordered_set<std::uint32_t> patients_;  ///< Ever-submitted ids.
+  std::deque<host::WindowResult> pending_;      ///< Polled, not yet returned.
+  SnapshotPayload retired_;  ///< Folded snapshots of dismissed shards.
+};
+
+}  // namespace wbsn::net

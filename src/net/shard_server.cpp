@@ -1,0 +1,286 @@
+#include "net/shard_server.hpp"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace wbsn::net {
+
+namespace {
+constexpr std::size_t kRecvChunk = 64 * 1024;
+}
+
+ShardServer::ShardServer(ShardServerConfig cfg) : cfg_(std::move(cfg)) {}
+
+ShardServer::~ShardServer() { stop(); }
+
+bool ShardServer::start() {
+  int pipefd[2] = {-1, -1};
+  if (::pipe(pipefd) != 0) return false;
+  wake_rd_ = Fd(pipefd[0]);
+  wake_wr_ = Fd(pipefd[1]);
+  if (!set_nonblocking(wake_rd_.get())) return false;
+  if (!listener_.listen(cfg_.host, cfg_.port)) return false;
+  engine_ = std::make_unique<host::ReconstructionEngine>(cfg_.engine);
+  return true;
+}
+
+void ShardServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (wake_wr_.valid()) {
+    const char byte = 1;
+    (void)!::write(wake_wr_.get(), &byte, 1);
+  }
+}
+
+void ShardServer::run() {
+  std::vector<pollfd> pfds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({wake_rd_.get(), POLLIN, 0});
+    pfds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& conn : conns_) {
+      short events = POLLIN;
+      if (conn->tx_sent < conn->tx.size()) events |= POLLOUT;
+      pfds.push_back({conn->fd.get(), events, 0});
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[0].revents & POLLIN) {
+      char scratch[64];
+      while (::read(wake_rd_.get(), scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      for (;;) {
+        Fd conn = listener_.accept();
+        if (!conn.valid()) break;
+        auto c = std::make_unique<Connection>();
+        c->fd = std::move(conn);
+        conns_.push_back(std::move(c));
+      }
+    }
+    // Service connections; pfds[i + 2] pairs with conns_[i] (conns_ only
+    // mutates below, after this loop).
+    for (std::size_t i = 0; i < conns_.size() && i + 2 < pfds.size(); ++i) {
+      Connection& conn = *conns_[i];
+      const short revents = pfds[i + 2].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (revents & POLLIN)) {
+        std::uint8_t chunk[kRecvChunk];
+        for (;;) {
+          const long n = recv_some(conn.fd.get(), chunk, sizeof(chunk));
+          if (n > 0) {
+            conn.rx.insert(conn.rx.end(), chunk, chunk + n);
+            if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          alive = false;  // Orderly close (0) or hard error.
+          break;
+        }
+        if (alive) alive = process_rx(conn);
+      }
+      if (alive && (revents & (POLLOUT | POLLIN))) flush(conn);
+      if (alive && (revents & POLLHUP) && conn.tx_sent >= conn.tx.size()) alive = false;
+      if (alive && conn.close_after_flush && conn.tx_sent >= conn.tx.size()) alive = false;
+      if (!alive) conn.fd.reset();
+    }
+    std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) { return !c->fd.valid(); });
+  }
+  conns_.clear();
+  listener_.close();
+}
+
+bool ShardServer::process_rx(Connection& conn) {
+  std::size_t consumed = 0;
+  while (true) {
+    FrameView frame;
+    const auto status =
+        peek_frame({conn.rx.data() + consumed, conn.rx.size() - consumed}, frame);
+    if (status == FrameStatus::kNeedMore) break;
+    if (status == FrameStatus::kBadVersion) {
+      // Structurally sound frame in a version we don't speak: refuse it
+      // in-band and drop the connection — frame semantics may have
+      // changed, so continuing to parse the stream would be a guess.
+      send_error(conn, ErrorCode::kUnsupportedVersion,
+                 "server speaks wbsn-wire v1 only", /*close_after=*/true);
+      consumed += frame.frame_bytes;
+      break;
+    }
+    if (status != FrameStatus::kOk) return false;  // Desync/corrupt/oversized.
+    handle_frame(conn, frame);
+    consumed += frame.frame_bytes;
+    if (conn.close_after_flush) break;
+  }
+  if (consumed > 0) conn.rx.erase(conn.rx.begin(), conn.rx.begin() + consumed);
+  return true;
+}
+
+void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
+  auto& tx = conn.tx;
+  if (!conn.negotiated) {
+    if (frame.type != FrameType::kHello) {
+      send_error(conn, ErrorCode::kNotNegotiated, "expected HELLO", true);
+      return;
+    }
+    HelloPayload hello;
+    if (!decode_hello(frame.payload, hello)) {
+      send_error(conn, ErrorCode::kBadPayload, "malformed HELLO", true);
+      return;
+    }
+    if (hello.min_version > kWireVersion || hello.max_version < kWireVersion) {
+      send_error(conn, ErrorCode::kUnsupportedVersion, "no mutual wire version", true);
+      return;
+    }
+    // Highest mutually supported version; this build speaks exactly v1.
+    encode_hello_ack(tx, kWireVersion);
+    conn.negotiated = true;
+    return;
+  }
+
+  switch (frame.type) {
+    case FrameType::kSubmitWindow: {
+      host::CompressedWindow window;
+      std::uint8_t flags = 0;
+      if (!decode_submit_window(frame.payload, window, flags,
+                                cfg_.engine.payload_pool.get())) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed SUBMIT_WINDOW", true);
+        return;
+      }
+      if (flags & kSubmitFlagBlocking) {
+        encode_submit_ack(tx, engine_->submit(std::move(window)));
+      } else if (auto ticket = engine_->try_submit(std::move(window))) {
+        encode_submit_ack(tx, *ticket);
+      } else {
+        encode_submit_reject(tx);
+      }
+      return;
+    }
+    case FrameType::kPoll: {
+      std::uint32_t max_results = 0;
+      if (!decode_poll(frame.payload, max_results)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed POLL", true);
+        return;
+      }
+      if (max_results == 0 || max_results > cfg_.max_poll_results) {
+        max_results = cfg_.max_poll_results;
+      }
+      std::uint32_t sent = 0;
+      while (sent < max_results) {
+        auto result = engine_->poll();
+        if (!result) break;
+        encode_result(tx, *result, cfg_.wire);
+        if (cfg_.engine.payload_pool) {
+          cfg_.engine.payload_pool->recycle(std::move(*result));
+        }
+        ++sent;
+      }
+      encode_poll_end(tx, sent);
+      return;
+    }
+    case FrameType::kDrainPatient: {
+      std::uint32_t patient_id = 0;
+      if (!decode_patient_frame(frame.payload, patient_id)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed DRAIN_PATIENT", true);
+        return;
+      }
+      engine_->drain_patient(patient_id);
+      encode_patient_frame(tx, FrameType::kDrainDone, patient_id);
+      return;
+    }
+    case FrameType::kExtractSlo: {
+      std::uint32_t patient_id = 0;
+      if (!decode_patient_frame(frame.payload, patient_id)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed EXTRACT_SLO", true);
+        return;
+      }
+      SloStatePayload slo;
+      slo.patient_id = patient_id;
+      if (auto tracker = engine_->extract_patient_slo(patient_id)) {
+        slo.present = true;
+        slo.state = tracker->extract_state();
+      }
+      encode_slo_state(tx, FrameType::kSloState, slo);
+      return;
+    }
+    case FrameType::kAdoptSlo: {
+      SloStatePayload slo;
+      if (!decode_slo_state(frame.payload, slo)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed ADOPT_SLO", true);
+        return;
+      }
+      bool adopted = true;
+      if (slo.present) {
+        auto tracker = std::make_shared<host::SloTracker>(cfg_.engine.slo);
+        tracker->absorb_state(slo.state);
+        adopted = engine_->adopt_patient_slo(slo.patient_id, std::move(tracker));
+      }
+      encode_adopt_ack(tx, adopted);
+      return;
+    }
+    case FrameType::kSnapshotRequest: {
+      const auto snap = engine_->slo().snapshot();
+      SnapshotPayload payload;
+      payload.submitted = snap.submitted;
+      payload.completed = snap.completed;
+      payload.shed_routine = snap.shed_routine;
+      payload.shed_urgent = snap.shed_urgent;
+      payload.rejected = snap.rejected;
+      payload.deadline_violations = snap.deadline_violations;
+      payload.unsolved = engine_->in_flight();
+      payload.ready = engine_->ready_results();
+      // Exact once the shard is quiesced (the only time the coordinator
+      // audits it); racing traffic makes it approximate like snapshot().
+      payload.retrieved = snap.completed - payload.ready;
+      encode_snapshot(tx, payload);
+      return;
+    }
+    case FrameType::kBye: {
+      encode_bye_ack(tx);
+      conn.close_after_flush = true;
+      if (cfg_.stop_on_bye) stopping_.store(true, std::memory_order_release);
+      return;
+    }
+    case FrameType::kHello: {
+      send_error(conn, ErrorCode::kBadPayload, "duplicate HELLO", true);
+      return;
+    }
+    default:
+      send_error(conn, ErrorCode::kUnknownFrameType, "unknown frame type", true);
+      return;
+  }
+}
+
+void ShardServer::send_error(Connection& conn, ErrorCode code, const std::string& detail,
+                             bool close_after) {
+  encode_error(conn.tx, ErrorPayload{code, detail});
+  if (close_after) conn.close_after_flush = true;
+}
+
+void ShardServer::flush(Connection& conn) {
+  while (conn.tx_sent < conn.tx.size()) {
+    const ssize_t n = ::send(conn.fd.get(), conn.tx.data() + conn.tx_sent,
+                             conn.tx.size() - conn.tx_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.tx_sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return;
+    conn.close_after_flush = true;  // Peer gone; reap on the next pass.
+    conn.tx.clear();
+    conn.tx_sent = 0;
+    return;
+  }
+  // Fully flushed: reclaim the buffer (keep capacity warm).
+  conn.tx.clear();
+  conn.tx_sent = 0;
+}
+
+}  // namespace wbsn::net

@@ -1,0 +1,105 @@
+// ShardServer — one ReconstructionEngine behind a TCP listener.
+//
+// The process half of the cross-machine fabric split: where
+// host::ReconstructionFabric owned N engines in one address space, a
+// deployment now runs N ShardServer processes (see shard_serverd_main.cpp)
+// and one RoutingClient that routes patients across them with the same
+// consistent-hash ring.  The server itself is deliberately dumb: it speaks
+// wbsn-wire v1 (wire_format.hpp), maps each request frame onto the
+// corresponding ReconstructionEngine verb, and knows nothing about rings,
+// epochs, or topology — all placement intelligence lives client-side, so
+// growing the fleet never requires touching a running shard.
+//
+// Concurrency model: a single-threaded poll(2) event loop owns the
+// listener and every connection (nonblocking sockets, per-connection
+// receive/transmit buffers); the engine's own worker pool provides the
+// compute parallelism.  Request frames are serviced inline in arrival
+// order per connection.  Two verbs can block the loop — SUBMIT_WINDOW
+// with the blocking flag (waits out admission backpressure exactly like
+// ReconstructionEngine::submit, so a patient coordinator's retry doesn't
+// inflate reject counters) and DRAIN_PATIENT (waits for quiescence) — and
+// with them every other connection's frames wait too.  That head-of-line
+// blocking is accepted v1 behaviour: both verbs are coordinator-only, the
+// fabric has exactly one coordinator, and the reshard protocol stops
+// routing to a shard before draining it.
+//
+// Shutdown: stop() from any thread (self-pipe wakes the loop), or a BYE
+// frame when cfg.stop_on_bye is set — the daemon's orderly-exit path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/reconstruction_engine.hpp"
+#include "net/socket.hpp"
+#include "net/wire_format.hpp"
+
+namespace wbsn::net {
+
+struct ShardServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the kernel's pick back via port() after start().
+  std::uint16_t port = 0;
+  host::EngineConfig engine{};
+  WireEncodeOptions wire{};
+  /// Exit the run() loop after answering a BYE frame (daemon mode).
+  bool stop_on_bye = false;
+  /// Upper bound on results returned per POLL, whatever the client asked.
+  std::uint32_t max_poll_results = 4096;
+};
+
+class ShardServer {
+ public:
+  explicit ShardServer(ShardServerConfig cfg);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds the listener and builds the engine.  False (errno set) when the
+  /// bind fails.  Must be called before run().
+  bool start();
+
+  /// The bound port (the kernel's pick when cfg.port was 0).
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Blocking event loop; returns after stop() or (with stop_on_bye) a
+  /// BYE.  Call from a dedicated thread when embedding in-process.
+  void run();
+
+  /// Requests run() to return.  Thread-safe, idempotent.
+  void stop();
+
+  host::ReconstructionEngine& engine() { return *engine_; }
+
+ private:
+  struct Connection {
+    Fd fd;
+    std::vector<std::uint8_t> rx;
+    std::vector<std::uint8_t> tx;
+    std::size_t tx_sent = 0;  ///< Prefix of tx already on the socket.
+    bool negotiated = false;
+    bool close_after_flush = false;
+  };
+
+  /// Drains complete frames from conn.rx; false when the connection must
+  /// be dropped without ceremony (desynchronized or corrupt stream).
+  bool process_rx(Connection& conn);
+  void handle_frame(Connection& conn, const FrameView& frame);
+  void send_error(Connection& conn, ErrorCode code, const std::string& detail,
+                  bool close_after);
+  /// Pushes conn.tx to the socket as far as the kernel allows.
+  void flush(Connection& conn);
+
+  ShardServerConfig cfg_;
+  TcpListener listener_;
+  std::unique_ptr<host::ReconstructionEngine> engine_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  Fd wake_rd_, wake_wr_;  ///< Self-pipe: stop() wakes the poll loop.
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace wbsn::net

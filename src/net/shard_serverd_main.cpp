@@ -1,0 +1,91 @@
+// shard_serverd — one reconstruction shard as a standalone process.
+//
+// Wraps net::ShardServer in a tiny CLI so a fleet can be launched by an
+// init system, a test harness, or a shell loop.  The daemon binds
+// (default: an ephemeral port on 127.0.0.1), prints one machine-readable
+// line `PORT <n>` on stdout once it is accepting connections — the
+// handshake the multi-process tests and launch scripts key on — and then
+// serves until a client sends BYE or the process receives SIGINT/SIGTERM.
+//
+// Usage: shard_serverd [--host A.B.C.D] [--port N] [--threads N]
+//                      [--queue-capacity N] [--batch-windows N]
+//                      [--deadline-ms X] [--shedding] [--fixed-scale X]
+// See docs/OPERATIONS.md for how these map onto EngineConfig.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/shard_server.hpp"
+
+namespace {
+
+wbsn::net::ShardServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server) g_server->stop();
+}
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port N] [--threads N] [--queue-capacity N]\n"
+               "          [--batch-windows N] [--deadline-ms X] [--shedding]\n"
+               "          [--fixed-scale X]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wbsn::net::ShardServerConfig cfg;
+  cfg.stop_on_bye = true;
+  cfg.engine.threads = 2;
+  cfg.engine.payload_pool = std::make_shared<wbsn::host::PayloadPool>();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      cfg.host = next();
+    } else if (arg == "--port") {
+      cfg.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--threads") {
+      cfg.engine.threads = std::atoi(next());
+    } else if (arg == "--queue-capacity") {
+      cfg.engine.queue_capacity = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--batch-windows") {
+      cfg.engine.batch_windows = std::atoi(next());
+    } else if (arg == "--deadline-ms") {
+      cfg.engine.slo.deadline_ms = std::atof(next());
+    } else if (arg == "--shedding") {
+      cfg.engine.deadline_shedding = true;
+    } else if (arg == "--fixed-scale") {
+      cfg.wire.fixed_scale = std::atof(next());
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+
+  wbsn::net::ShardServer server(cfg);
+  if (!server.start()) {
+    std::perror("shard_serverd: start failed");
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // The readiness handshake: parseable, single line, flushed before any
+  // other output so a pipe reader never blocks on buffering.
+  std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.run();
+  return 0;
+}

@@ -1,0 +1,551 @@
+#include "net/wire_format.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "net/crc32c.hpp"
+
+namespace wbsn::net {
+
+// --- Low-level writers -------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_i16le(std::vector<std::uint8_t>& out, std::int16_t v) {
+  const auto u = static_cast<std::uint16_t>(v);
+  out.push_back(static_cast<std::uint8_t>(u));
+  out.push_back(static_cast<std::uint8_t>(u >> 8));
+}
+
+void put_i32le(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32le(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64le(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// --- WireReader --------------------------------------------------------------
+
+bool WireReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t WireReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint32_t WireReader::u32le() {
+  if (!take(4)) return 0;
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+  pos_ += 4;
+  return v;
+}
+
+std::int16_t WireReader::i16le() {
+  if (!take(2)) return 0;
+  const auto v = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(data_[pos_]) |
+      (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return static_cast<std::int16_t>(v);
+}
+
+std::int32_t WireReader::i32le() { return static_cast<std::int32_t>(u32le()); }
+
+double WireReader::f64le() {
+  if (!take(8)) return 0.0;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t WireReader::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (!take(1)) return 0;
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      // The 10th byte may only contribute the final bit of a u64.
+      if (shift == 63 && byte > 1) break;
+      return v;
+    }
+  }
+  ok_ = false;  // Unterminated or overlong varint.
+  return 0;
+}
+
+std::span<const std::uint8_t> WireReader::bytes(std::size_t n) {
+  if (!take(n)) return {};
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+// --- Framing -----------------------------------------------------------------
+
+std::size_t frame_begin(std::vector<std::uint8_t>& out, FrameType type,
+                        std::uint8_t version) {
+  put_u8(out, kMagic0);
+  put_u8(out, kMagic1);
+  put_u8(out, version);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32le(out, 0);  // Payload length, patched by frame_end.
+  return out.size();
+}
+
+void frame_end(std::vector<std::uint8_t>& out, std::size_t payload_start) {
+  const std::size_t header_start = payload_start - kFrameHeaderBytes;
+  const auto payload_len = static_cast<std::uint32_t>(out.size() - payload_start);
+  out[payload_start - 4] = static_cast<std::uint8_t>(payload_len);
+  out[payload_start - 3] = static_cast<std::uint8_t>(payload_len >> 8);
+  out[payload_start - 2] = static_cast<std::uint8_t>(payload_len >> 16);
+  out[payload_start - 1] = static_cast<std::uint8_t>(payload_len >> 24);
+  const std::uint32_t crc = crc32c(out.data() + header_start, out.size() - header_start);
+  put_u32le(out, crc);
+}
+
+FrameStatus peek_frame(std::span<const std::uint8_t> buf, FrameView& out,
+                       std::uint32_t max_payload) {
+  if (buf.size() < 2) return FrameStatus::kNeedMore;
+  if (buf[0] != kMagic0 || buf[1] != kMagic1) return FrameStatus::kBadMagic;
+  if (buf.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(buf[4]) |
+                                    (static_cast<std::uint32_t>(buf[5]) << 8) |
+                                    (static_cast<std::uint32_t>(buf[6]) << 16) |
+                                    (static_cast<std::uint32_t>(buf[7]) << 24);
+  if (payload_len > max_payload) return FrameStatus::kOversized;
+  const std::size_t total = kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  if (buf.size() < total) return FrameStatus::kNeedMore;
+  const std::size_t crc_at = kFrameHeaderBytes + payload_len;
+  const std::uint32_t stored = static_cast<std::uint32_t>(buf[crc_at]) |
+                               (static_cast<std::uint32_t>(buf[crc_at + 1]) << 8) |
+                               (static_cast<std::uint32_t>(buf[crc_at + 2]) << 16) |
+                               (static_cast<std::uint32_t>(buf[crc_at + 3]) << 24);
+  if (crc32c(buf.data(), crc_at) != stored) return FrameStatus::kBadCrc;
+  out.version = buf[2];
+  out.type = static_cast<FrameType>(buf[3]);
+  out.payload = buf.subspan(kFrameHeaderBytes, payload_len);
+  out.frame_bytes = total;
+  // Structurally sound but a version this decoder doesn't speak: report it
+  // with the view filled so the caller can skip the frame and answer
+  // ERROR(UNSUPPORTED_VERSION) in-band.
+  if (out.version != kWireVersion) return FrameStatus::kBadVersion;
+  return FrameStatus::kOk;
+}
+
+// --- Value-vector coding -----------------------------------------------------
+
+namespace {
+
+/// True when every value is bit-exactly representable as q * scale with q
+/// a signed integer in [lo, hi].  Quantization uses nearbyint and the
+/// check is a bitwise round-trip compare, so −0.0, NaN, infinities, and
+/// anything off-grid all fail into the FLOAT64 fallback.
+bool fits_fixed(std::span<const double> values, double scale, double lo, double hi) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+    const double q = std::nearbyint(v / scale);
+    if (!(q >= lo && q <= hi)) return false;
+    const double back = q * scale;
+    if (std::memcmp(&back, &v, sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void encode_values(std::vector<std::uint8_t>& out, std::span<const double> values,
+                   const WireEncodeOptions& opts) {
+  const double scale = opts.fixed_scale;
+  if (scale > 0.0 && std::isfinite(scale)) {
+    if (fits_fixed(values, scale, std::numeric_limits<std::int16_t>::min(),
+                   std::numeric_limits<std::int16_t>::max())) {
+      put_u8(out, static_cast<std::uint8_t>(ValueCoding::kFixed16));
+      put_f64le(out, scale);
+      put_varint(out, values.size());
+      for (double v : values) {
+        put_i16le(out, static_cast<std::int16_t>(std::nearbyint(v / scale)));
+      }
+      return;
+    }
+    if (fits_fixed(values, scale, std::numeric_limits<std::int32_t>::min(),
+                   std::numeric_limits<std::int32_t>::max())) {
+      put_u8(out, static_cast<std::uint8_t>(ValueCoding::kFixed32));
+      put_f64le(out, scale);
+      put_varint(out, values.size());
+      for (double v : values) {
+        put_i32le(out, static_cast<std::int32_t>(std::nearbyint(v / scale)));
+      }
+      return;
+    }
+  }
+  put_u8(out, static_cast<std::uint8_t>(ValueCoding::kFloat64));
+  put_varint(out, values.size());
+  for (double v : values) put_f64le(out, v);
+}
+
+void encode_values_absent(std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(ValueCoding::kAbsent));
+}
+
+bool decode_values(WireReader& r, std::vector<double>& out) {
+  out.clear();
+  const auto coding = static_cast<ValueCoding>(r.u8());
+  if (!r.ok()) return false;
+  switch (coding) {
+    case ValueCoding::kAbsent:
+      return true;
+    case ValueCoding::kFloat64: {
+      const std::uint64_t count = r.varint();
+      if (!r.ok() || count > r.remaining() / 8) return false;
+      out.resize(static_cast<std::size_t>(count));
+      for (auto& v : out) v = r.f64le();
+      return r.ok();
+    }
+    case ValueCoding::kFixed16: {
+      const double scale = r.f64le();
+      const std::uint64_t count = r.varint();
+      if (!r.ok() || count > r.remaining() / 2) return false;
+      out.resize(static_cast<std::size_t>(count));
+      for (auto& v : out) v = static_cast<double>(r.i16le()) * scale;
+      return r.ok();
+    }
+    case ValueCoding::kFixed32: {
+      const double scale = r.f64le();
+      const std::uint64_t count = r.varint();
+      if (!r.ok() || count > r.remaining() / 4) return false;
+      out.resize(static_cast<std::size_t>(count));
+      for (auto& v : out) v = static_cast<double>(r.i32le()) * scale;
+      return r.ok();
+    }
+  }
+  return false;  // Unknown coding byte.
+}
+
+// --- Typed payloads ----------------------------------------------------------
+
+void encode_hello(std::vector<std::uint8_t>& out, const HelloPayload& hello) {
+  // HELLO bootstraps negotiation, so its header always says version 1: a
+  // server that only speaks a later range must still be able to parse the
+  // offer to refuse it intelligibly.
+  const std::size_t p = frame_begin(out, FrameType::kHello, 1);
+  put_u8(out, hello.min_version);
+  put_u8(out, hello.max_version);
+  frame_end(out, p);
+}
+
+bool decode_hello(std::span<const std::uint8_t> payload, HelloPayload& out) {
+  WireReader r(payload);
+  out.min_version = r.u8();
+  out.max_version = r.u8();
+  return r.ok() && r.remaining() == 0 && out.min_version <= out.max_version;
+}
+
+void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint8_t version) {
+  const std::size_t p = frame_begin(out, FrameType::kHelloAck, 1);
+  put_u8(out, version);
+  frame_end(out, p);
+}
+
+bool decode_hello_ack(std::span<const std::uint8_t> payload, std::uint8_t& version) {
+  WireReader r(payload);
+  version = r.u8();
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_error(std::vector<std::uint8_t>& out, const ErrorPayload& error) {
+  const std::size_t p = frame_begin(out, FrameType::kError);
+  put_u8(out, static_cast<std::uint8_t>(error.code));
+  put_varint(out, error.detail.size());
+  out.insert(out.end(), error.detail.begin(), error.detail.end());
+  frame_end(out, p);
+}
+
+bool decode_error(std::span<const std::uint8_t> payload, ErrorPayload& out) {
+  WireReader r(payload);
+  out.code = static_cast<ErrorCode>(r.u8());
+  const std::uint64_t len = r.varint();
+  if (!r.ok() || len > r.remaining()) return false;
+  const auto view = r.bytes(static_cast<std::size_t>(len));
+  out.detail.assign(view.begin(), view.end());
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_submit_window(std::vector<std::uint8_t>& out, const host::CompressedWindow& window,
+                          std::uint8_t flags, const WireEncodeOptions& opts) {
+  const std::size_t p = frame_begin(out, FrameType::kSubmitWindow);
+  put_u8(out, flags);
+  put_varint(out, window.patient_id);
+  put_varint(out, window.window_index);
+  put_varint(out, window.matrix_seed);
+  put_varint(out, window.window_samples);
+  put_varint(out, window.ones_per_column);
+  put_u8(out, static_cast<std::uint8_t>(window.priority));
+  put_varint(out, window.route_tag);
+  encode_values(out, window.measurements, opts);
+  if (window.reference.empty()) {
+    encode_values_absent(out);
+  } else {
+    encode_values(out, window.reference, opts);
+  }
+  frame_end(out, p);
+}
+
+bool decode_submit_window(std::span<const std::uint8_t> payload, host::CompressedWindow& out,
+                          std::uint8_t& flags, host::PayloadPool* pool) {
+  WireReader r(payload);
+  flags = r.u8();
+  out.patient_id = static_cast<std::uint32_t>(r.varint());
+  out.window_index = static_cast<std::uint32_t>(r.varint());
+  out.matrix_seed = r.varint();
+  out.window_samples = static_cast<std::uint32_t>(r.varint());
+  out.ones_per_column = static_cast<std::uint32_t>(r.varint());
+  out.priority = static_cast<cs::WindowPriority>(r.u8());
+  out.route_tag = static_cast<std::uint32_t>(r.varint());
+  if (pool) {
+    if (out.measurements.capacity() == 0) out.measurements = pool->acquire_measurements();
+    if (out.reference.capacity() == 0) out.reference = pool->acquire_reference();
+  }
+  if (!decode_values(r, out.measurements)) return false;
+  if (!decode_values(r, out.reference)) return false;
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_submit_ack(std::vector<std::uint8_t>& out, std::uint64_t local_ticket) {
+  const std::size_t p = frame_begin(out, FrameType::kSubmitAck);
+  put_varint(out, local_ticket);
+  frame_end(out, p);
+}
+
+bool decode_submit_ack(std::span<const std::uint8_t> payload, std::uint64_t& local_ticket) {
+  WireReader r(payload);
+  local_ticket = r.varint();
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_submit_reject(std::vector<std::uint8_t>& out) {
+  frame_end(out, frame_begin(out, FrameType::kSubmitReject));
+}
+
+void encode_poll(std::vector<std::uint8_t>& out, std::uint32_t max_results) {
+  const std::size_t p = frame_begin(out, FrameType::kPoll);
+  put_varint(out, max_results);
+  frame_end(out, p);
+}
+
+bool decode_poll(std::span<const std::uint8_t> payload, std::uint32_t& max_results) {
+  WireReader r(payload);
+  max_results = static_cast<std::uint32_t>(r.varint());
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_result(std::vector<std::uint8_t>& out, const host::WindowResult& result,
+                   const WireEncodeOptions& opts) {
+  const std::size_t p = frame_begin(out, FrameType::kResult);
+  put_varint(out, result.patient_id);
+  put_varint(out, result.window_index);
+  put_u8(out, static_cast<std::uint8_t>(result.priority));
+  put_varint(out, result.route_tag);
+  put_varint(out, result.ticket);
+  put_f64le(out, result.snr_db);
+  put_varint(out, static_cast<std::uint64_t>(result.iterations < 0 ? 0 : result.iterations));
+  put_f64le(out, result.latency_ms);
+  put_f64le(out, result.e2e_ms);
+  // Reconstructed signals are FISTA output, not on the fixed-point grid;
+  // they ship FLOAT64 so the bit-identical determinism contract survives
+  // the wire.  The coding byte still makes this explicit per frame.
+  encode_values(out, result.signal, WireEncodeOptions{});
+  (void)opts;
+  frame_end(out, p);
+}
+
+bool decode_result(std::span<const std::uint8_t> payload, host::WindowResult& out,
+                   host::PayloadPool* pool) {
+  WireReader r(payload);
+  out.patient_id = static_cast<std::uint32_t>(r.varint());
+  out.window_index = static_cast<std::uint32_t>(r.varint());
+  out.priority = static_cast<cs::WindowPriority>(r.u8());
+  out.route_tag = static_cast<std::uint32_t>(r.varint());
+  out.ticket = r.varint();
+  out.snr_db = r.f64le();
+  out.iterations = static_cast<int>(r.varint());
+  out.latency_ms = r.f64le();
+  out.e2e_ms = r.f64le();
+  if (pool && out.signal.capacity() == 0) out.signal = pool->acquire_signal();
+  if (!decode_values(r, out.signal)) return false;
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_poll_end(std::vector<std::uint8_t>& out, std::uint32_t results_sent) {
+  const std::size_t p = frame_begin(out, FrameType::kPollEnd);
+  put_varint(out, results_sent);
+  frame_end(out, p);
+}
+
+bool decode_poll_end(std::span<const std::uint8_t> payload, std::uint32_t& results_sent) {
+  WireReader r(payload);
+  results_sent = static_cast<std::uint32_t>(r.varint());
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_patient_frame(std::vector<std::uint8_t>& out, FrameType type,
+                          std::uint32_t patient_id) {
+  const std::size_t p = frame_begin(out, type);
+  put_varint(out, patient_id);
+  frame_end(out, p);
+}
+
+bool decode_patient_frame(std::span<const std::uint8_t> payload, std::uint32_t& patient_id) {
+  WireReader r(payload);
+  patient_id = static_cast<std::uint32_t>(r.varint());
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_slo_state(std::vector<std::uint8_t>& out, FrameType type,
+                      const SloStatePayload& slo) {
+  const std::size_t p = frame_begin(out, type);
+  put_varint(out, slo.patient_id);
+  put_u8(out, slo.present ? 1 : 0);
+  if (slo.present) {
+    const auto& s = slo.state;
+    put_varint(out, s.submitted);
+    put_varint(out, s.completed);
+    put_varint(out, s.retrieved);
+    put_varint(out, s.shed_routine);
+    put_varint(out, s.shed_urgent);
+    put_varint(out, s.rejected);
+    put_varint(out, s.violations);
+    put_varint(out, s.sum_us);
+    put_varint(out, s.max_us);
+    put_varint(out, s.max_in_flight);
+    put_varint(out, s.elapsed_us);
+    put_varint(out, s.buckets.size());
+    for (const auto& [index, count] : s.buckets) {
+      put_varint(out, index);
+      put_varint(out, count);
+    }
+  }
+  frame_end(out, p);
+}
+
+bool decode_slo_state(std::span<const std::uint8_t> payload, SloStatePayload& out) {
+  WireReader r(payload);
+  out.patient_id = static_cast<std::uint32_t>(r.varint());
+  const std::uint8_t present = r.u8();
+  if (!r.ok() || present > 1) return false;
+  out.present = present == 1;
+  out.state = host::SloTrackerState{};
+  if (out.present) {
+    auto& s = out.state;
+    s.submitted = r.varint();
+    s.completed = r.varint();
+    s.retrieved = r.varint();
+    s.shed_routine = r.varint();
+    s.shed_urgent = r.varint();
+    s.rejected = r.varint();
+    s.violations = r.varint();
+    s.sum_us = r.varint();
+    s.max_us = r.varint();
+    s.max_in_flight = r.varint();
+    s.elapsed_us = r.varint();
+    const std::uint64_t n = r.varint();
+    if (!r.ok() || n > r.remaining() / 2) return false;  // >= 2 bytes per bin.
+    s.buckets.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto index = static_cast<std::uint32_t>(r.varint());
+      const std::uint64_t count = r.varint();
+      s.buckets.emplace_back(index, count);
+    }
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_adopt_ack(std::vector<std::uint8_t>& out, bool adopted) {
+  const std::size_t p = frame_begin(out, FrameType::kAdoptAck);
+  put_u8(out, adopted ? 1 : 0);
+  frame_end(out, p);
+}
+
+bool decode_adopt_ack(std::span<const std::uint8_t> payload, bool& adopted) {
+  WireReader r(payload);
+  const std::uint8_t v = r.u8();
+  adopted = v == 1;
+  return r.ok() && v <= 1 && r.remaining() == 0;
+}
+
+void encode_snapshot_request(std::vector<std::uint8_t>& out) {
+  frame_end(out, frame_begin(out, FrameType::kSnapshotRequest));
+}
+
+void encode_snapshot(std::vector<std::uint8_t>& out, const SnapshotPayload& snap) {
+  const std::size_t p = frame_begin(out, FrameType::kSnapshot);
+  put_varint(out, snap.submitted);
+  put_varint(out, snap.completed);
+  put_varint(out, snap.retrieved);
+  put_varint(out, snap.shed_routine);
+  put_varint(out, snap.shed_urgent);
+  put_varint(out, snap.rejected);
+  put_varint(out, snap.deadline_violations);
+  put_varint(out, snap.unsolved);
+  put_varint(out, snap.ready);
+  frame_end(out, p);
+}
+
+bool decode_snapshot(std::span<const std::uint8_t> payload, SnapshotPayload& out) {
+  WireReader r(payload);
+  out.submitted = r.varint();
+  out.completed = r.varint();
+  out.retrieved = r.varint();
+  out.shed_routine = r.varint();
+  out.shed_urgent = r.varint();
+  out.rejected = r.varint();
+  out.deadline_violations = r.varint();
+  out.unsolved = r.varint();
+  out.ready = r.varint();
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_bye(std::vector<std::uint8_t>& out) {
+  frame_end(out, frame_begin(out, FrameType::kBye));
+}
+
+void encode_bye_ack(std::vector<std::uint8_t>& out) {
+  frame_end(out, frame_begin(out, FrameType::kByeAck));
+}
+
+}  // namespace wbsn::net

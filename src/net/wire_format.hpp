@@ -1,0 +1,289 @@
+// wbsn-wire v1 — the compact binary serialization that puts a socket (or a
+// radio) under the reconstruction fabric.
+//
+// The normative specification lives in docs/WIRE_FORMAT.md and is written
+// to be implementable without reading this file; this header is the
+// reference implementation.  The format in one breath:
+//
+//   frame  := magic(2) version(1) type(1) payload_len(u32 LE)
+//             payload(payload_len bytes) crc32c(u32 LE, over everything
+//             before it)
+//
+// Payload integers are unsigned LEB128 varints (patient ids, tickets,
+// seeds, counts); floating-point scalars are raw IEEE-754 little-endian
+// (bit-preserving, NaNs included); sample vectors travel in one of three
+// value codings — FLOAT64 (lossless for anything), FIXED16/FIXED32
+// (little-endian fixed-point integers plus one f64 scale, the node's
+// native radio format).  The encoder only ever picks a fixed coding when
+// every value reconstructs *bit-exactly* as integer * scale — v1 transport
+// is lossless by construction, never a quantizer — and falls back to
+// FLOAT64 otherwise, so decode(encode(w)) == w bitwise for arbitrary
+// windows while paper-style fixed-point traffic ships at 2 bytes/sample.
+//
+// Zero-copy discipline: encoders append into a caller-owned byte buffer
+// (reused across frames — no allocation at steady state once the buffer
+// reached its high-water mark) straight from the window's payload vectors;
+// decoders write sample data straight from the receive buffer into vectors
+// drawn from a host::PayloadPool when one is provided, so a decoded window
+// is pool-recycled exactly like a locally produced one.
+//
+// Version negotiation: a connection starts with HELLO(min,max supported) →
+// HELLO_ACK(chosen) before anything else; every subsequent frame carries
+// the negotiated version in its header byte.  A decoder MUST reject a
+// frame whose version it does not support with ERROR(UNSUPPORTED_VERSION)
+// rather than guessing at the payload — that byte is what lets v2 evolve
+// the payloads without bricking v1 peers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "host/reconstruction_engine.hpp"
+#include "host/slo_tracker.hpp"
+
+namespace wbsn::net {
+
+// --- Protocol constants ------------------------------------------------------
+
+inline constexpr std::uint8_t kMagic0 = 0x57;  ///< 'W'
+inline constexpr std::uint8_t kMagic1 = 0x42;  ///< 'B'
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+inline constexpr std::size_t kFrameTrailerBytes = 4;
+/// Frames longer than this are rejected before buffering the payload — a
+/// corrupt or hostile length field must not become an allocation.
+inline constexpr std::uint32_t kMaxPayloadBytes = 8u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,            ///< client → server: version range offer
+  kHelloAck = 2,         ///< server → client: chosen version
+  kError = 3,            ///< either direction: code + UTF-8 detail
+  kSubmitWindow = 4,     ///< client → server: one CompressedWindow
+  kSubmitAck = 5,        ///< server → client: shard-local ticket
+  kSubmitReject = 6,     ///< server → client: admission backpressure
+  kPoll = 7,             ///< client → server: request up to N results
+  kResult = 8,           ///< server → client: one WindowResult
+  kPollEnd = 9,          ///< server → client: poll response terminator
+  kDrainPatient = 10,    ///< client → server: block until patient quiesced
+  kDrainDone = 11,       ///< server → client: drain_patient finished
+  kExtractSlo = 12,      ///< client → server: take the patient's tracker
+  kSloState = 13,        ///< server → client: extracted tracker state
+  kAdoptSlo = 14,        ///< client → server: hand tracker state to shard
+  kAdoptAck = 15,        ///< server → client: adoption outcome
+  kSnapshotRequest = 16, ///< client → server: engine counter snapshot
+  kSnapshot = 17,        ///< server → client: the counters
+  kBye = 18,             ///< client → server: orderly goodbye
+  kByeAck = 19,          ///< server → client: goodbye acknowledged
+};
+
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,
+  kUnsupportedVersion = 1,  ///< Header version outside the peer's range.
+  kBadPayload = 2,          ///< Frame parsed but payload didn't.
+  kUnknownFrameType = 3,
+  kNotNegotiated = 4,  ///< Non-HELLO frame before version negotiation.
+  kShuttingDown = 5,
+};
+
+/// Sample-vector codings.  FIXED* carry one f64 scale followed by
+/// little-endian signed integers; the decoded value is integer * scale.
+enum class ValueCoding : std::uint8_t {
+  kAbsent = 0,   ///< Field not present (e.g. no SNR reference attached).
+  kFloat64 = 1,  ///< Raw IEEE-754 doubles, bit-preserving.
+  kFixed16 = 2,  ///< i16 LE * f64 scale — the node's radio format.
+  kFixed32 = 3,  ///< i32 LE * f64 scale — fixed-point overflow fallback.
+};
+
+struct WireEncodeOptions {
+  /// Fixed-point scale the encoder may use for sample vectors (mV per
+  /// count — measurement_scale_mv(adc) on the node path).  0 disables the
+  /// fixed codings entirely.  A fixed coding is only chosen when every
+  /// value round-trips bit-exactly; otherwise the vector ships FLOAT64.
+  double fixed_scale = 0.0;
+};
+
+// --- Low-level writers / reader ---------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_i16le(std::vector<std::uint8_t>& out, std::int16_t v);
+void put_i32le(std::vector<std::uint8_t>& out, std::int32_t v);
+void put_f64le(std::vector<std::uint8_t>& out, double v);
+/// Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Bounds-checked sequential reader over one frame payload.  Any overrun
+/// or malformed varint latches ok() == false and makes every subsequent
+/// read return 0 — decoders check ok() once at the end instead of after
+/// every field.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8();
+  std::uint32_t u32le();
+  std::int16_t i16le();
+  std::int32_t i32le();
+  double f64le();
+  std::uint64_t varint();
+  /// Raw view of the next `n` bytes (for bulk sample copies).
+  std::span<const std::uint8_t> bytes(std::size_t n);
+
+ private:
+  bool take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Framing -----------------------------------------------------------------
+
+/// Starts a frame: appends the 8-byte header (length patched later) and
+/// returns the payload start offset to pass to frame_end.  The payload is
+/// then serialized directly into `out` — no staging buffer.
+std::size_t frame_begin(std::vector<std::uint8_t>& out, FrameType type,
+                        std::uint8_t version = kWireVersion);
+
+/// Finishes the frame begun at `payload_start`: patches the length field
+/// and appends the CRC32C trailer (computed over header + payload).
+void frame_end(std::vector<std::uint8_t>& out, std::size_t payload_start);
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kNeedMore,    ///< Buffer holds a prefix of a valid frame; read more.
+  kBadMagic,    ///< First bytes are not 'W''B' — desynchronized stream.
+  kBadVersion,  ///< Header version is not one this decoder supports.
+  kOversized,   ///< Length field exceeds the payload cap.
+  kBadCrc,      ///< Trailer mismatch — corrupt frame.
+};
+
+struct FrameView {
+  std::uint8_t version = 0;
+  FrameType type{};
+  std::span<const std::uint8_t> payload{};
+  std::size_t frame_bytes = 0;  ///< Total frame size; consume this many.
+};
+
+/// Non-destructively parses the frame at the front of `buf`.  On kOk the
+/// view aliases `buf` (valid until the buffer mutates) and frame_bytes
+/// says how much to consume.  kBadVersion still fills `frame_bytes` and
+/// `version` when the frame is structurally complete (magic, length, and
+/// CRC all check out), so a server can skip the frame and answer
+/// ERROR(UNSUPPORTED_VERSION) instead of dropping the connection blind.
+FrameStatus peek_frame(std::span<const std::uint8_t> buf, FrameView& out,
+                       std::uint32_t max_payload = kMaxPayloadBytes);
+
+// --- Value-vector coding -----------------------------------------------------
+
+/// Appends a coded sample vector: coding byte, then per the coding.  Picks
+/// FIXED16 → FIXED32 → FLOAT64, taking a fixed coding only when every
+/// value is bit-exactly integer * fixed_scale (see WireEncodeOptions).
+void encode_values(std::vector<std::uint8_t>& out, std::span<const double> values,
+                   const WireEncodeOptions& opts);
+
+/// Appends the ABSENT coding (field carried but empty).
+void encode_values_absent(std::vector<std::uint8_t>& out);
+
+/// Decodes a coded sample vector into `out` (resized to fit; cleared for
+/// ABSENT).  Returns false on malformed input.  `out` keeps its capacity,
+/// so pool-drawn buffers stay warm.
+bool decode_values(WireReader& r, std::vector<double>& out);
+
+// --- Typed payloads ----------------------------------------------------------
+// Each encode_* appends one complete frame (header..CRC) to `out`; each
+// decode_* parses a FrameView payload and returns false on malformation.
+
+struct HelloPayload {
+  std::uint8_t min_version = kWireVersion;
+  std::uint8_t max_version = kWireVersion;
+};
+
+struct ErrorPayload {
+  ErrorCode code = ErrorCode::kNone;
+  std::string detail;  ///< Human-readable; never parsed.
+};
+
+/// Engine counter snapshot — the conservation-audit payload.  Mirrors the
+/// counters of host::SloSnapshot plus the two queue depths a remote
+/// coordinator needs to decide a shard is quiesced.
+struct SnapshotPayload {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retrieved = 0;
+  std::uint64_t shed_routine = 0;
+  std::uint64_t shed_urgent = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_violations = 0;
+  std::uint64_t unsolved = 0;  ///< Engine in_flight(): submitted, not solved.
+  std::uint64_t ready = 0;     ///< Completed results awaiting poll.
+};
+
+struct SloStatePayload {
+  std::uint32_t patient_id = 0;
+  bool present = false;  ///< False: the patient had no tracker to move.
+  host::SloTrackerState state;
+};
+
+void encode_hello(std::vector<std::uint8_t>& out, const HelloPayload& hello);
+bool decode_hello(std::span<const std::uint8_t> payload, HelloPayload& out);
+
+void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint8_t version);
+bool decode_hello_ack(std::span<const std::uint8_t> payload, std::uint8_t& version);
+
+void encode_error(std::vector<std::uint8_t>& out, const ErrorPayload& error);
+bool decode_error(std::span<const std::uint8_t> payload, ErrorPayload& out);
+
+/// flags bit 0: blocking submit (server waits out backpressure like
+/// ReconstructionEngine::submit instead of answering SUBMIT_REJECT).
+inline constexpr std::uint8_t kSubmitFlagBlocking = 0x01;
+void encode_submit_window(std::vector<std::uint8_t>& out, const host::CompressedWindow& window,
+                          std::uint8_t flags, const WireEncodeOptions& opts);
+bool decode_submit_window(std::span<const std::uint8_t> payload, host::CompressedWindow& out,
+                          std::uint8_t& flags, host::PayloadPool* pool);
+
+void encode_submit_ack(std::vector<std::uint8_t>& out, std::uint64_t local_ticket);
+bool decode_submit_ack(std::span<const std::uint8_t> payload, std::uint64_t& local_ticket);
+
+void encode_submit_reject(std::vector<std::uint8_t>& out);
+
+void encode_poll(std::vector<std::uint8_t>& out, std::uint32_t max_results);
+bool decode_poll(std::span<const std::uint8_t> payload, std::uint32_t& max_results);
+
+void encode_result(std::vector<std::uint8_t>& out, const host::WindowResult& result,
+                   const WireEncodeOptions& opts);
+bool decode_result(std::span<const std::uint8_t> payload, host::WindowResult& out,
+                   host::PayloadPool* pool);
+
+void encode_poll_end(std::vector<std::uint8_t>& out, std::uint32_t results_sent);
+bool decode_poll_end(std::span<const std::uint8_t> payload, std::uint32_t& results_sent);
+
+/// kDrainPatient / kDrainDone / kExtractSlo all carry one patient id.
+void encode_patient_frame(std::vector<std::uint8_t>& out, FrameType type,
+                          std::uint32_t patient_id);
+bool decode_patient_frame(std::span<const std::uint8_t> payload, std::uint32_t& patient_id);
+
+/// `type` is kSloState (server → client) or kAdoptSlo (client → server);
+/// both directions carry the identical layout.
+void encode_slo_state(std::vector<std::uint8_t>& out, FrameType type,
+                      const SloStatePayload& slo);
+bool decode_slo_state(std::span<const std::uint8_t> payload, SloStatePayload& out);
+
+void encode_adopt_ack(std::vector<std::uint8_t>& out, bool adopted);
+bool decode_adopt_ack(std::span<const std::uint8_t> payload, bool& adopted);
+
+void encode_snapshot_request(std::vector<std::uint8_t>& out);
+void encode_snapshot(std::vector<std::uint8_t>& out, const SnapshotPayload& snap);
+bool decode_snapshot(std::span<const std::uint8_t> payload, SnapshotPayload& out);
+
+void encode_bye(std::vector<std::uint8_t>& out);
+void encode_bye_ack(std::vector<std::uint8_t>& out);
+
+}  // namespace wbsn::net

@@ -1,0 +1,107 @@
+// Per-(m, n) solve-time estimation: the deadline-shed predictor keys its
+// EWMA by window shape, because a 512-sample solve costs a different
+// amount than a 128-sample one and a shape-blind average lies about both.
+// Pins the estimate surface: 0 before any solve, per-shape after solving
+// that shape, global fallback for shapes never seen, and the configured
+// override beating the measurements.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "host/reconstruction_engine.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::host {
+namespace {
+
+std::vector<CompressedWindow> shaped_windows(std::uint32_t window_samples,
+                                             std::size_t count) {
+  sig::SynthConfig synth;
+  synth.num_leads = 1;
+  synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, 16}};
+  sig::Rng rng(0x5EED5ULL);
+  const auto record = synthesize_ecg(synth, rng);
+  RecordCompressionConfig compression;
+  compression.window_samples = window_samples;
+  compression.cr_percent = 50.0;
+  auto windows = compress_record(record, 1, compression);
+  EXPECT_GE(windows.size(), count);
+  windows.resize(count);
+  return windows;
+}
+
+struct Shape {
+  std::uint32_t m = 0;
+  std::uint32_t n = 0;
+};
+
+Shape shape_of(const CompressedWindow& window) {
+  return {static_cast<std::uint32_t>(window.measurements.size()),
+          window.window_samples};
+}
+
+TEST(SolveEstimate, PerShapeEwmaTracksEachWindowSizeSeparately) {
+  EngineConfig cfg;
+  cfg.threads = 0;
+  cfg.fista.max_iterations = 40;
+  cfg.fista.debias_iterations = 10;
+  ReconstructionEngine engine(cfg);
+
+  auto small = shaped_windows(/*window_samples=*/128, /*count=*/4);
+  auto large = shaped_windows(/*window_samples=*/512, /*count=*/4);
+  const Shape s = shape_of(small.front());
+  const Shape l = shape_of(large.front());
+  ASSERT_NE(s.n, l.n);
+
+  // Nothing measured yet: the predictor refuses to guess.
+  EXPECT_EQ(engine.solve_estimate_ms(s.m, s.n), 0.0);
+  EXPECT_EQ(engine.solve_estimate_ms(l.m, l.n), 0.0);
+
+  for (auto& window : small) engine.submit(std::move(window));
+  for (auto& window : large) engine.submit(std::move(window));
+  const auto results = engine.drain();
+  ASSERT_EQ(results.size(), 8u);
+
+  const double small_est = engine.solve_estimate_ms(s.m, s.n);
+  const double large_est = engine.solve_estimate_ms(l.m, l.n);
+  EXPECT_GT(small_est, 0.0);
+  EXPECT_GT(large_est, 0.0);
+  // A 512-sample FISTA solve does ~16x the work of a 128-sample one at the
+  // same iteration budget; the per-shape estimates must reflect that order
+  // even if timing noise blurs the ratio.
+  EXPECT_GT(large_est, small_est)
+      << "per-shape EWMA collapsed into a shape-blind average";
+
+  // A shape never solved falls back to the global (shape-blind) EWMA:
+  // nonzero, and bounded by the measured extremes.
+  const double unseen = engine.solve_estimate_ms(s.m + 1, s.n + 64);
+  EXPECT_GT(unseen, 0.0);
+  EXPECT_GE(unseen, small_est * 0.01);
+  EXPECT_LE(unseen, large_est * 100.0);
+}
+
+TEST(SolveEstimate, ConfiguredOverrideBeatsMeasurement) {
+  EngineConfig cfg;
+  cfg.threads = 0;
+  cfg.fista.max_iterations = 25;
+  cfg.fista.debias_iterations = 5;
+  cfg.shed_solve_estimate_ms = 7.5;
+  ReconstructionEngine engine(cfg);
+
+  auto windows = shaped_windows(/*window_samples=*/128, /*count=*/2);
+  const Shape s = shape_of(windows.front());
+  EXPECT_EQ(engine.solve_estimate_ms(s.m, s.n), 7.5);
+
+  for (auto& window : windows) engine.submit(std::move(window));
+  ASSERT_EQ(engine.drain().size(), 2u);
+
+  // Measurements exist now, but the operator's override still wins — for
+  // every shape, including ones never solved.
+  EXPECT_EQ(engine.solve_estimate_ms(s.m, s.n), 7.5);
+  EXPECT_EQ(engine.solve_estimate_ms(9999, 9999), 7.5);
+}
+
+}  // namespace
+}  // namespace wbsn::host

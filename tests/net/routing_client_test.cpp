@@ -1,0 +1,360 @@
+// RoutingClient <-> ShardServer integration over real loopback sockets
+// (servers run in-process on their own threads; the fork/exec variant
+// lives in multiprocess_reshard_test.cpp).  Verifies the fabric's
+// guarantees survive the wire: bit-identical reconstructions vs the
+// serial in-process reference, composite-ticket round trips, SLO history
+// migration across a live reshard, counter conservation across retired
+// shards, and the protocol-level rejection paths (unknown version,
+// talking before HELLO).
+
+#include "net/routing_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cs/pipeline.hpp"
+#include "host/reconstruction_fabric.hpp"
+#include "net/crc32c.hpp"
+#include "net/shard_server.hpp"
+#include "net/socket.hpp"
+#include "sig/ecg_synth.hpp"
+#include "sig/rng.hpp"
+
+namespace wbsn::net {
+namespace {
+
+using host::CompressedWindow;
+using host::EngineConfig;
+using host::ReconstructionEngine;
+using host::WindowResult;
+using WindowKey = std::pair<std::uint32_t, std::uint32_t>;
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+EngineConfig fast_engine(int threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.fista.max_iterations = 25;
+  cfg.fista.debias_iterations = 5;
+  return cfg;
+}
+
+std::vector<CompressedWindow> fleet_traffic(int patients, int beats_per_patient) {
+  std::vector<CompressedWindow> traffic;
+  for (int p = 0; p < patients; ++p) {
+    sig::SynthConfig synth;
+    synth.num_leads = 1;
+    synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats_per_patient}};
+    sig::Rng rng(0x4E7A11ULL + static_cast<std::uint64_t>(p));
+    const auto record = synthesize_ecg(synth, rng);
+
+    host::RecordCompressionConfig compression;
+    compression.window_samples = 128;
+    compression.cr_percent = 50.0;
+    auto windows = host::compress_record(record, static_cast<std::uint32_t>(p), compression);
+    traffic.insert(traffic.end(), std::make_move_iterator(windows.begin()),
+                   std::make_move_iterator(windows.end()));
+  }
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    if (i % 3 == 0) traffic[i].priority = cs::WindowPriority::kUrgent;
+  }
+  return traffic;
+}
+
+/// One in-process shard: a ShardServer running its event loop on a thread.
+struct LocalShard {
+  std::unique_ptr<ShardServer> server;
+  std::thread loop;
+
+  explicit LocalShard(int threads) {
+    ShardServerConfig cfg;
+    cfg.engine = fast_engine(threads);
+    // The node path emits exact fixed-point multiples; advertising the
+    // scale exercises the compact coding end to end.
+    cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
+    server = std::make_unique<ShardServer>(cfg);
+    EXPECT_TRUE(server->start());
+    loop = std::thread([s = server.get()] { s->run(); });
+  }
+
+  ~LocalShard() {
+    server->stop();
+    if (loop.joinable()) loop.join();
+  }
+
+  ShardEndpoint endpoint() const { return {"127.0.0.1", server->port()}; }
+};
+
+RoutingClientConfig client_config() {
+  RoutingClientConfig cfg;
+  cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
+  return cfg;
+}
+
+std::map<WindowKey, WindowResult> serial_reference(
+    const std::vector<CompressedWindow>& traffic) {
+  std::map<WindowKey, WindowResult> reference;
+  ReconstructionEngine serial(fast_engine(0));
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    serial.submit(std::move(copy));
+  }
+  for (auto& result : serial.drain()) {
+    reference.emplace(WindowKey{result.patient_id, result.window_index}, std::move(result));
+  }
+  return reference;
+}
+
+TEST(RoutingClient, RoundTripMatchesSerialReferenceBitForBit) {
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/3);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard a(2), b(2);
+  RoutingClient client(client_config());
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+
+  std::set<std::uint64_t> submit_tickets;
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    const auto ticket = client.submit(std::move(copy));
+    ASSERT_TRUE(ticket.has_value());
+    EXPECT_TRUE(submit_tickets.insert(*ticket).second) << "tickets must be unique";
+    // Composite form: epoch 0, the owner shard of the patient.
+    EXPECT_EQ(host::ReconstructionFabric::ticket_epoch(*ticket), 0u);
+    EXPECT_EQ(host::ReconstructionFabric::ticket_shard(*ticket),
+              client.owner(window.patient_id));
+  }
+
+  auto results = client.drain();
+  ASSERT_EQ(results.size(), traffic.size());
+  std::set<std::uint64_t> result_tickets;
+  for (const auto& result : results) {
+    result_tickets.insert(result.ticket);
+    const auto ref = reference.find({result.patient_id, result.window_index});
+    ASSERT_NE(ref, reference.end());
+    EXPECT_TRUE(bit_identical(result.signal, ref->second.signal))
+        << "patient " << result.patient_id << " window " << result.window_index
+        << " diverged across the wire";
+    EXPECT_EQ(result.iterations, ref->second.iterations);
+    EXPECT_EQ(result.snr_db, ref->second.snr_db);
+  }
+  EXPECT_EQ(result_tickets, submit_tickets)
+      << "every result must carry the composite ticket its submit returned";
+
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, traffic.size());
+  EXPECT_EQ(agg.completed, traffic.size());
+  EXPECT_EQ(agg.retrieved, traffic.size());
+  EXPECT_EQ(agg.unsolved, 0u);
+  EXPECT_EQ(agg.ready, 0u);
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(RoutingClient, LiveGrowAndShrinkConserveEverything) {
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/3);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard a(1), b(1), c(1);
+  RoutingClient client(client_config());
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+
+  std::map<WindowKey, WindowResult> results;
+  const auto keep = [&](WindowResult&& r) {
+    const WindowKey key{r.patient_id, r.window_index};
+    EXPECT_TRUE(results.emplace(key, std::move(r)).second) << "duplicate result";
+  };
+
+  const std::size_t third = traffic.size() / 3;
+  std::size_t i = 0;
+  for (; i < third; ++i) {
+    CompressedWindow copy = traffic[i];
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+    if (auto r = client.poll()) keep(std::move(*r));
+  }
+
+  // Live grow 2 -> 3 with traffic in flight.
+  ASSERT_TRUE(client.set_topology({a.endpoint(), b.endpoint(), c.endpoint()}));
+  EXPECT_EQ(client.epoch(), 1u);
+  EXPECT_EQ(client.shard_count(), 3u);
+  for (; i < 2 * third; ++i) {
+    CompressedWindow copy = traffic[i];
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+    if (auto r = client.poll()) keep(std::move(*r));
+  }
+
+  // Live shrink 3 -> 1: shards a and c retire, their parked results and
+  // counters fold into the client.
+  ASSERT_TRUE(client.set_topology({b.endpoint()}));
+  EXPECT_EQ(client.epoch(), 2u);
+  EXPECT_EQ(client.shard_count(), 1u);
+  for (; i < traffic.size(); ++i) {
+    CompressedWindow copy = traffic[i];
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+  }
+
+  for (auto&& r : client.drain()) keep(std::move(r));
+  ASSERT_EQ(results.size(), traffic.size());
+  for (const auto& [key, expected] : reference) {
+    const auto found = results.find(key);
+    ASSERT_NE(found, results.end());
+    EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+        << "patient " << key.first << " window " << key.second
+        << " diverged across reshard";
+    EXPECT_EQ(found->second.iterations, expected.iterations);
+  }
+
+  // Counter conservation across the whole topology history, including the
+  // two retired shards' folded snapshots.
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, traffic.size());
+  EXPECT_EQ(agg.completed, traffic.size());
+  EXPECT_EQ(agg.retrieved, traffic.size());
+  EXPECT_EQ(agg.rejected, 0u);
+  EXPECT_EQ(agg.shed_routine + agg.shed_urgent, 0u);
+  EXPECT_EQ(agg.unsolved, 0u);
+  EXPECT_EQ(agg.ready, 0u);
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(RoutingClient, SloHistoryFollowsThePatientAcrossShards) {
+  const auto traffic = fleet_traffic(/*patients=*/4, /*beats_per_patient=*/3);
+  LocalShard a(1), b(1), c(1);
+  RoutingClient client(client_config());
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+
+  std::map<std::uint32_t, std::uint64_t> per_patient_submitted;
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+    ++per_patient_submitted[window.patient_id];
+  }
+  (void)client.drain();
+
+  // Two reshards: every patient's tracked history must survive wherever
+  // consistent hashing lands them.
+  ASSERT_TRUE(client.set_topology({b.endpoint(), c.endpoint(), a.endpoint()}));
+  ASSERT_TRUE(client.set_topology({c.endpoint(), a.endpoint()}));
+
+  for (const auto& [patient, submitted] : per_patient_submitted) {
+    const auto state = client.patient_slo_state(patient);
+    ASSERT_TRUE(state.has_value()) << "patient " << patient << " lost their tracker";
+    EXPECT_EQ(state->submitted, submitted) << "patient " << patient;
+    EXPECT_EQ(state->completed, submitted) << "patient " << patient;
+    EXPECT_EQ(state->retrieved, submitted) << "patient " << patient;
+  }
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(Protocol, TalkingBeforeHelloIsRefused) {
+  LocalShard shard(0);
+  Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+  ASSERT_TRUE(fd.valid());
+  std::vector<std::uint8_t> buf;
+  encode_poll(buf, 1);  // POLL before HELLO.
+  ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+
+  std::vector<std::uint8_t> rx(4096);
+  std::vector<std::uint8_t> acc;
+  FrameView view;
+  for (;;) {
+    const long n = recv_some(fd.get(), rx.data(), rx.size());
+    ASSERT_GT(n, 0) << "server closed without an ERROR frame";
+    acc.insert(acc.end(), rx.begin(), rx.begin() + n);
+    const auto status = peek_frame(acc, view);
+    if (status == FrameStatus::kOk) break;
+    ASSERT_EQ(status, FrameStatus::kNeedMore);
+  }
+  ASSERT_EQ(view.type, FrameType::kError);
+  ErrorPayload error;
+  ASSERT_TRUE(decode_error(view.payload, error));
+  EXPECT_EQ(error.code, ErrorCode::kNotNegotiated);
+}
+
+TEST(Protocol, UnknownVersionGetsErrorNotGuesswork) {
+  LocalShard shard(0);
+  Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+  ASSERT_TRUE(fd.valid());
+
+  // A well-formed frame stamped with a future version (CRC valid).
+  std::vector<std::uint8_t> buf;
+  encode_poll(buf, 1);
+  buf[2] = 7;
+  const std::uint32_t crc = crc32c(buf.data(), buf.size() - kFrameTrailerBytes);
+  buf[buf.size() - 4] = static_cast<std::uint8_t>(crc);
+  buf[buf.size() - 3] = static_cast<std::uint8_t>(crc >> 8);
+  buf[buf.size() - 2] = static_cast<std::uint8_t>(crc >> 16);
+  buf[buf.size() - 1] = static_cast<std::uint8_t>(crc >> 24);
+  ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+
+  std::vector<std::uint8_t> rx(4096);
+  std::vector<std::uint8_t> acc;
+  FrameView view;
+  for (;;) {
+    const long n = recv_some(fd.get(), rx.data(), rx.size());
+    ASSERT_GT(n, 0) << "server closed without an ERROR frame";
+    acc.insert(acc.end(), rx.begin(), rx.begin() + n);
+    const auto status = peek_frame(acc, view);
+    if (status == FrameStatus::kOk) break;
+    ASSERT_EQ(status, FrameStatus::kNeedMore);
+  }
+  ASSERT_EQ(view.type, FrameType::kError);
+  ErrorPayload error;
+  ASSERT_TRUE(decode_error(view.payload, error));
+  EXPECT_EQ(error.code, ErrorCode::kUnsupportedVersion);
+}
+
+TEST(Protocol, VersionNegotiationPicksMutualVersion) {
+  LocalShard shard(0);
+  Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+  ASSERT_TRUE(fd.valid());
+  // Offer a range spanning far beyond v1: the server picks the highest
+  // version both sides speak, which today is 1.
+  std::vector<std::uint8_t> buf;
+  encode_hello(buf, HelloPayload{1, 200});
+  ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+
+  std::vector<std::uint8_t> rx(4096);
+  std::vector<std::uint8_t> acc;
+  FrameView view;
+  for (;;) {
+    const long n = recv_some(fd.get(), rx.data(), rx.size());
+    ASSERT_GT(n, 0);
+    acc.insert(acc.end(), rx.begin(), rx.begin() + n);
+    if (peek_frame(acc, view) == FrameStatus::kOk) break;
+  }
+  ASSERT_EQ(view.type, FrameType::kHelloAck);
+  std::uint8_t version = 0;
+  ASSERT_TRUE(decode_hello_ack(view.payload, version));
+  EXPECT_EQ(version, kWireVersion);
+
+  // An offer entirely above our ceiling is refused.
+  Fd fd2 = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+  ASSERT_TRUE(fd2.valid());
+  buf.clear();
+  encode_hello(buf, HelloPayload{5, 9});
+  ASSERT_TRUE(send_all(fd2.get(), buf.data(), buf.size()));
+  acc.clear();
+  for (;;) {
+    const long n = recv_some(fd2.get(), rx.data(), rx.size());
+    ASSERT_GT(n, 0);
+    acc.insert(acc.end(), rx.begin(), rx.begin() + n);
+    if (peek_frame(acc, view) == FrameStatus::kOk) break;
+  }
+  ASSERT_EQ(view.type, FrameType::kError);
+  ErrorPayload error;
+  ASSERT_TRUE(decode_error(view.payload, error));
+  EXPECT_EQ(error.code, ErrorCode::kUnsupportedVersion);
+}
+
+}  // namespace
+}  // namespace wbsn::net

@@ -1,0 +1,512 @@
+// wbsn-wire v1 codec tests: CRC vectors, varint properties, value-coding
+// round trips (including the bit-exactness edge cases the fixed-point
+// fallback exists for), whole-frame round trips for every payload,
+// malformed-input rejection, and byte-for-byte replay of the committed
+// golden frames under tests/net/golden/ (the normative fixtures of
+// docs/WIRE_FORMAT.md — if an encoder change shifts a single byte, the
+// golden test fails and the spec must be revised deliberately).
+//
+// Regenerating goldens after an intentional format change:
+//   WBSN_REGEN_GOLDEN=1 ./net_wire_format_test
+// then commit the rewritten .bin files together with the spec update.
+
+#include "net/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/crc32c.hpp"
+
+namespace wbsn::net {
+namespace {
+
+std::vector<std::uint8_t> encode_one(const auto& encode_fn) {
+  std::vector<std::uint8_t> buf;
+  encode_fn(buf);
+  return buf;
+}
+
+FrameView must_peek(const std::vector<std::uint8_t>& buf) {
+  FrameView view;
+  EXPECT_EQ(peek_frame(buf, view), FrameStatus::kOk);
+  EXPECT_EQ(view.frame_bytes, buf.size());
+  return view;
+}
+
+TEST(Crc32c, MatchesRfc3720Vector) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(s, 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0x00000000u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = kCrc32cInit;
+    state = crc32c_update(state, data.data(), split);
+    state = crc32c_update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc32c_finish(state), crc32c(data.data(), data.size()));
+  }
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xFFFFFFFFull,
+                                  0x100000000ull,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    WireReader r(buf);
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Varint, RejectsOverlongEncoding) {
+  // 11 continuation bytes can never terminate a u64.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  WireReader r(buf);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ValueCoding, FixedPointGridShipsFixed16) {
+  const double scale = 0.125;
+  std::vector<double> values;
+  for (int i = -100; i <= 100; ++i) values.push_back(i * scale);
+  std::vector<std::uint8_t> buf;
+  encode_values(buf, values, WireEncodeOptions{scale});
+  EXPECT_EQ(static_cast<ValueCoding>(buf[0]), ValueCoding::kFixed16);
+  // 2 bytes/sample + coding byte + scale + count varint.
+  EXPECT_LT(buf.size(), values.size() * 3);
+  WireReader r(buf);
+  std::vector<double> decoded;
+  ASSERT_TRUE(decode_values(r, decoded));
+  ASSERT_EQ(decoded.size(), values.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), values.data(), values.size() * sizeof(double)), 0);
+}
+
+TEST(ValueCoding, WideGridFallsBackToFixed32ThenFloat64) {
+  const double scale = 1.0;
+  // Beyond i16 range but on the grid: fixed32.
+  std::vector<double> wide{40000.0, -40000.0, 1e9};
+  std::vector<std::uint8_t> buf;
+  encode_values(buf, wide, WireEncodeOptions{scale});
+  EXPECT_EQ(static_cast<ValueCoding>(buf[0]), ValueCoding::kFixed32);
+  WireReader r32(buf);
+  std::vector<double> decoded;
+  ASSERT_TRUE(decode_values(r32, decoded));
+  EXPECT_EQ(std::memcmp(decoded.data(), wide.data(), wide.size() * sizeof(double)), 0);
+
+  // Off the grid entirely: float64, still bit-exact.
+  std::vector<double> off{0.1, 2.7182818, -3.14159};
+  buf.clear();
+  encode_values(buf, off, WireEncodeOptions{scale});
+  EXPECT_EQ(static_cast<ValueCoding>(buf[0]), ValueCoding::kFloat64);
+  WireReader rf(buf);
+  ASSERT_TRUE(decode_values(rf, decoded));
+  EXPECT_EQ(std::memcmp(decoded.data(), off.data(), off.size() * sizeof(double)), 0);
+}
+
+TEST(ValueCoding, NonFiniteAndNegativeZeroNeverQuantize) {
+  // −0.0 quantizes to +0.0 and NaN/inf don't quantize at all: all must
+  // force the float64 fallback so decode is bitwise-identical.
+  const std::vector<double> tricky{-0.0, std::numeric_limits<double>::quiet_NaN(),
+                                   std::numeric_limits<double>::infinity(), 1.0};
+  std::vector<std::uint8_t> buf;
+  encode_values(buf, tricky, WireEncodeOptions{1.0});
+  EXPECT_EQ(static_cast<ValueCoding>(buf[0]), ValueCoding::kFloat64);
+  WireReader r(buf);
+  std::vector<double> decoded;
+  ASSERT_TRUE(decode_values(r, decoded));
+  ASSERT_EQ(decoded.size(), tricky.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), tricky.data(), tricky.size() * sizeof(double)), 0);
+  EXPECT_TRUE(std::signbit(decoded[0]));
+  EXPECT_TRUE(std::isnan(decoded[1]));
+}
+
+host::CompressedWindow sample_window() {
+  host::CompressedWindow w;
+  w.patient_id = 42;
+  w.window_index = 7;
+  w.matrix_seed = 0xC0FFEE;
+  w.window_samples = 8;
+  w.ones_per_column = 4;
+  w.priority = cs::WindowPriority::kUrgent;
+  w.route_tag = 3;
+  const double scale = 0.0048828125;  // 2.5 mV / 512: an ADC-like LSB.
+  for (int i = 0; i < 6; ++i) w.measurements.push_back((i - 3) * scale);
+  return w;
+}
+
+host::WindowResult sample_result() {
+  host::WindowResult r;
+  r.patient_id = 42;
+  r.window_index = 7;
+  r.priority = cs::WindowPriority::kUrgent;
+  r.route_tag = 3;
+  r.ticket = 12345;
+  r.signal = {0.25, -0.5, 0.333333333333, 1e-9, -0.0, 2.5};
+  r.snr_db = 21.7;
+  r.iterations = 83;
+  r.latency_ms = 1.25;
+  r.e2e_ms = 4.5;
+  return r;
+}
+
+TEST(Frames, SubmitWindowRoundTripsBitExactly) {
+  const auto w = sample_window();
+  WireEncodeOptions opts{0.0048828125};
+  const auto buf =
+      encode_one([&](auto& b) { encode_submit_window(b, w, kSubmitFlagBlocking, opts); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kSubmitWindow);
+  host::CompressedWindow d;
+  std::uint8_t flags = 0;
+  ASSERT_TRUE(decode_submit_window(view.payload, d, flags, nullptr));
+  EXPECT_EQ(flags, kSubmitFlagBlocking);
+  EXPECT_EQ(d.patient_id, w.patient_id);
+  EXPECT_EQ(d.window_index, w.window_index);
+  EXPECT_EQ(d.matrix_seed, w.matrix_seed);
+  EXPECT_EQ(d.window_samples, w.window_samples);
+  EXPECT_EQ(d.ones_per_column, w.ones_per_column);
+  EXPECT_EQ(d.priority, w.priority);
+  EXPECT_EQ(d.route_tag, w.route_tag);
+  ASSERT_EQ(d.measurements.size(), w.measurements.size());
+  EXPECT_EQ(std::memcmp(d.measurements.data(), w.measurements.data(),
+                        w.measurements.size() * sizeof(double)),
+            0);
+  EXPECT_TRUE(d.reference.empty());
+}
+
+TEST(Frames, ResultRoundTripsBitExactly) {
+  const auto res = sample_result();
+  const auto buf = encode_one([&](auto& b) { encode_result(b, res, WireEncodeOptions{}); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kResult);
+  host::WindowResult d;
+  ASSERT_TRUE(decode_result(view.payload, d, nullptr));
+  EXPECT_EQ(d.patient_id, res.patient_id);
+  EXPECT_EQ(d.ticket, res.ticket);
+  EXPECT_EQ(d.iterations, res.iterations);
+  EXPECT_EQ(d.snr_db, res.snr_db);
+  EXPECT_EQ(d.latency_ms, res.latency_ms);
+  EXPECT_EQ(d.e2e_ms, res.e2e_ms);
+  ASSERT_EQ(d.signal.size(), res.signal.size());
+  EXPECT_EQ(
+      std::memcmp(d.signal.data(), res.signal.data(), res.signal.size() * sizeof(double)), 0);
+}
+
+TEST(Frames, RandomizedWindowsRoundTripBitExactly) {
+  std::mt19937_64 rng(0xD5EADu);
+  std::uniform_real_distribution<double> uniform(-5.0, 5.0);
+  for (int iter = 0; iter < 200; ++iter) {
+    host::CompressedWindow w;
+    w.patient_id = static_cast<std::uint32_t>(rng());
+    w.window_index = static_cast<std::uint32_t>(rng());
+    w.matrix_seed = rng();
+    w.window_samples = static_cast<std::uint32_t>(rng() % 2048);
+    w.ones_per_column = 1 + static_cast<std::uint32_t>(rng() % 8);
+    w.priority = (rng() & 1) ? cs::WindowPriority::kUrgent : cs::WindowPriority::kRoutine;
+    w.route_tag = static_cast<std::uint32_t>(rng() % 4096);
+    const std::size_t m = rng() % 300;
+    for (std::size_t i = 0; i < m; ++i) w.measurements.push_back(uniform(rng));
+    if (rng() & 1) {
+      for (std::size_t i = 0; i < 64; ++i) w.reference.push_back(uniform(rng));
+    }
+    // Half the iterations offer a fixed scale the data won't fit: the
+    // encoder must fall back and stay bit-exact regardless.
+    WireEncodeOptions opts{(rng() & 1) ? 0.001 : 0.0};
+    std::vector<std::uint8_t> buf;
+    encode_submit_window(buf, w, 0, opts);
+    const auto view = must_peek(buf);
+    host::CompressedWindow d;
+    std::uint8_t flags = 0;
+    ASSERT_TRUE(decode_submit_window(view.payload, d, flags, nullptr));
+    ASSERT_EQ(d.measurements.size(), w.measurements.size());
+    if (!w.measurements.empty()) {
+      EXPECT_EQ(std::memcmp(d.measurements.data(), w.measurements.data(),
+                            w.measurements.size() * sizeof(double)),
+                0);
+    }
+    ASSERT_EQ(d.reference.size(), w.reference.size());
+    if (!w.reference.empty()) {
+      EXPECT_EQ(std::memcmp(d.reference.data(), w.reference.data(),
+                            w.reference.size() * sizeof(double)),
+                0);
+    }
+  }
+}
+
+TEST(Frames, MaxSizeVarintFieldsRoundTrip) {
+  host::CompressedWindow w = sample_window();
+  w.patient_id = std::numeric_limits<std::uint32_t>::max();
+  w.window_index = std::numeric_limits<std::uint32_t>::max();
+  w.matrix_seed = std::numeric_limits<std::uint64_t>::max();
+  w.route_tag = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint8_t> buf;
+  encode_submit_window(buf, w, 0xFF, WireEncodeOptions{});
+  const auto view = must_peek(buf);
+  host::CompressedWindow d;
+  std::uint8_t flags = 0;
+  ASSERT_TRUE(decode_submit_window(view.payload, d, flags, nullptr));
+  EXPECT_EQ(d.patient_id, w.patient_id);
+  EXPECT_EQ(d.matrix_seed, w.matrix_seed);
+  EXPECT_EQ(flags, 0xFF);
+
+  std::vector<std::uint8_t> ack;
+  encode_submit_ack(ack, std::numeric_limits<std::uint64_t>::max());
+  std::uint64_t ticket = 0;
+  ASSERT_TRUE(decode_submit_ack(must_peek(ack).payload, ticket));
+  EXPECT_EQ(ticket, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Frames, ControlFramesRoundTrip) {
+  {
+    const auto buf = encode_one([](auto& b) { encode_hello(b, HelloPayload{1, 9}); });
+    HelloPayload h;
+    ASSERT_TRUE(decode_hello(must_peek(buf).payload, h));
+    EXPECT_EQ(h.min_version, 1);
+    EXPECT_EQ(h.max_version, 9);
+  }
+  {
+    const auto buf = encode_one([](auto& b) {
+      encode_error(b, ErrorPayload{ErrorCode::kBadPayload, "oops"});
+    });
+    ErrorPayload e;
+    ASSERT_TRUE(decode_error(must_peek(buf).payload, e));
+    EXPECT_EQ(e.code, ErrorCode::kBadPayload);
+    EXPECT_EQ(e.detail, "oops");
+  }
+  {
+    const auto buf = encode_one(
+        [](auto& b) { encode_patient_frame(b, FrameType::kDrainPatient, 777); });
+    std::uint32_t patient = 0;
+    ASSERT_TRUE(decode_patient_frame(must_peek(buf).payload, patient));
+    EXPECT_EQ(patient, 777u);
+  }
+  {
+    SnapshotPayload s;
+    s.submitted = 100;
+    s.completed = 90;
+    s.retrieved = 80;
+    s.shed_routine = 6;
+    s.shed_urgent = 1;
+    s.rejected = 3;
+    s.deadline_violations = 2;
+    s.unsolved = 4;
+    s.ready = 10;
+    const auto buf = encode_one([&](auto& b) { encode_snapshot(b, s); });
+    SnapshotPayload d;
+    ASSERT_TRUE(decode_snapshot(must_peek(buf).payload, d));
+    EXPECT_EQ(d.submitted, 100u);
+    EXPECT_EQ(d.ready, 10u);
+  }
+  {
+    SloStatePayload slo;
+    slo.patient_id = 9;
+    slo.present = true;
+    slo.state.submitted = 12;
+    slo.state.completed = 11;
+    slo.state.sum_us = 34567;
+    slo.state.max_us = 9999;
+    slo.state.elapsed_us = 1000000;
+    slo.state.buckets = {{3, 4}, {17, 7}};
+    const auto buf =
+        encode_one([&](auto& b) { encode_slo_state(b, FrameType::kSloState, slo); });
+    SloStatePayload d;
+    ASSERT_TRUE(decode_slo_state(must_peek(buf).payload, d));
+    EXPECT_EQ(d.patient_id, 9u);
+    ASSERT_TRUE(d.present);
+    EXPECT_EQ(d.state.submitted, 12u);
+    ASSERT_EQ(d.state.buckets.size(), 2u);
+    EXPECT_EQ(d.state.buckets[1].first, 17u);
+    EXPECT_EQ(d.state.buckets[1].second, 7u);
+  }
+}
+
+TEST(Framing, TruncatedFramesWantMoreBytes) {
+  const auto buf = encode_one([](auto& b) { encode_poll(b, 32); });
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    FrameView view;
+    EXPECT_EQ(peek_frame({buf.data(), len}, view), FrameStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+  FrameView view;
+  EXPECT_EQ(peek_frame(buf, view), FrameStatus::kOk);
+}
+
+TEST(Framing, EveryFlippedBitIsRejected) {
+  const auto buf = encode_one([](auto& b) { encode_submit_ack(b, 0xDEADBEEF); });
+  for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = buf;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      FrameView view;
+      const auto status = peek_frame(corrupt, view);
+      // Whatever the flipped bit hit (magic, version, type, length,
+      // payload, CRC), the frame must not decode as a clean kOk of the
+      // original — either the status reports the damage, or the length
+      // field grew and the parser asks for bytes that never come.
+      if (status == FrameStatus::kOk) {
+        // A flip in the version byte is the only field the CRC covers
+        // that peek reports separately; everything else must fail.
+        ADD_FAILURE() << "byte " << byte << " bit " << bit << " accepted";
+      }
+    }
+  }
+}
+
+TEST(Framing, UnknownVersionIsSurfacedNotGuessed) {
+  auto buf = encode_one([](auto& b) { encode_poll(b, 1); });
+  buf[2] = 2;  // Future version...
+  // ...with a correct CRC (a real v2 sender would checksum correctly).
+  const std::uint32_t crc = crc32c(buf.data(), buf.size() - kFrameTrailerBytes);
+  buf[buf.size() - 4] = static_cast<std::uint8_t>(crc);
+  buf[buf.size() - 3] = static_cast<std::uint8_t>(crc >> 8);
+  buf[buf.size() - 2] = static_cast<std::uint8_t>(crc >> 16);
+  buf[buf.size() - 1] = static_cast<std::uint8_t>(crc >> 24);
+  FrameView view;
+  EXPECT_EQ(peek_frame(buf, view), FrameStatus::kBadVersion);
+  EXPECT_EQ(view.version, 2);
+  EXPECT_EQ(view.frame_bytes, buf.size());  // Skippable without a guess.
+}
+
+TEST(Framing, OversizedLengthRejectedBeforeBuffering) {
+  std::vector<std::uint8_t> buf{kMagic0, kMagic1, kWireVersion,
+                                static_cast<std::uint8_t>(FrameType::kPoll),
+                                0xFF, 0xFF, 0xFF, 0x7F};
+  FrameView view;
+  EXPECT_EQ(peek_frame(buf, view), FrameStatus::kOversized);
+}
+
+TEST(Framing, GarbageBytesAreBadMagic) {
+  const std::vector<std::uint8_t> buf{0x00, 0x01, 0x02, 0x03};
+  FrameView view;
+  EXPECT_EQ(peek_frame(buf, view), FrameStatus::kBadMagic);
+}
+
+// --- Golden frames -----------------------------------------------------------
+
+struct Golden {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+std::vector<Golden> golden_set() {
+  std::vector<Golden> set;
+  set.push_back({"hello.bin", encode_one([](auto& b) { encode_hello(b, HelloPayload{1, 1}); })});
+  set.push_back({"hello_ack.bin", encode_one([](auto& b) { encode_hello_ack(b, 1); })});
+  set.push_back({"error_unsupported_version.bin", encode_one([](auto& b) {
+                   encode_error(b, ErrorPayload{ErrorCode::kUnsupportedVersion,
+                                                "no mutual wire version"});
+                 })});
+  set.push_back({"submit_window_fixed16.bin", encode_one([](auto& b) {
+                   encode_submit_window(b, sample_window(), kSubmitFlagBlocking,
+                                        WireEncodeOptions{0.0048828125});
+                 })});
+  set.push_back({"result_float64.bin", encode_one([](auto& b) {
+                   encode_result(b, sample_result(), WireEncodeOptions{});
+                 })});
+  set.push_back({"poll.bin", encode_one([](auto& b) { encode_poll(b, 64); })});
+  set.push_back({"slo_state.bin", encode_one([](auto& b) {
+                   SloStatePayload slo;
+                   slo.patient_id = 42;
+                   slo.present = true;
+                   slo.state.submitted = 10;
+                   slo.state.completed = 10;
+                   slo.state.retrieved = 9;
+                   slo.state.sum_us = 123456;
+                   slo.state.max_us = 40000;
+                   slo.state.max_in_flight = 4;
+                   slo.state.elapsed_us = 2000000;
+                   slo.state.buckets = {{96, 3}, {104, 7}};
+                   encode_slo_state(b, FrameType::kSloState, slo);
+                 })});
+  set.push_back({"snapshot.bin", encode_one([](auto& b) {
+                   SnapshotPayload s;
+                   s.submitted = 1000;
+                   s.completed = 990;
+                   s.retrieved = 980;
+                   s.shed_routine = 7;
+                   s.shed_urgent = 3;
+                   s.rejected = 11;
+                   s.deadline_violations = 5;
+                   s.unsolved = 0;
+                   s.ready = 10;
+                   encode_snapshot(b, s);
+                 })});
+  set.push_back({"bye.bin", encode_one([](auto& b) { encode_bye(b); })});
+  return set;
+}
+
+std::string golden_dir() { return WBSN_GOLDEN_FRAME_DIR; }
+
+TEST(Golden, CommittedFramesMatchEncoderByteForByte) {
+  const auto set = golden_set();
+  if (std::getenv("WBSN_REGEN_GOLDEN") != nullptr) {
+    for (const auto& g : set) {
+      std::ofstream out(golden_dir() + "/" + g.name, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << g.name;
+      out.write(reinterpret_cast<const char*>(g.bytes.data()),
+                static_cast<std::streamsize>(g.bytes.size()));
+    }
+    GTEST_SKIP() << "regenerated " << set.size() << " golden frames";
+  }
+  for (const auto& g : set) {
+    std::ifstream in(golden_dir() + "/" + g.name, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden frame " << g.name
+                           << " (run with WBSN_REGEN_GOLDEN=1 to create)";
+    std::vector<std::uint8_t> disk((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+    ASSERT_EQ(disk.size(), g.bytes.size()) << g.name;
+    EXPECT_EQ(std::memcmp(disk.data(), g.bytes.data(), disk.size()), 0)
+        << g.name << ": committed bytes diverge from the current encoder — "
+        << "either fix the regression or consciously regenerate + update "
+        << "docs/WIRE_FORMAT.md";
+  }
+}
+
+TEST(Golden, CommittedSubmitWindowDecodesIndependently) {
+  // Decode the *file*, not the encoder's output: proves a fresh decoder
+  // implementation agrees with the committed spec fixtures.
+  std::ifstream in(golden_dir() + "/submit_window_fixed16.bin", std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<std::uint8_t> disk((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  FrameView view;
+  ASSERT_EQ(peek_frame(disk, view), FrameStatus::kOk);
+  ASSERT_EQ(view.type, FrameType::kSubmitWindow);
+  host::CompressedWindow w;
+  std::uint8_t flags = 0;
+  ASSERT_TRUE(decode_submit_window(view.payload, w, flags, nullptr));
+  const auto expect = sample_window();
+  EXPECT_EQ(flags, kSubmitFlagBlocking);
+  EXPECT_EQ(w.patient_id, expect.patient_id);
+  EXPECT_EQ(w.window_index, expect.window_index);
+  EXPECT_EQ(w.matrix_seed, expect.matrix_seed);
+  EXPECT_EQ(w.window_samples, expect.window_samples);
+  EXPECT_EQ(w.priority, expect.priority);
+  ASSERT_EQ(w.measurements.size(), expect.measurements.size());
+  EXPECT_EQ(std::memcmp(w.measurements.data(), expect.measurements.data(),
+                        w.measurements.size() * sizeof(double)),
+            0);
+}
+
+}  // namespace
+}  // namespace wbsn::net
