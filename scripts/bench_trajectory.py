@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Benchmark-trajectory gate: run the perf suite, record it, compare it.
 
-Runs the two steady benchmarks —
+Runs the three steady benchmarks —
 
   * micro_kernels (google-benchmark, JSON output, median of N repetitions)
   * host_throughput --poisson (streaming fabric; its --json metrics file)
+  * net_loopback --pipeline (wire v2 batched submits vs the v1 per-window
+    path over real loopback TCP; its --json metrics file)
 
-— merges both into one BENCH_results.json (the CI artifact, one point of
+— merges them into one BENCH_results.json (the CI artifact, one point of
 the performance trajectory), and compares throughput metrics against the
 committed baseline (bench/BENCH_baseline.json).  The streaming
 throughput (windows/second over a multi-second Poisson run) gates at
@@ -15,6 +17,13 @@ because nanosecond-scale benches jitter 10-20% run-to-run on shared
 runners even as medians of repetitions.  Latency and allocation metrics
 ride along informationally (CI runners are too noisy to gate on absolute
 times, so only relative throughput is enforced).
+
+The net_loopback comparison carries a hard floor: pipelined v2 submit
+throughput must beat the v1 per-window path by NET_LOOPBACK_SPEEDUP_FLOOR.
+Because the two phases race the host scheduler on a shared-core runner,
+the invocation is retried (up to NET_LOOPBACK_ATTEMPTS) and the best
+attempt is what gates — but bit-exactness is never retried: one corrupt
+attempt fails the whole run.
 
 Only the standard library is used.  Typical invocations:
 
@@ -39,6 +48,12 @@ HOST_THROUGHPUT_ARGS = [
     "8", "12", "50", "--poisson", "400", "--threads", "2", "--shards", "2",
     "--batch", "0", "--pool",
 ]
+NET_LOOPBACK_ARGS = [
+    "16", "24", "75", "--shards", "1", "--threads", "1",
+    "--pipeline", "8", "--batch-frames", "16", "--repeat", "5",
+]
+NET_LOOPBACK_ATTEMPTS = 3
+NET_LOOPBACK_SPEEDUP_FLOOR = 3.0
 MICRO_REPETITIONS = 3
 
 # Gated metrics: higher is better, relative to baseline.
@@ -103,6 +118,42 @@ def run_host_throughput(build_dir):
         os.unlink(out_path)
 
 
+def run_net_loopback(build_dir):
+    """net_loopback --pipeline --json -> best attempt's metrics object.
+
+    The binary itself is best-of-N on the submit clock; this retries whole
+    invocations because a shared-core runner can steal the CPU for an
+    entire phase.  Every attempt must be bit-exact — correctness failures
+    are not retried.
+    """
+    binary = os.path.join(build_dir, "bench", "net_loopback")
+    best = None
+    for attempt in range(1, NET_LOOPBACK_ATTEMPTS + 1):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out_path = tmp.name
+        try:
+            subprocess.run([binary, *NET_LOOPBACK_ARGS, "--json", out_path],
+                           stdout=subprocess.DEVNULL)
+            try:
+                with open(out_path) as f:
+                    metrics = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                raise SystemExit("net_loopback produced no metrics JSON")
+        finally:
+            os.unlink(out_path)
+        if metrics.get("bit_exact") != 1:
+            raise SystemExit(
+                "net_loopback: pipelined phase was not bit-exact against the "
+                "serial reference (not retryable)")
+        if best is None or metrics.get("speedup", 0) > best.get("speedup", 0):
+            best = metrics
+        print(f"#   attempt {attempt}: speedup {metrics.get('speedup', 0):.2f}x")
+        if best.get("speedup", 0) >= NET_LOOPBACK_SPEEDUP_FLOOR:
+            break
+    best["attempts"] = attempt
+    return best
+
+
 def compare(results, baseline, tolerance, micro_tolerance):
     """Returns a list of failure strings (empty = gate passes)."""
     failures = []
@@ -135,6 +186,18 @@ def compare(results, baseline, tolerance, micro_tolerance):
 
     if new_host.get("bit_exact") == 0:
         failures.append("host_throughput: bit-exactness check failed")
+
+    base_net = baseline.get("net_loopback_pipeline", {})
+    new_net = results.get("net_loopback_pipeline", {})
+    check("net_loopback/v2_win_per_s", new_net.get("v2_win_per_s"),
+          base_net.get("v2_win_per_s"), micro_tolerance)
+    speedup = new_net.get("speedup")
+    if speedup is not None and speedup < NET_LOOPBACK_SPEEDUP_FLOOR:
+        failures.append(
+            f"net_loopback: pipelined speedup {speedup:.2f}x "
+            f"< {NET_LOOPBACK_SPEEDUP_FLOOR:.1f}x floor")
+    if new_net.get("bit_exact") == 0:
+        failures.append("net_loopback: bit-exactness check failed")
     return failures
 
 
@@ -167,11 +230,14 @@ def main():
     print(f"#   {len(micro)} benchmarks")
     print("# host_throughput " + " ".join(HOST_THROUGHPUT_ARGS))
     host = run_host_throughput(args.build_dir)
+    print("# net_loopback " + " ".join(NET_LOOPBACK_ARGS))
+    net = run_net_loopback(args.build_dir)
 
     results = {
         "schema": 1,
         "micro": micro,
         "host_throughput_poisson": host,
+        "net_loopback_pipeline": net,
     }
     with open(args.output, "w") as f:
         json.dump(results, f, indent=2, sort_keys=True)

@@ -246,6 +246,7 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     }
     work_cv_.notify_all();
   }
+  if (group.size() >= 2) slo_.on_grouped(group.size());
 
   // Measurements are *borrowed* from the queued windows (no copies — the
   // buffers travel by move from the producer through the queue to here),
@@ -332,6 +333,10 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   // already in done_.
   in_flight_.fetch_sub(group.size(), std::memory_order_acq_rel);
   done_cv_.notify_all();
+  // Strictly after the slot release: a hook-driven try_submit_step retry
+  // that still fails saw the engine genuinely full again, so the next
+  // completion's hook is guaranteed to re-wake it (no lost-wakeup window).
+  if (cfg_.progress_hook) cfg_.progress_hook();
 }
 
 void ReconstructionEngine::retire_pending(std::span<const std::uint32_t> patient_ids) {
@@ -442,6 +447,14 @@ double ReconstructionEngine::solve_estimate_ms(std::uint32_t measurements,
   return static_cast<double>(ewma_solve_us_.load(std::memory_order_relaxed)) / 1000.0;
 }
 
+double shed_aging_protection(double age_ms, double deadline_ms, double aging_deadlines) {
+  if (aging_deadlines <= 1.0 || deadline_ms <= 0.0) return 0.0;
+  // 0 protection up to one deadline of age, full protection at
+  // aging_deadlines deadlines, linear in between.
+  const double protection = (age_ms - deadline_ms) / ((aging_deadlines - 1.0) * deadline_ms);
+  return std::clamp(protection, 0.0, 1.0);
+}
+
 bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priority) {
   const double deadline_ms = cfg_.slo.deadline_ms;
   if (deadline_ms <= 0.0) return false;
@@ -472,6 +485,16 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
       const double age_ms = ms_between(item->enqueue_time, now);
       const double overshoot_ms = age_ms + cum_wait_ms - deadline_ms;
       if (overshoot_ms <= 0.0) return std::nullopt;  // Still expected to make it.
+      if (!urgent) {
+        // Starvation guard: a routine window that has already outlived its
+        // deadline under a sustained urgent flood earns shed protection
+        // with age, so the predictor victimizes younger doomed windows
+        // instead of re-dooming the same survivor forever.
+        const double protection =
+            shed_aging_protection(age_ms, deadline_ms, cfg_.shed_starvation_aging);
+        if (protection >= 1.0) return std::nullopt;  // Fully aged: shed-exempt.
+        return overshoot_ms * (1.0 - protection);
+      }
       return overshoot_ms;  // Shed the most-doomed window.
     };
   };
@@ -495,6 +518,9 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
   // shedding under overload must not bleed the pool dry.
   release_window_payload(item->window);
   recycle_item(item);
+  // A shed is progress too: the victim's patient may have quiesced, which
+  // a deferred drain_patient waiter behind the hook must observe.
+  if (cfg_.progress_hook) cfg_.progress_hook();
   return true;  // The victim's in-flight reservation passes to the arrival.
 }
 
@@ -506,6 +532,13 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit(CompressedWindow&&
   slo_.on_reject();
   lane_slo_[lane].on_reject();
   return std::nullopt;
+}
+
+std::optional<std::uint64_t> ReconstructionEngine::try_submit_step(CompressedWindow&& window) {
+  // Blocking-submit semantics, one step at a time: no shedding (a waiter
+  // must not drop queued work) and no reject accounting (a failed step is
+  // backpressure the caller waits out, not a bounced window).
+  return try_submit_impl(std::move(window), /*allow_shedding=*/false);
 }
 
 std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWindow&& window,
@@ -538,7 +571,16 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
     std::lock_guard<std::mutex> lk(pending_mutex_);
     ++patient_pending_[item->window.patient_id];
   }
-  queue_.push(item, urgent);
+  if (cfg_.group_submits_by_seed) {
+    // Insert next to the newest queued window sharing this sensing matrix
+    // (object identity — grouping is by the same test process_batch uses),
+    // so worker pops see contiguous same-matrix runs.
+    const cs::SensingMatrix* phi = item->phi.get();
+    queue_.push_grouped(item, urgent,
+                        [phi](WorkItem* other) { return other->phi.get() == phi; });
+  } else {
+    queue_.push(item, urgent);
+  }
 
   if (!workers_.empty()) {
     {

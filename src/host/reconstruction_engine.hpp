@@ -57,6 +57,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -175,6 +176,33 @@ struct EngineConfig {
   /// Per-window solve-time estimate feeding the shed predictor, in ms.
   /// 0 (default) uses the engine's measured EWMA of completed solves.
   double shed_solve_estimate_ms = 0.0;
+  /// Starvation guard for the shed predictor's routine lane.  Under a
+  /// sustained urgent flood, deadline shedding keeps picking routine
+  /// victims; without a guard an unlucky routine window can be re-doomed
+  /// forever.  A value > 1 grants each routine window growing shed
+  /// protection with age (shed_aging_protection): its shed score fades
+  /// linearly once it outlives its deadline and it becomes fully
+  /// shed-exempt at `shed_starvation_aging` deadlines of age, forcing the
+  /// predictor to pick younger victims (or reject the arrival).  <= 1
+  /// (default) disables aging — pure worst-overshoot victim selection.
+  double shed_starvation_aging = 0.0;
+  /// Place each submitted window next to the newest queued window sharing
+  /// its sensing matrix (same lane; FIFO otherwise) instead of strictly at
+  /// the back.  Workers pop contiguous runs, so backlog auto-batching
+  /// (batch_windows == 0) then packs same-matrix groups far more often
+  /// under interleaved multi-patient traffic.  Values are unaffected
+  /// (determinism contract); only completion order moves.  Observability:
+  /// SloSnapshot::grouped_windows counts batched-group members.
+  bool group_submits_by_seed = false;
+  /// Invoked (from a worker thread) every time the engine makes progress a
+  /// blocked producer could be waiting on: a batch of results was
+  /// published and its in-flight slots released, or a queued window was
+  /// shed.  Fires AFTER the slots are released, so a hook-driven retry of
+  /// try_submit_step() that still fails proves the engine was full again,
+  /// not that the wakeup raced the release.  Used by the shard server to
+  /// re-arm its event loop for deferred completions.  Must be cheap and
+  /// must not call back into the engine.  Null (default) disables.
+  std::function<void()> progress_hook;
   /// LRU capacity of the sensing-matrix cache, in matrices (one per
   /// distinct (seed, m, n, d)); 0 = unbounded.  Evicted matrices are
   /// rebuilt deterministically on the next miss, and in-flight windows
@@ -234,6 +262,14 @@ class ReconstructionEngine {
   /// counts as a rejection — a caller willing to wait gets admission
   /// without costing anyone else's window.
   std::uint64_t submit(CompressedWindow window);
+
+  /// One non-blocking step of a blocking submit driven by an external
+  /// event loop: identical admission to submit() (never sheds queued work)
+  /// but returns std::nullopt instead of waiting when the engine is full.
+  /// Unlike try_submit(), a failure is NOT counted as a rejection — the
+  /// caller is backpressure-waiting (typically re-armed by progress_hook),
+  /// not bouncing the window.  `window` is untouched on failure.
+  std::optional<std::uint64_t> try_submit_step(CompressedWindow&& window);
 
   /// Returns one completed window in completion order, or std::nullopt if
   /// none is ready.  With threads == 0 this runs the solver inline on the
@@ -528,5 +564,14 @@ struct RecordCompressionConfig {
 std::vector<CompressedWindow> compress_record(const sig::Record& record,
                                               std::uint32_t patient_id,
                                               const RecordCompressionConfig& cfg = {});
+
+/// Shed-exemption fraction a routine window of age `age_ms` has earned
+/// under EngineConfig::shed_starvation_aging == `aging_deadlines` (pure —
+/// unit-testable without an engine).  0 while the window is within its
+/// deadline, then climbing linearly to 1 (fully shed-exempt) at
+/// `aging_deadlines` deadlines of age.  Shed scores are scaled by
+/// (1 - protection), so an aged window loses shed-victim auctions to
+/// younger doomed windows.  Always 0 when aging <= 1 or deadline <= 0.
+double shed_aging_protection(double age_ms, double deadline_ms, double aging_deadlines);
 
 }  // namespace wbsn::host

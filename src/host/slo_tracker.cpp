@@ -67,6 +67,10 @@ void SloTracker::on_shed(bool urgent) {
 
 void SloTracker::on_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
 
+void SloTracker::on_grouped(std::uint64_t n) {
+  grouped_windows_.fetch_add(n, std::memory_order_relaxed);
+}
+
 void SloTracker::merge_from(const SloTracker& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     const std::uint64_t count = other.buckets_[i].load(std::memory_order_relaxed);
@@ -88,6 +92,8 @@ void SloTracker::merge_from(const SloTracker& other) {
                         std::memory_order_relaxed);
   sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+  grouped_windows_.fetch_add(other.grouped_windows_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
   const std::uint64_t other_max = other.max_us_.load(std::memory_order_relaxed);
   std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
   while (other_max > seen &&
@@ -115,6 +121,7 @@ void SloTracker::drain_into(SloTracker& dest) {
   move_counter(rejected_, dest.rejected_);
   move_counter(violations_, dest.violations_);
   move_counter(sum_us_, dest.sum_us_);
+  move_counter(grouped_windows_, dest.grouped_windows_);
   // Maxima are not additive: take the max into dest and zero the source.
   const std::uint64_t taken_max = max_us_.exchange(0, std::memory_order_relaxed);
   std::uint64_t seen = dest.max_us_.load(std::memory_order_relaxed);
@@ -192,6 +199,7 @@ SloSnapshot SloTracker::snapshot() const {
   snap.shed_routine = shed_routine_.load(std::memory_order_relaxed);
   snap.shed_urgent = shed_urgent_.load(std::memory_order_relaxed);
   snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.grouped_windows = grouped_windows_.load(std::memory_order_relaxed);
   const std::uint64_t retired = retrieved_.load(std::memory_order_relaxed) +
                                 snap.shed_routine + snap.shed_urgent;
   snap.in_flight = snap.submitted - std::min(retired, snap.submitted);
@@ -242,6 +250,7 @@ void SloTracker::reset() {
   sum_us_.store(0, std::memory_order_relaxed);
   max_us_.store(0, std::memory_order_relaxed);
   max_in_flight_.store(0, std::memory_order_relaxed);
+  grouped_windows_.store(0, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }
 

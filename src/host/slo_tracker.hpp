@@ -47,6 +47,10 @@ struct SloSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t in_flight = 0;      ///< Submitted, not yet retrieved or shed.
   std::uint64_t max_in_flight = 0;  ///< High-water mark of in_flight.
+  /// Windows solved inside a same-matrix batched FISTA pass of size >= 2
+  /// (each member counts).  The observability hook for submit-time seed
+  /// grouping: grouped_windows / completed is the batching hit rate.
+  std::uint64_t grouped_windows = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -111,6 +115,12 @@ class SloTracker {
   /// An arrival was bounced at admission (binary backpressure, no shed
   /// victim).  The window was never on_submit()ed.  Thread-safe.
   void on_reject();
+
+  /// `n` windows (>= 2) solved together in one same-matrix batched FISTA
+  /// pass.  Engine-wide observability only: not part of SloTrackerState
+  /// (that layout is frozen on the wire as SLO_STATE), so it does not
+  /// migrate with a patient.  Thread-safe.
+  void on_grouped(std::uint64_t n);
 
   SloSnapshot snapshot() const;
 
@@ -178,6 +188,7 @@ class SloTracker {
   std::atomic<std::uint64_t> sum_us_{0};
   std::atomic<std::uint64_t> max_us_{0};
   std::atomic<std::uint64_t> max_in_flight_{0};
+  std::atomic<std::uint64_t> grouped_windows_{0};
 };
 
 }  // namespace wbsn::host

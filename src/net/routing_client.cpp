@@ -36,6 +36,7 @@ bool RoutingClient::connect(std::vector<ShardEndpoint> shards) {
   patients_.clear();
   pending_.clear();
   retired_ = {};
+  pipeline_submits_.clear();
   for (auto& ep : shards) {
     auto conn = std::make_unique<Conn>();
     conn->endpoint = std::move(ep);
@@ -58,6 +59,10 @@ bool RoutingClient::ensure_connected(Conn& conn) {
 bool RoutingClient::reconnect(Conn& conn) {
   conn.fd.reset();
   conn.rx.clear();
+  // Pipelined submits whose ACK was outstanding on the dead connection
+  // are lost, never retried (a retry could double-submit): their tickets
+  // resolve to nullopt at the next flush_submits().
+  fail_pipeline(conn);
   int backoff_ms = cfg_.reconnect_backoff_ms;
   for (int attempt = 0; attempt <= cfg_.reconnect_attempts; ++attempt) {
     if (attempt > 0) {
@@ -68,9 +73,10 @@ bool RoutingClient::reconnect(Conn& conn) {
                         cfg_.io_timeout_ms);
     if (!fd.valid()) continue;
     conn.fd = std::move(fd);
-    // Version negotiation before anything else on the connection.
+    // Version negotiation before anything else on the connection: offer
+    // the full window, accept whatever mutual ceiling the shard picks.
     std::vector<std::uint8_t> buf;
-    encode_hello(buf, HelloPayload{});
+    encode_hello(buf, HelloPayload{kWireVersionMin, cfg_.max_wire_version});
     if (!send_all(conn.fd.get(), buf.data(), buf.size())) {
       conn.fd.reset();
       continue;
@@ -79,10 +85,12 @@ bool RoutingClient::reconnect(Conn& conn) {
     FrameView view;
     std::uint8_t version = 0;
     if (!read_frame(conn, frame, view) || view.type != FrameType::kHelloAck ||
-        !decode_hello_ack(view.payload, version) || version != kWireVersion) {
+        !decode_hello_ack(view.payload, version) || version < kWireVersionMin ||
+        version > cfg_.max_wire_version) {
       conn.fd.reset();
       continue;
     }
+    conn.version = version;
     return true;
   }
   return false;
@@ -125,9 +133,139 @@ bool RoutingClient::read_frame(Conn& conn, std::vector<std::uint8_t>& frame,
   }
 }
 
+void RoutingClient::fail_pipeline(Conn& conn) {
+  while (!conn.pending_submits.empty()) {
+    auto& record = pipeline_submits_[conn.pending_submits.front()];
+    conn.pending_submits.pop_front();
+    record.resolved = true;
+    record.ticket = std::nullopt;
+  }
+  conn.staged_bodies.clear();
+  conn.staged_count = 0;
+  conn.outstanding_counts.clear();
+}
+
+bool RoutingClient::harvest_ack(Conn& conn) {
+  if (conn.outstanding_counts.empty()) return true;
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+  std::vector<SubmitBatchAckEntry> entries;
+  if (!read_frame(conn, frame, view) || view.type != FrameType::kSubmitBatchAck ||
+      !decode_submit_batch_ack(view.payload, entries) ||
+      entries.size() != conn.outstanding_counts.front() ||
+      entries.size() > conn.pending_submits.size()) {
+    conn.fd.reset();
+    fail_pipeline(conn);
+    return false;
+  }
+  conn.outstanding_counts.pop_front();
+  for (const auto& entry : entries) {
+    // FIFO pairing: ACK entries arrive in submit order, exactly the order
+    // pending_submits was filled — composition deferred until right here.
+    auto& record = pipeline_submits_[conn.pending_submits.front()];
+    conn.pending_submits.pop_front();
+    record.resolved = true;
+    if (entry.accepted) {
+      record.ticket = host::ReconstructionFabric::compose_ticket(record.epoch, record.shard,
+                                                                 entry.local_ticket);
+    }
+  }
+  return true;
+}
+
+bool RoutingClient::seal_batch(Conn& conn) {
+  if (conn.staged_count == 0) return true;
+  if (!conn.fd.valid()) {
+    fail_pipeline(conn);
+    return false;
+  }
+  // Scatter-gather seal: the frame header + count prefix (final length —
+  // known now), the staged bodies untouched, and the streaming-CRC
+  // trailer go out in one sendmsg; the bodies are never re-assembled into
+  // a contiguous frame.  thread_local staging keeps the steady state
+  // allocation-free (the client is single-coordinator by contract).
+  static thread_local std::vector<std::uint8_t> prefix;
+  static thread_local std::vector<std::uint8_t> trailer;
+  prefix.clear();
+  trailer.clear();
+  encode_submit_batch_prefix(prefix, kSubmitFlagBlocking, conn.staged_count,
+                             conn.staged_bodies.size());
+  encode_submit_batch_trailer(trailer, prefix, conn.staged_bodies);
+  const ConstBuf bufs[3] = {{prefix.data(), prefix.size()},
+                            {conn.staged_bodies.data(), conn.staged_bodies.size()},
+                            {trailer.data(), trailer.size()}};
+  const bool sent = send_all_vec(conn.fd.get(), bufs, 3);
+  conn.staged_bodies.clear();
+  const auto batch_windows = static_cast<std::size_t>(conn.staged_count);
+  conn.staged_count = 0;
+  if (!sent) {
+    conn.fd.reset();
+    fail_pipeline(conn);
+    return false;
+  }
+  conn.outstanding_counts.push_back(batch_windows);
+  // Bounded outgoing window: at most pipeline_depth unacknowledged frames
+  // ride the wire; beyond that the submitter absorbs the shard's pace.
+  while (conn.outstanding_counts.size() > cfg_.pipeline_depth) {
+    if (!harvest_ack(conn)) return false;
+  }
+  return true;
+}
+
+bool RoutingClient::sync_pipeline(Conn& conn) {
+  if (!seal_batch(conn)) return false;
+  while (!conn.outstanding_counts.empty()) {
+    if (!harvest_ack(conn)) return false;
+  }
+  return true;
+}
+
+bool RoutingClient::submit_pipelined(host::CompressedWindow&& window) {
+  const std::size_t shard = owner(window.patient_id);
+  Conn& conn = *conns_[shard];
+  if (conn.version < 2 || cfg_.pipeline_depth == 0) {
+    // v1 shard (or pipelining off): same blocking-admission semantics,
+    // one round trip per window — the transparent fallback path.
+    auto ticket = submit(std::move(window));
+    pipeline_submits_.push_back({epoch_, shard, true, ticket});
+    return ticket.has_value();
+  }
+  if (!ensure_connected(conn)) {
+    pipeline_submits_.push_back({epoch_, shard, true, std::nullopt});
+    return false;
+  }
+  window.route_tag = epoch_;
+  patients_.insert(window.patient_id);
+  encode_submit_batch_entry(conn.staged_bodies, window, cfg_.wire);
+  if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
+  ++conn.staged_count;
+  conn.pending_submits.push_back(pipeline_submits_.size());
+  pipeline_submits_.push_back({epoch_, shard, false, std::nullopt});
+  if (conn.staged_count >= cfg_.submit_batch_windows) return seal_batch(conn);
+  return true;
+}
+
+std::vector<std::optional<std::uint64_t>> RoutingClient::flush_submits() {
+  for (auto& conn : conns_) {
+    if (conn) (void)sync_pipeline(*conn);
+  }
+  std::vector<std::optional<std::uint64_t>> out;
+  out.reserve(pipeline_submits_.size());
+  for (const auto& record : pipeline_submits_) {
+    out.push_back(record.resolved ? record.ticket : std::nullopt);
+  }
+  pipeline_submits_.clear();
+  return out;
+}
+
+std::uint8_t RoutingClient::shard_wire_version(std::size_t shard) const {
+  return conns_[shard]->version;
+}
+
 std::optional<std::uint64_t> RoutingClient::try_submit(host::CompressedWindow&& window) {
   const std::size_t shard = owner(window.patient_id);
   Conn& conn = *conns_[shard];
+  (void)sync_pipeline(conn);  // Responses are per-connection ordered.
   window.route_tag = epoch_;
   std::vector<std::uint8_t> buf;
   encode_submit_window(buf, window, 0, cfg_.wire);
@@ -149,6 +287,7 @@ std::optional<std::uint64_t> RoutingClient::try_submit(host::CompressedWindow&& 
 std::optional<std::uint64_t> RoutingClient::submit(host::CompressedWindow window) {
   const std::size_t shard = owner(window.patient_id);
   Conn& conn = *conns_[shard];
+  (void)sync_pipeline(conn);  // Responses are per-connection ordered.
   window.route_tag = epoch_;
   std::vector<std::uint8_t> buf;
   encode_submit_window(buf, window, kSubmitFlagBlocking, cfg_.wire);
@@ -200,14 +339,36 @@ bool RoutingClient::read_poll_results(Conn& conn, std::size_t* retrieved) {
   }
 }
 
+bool RoutingClient::sweep_shard(Conn& conn, std::size_t* retrieved) {
+  (void)sync_pipeline(conn);
+  std::vector<std::uint8_t> buf;
+  if (conn.version >= 2) {
+    // One POLL_MANY, one RESULT_BATCH — K results per round trip.
+    encode_poll_many(buf, cfg_.poll_batch);
+    if (!send_request(conn, buf, /*may_retry=*/true)) return false;
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    std::vector<host::WindowResult> results;
+    if (!read_frame(conn, frame, view) || view.type != FrameType::kResultBatch ||
+        !decode_result_batch(view.payload, results, cfg_.payload_pool.get())) {
+      conn.fd.reset();
+      return false;
+    }
+    for (auto& result : results) {
+      result.ticket = compose_result_ticket(result);
+      pending_.push_back(std::move(result));
+      if (retrieved) ++*retrieved;
+    }
+    return true;
+  }
+  encode_poll(buf, cfg_.poll_batch);
+  if (!send_request(conn, buf, /*may_retry=*/true)) return false;
+  return read_poll_results(conn, retrieved);
+}
+
 std::optional<host::WindowResult> RoutingClient::poll() {
   if (pending_.empty()) {
-    std::vector<std::uint8_t> buf;
-    encode_poll(buf, cfg_.poll_batch);
-    for (auto& conn : conns_) {
-      if (!send_request(*conn, buf, /*may_retry=*/true)) continue;
-      (void)read_poll_results(*conn, nullptr);
-    }
+    for (auto& conn : conns_) (void)sweep_shard(*conn, nullptr);
   }
   if (pending_.empty()) return std::nullopt;
   auto result = std::move(pending_.front());
@@ -219,12 +380,7 @@ std::vector<host::WindowResult> RoutingClient::drain() {
   std::vector<host::WindowResult> all;
   for (;;) {
     // Sweep every shard, then check fleet-wide quiescence.
-    std::vector<std::uint8_t> buf;
-    encode_poll(buf, cfg_.poll_batch);
-    for (auto& conn : conns_) {
-      if (!send_request(*conn, buf, /*may_retry=*/true)) continue;
-      (void)read_poll_results(*conn, nullptr);
-    }
+    for (auto& conn : conns_) (void)sweep_shard(*conn, nullptr);
     while (!pending_.empty()) {
       all.push_back(std::move(pending_.front()));
       pending_.pop_front();
@@ -244,6 +400,7 @@ std::vector<host::WindowResult> RoutingClient::drain() {
 }
 
 bool RoutingClient::fetch_snapshot(Conn& conn, SnapshotPayload& out) {
+  (void)sync_pipeline(conn);
   std::vector<std::uint8_t> buf;
   encode_snapshot_request(buf);
   if (!send_request(conn, buf, /*may_retry=*/true)) return false;
@@ -265,6 +422,7 @@ SnapshotPayload RoutingClient::aggregate_snapshot() {
 std::optional<host::SloTrackerState> RoutingClient::patient_slo_state(
     std::uint32_t patient_id) {
   Conn& conn = *conns_[owner(patient_id)];
+  (void)sync_pipeline(conn);
   std::vector<std::uint8_t> buf;
   encode_patient_frame(buf, FrameType::kExtractSlo, patient_id);
   if (!send_request(conn, buf, /*may_retry=*/false)) return std::nullopt;
@@ -350,6 +508,11 @@ bool RoutingClient::retire(Conn& conn) {
 }
 
 bool RoutingClient::set_topology(std::vector<ShardEndpoint> shards) {
+  // Outstanding pipelined submits belong to the closing epoch: settle
+  // every ACK before the flip so their tickets compose against it.
+  for (auto& conn : conns_) {
+    if (conn) (void)sync_pipeline(*conn);
+  }
   const host::HashRing old_ring = ring_history_[epoch_];
   // The previous epoch's index -> connection table, captured before the
   // container shuffle below (the Conn objects themselves don't move, so
@@ -407,6 +570,9 @@ bool RoutingClient::set_topology(std::vector<ShardEndpoint> shards) {
 }
 
 void RoutingClient::shutdown(bool send_bye) {
+  for (auto& conn : conns_) {
+    if (conn && conn->fd.valid()) (void)sync_pipeline(*conn);
+  }
   if (send_bye) {
     std::vector<std::uint8_t> buf;
     encode_bye(buf);

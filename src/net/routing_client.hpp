@@ -1,8 +1,9 @@
 // RoutingClient — the coordinator half of the cross-machine fabric.
 //
-// Speaks wbsn-wire v1 to a fleet of ShardServer processes and presents
-// the same submit/poll/drain surface as host::ReconstructionFabric, with
-// the same placement guarantees proven for the in-process fabric (PR 5):
+// Speaks wbsn-wire (v1, and v2 where the shard negotiates it) to a fleet
+// of ShardServer processes and presents the same submit/poll/drain
+// surface as host::ReconstructionFabric, with the same placement
+// guarantees proven for the in-process fabric (PR 5):
 //
 //   * Patients are routed by the same consistent-hash ring
 //     (host::HashRing) the in-process fabric uses — the ring is rebuilt
@@ -28,6 +29,18 @@
 //     attempts == submitted + rejected across the whole topology
 //     history), and they are dismissed with BYE — which stops a
 //     stop_on_bye daemon.
+//   * Pipelined submits (v2 shards, pipeline_depth > 0): submit_pipelined
+//     stages windows into per-shard SUBMIT_BATCH frames (one frame per
+//     submit_batch_windows windows, sealed scatter-gather — prefix, the
+//     staged bodies, CRC trailer — in one sendmsg), keeps up to
+//     pipeline_depth unacknowledged frames on the wire per shard, and
+//     defers ticket composition until the SUBMIT_BATCH_ACK arrives.
+//     flush_submits() is the sync point: it seals the tail, harvests
+//     every outstanding ACK, and returns the composite tickets in
+//     submission order.  Any other verb on a shard syncs its pipeline
+//     first (responses are per-connection ordered).  On a v1 shard
+//     submit_pipelined transparently falls back to a per-window blocking
+//     SUBMIT — same tickets, one round trip per window.
 //
 // Threading: single-coordinator by design, like the reshard protocol
 // itself — one thread owns the client; it is not thread-safe.  Sockets
@@ -71,6 +84,18 @@ struct RoutingClientConfig {
   int reconnect_backoff_ms = 10;  ///< Doubles per attempt.
   /// Results requested per POLL sweep of one shard.
   std::uint32_t poll_batch = 64;
+  /// Highest wire version offered in HELLO.  Default: everything this
+  /// build speaks.  Set 1 to force v1 framing fleet-wide (staged
+  /// rollouts, mixed-version tests); negotiation still lands on the
+  /// shard's ceiling when it is lower.
+  std::uint8_t max_wire_version = kWireVersionMax;
+  /// Pipelined submit window: maximum unacknowledged SUBMIT_BATCH frames
+  /// per shard before submit_pipelined harvests an ACK.  0 (default)
+  /// disables pipelining — submit_pipelined degrades to a per-window
+  /// blocking submit even on v2 shards.
+  std::size_t pipeline_depth = 0;
+  /// Windows packed into one SUBMIT_BATCH frame in pipelined mode.
+  std::size_t submit_batch_windows = 16;
   WireEncodeOptions wire{};
   /// Decode result signals into pooled buffers; recycle submitted windows'
   /// payloads after the shard acknowledges them.  Same zero-copy contract
@@ -114,6 +139,24 @@ class RoutingClient {
   /// connection.
   std::optional<std::uint64_t> submit(host::CompressedWindow window);
 
+  /// Pipelined submit (see file comment): stages the window toward its
+  /// owner shard and returns immediately — the ticket arrives with the
+  /// batch ACK and is surfaced by the next flush_submits().  Blocking
+  /// admission semantics on the shard (never sheds, never counts a
+  /// rejection), like submit().  False only on a dead connection (the
+  /// window is then dropped, consistent with the no-retry SUBMIT rule).
+  bool submit_pipelined(host::CompressedWindow&& window);
+
+  /// Seals every staged batch, harvests every outstanding ACK, and
+  /// returns one entry per submit_pipelined() since the last flush, in
+  /// submission order: the composite ticket, or nullopt when the window
+  /// was rejected or its connection died with the ACK outstanding (such
+  /// windows are NOT retried — a retry could double-submit).
+  std::vector<std::optional<std::uint64_t>> flush_submits();
+
+  /// Wire version negotiated with shard `shard` (1 or 2).
+  std::uint8_t shard_wire_version(std::size_t shard) const;
+
   /// One completed result in arrival order across shards, or nullopt when
   /// none is ready anywhere right now.
   std::optional<host::WindowResult> poll();
@@ -137,10 +180,28 @@ class RoutingClient {
   void shutdown(bool send_bye);
 
  private:
+  /// One submit_pipelined() call awaiting its ticket.
+  struct PipelinedSubmit {
+    std::uint32_t epoch = 0;
+    std::size_t shard = 0;
+    bool resolved = false;
+    std::optional<std::uint64_t> ticket;  ///< Composite; set when resolved.
+  };
+
   struct Conn {
     ShardEndpoint endpoint;
     Fd fd;
     std::vector<std::uint8_t> rx;
+    std::uint8_t version = kWireVersion;  ///< Negotiated on (re)connect.
+    // Pipelined-submit state (v2 connections).  staged_bodies holds
+    // encoded window bodies not yet sealed into a frame; pending_submits
+    // indexes pipeline_submits_ in per-shard FIFO order (ACK entries
+    // resolve from the front); outstanding_counts tracks the window count
+    // of each unacknowledged SUBMIT_BATCH on the wire.
+    std::vector<std::uint8_t> staged_bodies;
+    std::uint64_t staged_count = 0;
+    std::deque<std::size_t> pending_submits;
+    std::deque<std::size_t> outstanding_counts;
   };
 
   bool ensure_connected(Conn& conn);
@@ -152,6 +213,19 @@ class RoutingClient {
   bool read_frame(Conn& conn, std::vector<std::uint8_t>& frame, FrameView& view);
   /// Reads result frames into pending_ until POLL_END; count retrieved.
   bool read_poll_results(Conn& conn, std::size_t* retrieved);
+  /// One POLL/POLL_MANY round trip pulling results into pending_.
+  bool sweep_shard(Conn& conn, std::size_t* retrieved);
+  /// Seals staged_bodies into one SUBMIT_BATCH on the wire (scatter-
+  /// gather) and enforces the pipeline depth by harvesting ACKs.
+  bool seal_batch(Conn& conn);
+  /// Blocks for one SUBMIT_BATCH_ACK and resolves its windows' tickets.
+  bool harvest_ack(Conn& conn);
+  /// seal + harvest everything outstanding; called before any other verb
+  /// uses the connection (responses are per-connection ordered).
+  bool sync_pipeline(Conn& conn);
+  /// Marks every unresolved pipelined window of this conn as lost
+  /// (nullopt ticket) — the connection died with ACKs outstanding.
+  void fail_pipeline(Conn& conn);
   std::uint64_t compose_result_ticket(const host::WindowResult& result);
   bool drain_and_move_patient(std::uint32_t patient_id, Conn& from, Conn& to);
   bool retire(Conn& conn);
@@ -166,6 +240,9 @@ class RoutingClient {
   std::unordered_set<std::uint32_t> patients_;  ///< Ever-submitted ids.
   std::deque<host::WindowResult> pending_;      ///< Polled, not yet returned.
   SnapshotPayload retired_;  ///< Folded snapshots of dismissed shards.
+  /// submit_pipelined() calls since the last flush_submits(), in global
+  /// submission order; conns' pending_submits index into this.
+  std::vector<PipelinedSubmit> pipeline_submits_;
 };
 
 }  // namespace wbsn::net

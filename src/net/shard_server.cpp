@@ -1,5 +1,6 @@
 #include "net/shard_server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <poll.h>
 #include <sys/socket.h>
@@ -22,7 +23,19 @@ bool ShardServer::start() {
   wake_rd_ = Fd(pipefd[0]);
   wake_wr_ = Fd(pipefd[1]);
   if (!set_nonblocking(wake_rd_.get())) return false;
+  // The write end is poked from engine worker threads (progress hook) and
+  // must never block them: a full pipe already has a wake pending.
+  if (!set_nonblocking(wake_wr_.get())) return false;
   if (!listener_.listen(cfg_.host, cfg_.port)) return false;
+  // Every completion or shed re-arms the event loop so parked deferred
+  // verbs (blocking submits, patient drains) run their next step.  The
+  // raw fd is safe to capture: wake_wr_ outlives engine_ (declaration
+  // order), and the engine joins its workers before destruction returns.
+  const int wake_fd = wake_wr_.get();
+  cfg_.engine.progress_hook = [wake_fd] {
+    const char byte = 1;
+    (void)!::write(wake_fd, &byte, 1);
+  };
   engine_ = std::make_unique<host::ReconstructionEngine>(cfg_.engine);
   return true;
 }
@@ -92,6 +105,19 @@ void ShardServer::run() {
       if (alive && conn.close_after_flush && conn.tx_sent >= conn.tx.size()) alive = false;
       if (!alive) conn.fd.reset();
     }
+    // Deferred completions: re-run every parked verb (the engine's
+    // progress hook — or any socket event — woke us).  When one finishes,
+    // frames queued behind it on the same connection may now proceed.
+    for (auto& c : conns_) {
+      if (!c->fd.valid() || c->deferred == Connection::Deferred::kNone) continue;
+      advance_deferred(*c);
+      if (c->deferred != Connection::Deferred::kNone) continue;
+      if (!process_rx(*c)) {
+        c->fd.reset();
+        continue;
+      }
+      flush(*c);
+    }
     std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) { return !c->fd.valid(); });
   }
   conns_.clear();
@@ -101,6 +127,10 @@ void ShardServer::run() {
 bool ShardServer::process_rx(Connection& conn) {
   std::size_t consumed = 0;
   while (true) {
+    // A parked blocking verb pins the stream: responses are strictly in
+    // request order per connection, so frames behind it wait until
+    // advance_deferred completes it.
+    if (conn.deferred != Connection::Deferred::kNone) break;
     FrameView frame;
     const auto status =
         peek_frame({conn.rx.data() + consumed, conn.rx.size() - consumed}, frame);
@@ -110,7 +140,7 @@ bool ShardServer::process_rx(Connection& conn) {
       // in-band and drop the connection — frame semantics may have
       // changed, so continuing to parse the stream would be a guess.
       send_error(conn, ErrorCode::kUnsupportedVersion,
-                 "server speaks wbsn-wire v1 only", /*close_after=*/true);
+                 "frame version outside the supported range", /*close_after=*/true);
       consumed += frame.frame_bytes;
       break;
     }
@@ -135,13 +165,24 @@ void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
       send_error(conn, ErrorCode::kBadPayload, "malformed HELLO", true);
       return;
     }
-    if (hello.min_version > kWireVersion || hello.max_version < kWireVersion) {
+    // Highest mutually supported version, capped by config (how a fleet
+    // pins v1 during a staged rollout).
+    const std::uint8_t chosen = std::min(hello.max_version, cfg_.max_wire_version);
+    if (hello.min_version > chosen || chosen < kWireVersionMin) {
       send_error(conn, ErrorCode::kUnsupportedVersion, "no mutual wire version", true);
       return;
     }
-    // Highest mutually supported version; this build speaks exactly v1.
-    encode_hello_ack(tx, kWireVersion);
+    encode_hello_ack(tx, chosen);
+    conn.version = chosen;
     conn.negotiated = true;
+    return;
+  }
+
+  // A frame whose layout version exceeds what this connection negotiated
+  // is a protocol violation, not a guessable stream: refuse and close.
+  if (frame.version > conn.version) {
+    send_error(conn, ErrorCode::kUnsupportedVersion,
+               "frame version exceeds the negotiated version", true);
     return;
   }
 
@@ -155,12 +196,63 @@ void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
         return;
       }
       if (flags & kSubmitFlagBlocking) {
-        encode_submit_ack(tx, engine_->submit(std::move(window)));
+        if (engine_->thread_count() == 0) {
+          // Serial engine: the calling thread is the solver, so a blocking
+          // submit makes its own room — deferring would stall forever.
+          encode_submit_ack(tx, engine_->submit(std::move(window)));
+        } else {
+          std::vector<host::CompressedWindow> one;
+          one.push_back(std::move(window));
+          submit_blocking(conn, std::move(one), {}, /*batch=*/false);
+        }
       } else if (auto ticket = engine_->try_submit(std::move(window))) {
         encode_submit_ack(tx, *ticket);
       } else {
         encode_submit_reject(tx);
       }
+      return;
+    }
+    case FrameType::kSubmitBatch: {
+      std::uint8_t flags = 0;
+      std::vector<host::CompressedWindow> windows;
+      if (!decode_submit_batch(frame.payload, flags, windows,
+                               cfg_.engine.payload_pool.get())) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed SUBMIT_BATCH", true);
+        return;
+      }
+      std::vector<SubmitBatchAckEntry> acks;
+      acks.reserve(windows.size());
+      if (flags & kSubmitFlagBlocking) {
+        if (engine_->thread_count() == 0) {
+          for (auto& window : windows) {
+            acks.push_back({true, engine_->submit(std::move(window))});
+          }
+          encode_submit_batch_ack(tx, acks);
+        } else {
+          submit_blocking(conn, std::move(windows), std::move(acks), /*batch=*/true);
+        }
+      } else {
+        for (auto& window : windows) {
+          if (auto ticket = engine_->try_submit(std::move(window))) {
+            acks.push_back({true, *ticket});
+          } else {
+            acks.push_back({false, 0});
+          }
+        }
+        encode_submit_batch_ack(tx, acks);
+      }
+      return;
+    }
+    case FrameType::kPollMany: {
+      std::uint32_t max_results = 0;
+      if (!decode_poll_many(frame.payload, max_results)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed POLL_MANY", true);
+        return;
+      }
+      if (max_results == 0 || max_results > cfg_.max_poll_results) {
+        max_results = cfg_.max_poll_results;
+      }
+      poll_many(conn, max_results);
       return;
     }
     case FrameType::kPoll: {
@@ -191,8 +283,16 @@ void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
         send_error(conn, ErrorCode::kBadPayload, "malformed DRAIN_PATIENT", true);
         return;
       }
-      engine_->drain_patient(patient_id);
-      encode_patient_frame(tx, FrameType::kDrainDone, patient_id);
+      if (engine_->thread_count() == 0) {
+        engine_->drain_patient(patient_id);
+        encode_patient_frame(tx, FrameType::kDrainDone, patient_id);
+      } else {
+        // Workers drain the patient; park until patient_pending hits 0
+        // (the progress hook fires on every completion and shed).
+        conn.deferred_patient = patient_id;
+        conn.deferred = Connection::Deferred::kDrain;
+        advance_deferred(conn);
+      }
       return;
     }
     case FrameType::kExtractSlo: {
@@ -256,6 +356,75 @@ void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
       send_error(conn, ErrorCode::kUnknownFrameType, "unknown frame type", true);
       return;
   }
+}
+
+void ShardServer::submit_blocking(Connection& conn,
+                                  std::vector<host::CompressedWindow>&& windows,
+                                  std::vector<SubmitBatchAckEntry>&& acks, bool batch) {
+  conn.deferred_windows = std::move(windows);
+  conn.deferred_acks = std::move(acks);
+  conn.deferred_next = 0;
+  conn.deferred_batch = batch;
+  conn.deferred = Connection::Deferred::kSubmit;
+  // Usually the engine has room and this completes synchronously; only a
+  // genuinely full engine leaves the verb parked.
+  advance_deferred(conn);
+}
+
+void ShardServer::advance_deferred(Connection& conn) {
+  switch (conn.deferred) {
+    case Connection::Deferred::kNone:
+      return;
+    case Connection::Deferred::kSubmit:
+      while (conn.deferred_next < conn.deferred_windows.size()) {
+        auto ticket =
+            engine_->try_submit_step(std::move(conn.deferred_windows[conn.deferred_next]));
+        if (!ticket) return;  // Full again; the next progress hook re-arms us.
+        conn.deferred_acks.push_back({true, *ticket});
+        ++conn.deferred_next;
+      }
+      finish_submit(conn);
+      return;
+    case Connection::Deferred::kDrain:
+      // Same quiescence condition as ReconstructionEngine::drain_patient:
+      // nothing of this patient is submitted-but-unsolved (results may
+      // still be parked in the completion list).
+      if (engine_->patient_pending(conn.deferred_patient) != 0) return;
+      encode_patient_frame(conn.tx, FrameType::kDrainDone, conn.deferred_patient);
+      conn.deferred = Connection::Deferred::kNone;
+      return;
+  }
+}
+
+void ShardServer::finish_submit(Connection& conn) {
+  if (conn.deferred_batch) {
+    encode_submit_batch_ack(conn.tx, conn.deferred_acks);
+  } else {
+    encode_submit_ack(conn.tx, conn.deferred_acks.front().local_ticket);
+  }
+  conn.deferred = Connection::Deferred::kNone;
+  conn.deferred_windows.clear();
+  conn.deferred_acks.clear();
+  conn.deferred_next = 0;
+}
+
+void ShardServer::poll_many(Connection& conn, std::uint32_t max_results) {
+  // One POLL_MANY answers with exactly one RESULT_BATCH, capped by count
+  // AND by bytes: a deep completion list of large windows must not
+  // assemble a frame past kMaxPayloadBytes.  The client just polls again.
+  constexpr std::size_t kBatchByteBudget = 4 * 1024 * 1024;
+  batch_staging_.clear();
+  std::uint64_t count = 0;
+  while (count < max_results && batch_staging_.size() < kBatchByteBudget) {
+    auto result = engine_->poll();
+    if (!result) break;
+    encode_result_entry(batch_staging_, *result, cfg_.wire);
+    if (cfg_.engine.payload_pool) {
+      cfg_.engine.payload_pool->recycle(std::move(*result));
+    }
+    ++count;
+  }
+  encode_result_batch(conn.tx, batch_staging_, count);
 }
 
 void ShardServer::send_error(Connection& conn, ErrorCode code, const std::string& detail,

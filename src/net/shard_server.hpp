@@ -5,7 +5,7 @@
 // deployment now runs N ShardServer processes (see shard_serverd_main.cpp)
 // and one RoutingClient that routes patients across them with the same
 // consistent-hash ring.  The server itself is deliberately dumb: it speaks
-// wbsn-wire v1 (wire_format.hpp), maps each request frame onto the
+// wbsn-wire v1 and v2 (wire_format.hpp), maps each request frame onto the
 // corresponding ReconstructionEngine verb, and knows nothing about rings,
 // epochs, or topology — all placement intelligence lives client-side, so
 // growing the fleet never requires touching a running shard.
@@ -14,14 +14,16 @@
 // listener and every connection (nonblocking sockets, per-connection
 // receive/transmit buffers); the engine's own worker pool provides the
 // compute parallelism.  Request frames are serviced inline in arrival
-// order per connection.  Two verbs can block the loop — SUBMIT_WINDOW
-// with the blocking flag (waits out admission backpressure exactly like
-// ReconstructionEngine::submit, so a patient coordinator's retry doesn't
-// inflate reject counters) and DRAIN_PATIENT (waits for quiescence) — and
-// with them every other connection's frames wait too.  That head-of-line
-// blocking is accepted v1 behaviour: both verbs are coordinator-only, the
-// fabric has exactly one coordinator, and the reshard protocol stops
-// routing to a shard before draining it.
+// order per connection.  Verbs that must wait — SUBMIT_WINDOW /
+// SUBMIT_BATCH with the blocking flag (admission backpressure) and
+// DRAIN_PATIENT (patient quiescence) — never block the loop when the
+// engine has workers: they park as a per-connection *deferred completion*,
+// the engine's progress_hook pokes the self-pipe each time slots free or a
+// patient retires, and the loop re-runs the parked step until it can send
+// the response.  Frames behind a deferred verb wait (responses stay in
+// request order per connection); other connections keep flowing.  With a
+// serial engine (threads == 0) the calling thread IS the solver, so those
+// verbs run inline exactly as before.
 //
 // Shutdown: stop() from any thread (self-pipe wakes the loop), or a BYE
 // frame when cfg.stop_on_bye is set — the daemon's orderly-exit path.
@@ -49,6 +51,11 @@ struct ShardServerConfig {
   bool stop_on_bye = false;
   /// Upper bound on results returned per POLL, whatever the client asked.
   std::uint32_t max_poll_results = 4096;
+  /// Ceiling on the wire version negotiated per connection (the HELLO_ACK
+  /// carries min(peer max, this)).  Default: everything this build speaks.
+  /// Set 1 to force v1 framing — how mixed-version tests prove a v2 client
+  /// falls back transparently.
+  std::uint8_t max_wire_version = kWireVersionMax;
 };
 
 class ShardServer {
@@ -83,12 +90,37 @@ class ShardServer {
     std::size_t tx_sent = 0;  ///< Prefix of tx already on the socket.
     bool negotiated = false;
     bool close_after_flush = false;
+    /// Wire version negotiated on this connection; frames above it are
+    /// refused with ERROR(UNSUPPORTED_VERSION).
+    std::uint8_t version = kWireVersion;
+
+    /// A blocking verb parked mid-flight so the event loop stays live.
+    /// While one is pending, no further frames are consumed from this
+    /// connection (responses are strictly in request order per conn).
+    enum class Deferred { kNone, kSubmit, kDrain };
+    Deferred deferred = Deferred::kNone;
+    bool deferred_batch = false;  ///< Answer with SUBMIT_BATCH_ACK, not SUBMIT_ACK.
+    std::vector<host::CompressedWindow> deferred_windows;
+    std::size_t deferred_next = 0;  ///< First window not yet admitted.
+    std::vector<SubmitBatchAckEntry> deferred_acks;
+    std::uint32_t deferred_patient = 0;  ///< kDrain target.
   };
 
   /// Drains complete frames from conn.rx; false when the connection must
   /// be dropped without ceremony (desynchronized or corrupt stream).
   bool process_rx(Connection& conn);
   void handle_frame(Connection& conn, const FrameView& frame);
+  /// Runs one step of the connection's parked verb; appends the response
+  /// and clears the deferred state once it completes.
+  void advance_deferred(Connection& conn);
+  /// Parks a blocking submit (single window or batch tail) for deferred
+  /// admission, or answers immediately when everything fits right now.
+  void submit_blocking(Connection& conn, std::vector<host::CompressedWindow>&& windows,
+                       std::vector<SubmitBatchAckEntry>&& acks, bool batch);
+  /// Appends the deferred-submit response (SUBMIT_ACK or SUBMIT_BATCH_ACK).
+  void finish_submit(Connection& conn);
+  /// Polls up to `max_results` completed windows into one RESULT_BATCH.
+  void poll_many(Connection& conn, std::uint32_t max_results);
   void send_error(Connection& conn, ErrorCode code, const std::string& detail,
                   bool close_after);
   /// Pushes conn.tx to the socket as far as the kernel allows.
@@ -96,9 +128,15 @@ class ShardServer {
 
   ShardServerConfig cfg_;
   TcpListener listener_;
+  /// Self-pipe: stop() and the engine's progress_hook wake the poll loop
+  /// (both ends nonblocking — a full pipe already means a wake is pending).
+  /// Declared before engine_ so the pipe outlives the worker threads that
+  /// write to it through the hook.
+  Fd wake_rd_, wake_wr_;
   std::unique_ptr<host::ReconstructionEngine> engine_;
   std::vector<std::unique_ptr<Connection>> conns_;
-  Fd wake_rd_, wake_wr_;  ///< Self-pipe: stop() wakes the poll loop.
+  /// Staging buffer for RESULT_BATCH bodies (single-threaded loop).
+  std::vector<std::uint8_t> batch_staging_;
   std::atomic<bool> stopping_{false};
 };
 

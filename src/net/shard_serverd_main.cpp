@@ -10,6 +10,7 @@
 // Usage: shard_serverd [--host A.B.C.D] [--port N] [--threads N]
 //                      [--queue-capacity N] [--batch-windows N]
 //                      [--deadline-ms X] [--shedding] [--fixed-scale X]
+//                      [--max-wire-version N]
 // See docs/OPERATIONS.md for how these map onto EngineConfig.
 
 #include <csignal>
@@ -32,7 +33,7 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--threads N] [--queue-capacity N]\n"
                "          [--batch-windows N] [--deadline-ms X] [--shedding]\n"
-               "          [--fixed-scale X]\n",
+               "          [--fixed-scale X] [--max-wire-version N]\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +68,9 @@ int main(int argc, char** argv) {
       cfg.engine.deadline_shedding = true;
     } else if (arg == "--fixed-scale") {
       cfg.wire.fixed_scale = std::atof(next());
+    } else if (arg == "--max-wire-version") {
+      // Pin the negotiation ceiling (e.g. 1 during a staged v2 rollout).
+      cfg.max_wire_version = static_cast<std::uint8_t>(std::atoi(next()));
     } else {
       usage_and_exit(argv[0]);
     }

@@ -124,6 +124,43 @@ bool send_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
+bool send_all_vec(int fd, const ConstBuf* bufs, std::size_t count) {
+  // iovec caps at IOV_MAX (>= 16 everywhere); callers pass a handful.
+  iovec iov[16];
+  std::size_t n_iov = 0;
+  for (std::size_t i = 0; i < count && n_iov < 16; ++i) {
+    if (bufs[i].size == 0) continue;
+    iov[n_iov].iov_base = const_cast<void*>(bufs[i].data);
+    iov[n_iov].iov_len = bufs[i].size;
+    ++n_iov;
+  }
+  if (count > 16) return false;
+  std::size_t first = 0;
+  while (first < n_iov) {
+    msghdr msg{};
+    msg.msg_iov = iov + first;
+    msg.msg_iovlen = n_iov - first;
+    const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    // Advance the iov array past what the kernel took (partial sends are
+    // legal even on blocking sockets when a timeout interrupts mid-write).
+    auto left = static_cast<std::size_t>(sent);
+    while (first < n_iov && left >= iov[first].iov_len) {
+      left -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < n_iov && left > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + left;
+      iov[first].iov_len -= left;
+    }
+  }
+  return true;
+}
+
 long recv_some(int fd, void* out, std::size_t cap) {
   for (;;) {
     const ssize_t n = ::recv(fd, out, cap, 0);

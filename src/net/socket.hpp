@@ -87,6 +87,18 @@ bool set_nonblocking(int fd);
 /// send() the whole buffer on a blocking socket.  False on error/timeout.
 bool send_all(int fd, const void* data, std::size_t size);
 
+/// One segment of a scatter-gather send.
+struct ConstBuf {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Scatter-gather send_all: sends the concatenation of `bufs` on a
+/// blocking socket without assembling it contiguously (sendmsg under the
+/// hood, so a sealed batch frame's prefix, staged bodies, and CRC trailer
+/// go out in one syscall).  False on error/timeout.
+bool send_all_vec(int fd, const ConstBuf* bufs, std::size_t count);
+
 /// recv() once into `out` (up to `cap` bytes).  Returns bytes read, 0 on
 /// orderly peer close, -1 on error (including timeout; EINTR retried).
 long recv_some(int fd, void* out, std::size_t cap);

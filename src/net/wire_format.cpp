@@ -164,7 +164,9 @@ FrameStatus peek_frame(std::span<const std::uint8_t> buf, FrameView& out,
   // Structurally sound but a version this decoder doesn't speak: report it
   // with the view filled so the caller can skip the frame and answer
   // ERROR(UNSUPPORTED_VERSION) in-band.
-  if (out.version != kWireVersion) return FrameStatus::kBadVersion;
+  if (out.version < kWireVersionMin || out.version > kWireVersionMax) {
+    return FrameStatus::kBadVersion;
+  }
   return FrameStatus::kOk;
 }
 
@@ -306,10 +308,12 @@ bool decode_error(std::span<const std::uint8_t> payload, ErrorPayload& out) {
   return r.ok() && r.remaining() == 0;
 }
 
-void encode_submit_window(std::vector<std::uint8_t>& out, const host::CompressedWindow& window,
-                          std::uint8_t flags, const WireEncodeOptions& opts) {
-  const std::size_t p = frame_begin(out, FrameType::kSubmitWindow);
-  put_u8(out, flags);
+namespace {
+
+/// The SUBMIT_WINDOW payload minus its leading flags byte — shared
+/// verbatim by the v2 SUBMIT_BATCH entries, so v1 bytes never shift.
+void encode_window_body(std::vector<std::uint8_t>& out, const host::CompressedWindow& window,
+                        const WireEncodeOptions& opts) {
   put_varint(out, window.patient_id);
   put_varint(out, window.window_index);
   put_varint(out, window.matrix_seed);
@@ -323,13 +327,9 @@ void encode_submit_window(std::vector<std::uint8_t>& out, const host::Compressed
   } else {
     encode_values(out, window.reference, opts);
   }
-  frame_end(out, p);
 }
 
-bool decode_submit_window(std::span<const std::uint8_t> payload, host::CompressedWindow& out,
-                          std::uint8_t& flags, host::PayloadPool* pool) {
-  WireReader r(payload);
-  flags = r.u8();
+bool decode_window_body(WireReader& r, host::CompressedWindow& out, host::PayloadPool* pool) {
   out.patient_id = static_cast<std::uint32_t>(r.varint());
   out.window_index = static_cast<std::uint32_t>(r.varint());
   out.matrix_seed = r.varint();
@@ -343,6 +343,24 @@ bool decode_submit_window(std::span<const std::uint8_t> payload, host::Compresse
   }
   if (!decode_values(r, out.measurements)) return false;
   if (!decode_values(r, out.reference)) return false;
+  return r.ok();
+}
+
+}  // namespace
+
+void encode_submit_window(std::vector<std::uint8_t>& out, const host::CompressedWindow& window,
+                          std::uint8_t flags, const WireEncodeOptions& opts) {
+  const std::size_t p = frame_begin(out, FrameType::kSubmitWindow);
+  put_u8(out, flags);
+  encode_window_body(out, window, opts);
+  frame_end(out, p);
+}
+
+bool decode_submit_window(std::span<const std::uint8_t> payload, host::CompressedWindow& out,
+                          std::uint8_t& flags, host::PayloadPool* pool) {
+  WireReader r(payload);
+  flags = r.u8();
+  if (!decode_window_body(r, out, pool)) return false;
   return r.ok() && r.remaining() == 0;
 }
 
@@ -374,29 +392,26 @@ bool decode_poll(std::span<const std::uint8_t> payload, std::uint32_t& max_resul
   return r.ok() && r.remaining() == 0;
 }
 
-void encode_result(std::vector<std::uint8_t>& out, const host::WindowResult& result,
-                   const WireEncodeOptions& opts) {
-  const std::size_t p = frame_begin(out, FrameType::kResult);
-  put_varint(out, result.patient_id);
-  put_varint(out, result.window_index);
-  put_u8(out, static_cast<std::uint8_t>(result.priority));
-  put_varint(out, result.route_tag);
-  put_varint(out, result.ticket);
-  put_f64le(out, result.snr_db);
-  put_varint(out, static_cast<std::uint64_t>(result.iterations < 0 ? 0 : result.iterations));
-  put_f64le(out, result.latency_ms);
-  put_f64le(out, result.e2e_ms);
+void encode_result_entry(std::vector<std::uint8_t>& staging, const host::WindowResult& result,
+                         const WireEncodeOptions& opts) {
+  put_varint(staging, result.patient_id);
+  put_varint(staging, result.window_index);
+  put_u8(staging, static_cast<std::uint8_t>(result.priority));
+  put_varint(staging, result.route_tag);
+  put_varint(staging, result.ticket);
+  put_f64le(staging, result.snr_db);
+  put_varint(staging,
+             static_cast<std::uint64_t>(result.iterations < 0 ? 0 : result.iterations));
+  put_f64le(staging, result.latency_ms);
+  put_f64le(staging, result.e2e_ms);
   // Reconstructed signals are FISTA output, not on the fixed-point grid;
   // they ship FLOAT64 so the bit-identical determinism contract survives
   // the wire.  The coding byte still makes this explicit per frame.
-  encode_values(out, result.signal, WireEncodeOptions{});
+  encode_values(staging, result.signal, WireEncodeOptions{});
   (void)opts;
-  frame_end(out, p);
 }
 
-bool decode_result(std::span<const std::uint8_t> payload, host::WindowResult& out,
-                   host::PayloadPool* pool) {
-  WireReader r(payload);
+bool decode_result_entry(WireReader& r, host::WindowResult& out, host::PayloadPool* pool) {
   out.patient_id = static_cast<std::uint32_t>(r.varint());
   out.window_index = static_cast<std::uint32_t>(r.varint());
   out.priority = static_cast<cs::WindowPriority>(r.u8());
@@ -408,6 +423,20 @@ bool decode_result(std::span<const std::uint8_t> payload, host::WindowResult& ou
   out.e2e_ms = r.f64le();
   if (pool && out.signal.capacity() == 0) out.signal = pool->acquire_signal();
   if (!decode_values(r, out.signal)) return false;
+  return r.ok();
+}
+
+void encode_result(std::vector<std::uint8_t>& out, const host::WindowResult& result,
+                   const WireEncodeOptions& opts) {
+  const std::size_t p = frame_begin(out, FrameType::kResult);
+  encode_result_entry(out, result, opts);
+  frame_end(out, p);
+}
+
+bool decode_result(std::span<const std::uint8_t> payload, host::WindowResult& out,
+                   host::PayloadPool* pool) {
+  WireReader r(payload);
+  if (!decode_result_entry(r, out, pool)) return false;
   return r.ok() && r.remaining() == 0;
 }
 
@@ -546,6 +575,150 @@ void encode_bye(std::vector<std::uint8_t>& out) {
 
 void encode_bye_ack(std::vector<std::uint8_t>& out) {
   frame_end(out, frame_begin(out, FrameType::kByeAck));
+}
+
+// --- v2 batched frames -------------------------------------------------------
+
+void encode_submit_batch_entry(std::vector<std::uint8_t>& staging,
+                               const host::CompressedWindow& window,
+                               const WireEncodeOptions& opts) {
+  encode_window_body(staging, window, opts);
+}
+
+void encode_submit_batch_prefix(std::vector<std::uint8_t>& out, std::uint8_t flags,
+                                std::uint64_t count, std::size_t bodies_len) {
+  put_u8(out, kMagic0);
+  put_u8(out, kMagic1);
+  put_u8(out, 2);
+  put_u8(out, static_cast<std::uint8_t>(FrameType::kSubmitBatch));
+  const std::size_t len_at = out.size();
+  put_u32le(out, 0);
+  put_u8(out, flags);
+  put_varint(out, count);
+  const std::size_t payload_len = (out.size() - len_at - 4) + bodies_len;
+  out[len_at] = static_cast<std::uint8_t>(payload_len);
+  out[len_at + 1] = static_cast<std::uint8_t>(payload_len >> 8);
+  out[len_at + 2] = static_cast<std::uint8_t>(payload_len >> 16);
+  out[len_at + 3] = static_cast<std::uint8_t>(payload_len >> 24);
+}
+
+void encode_submit_batch_trailer(std::vector<std::uint8_t>& out,
+                                 std::span<const std::uint8_t> prefix,
+                                 std::span<const std::uint8_t> bodies) {
+  std::uint32_t state = kCrc32cInit;
+  state = crc32c_update(state, prefix.data(), prefix.size());
+  state = crc32c_update(state, bodies.data(), bodies.size());
+  put_u32le(out, crc32c_finish(state));
+}
+
+void encode_submit_batch(std::vector<std::uint8_t>& out,
+                         std::span<const host::CompressedWindow> windows,
+                         std::uint8_t flags, const WireEncodeOptions& opts) {
+  const std::size_t p = frame_begin(out, FrameType::kSubmitBatch, 2);
+  put_u8(out, flags);
+  put_varint(out, windows.size());
+  for (const auto& window : windows) encode_window_body(out, window, opts);
+  frame_end(out, p);
+}
+
+bool decode_submit_batch_header(WireReader& r, std::uint8_t& flags, std::uint64_t& count) {
+  flags = r.u8();
+  count = r.varint();
+  // Each window body is at least 8 bytes (7 varints/bytes + 2 codings);
+  // bounding count up front keeps a hostile count from driving a loop.
+  return r.ok() && count <= r.remaining();
+}
+
+bool decode_submit_batch_entry(WireReader& r, host::CompressedWindow& out,
+                               host::PayloadPool* pool) {
+  return decode_window_body(r, out, pool);
+}
+
+bool decode_submit_batch(std::span<const std::uint8_t> payload, std::uint8_t& flags,
+                         std::vector<host::CompressedWindow>& out, host::PayloadPool* pool) {
+  WireReader r(payload);
+  std::uint64_t count = 0;
+  if (!decode_submit_batch_header(r, flags, count)) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    host::CompressedWindow window;
+    if (!decode_submit_batch_entry(r, window, pool)) return false;
+    out.push_back(std::move(window));
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_submit_batch_ack(std::vector<std::uint8_t>& out,
+                             std::span<const SubmitBatchAckEntry> entries) {
+  const std::size_t p = frame_begin(out, FrameType::kSubmitBatchAck, 2);
+  put_varint(out, entries.size());
+  for (const auto& entry : entries) {
+    put_u8(out, entry.accepted ? 1 : 0);
+    if (entry.accepted) put_varint(out, entry.local_ticket);
+  }
+  frame_end(out, p);
+}
+
+bool decode_submit_batch_ack(std::span<const std::uint8_t> payload,
+                             std::vector<SubmitBatchAckEntry>& out) {
+  WireReader r(payload);
+  const std::uint64_t count = r.varint();
+  if (!r.ok() || count > r.remaining()) return false;  // >= 1 byte per entry.
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SubmitBatchAckEntry entry;
+    const std::uint8_t accepted = r.u8();
+    if (!r.ok() || accepted > 1) return false;
+    entry.accepted = accepted == 1;
+    if (entry.accepted) entry.local_ticket = r.varint();
+    out.push_back(entry);
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_poll_many(std::vector<std::uint8_t>& out, std::uint32_t max_results) {
+  const std::size_t p = frame_begin(out, FrameType::kPollMany, 2);
+  put_varint(out, max_results);
+  frame_end(out, p);
+}
+
+bool decode_poll_many(std::span<const std::uint8_t> payload, std::uint32_t& max_results) {
+  WireReader r(payload);
+  max_results = static_cast<std::uint32_t>(r.varint());
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_result_batch(std::vector<std::uint8_t>& out,
+                         std::span<const std::uint8_t> bodies, std::uint64_t count) {
+  const std::size_t p = frame_begin(out, FrameType::kResultBatch, 2);
+  put_varint(out, count);
+  out.insert(out.end(), bodies.begin(), bodies.end());
+  frame_end(out, p);
+}
+
+bool decode_result_batch_header(WireReader& r, std::uint64_t& count) {
+  const std::uint64_t n = r.varint();
+  // A result body is well over 8 bytes; 1 byte/entry bounds a hostile count.
+  if (!r.ok() || n > r.remaining()) return false;
+  count = n;
+  return true;
+}
+
+bool decode_result_batch(std::span<const std::uint8_t> payload,
+                         std::vector<host::WindowResult>& out, host::PayloadPool* pool) {
+  WireReader r(payload);
+  std::uint64_t count = 0;
+  if (!decode_result_batch_header(r, count)) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    host::WindowResult result;
+    if (!decode_result_entry(r, result, pool)) return false;
+    out.push_back(std::move(result));
+  }
+  return r.ok() && r.remaining() == 0;
 }
 
 }  // namespace wbsn::net

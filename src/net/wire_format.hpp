@@ -1,5 +1,7 @@
-// wbsn-wire v1 — the compact binary serialization that puts a socket (or a
-// radio) under the reconstruction fabric.
+// wbsn-wire — the compact binary serialization that puts a socket (or a
+// radio) under the reconstruction fabric.  This implementation speaks v1
+// (per-window frames) and v2 (adds batched submit/poll frames; see the
+// "v2 batched frames" section below).
 //
 // The normative specification lives in docs/WIRE_FORMAT.md and is written
 // to be implementable without reading this file; this header is the
@@ -28,11 +30,12 @@
 // is pool-recycled exactly like a locally produced one.
 //
 // Version negotiation: a connection starts with HELLO(min,max supported) →
-// HELLO_ACK(chosen) before anything else; every subsequent frame carries
-// the negotiated version in its header byte.  A decoder MUST reject a
-// frame whose version it does not support with ERROR(UNSUPPORTED_VERSION)
-// rather than guessing at the payload — that byte is what lets v2 evolve
-// the payloads without bricking v1 peers.
+// HELLO_ACK(chosen) before anything else.  Each frame's header byte
+// declares the version that defined its layout: v1 frames keep carrying 1
+// even on a v2 connection (their bytes are frozen), v2 frames carry 2.  A
+// receiver MUST reject a frame versioned above what was negotiated with
+// ERROR(UNSUPPORTED_VERSION) rather than guessing at the payload — that
+// byte is what lets the protocol evolve without bricking v1 peers.
 #pragma once
 
 #include <cstddef>
@@ -51,7 +54,16 @@ namespace wbsn::net {
 
 inline constexpr std::uint8_t kMagic0 = 0x57;  ///< 'W'
 inline constexpr std::uint8_t kMagic1 = 0x42;  ///< 'B'
+/// The baseline protocol version.  Frames whose layout v1 defined keep
+/// carrying this in their header byte even on a v2 connection — their
+/// bytes are frozen; the negotiated ceiling only governs which frame
+/// *types* may appear (see docs/WIRE_FORMAT.md §9).
 inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersionMin = 1;
+/// Highest version this implementation speaks.  v2 adds the batched
+/// submit/poll frames (SUBMIT_BATCH, SUBMIT_BATCH_ACK, POLL_MANY,
+/// RESULT_BATCH); those frames carry 2 in their header byte.
+inline constexpr std::uint8_t kWireVersionMax = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 inline constexpr std::size_t kFrameTrailerBytes = 4;
 /// Frames longer than this are rejected before buffering the payload — a
@@ -78,6 +90,11 @@ enum class FrameType : std::uint8_t {
   kSnapshot = 17,        ///< server → client: the counters
   kBye = 18,             ///< client → server: orderly goodbye
   kByeAck = 19,          ///< server → client: goodbye acknowledged
+  // v2 frames — only valid after negotiating version >= 2.
+  kSubmitBatch = 20,     ///< client → server: K windows in one frame
+  kSubmitBatchAck = 21,  ///< server → client: K per-window outcomes
+  kPollMany = 22,        ///< client → server: request up to N results
+  kResultBatch = 23,     ///< server → client: up to N results, one frame
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -285,5 +302,81 @@ bool decode_snapshot(std::span<const std::uint8_t> payload, SnapshotPayload& out
 
 void encode_bye(std::vector<std::uint8_t>& out);
 void encode_bye_ack(std::vector<std::uint8_t>& out);
+
+// --- v2 batched frames -------------------------------------------------------
+// SUBMIT_BATCH payload := flags(u8) count(varint) count × window-body,
+// where window-body is the SUBMIT_WINDOW payload minus its leading flags
+// byte (the batch flags apply to every window).  SUBMIT_BATCH_ACK carries
+// count × (accepted(u8) [local_ticket(varint) when accepted]) in submit
+// order.  POLL_MANY(max) is answered by exactly one RESULT_BATCH of
+// count(varint) count × result-body (the RESULT payload), count possibly
+// zero — no POLL_END terminator.  All four carry header version 2.
+//
+// The client pipeline stages window bodies incrementally
+// (encode_submit_batch_entry into a reused buffer) and seals the frame
+// without ever assembling it contiguously: encode_submit_batch_prefix
+// builds header+flags+count, encode_submit_batch_trailer streams the CRC
+// over prefix ∥ bodies, and the three pieces go out in one
+// scatter-gather write (net::send_all_vec).
+
+/// One per-window outcome inside a SUBMIT_BATCH_ACK.
+struct SubmitBatchAckEntry {
+  bool accepted = false;
+  std::uint64_t local_ticket = 0;  ///< Meaningful only when accepted.
+};
+
+/// Appends one window body (no framing, no flags byte) to `staging`.
+void encode_submit_batch_entry(std::vector<std::uint8_t>& staging,
+                               const host::CompressedWindow& window,
+                               const WireEncodeOptions& opts);
+
+/// Appends the SUBMIT_BATCH header + `flags count` prefix for a frame
+/// whose staged bodies total `bodies_len` bytes.  The header length field
+/// is final — no later patching — so the prefix can ship before the
+/// bodies in a scatter-gather write.
+void encode_submit_batch_prefix(std::vector<std::uint8_t>& out, std::uint8_t flags,
+                                std::uint64_t count, std::size_t bodies_len);
+
+/// Appends the 4-byte CRC trailer for prefix ∥ bodies (streamed CRC —
+/// the two spans never need to be contiguous).
+void encode_submit_batch_trailer(std::vector<std::uint8_t>& out,
+                                 std::span<const std::uint8_t> prefix,
+                                 std::span<const std::uint8_t> bodies);
+
+/// Whole-frame convenience (tests, golden fixtures): one contiguous
+/// SUBMIT_BATCH frame for `windows`.
+void encode_submit_batch(std::vector<std::uint8_t>& out,
+                         std::span<const host::CompressedWindow> windows,
+                         std::uint8_t flags, const WireEncodeOptions& opts);
+
+/// Incremental decode: header first, then `count` entries off the same
+/// reader.  The convenience form decodes the whole payload.
+bool decode_submit_batch_header(WireReader& r, std::uint8_t& flags, std::uint64_t& count);
+bool decode_submit_batch_entry(WireReader& r, host::CompressedWindow& out,
+                               host::PayloadPool* pool);
+bool decode_submit_batch(std::span<const std::uint8_t> payload, std::uint8_t& flags,
+                         std::vector<host::CompressedWindow>& out, host::PayloadPool* pool);
+
+void encode_submit_batch_ack(std::vector<std::uint8_t>& out,
+                             std::span<const SubmitBatchAckEntry> entries);
+bool decode_submit_batch_ack(std::span<const std::uint8_t> payload,
+                             std::vector<SubmitBatchAckEntry>& out);
+
+void encode_poll_many(std::vector<std::uint8_t>& out, std::uint32_t max_results);
+bool decode_poll_many(std::span<const std::uint8_t> payload, std::uint32_t& max_results);
+
+/// Appends one result body (no framing) to `staging` — the server sizes a
+/// RESULT_BATCH against its byte budget as it encodes.
+void encode_result_entry(std::vector<std::uint8_t>& staging, const host::WindowResult& result,
+                         const WireEncodeOptions& opts);
+
+/// Frames `count` staged result bodies as one RESULT_BATCH.
+void encode_result_batch(std::vector<std::uint8_t>& out,
+                         std::span<const std::uint8_t> bodies, std::uint64_t count);
+
+bool decode_result_batch_header(WireReader& r, std::uint64_t& count);
+bool decode_result_entry(WireReader& r, host::WindowResult& out, host::PayloadPool* pool);
+bool decode_result_batch(std::span<const std::uint8_t> payload,
+                         std::vector<host::WindowResult>& out, host::PayloadPool* pool);
 
 }  // namespace wbsn::net

@@ -235,6 +235,88 @@ TEST(MultiProcessReshard, LiveGrowAndShrinkAcrossProcessBoundaries) {
   d3.reap();
 }
 
+TEST(MultiProcessReshard, PipelinedSubmitsConserveAcrossALiveReshard) {
+  // The ISSUE 8 acceptance variant: same process-boundary conservation
+  // contract, but every window goes through the v2 pipelined submit path
+  // (batched frames, deferred tickets).  A live grow lands mid-stream
+  // with batches still unflushed — set_topology must sync the pipelines
+  // before the epoch flips, and the deferred tickets must still compose
+  // with their *submission* epoch.
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/2);
+  const auto reference = serial_reference(traffic);
+
+  ShardDaemon d0, d1, d2;
+  RoutingClientConfig client_cfg;
+  client_cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
+  client_cfg.pipeline_depth = 2;
+  client_cfg.submit_batch_windows = 4;
+  RoutingClient client(client_cfg);
+  ASSERT_TRUE(client.connect({d0.endpoint(), d1.endpoint()}));
+  ASSERT_EQ(client.shard_wire_version(0), 2u) << "daemons must negotiate v2 by default";
+
+  const std::size_t half = traffic.size() / 2;
+  std::vector<std::size_t> expected_owner(traffic.size());
+  for (std::size_t i = 0; i < half; ++i) {
+    CompressedWindow copy = traffic[i];
+    expected_owner[i] = client.owner(copy.patient_id);
+    ASSERT_TRUE(client.submit_pipelined(std::move(copy)));
+  }
+
+  // Live grow 2 -> 3 with batches staged and ACKs outstanding.
+  ASSERT_TRUE(client.set_topology({d0.endpoint(), d1.endpoint(), d2.endpoint()}));
+  EXPECT_EQ(client.epoch(), 1u);
+  for (std::size_t i = half; i < traffic.size(); ++i) {
+    CompressedWindow copy = traffic[i];
+    expected_owner[i] = client.owner(copy.patient_id);
+    ASSERT_TRUE(client.submit_pipelined(std::move(copy)));
+  }
+
+  const auto tickets = client.flush_submits();
+  ASSERT_EQ(tickets.size(), traffic.size());
+  std::set<std::uint64_t> unique;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].has_value()) << "window " << i << " lost its ticket";
+    EXPECT_TRUE(unique.insert(*tickets[i]).second) << "duplicate ticket";
+    EXPECT_EQ(host::ReconstructionFabric::ticket_epoch(*tickets[i]), i < half ? 0u : 1u)
+        << "window " << i << " must compose with its submission epoch";
+    EXPECT_EQ(host::ReconstructionFabric::ticket_shard(*tickets[i]), expected_owner[i])
+        << "window " << i;
+  }
+
+  std::map<WindowKey, WindowResult> results;
+  std::set<std::uint64_t> result_tickets;
+  for (auto&& r : client.drain()) {
+    const WindowKey key{r.patient_id, r.window_index};
+    EXPECT_TRUE(result_tickets.insert(r.ticket).second) << "duplicate ticket";
+    EXPECT_TRUE(results.emplace(key, std::move(r)).second) << "duplicate result";
+  }
+  ASSERT_EQ(results.size(), traffic.size());
+  EXPECT_EQ(result_tickets, unique)
+      << "every result must echo the composite ticket its flush returned";
+  for (const auto& [key, expected] : reference) {
+    const auto found = results.find(key);
+    ASSERT_NE(found, results.end());
+    EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+        << "patient " << key.first << " window " << key.second
+        << " diverged under pipelining across process boundaries";
+    EXPECT_EQ(found->second.iterations, expected.iterations);
+  }
+
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, traffic.size());
+  EXPECT_EQ(agg.completed, traffic.size());
+  EXPECT_EQ(agg.retrieved, traffic.size());
+  EXPECT_EQ(agg.rejected, 0u);
+  EXPECT_EQ(agg.shed_routine + agg.shed_urgent, 0u);
+  EXPECT_EQ(agg.unsolved, 0u);
+  EXPECT_EQ(agg.ready, 0u);
+
+  client.shutdown(/*send_bye=*/true);
+  d0.reap();
+  d1.reap();
+  d2.reap();
+}
+
 TEST(MultiProcessReshard, SloHistorySurvivesDaemonMigration) {
   const auto traffic = fleet_traffic(/*patients=*/4, /*beats_per_patient=*/2);
 

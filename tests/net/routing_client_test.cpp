@@ -76,12 +76,13 @@ struct LocalShard {
   std::unique_ptr<ShardServer> server;
   std::thread loop;
 
-  explicit LocalShard(int threads) {
+  explicit LocalShard(int threads, std::uint8_t max_version = kWireVersionMax) {
     ShardServerConfig cfg;
     cfg.engine = fast_engine(threads);
     // The node path emits exact fixed-point multiples; advertising the
     // scale exercises the compact coding end to end.
     cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
+    cfg.max_wire_version = max_version;
     server = std::make_unique<ShardServer>(cfg);
     EXPECT_TRUE(server->start());
     loop = std::thread([s = server.get()] { s->run(); });
@@ -255,6 +256,154 @@ TEST(RoutingClient, SloHistoryFollowsThePatientAcrossShards) {
   client.shutdown(/*send_bye=*/false);
 }
 
+/// Pipelined submit path shared by the tests below: every window goes
+/// through submit_pipelined, flush_submits() resolves the tickets, drain()
+/// retrieves everything; returns the flush tickets in submission order.
+std::vector<std::uint64_t> run_pipelined(RoutingClient& client,
+                                         const std::vector<CompressedWindow>& traffic,
+                                         std::map<WindowKey, WindowResult>& results) {
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    EXPECT_TRUE(client.submit_pipelined(std::move(copy)));
+  }
+  const auto tickets = client.flush_submits();
+  EXPECT_EQ(tickets.size(), traffic.size());
+  std::vector<std::uint64_t> resolved;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_TRUE(tickets[i].has_value()) << "window " << i << " lost its ticket";
+    if (tickets[i].has_value()) resolved.push_back(*tickets[i]);
+  }
+  for (auto&& r : client.drain()) {
+    const WindowKey key{r.patient_id, r.window_index};
+    EXPECT_TRUE(results.emplace(key, std::move(r)).second) << "duplicate result";
+  }
+  return resolved;
+}
+
+void expect_matches_reference(const std::map<WindowKey, WindowResult>& results,
+                              const std::map<WindowKey, WindowResult>& reference) {
+  ASSERT_EQ(results.size(), reference.size());
+  for (const auto& [key, expected] : reference) {
+    const auto found = results.find(key);
+    ASSERT_NE(found, results.end());
+    EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+        << "patient " << key.first << " window " << key.second
+        << " diverged under pipelining";
+    EXPECT_EQ(found->second.iterations, expected.iterations);
+  }
+}
+
+TEST(RoutingClient, PipelinedSubmitsMatchSerialReferenceBitForBit) {
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/3);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard a(2), b(2);
+  auto cfg = client_config();
+  cfg.pipeline_depth = 2;
+  cfg.submit_batch_windows = 4;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+  EXPECT_EQ(client.shard_wire_version(0), 2);
+  EXPECT_EQ(client.shard_wire_version(1), 2);
+
+  std::map<WindowKey, WindowResult> results;
+  const auto tickets = run_pipelined(client, traffic, results);
+  expect_matches_reference(results, reference);
+
+  // The deferred tickets carry the same composite form a blocking submit
+  // returns, stay unique, and every result echoes one of them.
+  ASSERT_EQ(tickets.size(), traffic.size());
+  std::set<std::uint64_t> unique(tickets.begin(), tickets.end());
+  EXPECT_EQ(unique.size(), traffic.size()) << "tickets must be unique";
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    EXPECT_EQ(host::ReconstructionFabric::ticket_epoch(tickets[i]), 0u);
+    EXPECT_EQ(host::ReconstructionFabric::ticket_shard(tickets[i]),
+              client.owner(traffic[i].patient_id))
+        << "window " << i;
+  }
+  std::set<std::uint64_t> result_tickets;
+  for (const auto& [key, result] : results) result_tickets.insert(result.ticket);
+  EXPECT_EQ(result_tickets, unique);
+
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, traffic.size());
+  EXPECT_EQ(agg.completed, traffic.size());
+  EXPECT_EQ(agg.retrieved, traffic.size());
+  EXPECT_EQ(agg.rejected, 0u);
+  EXPECT_EQ(agg.shed_routine + agg.shed_urgent, 0u);
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(RoutingClient, PipelinedSubmitsFallBackPerWindowOnAV1Fleet) {
+  // Shards capped at v1: submit_pipelined degrades to the blocking
+  // per-window SUBMIT with identical tickets and results — the caller
+  // never has to know which version the fleet negotiated.
+  const auto traffic = fleet_traffic(/*patients=*/4, /*beats_per_patient=*/2);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard a(1, /*max_version=*/1), b(1, /*max_version=*/1);
+  auto cfg = client_config();
+  cfg.pipeline_depth = 2;
+  cfg.submit_batch_windows = 4;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+  EXPECT_EQ(client.shard_wire_version(0), 1);
+  EXPECT_EQ(client.shard_wire_version(1), 1);
+
+  std::map<WindowKey, WindowResult> results;
+  const auto tickets = run_pipelined(client, traffic, results);
+  expect_matches_reference(results, reference);
+  EXPECT_EQ(std::set<std::uint64_t>(tickets.begin(), tickets.end()).size(), traffic.size());
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(RoutingClient, MixedVersionFleetNegotiatesPerShard) {
+  // One v1-capped shard and one v2 shard in the same topology: the client
+  // pipelines to the v2 shard, falls back per-window on the v1 shard, and
+  // the merged result set stays bit-exact and conserved.
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/2);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard old_shard(1, /*max_version=*/1), new_shard(1);
+  auto cfg = client_config();
+  cfg.pipeline_depth = 2;
+  cfg.submit_batch_windows = 4;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({old_shard.endpoint(), new_shard.endpoint()}));
+  EXPECT_EQ(client.shard_wire_version(0), 1);
+  EXPECT_EQ(client.shard_wire_version(1), 2);
+
+  std::map<WindowKey, WindowResult> results;
+  (void)run_pipelined(client, traffic, results);
+  expect_matches_reference(results, reference);
+
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, traffic.size());
+  EXPECT_EQ(agg.completed, traffic.size());
+  EXPECT_EQ(agg.retrieved, traffic.size());
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(RoutingClient, ClientVersionCapForcesV1OnACapableServer) {
+  // The staged-rollout knob: a v2-capable server negotiated down to v1 by
+  // the client's own ceiling.  Everything still works, just per-window.
+  const auto traffic = fleet_traffic(/*patients=*/2, /*beats_per_patient=*/2);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard shard(1);
+  auto cfg = client_config();
+  cfg.max_wire_version = 1;
+  cfg.pipeline_depth = 4;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({shard.endpoint()}));
+  EXPECT_EQ(client.shard_wire_version(0), 1);
+
+  std::map<WindowKey, WindowResult> results;
+  (void)run_pipelined(client, traffic, results);
+  expect_matches_reference(results, reference);
+  client.shutdown(/*send_bye=*/false);
+}
+
 TEST(Protocol, TalkingBeforeHelloIsRefused) {
   LocalShard shard(0);
   Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
@@ -317,8 +466,8 @@ TEST(Protocol, VersionNegotiationPicksMutualVersion) {
   LocalShard shard(0);
   Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
   ASSERT_TRUE(fd.valid());
-  // Offer a range spanning far beyond v1: the server picks the highest
-  // version both sides speak, which today is 1.
+  // Offer a range spanning far beyond what this build speaks: the server
+  // picks the highest version both sides share, which today is v2.
   std::vector<std::uint8_t> buf;
   encode_hello(buf, HelloPayload{1, 200});
   ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
@@ -335,7 +484,7 @@ TEST(Protocol, VersionNegotiationPicksMutualVersion) {
   ASSERT_EQ(view.type, FrameType::kHelloAck);
   std::uint8_t version = 0;
   ASSERT_TRUE(decode_hello_ack(view.payload, version));
-  EXPECT_EQ(version, kWireVersion);
+  EXPECT_EQ(version, kWireVersionMax);
 
   // An offer entirely above our ceiling is refused.
   Fd fd2 = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
@@ -350,6 +499,48 @@ TEST(Protocol, VersionNegotiationPicksMutualVersion) {
     acc.insert(acc.end(), rx.begin(), rx.begin() + n);
     if (peek_frame(acc, view) == FrameStatus::kOk) break;
   }
+  ASSERT_EQ(view.type, FrameType::kError);
+  ErrorPayload error;
+  ASSERT_TRUE(decode_error(view.payload, error));
+  EXPECT_EQ(error.code, ErrorCode::kUnsupportedVersion);
+}
+
+TEST(Protocol, V2FrameAboveTheNegotiatedVersionIsRefused) {
+  // Negotiate v1 explicitly, then send a SUBMIT_BATCH (a v2-layout frame,
+  // header version 2).  The server must answer ERROR(UNSUPPORTED_VERSION)
+  // — the negotiated ceiling governs frame types, not just the handshake.
+  LocalShard shard(0);
+  Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+  ASSERT_TRUE(fd.valid());
+
+  std::vector<std::uint8_t> buf;
+  encode_hello(buf, HelloPayload{1, 1});
+  ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+
+  std::vector<std::uint8_t> rx(4096);
+  std::vector<std::uint8_t> acc;
+  FrameView view;
+  const auto read_one = [&]() {
+    acc.clear();
+    for (;;) {
+      const long n = recv_some(fd.get(), rx.data(), rx.size());
+      ASSERT_GT(n, 0) << "server closed the connection";
+      acc.insert(acc.end(), rx.begin(), rx.begin() + n);
+      if (peek_frame(acc, view) == FrameStatus::kOk) break;
+    }
+  };
+  read_one();
+  ASSERT_EQ(view.type, FrameType::kHelloAck);
+  std::uint8_t version = 0;
+  ASSERT_TRUE(decode_hello_ack(view.payload, version));
+  ASSERT_EQ(version, 1);
+
+  buf.clear();
+  std::vector<CompressedWindow> one;
+  one.push_back(fleet_traffic(/*patients=*/1, /*beats_per_patient=*/1).front());
+  encode_submit_batch(buf, one, kSubmitFlagBlocking, WireEncodeOptions{});
+  ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+  read_one();
   ASSERT_EQ(view.type, FrameType::kError);
   ErrorPayload error;
   ASSERT_TRUE(decode_error(view.payload, error));

@@ -340,33 +340,204 @@ TEST(Frames, ControlFramesRoundTrip) {
   }
 }
 
-TEST(Framing, TruncatedFramesWantMoreBytes) {
-  const auto buf = encode_one([](auto& b) { encode_poll(b, 32); });
-  for (std::size_t len = 0; len < buf.size(); ++len) {
-    FrameView view;
-    EXPECT_EQ(peek_frame({buf.data(), len}, view), FrameStatus::kNeedMore)
-        << "prefix length " << len;
+// --- v2 batched frames -------------------------------------------------------
+
+std::vector<host::CompressedWindow> sample_batch() {
+  std::vector<host::CompressedWindow> windows;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    host::CompressedWindow w = sample_window();
+    w.window_index = 7 + i;
+    w.priority = (i == 1) ? cs::WindowPriority::kRoutine : cs::WindowPriority::kUrgent;
+    windows.push_back(std::move(w));
   }
+  return windows;
+}
+
+TEST(FramesV2, SubmitBatchRoundTripsBitExactly) {
+  const auto windows = sample_batch();
+  const WireEncodeOptions opts{0.0048828125};
+  const auto buf = encode_one(
+      [&](auto& b) { encode_submit_batch(b, windows, kSubmitFlagBlocking, opts); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kSubmitBatch);
+  EXPECT_EQ(view.version, 2) << "v2 frames declare the version that defined their layout";
+
+  std::uint8_t flags = 0;
+  std::vector<host::CompressedWindow> decoded;
+  ASSERT_TRUE(decode_submit_batch(view.payload, flags, decoded, nullptr));
+  EXPECT_EQ(flags, kSubmitFlagBlocking);
+  ASSERT_EQ(decoded.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(decoded[i].patient_id, windows[i].patient_id);
+    EXPECT_EQ(decoded[i].window_index, windows[i].window_index);
+    EXPECT_EQ(decoded[i].matrix_seed, windows[i].matrix_seed);
+    EXPECT_EQ(decoded[i].priority, windows[i].priority);
+    EXPECT_EQ(decoded[i].route_tag, windows[i].route_tag);
+    ASSERT_EQ(decoded[i].measurements.size(), windows[i].measurements.size());
+    EXPECT_EQ(std::memcmp(decoded[i].measurements.data(), windows[i].measurements.data(),
+                          windows[i].measurements.size() * sizeof(double)),
+              0)
+        << "window " << i;
+  }
+}
+
+TEST(FramesV2, ScatterGatherSealMatchesTheContiguousEncoder) {
+  // The pipelined client never assembles a SUBMIT_BATCH contiguously: it
+  // stages bodies, then seals prefix + bodies + CRC trailer as three
+  // spans.  Concatenated, those spans must be byte-identical to the
+  // whole-frame encoder — the goldens cover both paths at once.
+  const auto windows = sample_batch();
+  const WireEncodeOptions opts{0.0048828125};
+  const auto whole = encode_one(
+      [&](auto& b) { encode_submit_batch(b, windows, kSubmitFlagBlocking, opts); });
+
+  std::vector<std::uint8_t> bodies;
+  for (const auto& w : windows) encode_submit_batch_entry(bodies, w, opts);
+  std::vector<std::uint8_t> prefix;
+  encode_submit_batch_prefix(prefix, kSubmitFlagBlocking, windows.size(), bodies.size());
+  std::vector<std::uint8_t> trailer;
+  encode_submit_batch_trailer(trailer, prefix, bodies);
+
+  std::vector<std::uint8_t> sealed = prefix;
+  sealed.insert(sealed.end(), bodies.begin(), bodies.end());
+  sealed.insert(sealed.end(), trailer.begin(), trailer.end());
+  ASSERT_EQ(sealed.size(), whole.size());
+  EXPECT_EQ(std::memcmp(sealed.data(), whole.data(), whole.size()), 0);
   FrameView view;
-  EXPECT_EQ(peek_frame(buf, view), FrameStatus::kOk);
+  EXPECT_EQ(peek_frame(sealed, view), FrameStatus::kOk) << "CRC must cover prefix and bodies";
+}
+
+TEST(FramesV2, SubmitBatchAckRoundTrips) {
+  const std::vector<SubmitBatchAckEntry> entries{
+      {true, 0},
+      {false, 0},
+      {true, std::numeric_limits<std::uint64_t>::max()},
+  };
+  const auto buf = encode_one([&](auto& b) { encode_submit_batch_ack(b, entries); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kSubmitBatchAck);
+  EXPECT_EQ(view.version, 2);
+  std::vector<SubmitBatchAckEntry> decoded;
+  ASSERT_TRUE(decode_submit_batch_ack(view.payload, decoded));
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].accepted, entries[i].accepted) << "entry " << i;
+    if (entries[i].accepted) {
+      EXPECT_EQ(decoded[i].local_ticket, entries[i].local_ticket) << "entry " << i;
+    }
+  }
+}
+
+TEST(FramesV2, PollManyAndResultBatchRoundTrip) {
+  {
+    const auto buf = encode_one([](auto& b) { encode_poll_many(b, 48); });
+    const auto view = must_peek(buf);
+    EXPECT_EQ(view.type, FrameType::kPollMany);
+    EXPECT_EQ(view.version, 2);
+    std::uint32_t max_results = 0;
+    ASSERT_TRUE(decode_poll_many(view.payload, max_results));
+    EXPECT_EQ(max_results, 48u);
+  }
+  {
+    // Two staged result bodies framed as one RESULT_BATCH.
+    std::vector<std::uint8_t> bodies;
+    auto first = sample_result();
+    auto second = sample_result();
+    second.window_index = 8;
+    second.ticket = 12346;
+    encode_result_entry(bodies, first, WireEncodeOptions{});
+    encode_result_entry(bodies, second, WireEncodeOptions{});
+    const auto buf = encode_one([&](auto& b) { encode_result_batch(b, bodies, 2); });
+    const auto view = must_peek(buf);
+    EXPECT_EQ(view.type, FrameType::kResultBatch);
+    std::vector<host::WindowResult> decoded;
+    ASSERT_TRUE(decode_result_batch(view.payload, decoded, nullptr));
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0].ticket, first.ticket);
+    EXPECT_EQ(decoded[1].window_index, 8u);
+    ASSERT_EQ(decoded[0].signal.size(), first.signal.size());
+    EXPECT_EQ(std::memcmp(decoded[0].signal.data(), first.signal.data(),
+                          first.signal.size() * sizeof(double)),
+              0);
+  }
+  {
+    // An idle shard answers POLL_MANY with an empty batch, not POLL_END.
+    const auto buf = encode_one([](auto& b) { encode_result_batch(b, {}, 0); });
+    std::vector<host::WindowResult> decoded;
+    ASSERT_TRUE(decode_result_batch(must_peek(buf).payload, decoded, nullptr));
+    EXPECT_TRUE(decoded.empty());
+  }
+}
+
+TEST(FramesV2, OverstatedCountsAreMalformedNotOverreads) {
+  // A count claiming more entries than the payload holds must fail the
+  // decode cleanly (latched reader), never read past the frame.
+  const auto windows = sample_batch();
+  auto buf = encode_one(
+      [&](auto& b) { encode_submit_batch(b, windows, 0, WireEncodeOptions{}); });
+  auto view = must_peek(buf);
+  // Payload starts flags(u8) count(varint); 3 windows encode as one byte.
+  std::vector<std::uint8_t> payload(view.payload.begin(), view.payload.end());
+  ASSERT_EQ(payload[1], 3u);
+  payload[1] = 4;
+  std::uint8_t flags = 0;
+  std::vector<host::CompressedWindow> decoded;
+  EXPECT_FALSE(decode_submit_batch(payload, flags, decoded, nullptr));
+
+  std::vector<std::uint8_t> bodies;
+  encode_result_entry(bodies, sample_result(), WireEncodeOptions{});
+  const auto rb = encode_one([&](auto& b) { encode_result_batch(b, bodies, 1); });
+  view = must_peek(rb);
+  payload.assign(view.payload.begin(), view.payload.end());
+  ASSERT_EQ(payload[0], 1u);
+  payload[0] = 2;
+  std::vector<host::WindowResult> results;
+  EXPECT_FALSE(decode_result_batch(payload, results, nullptr));
+}
+
+TEST(Framing, TruncatedFramesWantMoreBytes) {
+  const std::vector<std::vector<std::uint8_t>> frames{
+      encode_one([](auto& b) { encode_poll(b, 32); }),
+      encode_one([](auto& b) { encode_poll_many(b, 32); }),
+      encode_one([](auto& b) {
+        encode_submit_batch(b, sample_batch(), kSubmitFlagBlocking,
+                            WireEncodeOptions{0.0048828125});
+      }),
+  };
+  for (const auto& buf : frames) {
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      FrameView view;
+      EXPECT_EQ(peek_frame({buf.data(), len}, view), FrameStatus::kNeedMore)
+          << "prefix length " << len;
+    }
+    FrameView view;
+    EXPECT_EQ(peek_frame(buf, view), FrameStatus::kOk);
+  }
 }
 
 TEST(Framing, EveryFlippedBitIsRejected) {
-  const auto buf = encode_one([](auto& b) { encode_submit_ack(b, 0xDEADBEEF); });
-  for (std::size_t byte = 0; byte < buf.size(); ++byte) {
-    for (int bit = 0; bit < 8; ++bit) {
-      auto corrupt = buf;
-      corrupt[byte] ^= static_cast<std::uint8_t>(1 << bit);
-      FrameView view;
-      const auto status = peek_frame(corrupt, view);
-      // Whatever the flipped bit hit (magic, version, type, length,
-      // payload, CRC), the frame must not decode as a clean kOk of the
-      // original — either the status reports the damage, or the length
-      // field grew and the parser asks for bytes that never come.
-      if (status == FrameStatus::kOk) {
-        // A flip in the version byte is the only field the CRC covers
-        // that peek reports separately; everything else must fail.
-        ADD_FAILURE() << "byte " << byte << " bit " << bit << " accepted";
+  const std::vector<std::vector<std::uint8_t>> frames{
+      encode_one([](auto& b) { encode_submit_ack(b, 0xDEADBEEF); }),
+      encode_one([](auto& b) {
+        encode_submit_batch_ack(b, std::vector<SubmitBatchAckEntry>{{true, 7}, {false, 0}});
+      }),
+  };
+  for (const auto& buf : frames) {
+    for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto corrupt = buf;
+        corrupt[byte] ^= static_cast<std::uint8_t>(1 << bit);
+        FrameView view;
+        const auto status = peek_frame(corrupt, view);
+        // Whatever the flipped bit hit (magic, version, type, length,
+        // payload, CRC), the frame must not decode as a clean kOk of the
+        // original — either the status reports the damage, or the length
+        // field grew and the parser asks for bytes that never come.
+        if (status == FrameStatus::kOk) {
+          // A flip in the version byte is the only field the CRC covers
+          // that peek reports separately; everything else must fail.
+          ADD_FAILURE() << "byte " << byte << " bit " << bit << " accepted";
+        }
       }
     }
   }
@@ -374,8 +545,8 @@ TEST(Framing, EveryFlippedBitIsRejected) {
 
 TEST(Framing, UnknownVersionIsSurfacedNotGuessed) {
   auto buf = encode_one([](auto& b) { encode_poll(b, 1); });
-  buf[2] = 2;  // Future version...
-  // ...with a correct CRC (a real v2 sender would checksum correctly).
+  buf[2] = kWireVersionMax + 1;  // Future version past everything we speak...
+  // ...with a correct CRC (a real future sender would checksum correctly).
   const std::uint32_t crc = crc32c(buf.data(), buf.size() - kFrameTrailerBytes);
   buf[buf.size() - 4] = static_cast<std::uint8_t>(crc);
   buf[buf.size() - 3] = static_cast<std::uint8_t>(crc >> 8);
@@ -383,7 +554,7 @@ TEST(Framing, UnknownVersionIsSurfacedNotGuessed) {
   buf[buf.size() - 1] = static_cast<std::uint8_t>(crc >> 24);
   FrameView view;
   EXPECT_EQ(peek_frame(buf, view), FrameStatus::kBadVersion);
-  EXPECT_EQ(view.version, 2);
+  EXPECT_EQ(view.version, kWireVersionMax + 1);
   EXPECT_EQ(view.frame_bytes, buf.size());  // Skippable without a guess.
 }
 
@@ -452,6 +623,26 @@ std::vector<Golden> golden_set() {
                    encode_snapshot(b, s);
                  })});
   set.push_back({"bye.bin", encode_one([](auto& b) { encode_bye(b); })});
+  // v2 batched frames (header version byte = 2).
+  set.push_back({"submit_batch.bin", encode_one([](auto& b) {
+                   encode_submit_batch(b, sample_batch(), kSubmitFlagBlocking,
+                                       WireEncodeOptions{0.0048828125});
+                 })});
+  set.push_back({"submit_batch_ack.bin", encode_one([](auto& b) {
+                   encode_submit_batch_ack(
+                       b, std::vector<SubmitBatchAckEntry>{{true, 100}, {false, 0}, {true, 101}});
+                 })});
+  set.push_back({"poll_many.bin", encode_one([](auto& b) { encode_poll_many(b, 64); })});
+  set.push_back({"result_batch.bin", encode_one([](auto& b) {
+                   std::vector<std::uint8_t> bodies;
+                   auto first = sample_result();
+                   auto second = sample_result();
+                   second.window_index = 8;
+                   second.ticket = 12346;
+                   encode_result_entry(bodies, first, WireEncodeOptions{});
+                   encode_result_entry(bodies, second, WireEncodeOptions{});
+                   encode_result_batch(b, bodies, 2);
+                 })});
   return set;
 }
 
