@@ -132,7 +132,7 @@ kern::Backend backend_of(const benchmark::State& state) {
 }
 
 constexpr std::size_t kWindow = 512;  ///< Paper window: ~2 s at 250 Hz.
-constexpr std::size_t kRowsCr50 = 256;
+const std::size_t kRowsCr50 = cs::rows_for_cr(50.0, kWindow);
 
 cs::SensingMatrix bench_matrix() {
   sig::Rng rng(7);
@@ -277,7 +277,7 @@ void BM_EngineSubmitPoll(benchmark::State& state) {
   window.window_samples = 128;
   window.ones_per_column = 4;
   window.measurements = bench_window(17);
-  window.measurements.resize(64);
+  window.measurements.resize(cs::rows_for_cr(50.0, window.window_samples));
 
   for (auto _ : state) {
     host::CompressedWindow copy = window;
@@ -304,7 +304,7 @@ void BM_EngineSubmitPollPooled(benchmark::State& state) {
 
   const std::vector<double> measurements = [] {
     auto m = bench_window(17);
-    m.resize(64);
+    m.resize(cs::rows_for_cr(50.0, 128));
     return m;
   }();
 

@@ -8,9 +8,12 @@
 // counts is the price of the process boundary.
 //
 // Usage: net_loopback [patients] [beats_per_patient] [cr_percent]
-//                     [--shards N] [--threads N] [--no-fixed]
+//                     [--shards N] [--threads N] [--no-fixed] [--hints]
 //                     [--pipeline N] [--batch-frames K] [--repeat R]
 //                     [--min-speedup X] [--json PATH]
+//
+// --hints runs the closed-loop CR-hint drill instead; see the block
+// comment above run_hint_loop().
 //
 // --threads is each shard's worker count.  --no-fixed disables the
 // fixed-point measurement coding (fixed_scale = 0) to measure how much
@@ -34,11 +37,14 @@
 // and matrix lanes use that, the trajectory gate keeps the full floor).
 // --json writes the pipeline-mode metrics as a flat JSON object (the
 // bench_trajectory.py input).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <span>
 #include <memory>
 #include <string>
 #include <thread>
@@ -126,13 +132,19 @@ struct Fleet {
   std::vector<Shard> shards;
   std::vector<net::ShardEndpoint> endpoints;
 
-  bool start(int count, const host::EngineConfig& engine, double fixed_scale) {
+  bool start(int count, const host::EngineConfig& engine, double fixed_scale,
+             double hint_cr = 0.0) {
     shards.resize(static_cast<std::size_t>(count));
     for (auto& shard : shards) {
       net::ShardServerConfig cfg;
       cfg.engine = engine;
       cfg.engine.payload_pool = std::make_shared<host::PayloadPool>();
       cfg.wire.fixed_scale = fixed_scale;
+      cfg.hint_cr_percent = hint_cr;
+      // Unconditional advisory (no backlog gate): the hint-loop drill
+      // proves the propagation path deterministically; the pressure gate
+      // itself is engine/server unit-test territory.
+      cfg.hint_backlog_deadlines = 0.0;
       shard.server = std::make_unique<net::ShardServer>(cfg);
       if (!shard.server->start()) return false;
       shard.loop = std::thread([s = shard.server.get()] { s->run(); });
@@ -231,6 +243,213 @@ std::size_t submit_wire_bytes(const std::vector<host::CompressedWindow>& batch,
   return total;
 }
 
+// ---------------------------------------------------------------------------
+// Closed-loop CR-hint drill (--hints): the full adaptive-compression loop
+// over real sockets.  Every shard is configured with an unconditional CR
+// advisory (hint_cr_percent = base CR + 20); node-side AdaptiveEncoders
+// encode the first half of each patient's windows at the base CR, the
+// client pulls CR_HINT_ACKs from the fleet, and the second half is
+// re-encoded at the hinted CR — fewer measurements on the wire, solved
+// host-side against the same seeded operator rebuilt at the hinted m.
+// Gates: every patient receives the hint, hinted windows carry exactly
+// rows_for_cr(hint_cr, n) measurements, everything completed is
+// bit-exact against a serial reference of the identical submitted
+// windows, and a v1-pinned control client receives no hints (the verb is
+// v2-only; absence of a hint means full fidelity, never an error).
+
+int run_hint_loop(int patients, int beats, double cr, int shards, int threads,
+                  double scale, const char* json_path) {
+  const double hint_cr = std::min(90.0, cr + 20.0);
+
+  // Node side: one raw single-lead record and one AdaptiveEncoder per
+  // patient, seeded exactly like host::compress_record's lead 0 so a
+  // hinted window reconstructs like a natively-encoded one.
+  cs::CsPipelineConfig node_cfg;
+  node_cfg.matrix_seed = cs::lead_matrix_seed(0xC0FFEE, 0);
+  struct Node {
+    std::vector<double> lead;
+    std::unique_ptr<cs::AdaptiveEncoder> encoder;
+  };
+  std::vector<Node> nodes;
+  for (int p = 0; p < patients; ++p) {
+    sig::SynthConfig synth;
+    synth.num_leads = 1;
+    synth.episodes = {{sig::RhythmEpisode::Kind::kSinus, beats}};
+    synth.record_name = "patient-" + std::to_string(p);
+    sig::Rng rng(0x10013AD0ULL + static_cast<std::uint64_t>(p));
+    auto record = synthesize_ecg(synth, rng);
+    Node node;
+    node.lead = std::move(record.leads[0]);
+    node.encoder = std::make_unique<cs::AdaptiveEncoder>(node_cfg);
+    nodes.push_back(std::move(node));
+  }
+  const auto n = static_cast<std::uint32_t>(node_cfg.window_samples);
+  std::size_t windows_per_patient = nodes.front().lead.size() / n;
+  for (const auto& node : nodes) {
+    windows_per_patient = std::min(windows_per_patient, node.lead.size() / n);
+  }
+  if (windows_per_patient < 2) {
+    std::fprintf(stderr, "record too short for the two-phase drill\n");
+    return 2;
+  }
+  const std::size_t half = windows_per_patient / 2;
+
+  const auto encode_window_at = [&](std::size_t p, std::size_t w,
+                                    double cr_percent) {
+    Node& node = nodes[p];
+    const auto window_mv =
+        std::span<const double>(node.lead).subspan(w * n, n);
+    auto encoded = node.encoder->encode_at(cr_percent, window_mv);
+    host::CompressedWindow cw;
+    cw.patient_id = static_cast<std::uint32_t>(p);
+    cw.window_index = static_cast<std::uint32_t>(w);
+    cw.matrix_seed = node_cfg.matrix_seed;
+    cw.window_samples = n;
+    cw.ones_per_column = static_cast<std::uint32_t>(node_cfg.ones_per_column);
+    cw.measurements = std::move(encoded.measurements);
+    cw.reference = std::move(encoded.reference);
+    return cw;
+  };
+
+  host::EngineConfig engine_cfg;
+  engine_cfg.threads = threads;
+  Fleet fleet;
+  if (!fleet.start(shards, engine_cfg, scale, hint_cr)) {
+    std::fprintf(stderr, "shard failed to start\n");
+    return 1;
+  }
+  net::RoutingClientConfig client_cfg;
+  client_cfg.wire.fixed_scale = scale;
+  net::RoutingClient client(client_cfg);
+  if (!client.connect(fleet.endpoints)) {
+    std::fprintf(stderr, "client failed to connect\n");
+    return 1;
+  }
+
+  std::printf("hint loop: %d patients x %zu windows (n=%u), CR %.0f%% base, "
+              "shard advisory CR %.0f%%, %d shard%s x %d worker%s\n",
+              patients, windows_per_patient, n, cr, hint_cr, shards,
+              shards == 1 ? "" : "s", threads, threads == 1 ? "" : "s");
+
+  // Phase 1: base-CR traffic.  `submitted` keeps a copy of every window
+  // exactly as it went on the wire — the serial-reference input.
+  std::vector<host::CompressedWindow> submitted;
+  std::size_t accepted = 0;
+  for (std::size_t p = 0; p < nodes.size(); ++p) {
+    for (std::size_t w = 0; w < half; ++w) {
+      auto cw = encode_window_at(p, w, cr);
+      submitted.push_back(cw);
+      if (client.submit(std::move(cw)).has_value()) ++accepted;
+    }
+  }
+
+  // The closed loop: pull the fleet's advisory back to the node side.
+  const bool refresh_ok = client.refresh_cr_hints();
+  std::size_t hinted_patients = 0;
+  for (std::size_t p = 0; p < nodes.size(); ++p) {
+    const auto hint = client.cr_hint(static_cast<std::uint32_t>(p));
+    if (hint && std::abs(*hint - hint_cr) < 0.01) ++hinted_patients;
+  }
+
+  // Phase 2: re-encode at whatever the fleet asked for.
+  const std::size_t m_hint = cs::rows_for_cr(hint_cr, n);
+  bool hinted_m_ok = true;
+  for (std::size_t p = 0; p < nodes.size(); ++p) {
+    for (std::size_t w = half; w < windows_per_patient; ++w) {
+      const auto hint = client.cr_hint(static_cast<std::uint32_t>(p));
+      auto cw = encode_window_at(p, w, hint.value_or(cr));
+      hinted_m_ok = hinted_m_ok && (!hint || cw.measurements.size() == m_hint);
+      submitted.push_back(cw);
+      if (client.submit(std::move(cw)).has_value()) ++accepted;
+    }
+  }
+
+  const auto results = client.drain();
+  const auto reference = serial_reference(submitted, engine_cfg);
+  const bool bit_exact = matches_reference(results, reference);
+
+  // SNR split: the price of the hinted half, measured end to end.
+  double base_snr = 0.0, hinted_snr = 0.0;
+  std::size_t base_count = 0, hinted_count = 0;
+  for (const auto& result : results) {
+    if (std::isnan(result.snr_db)) continue;
+    if (result.window_index < half) {
+      base_snr += result.snr_db;
+      ++base_count;
+    } else {
+      hinted_snr += result.snr_db;
+      ++hinted_count;
+    }
+  }
+  base_snr = base_count > 0 ? base_snr / static_cast<double>(base_count) : 0.0;
+  hinted_snr =
+      hinted_count > 0 ? hinted_snr / static_cast<double>(hinted_count) : 0.0;
+
+  client.shutdown(/*send_bye=*/false);
+
+  // Control: a v1-pinned client must see no hints — the verb is v2-only
+  // and its absence degrades to full fidelity, never to an error.
+  bool v1_no_hint = true;
+  {
+    net::RoutingClientConfig v1_cfg = client_cfg;
+    v1_cfg.max_wire_version = 1;
+    net::RoutingClient v1(v1_cfg);
+    if (v1.connect(fleet.endpoints)) {
+      v1_no_hint = v1.refresh_cr_hints();
+      for (std::size_t p = 0; p < nodes.size(); ++p) {
+        v1_no_hint =
+            v1_no_hint && !v1.cr_hint(static_cast<std::uint32_t>(p)).has_value();
+      }
+      v1.shutdown(false);
+    } else {
+      v1_no_hint = false;
+    }
+  }
+
+  std::printf("\n%-28s %12s\n", "metric", "value");
+  std::printf("%-28s %12zu\n", "windows submitted", submitted.size());
+  std::printf("%-28s %12zu\n", "windows completed", results.size());
+  std::printf("%-28s %12zu / %d\n", "patients hinted", hinted_patients, patients);
+  std::printf("%-28s %12zu\n", "base measurements/window",
+              cs::rows_for_cr(cr, n));
+  std::printf("%-28s %12zu\n", "hinted measurements/window", m_hint);
+  std::printf("%-28s %12.2f\n", "base-CR mean SNR (dB)", base_snr);
+  std::printf("%-28s %12.2f\n", "hinted-CR mean SNR (dB)", hinted_snr);
+  std::printf("%-28s %12s\n", "hinted m on the wire", hinted_m_ok ? "PASS" : "FAIL");
+  std::printf("%-28s %12s\n", "v1 control sees no hints", v1_no_hint ? "PASS" : "FAIL");
+  std::printf("\nbit-exactness vs serial (%zu windows): %s\n", results.size(),
+              bit_exact ? "PASS" : "FAIL");
+
+  const bool ok = refresh_ok && hinted_patients == static_cast<std::size_t>(patients) &&
+                  hinted_m_ok && bit_exact && v1_no_hint &&
+                  accepted == submitted.size() && results.size() == submitted.size();
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bit_exact\": %d,\n"
+                 "  \"hinted_patients\": %zu,\n"
+                 "  \"patients\": %d,\n"
+                 "  \"hint_cr_percent\": %.6f,\n"
+                 "  \"base_mean_snr_db\": %.6f,\n"
+                 "  \"hinted_mean_snr_db\": %.6f,\n"
+                 "  \"hinted_m_ok\": %d,\n"
+                 "  \"v1_no_hint\": %d,\n"
+                 "  \"windows\": %zu\n"
+                 "}\n",
+                 bit_exact ? 1 : 0, hinted_patients, patients, hint_cr, base_snr,
+                 hinted_snr, hinted_m_ok ? 1 : 0, v1_no_hint ? 1 : 0,
+                 submitted.size());
+    std::fclose(f);
+  }
+  std::printf("\nhint loop: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +458,7 @@ int main(int argc, char** argv) {
   int shards = 2;
   int threads = 2;
   bool fixed_coding = true;
+  bool hints = false;
   std::size_t pipeline = 0;
   std::size_t batch_frames = 16;
   const char* json_path = nullptr;
@@ -260,6 +480,8 @@ int main(int argc, char** argv) {
       threads = std::max(0, std::atoi(argv[++i]));
     } else if (arg == "--no-fixed") {
       fixed_coding = false;
+    } else if (arg == "--hints") {
+      hints = true;
     } else if (arg == "--pipeline") {
       pipeline = static_cast<std::size_t>(std::max(0, std::atoi(argv[++i])));
     } else if (arg == "--batch-frames") {
@@ -280,6 +502,13 @@ int main(int argc, char** argv) {
   const int patients = std::atoi(positional[0]);
   const int beats = std::atoi(positional[1]);
   const double cr = std::atof(positional[2]);
+
+  if (hints) {
+    return run_hint_loop(
+        patients, beats, cr, shards, threads,
+        fixed_coding ? cs::measurement_scale_mv(sig::AdcConfig{}) : 0.0,
+        json_path);
+  }
 
   // Comparison mode uses the node-native 128-sample window (what a sensor
   // radio actually emits) so per-window wire cost — not solve cost —

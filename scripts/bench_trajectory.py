@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Benchmark-trajectory gate: run the perf suite, record it, compare it.
 
-Runs the three steady benchmarks —
+Runs the four steady benchmarks —
 
   * micro_kernels (google-benchmark, JSON output, median of N repetitions)
   * host_throughput --poisson (streaming fabric; its --json metrics file)
+  * host_throughput --adaptive (closed-loop degrade drill: shedding-only
+    baseline vs degrade-don't-drop under calibrated 2x overload)
   * net_loopback --pipeline (wire v2 batched submits vs the v1 per-window
     path over real loopback TCP; its --json metrics file)
 
@@ -24,6 +26,14 @@ Because the two phases race the host scheduler on a shared-core runner,
 the invocation is retried (up to NET_LOOPBACK_ATTEMPTS) and the best
 attempt is what gates — but bit-exactness is never retried: one corrupt
 attempt fails the whole run.
+
+The adaptive drill gates the same way: goodput under overload must beat
+the shedding-only baseline by ADAPTIVE_SPEEDUP_FLOOR (retried, best
+attempt), the degraded mean SNR must sit within ADAPTIVE_SNR_MARGIN_DB
+of the full-iteration Figure-5 point at the degraded CR, and the
+correctness bits — off-policy bit-exactness, the per-tier re-solve
+audit, and zero urgent degradations — fail immediately on any attempt,
+never retried.
 
 Only the standard library is used.  Typical invocations:
 
@@ -54,6 +64,14 @@ NET_LOOPBACK_ARGS = [
 ]
 NET_LOOPBACK_ATTEMPTS = 3
 NET_LOOPBACK_SPEEDUP_FLOOR = 3.0
+HOST_ADAPTIVE_ARGS = ["16", "24", "50", "--adaptive", "--threads", "2"]
+HOST_ADAPTIVE_ATTEMPTS = 3
+ADAPTIVE_SPEEDUP_FLOOR = 1.3
+# The capped degraded tier gives up some convergence relative to the
+# full-iteration Figure-5 point at the same CR (measured ~2.1-2.3 dB on
+# this shape); the margin absorbs that plus window-subset variance
+# (which windows demote depends on arrival timing).
+ADAPTIVE_SNR_MARGIN_DB = 3.5
 MICRO_REPETITIONS = 3
 
 # Gated metrics: higher is better, relative to baseline.
@@ -116,6 +134,52 @@ def run_host_throughput(build_dir):
             return json.load(f)
     finally:
         os.unlink(out_path)
+
+
+def run_host_adaptive(build_dir):
+    """host_throughput --adaptive --json -> best attempt's metrics object.
+
+    Goodput speedup races the scheduler, so whole invocations are
+    retried and the best attempt gates.  The correctness bits (off-policy
+    bit-exactness, the tier re-solve audit, urgent-lane cleanliness) are
+    not timing — any failed attempt fails the run, never retried.
+    """
+    binary = os.path.join(build_dir, "bench", "host_throughput")
+    best = None
+    for attempt in range(1, HOST_ADAPTIVE_ATTEMPTS + 1):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out_path = tmp.name
+        try:
+            subprocess.run([binary, *HOST_ADAPTIVE_ARGS, "--json", out_path],
+                           stdout=subprocess.DEVNULL)
+            try:
+                with open(out_path) as f:
+                    metrics = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                raise SystemExit(
+                    "host_throughput --adaptive produced no metrics JSON")
+        finally:
+            os.unlink(out_path)
+        for bit in ("off_policy_bit_exact", "tier_audit_bit_exact",
+                    "urgent_lane_clean"):
+            if metrics.get(bit) != 1:
+                raise SystemExit(
+                    f"host_throughput --adaptive: {bit} failed "
+                    "(not retryable)")
+        if metrics.get("adaptive_urgent_degraded", 0) != 0:
+            raise SystemExit(
+                "host_throughput --adaptive: an urgent window was degraded "
+                "(not retryable)")
+        if best is None or (metrics.get("adaptive_speedup", 0)
+                            > best.get("adaptive_speedup", 0)):
+            best = metrics
+        print(f"#   attempt {attempt}: adaptive speedup "
+              f"{metrics.get('adaptive_speedup', 0):.2f}x, degraded SNR "
+              f"{metrics.get('degraded_mean_snr_db', 0):.2f} dB")
+        if best.get("adaptive_speedup", 0) >= ADAPTIVE_SPEEDUP_FLOOR:
+            break
+    best["attempts"] = attempt
+    return best
 
 
 def run_net_loopback(build_dir):
@@ -187,6 +251,35 @@ def compare(results, baseline, tolerance, micro_tolerance):
     if new_host.get("bit_exact") == 0:
         failures.append("host_throughput: bit-exactness check failed")
 
+    base_adaptive = baseline.get("host_adaptive", {})
+    new_adaptive = results.get("host_adaptive", {})
+    check("host_adaptive/goodput_win_per_s",
+          new_adaptive.get("adaptive_goodput_win_per_s"),
+          base_adaptive.get("adaptive_goodput_win_per_s"),
+          micro_tolerance)
+    adaptive_speedup = new_adaptive.get("adaptive_speedup")
+    if (adaptive_speedup is not None
+            and adaptive_speedup < ADAPTIVE_SPEEDUP_FLOOR):
+        failures.append(
+            f"host_adaptive: goodput speedup {adaptive_speedup:.2f}x "
+            f"< {ADAPTIVE_SPEEDUP_FLOOR:.1f}x floor")
+    degraded_snr = new_adaptive.get("degraded_mean_snr_db")
+    fig5_floor = new_adaptive.get("fig5_floor_snr_db")
+    if degraded_snr is not None and fig5_floor is not None:
+        floor = fig5_floor - ADAPTIVE_SNR_MARGIN_DB
+        line = (f"host_adaptive: degraded SNR {degraded_snr:.2f} dB vs "
+                f"Fig-5 floor {fig5_floor:.2f} - {ADAPTIVE_SNR_MARGIN_DB} dB")
+        if degraded_snr < floor:
+            failures.append(line)
+        else:
+            print(f"  ok    {line}")
+    if new_adaptive.get("adaptive_urgent_degraded", 0) != 0:
+        failures.append("host_adaptive: an urgent window was degraded")
+    for bit in ("off_policy_bit_exact", "tier_audit_bit_exact",
+                "urgent_lane_clean"):
+        if new_adaptive.get(bit) == 0:
+            failures.append(f"host_adaptive: {bit} failed")
+
     base_net = baseline.get("net_loopback_pipeline", {})
     new_net = results.get("net_loopback_pipeline", {})
     check("net_loopback/v2_win_per_s", new_net.get("v2_win_per_s"),
@@ -230,6 +323,8 @@ def main():
     print(f"#   {len(micro)} benchmarks")
     print("# host_throughput " + " ".join(HOST_THROUGHPUT_ARGS))
     host = run_host_throughput(args.build_dir)
+    print("# host_throughput " + " ".join(HOST_ADAPTIVE_ARGS))
+    adaptive = run_host_adaptive(args.build_dir)
     print("# net_loopback " + " ".join(NET_LOOPBACK_ARGS))
     net = run_net_loopback(args.build_dir)
 
@@ -237,6 +332,7 @@ def main():
         "schema": 1,
         "micro": micro,
         "host_throughput_poisson": host,
+        "host_adaptive": adaptive,
         "net_loopback_pipeline": net,
     }
     with open(args.output, "w") as f:

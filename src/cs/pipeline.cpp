@@ -24,6 +24,22 @@ EncodedWindow encode_window(const SensingMatrix& phi, std::span<const double> wi
   return out;
 }
 
+const SensingMatrix& AdaptiveEncoder::matrix_for_cr(double cr_percent) {
+  const std::size_t m = rows_for_cr(cr_percent, cfg_.window_samples);
+  const auto found = matrices_.find(m);
+  if (found != matrices_.end()) return found->second;
+  sig::Rng rng(cfg_.matrix_seed);
+  return matrices_
+      .emplace(m, SensingMatrix::make_sparse_binary(m, cfg_.window_samples,
+                                                    cfg_.ones_per_column, rng))
+      .first->second;
+}
+
+EncodedWindow AdaptiveEncoder::encode_at(double cr_percent, std::span<const double> window_mv,
+                                         bool keep_reference) {
+  return encode_window(matrix_for_cr(cr_percent), window_mv, cfg_.adc, keep_reference);
+}
+
 CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,
                                const CsPipelineConfig& cfg) {
   CsRunResult result;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,23 @@ inline const char* to_string(WindowPriority p) {
   return p == WindowPriority::kUrgent ? "urgent" : "routine";
 }
 
+/// The solve fidelity tier of one window on the host.  Tier 0 (the
+/// default-constructed value) is full fidelity: every measurement, the
+/// solver's configured iteration budget — the PR-8 behavior, bit for bit.
+/// Higher tiers are cheaper operating points on the Figure-5 SNR-vs-CR
+/// curve, reached by truncating the measurement vector (effective_m — a
+/// higher effective CR without the node re-encoding) and/or capping FISTA
+/// iterations.  Unlike WindowPriority, the tier DOES change reconstruction
+/// values — the determinism contract becomes per (payload, tier): the same
+/// window solved at the same tier is bit-identical everywhere.
+struct SolveTier {
+  std::uint8_t tier = 0;           ///< 0 = full fidelity; 1.. = degrade_tiers[tier-1].
+  std::uint32_t effective_m = 0;   ///< Solve only the first m measurements; 0 = all.
+  std::uint32_t iteration_cap = 0; ///< Cap on FistaConfig::max_iterations; 0 = none.
+
+  bool operator==(const SolveTier&) const = default;
+};
+
 /// Real-time arrival period of one window: a node sampling at `fs_hz`
 /// emits a compressed window every `window_samples / fs_hz` seconds, so
 /// this is both the mean inter-arrival time of live traffic and the
@@ -85,6 +103,35 @@ struct EncodedWindow {
 EncodedWindow encode_window(const SensingMatrix& phi, std::span<const double> window_mv,
                             const sig::AdcConfig& adc, bool keep_reference = true,
                             dsp::OpCount* ops = nullptr);
+
+/// Node-side half of the closed compression loop: encodes windows at a CR
+/// that can change window to window (following host CR hints), caching one
+/// sensing matrix per distinct measurement count so chasing a hint never
+/// rebuilds an operator per window.  The matrix for a CR is the seeded
+/// operator the host rebuilds from the same metadata (matrix_seed,
+/// rows_for_cr(cr, n), ones_per_column), so a hinted window reconstructs
+/// exactly like a natively-encoded one — the hint changes m, nothing else.
+class AdaptiveEncoder {
+ public:
+  explicit AdaptiveEncoder(CsPipelineConfig cfg = {}) : cfg_(cfg) {}
+
+  /// The cached operator for `cr_percent` (built on first use).
+  const SensingMatrix& matrix_for_cr(double cr_percent);
+
+  /// Quantizes and encodes one window at `cr_percent`.
+  EncodedWindow encode_at(double cr_percent, std::span<const double> window_mv,
+                          bool keep_reference = true);
+
+  const CsPipelineConfig& config() const { return cfg_; }
+  std::size_t cached_matrices() const { return matrices_.size(); }
+
+ private:
+  CsPipelineConfig cfg_;
+  /// Keyed by m = rows_for_cr(cr, window_samples): two CRs that round to
+  /// the same measurement count share one operator, matching the host's
+  /// matrix cache key.
+  std::map<std::size_t, SensingMatrix> matrices_;
+};
 
 /// Single-lead CS over `lead` (mV) at the given CR.
 CsRunResult run_single_lead_cs(std::span<const double> lead, double cr_percent,

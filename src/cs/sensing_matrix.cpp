@@ -55,6 +55,26 @@ SensingMatrix SensingMatrix::make_bernoulli(std::size_t m, std::size_t n, sig::R
   return mat;
 }
 
+SensingMatrix SensingMatrix::truncated(std::size_t m_eff) const {
+  assert(m_eff >= 1 && m_eff <= m_);
+  SensingMatrix mat(m_eff, n_);
+  mat.has_negative_ = has_negative_;
+  mat.col_start_.reserve(n_ + 1);
+  mat.entries_.reserve(entries_.size());
+  for (std::size_t c = 0; c < n_; ++c) {
+    mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+    for (std::uint32_t e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+      if (entries_[e].row < m_eff) mat.entries_.push_back(entries_[e]);
+    }
+  }
+  mat.col_start_.push_back(static_cast<std::uint32_t>(mat.entries_.size()));
+  // Rebuilds the packed plans AND the Lipschitz constant: dropping rows
+  // shrinks the operator's largest singular value, and a solve stepping
+  // with the full-operator constant would converge needlessly slowly.
+  mat.build_plans();
+  return mat;
+}
+
 void SensingMatrix::build_plans() {
   // Adjoint outputs are the columns — the entry lists are already
   // column-major, so each output's canonical term order is the stored

@@ -30,6 +30,17 @@ class SensingMatrix {
   /// Dense Bernoulli +/-1.
   static SensingMatrix make_bernoulli(std::size_t m, std::size_t n, sig::Rng& rng);
 
+  /// The operator restricted to its first `m_eff` rows: column entries
+  /// with row >= m_eff are dropped (so columns may carry fewer than d
+  /// ones) and the plans — including the Lipschitz constant — are rebuilt
+  /// for the truncated shape.  This is how the host degrades a window to a
+  /// higher compression ratio without the node re-encoding: solving the
+  /// first m_eff measurements against the truncated operator is exactly
+  /// the problem a shorter measurement vector would have posed.  Pure
+  /// function of (this, m_eff), so a cache rebuild is bit-identical.
+  /// `m_eff` must be in [1, rows()].
+  SensingMatrix truncated(std::size_t m_eff) const;
+
   std::size_t rows() const { return m_; }
   std::size_t cols() const { return n_; }
   std::size_t nonzeros() const { return entries_.size(); }

@@ -29,6 +29,7 @@ ReconstructionEngine::ReconstructionEngine(EngineConfig cfg)
       item_pool_(2 * std::max<std::size_t>(1, cfg.queue_capacity)),
       slo_(cfg.slo) {
   pending_sweep_threshold_ = std::max<std::size_t>(1024, 4 * capacity_);
+  cost_model_.override_ms = cfg_.shed_solve_estimate_ms;
   for (auto& tracker : lane_slo_) tracker.configure(cfg_.slo);
   const int threads = std::max(0, cfg_.threads);
   workers_.reserve(static_cast<std::size_t>(threads));
@@ -72,6 +73,7 @@ void ReconstructionEngine::recycle_item(WorkItem* item) {
   item->window = CompressedWindow{};
   item->phi.reset();
   item->patient_slo.reset();
+  item->charged_cost_us = 0;
   item->result = WindowResult{};
   item->next = nullptr;
   item_pool_.recycle(item);
@@ -118,7 +120,7 @@ void ReconstructionEngine::pop_batch(std::vector<WorkItem*>& items) {
 std::shared_ptr<const cs::SensingMatrix> ReconstructionEngine::prepare_matrix(
     const CompressedWindow& window) {
   const MatrixKey key{window.matrix_seed, window.measurements.size(), window.window_samples,
-                      window.ones_per_column};
+                      window.ones_per_column, 0};
   {
     std::lock_guard<std::mutex> lk(matrices_mutex_);
     const auto found = matrices_.find(key);
@@ -143,6 +145,41 @@ std::shared_ptr<const cs::SensingMatrix> ReconstructionEngine::prepare_matrix(
       while (matrices_.size() > cfg_.matrix_cache_capacity) {
         // Evict least-recently used.  Windows already holding the
         // shared_ptr keep the matrix alive until they finish.
+        matrices_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    }
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  return it->second.phi;
+}
+
+std::shared_ptr<const cs::SensingMatrix> ReconstructionEngine::solve_matrix_for(
+    const CompressedWindow& window, const std::shared_ptr<const cs::SensingMatrix>& full) {
+  const std::size_t m_eff = window.solve_tier.effective_m;
+  if (m_eff == 0 || m_eff >= full->rows()) return full;
+  const MatrixKey key{window.matrix_seed, window.measurements.size(), window.window_samples,
+                      window.ones_per_column, m_eff};
+  {
+    std::lock_guard<std::mutex> lk(matrices_mutex_);
+    const auto found = matrices_.find(key);
+    if (found != matrices_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second.lru_pos);  // Touch.
+      return found->second.phi;
+    }
+  }
+  // Same miss protocol as prepare_matrix: build outside the lock (the
+  // truncation is a pure function of the full operator and m_eff, so a
+  // racing duplicate is bit-identical and simply discarded).
+  auto built = std::make_shared<const cs::SensingMatrix>(full->truncated(m_eff));
+  std::lock_guard<std::mutex> lk(matrices_mutex_);
+  const auto [it, inserted] = matrices_.emplace(key, CachedMatrix{std::move(built), {}});
+  if (inserted) {
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    if (cfg_.matrix_cache_capacity > 0) {
+      while (matrices_.size() > cfg_.matrix_cache_capacity) {
         matrices_.erase(lru_.back());
         lru_.pop_back();
       }
@@ -221,14 +258,17 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   static thread_local std::vector<cs::FistaWindowOut> outs;
   static thread_local cs::FistaWorkspace workspace;
 
-  // Keep the same-matrix group containing the oldest popped item; requeue
-  // the rest for other workers.  Different shared_ptr instances of the
-  // same key are possible across evictions; grouping by object is
+  // Keep the same-(matrix, tier) group containing the oldest popped item;
+  // requeue the rest for other workers.  Different shared_ptr instances of
+  // the same key are possible across evictions; grouping by object is
   // sufficient — and necessary, since a batched solve streams one plan.
+  // The tier joins the key because a degraded window solves under a
+  // different operator/iteration budget than a full-fidelity one.
   group.clear();
   foreign.clear();
   for (WorkItem* item : items) {
-    if (item->phi == items.front()->phi) {
+    if (item->phi == items.front()->phi &&
+        item->window.solve_tier == items.front()->window.solve_tier) {
       group.push_back(item);
     } else {
       foreign.push_back(item);
@@ -248,15 +288,33 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
   }
   if (group.size() >= 2) slo_.on_grouped(group.size());
 
+  // Resolve the group's solve operator and iteration budget from its tier.
+  // Tier 0 takes the untouched path: the full operator and the configured
+  // FistaConfig, bit-identical to an engine without the tier machinery.
+  const cs::SolveTier tier = group.front()->window.solve_tier;
+  std::shared_ptr<const cs::SensingMatrix> solve_phi = group.front()->phi;
+  cs::FistaConfig fista = cfg_.fista;
+  if (tier.tier != 0) {
+    if (tier.effective_m > 0 && tier.effective_m < solve_phi->rows()) {
+      solve_phi = solve_matrix_for(group.front()->window, group.front()->phi);
+    }
+    if (tier.iteration_cap > 0) {
+      fista.max_iterations =
+          std::min(fista.max_iterations, static_cast<int>(tier.iteration_cap));
+    }
+  }
+
   // Measurements are *borrowed* from the queued windows (no copies — the
   // buffers travel by move from the producer through the queue to here),
   // and each window's signal lands directly in its result buffer, drawn
-  // from the payload pool when one is configured.
+  // from the payload pool when one is configured.  A row-truncated
+  // operator reads only the first rows() measurements of each window.
   const std::size_t n = group.front()->window.window_samples;
   views.clear();
   outs.clear();
   for (WorkItem* item : group) {
-    views.emplace_back(item->window.measurements.data(), item->window.measurements.size());
+    const std::size_t rows = std::min(item->window.measurements.size(), solve_phi->rows());
+    views.emplace_back(item->window.measurements.data(), rows);
     WindowResult& result = item->result;
     if (cfg_.payload_pool != nullptr) result.signal = cfg_.payload_pool->acquire_signal();
     result.signal.resize(n);
@@ -266,22 +324,21 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
 
   const auto t0 = Clock::now();
   cs::fista_solve_batch_into(
-      *group.front()->phi,
-      std::span<const std::span<const double>>(views.data(), views.size()), cfg_.fista,
-      workspace, std::span<cs::FistaWindowOut>(outs.data(), outs.size()));
+      *solve_phi, std::span<const std::span<const double>>(views.data(), views.size()),
+      fista, workspace, std::span<cs::FistaWindowOut>(outs.data(), outs.size()));
   const auto t1 = Clock::now();
   const double solve_ms = ms_between(t0, t1);
 
-  // Feed the shed predictor: EWMA (alpha = 1/8) of per-window solve time,
-  // both per window shape (every window in a same-matrix group shares one
-  // (m, n)) and shape-blind.  Racy read-modify-write across workers only
-  // blurs the estimate.
+  // Feed the cost model: EWMA (alpha = 1/8) of per-window solve time,
+  // keyed by the shape actually solved (rows of the possibly-truncated
+  // operator) and tier, plus the shape-blind global fallback.  Racy
+  // read-modify-write across workers only blurs the estimate.
   const auto sample_us = static_cast<std::uint64_t>(
       solve_ms * 1000.0 / static_cast<double>(group.size()));
-  record_solve_sample(
-      static_cast<std::uint32_t>(group.front()->window.measurements.size()),
-      group.front()->window.window_samples, sample_us);
+  cost_model_.record(static_cast<std::uint32_t>(solve_phi->rows()),
+                     group.front()->window.window_samples, tier.tier, sample_us);
 
+  std::uint64_t released_cost_us = 0;
   for (std::size_t s = 0; s < group.size(); ++s) {
     WorkItem* item = group[s];
     const CompressedWindow& window = item->window;
@@ -291,15 +348,23 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
     result.priority = window.priority;
     result.route_tag = window.route_tag;
     result.ticket = item->ticket;
+    result.solve_tier = window.solve_tier;
+    result.degraded = window.solve_tier.tier != 0;
     result.latency_ms = solve_ms;  // Whole-group solve wall time.
     result.e2e_ms = ms_between(item->enqueue_time, t1);
     result.iterations = outs[s].iterations_run;
     result.snr_db = window.reference.empty()
                         ? std::numeric_limits<double>::quiet_NaN()
                         : cs::reconstruction_snr_db(window.reference, result.signal);
+    released_cost_us += item->charged_cost_us;
     slo_.on_complete(result.e2e_ms);
     lane_slo_[lane_index(window.priority)].on_complete(result.e2e_ms);
     if (item->patient_slo != nullptr) item->patient_slo->on_complete(result.e2e_ms);
+    if (result.degraded) {
+      slo_.on_degraded();
+      lane_slo_[lane_index(window.priority)].on_degraded();
+      if (item->patient_slo != nullptr) item->patient_slo->on_degraded();
+    }
     // The solve is done with the payload: the buffers go back to the pool
     // now (not at poll) so the producer's next acquire hits.  The matrix
     // reference drops with them — the node parks in done_ holding neither.
@@ -324,6 +389,10 @@ void ReconstructionEngine::process_batch(std::vector<WorkItem*>& items) {
       done_tail_ = item;
       ++done_count_;
     }
+  }
+  // Release the group's priced backlog exactly as charged at admission.
+  if (released_cost_us > 0) {
+    pending_cost_us_.fetch_sub(released_cost_us, std::memory_order_relaxed);
   }
   // Completions are recorded and published; only now may a drain_patient()
   // waiter observe the patient as quiesced.
@@ -401,50 +470,93 @@ bool ReconstructionEngine::reserve_slot() {
   return true;
 }
 
-void ReconstructionEngine::record_solve_sample(std::uint32_t m, std::uint32_t n,
-                                               std::uint64_t sample_us) {
-  const auto fold = [sample_us](std::atomic<std::uint64_t>& ewma) {
-    const std::uint64_t prev_us = ewma.load(std::memory_order_relaxed);
-    ewma.store(prev_us == 0 ? sample_us : (prev_us * 7 + sample_us) / 8,
-               std::memory_order_relaxed);
-  };
-  fold(ewma_solve_us_);
-  const std::uint64_t key = solve_shape_key(m, n);
-  if (key == 0) return;
-  const std::size_t start = static_cast<std::size_t>(key) % kSolveEwmaSlots;
-  for (std::size_t probe = 0; probe < kSolveEwmaSlots; ++probe) {
-    SolveEwmaSlot& slot = solve_ewma_[(start + probe) % kSolveEwmaSlots];
-    std::uint64_t expected = 0;
-    if (slot.key.load(std::memory_order_acquire) == key ||
-        slot.key.compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
-      if (slot.key.load(std::memory_order_acquire) != key) continue;  // Lost the race.
-      fold(slot.ewma_us);
-      return;
-    }
-  }
-  // Table full of other shapes: the global EWMA carries this one.
-}
-
-std::uint64_t ReconstructionEngine::shape_ewma_us(std::uint32_t m, std::uint32_t n) const {
-  const std::uint64_t key = solve_shape_key(m, n);
-  if (key == 0) return 0;
-  const std::size_t start = static_cast<std::size_t>(key) % kSolveEwmaSlots;
-  for (std::size_t probe = 0; probe < kSolveEwmaSlots; ++probe) {
-    const SolveEwmaSlot& slot = solve_ewma_[(start + probe) % kSolveEwmaSlots];
-    const std::uint64_t slot_key = slot.key.load(std::memory_order_acquire);
-    if (slot_key == key) return slot.ewma_us.load(std::memory_order_relaxed);
-    if (slot_key == 0) return 0;  // Insert-only table: the probe chain ends here.
-  }
-  return 0;
-}
-
 double ReconstructionEngine::solve_estimate_ms(std::uint32_t measurements,
                                                std::uint32_t samples) const {
-  if (cfg_.shed_solve_estimate_ms > 0.0) return cfg_.shed_solve_estimate_ms;
-  if (const std::uint64_t us = shape_ewma_us(measurements, samples); us > 0) {
-    return static_cast<double>(us) / 1000.0;
+  return cost_model_.estimate_ms(measurements, samples, 0, 1.0);
+}
+
+cs::SolveTier ReconstructionEngine::tier_for(std::size_t rung, std::uint32_t m_full,
+                                             std::uint32_t n) const {
+  cs::SolveTier tier;
+  if (rung == 0 || cfg_.degrade_tiers.empty()) return tier;
+  const std::size_t clamped = std::min(rung, cfg_.degrade_tiers.size());
+  const DegradeTierSpec& spec = cfg_.degrade_tiers[clamped - 1];
+  tier.tier = static_cast<std::uint8_t>(clamped);
+  tier.iteration_cap = spec.iteration_cap;
+  if (cfg_.degrade_policy == DegradePolicy::kCrIter && spec.cr_percent > 0.0) {
+    const auto rows = static_cast<std::uint32_t>(cs::rows_for_cr(spec.cr_percent, n));
+    // Only truncation counts: a rung whose CR keeps at least as many rows
+    // as the window actually carries leaves the operator whole.
+    if (rows < m_full) tier.effective_m = rows;
   }
-  return static_cast<double>(ewma_solve_us_.load(std::memory_order_relaxed)) / 1000.0;
+  return tier;
+}
+
+std::uint64_t ReconstructionEngine::charge_estimate_us(const CompressedWindow& window) const {
+  const auto m_full = static_cast<std::uint32_t>(window.measurements.size());
+  const cs::SolveTier& tier = window.solve_tier;
+  const std::uint32_t m_used =
+      tier.effective_m > 0 ? std::min(m_full, tier.effective_m) : m_full;
+  const double scale = SolveCostModel::tier_scale(
+      tier.iteration_cap, static_cast<std::uint32_t>(std::max(0, cfg_.fista.max_iterations)));
+  const double est_ms = cost_model_.estimate_ms(m_used, window.window_samples, tier.tier, scale);
+  return est_ms > 0.0 ? static_cast<std::uint64_t>(est_ms * 1000.0) : 0;
+}
+
+double ReconstructionEngine::backlog_wait_ms() const {
+  const auto workers = static_cast<double>(std::max(1, cfg_.threads));
+  return static_cast<double>(pending_cost_us_.load(std::memory_order_relaxed)) / 1000.0 /
+         workers;
+}
+
+std::vector<std::uint32_t> ReconstructionEngine::pending_patients(std::size_t max) const {
+  std::vector<std::uint32_t> out;
+  {
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    out.reserve(std::min(max, patient_pending_.size()));
+    for (const auto& [patient_id, pending] : patient_pending_) {
+      if (pending == 0) continue;
+      out.push_back(patient_id);
+      if (out.size() >= max) break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ReconstructionEngine::maybe_degrade_backlog() {
+  if (cfg_.degrade_policy == DegradePolicy::kOff || cfg_.degrade_tiers.empty()) return;
+  const double deadline_ms = cfg_.slo.deadline_ms;
+  if (deadline_ms <= 0.0) return;
+  const double budget_ms = deadline_ms * std::max(cfg_.degrade_backlog_deadlines, 0.0);
+  const auto workers = static_cast<double>(std::max(1, cfg_.threads));
+  const std::size_t bottom = cfg_.degrade_tiers.size();
+  // One rung per pass: each routine window in pop order steps one tier
+  // down until the priced backlog fits the budget again.  Sustained
+  // pressure walks again on the next admission, stepping further.  The
+  // urgent lane is structurally out of reach (for_each_routine), so AF
+  // windows always keep full fidelity.
+  queue_.for_each_routine([&](WorkItem* item) {
+    const double wait_ms =
+        static_cast<double>(pending_cost_us_.load(std::memory_order_relaxed)) / 1000.0 /
+        workers;
+    if (wait_ms <= budget_ms) return;  // Pressure already relieved.
+    CompressedWindow& window = item->window;
+    if (window.solve_tier.tier >= bottom) return;  // Already at the bottom rung.
+    window.solve_tier =
+        tier_for(static_cast<std::size_t>(window.solve_tier.tier) + 1,
+                 static_cast<std::uint32_t>(window.measurements.size()),
+                 window.window_samples);
+    // Re-price the demoted window so the backlog (and any later shed scan)
+    // sees its demoted cost, not its full-fidelity one.
+    const std::uint64_t new_cost = charge_estimate_us(window);
+    if (new_cost < item->charged_cost_us) {
+      pending_cost_us_.fetch_sub(item->charged_cost_us - new_cost, std::memory_order_relaxed);
+    } else if (new_cost > item->charged_cost_us) {
+      pending_cost_us_.fetch_add(new_cost - item->charged_cost_us, std::memory_order_relaxed);
+    }
+    item->charged_cost_us = new_cost;
+  });
 }
 
 double shed_aging_protection(double age_ms, double deadline_ms, double aging_deadlines) {
@@ -461,25 +573,25 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
   const double global_est_ms =
       cfg_.shed_solve_estimate_ms > 0.0
           ? cfg_.shed_solve_estimate_ms
-          : static_cast<double>(ewma_solve_us_.load(std::memory_order_relaxed)) / 1000.0;
+          : static_cast<double>(cost_model_.global_us()) / 1000.0;
   if (global_est_ms <= 0.0) return false;  // No solve-time signal yet.
   const auto workers = static_cast<double>(std::max(1, cfg_.threads));
   const auto now = Clock::now();
   // Predicted completion if left queued: everything ahead of it plus
   // itself must solve, spread across the pool — a coarse M/D/c wait model.
-  // Each queued window contributes its own shape's solve estimate
-  // (solve_estimate_ms), so a backlog mixing window sizes is costed
-  // window by window rather than by one blurred average; extract_best
-  // scans in pop order (urgent lane first), which is exactly the order
-  // the cumulative cost accrues in.  Positive overshoot means the
-  // deadline is already forecast to be missed.
+  // Each queued window contributes its own (shape, tier) cost estimate,
+  // so a backlog mixing window sizes is costed window by window rather
+  // than by one blurred average — and a window the degrade policy already
+  // demoted is priced at its demoted cost, not its full-fidelity one;
+  // extract_best scans in pop order (urgent lane first), which is exactly
+  // the order the cumulative cost accrues in.  Positive overshoot means
+  // the deadline is already forecast to be missed.
   double cum_wait_ms = 0.0;
   const auto make_score = [&](bool urgent_eligible) {
     return [&, urgent_eligible](WorkItem* item, std::size_t,
                                 bool urgent) -> std::optional<double> {
-      const double est_ms = solve_estimate_ms(
-          static_cast<std::uint32_t>(item->window.measurements.size()),
-          item->window.window_samples);
+      const double est_ms =
+          static_cast<double>(charge_estimate_us(item->window)) / 1000.0;
       cum_wait_ms += (est_ms > 0.0 ? est_ms : global_est_ms) / workers;
       if (urgent && !urgent_eligible) return std::nullopt;
       const double age_ms = ms_between(item->enqueue_time, now);
@@ -509,6 +621,9 @@ bool ReconstructionEngine::shed_predicted_miss(cs::WindowPriority arrival_priori
   if (!victim.has_value()) return false;
   WorkItem* item = *victim;
   const bool urgent = item->window.priority == cs::WindowPriority::kUrgent;
+  if (item->charged_cost_us > 0) {
+    pending_cost_us_.fetch_sub(item->charged_cost_us, std::memory_order_relaxed);
+  }
   slo_.on_shed(urgent);
   lane_slo_[lane_index(item->window.priority)].on_shed(urgent);
   if (item->patient_slo != nullptr) item->patient_slo->on_shed(urgent);
@@ -546,9 +661,16 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
   // Reserve an in-flight slot first; this is the only admission gate.  At
   // capacity, deadline-aware shedding may instead free a slot by dropping
   // the queued window predicted to miss its deadline — the arrival then
-  // takes over the victim's reservation.
-  if (!reserve_slot() && !(allow_shedding && shed_predicted_miss(window.priority))) {
-    return std::nullopt;
+  // takes over the victim's reservation.  Demote-first: before any queued
+  // window is shed whole, an active DegradePolicy first tries to relieve
+  // the pressure by degrading queued routine windows to a cheaper tier —
+  // which can dissolve the predicted miss entirely (the arrival then
+  // bounces, but the backlog drains faster and stops hitting capacity).
+  if (!reserve_slot()) {
+    if (allow_shedding) maybe_degrade_backlog();
+    if (!(allow_shedding && shed_predicted_miss(window.priority))) {
+      return std::nullopt;
+    }
   }
 
   // Node from the freelist; the window's buffers MOVE in (the producer's
@@ -559,6 +681,14 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
   item->patient_slo = patient_tracker(item->window.patient_id);
   item->ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   item->enqueue_time = Clock::now();
+  // Price the admission into the backlog (at the window's tier — a preset
+  // tier is charged at its cheaper cost).  Always on: backlog_wait_ms()
+  // feeds the CR-hint pressure signal regardless of DegradePolicy, and
+  // counters never affect values.
+  item->charged_cost_us = charge_estimate_us(item->window);
+  if (item->charged_cost_us > 0) {
+    pending_cost_us_.fetch_add(item->charged_cost_us, std::memory_order_relaxed);
+  }
   const std::uint64_t ticket = item->ticket;
   const bool urgent = item->window.priority == cs::WindowPriority::kUrgent;
 
@@ -587,6 +717,15 @@ std::optional<std::uint64_t> ReconstructionEngine::try_submit_impl(CompressedWin
       std::lock_guard<std::mutex> lk(work_mutex_);
     }
     work_cv_.notify_one();
+  }
+  // Proactive degrade trigger: if this admission pushed the priced backlog
+  // past the deadline budget, demote queued routine windows now instead of
+  // waiting for capacity to fill (degrade_backlog_deadlines <= 0 leaves
+  // only the demote-before-shed step).
+  if (cfg_.degrade_policy != DegradePolicy::kOff && !cfg_.degrade_tiers.empty() &&
+      cfg_.degrade_backlog_deadlines > 0.0 && cfg_.slo.deadline_ms > 0.0 &&
+      backlog_wait_ms() > cfg_.slo.deadline_ms * cfg_.degrade_backlog_deadlines) {
+    maybe_degrade_backlog();
   }
   return ticket;
 }

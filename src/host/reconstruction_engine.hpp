@@ -74,6 +74,7 @@
 #include "cs/sensing_matrix.hpp"
 #include "host/payload_pool.hpp"
 #include "host/slo_tracker.hpp"
+#include "host/solve_cost_model.hpp"
 #include "host/work_queue.hpp"
 #include "sig/adc.hpp"
 #include "sig/types.hpp"
@@ -98,6 +99,13 @@ struct CompressedWindow {
   /// epoch-tagged composite ticket its submit() returned, even when the
   /// fabric was resized while the window was in flight.
   std::uint32_t route_tag = 0;
+  /// Solve fidelity tier.  Tier 0 (the default) is the full-fidelity solve
+  /// and the only tier the engine ever uses unless a DegradePolicy demotes
+  /// the window after admission — or the submitter presets a tier, which
+  /// the engine honors as-is (the re-solve audit path).  A non-zero tier
+  /// changes the window's reconstruction (fewer rows and/or fewer FISTA
+  /// iterations), so the determinism contract is per (payload, tier).
+  cs::SolveTier solve_tier{};
   std::vector<double> measurements;  ///< y, already scaled to mV.
   /// Optional ground truth (test/bench only; empty in production) for SNR.
   std::vector<double> reference;
@@ -110,6 +118,10 @@ struct WindowResult {
   cs::WindowPriority priority = cs::WindowPriority::kRoutine;  ///< Echo of the input lane.
   std::uint32_t route_tag = 0;    ///< Echo of CompressedWindow::route_tag.
   std::uint64_t ticket = 0;       ///< Engine-wide submission sequence number.
+  /// Tier the window was actually solved at (submitted tier, or the tier a
+  /// DegradePolicy demoted it to while queued).
+  cs::SolveTier solve_tier{};
+  bool degraded = false;          ///< solve_tier.tier != 0.
   std::vector<double> signal;     ///< Reconstructed time-domain window.
   double snr_db = 0.0;            ///< NaN when no reference was attached.
   int iterations = 0;
@@ -142,6 +154,36 @@ struct BatchResult {
 /// Deterministic (serial, input order); shared by the engine's and the
 /// fabric's batch wrappers.
 std::vector<PatientStats> aggregate_patient_stats(std::span<const WindowResult> windows);
+
+/// How the engine may trade reconstruction fidelity for backlog relief —
+/// degrading routine windows along the paper's Figure-5 SNR/CR curve
+/// instead of shedding them whole.  Urgent (AF-alarm) windows always keep
+/// full fidelity regardless of policy.
+enum class DegradePolicy {
+  /// Never degrade.  Results are bit-identical to an engine without the
+  /// tier machinery (tier stays 0 everywhere).
+  kOff,
+  /// Demote queued routine windows by capping FISTA iterations only; the
+  /// sensing operator keeps every measurement row.
+  kIterCap,
+  /// Demote by raising the effective compression ratio (row-truncating the
+  /// sensing operator to rows_for_cr(cr, n) measurements) AND capping
+  /// iterations — the full Figure-5 trade.
+  kCrIter,
+};
+
+/// One rung of the degrade ladder (EngineConfig::degrade_tiers).  Rung k
+/// of the config vector is solve tier k+1; demotion only ever moves a
+/// window down the ladder (tier never decreases while queued).
+struct DegradeTierSpec {
+  /// Effective compression ratio at this rung, percent.  Used only under
+  /// DegradePolicy::kCrIter, and only when it truncates (the resulting row
+  /// count is clamped to the window's actual measurements).  0 keeps every
+  /// row.
+  double cr_percent = 0.0;
+  /// FISTA iteration cap at this rung; 0 = the full configured budget.
+  std::uint32_t iteration_cap = 0;
+};
 
 struct EngineConfig {
   /// Worker threads.  0 = solve in the calling thread during poll()/
@@ -186,6 +228,22 @@ struct EngineConfig {
   /// predictor to pick younger victims (or reject the arrival).  <= 1
   /// (default) disables aging — pure worst-overshoot victim selection.
   double shed_starvation_aging = 0.0;
+  /// Fidelity-degrade policy: when the priced backlog overshoots the
+  /// deadline budget (see degrade_backlog_deadlines) — and again as the
+  /// demote-first step wherever the deadline-shed victim scan would fire —
+  /// queued routine windows are demoted one rung down degrade_tiers
+  /// ("solve cheaper") before any window is shed whole.  kOff (default)
+  /// keeps PR-8 behavior bit for bit.  Requires slo.deadline_ms > 0 and a
+  /// non-empty degrade_tiers to act.
+  DegradePolicy degrade_policy = DegradePolicy::kOff;
+  /// The degrade ladder, cheapest rung last; see DegradeTierSpec.
+  std::vector<DegradeTierSpec> degrade_tiers;
+  /// Proactive-demotion threshold: after an admission, if
+  /// backlog_wait_ms() exceeds this many deadlines, demote queued routine
+  /// windows until the priced backlog fits again (or the ladder runs out).
+  /// <= 0 disables the proactive trigger; the demote-before-shed step
+  /// still runs.
+  double degrade_backlog_deadlines = 1.0;
   /// Place each submitted window next to the newest queued window sharing
   /// its sensing matrix (same lane; FIFO otherwise) instead of strictly at
   /// the back.  Workers pop contiguous runs, so backlog auto-batching
@@ -364,6 +422,20 @@ class ReconstructionEngine {
   /// is what makes the deadline forecast honest.
   double solve_estimate_ms(std::uint32_t measurements, std::uint32_t samples) const;
 
+  /// The priced backlog: the sum of every in-flight window's admission-time
+  /// solve-cost estimate divided across the worker pool, in ms — how long
+  /// the queue would take to drain if nothing else arrived.  0 until any
+  /// solve-cost signal exists.  This is the pressure signal behind both
+  /// the proactive degrade trigger and the shard server's CR hints.
+  double backlog_wait_ms() const;
+
+  /// Up to `max` patient ids with windows currently in flight (submitted,
+  /// not yet solved or shed), ascending.  Feeds per-patient CR hints.
+  std::vector<std::uint32_t> pending_patients(std::size_t max) const;
+
+  /// The per-(shape, tier) solve-cost model (diagnostics/tests).
+  const SolveCostModel& cost_model() const { return cost_model_; }
+
   // --- Batch wrapper -------------------------------------------------------
 
   /// Reconstructs every window in the batch and blocks until done; results
@@ -392,6 +464,10 @@ class ReconstructionEngine {
     /// window's events) no matter when the map entry moved.
     std::shared_ptr<SloTracker> patient_slo;
     std::uint64_t ticket = 0;
+    /// The admission-time solve-cost estimate this window charged into
+    /// pending_cost_us_ — remembered so completion/shed releases exactly
+    /// what was charged and a demotion adjusts by the exact delta.
+    std::uint64_t charged_cost_us = 0;
     std::chrono::steady_clock::time_point enqueue_time{};
     WindowResult result;
     WorkItem* next = nullptr;  ///< Intrusive completion-list link.
@@ -430,9 +506,28 @@ class ReconstructionEngine {
   /// its in-flight ring reservation.
   void process_batch(std::vector<WorkItem*>& items);
   /// Builds/reuses the sensing matrix a window needs; bounded LRU keyed
-  /// by (seed, m, n, d).  Construction is a pure function of the key, so
-  /// a rebuilt matrix is bit-identical to the evicted one.
+  /// by (seed, m, n, d, m_eff).  Construction is a pure function of the
+  /// key, so a rebuilt matrix is bit-identical to the evicted one.
   std::shared_ptr<const cs::SensingMatrix> prepare_matrix(const CompressedWindow& window);
+  /// The operator the solve should actually apply for `window`: `full`
+  /// itself at full fidelity, or its row-truncated form (cached in the
+  /// same LRU) when the window's tier sets effective_m below full rows.
+  std::shared_ptr<const cs::SensingMatrix> solve_matrix_for(
+      const CompressedWindow& window, const std::shared_ptr<const cs::SensingMatrix>& full);
+  /// The cs::SolveTier for rung `rung` (1-based into cfg_.degrade_tiers)
+  /// of a window with `m_full` measurements over `n` samples.  Rung 0 (or
+  /// an empty ladder) is the full-fidelity tier.
+  cs::SolveTier tier_for(std::size_t rung, std::uint32_t m_full, std::uint32_t n) const;
+  /// Admission-time solve-cost estimate of one window at its current
+  /// tier, microseconds (0 when no signal exists yet).
+  std::uint64_t charge_estimate_us(const CompressedWindow& window) const;
+  /// Demote-first: walks the routine lane demoting queued windows one rung
+  /// down the degrade ladder until the priced backlog fits inside
+  /// degrade_backlog_deadlines (or every routine window is at the bottom
+  /// rung).  Urgent windows are never touched.  No-op unless
+  /// degrade_policy is active, the ladder is non-empty, and a deadline is
+  /// configured.
+  void maybe_degrade_backlog();
   /// The per-patient tracker for `patient_id` (created on first use), or
   /// nullptr when per_patient_slo is off.
   std::shared_ptr<SloTracker> patient_tracker(std::uint32_t patient_id);
@@ -456,39 +551,28 @@ class ReconstructionEngine {
   std::vector<std::thread> workers_;
   SloTracker slo_;
   SloTracker lane_slo_[cs::kPriorityLanes];  ///< [0]=routine, [1]=urgent.
-  /// EWMA of per-window solve wall time, microseconds; feeds the shed
-  /// predictor when shed_solve_estimate_ms is 0.  Shape-blind fallback for
-  /// the per-(m, n) table below.
-  std::atomic<std::uint64_t> ewma_solve_us_{0};
-
-  /// Per-(m, n) solve-time EWMAs: a lock-free insert-only open-addressed
-  /// table keyed by (m << 32) | n.  FISTA solve cost scales with the
-  /// window shape, so a fleet mixing window sizes (or compression ratios)
-  /// would otherwise feed the shed predictor one blurred average — small
-  /// windows over-shed, large windows under-shed.  Fixed capacity: a
-  /// fleet has a handful of distinct shapes; beyond kSolveEwmaSlots new
-  /// shapes fall back to the global EWMA instead of growing the table
-  /// (the hot path must not allocate).  Racy read-modify-write across
-  /// workers only blurs an estimate, like the global EWMA.
-  struct SolveEwmaSlot {
-    std::atomic<std::uint64_t> key{0};  ///< (m << 32) | n; 0 = empty.
-    std::atomic<std::uint64_t> ewma_us{0};
-  };
-  static constexpr std::size_t kSolveEwmaSlots = 64;
-  static std::uint64_t solve_shape_key(std::uint32_t m, std::uint32_t n) {
-    return (static_cast<std::uint64_t>(m) << 32) | n;
-  }
-  /// Folds one per-window sample into the shape's EWMA (inserting the
-  /// shape on first sight) and into the global fallback.
-  void record_solve_sample(std::uint32_t m, std::uint32_t n, std::uint64_t sample_us);
-  /// The shape's EWMA in microseconds; 0 when unseen (or table-overflowed).
-  std::uint64_t shape_ewma_us(std::uint32_t m, std::uint32_t n) const;
-  std::array<SolveEwmaSlot, kSolveEwmaSlots> solve_ewma_{};
+  /// Per-(m, n, tier) solve-cost model (solve_cost_model.hpp): the
+  /// engine's old per-(m, n) EWMA table extended with the solve-tier
+  /// dimension, so the shed predictor and the degrade policy can price
+  /// "solve cheaper" against "shed".  Its override_ms is wired to
+  /// cfg_.shed_solve_estimate_ms at construction.
+  SolveCostModel cost_model_;
+  /// Sum of the admission-time solve-cost estimates (microseconds) of
+  /// every window currently queued or solving — the backlog priced in
+  /// time rather than windows.  Charged at admission, re-priced on
+  /// demotion, released exactly at completion/shed.  Maintained regardless
+  /// of DegradePolicy (it feeds backlog_wait_ms() and the CR-hint
+  /// pressure signal, and counters never affect values).
+  std::atomic<std::uint64_t> pending_cost_us_{0};
 
   // Bounded LRU cache of seeded sensing operators, keyed by
-  // (seed, m, n, d).  lru_ orders keys most-recent-first; each map value
-  // carries its lru_ position for O(log n) touch.
-  using MatrixKey = std::tuple<std::uint64_t, std::size_t, std::size_t, std::size_t>;
+  // (seed, m, n, d, m_eff) — m_eff == 0 is the full operator, m_eff > 0 a
+  // row-truncated form used by degraded solve tiers (derived from the full
+  // matrix via SensingMatrix::truncated, itself deterministic, so eviction
+  // still never changes results).  lru_ orders keys most-recent-first;
+  // each map value carries its lru_ position for O(log n) touch.
+  using MatrixKey =
+      std::tuple<std::uint64_t, std::size_t, std::size_t, std::size_t, std::size_t>;
   struct CachedMatrix {
     std::shared_ptr<const cs::SensingMatrix> phi;
     std::list<MatrixKey>::iterator lru_pos;

@@ -71,6 +71,10 @@ void SloTracker::on_grouped(std::uint64_t n) {
   grouped_windows_.fetch_add(n, std::memory_order_relaxed);
 }
 
+void SloTracker::on_degraded() {
+  degraded_windows_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void SloTracker::merge_from(const SloTracker& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     const std::uint64_t count = other.buckets_[i].load(std::memory_order_relaxed);
@@ -94,6 +98,8 @@ void SloTracker::merge_from(const SloTracker& other) {
                     std::memory_order_relaxed);
   grouped_windows_.fetch_add(other.grouped_windows_.load(std::memory_order_relaxed),
                              std::memory_order_relaxed);
+  degraded_windows_.fetch_add(other.degraded_windows_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
   const std::uint64_t other_max = other.max_us_.load(std::memory_order_relaxed);
   std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
   while (other_max > seen &&
@@ -122,6 +128,7 @@ void SloTracker::drain_into(SloTracker& dest) {
   move_counter(violations_, dest.violations_);
   move_counter(sum_us_, dest.sum_us_);
   move_counter(grouped_windows_, dest.grouped_windows_);
+  move_counter(degraded_windows_, dest.degraded_windows_);
   // Maxima are not additive: take the max into dest and zero the source.
   const std::uint64_t taken_max = max_us_.exchange(0, std::memory_order_relaxed);
   std::uint64_t seen = dest.max_us_.load(std::memory_order_relaxed);
@@ -200,6 +207,7 @@ SloSnapshot SloTracker::snapshot() const {
   snap.shed_urgent = shed_urgent_.load(std::memory_order_relaxed);
   snap.rejected = rejected_.load(std::memory_order_relaxed);
   snap.grouped_windows = grouped_windows_.load(std::memory_order_relaxed);
+  snap.degraded_windows = degraded_windows_.load(std::memory_order_relaxed);
   const std::uint64_t retired = retrieved_.load(std::memory_order_relaxed) +
                                 snap.shed_routine + snap.shed_urgent;
   snap.in_flight = snap.submitted - std::min(retired, snap.submitted);
@@ -251,6 +259,7 @@ void SloTracker::reset() {
   max_us_.store(0, std::memory_order_relaxed);
   max_in_flight_.store(0, std::memory_order_relaxed);
   grouped_windows_.store(0, std::memory_order_relaxed);
+  degraded_windows_.store(0, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }
 

@@ -51,6 +51,12 @@ struct SloSnapshot {
   /// (each member counts).  The observability hook for submit-time seed
   /// grouping: grouped_windows / completed is the batching hit rate.
   std::uint64_t grouped_windows = 0;
+  /// Windows completed at a degraded solve tier (cs::SolveTier::tier != 0)
+  /// — demoted by the engine's DegradePolicy, or submitted pre-degraded.
+  /// The closed-loop observability hook: degraded_windows / completed is
+  /// the fidelity-trade rate, and the urgent lane's count must stay 0
+  /// (urgent windows always keep full fidelity).
+  std::uint64_t degraded_windows = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -122,6 +128,12 @@ class SloTracker {
   /// migrate with a patient.  Thread-safe.
   void on_grouped(std::uint64_t n);
 
+  /// A window completed at a degraded solve tier (tier != 0).  Like
+  /// on_grouped, engine-wide observability only: not part of
+  /// SloTrackerState (the SLO_STATE wire layout is frozen), so it does not
+  /// migrate with a patient.  Thread-safe.
+  void on_degraded();
+
   SloSnapshot snapshot() const;
 
   /// Adds `other`'s counters and latency histogram into this tracker, and
@@ -189,6 +201,7 @@ class SloTracker {
   std::atomic<std::uint64_t> max_us_{0};
   std::atomic<std::uint64_t> max_in_flight_{0};
   std::atomic<std::uint64_t> grouped_windows_{0};
+  std::atomic<std::uint64_t> degraded_windows_{0};
 };
 
 }  // namespace wbsn::host

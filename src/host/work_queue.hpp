@@ -312,6 +312,18 @@ class TwoLaneWorkQueue {
     return out;
   }
 
+  /// Visits every queued routine-lane item in pop order under the queue
+  /// mutex.  `fn(item)` may mutate the item in place but must not enqueue,
+  /// dequeue, or block.  Used by the degrade policy to demote queued
+  /// routine windows to a cheaper solve tier; the urgent lane is
+  /// deliberately unreachable from here (urgent windows keep full
+  /// fidelity).
+  template <typename Fn>
+  void for_each_routine(Fn&& fn) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (std::size_t i = 0; i < routine_.size(); ++i) fn(routine_[i]);
+  }
+
   std::size_t size() const {
     std::lock_guard<std::mutex> lk(mutex_);
     return urgent_.size() + routine_.size();

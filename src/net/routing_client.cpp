@@ -37,6 +37,9 @@ bool RoutingClient::connect(std::vector<ShardEndpoint> shards) {
   pending_.clear();
   retired_ = {};
   pipeline_submits_.clear();
+  cr_hints_.clear();
+  shard_advisory_.clear();
+  hints_epoch_ = ~std::uint64_t{0};
   for (auto& ep : shards) {
     auto conn = std::make_unique<Conn>();
     conn->endpoint = std::move(ep);
@@ -417,6 +420,56 @@ SnapshotPayload RoutingClient::aggregate_snapshot() {
     if (fetch_snapshot(*conn, snap)) accumulate(sum, snap);
   }
   return sum;
+}
+
+bool RoutingClient::refresh_cr_hints(std::uint32_t max_entries_per_shard) {
+  cr_hints_.clear();
+  shard_advisory_.assign(conns_.size(), 0.0);
+  hints_epoch_ = epoch_;
+  bool ok = true;
+  for (std::size_t shard = 0; shard < conns_.size(); ++shard) {
+    Conn& conn = *conns_[shard];
+    // v1 shards don't speak the verb; no hint just means full fidelity.
+    if (conn.version < 2) continue;
+    (void)sync_pipeline(conn);  // Responses are per-connection ordered.
+    std::vector<std::uint8_t> buf;
+    encode_cr_hint(buf, epoch_, max_entries_per_shard);
+    if (!send_request(conn, buf, /*may_retry=*/true)) {
+      ok = false;
+      continue;
+    }
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    CrHintAckPayload ack;
+    if (!read_frame(conn, frame, view) || view.type != FrameType::kCrHintAck ||
+        !decode_cr_hint_ack(view.payload, ack)) {
+      conn.fd.reset();
+      ok = false;
+      continue;
+    }
+    if (ack.epoch != epoch_) {
+      // Answered for an epoch we no longer route by: drop it rather than
+      // risk steering a node through the wrong owner.
+      ok = false;
+      continue;
+    }
+    shard_advisory_[shard] = ack.advisory_cr_centi / 100.0;
+    for (const auto& entry : ack.entries) {
+      cr_hints_[entry.patient_id] = entry.cr_centi / 100.0;
+    }
+  }
+  return ok;
+}
+
+std::optional<double> RoutingClient::cr_hint(std::uint32_t patient_id) const {
+  if (conns_.empty() || hints_epoch_ != epoch_) return std::nullopt;
+  if (auto it = cr_hints_.find(patient_id);
+      it != cr_hints_.end() && it->second > 0.0) {
+    return it->second;
+  }
+  const double advisory = shard_advisory_[owner(patient_id)];
+  if (advisory > 0.0) return advisory;
+  return std::nullopt;
 }
 
 std::optional<host::SloTrackerState> RoutingClient::patient_slo_state(

@@ -55,6 +55,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -169,6 +170,23 @@ class RoutingClient {
   /// accumulator — the conservation audit surface.  Exact when quiesced.
   SnapshotPayload aggregate_snapshot();
 
+  /// Polls every v2 shard with CR_HINT and caches the answers: the
+  /// shard-wide advisory CR and any per-patient entries, all tagged with
+  /// the current routing epoch (a reshard invalidates them — stale hints
+  /// must never steer a node via the wrong owner).  v1 shards are skipped
+  /// silently (the verb does not exist there; absence of a hint just means
+  /// full-fidelity encoding).  False when any v2 shard was unreachable or
+  /// answered for a different epoch; the hints that did land are kept.
+  bool refresh_cr_hints(std::uint32_t max_entries_per_shard = 64);
+
+  /// The advisory CR (percent) the fleet wants `patient_id`'s node to
+  /// encode at, from the last refresh_cr_hints(): the per-patient entry if
+  /// the shard sent one, else its owner shard's advisory.  nullopt when no
+  /// pressure was reported or the hints predate the current epoch — the
+  /// node then encodes at its configured fidelity.  Advisory by contract:
+  /// ignoring it is always correct, just slower under overload.
+  std::optional<double> cr_hint(std::uint32_t patient_id) const;
+
   /// Per-patient SLO state fetched from the patient's current owner
   /// (EXTRACT_SLO + immediate ADOPT_SLO back, so the history stays on the
   /// shard).  nullopt when the shard is unreachable.
@@ -243,6 +261,12 @@ class RoutingClient {
   /// submit_pipelined() calls since the last flush_submits(), in global
   /// submission order; conns' pending_submits index into this.
   std::vector<PipelinedSubmit> pipeline_submits_;
+  /// CR-hint cache from the last refresh_cr_hints().  Valid only while
+  /// hints_epoch_ == epoch_ (set_topology opens a new epoch and thereby
+  /// invalidates every cached hint).  0.0 entries mean "no advisory".
+  std::unordered_map<std::uint32_t, double> cr_hints_;  ///< patient -> CR %.
+  std::vector<double> shard_advisory_;                  ///< shard -> CR %.
+  std::uint64_t hints_epoch_ = ~std::uint64_t{0};       ///< Sentinel: none yet.
 };
 
 }  // namespace wbsn::net

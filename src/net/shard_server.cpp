@@ -342,6 +342,39 @@ void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
       encode_snapshot(tx, payload);
       return;
     }
+    case FrameType::kCrHint: {
+      std::uint64_t epoch = 0;
+      std::uint32_t max_entries = 0;
+      if (!decode_cr_hint(frame.payload, epoch, max_entries)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed CR_HINT", true);
+        return;
+      }
+      CrHintAckPayload ack;
+      ack.epoch = epoch;
+      // The advisory is pressure-gated: active only while the backlog is
+      // deep enough that newly queued routine windows would miss their
+      // deadline anyway.  A threshold <= 0 makes it unconditional — the
+      // deterministic setting tests use.
+      const double deadline_ms = cfg_.engine.slo.deadline_ms;
+      const bool under_pressure =
+          cfg_.hint_backlog_deadlines <= 0.0 ||
+          (deadline_ms > 0.0 &&
+           engine_->backlog_wait_ms() > cfg_.hint_backlog_deadlines * deadline_ms);
+      if (cfg_.hint_cr_percent > 0.0 && under_pressure) {
+        ack.advisory_cr_centi =
+            static_cast<std::uint32_t>(cfg_.hint_cr_percent * 100.0 + 0.5);
+        // Per-patient entries cover the patients actually backed up on this
+        // shard, so a client can steer just those nodes; each carries the
+        // same shard-wide advisory today.
+        const std::size_t cap =
+            std::min<std::size_t>(max_entries, cfg_.max_poll_results);
+        for (const std::uint32_t patient : engine_->pending_patients(cap)) {
+          ack.entries.push_back({patient, ack.advisory_cr_centi});
+        }
+      }
+      encode_cr_hint_ack(tx, ack);
+      return;
+    }
     case FrameType::kBye: {
       encode_bye_ack(tx);
       conn.close_after_flush = true;

@@ -56,6 +56,16 @@ struct ShardServerConfig {
   /// Set 1 to force v1 framing — how mixed-version tests prove a v2 client
   /// falls back transparently.
   std::uint8_t max_wire_version = kWireVersionMax;
+  /// CR advisory this shard answers CR_HINT with while under backlog
+  /// pressure, percent (e.g. 70 steers nodes to encode at CR 70 until the
+  /// pressure clears).  0 (default) disables the advisory: CR_HINT_ACK
+  /// always answers "no pressure".
+  double hint_cr_percent = 0.0;
+  /// Pressure threshold for the advisory: active while the engine's
+  /// backlog_wait_ms() exceeds this many deadlines (engine slo.deadline_ms).
+  /// <= 0 makes the advisory unconditional whenever hint_cr_percent > 0 —
+  /// the deterministic setting tests use.
+  double hint_backlog_deadlines = 1.0;
 };
 
 class ShardServer {

@@ -10,7 +10,8 @@
 // Usage: shard_serverd [--host A.B.C.D] [--port N] [--threads N]
 //                      [--queue-capacity N] [--batch-windows N]
 //                      [--deadline-ms X] [--shedding] [--fixed-scale X]
-//                      [--max-wire-version N]
+//                      [--max-wire-version N] [--hint-cr X]
+//                      [--hint-backlog-deadlines X]
 // See docs/OPERATIONS.md for how these map onto EngineConfig.
 
 #include <csignal>
@@ -33,7 +34,8 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--threads N] [--queue-capacity N]\n"
                "          [--batch-windows N] [--deadline-ms X] [--shedding]\n"
-               "          [--fixed-scale X] [--max-wire-version N]\n",
+               "          [--fixed-scale X] [--max-wire-version N] [--hint-cr X]\n"
+               "          [--hint-backlog-deadlines X]\n",
                argv0);
   std::exit(2);
 }
@@ -71,6 +73,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-wire-version") {
       // Pin the negotiation ceiling (e.g. 1 during a staged v2 rollout).
       cfg.max_wire_version = static_cast<std::uint8_t>(std::atoi(next()));
+    } else if (arg == "--hint-cr") {
+      // CR advisory (percent) answered to CR_HINT sweeps under pressure.
+      cfg.hint_cr_percent = std::atof(next());
+    } else if (arg == "--hint-backlog-deadlines") {
+      cfg.hint_backlog_deadlines = std::atof(next());
     } else {
       usage_and_exit(argv[0]);
     }

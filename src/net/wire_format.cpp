@@ -721,4 +721,51 @@ bool decode_result_batch(std::span<const std::uint8_t> payload,
   return r.ok() && r.remaining() == 0;
 }
 
+// --- v2 CR-hint frames -------------------------------------------------------
+
+void encode_cr_hint(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                    std::uint32_t max_entries) {
+  const std::size_t p = frame_begin(out, FrameType::kCrHint, 2);
+  put_varint(out, epoch);
+  put_varint(out, max_entries);
+  frame_end(out, p);
+}
+
+bool decode_cr_hint(std::span<const std::uint8_t> payload, std::uint64_t& epoch,
+                    std::uint32_t& max_entries) {
+  WireReader r(payload);
+  epoch = r.varint();
+  max_entries = static_cast<std::uint32_t>(r.varint());
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_cr_hint_ack(std::vector<std::uint8_t>& out, const CrHintAckPayload& ack) {
+  const std::size_t p = frame_begin(out, FrameType::kCrHintAck, 2);
+  put_varint(out, ack.epoch);
+  put_varint(out, ack.advisory_cr_centi);
+  put_varint(out, ack.entries.size());
+  for (const auto& entry : ack.entries) {
+    put_varint(out, entry.patient_id);
+    put_varint(out, entry.cr_centi);
+  }
+  frame_end(out, p);
+}
+
+bool decode_cr_hint_ack(std::span<const std::uint8_t> payload, CrHintAckPayload& out) {
+  WireReader r(payload);
+  out.epoch = r.varint();
+  out.advisory_cr_centi = static_cast<std::uint32_t>(r.varint());
+  const std::uint64_t count = r.varint();
+  if (!r.ok() || count > r.remaining() / 2) return false;  // >= 2 bytes per entry.
+  out.entries.clear();
+  out.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CrHintEntry entry;
+    entry.patient_id = static_cast<std::uint32_t>(r.varint());
+    entry.cr_centi = static_cast<std::uint32_t>(r.varint());
+    out.entries.push_back(entry);
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
 }  // namespace wbsn::net

@@ -95,6 +95,8 @@ enum class FrameType : std::uint8_t {
   kSubmitBatchAck = 21,  ///< server → client: K per-window outcomes
   kPollMany = 22,        ///< client → server: request up to N results
   kResultBatch = 23,     ///< server → client: up to N results, one frame
+  kCrHint = 24,          ///< client → server: request compression advisory
+  kCrHintAck = 25,       ///< server → client: advisory CR + per-patient hints
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -378,5 +380,37 @@ bool decode_result_batch_header(WireReader& r, std::uint64_t& count);
 bool decode_result_entry(WireReader& r, host::WindowResult& out, host::PayloadPool* pool);
 bool decode_result_batch(std::span<const std::uint8_t> payload,
                          std::vector<host::WindowResult>& out, host::PayloadPool* pool);
+
+// --- v2 CR-hint frames -------------------------------------------------------
+// The back-channel of the closed compression loop (docs/WIRE_FORMAT.md
+// §10).  CR_HINT := epoch(varint) max_entries(varint) asks the shard how
+// much solve pressure it is under; CR_HINT_ACK := epoch(varint, echoed)
+// advisory_cr_centi(varint; 0 = no pressure, else advisory CR% × 100)
+// count(varint) count × (patient_id(varint) cr_centi(varint)) answers
+// with a shard-wide advisory plus up to max_entries per-patient hints.
+// The epoch is the requester's topology epoch, echoed verbatim, so a hint
+// that raced a reshard can be recognized as stale and discarded instead
+// of steering a patient now owned by a different shard.  Advisory only —
+// a node that ignores it keeps full fidelity and simply keeps paying the
+// host-side degrade/shed rate.  Both frames carry header version 2.
+
+struct CrHintEntry {
+  std::uint32_t patient_id = 0;
+  std::uint32_t cr_centi = 0;  ///< Advisory CR for this patient, % × 100.
+};
+
+struct CrHintAckPayload {
+  std::uint64_t epoch = 0;              ///< Echo of the request's epoch tag.
+  std::uint32_t advisory_cr_centi = 0;  ///< Shard-wide advisory; 0 = none.
+  std::vector<CrHintEntry> entries;     ///< Per-patient overrides.
+};
+
+void encode_cr_hint(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                    std::uint32_t max_entries);
+bool decode_cr_hint(std::span<const std::uint8_t> payload, std::uint64_t& epoch,
+                    std::uint32_t& max_entries);
+
+void encode_cr_hint_ack(std::vector<std::uint8_t>& out, const CrHintAckPayload& ack);
+bool decode_cr_hint_ack(std::span<const std::uint8_t> payload, CrHintAckPayload& out);
 
 }  // namespace wbsn::net

@@ -280,6 +280,68 @@ TEST(SloTracker, DrainIntoConservesEveryCounterAndZeroesTheSource) {
   EXPECT_EQ(d2.completed, d1.completed);
 }
 
+// The cross-process handoff pair behind the wire MIGRATE_SLO/ADOPT_SLO
+// verbs: extract_state() zeroes the source and packages everything into a
+// plain struct, absorb_state() folds it into another tracker.  Counts and
+// quantiles must be conserved end to end, exactly like drain_into — the
+// struct is just the process-boundary-safe spelling of the same move.
+TEST(SloTracker, ExtractAbsorbConservesStateAcrossTheStructBoundary) {
+  SloTracker source(SloConfig{.deadline_ms = 10.0});
+  for (int i = 0; i < 50; ++i) {
+    source.on_submit();
+    source.on_complete(i % 2 == 0 ? 2.0 : 200.0);  // Half violate.
+    source.on_retrieve();
+  }
+  source.on_shed(/*urgent=*/false);
+  source.on_shed(/*urgent=*/true);
+  source.on_reject();
+  const auto before = source.snapshot();
+
+  SloTrackerState state = source.extract_state();
+  EXPECT_FALSE(state.empty());
+  EXPECT_EQ(state.submitted, 50u);
+  EXPECT_EQ(state.completed, 50u);
+  EXPECT_GT(state.elapsed_us, 0u);
+  // Extraction empties the source, just like drain_into.
+  const auto drained = source.snapshot();
+  EXPECT_EQ(drained.submitted, 0u);
+  EXPECT_EQ(drained.completed, 0u);
+  EXPECT_EQ(drained.shed_routine + drained.shed_urgent + drained.rejected, 0u);
+  EXPECT_EQ(drained.max_ms, 0.0);
+
+  SloTracker dest(SloConfig{.deadline_ms = 10.0});
+  dest.on_submit();
+  dest.on_complete(500.0);  // Larger max: absorb must not lower it.
+  dest.on_retrieve();
+  dest.absorb_state(state);
+  const auto after = dest.snapshot();
+  EXPECT_EQ(after.submitted, before.submitted + 1);
+  EXPECT_EQ(after.completed, before.completed + 1);
+  EXPECT_EQ(after.deadline_violations, before.deadline_violations + 1);
+  EXPECT_EQ(after.shed_routine, before.shed_routine);
+  EXPECT_EQ(after.shed_urgent, before.shed_urgent);
+  EXPECT_EQ(after.rejected, before.rejected);
+  EXPECT_DOUBLE_EQ(after.max_ms, 500.0);
+  EXPECT_NEAR(after.p95_ms, 200.0, 200.0 * kRelTol);
+
+  // A smaller imported max loses to the resident one.
+  SloTracker small;
+  small.on_submit();
+  small.on_complete(1.0);
+  dest.absorb_state(small.extract_state());
+  EXPECT_DOUBLE_EQ(dest.snapshot().max_ms, 500.0);
+
+  // A hostile bucket index from a corrupt peer is ignored, not written
+  // out of bounds.
+  SloTrackerState corrupt;
+  corrupt.buckets.emplace_back(100000u, 7u);
+  dest.absorb_state(corrupt);
+  EXPECT_EQ(dest.snapshot().completed, after.completed + 1);
+
+  // An extracted-empty tracker round-trips as a no-op.
+  EXPECT_TRUE(SloTracker().extract_state().empty());
+}
+
 // Handoff raced against a recording thread: counts may land on either
 // side of the move but must be conserved — the sum across both trackers
 // equals everything ever recorded.  This is the TSan probe for the

@@ -76,17 +76,27 @@ struct LocalShard {
   std::unique_ptr<ShardServer> server;
   std::thread loop;
 
-  explicit LocalShard(int threads, std::uint8_t max_version = kWireVersionMax) {
-    ShardServerConfig cfg;
-    cfg.engine = fast_engine(threads);
-    // The node path emits exact fixed-point multiples; advertising the
-    // scale exercises the compact coding end to end.
-    cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
-    cfg.max_wire_version = max_version;
-    server = std::make_unique<ShardServer>(cfg);
+  explicit LocalShard(ShardServerConfig cfg) {
+    server = std::make_unique<ShardServer>(std::move(cfg));
     EXPECT_TRUE(server->start());
     loop = std::thread([s = server.get()] { s->run(); });
   }
+
+  explicit LocalShard(int threads, std::uint8_t max_version = kWireVersionMax,
+                      double hint_cr = 0.0)
+      : LocalShard([&] {
+          ShardServerConfig cfg;
+          cfg.engine = fast_engine(threads);
+          // The node path emits exact fixed-point multiples; advertising the
+          // scale exercises the compact coding end to end.
+          cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
+          cfg.max_wire_version = max_version;
+          // Tests that opt into CR hints want determinism, not a race with
+          // the backlog: advertise unconditionally.
+          cfg.hint_cr_percent = hint_cr;
+          cfg.hint_backlog_deadlines = 0.0;
+          return cfg;
+        }()) {}
 
   ~LocalShard() {
     server->stop();
@@ -401,6 +411,106 @@ TEST(RoutingClient, ClientVersionCapForcesV1OnACapableServer) {
   std::map<WindowKey, WindowResult> results;
   (void)run_pipelined(client, traffic, results);
   expect_matches_reference(results, reference);
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(CrHints, AdvisoryFollowsOwnerShardAndReshardInvalidates) {
+  LocalShard hinted(1, kWireVersionMax, /*hint_cr=*/70.0);
+  LocalShard plain(1);
+  RoutingClient client(client_config());
+  ASSERT_TRUE(client.connect({hinted.endpoint()}));
+
+  // No sweep yet: the client refuses to guess.
+  EXPECT_FALSE(client.cr_hint(3).has_value());
+
+  ASSERT_TRUE(client.refresh_cr_hints());
+  const auto hint = client.cr_hint(3);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_DOUBLE_EQ(*hint, 70.0);
+
+  // Reshard: a new routing epoch invalidates the cached sweep outright —
+  // a stale hint routed to the wrong shard is worse than no hint.
+  ASSERT_TRUE(client.set_topology({hinted.endpoint(), plain.endpoint()}));
+  EXPECT_FALSE(client.cr_hint(3).has_value());
+
+  // The next sweep is per-owner: patients on the hinted shard see the
+  // advisory, patients on the quiet shard see nothing.
+  ASSERT_TRUE(client.refresh_cr_hints());
+  for (std::uint32_t patient = 0; patient < 16; ++patient) {
+    const auto per_patient = client.cr_hint(patient);
+    if (client.owner(patient) == 0) {
+      ASSERT_TRUE(per_patient.has_value()) << "patient " << patient;
+      EXPECT_DOUBLE_EQ(*per_patient, 70.0);
+    } else {
+      EXPECT_FALSE(per_patient.has_value()) << "patient " << patient;
+    }
+  }
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(CrHints, V1ShardsAreSkippedSilently) {
+  // A v1 fleet predates the verb: the sweep must succeed as a no-op, not
+  // poison the connection with a frame the server will refuse.
+  const auto traffic = fleet_traffic(/*patients=*/2, /*beats_per_patient=*/1);
+  LocalShard old_shard(1, /*max_version=*/1, /*hint_cr=*/70.0);
+  RoutingClient client(client_config());
+  ASSERT_TRUE(client.connect({old_shard.endpoint()}));
+  EXPECT_EQ(client.shard_wire_version(0), 1);
+
+  EXPECT_TRUE(client.refresh_cr_hints());
+  EXPECT_FALSE(client.cr_hint(0).has_value());
+
+  // The connection still works after the sweep.
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+  }
+  EXPECT_EQ(client.drain().size(), traffic.size());
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(CrHints, PressureGateOpensUnderBacklogAndClosesAfterDrain) {
+  // The production configuration: advisory only while the priced backlog
+  // overshoots the deadline budget.  A serial (threads = 0) server engine
+  // holds submitted windows queued until POLL, so the test controls the
+  // backlog exactly; the pinned 10 ms estimate against a 10 ms deadline
+  // means three queued windows price at 30 ms — well past the budget.
+  ShardServerConfig cfg;
+  cfg.engine = fast_engine(0);
+  cfg.engine.slo.deadline_ms = 10.0;
+  cfg.engine.shed_solve_estimate_ms = 10.0;
+  cfg.wire.fixed_scale = cs::measurement_scale_mv(sig::AdcConfig{});
+  cfg.hint_cr_percent = 70.0;
+  cfg.hint_backlog_deadlines = 1.0;
+  LocalShard shard(std::move(cfg));
+  RoutingClient client(client_config());
+  ASSERT_TRUE(client.connect({shard.endpoint()}));
+
+  // Idle shard: the sweep answers, but with no advisory.
+  ASSERT_TRUE(client.refresh_cr_hints());
+  EXPECT_FALSE(client.cr_hint(0).has_value());
+
+  auto traffic = fleet_traffic(/*patients=*/1, /*beats_per_patient=*/2);
+  ASSERT_GE(traffic.size(), 3u);
+  traffic.resize(3);
+  for (auto& window : traffic) {
+    ASSERT_TRUE(client.submit(std::move(window)).has_value());
+  }
+
+  // Backlog priced past the budget: the gate opens, and the ack names the
+  // patient with queued work as well as the shard-wide advisory.
+  ASSERT_TRUE(client.refresh_cr_hints());
+  const auto pressured = client.cr_hint(0);
+  ASSERT_TRUE(pressured.has_value());
+  EXPECT_DOUBLE_EQ(*pressured, 70.0);
+  const auto advisory_only = client.cr_hint(999);  // No queued windows.
+  ASSERT_TRUE(advisory_only.has_value()) << "shard-wide advisory covers every patient";
+  EXPECT_DOUBLE_EQ(*advisory_only, 70.0);
+
+  // Draining the backlog closes the gate again.
+  EXPECT_EQ(client.drain().size(), 3u);
+  ASSERT_TRUE(client.refresh_cr_hints());
+  EXPECT_FALSE(client.cr_hint(0).has_value());
   client.shutdown(/*send_bye=*/false);
 }
 

@@ -469,6 +469,74 @@ TEST(FramesV2, PollManyAndResultBatchRoundTrip) {
   }
 }
 
+TEST(FramesV2, CrHintRoundTripsBitExactly) {
+  const auto buf =
+      encode_one([](auto& b) { encode_cr_hint(b, /*epoch=*/7, /*max_entries=*/64); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kCrHint);
+  EXPECT_EQ(view.version, 2);  // v2-only verb: a v1 server refuses it.
+  std::uint64_t epoch = 0;
+  std::uint32_t max_entries = 0;
+  ASSERT_TRUE(decode_cr_hint(view.payload, epoch, max_entries));
+  EXPECT_EQ(epoch, 7u);
+  EXPECT_EQ(max_entries, 64u);
+}
+
+TEST(FramesV2, CrHintAckRoundTripsBitExactly) {
+  {
+    // Pressure case: shard-wide advisory plus per-patient entries.
+    CrHintAckPayload ack;
+    ack.epoch = 3;
+    ack.advisory_cr_centi = 7000;  // CR 70.00%.
+    ack.entries = {{11, 7000}, {42, 7000}, {1000001, 6500}};
+    const auto buf = encode_one([&](auto& b) { encode_cr_hint_ack(b, ack); });
+    const auto view = must_peek(buf);
+    EXPECT_EQ(view.type, FrameType::kCrHintAck);
+    EXPECT_EQ(view.version, 2);
+    CrHintAckPayload decoded;
+    ASSERT_TRUE(decode_cr_hint_ack(view.payload, decoded));
+    EXPECT_EQ(decoded.epoch, ack.epoch);
+    EXPECT_EQ(decoded.advisory_cr_centi, ack.advisory_cr_centi);
+    ASSERT_EQ(decoded.entries.size(), ack.entries.size());
+    for (std::size_t i = 0; i < ack.entries.size(); ++i) {
+      EXPECT_EQ(decoded.entries[i].patient_id, ack.entries[i].patient_id);
+      EXPECT_EQ(decoded.entries[i].cr_centi, ack.entries[i].cr_centi);
+    }
+  }
+  {
+    // No-pressure case: advisory 0, no entries — the steady-state answer.
+    CrHintAckPayload ack;
+    ack.epoch = 0;
+    const auto buf = encode_one([&](auto& b) { encode_cr_hint_ack(b, ack); });
+    CrHintAckPayload decoded;
+    ASSERT_TRUE(decode_cr_hint_ack(must_peek(buf).payload, decoded));
+    EXPECT_EQ(decoded.advisory_cr_centi, 0u);
+    EXPECT_TRUE(decoded.entries.empty());
+  }
+}
+
+TEST(FramesV2, CrHintAckHostileCountIsMalformedNotOverread) {
+  // An entry count claiming more pairs than the payload could possibly
+  // hold must fail the decode cleanly before any allocation or overread.
+  CrHintAckPayload ack;
+  ack.epoch = 1;
+  ack.advisory_cr_centi = 7000;
+  ack.entries = {{1, 7000}};
+  const auto buf = encode_one([&](auto& b) { encode_cr_hint_ack(b, ack); });
+  const auto view = must_peek(buf);
+  std::vector<std::uint8_t> payload(view.payload.begin(), view.payload.end());
+  // Layout: epoch(varint=1B) advisory(varint=2B) count(varint=1B) ...
+  ASSERT_EQ(payload[3], 1u);
+  payload[3] = 0x7F;  // Claims 127 entries; only one follows.
+  CrHintAckPayload decoded;
+  EXPECT_FALSE(decode_cr_hint_ack(payload, decoded));
+
+  // Trailing garbage after the declared entries is malformed too.
+  payload[3] = 1;
+  payload.push_back(0xAA);
+  EXPECT_FALSE(decode_cr_hint_ack(payload, decoded));
+}
+
 TEST(FramesV2, OverstatedCountsAreMalformedNotOverreads) {
   // A count claiming more entries than the payload holds must fail the
   // decode cleanly (latched reader), never read past the frame.
@@ -503,6 +571,13 @@ TEST(Framing, TruncatedFramesWantMoreBytes) {
         encode_submit_batch(b, sample_batch(), kSubmitFlagBlocking,
                             WireEncodeOptions{0.0048828125});
       }),
+      encode_one([](auto& b) {
+        CrHintAckPayload ack;
+        ack.epoch = 5;
+        ack.advisory_cr_centi = 7000;
+        ack.entries = {{11, 7000}, {42, 6500}};
+        encode_cr_hint_ack(b, ack);
+      }),
   };
   for (const auto& buf : frames) {
     for (std::size_t len = 0; len < buf.size(); ++len) {
@@ -521,6 +596,7 @@ TEST(Framing, EveryFlippedBitIsRejected) {
       encode_one([](auto& b) {
         encode_submit_batch_ack(b, std::vector<SubmitBatchAckEntry>{{true, 7}, {false, 0}});
       }),
+      encode_one([](auto& b) { encode_cr_hint(b, 9, 64); }),
   };
   for (const auto& buf : frames) {
     for (std::size_t byte = 0; byte < buf.size(); ++byte) {
@@ -642,6 +718,14 @@ std::vector<Golden> golden_set() {
                    encode_result_entry(bodies, first, WireEncodeOptions{});
                    encode_result_entry(bodies, second, WireEncodeOptions{});
                    encode_result_batch(b, bodies, 2);
+                 })});
+  set.push_back({"cr_hint.bin", encode_one([](auto& b) { encode_cr_hint(b, 1, 64); })});
+  set.push_back({"cr_hint_ack.bin", encode_one([](auto& b) {
+                   CrHintAckPayload ack;
+                   ack.epoch = 1;
+                   ack.advisory_cr_centi = 7000;
+                   ack.entries = {{7, 7000}, {21, 7000}};
+                   encode_cr_hint_ack(b, ack);
                  })});
   return set;
 }
