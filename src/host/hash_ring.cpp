@@ -36,6 +36,20 @@ HashRing::HashRing(std::size_t shards, std::size_t vnodes_per_shard)
   });
 }
 
+HashRing::HashRing(const std::vector<std::size_t>& shard_ids, std::size_t vnodes_per_shard)
+    : shards_(shard_ids.size()),
+      vnodes_per_shard_(std::max<std::size_t>(1, vnodes_per_shard)) {
+  ring_.reserve(shards_ * vnodes_per_shard_);
+  for (const std::size_t shard : shard_ids) {
+    for (std::size_t replica = 0; replica < vnodes_per_shard_; ++replica) {
+      ring_.push_back({vnode_point(shard, replica), static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Vnode& a, const Vnode& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
 std::size_t HashRing::owner_of_point(std::uint64_t point) const {
   const auto it = std::lower_bound(
       ring_.begin(), ring_.end(), point,

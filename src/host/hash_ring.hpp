@@ -40,6 +40,15 @@ class HashRing {
   /// contributing `vnodes_per_shard` virtual nodes (clamped to >= 1).
   HashRing(std::size_t shards, std::size_t vnodes_per_shard);
 
+  /// Builds the ring over an explicit (not necessarily contiguous) set of
+  /// shard indices.  Because a virtual node's position depends only on
+  /// (shard, replica), a ring over {0,1,3} is exactly the {0,1,2,3} ring
+  /// with shard 2's points deleted: crash failover re-homes *only* the
+  /// dead shard's patients, and every survivor keeps its index — which is
+  /// what keeps composite tickets and per-shard SLO history valid across
+  /// a failover epoch.
+  HashRing(const std::vector<std::size_t>& shard_ids, std::size_t vnodes_per_shard);
+
   std::size_t shards() const { return shards_; }
   std::size_t vnodes_per_shard() const { return vnodes_per_shard_; }
   bool empty() const { return ring_.empty(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -44,12 +45,27 @@ std::size_t ReconstructionFabric::shard_of(std::uint32_t patient_id) const {
 
 ReconstructionEngine& ReconstructionFabric::shard(std::size_t index) {
   std::shared_lock<std::shared_mutex> lk(topology_mutex_);
-  return *active_.at(index);
+  if (index >= active_.size() || !active_[index]) {
+    throw std::out_of_range("shard index not active");
+  }
+  return *active_[index];
 }
 
 const ReconstructionEngine& ReconstructionFabric::shard(std::size_t index) const {
   std::shared_lock<std::shared_mutex> lk(topology_mutex_);
-  return *active_.at(index);
+  if (index >= active_.size() || !active_[index]) {
+    throw std::out_of_range("shard index not active");
+  }
+  return *active_[index];
+}
+
+std::size_t ReconstructionFabric::live_shard_count() const {
+  std::shared_lock<std::shared_mutex> lk(topology_mutex_);
+  std::size_t live = 0;
+  for (const auto& engine : active_) {
+    if (engine) ++live;
+  }
+  return live;
 }
 
 void ReconstructionFabric::note_patient(std::uint32_t patient_id) {
@@ -91,7 +107,9 @@ ReconstructionFabric::engines_snapshot() const {
   std::shared_lock<std::shared_mutex> lk(topology_mutex_);
   std::vector<std::pair<std::size_t, std::shared_ptr<ReconstructionEngine>>> out;
   out.reserve(active_.size() + retired_.size());
-  for (std::size_t i = 0; i < active_.size(); ++i) out.emplace_back(i, active_[i]);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]) out.emplace_back(i, active_[i]);  // Skip crash-failed holes.
+  }
   for (const auto& retired : retired_) out.emplace_back(retired.index, retired.engine);
   return out;
 }
@@ -111,6 +129,7 @@ std::optional<WindowResult> ReconstructionFabric::poll() {
   const std::size_t start = next_poll_shard_.fetch_add(1, std::memory_order_relaxed) % total;
   for (std::size_t i = 0; i < total; ++i) {
     const auto [index, engine] = engine_at((start + i) % total);
+    if (engine == nullptr) continue;  // Crash-failed hole: nothing to give.
     if (auto result = engine->poll()) {
       result->ticket = compose_ticket(result->route_tag, index, result->ticket);
       return result;
@@ -138,7 +157,9 @@ std::vector<WindowResult> ReconstructionFabric::drain() {
 std::size_t ReconstructionFabric::in_flight() const {
   std::shared_lock<std::shared_mutex> lk(topology_mutex_);
   std::size_t total = 0;
-  for (const auto& engine : active_) total += engine->in_flight();
+  for (const auto& engine : active_) {
+    if (engine) total += engine->in_flight();
+  }
   for (const auto& retired : retired_) total += retired.engine->in_flight();
   return total;
 }
@@ -164,15 +185,21 @@ ResizeReport ReconstructionFabric::resize(int new_shards) {
   HashRing new_ring(target, static_cast<std::size_t>(cfg_.vnodes_per_shard));
 
   // New shard list: surviving engines keep their index (and their warm
-  // caches), new indices get fresh engines, removed indices retire.
+  // caches), new indices get fresh engines, removed indices retire.  A
+  // crash-failed hole inside the target range is re-provisioned with a
+  // fresh engine — resize() is also the recovery path that restores
+  // capacity after a failover.
   std::vector<std::shared_ptr<ReconstructionEngine>> new_active;
   new_active.reserve(target);
   for (std::size_t i = 0; i < target; ++i) {
-    new_active.push_back(i < before ? old_active[i]
-                                    : std::make_shared<ReconstructionEngine>(cfg_.engine));
+    new_active.push_back(i < before && old_active[i]
+                             ? old_active[i]
+                             : std::make_shared<ReconstructionEngine>(cfg_.engine));
   }
   std::vector<RetiredShard> newly_retired;
-  for (std::size_t i = target; i < before; ++i) newly_retired.push_back({i, old_active[i]});
+  for (std::size_t i = target; i < before; ++i) {
+    if (old_active[i]) newly_retired.push_back({i, old_active[i]});
+  }
   report.retired_shards = newly_retired.size();
 
   // Flip.  One writer critical section: every submission before it was
@@ -223,6 +250,84 @@ ResizeReport ReconstructionFabric::resize(int new_shards) {
   return report;
 }
 
+FailoverReport ReconstructionFabric::fail_shard(std::size_t index) {
+  std::lock_guard<std::mutex> control(control_mutex_);
+  FailoverReport report;
+  report.failed_shard = index;
+
+  std::vector<std::shared_ptr<ReconstructionEngine>> old_active;
+  HashRing old_ring;
+  {
+    std::shared_lock<std::shared_mutex> lk(topology_mutex_);
+    old_active = active_;
+    old_ring = ring_;
+  }
+  if (index >= old_active.size() || !old_active[index]) {
+    throw std::out_of_range("fail_shard: not a live shard");
+  }
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < old_active.size(); ++i) {
+    if (i != index && old_active[i]) survivors.push_back(i);
+  }
+  if (survivors.empty()) {
+    throw std::invalid_argument("fail_shard: no survivors to re-home onto");
+  }
+  report.live_shards = survivors.size();
+
+  // Subset ring over the survivors: vnode positions depend only on
+  // (shard, replica), so this is the old ring minus the dead shard's
+  // points — exactly its patients re-home, everyone else stays put, and
+  // every survivor keeps the index its tickets were composed with.
+  HashRing new_ring(survivors, static_cast<std::size_t>(cfg_.vnodes_per_shard));
+
+  // Flip, leaving a hole at the dead slot (indices are ticket identity).
+  // From here on nothing can reach the dead engine: no route resolves to
+  // it, and every sweep skips null slots — so submitted/shed/retrieved
+  // are frozen the moment the writer lock releases.
+  std::shared_ptr<ReconstructionEngine> dead;
+  {
+    std::unique_lock<std::shared_mutex> lk(topology_mutex_);
+    ++epoch_;
+    ring_ = new_ring;
+    dead = std::move(active_[index]);
+    report.epoch = epoch_;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(patients_mutex_);
+    for (const std::uint32_t patient : patients_) {
+      if (old_ring.owner(patient) == index) ++report.moved_patients;
+    }
+  }
+
+  // Freeze-and-fold, the crash contract: results never retrieved are
+  // unrecoverable, so `retrieved` stands in for completed and the rest of
+  // the admitted windows are lost.  Workers may still be solving while
+  // this snapshot is read; that can only migrate windows between the shed
+  // and lost buckets (both terms of the same identity), never change the
+  // total — completed-but-unretrieved work is lost either way.
+  const SloSnapshot snap = dead->slo().snapshot();
+  const std::uint64_t shed = snap.shed_routine + snap.shed_urgent;
+  const std::uint64_t retrieved =
+      snap.submitted - std::min(snap.submitted, shed + snap.in_flight);
+  report.lost_windows = snap.in_flight;
+  {
+    std::unique_lock<std::shared_mutex> lk(topology_mutex_);
+    failed_.submitted += snap.submitted;
+    failed_.completed += retrieved;
+    failed_.shed_routine += snap.shed_routine;
+    failed_.shed_urgent += snap.shed_urgent;
+    failed_.rejected += snap.rejected;
+    failed_.deadline_violations += snap.deadline_violations;
+    failed_.lost += snap.in_flight;
+  }
+  // Destroy outside every lock: the destructor joins the workers and
+  // abandons the backlog — the in-process equivalent of kill -9.  The
+  // per-patient trackers and latency histograms die here.
+  dead.reset();
+  return report;
+}
+
 std::size_t ReconstructionFabric::reap_quiesced_locked() {
   std::unique_lock<std::shared_mutex> lk(topology_mutex_);
   std::size_t reaped = 0;
@@ -248,21 +353,38 @@ std::size_t ReconstructionFabric::reap_quiesced_locked() {
 SloSnapshot ReconstructionFabric::slo_snapshot() const {
   SloTracker merged(cfg_.engine.slo);
   std::shared_lock<std::shared_mutex> lk(topology_mutex_);
-  for (const auto& engine : active_) merged.merge_from(engine->slo());
+  for (const auto& engine : active_) {
+    if (engine) merged.merge_from(engine->slo());
+  }
   for (const auto& retired : retired_) merged.merge_from(retired.engine->slo());
-  // reaped_slo_ is only written under the exclusive topology lock, so the
-  // shared lock held here makes this read safe.
+  // reaped_slo_ and failed_ are only written under the exclusive topology
+  // lock, so the shared lock held here makes these reads safe.
   merged.merge_from(reaped_slo_);
-  return merged.snapshot();
+  SloSnapshot snap = merged.snapshot();
+  // Crash-failed shards contribute raw counters, not a mergeable tracker:
+  // their histograms died with them, their unretrieved windows are `lost`,
+  // and their in-flight is zero by definition (nothing is coming back).
+  snap.submitted += failed_.submitted;
+  snap.completed += failed_.completed;
+  snap.shed_routine += failed_.shed_routine;
+  snap.shed_urgent += failed_.shed_urgent;
+  snap.rejected += failed_.rejected;
+  snap.deadline_violations += failed_.deadline_violations;
+  snap.lost = failed_.lost;
+  return snap;
 }
 
 SloSnapshot ReconstructionFabric::lane_slo_snapshot(cs::WindowPriority priority) const {
   SloTracker merged(cfg_.engine.slo);
   const std::size_t lane = priority == cs::WindowPriority::kUrgent ? 1 : 0;
   std::shared_lock<std::shared_mutex> lk(topology_mutex_);
-  for (const auto& engine : active_) merged.merge_from(engine->lane_slo(priority));
+  for (const auto& engine : active_) {
+    if (engine) merged.merge_from(engine->lane_slo(priority));
+  }
   for (const auto& retired : retired_) merged.merge_from(retired.engine->lane_slo(priority));
   merged.merge_from(reaped_lane_slo_[lane]);
+  // No failed_ fold here: a dead shard's lane split below the shed/lost
+  // line is unknowable (see FailedCounters) — lane views cover survivors.
   return merged.snapshot();
 }
 
@@ -275,6 +397,7 @@ std::vector<ShardSlo> ReconstructionFabric::shard_slo_snapshots() const {
   std::vector<ShardSlo> out;
   out.reserve(engines.size());
   for (std::size_t shard = 0; shard < engines.size(); ++shard) {
+    if (!engines[shard]) continue;  // Crash-failed hole keeps indices stable.
     out.push_back({shard, engines[shard]->slo().snapshot()});
   }
   return out;

@@ -117,6 +117,15 @@ struct ResizeReport {
   std::size_t reaped_shards = 0;    ///< Previously retired, now destroyed.
 };
 
+/// What a fail_shard() did.
+struct FailoverReport {
+  std::uint32_t epoch = 0;           ///< Failover epoch opened.
+  std::size_t failed_shard = 0;
+  std::size_t live_shards = 0;       ///< Survivors serving after the flip.
+  std::size_t moved_patients = 0;    ///< Re-homed onto survivors.
+  std::uint64_t lost_windows = 0;    ///< Destroyed with the shard.
+};
+
 class ReconstructionFabric {
  public:
   explicit ReconstructionFabric(FabricConfig cfg = {});
@@ -156,6 +165,25 @@ class ReconstructionFabric {
   /// concurrent submit/poll/drain.  No-ops (beyond a fresh epoch and a
   /// reap sweep) when the count is unchanged.
   ResizeReport resize(int new_shards);
+
+  /// Simulates (or scripts — the chaos harness's crash lever) the abrupt
+  /// death of shard `index`: no drain, no SLO handoff, no retirement.
+  /// The routing table flips to a subset ring over the survivors — only
+  /// the dead shard's patients re-home, every survivor keeps its index —
+  /// and the engine is destroyed, abandoning its backlog and unretrieved
+  /// completions exactly as a killed process would.  Its frozen counters
+  /// fold into the fabric's failed accumulators with every acknowledged
+  /// window accounted once: retrieved -> completed, shed -> shed, the
+  /// remainder -> `lost` (SloSnapshot::lost), so
+  /// submitted == completed + shed + lost + in_flight stays exact across
+  /// the crash.  The dead shard's latency histograms and per-patient
+  /// trackers die with it.  A later resize() may re-provision the slot
+  /// with a fresh engine.  Throws std::out_of_range when `index` is not a
+  /// live shard, std::invalid_argument when it is the last one standing.
+  FailoverReport fail_shard(std::size_t index);
+
+  /// Shards still serving (slots minus crash-failed holes).
+  std::size_t live_shard_count() const;
 
   // --- Composite tickets ---------------------------------------------------
 
@@ -288,6 +316,23 @@ class ReconstructionFabric {
   /// under the exclusive topology lock; read under the shared lock.
   SloTracker reaped_slo_;
   SloTracker reaped_lane_slo_[cs::kPriorityLanes];
+
+  /// Counters frozen out of crash-failed shards (fail_shard), folded here
+  /// because a dead engine cannot be merged: its histograms are gone, and
+  /// its unretrieved windows must surface as `lost`, which no tracker
+  /// records.  Engine-wide only — a dead shard's lane split below the
+  /// shed/lost line is unknowable, matching the wire client.  Written only
+  /// under the exclusive topology lock; read under the shared lock.
+  struct FailedCounters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< Retrieved before the crash.
+    std::uint64_t shed_routine = 0;
+    std::uint64_t shed_urgent = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t deadline_violations = 0;
+    std::uint64_t lost = 0;
+  };
+  FailedCounters failed_;
 
   /// Every patient_id the fabric has successfully routed; resize() scans
   /// it to find the patients whose ring ownership changed.  A few bytes

@@ -47,6 +47,13 @@ struct SloSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t in_flight = 0;      ///< Submitted, not yet retrieved or shed.
   std::uint64_t max_in_flight = 0;  ///< High-water mark of in_flight.
+  /// Windows destroyed by a shard crash: admitted, never retrieved, and
+  /// unrecoverable (ReconstructionFabric::fail_shard).  No tracker records
+  /// this — a dead shard can't — so it is filled by the fabric's failed
+  /// accumulators in aggregate snapshots and stays 0 in every per-engine
+  /// view.  Crash-proof conservation: submitted == completed + shed + lost
+  /// + in_flight.
+  std::uint64_t lost = 0;
   /// Windows solved inside a same-matrix batched FISTA pass of size >= 2
   /// (each member counts).  The observability hook for submit-time seed
   /// grouping: grouped_windows / completed is the batching hit rate.

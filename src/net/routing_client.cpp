@@ -21,6 +21,7 @@ void accumulate(SnapshotPayload& into, const SnapshotPayload& s) {
   into.deadline_violations += s.deadline_violations;
   into.unsolved += s.unsolved;
   into.ready += s.ready;
+  into.lost += s.lost;
 }
 }  // namespace
 
@@ -43,11 +44,114 @@ bool RoutingClient::connect(std::vector<ShardEndpoint> shards) {
   for (auto& ep : shards) {
     auto conn = std::make_unique<Conn>();
     conn->endpoint = std::move(ep);
+    conn->index = conns_.size();
     if (!ensure_connected(*conn)) return false;
     conns_.push_back(std::move(conn));
   }
   ring_history_.emplace_back(conns_.size(), cfg_.vnodes_per_shard);
   return true;
+}
+
+std::size_t RoutingClient::live_shard_count() const {
+  std::size_t live = 0;
+  for (const auto& conn : conns_) {
+    if (conn && !conn->failed) ++live;
+  }
+  return live;
+}
+
+bool RoutingClient::shard_failed(std::size_t shard) const {
+  return shard < conns_.size() && conns_[shard] && conns_[shard]->failed;
+}
+
+bool RoutingClient::fail_shard(std::size_t shard) {
+  if (shard >= conns_.size() || !conns_[shard] || conns_[shard]->failed) return false;
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (i != shard && conns_[i] && !conns_[i]->failed) survivors.push_back(i);
+  }
+  if (survivors.empty()) return false;  // Nowhere to re-home the patients.
+  Conn& conn = *conns_[shard];
+  conn.fd.reset();
+  // Unacked pipelined windows resolve to nullopt at the next
+  // flush_submits() and are never retried: the dead shard may have
+  // admitted them, and a resubmit elsewhere could double-count.
+  fail_pipeline(conn);
+  conn.failed = true;
+  // The dead shard cannot surrender a final snapshot; the client's own
+  // mirrors stand in.  Every acknowledged window is accounted exactly
+  // once: polled back in time -> completed, destroyed with the shard ->
+  // lost.  (Windows the shard shed before dying are indistinguishable
+  // from lost windows out here, and are counted lost.)  Its latency
+  // histograms and per-patient SLO history die with it.
+  SnapshotPayload final;
+  final.submitted = conn.acked_submits;
+  final.completed = conn.retrieved;
+  final.retrieved = conn.retrieved;
+  final.rejected = conn.rejected_seen;
+  final.lost =
+      conn.acked_submits >= conn.retrieved ? conn.acked_submits - conn.retrieved : 0;
+  accumulate(retired_, final);
+  // Failover epoch: a subset ring over the survivors, no drain/extract
+  // handshake (the peer is gone).  Virtual-node positions depend only on
+  // (shard, replica), so deleting the dead shard's points moves exactly
+  // its patients; every survivor keeps its index, which keeps composite
+  // tickets from every prior epoch composable.
+  ring_history_.emplace_back(survivors, cfg_.vnodes_per_shard);
+  ++epoch_;
+  return true;
+}
+
+bool RoutingClient::probe_health(std::size_t shard) {
+  if (shard >= conns_.size() || !conns_[shard] || conns_[shard]->failed) return false;
+  Conn& conn = *conns_[shard];
+  if (!sync_pipeline(conn)) return false;
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t nonce = ++conn.health_nonce;
+  if (conn.version >= 2) {
+    encode_health(buf, nonce);
+  } else {
+    // v1 shard: no HEALTH verb; a snapshot round trip carries the same
+    // liveness signal at slightly higher cost.
+    encode_snapshot_request(buf);
+  }
+  if (!send_request(conn, buf, /*may_retry=*/true)) return false;
+  // Tighten the receive deadline for the probe itself: io_timeout_ms is
+  // sized for verbs that legitimately wait (drains); "dead or deadlined"
+  // must be decidable much faster.
+  const bool tighten = cfg_.health_probe_timeout_ms > 0;
+  if (tighten) (void)set_recv_timeout(conn.fd.get(), cfg_.health_probe_timeout_ms);
+  std::vector<std::uint8_t> frame;
+  FrameView view;
+  const bool got_frame = read_frame(conn, frame, view);
+  if (tighten && conn.fd.valid()) (void)set_recv_timeout(conn.fd.get(), cfg_.io_timeout_ms);
+  if (!got_frame) return false;
+  if (conn.version >= 2) {
+    HealthAckPayload ack;
+    if (view.type != FrameType::kHealthAck || !decode_health_ack(view.payload, ack) ||
+        ack.nonce != nonce) {
+      conn.fd.reset();  // Wrong answer or a stale echo: desynchronized.
+      return false;
+    }
+    return true;
+  }
+  SnapshotPayload snap;
+  if (view.type != FrameType::kSnapshot || !decode_snapshot(view.payload, snap)) {
+    conn.fd.reset();
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> RoutingClient::check_health() {
+  std::vector<std::size_t> dead;
+  for (std::size_t shard = 0; shard < conns_.size(); ++shard) {
+    if (!conns_[shard] || conns_[shard]->failed) continue;
+    if (probe_health(shard)) continue;
+    dead.push_back(shard);
+    if (cfg_.auto_failover) (void)fail_shard(shard);
+  }
+  return dead;
 }
 
 std::size_t RoutingClient::owner(std::uint32_t patient_id) const {
@@ -59,18 +163,40 @@ bool RoutingClient::ensure_connected(Conn& conn) {
   return reconnect(conn);
 }
 
+int RoutingClient::backoff_delay_ms(int attempt, int base_ms, int max_ms,
+                                    std::uint64_t seed) {
+  if (attempt <= 0 || base_ms <= 0) return 0;
+  if (max_ms < base_ms) max_ms = base_ms;
+  // Saturating doubling: base·2^(attempt-1), clamped at the cap *inside*
+  // the loop so the product can never overflow int however large
+  // reconnect_attempts is (the original bug: unbounded `backoff_ms *= 2`).
+  std::int64_t delay = base_ms;
+  for (int i = 1; i < attempt && delay < max_ms; ++i) delay *= 2;
+  delay = std::min<std::int64_t>(delay, max_ms);
+  // Deterministic jitter, up to +25%: a fleet of coordinators retrying one
+  // recovering shard de-synchronizes (no thundering herd), yet any given
+  // (seed, attempt) schedule replays exactly — what the unit test pins.
+  const std::uint64_t h = host::splitmix64(seed ^ static_cast<std::uint64_t>(attempt));
+  delay += static_cast<std::int64_t>(h % (static_cast<std::uint64_t>(delay) / 4 + 1));
+  return static_cast<int>(delay);
+}
+
 bool RoutingClient::reconnect(Conn& conn) {
+  if (conn.failed) return false;  // Declared dead: never resurrected.
   conn.fd.reset();
   conn.rx.clear();
   // Pipelined submits whose ACK was outstanding on the dead connection
   // are lost, never retried (a retry could double-submit): their tickets
   // resolve to nullopt at the next flush_submits().
   fail_pipeline(conn);
-  int backoff_ms = cfg_.reconnect_backoff_ms;
+  // Jitter seed: stable per (shard slot, endpoint), distinct across a
+  // fleet of clients pointed at different shards.
+  const std::uint64_t seed = host::splitmix64(
+      (static_cast<std::uint64_t>(conn.index) << 16) ^ conn.endpoint.port);
   for (int attempt = 0; attempt <= cfg_.reconnect_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_delay_ms(
+          attempt, cfg_.reconnect_backoff_ms, cfg_.reconnect_backoff_max_ms, seed)));
     }
     Fd fd = tcp_connect(conn.endpoint.host, conn.endpoint.port, cfg_.connect_timeout_ms,
                         cfg_.io_timeout_ms);
@@ -102,7 +228,14 @@ bool RoutingClient::reconnect(Conn& conn) {
 bool RoutingClient::send_request(Conn& conn, const std::vector<std::uint8_t>& buf,
                                  bool may_retry) {
   if (!ensure_connected(conn)) return false;
-  if (send_all(conn.fd.get(), buf.data(), buf.size())) return true;
+  // Scripted teardown at this exact frame boundary (tests only): the
+  // connection dies before the frame reaches the wire, driving the same
+  // failure paths a real mid-stream crash does — deterministically.
+  if (cfg_.fault_inject && cfg_.fault_inject(conn.index, conn.frames_sent)) {
+    conn.fd.reset();
+  }
+  ++conn.frames_sent;
+  if (conn.fd.valid() && send_all(conn.fd.get(), buf.data(), buf.size())) return true;
   if (!may_retry) {
     conn.fd.reset();
     return false;
@@ -169,8 +302,11 @@ bool RoutingClient::harvest_ack(Conn& conn) {
     conn.pending_submits.pop_front();
     record.resolved = true;
     if (entry.accepted) {
+      ++conn.acked_submits;
       record.ticket = host::ReconstructionFabric::compose_ticket(record.epoch, record.shard,
                                                                  entry.local_ticket);
+    } else {
+      ++conn.rejected_seen;
     }
   }
   return true;
@@ -197,7 +333,12 @@ bool RoutingClient::seal_batch(Conn& conn) {
   const ConstBuf bufs[3] = {{prefix.data(), prefix.size()},
                             {conn.staged_bodies.data(), conn.staged_bodies.size()},
                             {trailer.data(), trailer.size()}};
-  const bool sent = send_all_vec(conn.fd.get(), bufs, 3);
+  // The sealed batch is one frame on the wire: one fault-hook boundary.
+  if (cfg_.fault_inject && cfg_.fault_inject(conn.index, conn.frames_sent)) {
+    conn.fd.reset();
+  }
+  ++conn.frames_sent;
+  const bool sent = conn.fd.valid() && send_all_vec(conn.fd.get(), bufs, 3);
   conn.staged_bodies.clear();
   const auto batch_windows = static_cast<std::size_t>(conn.staged_count);
   conn.staged_count = 0;
@@ -224,28 +365,35 @@ bool RoutingClient::sync_pipeline(Conn& conn) {
 }
 
 bool RoutingClient::submit_pipelined(host::CompressedWindow&& window) {
-  const std::size_t shard = owner(window.patient_id);
-  Conn& conn = *conns_[shard];
-  if (conn.version < 2 || cfg_.pipeline_depth == 0) {
-    // v1 shard (or pipelining off): same blocking-admission semantics,
-    // one round trip per window — the transparent fallback path.
-    auto ticket = submit(std::move(window));
-    pipeline_submits_.push_back({epoch_, shard, true, ticket});
-    return ticket.has_value();
+  for (std::size_t hop = 0; hop <= conns_.size(); ++hop) {
+    const std::size_t shard = owner(window.patient_id);
+    Conn& conn = *conns_[shard];
+    if (conn.version < 2 || cfg_.pipeline_depth == 0) {
+      // v1 shard (or pipelining off): same blocking-admission semantics,
+      // one round trip per window — the transparent fallback path.
+      auto ticket = submit(std::move(window));
+      pipeline_submits_.push_back({epoch_, shard, true, ticket});
+      return ticket.has_value();
+    }
+    if (!ensure_connected(conn)) {
+      // Unreachable after retries.  This window is still in hand (never
+      // staged), so after a failover it re-routes loss-free; staged or
+      // on-the-wire windows stay failed per the no-resubmit rule.
+      if (cfg_.auto_failover && fail_shard(shard)) continue;
+      pipeline_submits_.push_back({epoch_, shard, true, std::nullopt});
+      return false;
+    }
+    window.route_tag = epoch_;
+    patients_.insert(window.patient_id);
+    encode_submit_batch_entry(conn.staged_bodies, window, cfg_.wire);
+    if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
+    ++conn.staged_count;
+    conn.pending_submits.push_back(pipeline_submits_.size());
+    pipeline_submits_.push_back({epoch_, shard, false, std::nullopt});
+    if (conn.staged_count >= cfg_.submit_batch_windows) return seal_batch(conn);
+    return true;
   }
-  if (!ensure_connected(conn)) {
-    pipeline_submits_.push_back({epoch_, shard, true, std::nullopt});
-    return false;
-  }
-  window.route_tag = epoch_;
-  patients_.insert(window.patient_id);
-  encode_submit_batch_entry(conn.staged_bodies, window, cfg_.wire);
-  if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
-  ++conn.staged_count;
-  conn.pending_submits.push_back(pipeline_submits_.size());
-  pipeline_submits_.push_back({epoch_, shard, false, std::nullopt});
-  if (conn.staged_count >= cfg_.submit_batch_windows) return seal_batch(conn);
-  return true;
+  return false;
 }
 
 std::vector<std::optional<std::uint64_t>> RoutingClient::flush_submits() {
@@ -266,46 +414,63 @@ std::uint8_t RoutingClient::shard_wire_version(std::size_t shard) const {
 }
 
 std::optional<std::uint64_t> RoutingClient::try_submit(host::CompressedWindow&& window) {
-  const std::size_t shard = owner(window.patient_id);
-  Conn& conn = *conns_[shard];
-  (void)sync_pipeline(conn);  // Responses are per-connection ordered.
-  window.route_tag = epoch_;
-  std::vector<std::uint8_t> buf;
-  encode_submit_window(buf, window, 0, cfg_.wire);
-  if (!send_request(conn, buf, /*may_retry=*/false)) return std::nullopt;
-  std::vector<std::uint8_t> frame;
-  FrameView view;
-  if (!read_frame(conn, frame, view)) return std::nullopt;
-  if (view.type == FrameType::kSubmitReject) return std::nullopt;
-  std::uint64_t local = 0;
-  if (view.type != FrameType::kSubmitAck || !decode_submit_ack(view.payload, local)) {
+  // The loop re-routes after a failover (at most once per shard that can
+  // die); without auto_failover it runs exactly one iteration, as before.
+  for (std::size_t hop = 0; hop <= conns_.size(); ++hop) {
+    const std::size_t shard = owner(window.patient_id);
+    Conn& conn = *conns_[shard];
+    (void)sync_pipeline(conn);  // Responses are per-connection ordered.
+    window.route_tag = epoch_;
+    std::vector<std::uint8_t> buf;
+    encode_submit_window(buf, window, 0, cfg_.wire);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    if (send_request(conn, buf, /*may_retry=*/false) && read_frame(conn, frame, view)) {
+      if (view.type == FrameType::kSubmitReject) {
+        ++conn.rejected_seen;  // Alive and pushing back — not a failure.
+        return std::nullopt;
+      }
+      std::uint64_t local = 0;
+      if (view.type == FrameType::kSubmitAck && decode_submit_ack(view.payload, local)) {
+        ++conn.acked_submits;
+        patients_.insert(window.patient_id);
+        if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
+        return host::ReconstructionFabric::compose_ticket(epoch_, shard, local);
+      }
+    }
     conn.fd.reset();
-    return std::nullopt;
+    // No ACK arrived, so this window never entered the shard's mirror:
+    // re-routing it to the survivor that now owns the patient cannot
+    // double-count, and the dead shard can never answer for it again.
+    if (!cfg_.auto_failover || !fail_shard(shard)) return std::nullopt;
   }
-  patients_.insert(window.patient_id);
-  if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
-  return host::ReconstructionFabric::compose_ticket(epoch_, shard, local);
+  return std::nullopt;
 }
 
 std::optional<std::uint64_t> RoutingClient::submit(host::CompressedWindow window) {
-  const std::size_t shard = owner(window.patient_id);
-  Conn& conn = *conns_[shard];
-  (void)sync_pipeline(conn);  // Responses are per-connection ordered.
-  window.route_tag = epoch_;
-  std::vector<std::uint8_t> buf;
-  encode_submit_window(buf, window, kSubmitFlagBlocking, cfg_.wire);
-  if (!send_request(conn, buf, /*may_retry=*/false)) return std::nullopt;
-  std::vector<std::uint8_t> frame;
-  FrameView view;
-  std::uint64_t local = 0;
-  if (!read_frame(conn, frame, view) || view.type != FrameType::kSubmitAck ||
-      !decode_submit_ack(view.payload, local)) {
+  for (std::size_t hop = 0; hop <= conns_.size(); ++hop) {
+    const std::size_t shard = owner(window.patient_id);
+    Conn& conn = *conns_[shard];
+    (void)sync_pipeline(conn);  // Responses are per-connection ordered.
+    window.route_tag = epoch_;
+    std::vector<std::uint8_t> buf;
+    encode_submit_window(buf, window, kSubmitFlagBlocking, cfg_.wire);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    std::uint64_t local = 0;
+    if (send_request(conn, buf, /*may_retry=*/false) && read_frame(conn, frame, view) &&
+        view.type == FrameType::kSubmitAck && decode_submit_ack(view.payload, local)) {
+      ++conn.acked_submits;
+      patients_.insert(window.patient_id);
+      if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
+      return host::ReconstructionFabric::compose_ticket(epoch_, shard, local);
+    }
     conn.fd.reset();
-    return std::nullopt;
+    // See try_submit: an unacked window is unmirrored, so the re-route
+    // after failover is double-count-free by construction.
+    if (!cfg_.auto_failover || !fail_shard(shard)) return std::nullopt;
   }
-  patients_.insert(window.patient_id);
-  if (cfg_.payload_pool) cfg_.payload_pool->recycle(std::move(window));
-  return host::ReconstructionFabric::compose_ticket(epoch_, shard, local);
+  return std::nullopt;
 }
 
 std::uint64_t RoutingClient::compose_result_ticket(const host::WindowResult& result) {
@@ -338,6 +503,7 @@ bool RoutingClient::read_poll_results(Conn& conn, std::size_t* retrieved) {
     }
     result.ticket = compose_result_ticket(result);
     pending_.push_back(std::move(result));
+    ++conn.retrieved;
     if (retrieved) ++*retrieved;
   }
 }
@@ -360,6 +526,7 @@ bool RoutingClient::sweep_shard(Conn& conn, std::size_t* retrieved) {
     for (auto& result : results) {
       result.ticket = compose_result_ticket(result);
       pending_.push_back(std::move(result));
+      ++conn.retrieved;
       if (retrieved) ++*retrieved;
     }
     return true;
@@ -371,7 +538,11 @@ bool RoutingClient::sweep_shard(Conn& conn, std::size_t* retrieved) {
 
 std::optional<host::WindowResult> RoutingClient::poll() {
   if (pending_.empty()) {
-    for (auto& conn : conns_) (void)sweep_shard(*conn, nullptr);
+    for (std::size_t shard = 0; shard < conns_.size(); ++shard) {
+      Conn& conn = *conns_[shard];
+      if (conn.failed) continue;
+      if (!sweep_shard(conn, nullptr) && cfg_.auto_failover) (void)fail_shard(shard);
+    }
   }
   if (pending_.empty()) return std::nullopt;
   auto result = std::move(pending_.front());
@@ -382,16 +553,25 @@ std::optional<host::WindowResult> RoutingClient::poll() {
 std::vector<host::WindowResult> RoutingClient::drain() {
   std::vector<host::WindowResult> all;
   for (;;) {
-    // Sweep every shard, then check fleet-wide quiescence.
-    for (auto& conn : conns_) (void)sweep_shard(*conn, nullptr);
+    // Sweep every live shard, then check fleet-wide quiescence.
+    for (std::size_t shard = 0; shard < conns_.size(); ++shard) {
+      Conn& conn = *conns_[shard];
+      if (conn.failed) continue;
+      if (!sweep_shard(conn, nullptr) && cfg_.auto_failover) (void)fail_shard(shard);
+    }
     while (!pending_.empty()) {
       all.push_back(std::move(pending_.front()));
       pending_.pop_front();
     }
     bool quiesced = true;
-    for (auto& conn : conns_) {
+    for (std::size_t shard = 0; shard < conns_.size(); ++shard) {
+      Conn& conn = *conns_[shard];
+      if (conn.failed) continue;
       SnapshotPayload snap;
-      if (!fetch_snapshot(*conn, snap)) continue;  // Unreachable: nothing to wait on.
+      if (!fetch_snapshot(conn, snap)) {
+        if (cfg_.auto_failover) (void)fail_shard(shard);
+        continue;  // Unreachable: nothing left to wait on there.
+      }
       if (snap.unsolved > 0 || snap.ready > 0) {
         quiesced = false;
         break;
@@ -414,8 +594,12 @@ bool RoutingClient::fetch_snapshot(Conn& conn, SnapshotPayload& out) {
 }
 
 SnapshotPayload RoutingClient::aggregate_snapshot() {
+  // retired_ carries both orderly retirements (their exact final
+  // snapshots) and crash failovers (the client-side mirrors, with the
+  // unpollable remainder under .lost).
   SnapshotPayload sum = retired_;
   for (auto& conn : conns_) {
+    if (conn->failed) continue;
     SnapshotPayload snap;
     if (fetch_snapshot(*conn, snap)) accumulate(sum, snap);
   }
@@ -429,6 +613,7 @@ bool RoutingClient::refresh_cr_hints(std::uint32_t max_entries_per_shard) {
   bool ok = true;
   for (std::size_t shard = 0; shard < conns_.size(); ++shard) {
     Conn& conn = *conns_[shard];
+    if (conn.failed) continue;
     // v1 shards don't speak the verb; no hint just means full fidelity.
     if (conn.version < 2) continue;
     (void)sync_pipeline(conn);  // Responses are per-connection ordered.
@@ -576,12 +761,16 @@ bool RoutingClient::set_topology(std::vector<ShardEndpoint> shards) {
 
   // Build the next epoch's connection table, reusing live connections for
   // endpoints that survive (matched by host:port) so their engines keep
-  // their backlogs and completion lists.
+  // their backlogs and completion lists.  A *failed* slot never matches:
+  // if a crashed shard's endpoint reappears (daemon restarted), it is a
+  // brand-new shard with a fresh connection and clean mirrors — its
+  // predecessor's losses are already folded into retired_.
   std::vector<std::unique_ptr<Conn>> next;
   next.reserve(shards.size());
   for (auto& ep : shards) {
-    auto it = std::find_if(conns_.begin(), conns_.end(),
-                           [&](const auto& c) { return c && c->endpoint == ep; });
+    auto it = std::find_if(conns_.begin(), conns_.end(), [&](const auto& c) {
+      return c && !c->failed && c->endpoint == ep;
+    });
     if (it != conns_.end()) {
       next.push_back(std::move(*it));
     } else {
@@ -591,9 +780,11 @@ bool RoutingClient::set_topology(std::vector<ShardEndpoint> shards) {
       next.push_back(std::move(conn));
     }
   }
+  // Failed slots are dropped silently (already fully accounted); only
+  // live leavers go through the synchronous retirement protocol.
   std::vector<std::unique_ptr<Conn>> leaving;
   for (auto& c : conns_) {
-    if (c) leaving.push_back(std::move(c));
+    if (c && !c->failed) leaving.push_back(std::move(c));
   }
 
   // Flip the routing epoch first — same ordering as the in-process
@@ -601,6 +792,7 @@ bool RoutingClient::set_topology(std::vector<ShardEndpoint> shards) {
   // every new submission is tagged with the new epoch, so each window's
   // route is decided by exactly one epoch.
   conns_ = std::move(next);
+  for (std::size_t i = 0; i < conns_.size(); ++i) conns_[i]->index = i;
   ring_history_.emplace_back(conns_.size(), cfg_.vnodes_per_shard);
   ++epoch_;
 

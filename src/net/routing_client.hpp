@@ -29,6 +29,16 @@
 //     attempts == submitted + rejected across the whole topology
 //     history), and they are dismissed with BYE — which stops a
 //     stop_on_bye daemon.
+//   * Shards that *crash* can't be retired — they will never answer the
+//     drain/extract handshake.  fail_shard() (manual, or automatic under
+//     cfg.auto_failover when I/O or a health probe fails) opens a
+//     failover epoch instead: the ring flips to a subset ring over the
+//     survivors, the dead shard's patients re-home, and the client's own
+//     per-shard submit/poll mirrors replace the unavailable final
+//     snapshot — windows acknowledged but never polled back land in the
+//     explicit `lost` counter, so the audit identity becomes
+//     submitted == completed + shed + rejected + lost and stays conserved
+//     across crashes.
 //   * Pipelined submits (v2 shards, pipeline_depth > 0): submit_pipelined
 //     stages windows into per-shard SUBMIT_BATCH frames (one frame per
 //     submit_batch_windows windows, sealed scatter-gather — prefix, the
@@ -52,6 +62,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -82,7 +93,28 @@ struct RoutingClientConfig {
   /// DRAIN_PATIENT response legitimately waits out a backlog.
   int io_timeout_ms = 60000;
   int reconnect_attempts = 5;
-  int reconnect_backoff_ms = 10;  ///< Doubles per attempt.
+  int reconnect_backoff_ms = 10;  ///< Doubles per attempt up to the cap.
+  /// Ceiling on one backoff sleep.  The schedule is base·2^(k-1) clamped
+  /// here, plus deterministic jitter up to +25% (see backoff_delay_ms) —
+  /// uncapped doubling overflowed int at high reconnect_attempts.
+  int reconnect_backoff_max_ms = 2000;
+  /// Socket receive deadline for a HEALTH probe response, separate from
+  /// io_timeout_ms (which is sized for verbs that legitimately wait, like
+  /// DRAIN_PATIENT).  A shard that cannot echo a nonce within this window
+  /// is treated as dead by check_health().  <= 0: use io_timeout_ms.
+  int health_probe_timeout_ms = 1000;
+  /// Crash failover: when a shard stops answering (send/recv error after
+  /// reconnect retries, or a health-probe timeout), fail it automatically
+  /// — fail_shard() semantics — and re-route the in-hand window to the
+  /// survivor that now owns its patient.  Off by default: without it a
+  /// dead shard surfaces as submit/poll failures, exactly as before.
+  bool auto_failover = false;
+  /// Deterministic fault hook for tests: called before every frame send
+  /// with (shard index, frames already sent on that connection); returning
+  /// true tears the connection down at that exact frame boundary, so a
+  /// mid-stream crash can be scripted and replayed bit-for-bit.  Unset in
+  /// production.
+  std::function<bool(std::size_t, std::uint64_t)> fault_inject;
   /// Results requested per POLL sweep of one shard.
   std::uint32_t poll_batch = 64;
   /// Highest wire version offered in HELLO.  Default: everything this
@@ -116,7 +148,11 @@ class RoutingClient {
   /// success.  False when any endpoint stays unreachable after retries.
   bool connect(std::vector<ShardEndpoint> shards);
 
+  /// Topology slots, failed ones included — index identity is what keeps
+  /// composite tickets stable across failovers.
   std::size_t shard_count() const { return conns_.size(); }
+  std::size_t live_shard_count() const;
+  bool shard_failed(std::size_t shard) const;
   std::uint32_t epoch() const { return epoch_; }
 
   /// The shard index that owns `patient_id` under the current epoch.
@@ -187,6 +223,39 @@ class RoutingClient {
   /// ignoring it is always correct, just slower under overload.
   std::optional<double> cr_hint(std::uint32_t patient_id) const;
 
+  /// Declares shard `shard` dead and recovers without its cooperation:
+  /// the connection drops, unacked pipelined windows resolve to nullopt,
+  /// and a failover epoch flips the ring to a subset ring over the
+  /// survivors — no DRAIN_PATIENT/EXTRACT_SLO handshake, the peer is
+  /// gone.  Because virtual-node positions depend only on (shard,
+  /// replica), only the dead shard's patients move and every survivor
+  /// keeps its index, so tickets from any epoch still compose.  The
+  /// client's own submit/poll mirrors stand in for the unavailable final
+  /// snapshot: every acknowledged window is folded into the retired
+  /// accumulator as completed (polled back in time) or `lost` (destroyed
+  /// with the shard — including any it shed before dying, which are
+  /// indistinguishable from here).  The dead shard's per-patient SLO
+  /// history dies with it; survivors adopt its patients with fresh
+  /// trackers.  False when the shard is already failed, out of range, or
+  /// the last one standing (nowhere to re-home).
+  bool fail_shard(std::size_t shard);
+
+  /// One liveness round trip to shard `shard`: HEALTH (nonce echoed) on
+  /// v2 connections, SNAPSHOT_REQUEST on v1, answered within
+  /// health_probe_timeout_ms.  False means dead-or-deadlined — the
+  /// caller's (or check_health's) cue to fail over.
+  bool probe_health(std::size_t shard);
+
+  /// Probes every live shard; with cfg.auto_failover, dead ones are
+  /// failed over on the spot.  Returns the indices that failed the probe.
+  std::vector<std::size_t> check_health();
+
+  /// The capped-and-jittered reconnect schedule: attempt k (1-based)
+  /// sleeps base·2^(k-1) ms, clamped to max_ms, plus a deterministic
+  /// jitter of up to +25% derived from (seed, attempt).  Pure — exposed
+  /// so tests can pin the schedule byte-for-byte.
+  static int backoff_delay_ms(int attempt, int base_ms, int max_ms, std::uint64_t seed);
+
   /// Per-patient SLO state fetched from the patient's current owner
   /// (EXTRACT_SLO + immediate ADOPT_SLO back, so the history stays on the
   /// shard).  nullopt when the shard is unreachable.
@@ -211,6 +280,19 @@ class RoutingClient {
     Fd fd;
     std::vector<std::uint8_t> rx;
     std::uint8_t version = kWireVersion;  ///< Negotiated on (re)connect.
+    std::size_t index = 0;  ///< Shard index (== this conn's slot in conns_).
+    /// Declared dead by fail_shard(): never reconnected, skipped by every
+    /// sweep; the slot stays so survivor indices don't shift.
+    bool failed = false;
+    // Client-side mirrors of the shard's counters, maintained from the
+    // frames this client exchanged with it.  They are exact for exactly
+    // the quantities a crash makes unknowable server-side, which is what
+    // lets fail_shard() conserve counts without a final snapshot.
+    std::uint64_t acked_submits = 0;  ///< Windows the shard acknowledged.
+    std::uint64_t retrieved = 0;      ///< Results polled back from it.
+    std::uint64_t rejected_seen = 0;  ///< SUBMIT_REJECTs it answered.
+    std::uint64_t frames_sent = 0;    ///< Sends attempted (fault-hook clock).
+    std::uint64_t health_nonce = 0;   ///< Last probe nonce issued.
     // Pipelined-submit state (v2 connections).  staged_bodies holds
     // encoded window bodies not yet sealed into a frame; pending_submits
     // indexes pipeline_submits_ in per-shard FIFO order (ACK entries

@@ -50,10 +50,14 @@ void ShardServer::stop() {
 
 void ShardServer::run() {
   std::vector<pollfd> pfds;
+  // pfds layout: [0] wake pipe, [1] listener, [2] optional stop_fd, then
+  // one slot per connection starting at `base`.
+  const std::size_t base = cfg_.stop_fd >= 0 ? 3 : 2;
   while (!stopping_.load(std::memory_order_acquire)) {
     pfds.clear();
     pfds.push_back({wake_rd_.get(), POLLIN, 0});
     pfds.push_back({listener_.fd(), POLLIN, 0});
+    if (cfg_.stop_fd >= 0) pfds.push_back({cfg_.stop_fd, POLLIN, 0});
     for (const auto& conn : conns_) {
       short events = POLLIN;
       if (conn->tx_sent < conn->tx.size()) events |= POLLOUT;
@@ -69,6 +73,10 @@ void ShardServer::run() {
       while (::read(wake_rd_.get(), scratch, sizeof(scratch)) > 0) {
       }
     }
+    // The external stop descriptor became readable: a signal handler asked
+    // for shutdown.  Stop here, on the loop's own thread, where touching
+    // server state is safe.  The fd is not drained — shutdown is one-way.
+    if (cfg_.stop_fd >= 0 && (pfds[2].revents & (POLLIN | POLLHUP | POLLERR))) break;
     if (pfds[1].revents & POLLIN) {
       for (;;) {
         Fd conn = listener_.accept();
@@ -78,11 +86,11 @@ void ShardServer::run() {
         conns_.push_back(std::move(c));
       }
     }
-    // Service connections; pfds[i + 2] pairs with conns_[i] (conns_ only
-    // mutates below, after this loop).
-    for (std::size_t i = 0; i < conns_.size() && i + 2 < pfds.size(); ++i) {
+    // Service connections; pfds[i + base] pairs with conns_[i] (conns_
+    // only mutates below, after this loop).
+    for (std::size_t i = 0; i < conns_.size() && i + base < pfds.size(); ++i) {
       Connection& conn = *conns_[i];
-      const short revents = pfds[i + 2].revents;
+      const short revents = pfds[i + base].revents;
       bool alive = true;
       if (revents & (POLLERR | POLLNVAL)) alive = false;
       if (alive && (revents & POLLIN)) {
@@ -373,6 +381,22 @@ void ShardServer::handle_frame(Connection& conn, const FrameView& frame) {
         }
       }
       encode_cr_hint_ack(tx, ack);
+      return;
+    }
+    case FrameType::kHealth: {
+      std::uint64_t nonce = 0;
+      if (!decode_health(frame.payload, nonce)) {
+        send_error(conn, ErrorCode::kBadPayload, "malformed HEALTH", true);
+        return;
+      }
+      // Answered from two atomic counters — the probe must stay cheap and
+      // prompt even when the solve path is saturated, or a loaded shard
+      // would look dead exactly when failing it over hurts most.
+      HealthAckPayload ack;
+      ack.nonce = nonce;
+      ack.unsolved = engine_->in_flight();
+      ack.ready = engine_->ready_results();
+      encode_health_ack(tx, ack);
       return;
     }
     case FrameType::kBye: {

@@ -66,6 +66,14 @@ struct ShardServerConfig {
   /// <= 0 makes the advisory unconditional whenever hint_cr_percent > 0 —
   /// the deterministic setting tests use.
   double hint_backlog_deadlines = 1.0;
+  /// Optional extra wake descriptor polled by run(): when it becomes
+  /// readable the loop stops, exactly as if stop() had been called — but
+  /// with no cross-thread call into the server.  This is the daemon's
+  /// async-signal-safe shutdown path: a signal handler may only write() a
+  /// byte to a pipe, and the loop (the "main thread" of the server) does
+  /// the actual stop.  The server polls but never closes or drains this
+  /// fd; -1 (default) disables it.
+  int stop_fd = -1;
 };
 
 class ShardServer {

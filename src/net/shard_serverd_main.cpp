@@ -14,6 +14,9 @@
 //                      [--hint-backlog-deadlines X]
 // See docs/OPERATIONS.md for how these map onto EngineConfig.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +27,23 @@
 
 namespace {
 
-wbsn::net::ShardServer* g_server = nullptr;
+// Async-signal-safe shutdown: the handler may only set a sig_atomic_t and
+// write() one byte to a pre-created self-pipe (both on the POSIX
+// async-signal-safe list).  The server's event loop polls the pipe's read
+// end (ShardServerConfig::stop_fd) and performs the actual stop on its
+// own thread.  Calling ShardServer::stop() from the handler — as an
+// earlier revision did — dereferenced a non-atomic pointer and took the
+// self-pipe write path through non-reentrant object state; a signal
+// landing mid-run() could deadlock or corrupt the server.
+volatile std::sig_atomic_t g_stop_requested = 0;
+int g_stop_pipe_wr = -1;
 
 void on_signal(int) {
-  if (g_server) g_server->stop();
+  g_stop_requested = 1;
+  if (g_stop_pipe_wr >= 0) {
+    const unsigned char byte = 1;
+    (void)!::write(g_stop_pipe_wr, &byte, 1);
+  }
 }
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
@@ -83,12 +99,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The stop pipe must exist before any signal can fire.  Nonblocking
+  // write end: a full pipe already means a wake is pending, and a handler
+  // must never block.
+  int stop_pipe[2] = {-1, -1};
+  if (::pipe(stop_pipe) != 0) {
+    std::perror("shard_serverd: pipe failed");
+    return 1;
+  }
+  ::fcntl(stop_pipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(stop_pipe[1], F_SETFL, O_NONBLOCK);
+  cfg.stop_fd = stop_pipe[0];
+  g_stop_pipe_wr = stop_pipe[1];
+
   wbsn::net::ShardServer server(cfg);
   if (!server.start()) {
     std::perror("shard_serverd: start failed");
     return 1;
   }
-  g_server = &server;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
@@ -98,5 +126,8 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   server.run();
+  g_stop_pipe_wr = -1;  // A late signal must not write a closed fd.
+  ::close(stop_pipe[0]);
+  ::close(stop_pipe[1]);
   return 0;
 }

@@ -109,6 +109,15 @@ bool set_nonblocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+bool set_recv_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+  }
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
 bool send_all(int fd, const void* data, std::size_t size) {
   const auto* p = static_cast<const unsigned char*>(data);
   while (size > 0) {

@@ -84,6 +84,11 @@ Fd tcp_connect(const std::string& host, std::uint16_t port, int connect_timeout_
 /// Puts an fd in nonblocking mode.  Server-loop side.
 bool set_nonblocking(int fd);
 
+/// Adjusts SO_RCVTIMEO on a connected blocking socket (<= 0 clears the
+/// timeout).  Lets a caller tighten the deadline for one exchange — the
+/// health probe's "dead or deadlined" check — and restore it after.
+bool set_recv_timeout(int fd, int timeout_ms);
+
 /// send() the whole buffer on a blocking socket.  False on error/timeout.
 bool send_all(int fd, const void* data, std::size_t size);
 

@@ -768,4 +768,34 @@ bool decode_cr_hint_ack(std::span<const std::uint8_t> payload, CrHintAckPayload&
   return r.ok() && r.remaining() == 0;
 }
 
+// --- v2 health probe ---------------------------------------------------------
+
+void encode_health(std::vector<std::uint8_t>& out, std::uint64_t nonce) {
+  const std::size_t p = frame_begin(out, FrameType::kHealth, 2);
+  put_varint(out, nonce);
+  frame_end(out, p);
+}
+
+bool decode_health(std::span<const std::uint8_t> payload, std::uint64_t& nonce) {
+  WireReader r(payload);
+  nonce = r.varint();
+  return r.ok() && r.remaining() == 0;
+}
+
+void encode_health_ack(std::vector<std::uint8_t>& out, const HealthAckPayload& ack) {
+  const std::size_t p = frame_begin(out, FrameType::kHealthAck, 2);
+  put_varint(out, ack.nonce);
+  put_varint(out, ack.unsolved);
+  put_varint(out, ack.ready);
+  frame_end(out, p);
+}
+
+bool decode_health_ack(std::span<const std::uint8_t> payload, HealthAckPayload& out) {
+  WireReader r(payload);
+  out.nonce = r.varint();
+  out.unsolved = r.varint();
+  out.ready = r.varint();
+  return r.ok() && r.remaining() == 0;
+}
+
 }  // namespace wbsn::net

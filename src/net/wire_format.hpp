@@ -97,6 +97,8 @@ enum class FrameType : std::uint8_t {
   kResultBatch = 23,     ///< server → client: up to N results, one frame
   kCrHint = 24,          ///< client → server: request compression advisory
   kCrHintAck = 25,       ///< server → client: advisory CR + per-patient hints
+  kHealth = 26,          ///< client → server: liveness probe (nonce)
+  kHealthAck = 27,       ///< server → client: nonce echo + queue depths
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -243,6 +245,13 @@ struct SnapshotPayload {
   std::uint64_t deadline_violations = 0;
   std::uint64_t unsolved = 0;  ///< Engine in_flight(): submitted, not solved.
   std::uint64_t ready = 0;     ///< Completed results awaiting poll.
+  /// Windows destroyed by a shard crash: acknowledged by the shard but
+  /// never polled back before it died.  Coordinator-side bookkeeping only —
+  /// a dead shard cannot report its own losses — so this field is NOT part
+  /// of the SNAPSHOT wire layout (encode/decode ignore it; the v1 frame
+  /// bytes are frozen by golden tests).  With it, conservation survives
+  /// crashes: submitted == completed + shed + lost across the fleet.
+  std::uint64_t lost = 0;
 };
 
 struct SloStatePayload {
@@ -412,5 +421,28 @@ bool decode_cr_hint(std::span<const std::uint8_t> payload, std::uint64_t& epoch,
 
 void encode_cr_hint_ack(std::vector<std::uint8_t>& out, const CrHintAckPayload& ack);
 bool decode_cr_hint_ack(std::span<const std::uint8_t> payload, CrHintAckPayload& out);
+
+// --- v2 health probe (WIRE_FORMAT.md §11) ------------------------------------
+// HEALTH := nonce(varint); HEALTH_ACK := nonce(varint, echoed)
+// unsolved(varint) ready(varint).  A deliberately tiny request/response
+// pair so the coordinator can distinguish "shard is dead" from "shard is
+// slow" without paying for a full snapshot: the server answers from two
+// atomic engine counters, never touching the solve path.  The nonce is
+// echoed verbatim so a probe answer cannot be confused with a stale one
+// left in the receive buffer by an earlier timed-out probe.  Both frames
+// carry header version 2; a v1 shard answers ERROR(UNSUPPORTED_VERSION),
+// which the client treats as "probe via SNAPSHOT_REQUEST instead".
+
+struct HealthAckPayload {
+  std::uint64_t nonce = 0;     ///< Echo of the probe's nonce.
+  std::uint64_t unsolved = 0;  ///< Engine in_flight(): admitted, not solved.
+  std::uint64_t ready = 0;     ///< Completed results awaiting poll.
+};
+
+void encode_health(std::vector<std::uint8_t>& out, std::uint64_t nonce);
+bool decode_health(std::span<const std::uint8_t> payload, std::uint64_t& nonce);
+
+void encode_health_ack(std::vector<std::uint8_t>& out, const HealthAckPayload& ack);
+bool decode_health_ack(std::span<const std::uint8_t> payload, HealthAckPayload& out);
 
 }  // namespace wbsn::net

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -421,6 +422,199 @@ TEST(FabricBackpressure, TrySubmitBouncesOnlyTheOwningShard) {
       << "the other shard's admission gate is independent";
   EXPECT_EQ(fabric.drain().size(), 2u);
   EXPECT_EQ(fabric.slo_snapshot().rejected, 1u);
+}
+
+TEST(FabricFailover, FailShardRehomesOnlyDeadPatientsAndAccountsLoss) {
+  FabricConfig cfg;
+  cfg.shards = 3;
+  cfg.engine = fast_engine(0);
+  ReconstructionFabric fabric(cfg);
+  const auto batch = fleet_batch(9, 0.25);
+
+  // Serial single-engine reference for the whole fleet: the survivors'
+  // results must match it bit-for-bit after the crash.
+  ReconstructionEngine serial(fast_engine(0));
+  const auto reference = by_identity(std::move(serial.reconstruct(batch).windows));
+  ASSERT_EQ(reference.size(), batch.size());
+
+  // Phase 1: a full round trip so every shard — including the one about
+  // to die — holds retrieved history when it crashes.
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    fabric.submit(std::move(copy));
+  }
+  ASSERT_EQ(fabric.drain().size(), batch.size());
+
+  // Phase 2: the same traffic again, nothing polled.  Everything routed
+  // to shard 1 is about to be destroyed with it.
+  constexpr std::size_t kDead = 1;
+  std::uint64_t lost_expected = 0;
+  std::uint64_t dead_retrieved_phase1 = 0;
+  std::set<std::uint32_t> dead_patients;
+  std::set<WindowKey> lost_keys;
+  for (const auto& window : batch) {
+    const std::size_t owner = fabric.shard_of(window.patient_id);
+    CompressedWindow copy = window;
+    fabric.submit(std::move(copy));
+    if (owner == kDead) {
+      ++lost_expected;
+      ++dead_retrieved_phase1;  // Same routing in phase 1, all retrieved.
+      dead_patients.insert(window.patient_id);
+      lost_keys.insert({window.patient_id, window.window_index});
+    }
+  }
+  ASSERT_GT(lost_expected, 0u) << "9 patients must put traffic on shard 1";
+  ASSERT_LT(lost_expected, batch.size());
+
+  const HashRing ring_before(3, static_cast<std::size_t>(cfg.vnodes_per_shard));
+  const auto report = fabric.fail_shard(kDead);
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(report.failed_shard, kDead);
+  EXPECT_EQ(report.live_shards, 2u);
+  EXPECT_EQ(report.moved_patients, dead_patients.size());
+  EXPECT_EQ(report.lost_windows, lost_expected);
+  EXPECT_EQ(fabric.epoch(), 1u);
+  EXPECT_EQ(fabric.live_shard_count(), 2u);
+  EXPECT_EQ(fabric.shard_count(), 3u) << "the dead slot stays a hole (ticket identity)";
+  EXPECT_THROW(fabric.shard(kDead), std::out_of_range);
+  EXPECT_THROW(fabric.fail_shard(kDead), std::out_of_range) << "a hole cannot fail twice";
+
+  // Subset routing: exactly the dead shard's patients re-home — matching
+  // an independently built survivors ring — and every other patient stays
+  // where it was.
+  const HashRing survivors({0, 2}, static_cast<std::size_t>(cfg.vnodes_per_shard));
+  for (const auto& window : batch) {
+    const std::size_t now = fabric.shard_of(window.patient_id);
+    EXPECT_NE(now, kDead);
+    EXPECT_EQ(now, survivors.owner(window.patient_id));
+    if (dead_patients.count(window.patient_id) == 0) {
+      EXPECT_EQ(now, ring_before.owner(window.patient_id))
+          << "patient " << window.patient_id << " must not move in a failover";
+    }
+  }
+
+  // The survivors' backlog is intact and bit-identical to the serial
+  // reference; the dead shard's windows are gone — exactly the lost set.
+  const auto keyed = by_identity(fabric.drain());
+  ASSERT_EQ(keyed.size(), batch.size() - lost_expected);
+  for (const auto& [key, expected] : reference) {
+    const auto found = keyed.find(key);
+    if (lost_keys.count(key) != 0) {
+      EXPECT_EQ(found, keyed.end()) << "lost window must not reappear";
+      continue;
+    }
+    ASSERT_NE(found, keyed.end());
+    EXPECT_TRUE(bit_identical(found->second.signal, expected.signal))
+        << "patient " << key.first << " window " << key.second << " differs after failover";
+    EXPECT_EQ(found->second.iterations, expected.iterations);
+    EXPECT_EQ(found->second.snr_db, expected.snr_db);
+  }
+
+  // Crash-proof conservation: every window ever admitted is accounted
+  // exactly once, with the dead shard's unretrieved backlog in `lost`.
+  const auto agg = fabric.slo_snapshot();
+  EXPECT_EQ(agg.submitted, 2 * batch.size());
+  EXPECT_EQ(agg.lost, lost_expected);
+  EXPECT_EQ(agg.completed, 2 * batch.size() - lost_expected);
+  EXPECT_EQ(agg.in_flight, 0u);
+  EXPECT_EQ(agg.submitted, agg.completed + agg.shed_routine + agg.shed_urgent + agg.lost +
+                               agg.in_flight);
+
+  // Per-shard snapshots skip the hole; lane snapshots do not fold the
+  // failed accumulators (a dead shard's lane split below the shed/lost
+  // line is unknowable), so the lanes sum to the live+reaped completions.
+  const auto per_shard = fabric.shard_slo_snapshots();
+  ASSERT_EQ(per_shard.size(), 2u);
+  EXPECT_EQ(per_shard[0].shard, 0u);
+  EXPECT_EQ(per_shard[1].shard, 2u);
+  const auto urgent_lane = fabric.lane_slo_snapshot(cs::WindowPriority::kUrgent);
+  const auto routine_lane = fabric.lane_slo_snapshot(cs::WindowPriority::kRoutine);
+  EXPECT_EQ(urgent_lane.completed + routine_lane.completed,
+            agg.completed - dead_retrieved_phase1);
+
+  // The fleet keeps serving: a re-homed patient's window submits under
+  // the failover epoch onto a survivor and solves bit-identically.
+  const std::uint32_t rehomed = *dead_patients.begin();
+  for (const auto& window : batch) {
+    if (window.patient_id != rehomed) continue;
+    CompressedWindow copy = window;
+    const std::uint64_t ticket = fabric.submit(std::move(copy));
+    EXPECT_EQ(ReconstructionFabric::ticket_epoch(ticket), 1u);
+    EXPECT_NE(ReconstructionFabric::ticket_shard(ticket), kDead);
+    break;
+  }
+  const auto after = fabric.drain();
+  ASSERT_EQ(after.size(), 1u);
+  const auto expected = reference.find({after[0].patient_id, after[0].window_index});
+  ASSERT_NE(expected, reference.end());
+  EXPECT_TRUE(bit_identical(after[0].signal, expected->second.signal));
+}
+
+TEST(FabricFailover, ResizeReprovisionsTheCrashHole) {
+  FabricConfig cfg;
+  cfg.shards = 3;
+  cfg.engine = fast_engine(0);
+  ReconstructionFabric fabric(cfg);
+  const auto batch = fleet_batch(9, 0.0);
+
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    fabric.submit(std::move(copy));
+  }
+  std::uint64_t lost_expected = 0;
+  for (const auto& window : batch) lost_expected += fabric.shard_of(window.patient_id) == 1;
+  ASSERT_GT(lost_expected, 0u);
+  fabric.fail_shard(1);
+  ASSERT_EQ(fabric.live_shard_count(), 2u);
+
+  // resize() is the recovery path: the hole gets a fresh engine and the
+  // full ring comes back, so routing matches a plain 3-shard fabric again.
+  const auto report = fabric.resize(3);
+  EXPECT_EQ(report.epoch, 2u);
+  EXPECT_EQ(report.shards_before, 3u);
+  EXPECT_EQ(report.shards_after, 3u);
+  EXPECT_EQ(fabric.live_shard_count(), 3u);
+  EXPECT_NO_THROW(fabric.shard(1));
+  const HashRing ring3(3, static_cast<std::size_t>(cfg.vnodes_per_shard));
+  for (const auto& window : batch) {
+    EXPECT_EQ(fabric.shard_of(window.patient_id), ring3.owner(window.patient_id));
+  }
+
+  // The re-provisioned shard serves, and the crash's losses stay on the
+  // books: conservation holds across fail + resize + another round trip.
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    fabric.submit(std::move(copy));
+  }
+  EXPECT_EQ(fabric.drain().size(), 2 * batch.size() - lost_expected);
+  const auto agg = fabric.slo_snapshot();
+  EXPECT_EQ(agg.submitted, 2 * batch.size());
+  EXPECT_EQ(agg.lost, lost_expected);
+  EXPECT_EQ(agg.submitted, agg.completed + agg.shed_routine + agg.shed_urgent + agg.lost +
+                               agg.in_flight);
+}
+
+TEST(FabricFailover, LastSurvivorCannotFailAndKeepsServing) {
+  FabricConfig cfg;
+  cfg.shards = 2;
+  cfg.engine = fast_engine(0);
+  ReconstructionFabric fabric(cfg);
+
+  EXPECT_THROW(fabric.fail_shard(5), std::out_of_range);
+  fabric.fail_shard(0);
+  EXPECT_THROW(fabric.fail_shard(0), std::out_of_range);
+  EXPECT_THROW(fabric.fail_shard(1), std::invalid_argument)
+      << "the last survivor must keep the fleet alive";
+  EXPECT_EQ(fabric.live_shard_count(), 1u);
+
+  const auto batch = fleet_batch(3, 0.0);
+  for (const auto& window : batch) {
+    CompressedWindow copy = window;
+    const std::uint64_t ticket = fabric.submit(std::move(copy));
+    EXPECT_EQ(ReconstructionFabric::ticket_shard(ticket), 1u);
+  }
+  EXPECT_EQ(fabric.drain().size(), batch.size());
+  EXPECT_EQ(fabric.slo_snapshot().lost, 0u) << "an empty shard dies with nothing to lose";
 }
 
 }  // namespace

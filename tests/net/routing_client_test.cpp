@@ -11,15 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "cs/pipeline.hpp"
+#include "host/payload_pool.hpp"
 #include "host/reconstruction_fabric.hpp"
 #include "net/crc32c.hpp"
 #include "net/shard_server.hpp"
@@ -98,7 +102,12 @@ struct LocalShard {
           return cfg;
         }()) {}
 
-  ~LocalShard() {
+  ~LocalShard() { kill(); }
+
+  /// Stops the server loop and joins it — the in-process stand-in for a
+  /// shard crash (the engine and its backlog are simply gone to the
+  /// client; only the listening port stops answering).
+  void kill() {
     server->stop();
     if (loop.joinable()) loop.join();
   }
@@ -512,6 +521,370 @@ TEST(CrHints, PressureGateOpensUnderBacklogAndClosesAfterDrain) {
   ASSERT_TRUE(client.refresh_cr_hints());
   EXPECT_FALSE(client.cr_hint(0).has_value());
   client.shutdown(/*send_bye=*/false);
+}
+
+// --- Crash failover and connection-loss accounting ---------------------------
+
+TEST(Backoff, ScheduleIsCappedJitteredAndDeterministic) {
+  // Degenerate inputs never sleep.
+  EXPECT_EQ(RoutingClient::backoff_delay_ms(0, 10, 2000, 1), 0);
+  EXPECT_EQ(RoutingClient::backoff_delay_ms(-3, 10, 2000, 1), 0);
+  EXPECT_EQ(RoutingClient::backoff_delay_ms(3, 0, 2000, 1), 0);
+
+  const std::uint64_t seed = 0xABCD;
+  for (int attempt = 1; attempt <= 40; ++attempt) {
+    const int a = RoutingClient::backoff_delay_ms(attempt, 10, 2000, seed);
+    // Deterministic: the same (seed, attempt) replays the same delay.
+    EXPECT_EQ(a, RoutingClient::backoff_delay_ms(attempt, 10, 2000, seed));
+    // Envelope: base·2^(k-1) clamped to the cap, plus at most +25% jitter.
+    const std::int64_t nominal =
+        std::min<std::int64_t>(2000, std::int64_t{10} << std::min(attempt - 1, 40));
+    EXPECT_GE(a, nominal) << "attempt " << attempt;
+    EXPECT_LE(a, nominal + nominal / 4) << "attempt " << attempt;
+  }
+
+  // The regression this schedule fixes: attempt counts whose uncapped
+  // doubling overflowed int now saturate at the cap (+ jitter) instead.
+  for (int attempt : {31, 32, 63, 64, 1000, std::numeric_limits<int>::max()}) {
+    const int d = RoutingClient::backoff_delay_ms(attempt, 10, 2000, seed);
+    EXPECT_GE(d, 2000) << "attempt " << attempt;
+    EXPECT_LE(d, 2500) << "attempt " << attempt;
+  }
+
+  // The jitter actually varies with the seed (no thundering herd).
+  bool differs = false;
+  for (std::uint64_t s = 0; s < 32 && !differs; ++s) {
+    differs = RoutingClient::backoff_delay_ms(8, 10, 2000, s) !=
+              RoutingClient::backoff_delay_ms(8, 10, 2000, s + 1);
+  }
+  EXPECT_TRUE(differs);
+
+  // A cap below the base degenerates to the base, never to zero.
+  EXPECT_GE(RoutingClient::backoff_delay_ms(5, 100, 10, 7), 100);
+  EXPECT_LE(RoutingClient::backoff_delay_ms(5, 100, 10, 7), 125);
+}
+
+TEST(Failover, MidStreamDisconnectResolvesTicketsOnceAndNeverDoubleSubmits) {
+  // Scripted teardown at an exact frame boundary: frames 0-1 are the two
+  // acknowledged SUBMIT_BATCHes of the first flush (a fully synced
+  // boundary, so nothing is ambiguously on the wire), frame 2 is the next
+  // batch — it dies before reaching the socket.  Its two windows must
+  // resolve to nullopt exactly once (the no-resubmit rule), while the
+  // four delivered windows are solved, retrieved, and never submitted
+  // twice across the reconnect.
+  auto traffic = fleet_traffic(/*patients=*/2, /*beats_per_patient=*/3);
+  ASSERT_GE(traffic.size(), 8u);
+
+  LocalShard shard(1);
+  auto cfg = client_config();
+  cfg.pipeline_depth = 2;
+  cfg.submit_batch_windows = 2;
+  cfg.payload_pool = std::make_shared<host::PayloadPool>();
+  cfg.fault_inject = [](std::size_t, std::uint64_t frame) { return frame == 2; };
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({shard.endpoint()}));
+
+  // First flush: two batches, fully acknowledged.
+  for (std::size_t i = 0; i < 4; ++i) {
+    CompressedWindow copy = traffic[i];
+    EXPECT_TRUE(client.submit_pipelined(std::move(copy)));
+  }
+  const auto acked = client.flush_submits();
+  ASSERT_EQ(acked.size(), 4u);
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_TRUE(acked[i].has_value()) << "window " << i;
+  }
+
+  // Second round: the sealed batch dies at the scripted frame boundary.
+  for (std::size_t i = 4; i < 6; ++i) {
+    CompressedWindow copy = traffic[i];
+    (void)client.submit_pipelined(std::move(copy));
+  }
+  const auto tickets = client.flush_submits();
+  ASSERT_EQ(tickets.size(), 2u);
+  EXPECT_FALSE(tickets[0].has_value()) << "died with the connection";
+  EXPECT_FALSE(tickets[1].has_value()) << "died with the connection";
+  // Exactly once: a second flush has nothing left to resolve.
+  EXPECT_TRUE(client.flush_submits().empty());
+
+  // The next verb reconnects; the four delivered windows surface, each
+  // exactly once, and the shard's own counters prove no double-submit.
+  const auto results = client.drain();
+  EXPECT_EQ(results.size(), 4u);
+  std::set<WindowKey> keys;
+  for (const auto& r : results) {
+    EXPECT_TRUE(keys.insert({r.patient_id, r.window_index}).second)
+        << "duplicate result after reconnect";
+  }
+  auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, 4u) << "a resubmit after reconnect would double-count";
+  EXPECT_EQ(agg.completed, 4u);
+  EXPECT_EQ(agg.retrieved, 4u);
+  EXPECT_EQ(agg.lost, 0u) << "the shard never died; nothing is lost";
+
+  // Post-reconnect submits work and keep counting from four.
+  for (std::size_t i = 6; i < 8; ++i) {
+    CompressedWindow copy = traffic[i];
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+  }
+  EXPECT_EQ(client.drain().size(), 2u);
+  agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.submitted, 6u);
+
+  // No payload leak: every window handed to the client returned its
+  // buffers to the pool at stage time — including the six whose tickets
+  // died — and nothing was dropped on the floor.
+  const auto stats = cfg.payload_pool->stats();
+  EXPECT_GE(stats.recycled, 8u);
+  EXPECT_EQ(stats.dropped, 0u);
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(Failover, FailShardOpensFailoverEpochAndConservesWithLost) {
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/3);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard a(1), b(1);
+  auto cfg = client_config();
+  cfg.reconnect_attempts = 0;  // A dead port fails fast, not after backoff.
+  cfg.health_probe_timeout_ms = 500;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+
+  // Phase 1: a full round trip — everything submitted, solved, retrieved.
+  std::map<WindowKey, WindowResult> results;
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+  }
+  for (auto&& r : client.drain()) {
+    results.emplace(WindowKey{r.patient_id, r.window_index}, std::move(r));
+  }
+  ASSERT_EQ(results.size(), traffic.size());
+
+  // Phase 2: resubmit the same signals but crash shard 0 before polling:
+  // its acknowledged windows are unrecoverable.
+  std::uint64_t acked_to_dead = 0;
+  std::optional<std::uint32_t> dead_owned_patient;
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+    if (client.owner(window.patient_id) == 0) {
+      ++acked_to_dead;
+      dead_owned_patient = window.patient_id;
+    }
+  }
+  ASSERT_GT(acked_to_dead, 0u) << "test needs patients on the shard that dies";
+  a.kill();
+
+  // Liveness: the survivor answers its probe, the corpse does not.
+  EXPECT_TRUE(client.probe_health(1));
+  EXPECT_FALSE(client.probe_health(0));
+  EXPECT_EQ(client.check_health(), std::vector<std::size_t>{0});
+  EXPECT_FALSE(client.shard_failed(0)) << "without auto_failover, detection only";
+
+  // Manual failover: epoch flips, survivors keep their indices, every
+  // patient re-homes onto shard 1, and the slot can't fail twice.
+  ASSERT_TRUE(client.fail_shard(0));
+  EXPECT_EQ(client.epoch(), 1u);
+  EXPECT_EQ(client.shard_count(), 2u);
+  EXPECT_EQ(client.live_shard_count(), 1u);
+  EXPECT_TRUE(client.shard_failed(0));
+  EXPECT_FALSE(client.fail_shard(0)) << "already failed";
+  EXPECT_FALSE(client.fail_shard(1)) << "the last survivor has nowhere to re-home";
+  for (const auto& window : traffic) {
+    EXPECT_EQ(client.owner(window.patient_id), 1u);
+  }
+
+  // The survivor's phase-2 results still arrive, bit-identical.
+  std::size_t survivor_results = 0;
+  for (auto&& r : client.drain()) {
+    const auto ref = reference.find({r.patient_id, r.window_index});
+    ASSERT_NE(ref, reference.end());
+    EXPECT_TRUE(bit_identical(r.signal, ref->second.signal))
+        << "patient " << r.patient_id << " window " << r.window_index
+        << " diverged across the failover";
+    ++survivor_results;
+  }
+  EXPECT_EQ(survivor_results, traffic.size() - acked_to_dead);
+
+  // Crash-proof conservation: the client's own mirrors stand in for the
+  // snapshot the dead shard can never surrender.
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.lost, acked_to_dead);
+  EXPECT_EQ(agg.submitted, 2 * traffic.size());
+  EXPECT_EQ(agg.submitted, agg.completed + agg.shed_routine + agg.shed_urgent +
+                               agg.rejected + agg.lost)
+      << "submitted == completed + shed + rejected + lost must survive a crash";
+
+  // Post-failover service: a window the dead shard would have owned now
+  // submits to the survivor under the failover epoch, and the result
+  // still matches the serial reference bit for bit.
+  ASSERT_TRUE(dead_owned_patient.has_value());
+  std::optional<CompressedWindow> rehomed;
+  for (const auto& window : traffic) {
+    if (window.patient_id == *dead_owned_patient) {
+      rehomed = window;
+      break;
+    }
+  }
+  ASSERT_TRUE(rehomed.has_value());
+  const WindowKey rehomed_key{rehomed->patient_id, rehomed->window_index};
+  const auto ticket = client.submit(std::move(*rehomed));
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(host::ReconstructionFabric::ticket_epoch(*ticket), 1u);
+  EXPECT_EQ(host::ReconstructionFabric::ticket_shard(*ticket), 1u);
+  auto post = client.drain();
+  ASSERT_EQ(post.size(), 1u);
+  EXPECT_TRUE(bit_identical(post.front().signal, reference.at(rehomed_key).signal));
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(Failover, AutoFailoverReroutesAndKeepsServing) {
+  // The full automatic path: a shard dies mid-deployment, the next submit
+  // touching it detects the death, fails it over, and lands the in-hand
+  // window on the survivor — no manual intervention, counts conserved.
+  const auto traffic = fleet_traffic(/*patients=*/6, /*beats_per_patient=*/2);
+  const auto reference = serial_reference(traffic);
+
+  LocalShard a(1), b(1);
+  auto cfg = client_config();
+  cfg.auto_failover = true;
+  cfg.reconnect_attempts = 0;
+  cfg.health_probe_timeout_ms = 500;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({a.endpoint(), b.endpoint()}));
+
+  // Load both shards, retrieve nothing, then crash shard 0: everything it
+  // acknowledged is lost.
+  std::uint64_t acked_to_dead = 0;
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    ASSERT_TRUE(client.submit(std::move(copy)).has_value());
+    if (client.owner(window.patient_id) == 0) ++acked_to_dead;
+  }
+  ASSERT_GT(acked_to_dead, 0u);
+  a.kill();
+
+  // Every submit keeps succeeding: the first one to touch the corpse
+  // pays for the detection, fails the shard over, and re-routes.
+  for (const auto& window : traffic) {
+    CompressedWindow copy = window;
+    const auto ticket = client.submit(std::move(copy));
+    ASSERT_TRUE(ticket.has_value()) << "auto-failover must keep the fleet serving";
+    EXPECT_EQ(host::ReconstructionFabric::ticket_shard(*ticket), 1u)
+        << "post-failover submits land on the survivor";
+  }
+  EXPECT_TRUE(client.shard_failed(0));
+  EXPECT_EQ(client.epoch(), 1u);
+  EXPECT_EQ(client.live_shard_count(), 1u);
+
+  // The survivor serves the re-submitted round bit-identically.
+  std::size_t matched = 0;
+  for (auto&& r : client.drain()) {
+    const auto ref = reference.find({r.patient_id, r.window_index});
+    ASSERT_NE(ref, reference.end());
+    EXPECT_TRUE(bit_identical(r.signal, ref->second.signal));
+    ++matched;
+  }
+  // Round 1's survivor-shard windows + all of round 2.
+  EXPECT_EQ(matched, (traffic.size() - acked_to_dead) + traffic.size());
+
+  const auto agg = client.aggregate_snapshot();
+  EXPECT_EQ(agg.lost, acked_to_dead);
+  EXPECT_EQ(agg.submitted, 2 * traffic.size());
+  EXPECT_EQ(agg.submitted, agg.completed + agg.shed_routine + agg.shed_urgent +
+                               agg.rejected + agg.lost);
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(Failover, CheckHealthAutoFailsDeadShardsAndV1ProbesFallBack) {
+  // Mixed fleet: the v1 shard is probed via SNAPSHOT_REQUEST (HEALTH does
+  // not exist there), the v2 shard via HEALTH.  Killing the v2 shard and
+  // sweeping with auto_failover fails exactly it.
+  LocalShard old_shard(1, /*max_version=*/1), new_shard(1);
+  auto cfg = client_config();
+  cfg.auto_failover = true;
+  cfg.reconnect_attempts = 0;
+  cfg.health_probe_timeout_ms = 500;
+  RoutingClient client(cfg);
+  ASSERT_TRUE(client.connect({old_shard.endpoint(), new_shard.endpoint()}));
+  ASSERT_EQ(client.shard_wire_version(0), 1);
+  ASSERT_EQ(client.shard_wire_version(1), 2);
+
+  // Both alive: both probe healthy, whatever verb carries the probe.
+  EXPECT_TRUE(client.probe_health(0));
+  EXPECT_TRUE(client.probe_health(1));
+  EXPECT_TRUE(client.check_health().empty());
+
+  new_shard.kill();
+  const auto dead = client.check_health();
+  ASSERT_EQ(dead, std::vector<std::size_t>{1});
+  EXPECT_TRUE(client.shard_failed(1));
+  EXPECT_FALSE(client.shard_failed(0));
+  EXPECT_EQ(client.epoch(), 1u);
+
+  // A failed slot probes false forever — never resurrected in place.
+  EXPECT_FALSE(client.probe_health(1));
+  client.shutdown(/*send_bye=*/false);
+}
+
+TEST(Protocol, HealthEchoesNonceAndV1ConnectionsRefuseIt) {
+  LocalShard shard(0);
+  const auto read_one = [](Fd& fd, std::vector<std::uint8_t>& rx,
+                           std::vector<std::uint8_t>& acc, FrameView& view) {
+    acc.clear();
+    for (;;) {
+      const long n = recv_some(fd.get(), rx.data(), rx.size());
+      ASSERT_GT(n, 0) << "server closed the connection";
+      acc.insert(acc.end(), rx.begin(), rx.begin() + n);
+      if (peek_frame(acc, view) == FrameStatus::kOk) break;
+    }
+  };
+
+  {
+    // v2 connection: HEALTH answers HEALTH_ACK with the nonce echoed and
+    // the engine's live queue depths (an idle shard reports 0/0).
+    Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+    ASSERT_TRUE(fd.valid());
+    std::vector<std::uint8_t> buf, rx(4096), acc;
+    FrameView view;
+    encode_hello(buf, HelloPayload{1, 2});
+    ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+    read_one(fd, rx, acc, view);
+    ASSERT_EQ(view.type, FrameType::kHelloAck);
+
+    buf.clear();
+    encode_health(buf, /*nonce=*/0xFACE5EED);
+    ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+    read_one(fd, rx, acc, view);
+    ASSERT_EQ(view.type, FrameType::kHealthAck);
+    HealthAckPayload ack;
+    ASSERT_TRUE(decode_health_ack(view.payload, ack));
+    EXPECT_EQ(ack.nonce, 0xFACE5EEDu);
+    EXPECT_EQ(ack.unsolved, 0u);
+    EXPECT_EQ(ack.ready, 0u);
+  }
+  {
+    // v1-negotiated connection: HEALTH is a v2 frame above the ceiling.
+    Fd fd = tcp_connect("127.0.0.1", shard.server->port(), 2000, 2000);
+    ASSERT_TRUE(fd.valid());
+    std::vector<std::uint8_t> buf, rx(4096), acc;
+    FrameView view;
+    encode_hello(buf, HelloPayload{1, 1});
+    ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+    read_one(fd, rx, acc, view);
+    ASSERT_EQ(view.type, FrameType::kHelloAck);
+
+    buf.clear();
+    encode_health(buf, 1);
+    ASSERT_TRUE(send_all(fd.get(), buf.data(), buf.size()));
+    read_one(fd, rx, acc, view);
+    ASSERT_EQ(view.type, FrameType::kError);
+    ErrorPayload error;
+    ASSERT_TRUE(decode_error(view.payload, error));
+    EXPECT_EQ(error.code, ErrorCode::kUnsupportedVersion);
+  }
 }
 
 TEST(Protocol, TalkingBeforeHelloIsRefused) {

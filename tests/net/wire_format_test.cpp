@@ -515,6 +515,44 @@ TEST(FramesV2, CrHintAckRoundTripsBitExactly) {
   }
 }
 
+TEST(FramesV2, HealthRoundTripsBitExactly) {
+  const auto buf =
+      encode_one([](auto& b) { encode_health(b, /*nonce=*/0xFEEDFACE12ull); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kHealth);
+  EXPECT_EQ(view.version, 2);  // v2-only verb: a v1 server refuses it.
+  std::uint64_t nonce = 0;
+  ASSERT_TRUE(decode_health(view.payload, nonce));
+  EXPECT_EQ(nonce, 0xFEEDFACE12ull);
+}
+
+TEST(FramesV2, HealthAckRoundTripsBitExactly) {
+  HealthAckPayload ack;
+  ack.nonce = 0xFEEDFACE12ull;
+  ack.unsolved = 17;
+  ack.ready = 5;
+  const auto buf = encode_one([&](auto& b) { encode_health_ack(b, ack); });
+  const auto view = must_peek(buf);
+  EXPECT_EQ(view.type, FrameType::kHealthAck);
+  EXPECT_EQ(view.version, 2);
+  HealthAckPayload decoded;
+  ASSERT_TRUE(decode_health_ack(view.payload, decoded));
+  EXPECT_EQ(decoded.nonce, ack.nonce);
+  EXPECT_EQ(decoded.unsolved, ack.unsolved);
+  EXPECT_EQ(decoded.ready, ack.ready);
+
+  // Trailing garbage after the declared fields is malformed, not ignored —
+  // a liveness probe must never "succeed" on a corrupt ack.
+  std::vector<std::uint8_t> payload(view.payload.begin(), view.payload.end());
+  payload.push_back(0xAA);
+  EXPECT_FALSE(decode_health_ack(payload, decoded));
+
+  // And a truncated ack (nonce only) is malformed too.
+  std::vector<std::uint8_t> short_payload(view.payload.begin(),
+                                          view.payload.begin() + 1);
+  EXPECT_FALSE(decode_health_ack(short_payload, decoded));
+}
+
 TEST(FramesV2, CrHintAckHostileCountIsMalformedNotOverread) {
   // An entry count claiming more pairs than the payload could possibly
   // hold must fail the decode cleanly before any allocation or overread.
@@ -578,6 +616,8 @@ TEST(Framing, TruncatedFramesWantMoreBytes) {
         ack.entries = {{11, 7000}, {42, 6500}};
         encode_cr_hint_ack(b, ack);
       }),
+      encode_one([](auto& b) { encode_health(b, 0xA5A5A5A5ull); }),
+      encode_one([](auto& b) { encode_health_ack(b, HealthAckPayload{1, 2, 3}); }),
   };
   for (const auto& buf : frames) {
     for (std::size_t len = 0; len < buf.size(); ++len) {
@@ -597,6 +637,8 @@ TEST(Framing, EveryFlippedBitIsRejected) {
         encode_submit_batch_ack(b, std::vector<SubmitBatchAckEntry>{{true, 7}, {false, 0}});
       }),
       encode_one([](auto& b) { encode_cr_hint(b, 9, 64); }),
+      encode_one([](auto& b) { encode_health(b, 0xDEAD); }),
+      encode_one([](auto& b) { encode_health_ack(b, HealthAckPayload{7, 0, 1}); }),
   };
   for (const auto& buf : frames) {
     for (std::size_t byte = 0; byte < buf.size(); ++byte) {
@@ -726,6 +768,10 @@ std::vector<Golden> golden_set() {
                    ack.advisory_cr_centi = 7000;
                    ack.entries = {{7, 7000}, {21, 7000}};
                    encode_cr_hint_ack(b, ack);
+                 })});
+  set.push_back({"health.bin", encode_one([](auto& b) { encode_health(b, 7); })});
+  set.push_back({"health_ack.bin", encode_one([](auto& b) {
+                   encode_health_ack(b, HealthAckPayload{7, 12, 3});
                  })});
   return set;
 }
